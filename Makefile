@@ -1,0 +1,31 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench results results-quick examples clean-cache
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+results:
+	$(PYTHON) -m repro.experiments.generate --profile default --out results/default
+
+results-quick:
+	REPRO_PROFILE=quick $(PYTHON) -m repro.experiments.generate --profile quick --out results/quick
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/compare_detectors.py
+	$(PYTHON) examples/phase_guided_optimizer.py
+	$(PYTHON) examples/custom_workload.py
+	$(PYTHON) examples/recurring_phases.py
+	$(PYTHON) examples/multithreaded.py
+
+clean-cache:
+	rm -rf .trace_cache results

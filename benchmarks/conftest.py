@@ -1,0 +1,53 @@
+"""Benchmark-suite fixtures.
+
+The profile is selected by the ``REPRO_PROFILE`` environment variable
+(``default`` if unset; ``quick`` for a fast pass).  The session-scoped
+``sweep``/``records`` fixtures warm the sweep cache once (expensive on a
+cold cache: the full detector grid runs; minutes), so the timed bodies
+measure table/figure *regeneration*, which is what a user iterating on
+the analysis pays.
+
+Rendered artifacts are written to ``results/<profile>/`` as a side
+effect, so one benchmark run leaves the full set of reproduced tables
+and figures on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config_space import PROFILES, paper_grid
+from repro.experiments.sweep import Sweep
+
+PROFILE_NAME = os.environ.get("REPRO_PROFILE", "default")
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results" / PROFILE_NAME
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return PROFILES[PROFILE_NAME]
+
+
+@pytest.fixture(scope="session")
+def sweep(profile):
+    return Sweep(profile)
+
+
+@pytest.fixture(scope="session")
+def records(sweep, profile):
+    return sweep.ensure(paper_grid(profile), progress=True)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Write one rendered artifact and echo it to stdout."""
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")

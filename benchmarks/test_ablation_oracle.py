@@ -1,0 +1,72 @@
+"""Oracle ablation: MPL-driven nest selection vs outermost-loops-only.
+
+Section 3.1 validates the MPL-based selection by branch-coverage data:
+using only outer loops yields "a very small number of large,
+coarse-grained phases that cannot be readily subdivided", while the MPL
+knob gives the client control over phase size.  This bench regenerates
+that comparison and times the oracle itself.
+"""
+
+from conftest import publish
+
+from repro.baseline import solve_baseline, solve_outermost_loops
+from repro.experiments.report import render_table
+
+
+def test_oracle_solve_speed(benchmark, sweep):
+    """Time one oracle solve on the largest benchmark trace."""
+    largest = max(sweep.benchmarks, key=lambda n: len(sweep.traces[n][0]))
+    _, call_loop = sweep.traces[largest]
+    mpl = sweep.profile.actual(10_000)
+    solution = benchmark(solve_baseline, call_loop, mpl)
+    assert solution.num_elements == call_loop.num_branches
+
+
+def test_nest_selection_vs_outermost(benchmark, sweep, profile, results_dir):
+    """MPL-driven selection subdivides where outermost-only cannot."""
+    def median_length(solution):
+        lengths = sorted(p.length for p in solution.phases)
+        return lengths[len(lengths) // 2] if lengths else 0
+
+    rows = []
+    small_mpl = profile.actual(1_000)
+    large_mpl = profile.actual(25_000)
+    for name in sweep.benchmarks:
+        _, call_loop = sweep.traces[name]
+        outer = solve_outermost_loops(call_loop)
+        fine = solve_baseline(call_loop, small_mpl)
+        coarse = solve_baseline(call_loop, large_mpl)
+        rows.append(
+            (
+                name,
+                outer.num_phases,
+                median_length(outer),
+                fine.num_phases,
+                median_length(fine),
+                coarse.num_phases,
+                median_length(coarse),
+            )
+        )
+    table = render_table(
+        ["Benchmark", "Outer #", "Outer med-len", "MPL=1K #", "MPL=1K med-len",
+         "MPL=25K #", "MPL=25K med-len"],
+        rows,
+        title="Oracle ablation: outermost-loop selection vs MPL-driven selection",
+    )
+    publish(results_dir, "ablation_oracle", table)
+
+    # The paper's validation claim: the MPL knob gives control over
+    # phase size, which outermost-only selection lacks.  Concretely:
+    # raising the MPL must coarsen the phase set (counts shrink), and
+    # at the large MPL the phases are at least as coarse as what the
+    # benchmark's outermost loops provide for most benchmarks.
+    coarser = 0
+    for _, outer_count, _, fine_count, _, coarse_count, _ in rows:
+        assert coarse_count <= fine_count
+        if coarse_count <= outer_count:
+            coarser += 1
+    assert coarser >= len(rows) // 2
+
+    largest = max(sweep.benchmarks, key=lambda n: len(sweep.traces[n][0]))
+    _, call_loop = sweep.traces[largest]
+    benchmark(solve_outermost_loops, call_loop)

@@ -1,0 +1,58 @@
+"""MPL-selection experiment (future-work extension, Section 7).
+
+Validates the analytic MPL suggestion against an empirical MPL sweep
+for a concrete client on every benchmark: the suggested MPL's realized
+benefit should be close to the best the sweep finds.
+"""
+
+from conftest import publish
+
+from repro.experiments.client_model import ClientModel, best_mpl, sweep_mpl
+from repro.experiments.report import render_table
+
+
+def test_mpl_suggestion_vs_empirical(benchmark, sweep, profile, results_dir):
+    client = ClientModel(action_cost=60, speedup=0.15, mis_penalty=0.05)
+    candidates = [profile.actual(n) for n in (1_000, 5_000, 10_000, 25_000, 50_000)]
+    suggestion = client.suggested_mpl()
+
+    rows = []
+    close_calls = 0
+    for name in sweep.benchmarks:
+        branch_trace, call_loop = sweep.traces[name]
+        outcomes = sweep_mpl(branch_trace, call_loop, client, candidates)
+        empirical = best_mpl(outcomes)
+        suggested_outcome = min(
+            outcomes, key=lambda o: abs(o.mpl - suggestion)
+        )
+        rows.append(
+            (
+                name,
+                suggestion,
+                empirical.mpl,
+                round(empirical.benefit, 0),
+                round(suggested_outcome.benefit, 0),
+                round(suggested_outcome.percent_of_ideal, 1),
+            )
+        )
+        if empirical.benefit <= 0 or suggested_outcome.benefit >= 0.5 * empirical.benefit:
+            close_calls += 1
+
+    table = render_table(
+        ["Benchmark", "Suggested MPL", "Best MPL", "Best benefit",
+         "Benefit @ suggestion", "% of ideal"],
+        rows,
+        title=(
+            f"MPL selection (action={client.action_cost}, speedup={client.speedup}, "
+            f"penalty={client.mis_penalty}; break-even={client.break_even_length:.0f})"
+        ),
+    )
+    publish(results_dir, "client_model", table)
+
+    # The analytic suggestion captures at least half the empirically
+    # best benefit on most benchmarks.
+    assert close_calls >= len(rows) // 2
+
+    name = sweep.benchmarks[0]
+    branch_trace, call_loop = sweep.traces[name]
+    benchmark(sweep_mpl, branch_trace, call_loop, client, candidates[:2])

@@ -1,0 +1,88 @@
+"""Extension models/analyzers vs the paper's grid (extra design corners).
+
+The paper evaluates asymmetric-unweighted and symmetric-weighted
+models; `repro.core.extensions` fills the other two corners plus an
+EWMA analyzer.  This bench scores all of them side by side across the
+suite at one MPL.
+"""
+
+from conftest import publish
+
+from repro.baseline.oracle import solve_baseline
+from repro.core.analyzers import ThresholdAnalyzer
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.engine import run_detector
+from repro.core.extensions import (
+    AsymmetricWeightedModel,
+    EwmaAnalyzer,
+    JaccardSetModel,
+    build_extended_detector,
+)
+from repro.experiments.aggregate import mean
+from repro.experiments.report import nominal_label, render_table
+from repro.scoring.metric import score_states
+
+
+def test_extension_components(benchmark, sweep, profile, results_dir):
+    mpl_nominal = 10_000
+    mpl = profile.actual(mpl_nominal)
+    cw = max(2, mpl // 2)
+    base = DetectorConfig(
+        cw_size=cw, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+    )
+
+    def run_extended(branch_trace, model=None, analyzer=None):
+        detector = build_extended_detector(base, model=model, analyzer=analyzer)
+        return detector.run(branch_trace).states
+
+    columns = {}
+    rows = []
+    for name in sweep.benchmarks:
+        branch_trace, call_loop = sweep.traces[name]
+        oracle_states = solve_baseline(call_loop, mpl).states()
+
+        def scored(states):
+            return score_states(states, oracle_states).score
+
+        scores = {
+            "unweighted (paper)": scored(run_detector(branch_trace, base).states),
+            "Jaccard (ext)": scored(
+                run_extended(branch_trace, model=JaccardSetModel(cw, cw))
+            ),
+            "asym-weighted (ext)": scored(
+                run_extended(branch_trace, model=AsymmetricWeightedModel(cw, cw))
+            ),
+            "EWMA analyzer (ext)": scored(
+                run_extended(
+                    branch_trace,
+                    analyzer=EwmaAnalyzer(delta=0.1, alpha=0.3, enter_threshold=0.6),
+                )
+            ),
+        }
+        for label, value in scores.items():
+            columns.setdefault(label, []).append(value)
+        rows.append((name, *(round(scores[k], 3) for k in scores)))
+
+    labels = list(columns)
+    rows.append(("average", *(round(mean(columns[k]), 3) for k in labels)))
+    table = render_table(
+        ["Benchmark"] + labels,
+        rows,
+        title=(
+            f"Extension components vs the paper's unweighted model "
+            f"(Adaptive TW, CW={cw}, MPL={nominal_label(mpl_nominal)})"
+        ),
+    )
+    publish(results_dir, "extensions", table)
+
+    # Sanity: every extension is a working detector (not degenerate).
+    for label in labels:
+        assert mean(columns[label]) > 0.3, label
+
+    name = sweep.benchmarks[0]
+    branch_trace, _ = sweep.traces[name]
+    benchmark(
+        lambda: build_extended_detector(
+            base, model=JaccardSetModel(cw, cw)
+        ).run(branch_trace)
+    )

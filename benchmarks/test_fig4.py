@@ -1,0 +1,36 @@
+"""Regenerate Figure 4: skip factor and TW policy vs MPL."""
+
+import math
+
+from conftest import publish
+
+from repro.experiments import figures
+
+
+def test_figure_4(benchmark, records, results_dir):
+    figure = benchmark(figures.figure_4, records)
+    publish(results_dir, "figure_4", figure.render())
+
+    fixed = figure.series["Fixed Intervals (skip=CW)"]
+    constant = figure.series["Constant TW (skip=1)"]
+    adaptive = figure.series["Adaptive TW (skip=1)"]
+
+    # Paper headline: skipFactor = CW (the extant approach) is
+    # significantly less accurate than skipFactor = 1, at every MPL.
+    for index in range(len(figure.mpl_nominals)):
+        if math.isnan(fixed[index]):
+            continue
+        assert constant[index] > fixed[index]
+        assert adaptive[index] > fixed[index]
+
+    # Paper trend: for large MPLs the Adaptive TW is at least
+    # competitive with the Constant TW (on average across benchmarks).
+    large = [
+        index
+        for index, nominal in enumerate(figure.mpl_nominals)
+        if nominal >= 50_000 and not math.isnan(adaptive[index])
+    ]
+    assert large, "no large-MPL cells survived the phase-count filter"
+    adaptive_mean = sum(adaptive[i] for i in large) / len(large)
+    constant_mean = sum(constant[i] for i in large) / len(large)
+    assert adaptive_mean >= constant_mean - 0.02

@@ -1,0 +1,27 @@
+"""Regenerate Figure 5: weighted vs unweighted similarity models."""
+
+import math
+
+from conftest import publish
+
+from repro.experiments import figures
+
+
+def test_figure_5(benchmark, sweep, records, results_dir):
+    figure = benchmark(figures.figure_5, records, sweep.benchmarks)
+    publish(results_dir, "figure_5", figure.render())
+
+    # Paper conclusion: excluding compress, the unweighted model is at
+    # least as accurate as the weighted model on average (both TW
+    # policies, averaged over the reported MPLs).
+    for family in ("Constant", "Adaptive"):
+        unweighted = figure.series[f"{family} unweighted w/o compress"]
+        weighted = figure.series[f"{family} weighted w/o compress"]
+        pairs = [
+            (u, w) for u, w in zip(unweighted, weighted)
+            if not (math.isnan(u) or math.isnan(w))
+        ]
+        assert pairs
+        mean_unweighted = sum(u for u, _ in pairs) / len(pairs)
+        mean_weighted = sum(w for _, w in pairs) / len(pairs)
+        assert mean_unweighted >= mean_weighted - 0.02, family

@@ -1,0 +1,21 @@
+"""Regenerate Figure 7: anchoring (RN vs LNN) and resizing (Slide vs Move)."""
+
+from conftest import publish
+
+from repro.experiments import figures
+from repro.experiments.aggregate import mean
+
+
+def test_figure_7a_slide_vs_move(benchmark, sweep, records, results_dir):
+    series = benchmark(figures.figure_7a, records, sweep.benchmarks)
+    publish(results_dir, "figure_7a", series.render())
+    # Paper conclusion: on average, Sliding is more accurate than Moving.
+    assert mean(series.improvements) > -0.5
+
+
+def test_figure_7b_rn_vs_lnn(benchmark, sweep, records, results_dir):
+    series = benchmark(figures.figure_7b, records, sweep.benchmarks)
+    publish(results_dir, "figure_7b", series.render())
+    # Paper conclusion: on average, RN is more accurate than LNN.  Like
+    # the paper's own Figure 7 the per-MPL values may dip negative.
+    assert mean(series.improvements) > -1.0

@@ -1,0 +1,70 @@
+"""Detection-latency study (extension experiment).
+
+Section 3.2 notes that online detectors are necessarily late and that
+the window size governs the delay.  This bench makes the relationship
+explicit: mean phase-start lateness per CW size, with and without the
+Adaptive TW's anchor correction, measured against each benchmark's
+oracle.
+"""
+
+from conftest import publish
+
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.engine import run_detector
+from repro.experiments.report import nominal_label, render_table
+from repro.scoring.latency import measure_latency
+
+
+def test_lateness_vs_window_size(benchmark, sweep, profile, results_dir):
+    mpl_nominal = 10_000
+    mpl = profile.actual(mpl_nominal)
+    cw_nominals = (500, 1_000, 5_000)
+
+    rows = []
+    for name in sweep.benchmarks:
+        branch_trace, _ = sweep.traces[name]
+        baselines = sweep.baselines(name)
+        oracle = baselines.solutions[mpl_nominal]
+        truth = [(p.start, p.end) for p in oracle.phases]
+        if len(truth) < 3:
+            continue
+        cells = [name]
+        for cw_nominal in cw_nominals:
+            config = DetectorConfig(
+                cw_size=profile.actual(cw_nominal),
+                trailing=TrailingPolicy.ADAPTIVE,
+                threshold=0.6,
+            )
+            result = run_detector(branch_trace, config)
+            plain = measure_latency(result.phases(), truth, len(branch_trace))
+            corrected = measure_latency(
+                result.corrected_phases(), truth, len(branch_trace)
+            )
+            cells.append(
+                f"{plain.mean_start_lateness:.0f}/{corrected.mean_start_lateness:.0f}"
+                if plain.num_matched
+                else "-"
+            )
+        rows.append(tuple(cells))
+
+    table = render_table(
+        ["Benchmark"] + [f"CW={nominal_label(c)} raw/corrected" for c in cw_nominals],
+        rows,
+        title=(
+            f"Mean phase-start lateness in elements (MPL={nominal_label(mpl_nominal)}, "
+            "Adaptive TW; raw detection vs anchor-corrected)"
+        ),
+    )
+    publish(results_dir, "latency", table)
+    assert rows, "no benchmark had enough phases at this MPL"
+
+    # Timed body: one latency measurement on the largest trace.
+    largest = max(sweep.benchmarks, key=lambda n: len(sweep.traces[n][0]))
+    branch_trace, _ = sweep.traces[largest]
+    oracle = sweep.baselines(largest).solutions[mpl_nominal]
+    truth = [(p.start, p.end) for p in oracle.phases]
+    config = DetectorConfig(
+        cw_size=profile.actual(1_000), trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+    )
+    result = run_detector(branch_trace, config)
+    benchmark(measure_latency, result.phases(), truth, len(branch_trace))

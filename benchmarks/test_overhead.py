@@ -1,0 +1,54 @@
+"""Detection-overhead table (future-work extension, Section 7).
+
+Regenerates a machine-independent overhead comparison across the three
+TW-policy families on the largest benchmark trace.
+"""
+
+from conftest import publish
+
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.experiments.overhead import measure_overhead, overhead_comparison
+from repro.experiments.report import render_table
+
+
+def test_overhead_table(benchmark, sweep, profile, results_dir):
+    largest = max(sweep.benchmarks, key=lambda n: len(sweep.traces[n][0]))
+    trace, _ = sweep.traces[largest]
+    cw = profile.actual(10_000)
+    configs = {
+        "fixed-interval": DetectorConfig.fixed_interval(cw),
+        "constant, skip 1": DetectorConfig(cw_size=cw, threshold=0.6),
+        "adaptive, skip 1": DetectorConfig(
+            cw_size=cw, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+        ),
+    }
+    reports = overhead_comparison(trace, list(configs.values()))
+    rows = [
+        (
+            label,
+            report.similarity_evaluations,
+            round(report.evaluations_per_element, 3),
+            report.window_updates,
+            report.peak_tw_length,
+            report.peak_tracked_elements,
+            report.window_flushes,
+        )
+        for label, report in zip(configs, reports)
+    ]
+    table = render_table(
+        ["Detector", "Sim evals", "Evals/elem", "Window updates",
+         "Peak TW len", "Peak tracked", "Flushes"],
+        rows,
+        title=f"Detection overhead on {largest} ({len(trace):,} elements, CW={cw})",
+    )
+    publish(results_dir, "overhead", table)
+
+    fixed, constant, adaptive = reports
+    # skipFactor = CW trades accuracy (Figure 4) for ~CW-fold fewer
+    # similarity evaluations.
+    assert fixed.similarity_evaluations * 10 < constant.similarity_evaluations
+    # The unweighted model's tracked state stays manageable even though
+    # the Adaptive TW grows to hold whole phases.
+    assert adaptive.peak_tracked_elements < len(trace) // 10
+
+    benchmark(measure_overhead, trace, configs["adaptive, skip 1"])

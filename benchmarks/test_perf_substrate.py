@@ -1,0 +1,72 @@
+"""Substrate performance: MiniVM interpretation, trace I/O, scoring."""
+
+import numpy as np
+import pytest
+
+from repro.profiles.io import read_trace_binary, write_trace_binary
+from repro.profiles.synthetic import make_phased_trace
+from repro.scoring import score_states
+from repro.vm.compiler import compile_source
+from repro.vm.interpreter import Interpreter
+from repro.vm.tracing import CollectingSink, NullSink
+from repro.workloads import workload
+
+HOT_LOOP = """
+fn main() {
+    var acc = 0;
+    var i = 0;
+    while (i < 20000) {
+        if (i % 3 == 0) { acc = acc + i; } else { acc = acc - 1; }
+        i = i + 1;
+    }
+    return acc;
+}
+"""
+
+
+def test_interpreter_throughput_null_sink(benchmark):
+    """Raw interpretation speed without trace materialization."""
+    program = compile_source(HOT_LOOP)
+    benchmark(Interpreter().run, program, NullSink())
+
+
+def test_interpreter_throughput_collecting(benchmark):
+    """Full instrumentation: branch + call-loop trace collection."""
+    program = compile_source(HOT_LOOP)
+
+    def run():
+        sink = CollectingSink()
+        Interpreter().run(program, sink)
+        return sink
+
+    sink = benchmark(run)
+    assert len(sink.elements) == 40_001
+
+
+def test_workload_compile_time(benchmark):
+    """MiniLang front end + codegen on the largest workload source."""
+    source = workload("jlex").program_source(1.0)
+    program = benchmark(compile_source, source)
+    assert program.num_instructions() > 100
+
+
+def test_trace_binary_round_trip(benchmark, tmp_path):
+    """Binary trace write+read for a 100K-element trace."""
+    trace, _ = make_phased_trace(num_phases=5, phase_length=19_000, transition_length=1_000)
+    path = tmp_path / "t.btrace"
+
+    def round_trip():
+        write_trace_binary(trace, path)
+        return read_trace_binary(path)
+
+    loaded = benchmark(round_trip)
+    assert loaded == trace
+
+
+def test_scoring_throughput(benchmark):
+    """Metric cost on 100K-element state arrays with many boundaries."""
+    rng = np.random.default_rng(5)
+    baseline = rng.random(100_000) < 0.6
+    detected = baseline ^ (rng.random(100_000) < 0.05)
+    result = benchmark(score_states, detected, baseline)
+    assert 0.0 <= result.score <= 1.0

@@ -1,0 +1,58 @@
+"""Recurring-phase detection + next-phase prediction study
+(future-work extension, Section 7)."""
+
+from conftest import publish
+
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.prediction import MarkovPhasePredictor, evaluate_predictor
+from repro.core.recurrence import RecurringPhaseDetector
+from repro.experiments.report import render_table
+
+
+def test_recurrence_across_suite(benchmark, sweep, profile, results_dir):
+    cw = profile.actual(5_000)
+    config = DetectorConfig(
+        cw_size=cw, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+    )
+
+    rows = []
+    recurrence_rates = {}
+    for name in sweep.benchmarks:
+        branch_trace, _ = sweep.traces[name]
+        result = RecurringPhaseDetector(config).run(branch_trace)
+        occurrences = len(result.phases)
+        recurrences = len(result.recurrences())
+        rate = recurrences / occurrences if occurrences else 0.0
+        recurrence_rates[name] = rate
+        phase_ids = [p.phase_id for p in result.phases]
+        prediction = evaluate_predictor(MarkovPhasePredictor(order=2), phase_ids)
+        rows.append(
+            (
+                name,
+                occurrences,
+                result.num_distinct_phases(),
+                recurrences,
+                round(100 * rate, 1),
+                round(100 * prediction.accuracy, 1) if prediction.predictions else "-",
+            )
+        )
+
+    table = render_table(
+        ["Benchmark", "Occurrences", "Distinct ids", "Recurrences",
+         "% recurrent", "Markov-2 pred. acc. %"],
+        rows,
+        title=f"Recurring-phase detection across the suite (Adaptive TW, CW={cw})",
+    )
+    publish(results_dir, "recurrence", table)
+
+    # jack runs its generator 16 times and mpegaudio decodes a uniform
+    # frame stream: both must show strong recurrence when they phase at
+    # this granularity at all.
+    for name in ("jack", "mpegaudio"):
+        occurrences = next(r[1] for r in rows if r[0] == name)
+        if occurrences >= 4:
+            assert recurrence_rates[name] >= 0.5, name
+
+    name = "jack"
+    branch_trace, _ = sweep.traces[name]
+    benchmark(RecurringPhaseDetector(config).run, branch_trace)

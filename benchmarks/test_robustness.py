@@ -1,0 +1,42 @@
+"""Robustness-under-noise study (extension experiment)."""
+
+from conftest import publish
+
+from repro.experiments.report import render_table
+from repro.experiments.robustness import noise_robustness
+
+
+def test_noise_robustness(benchmark, sweep, profile, results_dir):
+    name = "jlex"
+    branch_trace, call_loop = sweep.traces[name]
+    mpl = profile.actual(10_000)
+    rates = (0.0, 0.02, 0.05, 0.1, 0.2)
+    points = noise_robustness(branch_trace, call_loop, mpl, noise_rates=rates)
+
+    detectors = sorted({p.detector for p in points})
+    by_key = {(p.detector, p.noise_rate): p for p in points}
+    rows = [
+        (f"{rate:.2f}", *(round(by_key[(d, rate)].score, 3) for d in detectors))
+        for rate in rates
+    ]
+    table = render_table(
+        ["Noise rate"] + detectors,
+        rows,
+        title=f"Accuracy vs profile noise on {name} (MPL={mpl})",
+    )
+    publish(results_dir, "robustness", table)
+
+    # The study's finding: distinct-set (unweighted) similarity dilutes
+    # fast under unique-element noise, while the weighted model only
+    # loses the noise's mass and keeps most of its clean-trace score.
+    for detector in ("constant-weighted", "adaptive-weighted"):
+        clean = by_key[(detector, 0.0)].score
+        dirty = by_key[(detector, 0.05)].score
+        assert dirty >= clean - 0.25, detector
+    unweighted_dirty = by_key[("constant-unweighted", 0.05)].score
+    weighted_dirty = by_key[("constant-weighted", 0.05)].score
+    assert weighted_dirty > unweighted_dirty
+
+    benchmark(
+        noise_robustness, branch_trace, call_loop, mpl, (0.0, 0.1)
+    )

@@ -1,0 +1,26 @@
+"""Regenerate Table 1: benchmark characteristics and baseline phases."""
+
+from conftest import publish
+
+from repro.experiments import tables
+
+
+def test_table_1a(benchmark, sweep, results_dir):
+    """Table 1(a): dynamic branches / loops / invocations / recursion roots."""
+    table = benchmark(tables.table_1a, sweep)
+    publish(results_dir, "table_1a", table.render())
+    assert len(table.rows) == len(sweep.benchmarks)
+    for row in table.rows:
+        assert row.dynamic_branches > 0
+        assert row.loop_executions > 0
+
+
+def test_table_1b(benchmark, sweep, results_dir):
+    """Table 1(b): oracle phase counts and coverage per MPL."""
+    sweep.baselines(sweep.benchmarks[0])  # force one lazy solve outside timing
+    table = benchmark(tables.table_1b, sweep)
+    publish(results_dir, "table_1b", table.render())
+    # Paper shape: #phases non-increasing in MPL for every benchmark.
+    for name, per_mpl in table.coverage.items():
+        counts = [per_mpl[m].num_phases for m in table.mpl_nominals]
+        assert counts == sorted(counts, reverse=True), name

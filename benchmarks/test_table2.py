@@ -1,0 +1,30 @@
+"""Regenerate Table 2: the CW-size-vs-MPL analysis (Section 4.2)."""
+
+from conftest import publish
+
+from repro.experiments import tables
+
+
+def test_table_2a(benchmark, sweep, records, results_dir):
+    """Table 2(a): % improvement of CW smaller/equal over CW larger."""
+    table = benchmark(tables.table_2a, records, sweep.benchmarks)
+    publish(results_dir, "table_2a", table.render())
+    # Paper shape: on average, a CW smaller than the MPL beats a larger
+    # CW for every TW policy (positive average improvements).
+    for family in ("adaptive", "constant", "fixed"):
+        smaller_avg = sum(
+            table.rows[b][family][0] for b in sweep.benchmarks
+        ) / len(sweep.benchmarks)
+        assert smaller_avg > 0.0, family
+
+
+def test_table_2b(benchmark, sweep, records, results_dir):
+    """Table 2(b): average best score for CW smaller / equal / half MPL."""
+    table = benchmark(tables.table_2b, records, sweep.benchmarks)
+    publish(results_dir, "table_2b", table.render())
+    for family, (smaller, equal, half) in table.rows.items():
+        # Paper shape: CW smaller than MPL beats CW equal to MPL.
+        assert smaller > equal, family
+    # Paper shape: the skip-1 policies dominate the Fixed-Interval design.
+    assert table.rows["adaptive"][0] > table.rows["fixed"][0]
+    assert table.rows["constant"][0] > table.rows["fixed"][0]

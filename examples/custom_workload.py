@@ -1,0 +1,110 @@
+"""Author a MiniLang program, trace it, and visualize its phases.
+
+Shows the full substrate in one file: write a program in MiniLang,
+compile it with the MiniLang compiler, run it on the instrumented
+MiniVM, solve the oracle baseline, run an online detector, and print an
+ASCII timeline of oracle vs detected states.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import DetectorConfig, TrailingPolicy, run_detector
+from repro.baseline import solve_baseline
+from repro.experiments.timeline import comparison, phase_ruler
+from repro.scoring import score_states
+from repro.vm import CollectingSink, Interpreter, compile_source
+
+SOURCE = """
+// Three behavioral regimes: a sieve, a recursive tree walk, a hash mix.
+fn sieve(n) {
+    var count = 0;
+    var i = 2;
+    while (i < n) {
+        var composite = 0;
+        var j = 2;
+        while (j * j <= i) {
+            if (i % j == 0) { composite = 1; }
+            j = j + 1;
+        }
+        if (composite == 0) { count = count + 1; }
+        i = i + 1;
+    }
+    return count;
+}
+
+fn walk(depth, value) {
+    if (depth <= 0) { return value % 7; }
+    var left = walk(depth - 1, value * 2 + 1);
+    var right = walk(depth - 1, value * 3 + 2);
+    return left + right;
+}
+
+fn mix(rounds) {
+    var h = 2166136261;
+    var i = 0;
+    while (i < rounds) {
+        h = (h * 16777619 + i) % 4294967296;
+        if (h % 2 == 0) { h = h + 13; }
+        i = i + 1;
+    }
+    return h % 1000;
+}
+
+fn glue(v) {
+    var g = v;
+    if (g % 2 == 0) { g = g + 1; }
+    if (g % 3 == 0) { g = g + 2; }
+    if (g % 5 == 0) { g = g + 3; }
+    return g;
+}
+
+fn main() {
+    var acc = sieve(160);
+    acc = acc + glue(acc);
+    acc = acc + walk(9, acc);
+    acc = acc + glue(acc);
+    acc = acc + mix(1500);
+    return acc;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE, name="custom")
+    sink = CollectingSink()
+    result = Interpreter().run(program, sink=sink)
+    branch_trace = sink.branch_trace("custom")
+    call_loop = sink.call_loop_trace("custom")
+    print(f"program returned {result}; {len(branch_trace):,} dynamic branches")
+
+    mpl = 300
+    oracle = solve_baseline(call_loop, mpl=mpl)
+    config = DetectorConfig(
+        cw_size=mpl // 2, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+    )
+    detection = run_detector(branch_trace, config)
+    score = score_states(detection.states, oracle.states())
+
+    print(f"\noracle phases (MPL={mpl}):")
+    for phase in oracle.phases:
+        print(f"  [{phase.start:>6}, {phase.end:>6})  {phase.kind.value}")
+    print(f"\ndetector: {config.describe()}")
+    print(f"accuracy: {score}")
+    print("\ntimeline ('#' = in phase, '.' = transition, 'x' = disagreement):")
+    print(
+        comparison(
+            {"oracle": oracle.states(), "detected": detection.states},
+            width=96,
+            diff_against="oracle",
+        )
+    )
+    boundaries = phase_ruler(
+        len(branch_trace), [(p.start, p.end) for p in oracle.phases], width=96
+    )
+    print(f"{'bounds'.ljust(14)}  {boundaries}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Multi-threaded phase detection: why per-thread demultiplexing matters.
+
+The paper handles single-threaded programs and notes the framework "can
+be extended to handle multi-threaded applications."  This example shows
+the extension (`repro.profiles.multithread`) and the failure mode it
+fixes: two threads with *misaligned* phases are interleaved by a
+fine-grained scheduler; a single global detector sees each thread's
+stable working set diluted by the other's transition noise and misses
+the phases, while one detector per thread finds them exactly.
+
+Usage::
+
+    python examples/multithreaded.py [quantum]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import DetectorConfig, TrailingPolicy
+from repro.core.engine import run_detector
+from repro.experiments.timeline import comparison
+from repro.profiles.multithread import detect_per_thread, interleave
+from repro.profiles.synthetic import SyntheticTraceBuilder
+from repro.scoring import score_states
+
+
+def build_threads():
+    """Two threads whose phases do not overlap in time."""
+    builder_a = SyntheticTraceBuilder(seed=71)
+    builder_a.add_transition(400)
+    builder_a.add_phase(4_000, body_size=12)
+    builder_a.add_transition(4_400)
+    thread_a, _ = builder_a.build()
+
+    builder_b = SyntheticTraceBuilder(seed=72)
+    builder_b.add_transition(4_400)
+    builder_b.add_phase(4_000, body_size=12)
+    builder_b.add_transition(400)
+    thread_b, _ = builder_b.build()
+    return thread_a, thread_b
+
+
+def main() -> None:
+    quantum = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    thread_a, thread_b = build_threads()
+    merged, owners = interleave({0: thread_a, 1: thread_b}, quantum=quantum)
+    print(
+        f"two threads of {len(thread_a):,} elements each, interleaved "
+        f"with quantum {quantum} -> {len(merged):,} merged elements"
+    )
+
+    config = DetectorConfig(
+        cw_size=150, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+    )
+    global_states = run_detector(merged, config).states
+    per_thread_states = detect_per_thread(merged, owners, config)
+
+    # Score in each thread's own timeline (boundaries are meaningless
+    # at merged granularity when only one thread is in phase).
+    starts = {0: 400, 1: 4_400}
+    for tid in (0, 1):
+        positions = np.flatnonzero(owners == tid)
+        thread_truth = np.zeros(positions.size, dtype=bool)
+        thread_truth[starts[tid] : starts[tid] + 4_000] = True
+        global_view = global_states[positions]
+        demux_view = per_thread_states[positions]
+        print(f"\nthread {tid}:")
+        print(f"  global detector:  {score_states(global_view, thread_truth)}")
+        print(f"  per-thread demux: {score_states(demux_view, thread_truth)}")
+        print(
+            comparison(
+                {
+                    "truth": thread_truth,
+                    "global": global_view,
+                    "demux": demux_view,
+                },
+                width=92,
+            )
+        )
+    print(
+        "\nTry a coarse scheduler (e.g. `python examples/multithreaded.py 2000`):"
+        "\nwith long scheduling quanta the merged stream is nearly sequential"
+        "\nand the global detector recovers."
+    )
+
+
+if __name__ == "__main__":
+    main()

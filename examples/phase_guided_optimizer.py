@@ -1,0 +1,98 @@
+"""Simulate a phase-guided dynamic optimizer — the paper's motivating client.
+
+A dynamic optimization system applies a specializing optimization when
+the detector reports a stable phase and pays a recompilation cost at
+every phase start (Section 3.1 motivates the MPL with exactly this
+cost/benefit argument).  We model it directly:
+
+- at every detected phase *start* the client pays ``RECOMPILE_COST``
+  profile elements;
+- for every element the detector spends in P that the oracle also
+  considers in phase, the client gains ``SPEEDUP`` (specialized code
+  actually helps);
+- elements the detector claims are in phase but are not (false
+  phases) *cost* ``MIS_PENALTY`` each — the specialization was built on
+  unstable behavior and mis-speculates.
+
+The net benefit, in element-equivalents, makes detector accuracy and
+the MPL trade-off tangible: an eager detector recompiles constantly,
+an inaccurate one specializes noise.
+
+Usage::
+
+    python examples/phase_guided_optimizer.py [benchmark]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import DetectorConfig, TrailingPolicy, run_detector
+from repro.baseline import solve_baseline
+from repro.experiments.report import render_table
+from repro.workloads import load_traces
+
+RECOMPILE_COST = 50    # elements of overhead per phase start
+SPEEDUP = 0.15         # fractional gain per correctly-specialized element
+MIS_PENALTY = 0.10     # fractional loss per wrongly-specialized element
+
+
+def client_benefit(detected_states, detected_phases, oracle_states) -> float:
+    """Net benefit of phase-guided specialization, in element-equivalents."""
+    correct = float(np.logical_and(detected_states, oracle_states).sum())
+    wrong = float(np.logical_and(detected_states, ~oracle_states).sum())
+    return (
+        SPEEDUP * correct
+        - MIS_PENALTY * wrong
+        - RECOMPILE_COST * len(detected_phases)
+    )
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "jack"
+    branch_trace, call_loop = load_traces(benchmark)
+
+    detectors = {
+        "fixed-interval (extant)": DetectorConfig.fixed_interval(256),
+        "constant TW, skip 1": DetectorConfig(cw_size=256, threshold=0.6),
+        "adaptive TW, skip 1": DetectorConfig(
+            cw_size=256, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+        ),
+        "hair-trigger (cw 16)": DetectorConfig(cw_size=16, threshold=0.5),
+    }
+
+    rows = []
+    for mpl in (100, 500, 2_500):
+        oracle_states = solve_baseline(call_loop, mpl=mpl).states()
+        for label, config in detectors.items():
+            result = run_detector(branch_trace, config)
+            benefit = client_benefit(result.states, result.detected_phases, oracle_states)
+            rows.append(
+                (
+                    mpl,
+                    label,
+                    len(result.detected_phases),
+                    round(benefit, 0),
+                    round(100 * benefit / (SPEEDUP * len(branch_trace)), 1),
+                )
+            )
+
+    print(
+        render_table(
+            ["MPL", "Detector", "Phase starts", "Net benefit (elems)", "% of ideal"],
+            rows,
+            title=(
+                f"Phase-guided optimization on {benchmark} (recompile="
+                f"{RECOMPILE_COST}, speedup={SPEEDUP}, penalty={MIS_PENALTY})"
+            ),
+        )
+    )
+    print(
+        "\nReading: '% of ideal' compares against specializing every element"
+        "\nwith zero recompiles. Accurate phase boundaries keep recompilation"
+        "\nrare while capturing most of the stable execution."
+    )
+
+
+if __name__ == "__main__":
+    main()

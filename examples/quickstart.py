@@ -1,0 +1,62 @@
+"""Quickstart: detect phases in one benchmark and score against the oracle.
+
+Runs the ``compress`` workload through the instrumented MiniVM (cached
+after the first run), builds the Section 3.1 baseline solution, runs one
+online detector, and prints the Section 3.2 accuracy score.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [mpl]
+"""
+
+import sys
+
+from repro import DetectorConfig, TrailingPolicy, run_detector
+from repro.baseline import solve_baseline
+from repro.scoring import score_states
+from repro.workloads import load_traces, workload_names
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    mpl = int(sys.argv[2]) if len(sys.argv) > 2 else 500
+    if benchmark not in workload_names():
+        raise SystemExit(f"unknown benchmark {benchmark!r}; pick from {workload_names()}")
+
+    print(f"== loading traces for {benchmark} (first run interprets the program) ==")
+    branch_trace, call_loop = load_traces(benchmark)
+    print(f"branch trace: {len(branch_trace):,} profile elements")
+    print(f"call-loop trace: {len(call_loop):,} events "
+          f"({call_loop.loop_executions():,} loop executions, "
+          f"{call_loop.method_invocations():,} invocations)")
+
+    print(f"\n== oracle: baseline solution at MPL={mpl} ==")
+    oracle = solve_baseline(call_loop, mpl=mpl)
+    print(f"{oracle.num_phases} phases covering {oracle.percent_in_phase:.1f}% of execution")
+    for phase in oracle.phases[:8]:
+        print(f"  [{phase.start:>7}, {phase.end:>7})  {phase.kind.value}")
+    if oracle.num_phases > 8:
+        print(f"  ... and {oracle.num_phases - 8} more")
+
+    print("\n== online detection ==")
+    config = DetectorConfig(
+        cw_size=mpl // 2,              # the paper's CW = 1/2 MPL guidance
+        trailing=TrailingPolicy.ADAPTIVE,
+        threshold=0.6,
+    )
+    print(f"detector: {config.describe()}")
+    result = run_detector(branch_trace, config)
+    print(f"{len(result.detected_phases)} phases detected online")
+
+    score = score_states(result.states, oracle.states())
+    print(f"\naccuracy vs oracle: {score}")
+    corrected = score_states(
+        result.corrected_states(),
+        oracle.states(),
+        detected_phases=result.corrected_phases(),
+    )
+    print(f"with anchor-corrected phase starts: {corrected}")
+
+
+if __name__ == "__main__":
+    main()

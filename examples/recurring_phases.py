@@ -1,0 +1,72 @@
+"""Recurring-phase detection: recognize a phase you've seen before.
+
+The paper's Section 7 proposes extending the framework so "a dynamic
+optimization system [can] record the efficacy of a phase-based
+optimization at the end of the phase and determine whether to employ
+the same optimization when the phase reoccurs."  `repro` implements
+that extension (`repro.core.recurrence`); this example drives it on the
+`jack` workload — a parser generator that runs its pipeline 16 times,
+so almost every phase is a recurrence of an earlier one.
+
+Usage::
+
+    python examples/recurring_phases.py [benchmark]
+"""
+
+import sys
+from collections import Counter
+
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.recurrence import RecurringPhaseDetector
+from repro.experiments.report import render_table
+from repro.workloads import load_traces
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "jack"
+    branch_trace, _ = load_traces(benchmark)
+
+    config = DetectorConfig(
+        cw_size=120, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+    )
+    detector = RecurringPhaseDetector(config, match_threshold=0.5)
+    result = detector.run(branch_trace)
+
+    rows = [
+        (
+            index,
+            phase.phase_id,
+            "yes" if phase.is_recurrence else "NEW",
+            round(phase.match_similarity, 2),
+            phase.phase.detected_start,
+            phase.phase.end,
+        )
+        for index, phase in enumerate(result.phases)
+    ]
+    print(
+        render_table(
+            ["#", "Phase id", "Recurrence?", "Similarity", "Start", "End"],
+            rows,
+            title=f"Recurring phases in {benchmark} ({len(branch_trace):,} elements)",
+        )
+    )
+
+    counts = Counter(p.phase_id for p in result.phases)
+    print(
+        f"\n{len(result.phases)} phase occurrences, "
+        f"{result.num_distinct_phases()} distinct identities, "
+        f"{len(result.recurrences())} recurrences"
+    )
+    for phase_id, count in counts.most_common(3):
+        print(
+            f"  phase {phase_id}: seen {count}x, signature of "
+            f"{len(result.registry.signature(phase_id))} branch sites"
+        )
+    print(
+        "\nA phase-aware JIT keyed on these ids could reuse optimization"
+        "\ndecisions every time a known phase returns."
+    )
+
+
+if __name__ == "__main__":
+    main()

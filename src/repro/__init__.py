@@ -1,0 +1,71 @@
+"""repro — a full reproduction of *Online Phase Detection Algorithms*
+(Nagpurkar, Hind, Krintz, Sweeney, Rajan; CGO 2006).
+
+The package provides:
+
+- :mod:`repro.core` — the parameterizable online phase detection
+  framework (window / model / analyzer policies) and detectors;
+- :mod:`repro.baseline` — the offline oracle that identifies "true"
+  phases from a dynamic call-loop trace under a minimum phase length;
+- :mod:`repro.scoring` — the client- and machine-independent accuracy
+  metric (correlation + boundary sensitivity + false positives);
+- :mod:`repro.profiles` — branch traces, call-loop traces, trace I/O,
+  and synthetic generators;
+- :mod:`repro.vm` — MiniVM: an instrumented bytecode VM plus the
+  MiniLang compiler, standing in for the paper's modified Jikes RVM;
+- :mod:`repro.workloads` — eight benchmarks mirroring SPECjvm98 + JLex;
+- :mod:`repro.comparators` — related-work detectors expressed in (or
+  alongside) the framework;
+- :mod:`repro.experiments` — the sweep harness and every table/figure
+  generator from the paper's evaluation.
+
+Quickstart::
+
+    from repro import DetectorConfig, detect
+    from repro.workloads import load_traces
+    from repro.baseline import solve_baseline
+    from repro.scoring import score_states
+
+    trace, call_loop = load_traces("compress")
+    result = detect(trace, DetectorConfig(cw_size=500, threshold=0.6))
+    oracle = solve_baseline(call_loop, mpl=1000)
+    print(score_states(result.states, oracle.states()))
+"""
+
+from repro.core import (
+    AnalyzerKind,
+    AnchorPolicy,
+    DetectionResult,
+    DetectorConfig,
+    ModelKind,
+    PhaseDetector,
+    PhaseState,
+    ResizePolicy,
+    TrailingPolicy,
+    detect,
+)
+from repro.core.engine import run_detector
+from repro.baseline import BaselineSolution, solve_baseline
+from repro.scoring import AccuracyScore, score_phases, score_states
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyzerKind",
+    "AnchorPolicy",
+    "DetectionResult",
+    "DetectorConfig",
+    "ModelKind",
+    "PhaseDetector",
+    "PhaseState",
+    "ResizePolicy",
+    "TrailingPolicy",
+    "detect",
+    "run_detector",
+    "BaselineSolution",
+    "solve_baseline",
+    "AccuracyScore",
+    "score_phases",
+    "score_states",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""The baseline ("oracle") solution of Section 3.1.
+
+Given the dynamic call-loop trace of a run, the oracle identifies the
+periods of the execution that are *in phase* — complete repetitive
+instances (loop executions, recursive executions, and merged runs of
+temporally-adjacent same-identifier instances) of at least a
+client-specified minimum phase length (MPL) — and marks everything else
+as transition.  Online detectors are scored against this solution.
+"""
+
+from repro.baseline.tree import RepetitionNode, build_repetition_tree
+from repro.baseline.cri import (
+    CRIKind,
+    RepetitiveInstance,
+    extract_cris,
+    merge_adjacent,
+)
+from repro.baseline.oracle import (
+    BaselineSolution,
+    PhaseInterval,
+    solve_baseline,
+    solve_outermost_loops,
+)
+from repro.baseline.coverage import BaselineCoverage, coverage_for_mpls
+from repro.baseline.hierarchy import (
+    HierarchicalPhase,
+    PhaseHierarchy,
+    solve_hierarchy,
+)
+
+__all__ = [
+    "RepetitionNode",
+    "build_repetition_tree",
+    "CRIKind",
+    "RepetitiveInstance",
+    "extract_cris",
+    "merge_adjacent",
+    "BaselineSolution",
+    "PhaseInterval",
+    "solve_baseline",
+    "solve_outermost_loops",
+    "BaselineCoverage",
+    "coverage_for_mpls",
+    "HierarchicalPhase",
+    "PhaseHierarchy",
+    "solve_hierarchy",
+]

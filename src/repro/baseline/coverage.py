@@ -1,0 +1,58 @@
+"""Baseline coverage statistics (Table 1(b) and the §3.1 validation study).
+
+For each benchmark and MPL value, the paper reports the number of oracle
+phases and the percentage of profile elements that are in phase.  This
+module computes exactly those rows, plus the per-phase length
+distribution used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.baseline.oracle import BaselineSolution, solve_baseline
+from repro.profiles.callloop import CallLoopTrace
+
+
+@dataclass(frozen=True)
+class BaselineCoverage:
+    """One Table 1(b) cell pair: phase count and branch coverage for an MPL."""
+
+    mpl: int
+    num_phases: int
+    percent_in_phase: float
+    mean_phase_length: float
+    median_phase_length: float
+    max_phase_length: int
+
+    @staticmethod
+    def of(solution: BaselineSolution) -> "BaselineCoverage":
+        """Summarize a solved baseline."""
+        lengths = [phase.length for phase in solution.phases]
+        return BaselineCoverage(
+            mpl=solution.mpl,
+            num_phases=solution.num_phases,
+            percent_in_phase=solution.percent_in_phase,
+            mean_phase_length=float(np.mean(lengths)) if lengths else 0.0,
+            median_phase_length=float(np.median(lengths)) if lengths else 0.0,
+            max_phase_length=max(lengths) if lengths else 0,
+        )
+
+
+def coverage_for_mpls(
+    call_loop: CallLoopTrace,
+    mpls: Sequence[int],
+    name: str = "",
+) -> Dict[int, BaselineCoverage]:
+    """Solve the baseline for each MPL and summarize coverage.
+
+    Returns a mapping ``mpl -> BaselineCoverage`` in the order given.
+    """
+    result: Dict[int, BaselineCoverage] = {}
+    for mpl in mpls:
+        solution = solve_baseline(call_loop, mpl, name=name)
+        result[mpl] = BaselineCoverage.of(solution)
+    return result

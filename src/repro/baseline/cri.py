@@ -1,0 +1,145 @@
+"""Complete Repetitive Instances (CRIs) and adjacency merging.
+
+A CRI is a candidate phase: the span of an entire loop execution (all
+iterations), of a recursive execution (rooted at a recursion root), or
+of a *merged run* of temporally adjacent instances with the same static
+identifier (Section 3.1).  Two same-identifier instances merge when the
+distance between them is at most one profile element — which is exactly
+what separates perfectly nested loop executions (the outer loop's
+back-edge branch) and back-to-back invocations of the same method.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.baseline.tree import RepetitionNode, StaticId
+
+#: Maximum number of profile elements between two same-id instances for
+#: them to be combined (Section 3.1: "if the distance ... is one").
+MERGE_DISTANCE = 1
+
+
+class CRIKind(enum.Enum):
+    """How a CRI came to be repetitive."""
+
+    LOOP = "loop"                    # one complete loop execution
+    RECURSION = "recursion"          # a recursive execution (root)
+    MERGED_LOOP = "merged-loop"      # adjacent executions of the same loop
+    MERGED_METHOD = "merged-method"  # adjacent invocations of the same method
+    METHOD = "method"                # a single non-recursive invocation
+
+
+@dataclass(frozen=True)
+class RepetitiveInstance:
+    """One CRI: a candidate phase interval over profile elements."""
+
+    static_id: StaticId
+    start: int
+    end: int
+    kind: CRIKind
+    count: int = 1          # number of instances merged into this CRI
+    children: Tuple["RepetitiveInstance", ...] = ()
+
+    @property
+    def length(self) -> int:
+        """Number of profile elements the CRI covers."""
+        return self.end - self.start
+
+    def is_repetitive(self) -> bool:
+        """Whether this CRI on its own represents repetition.
+
+        Loop executions and recursive executions are inherently
+        repetitive; a merged method run needs at least two invocations;
+        a single non-recursive method invocation is not repetition.
+        """
+        if self.kind in (CRIKind.LOOP, CRIKind.RECURSION, CRIKind.MERGED_LOOP):
+            return True
+        if self.kind == CRIKind.MERGED_METHOD:
+            return self.count >= 2
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"CRI({self.kind.value}:{self.static_id[0]}{self.static_id[1]}, "
+            f"[{self.start}, {self.end}), n={self.count})"
+        )
+
+
+def extract_cris(roots: Sequence[RepetitionNode]) -> List[RepetitiveInstance]:
+    """Convert a repetition forest into a forest of merged CRIs.
+
+    Returns the top-level CRIs in execution order.  Each CRI keeps its
+    (merged, recursively processed) children so the oracle can apply the
+    MPL-driven nest selection.
+    """
+    return merge_adjacent([_node_to_cri(root) for root in roots])
+
+
+def _node_to_cri(node: RepetitionNode) -> RepetitiveInstance:
+    children = merge_adjacent([_node_to_cri(child) for child in node.children])
+    if node.kind == "l":
+        kind = CRIKind.LOOP
+    elif node.is_recursion_root:
+        kind = CRIKind.RECURSION
+    else:
+        kind = CRIKind.METHOD
+    return RepetitiveInstance(
+        static_id=node.static_id,
+        start=node.start,
+        end=node.end,
+        kind=kind,
+        count=1,
+        children=tuple(children),
+    )
+
+
+def merge_adjacent(
+    siblings: Sequence[RepetitiveInstance],
+    max_distance: int = MERGE_DISTANCE,
+) -> List[RepetitiveInstance]:
+    """Merge runs of same-identifier siblings separated by <= ``max_distance``.
+
+    Only *consecutive* siblings merge: an intervening instance with a
+    different identifier breaks the run even if it is tiny.  The merged
+    CRI spans from the first instance's start to the last one's end.
+
+    The run's members are **not** kept as children: per the paper's
+    perfect-nest rule, instances separated by at most one element are
+    never phases on their own, so nest selection must descend straight
+    to the members' own children (the next nesting level).  Those child
+    lists are concatenated and re-merged across the member boundary.
+    """
+    merged: List[RepetitiveInstance] = []
+    for cri in siblings:
+        previous = merged[-1] if merged else None
+        if (
+            previous is not None
+            and previous.static_id == cri.static_id
+            and cri.start - previous.end <= max_distance
+        ):
+            merged[-1] = _combine(previous, cri)
+        else:
+            merged.append(cri)
+    return merged
+
+
+def _combine(left: RepetitiveInstance, right: RepetitiveInstance) -> RepetitiveInstance:
+    if left.kind in (CRIKind.LOOP, CRIKind.MERGED_LOOP):
+        kind = CRIKind.MERGED_LOOP
+    elif left.kind == CRIKind.RECURSION or right.kind == CRIKind.RECURSION:
+        # Adjacent recursive executions: still a recursion CRI.
+        kind = CRIKind.RECURSION
+    else:
+        kind = CRIKind.MERGED_METHOD
+    children = merge_adjacent(list(left.children) + list(right.children))
+    return RepetitiveInstance(
+        static_id=left.static_id,
+        start=left.start,
+        end=right.end,
+        kind=kind,
+        count=left.count + right.count,
+        children=tuple(children),
+    )

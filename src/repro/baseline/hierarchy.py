@@ -1,0 +1,154 @@
+"""Hierarchical phase structures.
+
+Section 2: "In practice, the profile elements may form a hierarchy of
+phases, such as what one might expect from a nested-loop structure.
+Ideally, an online phase detector will find this hierarchy so that the
+detector's client can exploit it."  The paper's detectors emit flat
+structures; the *oracle*, however, has the full nesting tree — this
+module exposes it.
+
+A :class:`HierarchicalPhase` is a repetitive instance of at least MPL
+elements whose ancestors and descendants of the same kind are kept
+rather than collapsed: clients can pick the granularity per decision
+(e.g. specialize at the outer level, prefetch at the inner).  The
+leaves of the hierarchy are exactly the flat baseline solution's phases
+(verified by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.baseline.cri import RepetitiveInstance, extract_cris
+from repro.baseline.oracle import BaselineSolution, PhaseInterval
+from repro.baseline.tree import StaticId, build_repetition_tree
+from repro.profiles.callloop import CallLoopTrace
+
+
+@dataclass
+class HierarchicalPhase:
+    """One node of the phase hierarchy."""
+
+    start: int
+    end: int
+    static_id: StaticId
+    kind: str
+    depth: int
+    children: List["HierarchicalPhase"] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def walk(self) -> Iterator["HierarchicalPhase"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> Iterator["HierarchicalPhase"]:
+        """Innermost phases below (or at) this node."""
+        if not self.children:
+            yield self
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalPhase([{self.start}, {self.end}), depth={self.depth}, "
+            f"children={len(self.children)})"
+        )
+
+
+@dataclass
+class PhaseHierarchy:
+    """The full nested phase structure of one run at one MPL."""
+
+    roots: List[HierarchicalPhase]
+    num_elements: int
+    mpl: int
+    name: str = ""
+
+    def walk(self) -> Iterator[HierarchicalPhase]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def leaves(self) -> List[HierarchicalPhase]:
+        """The innermost phases — the flat baseline solution's phases."""
+        result: List[HierarchicalPhase] = []
+        for root in self.roots:
+            result.extend(root.leaves())
+        return result
+
+    def max_depth(self) -> int:
+        """Deepest nesting level (0 when the hierarchy is empty)."""
+        return max((node.depth + 1 for node in self.walk()), default=0)
+
+    def at_depth(self, depth: int) -> List[HierarchicalPhase]:
+        """All phases at one nesting level."""
+        return [node for node in self.walk() if node.depth == depth]
+
+    def flat_solution(self) -> BaselineSolution:
+        """Collapse to the flat (innermost-first) baseline solution."""
+        phases = [
+            PhaseInterval(
+                start=leaf.start,
+                end=leaf.end,
+                static_id=leaf.static_id,
+                kind=_kind_of(leaf.kind),
+            )
+            for leaf in self.leaves()
+        ]
+        return BaselineSolution(
+            phases, num_elements=self.num_elements, mpl=self.mpl, name=self.name
+        )
+
+
+def _kind_of(kind_value: str):
+    from repro.baseline.cri import CRIKind
+
+    return CRIKind(kind_value)
+
+
+def solve_hierarchy(
+    call_loop: CallLoopTrace,
+    mpl: int,
+    num_elements: Optional[int] = None,
+    name: str = "",
+) -> PhaseHierarchy:
+    """Build the nested phase structure for ``call_loop`` at ``mpl``.
+
+    Every repetitive CRI of at least ``mpl`` elements becomes a node;
+    qualifying descendants become its children (intervening
+    non-qualifying levels are skipped).
+    """
+    if mpl <= 0:
+        raise ValueError(f"mpl must be positive, got {mpl}")
+    total = call_loop.num_branches if num_elements is None else num_elements
+    forest = build_repetition_tree(call_loop)
+    roots: List[HierarchicalPhase] = []
+    for cri in extract_cris(forest):
+        roots.extend(_collect(cri, mpl, depth=0))
+    return PhaseHierarchy(
+        roots=roots, num_elements=total, mpl=mpl, name=name or call_loop.name
+    )
+
+
+def _collect(cri: RepetitiveInstance, mpl: int, depth: int) -> List[HierarchicalPhase]:
+    if cri.is_repetitive() and cri.length >= mpl:
+        node = HierarchicalPhase(
+            start=cri.start,
+            end=cri.end,
+            static_id=cri.static_id,
+            kind=cri.kind.value,
+            depth=depth,
+        )
+        for child in cri.children:
+            node.children.extend(_collect(child, mpl, depth + 1))
+        return [node]
+    collected: List[HierarchicalPhase] = []
+    for child in cri.children:
+        collected.extend(_collect(child, mpl, depth))
+    return collected

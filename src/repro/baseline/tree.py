@@ -1,0 +1,124 @@
+"""Build the dynamic repetition tree from a call-loop trace.
+
+Loop executions and method invocations nest properly, so the call-loop
+events of a run form a forest of intervals over branch-trace positions.
+Each node records its static identifier, its ``[start, end)`` span in
+profile elements, and its children in execution order.  The oracle's
+CRI extraction and nest selection both walk this tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.profiles.callloop import CallLoopTrace, EventKind
+
+#: Static identifier: ("l", loop_id) for loops, ("m", method_id) for methods.
+StaticId = Tuple[str, int]
+
+
+@dataclass
+class RepetitionNode:
+    """One dynamic execution of a repetition construct (loop or method).
+
+    ``start``/``end`` are branch-trace offsets: the execution covers
+    profile elements ``start .. end - 1``.
+    """
+
+    static_id: StaticId
+    start: int
+    end: int = -1
+    children: List["RepetitionNode"] = field(default_factory=list)
+    is_recursion_root: bool = False
+
+    @property
+    def kind(self) -> str:
+        """``"l"`` for a loop execution, ``"m"`` for a method invocation."""
+        return self.static_id[0]
+
+    @property
+    def length(self) -> int:
+        """Number of profile elements covered by this execution."""
+        return self.end - self.start
+
+    def walk(self) -> Iterator["RepetitionNode"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        tag = "R" if self.is_recursion_root else ""
+        return (
+            f"RepetitionNode({self.static_id[0]}{self.static_id[1]}{tag}, "
+            f"[{self.start}, {self.end}), children={len(self.children)})"
+        )
+
+
+def build_repetition_tree(trace: CallLoopTrace) -> List[RepetitionNode]:
+    """Build the repetition forest for ``trace``.
+
+    Returns the list of root nodes (normally a single node for the entry
+    function).  Recursion roots are marked per the paper's definition:
+    the outermost activation of a method that is re-invoked (directly or
+    transitively) during that activation.
+
+    Raises:
+        ValueError: if entries/exits are mismatched.
+    """
+    roots: List[RepetitionNode] = []
+    stack: List[RepetitionNode] = []
+    # Depth of activation per method id, for recursion-root marking.
+    method_depth: dict = {}
+    outermost_node: dict = {}
+
+    def _open(node: RepetitionNode) -> None:
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            roots.append(node)
+        stack.append(node)
+
+    for event in trace:
+        if event.kind == EventKind.METHOD_ENTRY:
+            node = RepetitionNode(static_id=("m", event.ident), start=event.time)
+            depth = method_depth.get(event.ident, 0)
+            if depth == 0:
+                outermost_node[event.ident] = node
+            else:
+                outermost_node[event.ident].is_recursion_root = True
+            method_depth[event.ident] = depth + 1
+            _open(node)
+        elif event.kind == EventKind.LOOP_ENTRY:
+            _open(RepetitionNode(static_id=("l", event.ident), start=event.time))
+        elif event.kind == EventKind.METHOD_EXIT:
+            node = _close(stack, ("m", event.ident), event.time)
+            method_depth[event.ident] = method_depth.get(event.ident, 1) - 1
+        else:  # LOOP_EXIT
+            _close(stack, ("l", event.ident), event.time)
+
+    if stack:
+        # Tolerate truncated traces (e.g. `halt` inside nested calls):
+        # close everything at the final branch count.
+        final = trace.num_branches
+        while stack:
+            stack.pop().end = final
+    return roots
+
+
+def _close(stack: List[RepetitionNode], static_id: StaticId, time: int) -> RepetitionNode:
+    if not stack:
+        raise ValueError(f"exit event for {static_id} with empty stack")
+    node = stack.pop()
+    if node.static_id != static_id:
+        raise ValueError(
+            f"mismatched exit: expected {node.static_id}, got {static_id} at time {time}"
+        )
+    node.end = time
+    return node
+
+
+def count_nodes(roots: List[RepetitionNode]) -> int:
+    """Total node count in a repetition forest."""
+    return sum(1 for root in roots for _ in root.walk())

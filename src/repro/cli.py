@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro trace <workload> --out DIR        # run a workload, save both traces
+    repro oracle <file.cloop> --mpl N       # print the baseline solution
+    repro detect <file.btrace> --cw N ...   # run one detector, print phases
+    repro score <workload|files> --mpl N    # detector-vs-oracle accuracy
+    repro characteristics                   # Table 1(a) for the suite
+    repro generate --profile default        # regenerate all tables/figures
+
+Run ``repro <subcommand> --help`` for each command's options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.baseline import solve_baseline
+from repro.core.config import (
+    AnalyzerKind,
+    AnchorPolicy,
+    DetectorConfig,
+    ModelKind,
+    ResizePolicy,
+    TrailingPolicy,
+)
+from repro.core.engine import run_detector
+from repro.experiments.report import render_table
+from repro.profiles.callloop import CallLoopTrace
+from repro.profiles.io import read_trace, write_trace_binary
+from repro.scoring import score_states
+from repro.workloads import load_traces, workload, workload_names
+from repro.workloads.characteristics import BenchmarkCharacteristics
+
+
+def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cw", type=int, required=True, help="current-window size")
+    parser.add_argument("--tw", type=int, default=None, help="trailing-window size (default: CW)")
+    parser.add_argument("--skip", type=int, default=1, help="skip factor (default 1)")
+    parser.add_argument(
+        "--trailing", choices=[p.value for p in TrailingPolicy], default="constant"
+    )
+    parser.add_argument("--anchor", choices=[p.value for p in AnchorPolicy], default="rn")
+    parser.add_argument("--resize", choices=[p.value for p in ResizePolicy], default="slide")
+    parser.add_argument("--model", choices=[m.value for m in ModelKind], default="unweighted")
+    parser.add_argument(
+        "--analyzer", choices=[a.value for a in AnalyzerKind], default="threshold"
+    )
+    parser.add_argument("--threshold", type=float, default=0.5)
+    parser.add_argument("--delta", type=float, default=0.05)
+
+
+def _config_from_args(args: argparse.Namespace) -> DetectorConfig:
+    return DetectorConfig(
+        cw_size=args.cw,
+        tw_size=args.tw,
+        skip_factor=args.skip,
+        trailing=TrailingPolicy(args.trailing),
+        anchor=AnchorPolicy(args.anchor),
+        resize=ResizePolicy(args.resize),
+        model=ModelKind(args.model),
+        analyzer=AnalyzerKind(args.analyzer),
+        threshold=args.threshold,
+        delta=args.delta,
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    wl = workload(args.workload)
+    branch_trace, call_loop = wl.run(args.scale)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    branch_path = out / f"{wl.name}.btrace"
+    callloop_path = out / f"{wl.name}.cloop"
+    write_trace_binary(branch_trace, branch_path)
+    call_loop.save(callloop_path)
+    print(f"{wl.name}: {len(branch_trace):,} branches, {len(call_loop):,} events")
+    print(f"wrote {branch_path} and {callloop_path}")
+    return 0
+
+
+def cmd_oracle(args: argparse.Namespace) -> int:
+    call_loop = CallLoopTrace.load(args.callloop)
+    solution = solve_baseline(call_loop, args.mpl)
+    print(
+        f"{solution.num_phases} phases, {solution.percent_in_phase:.1f}% in phase "
+        f"(MPL={args.mpl}, {solution.num_elements:,} elements)"
+    )
+    limit = args.limit if args.limit > 0 else solution.num_phases
+    for phase in solution.phases[:limit]:
+        print(f"  [{phase.start:>9}, {phase.end:>9})  {phase.kind.value}")
+    if solution.num_phases > limit:
+        print(f"  ... and {solution.num_phases - limit} more")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    config = _config_from_args(args)
+    result = run_detector(trace, config)
+    print(f"detector: {config.describe()}")
+    print(f"{len(result.detected_phases)} phases over {len(trace):,} elements")
+    for phase in result.detected_phases:
+        print(
+            f"  [{phase.detected_start:>9}, {phase.end:>9})  "
+            f"anchor-corrected start {phase.corrected_start}"
+        )
+    return 0
+
+
+def cmd_score(args: argparse.Namespace) -> int:
+    branch_trace, call_loop = load_traces(args.workload, scale=args.scale)
+    oracle = solve_baseline(call_loop, args.mpl)
+    config = _config_from_args(args)
+    result = run_detector(branch_trace, config)
+    plain = score_states(result.states, oracle.states())
+    corrected = score_states(
+        result.corrected_states(), oracle.states(), detected_phases=result.corrected_phases()
+    )
+    print(f"workload {args.workload}: {len(branch_trace):,} elements, MPL={args.mpl}")
+    print(f"oracle: {oracle.num_phases} phases ({oracle.percent_in_phase:.1f}% in phase)")
+    print(f"detector: {config.describe()} -> {len(result.detected_phases)} phases")
+    print(f"score:            {plain}")
+    print(f"anchor-corrected: {corrected}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.vm.compiler import compile_source
+    from repro.vm.profiler import profile_trace, render_profile
+
+    wl = workload(args.workload)
+    branch_trace, _ = load_traces(args.workload, scale=args.scale)
+    program = compile_source(wl.program_source(args.scale), name=wl.name)
+    profile = profile_trace(branch_trace)
+    print(f"workload {wl.name} (mirrors {wl.mirrors}):")
+    print(render_profile(profile, program, top=args.top))
+    return 0
+
+
+def cmd_characteristics(args: argparse.Namespace) -> int:
+    rows = []
+    for name in workload_names():
+        branch_trace, call_loop = load_traces(name, scale=args.scale)
+        row = BenchmarkCharacteristics.of(branch_trace, call_loop)
+        rows.append(
+            (row.name, row.dynamic_branches, row.loop_executions,
+             row.method_invocations, row.recursion_roots)
+        )
+    print(
+        render_table(
+            ["Benchmark", "Dynamic Branches", "Loop Executions",
+             "Method Invocations", "Recursion Roots"],
+            rows,
+            title="Table 1(a): Benchmark Characteristics",
+        )
+    )
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.experiments.generate import main as generate_main
+
+    forwarded: List[str] = ["--profile", args.profile]
+    if args.out is not None:
+        forwarded += ["--out", str(args.out)]
+    return generate_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online Phase Detection Algorithms (CGO 2006) reproduction",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    trace_parser = subparsers.add_parser("trace", help="run a workload, save its traces")
+    trace_parser.add_argument("workload", choices=workload_names())
+    trace_parser.add_argument("--scale", type=float, default=1.0)
+    trace_parser.add_argument("--out", default="traces")
+    trace_parser.set_defaults(handler=cmd_trace)
+
+    oracle_parser = subparsers.add_parser("oracle", help="solve the baseline for a call-loop trace")
+    oracle_parser.add_argument("callloop", help="a .cloop file")
+    oracle_parser.add_argument("--mpl", type=int, required=True)
+    oracle_parser.add_argument("--limit", type=int, default=20, help="phases to print (0 = all)")
+    oracle_parser.set_defaults(handler=cmd_oracle)
+
+    detect_parser = subparsers.add_parser("detect", help="run one detector over a branch trace")
+    detect_parser.add_argument("trace", help="a .btrace or .trace file")
+    _add_detector_arguments(detect_parser)
+    detect_parser.set_defaults(handler=cmd_detect)
+
+    score_parser = subparsers.add_parser("score", help="score a detector against the oracle")
+    score_parser.add_argument("workload", choices=workload_names())
+    score_parser.add_argument("--scale", type=float, default=1.0)
+    score_parser.add_argument("--mpl", type=int, required=True)
+    _add_detector_arguments(score_parser)
+    score_parser.set_defaults(handler=cmd_score)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="hot-branch profile of a workload's trace"
+    )
+    profile_parser.add_argument("workload", choices=workload_names())
+    profile_parser.add_argument("--scale", type=float, default=1.0)
+    profile_parser.add_argument("--top", type=int, default=10)
+    profile_parser.set_defaults(handler=cmd_profile)
+
+    characteristics_parser = subparsers.add_parser(
+        "characteristics", help="print Table 1(a) for the workload suite"
+    )
+    characteristics_parser.add_argument("--scale", type=float, default=1.0)
+    characteristics_parser.set_defaults(handler=cmd_characteristics)
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="regenerate every table and figure"
+    )
+    generate_parser.add_argument("--profile", default="default")
+    generate_parser.add_argument("--out", default=None)
+    generate_parser.set_defaults(handler=cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Related-work detectors (Section 6).
+
+Three extant online phase detectors, for comparison against the
+framework's instantiations:
+
+- :mod:`repro.comparators.dhodapkar_smith` — working-set analysis with a
+  fixed 100K window, skipFactor = window, threshold 0.5 (expressible as
+  a framework instantiation — the paper's "Fixed Interval" family);
+- :mod:`repro.comparators.lu_dynamo` — the Lu et al. dynamic-binary-
+  optimizer detector: average sampled PC vs a mean±stddev interval of
+  the previous seven windows;
+- :mod:`repro.comparators.das_pearson` — the Das et al. local detector:
+  Pearson correlation between the current sample window and the
+  phase's target window, against a fixed threshold.
+"""
+
+from repro.comparators.dhodapkar_smith import (
+    DHODAPKAR_SMITH_WINDOW,
+    dhodapkar_smith_config,
+    run_dhodapkar_smith,
+)
+from repro.comparators.lu_dynamo import LuDynamoDetector, run_lu_dynamo
+from repro.comparators.das_pearson import (
+    DasLocalDetector,
+    DasPearsonDetector,
+    run_das_local,
+    run_das_pearson,
+)
+
+__all__ = [
+    "DHODAPKAR_SMITH_WINDOW",
+    "dhodapkar_smith_config",
+    "run_dhodapkar_smith",
+    "LuDynamoDetector",
+    "run_lu_dynamo",
+    "DasLocalDetector",
+    "DasPearsonDetector",
+    "run_das_local",
+    "run_das_pearson",
+]

@@ -1,0 +1,110 @@
+"""Lu et al. (JILP 2004): the average-PC interval detector.
+
+Their dynamic binary optimizer samples the PC and compares the average
+PC address of the most recent 4K samples against an interval built from
+the mean and standard deviation of the previous seven 4K windows.  If
+the new average falls sufficiently outside that interval for two
+consecutive windows, a phase has ended.
+
+We apply it to the branch trace by treating each profile element's
+*site* (method id + offset) as the sampled address — the same
+information their PC samples carry.  As the paper notes, this algorithm
+fits the framework too: the "model" computes window averages and the
+"analyzer" does the interval-bound test; we implement it standalone so
+its window bookkeeping stays faithful to the original description.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
+
+import numpy as np
+
+from repro.profiles.trace import BranchTrace
+
+#: Their sample-window size (4K samples).
+LU_WINDOW = 4_096
+#: Number of previous windows whose statistics form the interval.
+LU_HISTORY = 7
+#: Interval half-width in standard deviations.
+LU_SIGMA = 2.0
+#: Consecutive out-of-interval windows required to end a phase.
+LU_CONSECUTIVE = 2
+
+
+@dataclass
+class LuDynamoResult:
+    """Per-element states plus per-window averages (for inspection)."""
+
+    states: np.ndarray
+    window_averages: List[float]
+
+
+class LuDynamoDetector:
+    """Streaming implementation of the Lu et al. detector."""
+
+    def __init__(
+        self,
+        window_size: int = LU_WINDOW,
+        history: int = LU_HISTORY,
+        sigma: float = LU_SIGMA,
+        consecutive: int = LU_CONSECUTIVE,
+    ) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if history < 2:
+            raise ValueError("history must be at least 2")
+        self.window_size = window_size
+        self.history = history
+        self.sigma = sigma
+        self.consecutive = consecutive
+        self._averages: Deque[float] = deque(maxlen=history)
+        self._outside_streak = 0
+
+    def process_window(self, average: float) -> bool:
+        """Feed one window average; returns True if still in phase."""
+        if len(self._averages) < self.history:
+            self._averages.append(average)
+            return False  # warming up: treat as transition
+        mean = sum(self._averages) / len(self._averages)
+        variance = sum((a - mean) ** 2 for a in self._averages) / len(self._averages)
+        stddev = math.sqrt(variance)
+        # Degenerate history (identical averages): any change is "outside".
+        outside = abs(average - mean) > self.sigma * stddev if stddev else average != mean
+        if outside:
+            self._outside_streak += 1
+        else:
+            self._outside_streak = 0
+        if self._outside_streak >= self.consecutive:
+            # Phase ended: restart history from the new behavior.
+            self._averages.clear()
+            self._averages.append(average)
+            self._outside_streak = 0
+            return False
+        self._averages.append(average)
+        return True
+
+    def run(self, trace: BranchTrace) -> LuDynamoResult:
+        """Run over a whole trace; one state per element."""
+        data = trace.array
+        total = int(data.size)
+        # Strip the taken bit: the sampled "address" is the branch site.
+        sites = (data >> np.int64(1)).astype(np.float64)
+        states = np.zeros(total, dtype=bool)
+        averages: List[float] = []
+        for start in range(0, total, self.window_size):
+            window = sites[start : start + self.window_size]
+            average = float(window.mean())
+            averages.append(average)
+            in_phase = self.process_window(average)
+            if in_phase:
+                states[start : start + window.size] = True
+        return LuDynamoResult(states=states, window_averages=averages)
+
+
+def run_lu_dynamo(trace: BranchTrace, window_size: int = LU_WINDOW, **kwargs) -> LuDynamoResult:
+    """Convenience one-shot run of the Lu et al. detector."""
+    return LuDynamoDetector(window_size=window_size, **kwargs).run(trace)

@@ -1,0 +1,180 @@
+"""Detector configuration: the framework's three orthogonal design choices.
+
+A concrete online phase detection algorithm is a :class:`DetectorConfig`:
+a window policy (CW size, TW size, skip factor, trailing-window policy,
+anchoring and resizing for the Adaptive TW), a model policy (unweighted
+or weighted set), and an analyzer policy (fixed Threshold or adaptive
+Average).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+
+class TrailingPolicy(enum.Enum):
+    """How the trailing window behaves (Section 2 / Figure 2)."""
+
+    CONSTANT = "constant"
+    ADAPTIVE = "adaptive"
+
+
+class AnchorPolicy(enum.Enum):
+    """Where the anchor point is placed at phase start (Section 5)."""
+
+    RN = "rn"    # one element right of the rightmost noisy element
+    LNN = "lnn"  # at the leftmost non-noisy element
+
+
+class ResizePolicy(enum.Enum):
+    """How windows are resized at the anchor point (Section 5)."""
+
+    SLIDE = "slide"  # slide the TW right, shrinking the CW
+    MOVE = "move"    # move the TW's left boundary right, CW unaffected
+
+
+class ModelKind(enum.Enum):
+    """Similarity model policy (Section 2)."""
+
+    UNWEIGHTED = "unweighted"  # asymmetric working-set similarity
+    WEIGHTED = "weighted"      # symmetric min-relative-weight similarity
+
+
+class AnalyzerKind(enum.Enum):
+    """Similarity analyzer policy (Section 2)."""
+
+    THRESHOLD = "threshold"  # fixed threshold
+    AVERAGE = "average"      # running in-phase average minus a delta
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Full parameterization of one online phase detector.
+
+    Attributes:
+        cw_size: current-window size in profile elements.
+        tw_size: trailing-window (initial) size; defaults to ``cw_size``.
+        skip_factor: number of profile elements consumed per step.
+        trailing: trailing-window policy.
+        anchor: anchor policy (Adaptive TW phase starts; also used for
+            the anchor-corrected boundaries of Figure 8).
+        resize: resize policy applied at the anchor point (Adaptive TW).
+        model: similarity model policy.
+        analyzer: similarity analyzer policy.
+        threshold: the fixed threshold (Threshold analyzer).
+        delta: the below-average delta (Average analyzer).
+        enter_threshold: similarity needed to *enter* a phase under the
+            Average analyzer (the paper specifies only the in-phase
+            behavior; see DESIGN.md for this interpretation).
+    """
+
+    cw_size: int
+    tw_size: Optional[int] = None
+    skip_factor: int = 1
+    trailing: TrailingPolicy = TrailingPolicy.CONSTANT
+    anchor: AnchorPolicy = AnchorPolicy.RN
+    resize: ResizePolicy = ResizePolicy.SLIDE
+    model: ModelKind = ModelKind.UNWEIGHTED
+    analyzer: AnalyzerKind = AnalyzerKind.THRESHOLD
+    threshold: float = 0.5
+    delta: float = 0.05
+    enter_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cw_size <= 0:
+            raise ValueError(f"cw_size must be positive, got {self.cw_size}")
+        if self.tw_size is not None and self.tw_size <= 0:
+            raise ValueError(f"tw_size must be positive, got {self.tw_size}")
+        if self.skip_factor <= 0:
+            raise ValueError(f"skip_factor must be positive, got {self.skip_factor}")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+        if not 0.0 <= self.delta <= 1.0:
+            raise ValueError(f"delta must be in [0, 1], got {self.delta}")
+        if not 0.0 <= self.enter_threshold <= 1.0:
+            raise ValueError(
+                f"enter_threshold must be in [0, 1], got {self.enter_threshold}"
+            )
+
+    @property
+    def effective_tw_size(self) -> int:
+        """The TW's (initial) size: ``tw_size`` or, if unset, ``cw_size``."""
+        return self.tw_size if self.tw_size is not None else self.cw_size
+
+    @property
+    def is_fixed_interval(self) -> bool:
+        """The extant-work configuration: Constant TW with skip = CW size."""
+        return (
+            self.trailing is TrailingPolicy.CONSTANT
+            and self.skip_factor == self.cw_size
+            and self.effective_tw_size == self.cw_size
+        )
+
+    @staticmethod
+    def fixed_interval(
+        cw_size: int,
+        model: ModelKind = ModelKind.UNWEIGHTED,
+        analyzer: AnalyzerKind = AnalyzerKind.THRESHOLD,
+        threshold: float = 0.5,
+        delta: float = 0.05,
+    ) -> "DetectorConfig":
+        """Build the Fixed-Interval configuration used by prior work.
+
+        ``skipFactor`` = TW size = CW size (Dhodapkar & Smith and others).
+        """
+        return DetectorConfig(
+            cw_size=cw_size,
+            tw_size=cw_size,
+            skip_factor=cw_size,
+            trailing=TrailingPolicy.CONSTANT,
+            model=model,
+            analyzer=analyzer,
+            threshold=threshold,
+            delta=delta,
+        )
+
+    def key(self) -> Tuple:
+        """A compact, hashable cache key for this configuration."""
+        return (
+            self.cw_size,
+            self.effective_tw_size,
+            self.skip_factor,
+            self.trailing.value,
+            self.anchor.value,
+            self.resize.value,
+            self.model.value,
+            self.analyzer.value,
+            round(self.threshold, 6),
+            round(self.delta, 6),
+            round(self.enter_threshold, 6),
+        )
+
+    def describe(self) -> str:
+        """A short human-readable label for reports."""
+        window = f"cw={self.cw_size},tw={self.effective_tw_size},skip={self.skip_factor}"
+        policy = self.trailing.value
+        if self.trailing is TrailingPolicy.ADAPTIVE:
+            policy += f"[{self.anchor.value},{self.resize.value}]"
+        if self.analyzer is AnalyzerKind.THRESHOLD:
+            analyzer = f"thr={self.threshold}"
+        else:
+            analyzer = f"avg(delta={self.delta})"
+        return f"{policy} {window} {self.model.value} {analyzer}"
+
+    def scaled(self, factor: float) -> "DetectorConfig":
+        """Return a copy with window sizes and skip scaled by ``factor``.
+
+        Used to map the paper's nominal parameter grid onto shorter
+        traces; sizes are rounded and floored at 1.
+        """
+        def _scale(value: int) -> int:
+            return max(1, round(value * factor))
+
+        return replace(
+            self,
+            cw_size=_scale(self.cw_size),
+            tw_size=None if self.tw_size is None else _scale(self.tw_size),
+            skip_factor=_scale(self.skip_factor) if self.skip_factor > 1 else 1,
+        )

@@ -1,0 +1,176 @@
+"""The online phase detector (Figure 3's framework loop).
+
+:class:`PhaseDetector` is the reference implementation: readable and
+structured exactly like the paper's pseudo-code.  The optimized engine
+in :mod:`repro.core.engine` produces bit-identical output and is what
+the experiment sweeps use.
+
+The detector consumes ``skipFactor`` profile elements per step and
+outputs one state per input element.  It also records, for each
+detected phase, the anchor-corrected start position (Section 5 /
+Figure 8): once a phase is detected, the anchoring policy identifies
+where in the trailing window the phase actually began.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.analyzers import Analyzer, build_analyzer
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.models import SimilarityModel, build_model
+from repro.core.state import PhaseState
+from repro.profiles.trace import BranchTrace
+from repro.scoring.states import Interval, states_from_phases
+
+
+@dataclass(frozen=True)
+class DetectedPhase:
+    """One detected phase with both raw and anchor-corrected starts.
+
+    ``mean_similarity`` is the running average of the phase's similarity
+    values — the optional confidence signal Section 2 mentions a client
+    may want.
+    """
+
+    detected_start: int
+    corrected_start: int
+    end: int
+    mean_similarity: float = 0.0
+
+    @property
+    def length(self) -> int:
+        return self.end - self.detected_start
+
+    @property
+    def confidence(self) -> float:
+        """Alias: how stable the phase's similarity was, in [0, 1]."""
+        return self.mean_similarity
+
+
+@dataclass
+class DetectionResult:
+    """The full output of a detector run over one trace."""
+
+    states: np.ndarray               # bool, True = P, one per element
+    detected_phases: List[DetectedPhase]
+    config: DetectorConfig
+    similarity_values: Optional[np.ndarray] = None
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.states.size)
+
+    def phases(self) -> List[Interval]:
+        """Detected phase intervals as reported online (detection-time starts)."""
+        return [(p.detected_start, p.end) for p in self.detected_phases]
+
+    def corrected_phases(self) -> List[Interval]:
+        """Phase intervals with anchor-corrected starts (Figure 8)."""
+        return [(p.corrected_start, p.end) for p in self.detected_phases]
+
+    def corrected_states(self) -> np.ndarray:
+        """State array rebuilt from the anchor-corrected intervals."""
+        return states_from_phases(self.corrected_phases(), self.num_elements)
+
+
+class PhaseDetector:
+    """Online phase detector: one Model plus one Analyzer (Figure 3)."""
+
+    def __init__(self, config: DetectorConfig) -> None:
+        self.config = config
+        self.model: SimilarityModel = build_model(config)
+        self.analyzer: Analyzer = build_analyzer(config)
+        self.state = PhaseState.TRANSITION
+        self._adaptive = config.trailing is TrailingPolicy.ADAPTIVE
+        # Per-phase records built up during streaming.
+        self._phases: List[DetectedPhase] = []
+        self._open_phase: Optional[Tuple[int, int]] = None  # (det start, corrected)
+
+    def process_profile(self, elements: Sequence[int]) -> PhaseState:
+        """Consume the most recent ``skipFactor`` profile elements.
+
+        Returns the new state, which applies to every element passed in.
+        This is the framework's ``processProfile`` entry point.
+        """
+        elements = list(elements)
+        model = self.model
+        model.push(elements)
+
+        if not model.filled:
+            new_state = PhaseState.TRANSITION
+            similarity = None
+        else:
+            similarity = model.similarity()
+            new_state = self.analyzer.process_value(similarity, self.state)
+
+        if self.state.is_transition() and new_state.is_phase():
+            # Start phase: anchor the TW and reset analyzer statistics.
+            anchor_abs = model.anchor_and_resize(
+                self.config.anchor, self.config.resize, self._adaptive
+            )
+            self.analyzer.reset_stats(similarity if similarity is not None else 0.0)
+            detected_start = model.consumed - len(elements)
+            self._open_phase = (detected_start, min(anchor_abs, detected_start))
+        elif self.state.is_phase() and new_state.is_transition():
+            # End phase: record it (while the stats are live), then
+            # flush the windows and reseed the CW.
+            self._close_phase(model.consumed - len(elements))
+            model.clear_and_seed(elements)
+            self.analyzer.clear()
+        elif self.state.is_phase():
+            # In phase: track statistics.
+            if similarity is not None:
+                self.analyzer.update_stats(similarity)
+
+        self.state = new_state
+        return new_state
+
+    def _close_phase(self, end: int) -> None:
+        if self._open_phase is not None:
+            detected_start, corrected_start = self._open_phase
+            stats = self.analyzer.stats
+            mean = stats.total / stats.count if stats.count else 0.0
+            self._phases.append(
+                DetectedPhase(detected_start, corrected_start, end, mean)
+            )
+            self._open_phase = None
+
+    def finish(self, total_elements: int) -> List[DetectedPhase]:
+        """Close any phase still open at end of trace and return all phases."""
+        if self.state.is_phase():
+            self._close_phase(total_elements)
+            self.state = PhaseState.TRANSITION
+        return list(self._phases)
+
+    def run(
+        self, trace: BranchTrace, record_similarity: bool = False
+    ) -> DetectionResult:
+        """Run the detector over a whole trace and collect per-element states."""
+        data = trace.array
+        total = int(data.size)
+        skip = self.config.skip_factor
+        states = np.zeros(total, dtype=bool)
+        similarities = np.full(total, np.nan) if record_similarity else None
+        for start in range(0, total, skip):
+            group = data[start : start + skip].tolist()
+            new_state = self.process_profile(group)
+            if new_state.is_phase():
+                states[start : start + len(group)] = True
+            if record_similarity and self.model.filled:
+                similarities[start : start + len(group)] = self.model.similarity()
+        phases = self.finish(total)
+        return DetectionResult(
+            states=states,
+            detected_phases=phases,
+            config=self.config,
+            similarity_values=similarities,
+        )
+
+
+def detect(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
+    """Convenience one-shot: run a fresh detector for ``config`` over ``trace``."""
+    return PhaseDetector(config).run(trace)

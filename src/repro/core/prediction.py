@@ -1,0 +1,105 @@
+"""Phase prediction on top of recurring-phase detection.
+
+Section 6 distinguishes this paper's *detection* from the larger body
+of *prediction* work (Sherwood et al., Duesterwald et al.): forecasting
+which behavior comes next.  With recurring-phase ids
+(:mod:`repro.core.recurrence`) in hand, the classic predictors become
+one small module:
+
+- :class:`LastPhasePredictor` — predicts the phase id seen last time
+  (the "last value" predictor of Duesterwald et al.);
+- :class:`MarkovPhasePredictor` — order-k Markov: predicts the most
+  frequent successor of the last k phase ids, falling back to shorter
+  histories;
+- :func:`evaluate_predictor` — online accuracy: each phase is predicted
+  *before* being observed, then learned.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class LastPhasePredictor:
+    """Predicts that the next phase repeats the previous one."""
+
+    def __init__(self) -> None:
+        self._last: Optional[int] = None
+
+    def predict(self) -> Optional[int]:
+        """The predicted next phase id (None before any observation)."""
+        return self._last
+
+    def observe(self, phase_id: int) -> None:
+        """Learn one observed phase id."""
+        self._last = phase_id
+
+
+class MarkovPhasePredictor:
+    """Order-k Markov predictor over phase-id sequences.
+
+    Keeps successor counts for every history suffix up to length
+    ``order`` and predicts from the longest history with data.
+    """
+
+    def __init__(self, order: int = 2) -> None:
+        if order < 1:
+            raise ValueError(f"order must be at least 1, got {order}")
+        self.order = order
+        self._history: List[int] = []
+        self._successors: Dict[Tuple[int, ...], Counter] = defaultdict(Counter)
+
+    def predict(self) -> Optional[int]:
+        """Most frequent successor of the longest matching history."""
+        for length in range(min(self.order, len(self._history)), 0, -1):
+            key = tuple(self._history[-length:])
+            counts = self._successors.get(key)
+            if counts:
+                return counts.most_common(1)[0][0]
+        return None
+
+    def observe(self, phase_id: int) -> None:
+        """Learn one observed phase id (updates every history length)."""
+        for length in range(1, min(self.order, len(self._history)) + 1):
+            key = tuple(self._history[-length:])
+            self._successors[key][phase_id] += 1
+        self._history.append(phase_id)
+        if len(self._history) > self.order:
+            del self._history[: -self.order]
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """Online prediction accuracy over one phase-id sequence."""
+
+    predictions: int   # phases for which a prediction was made
+    correct: int
+    total_phases: int
+
+    @property
+    def accuracy(self) -> float:
+        """Correct / predicted (0.0 when nothing was predicted)."""
+        return self.correct / self.predictions if self.predictions else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Predicted / total (warm-up phases are unpredictable)."""
+        return self.predictions / self.total_phases if self.total_phases else 0.0
+
+
+def evaluate_predictor(predictor, phase_ids: Sequence[int]) -> PredictionOutcome:
+    """Online evaluation: predict each phase before observing it."""
+    predictions = 0
+    correct = 0
+    for phase_id in phase_ids:
+        guess = predictor.predict()
+        if guess is not None:
+            predictions += 1
+            if guess == phase_id:
+                correct += 1
+        predictor.observe(phase_id)
+    return PredictionOutcome(
+        predictions=predictions, correct=correct, total_phases=len(phase_ids)
+    )

@@ -1,0 +1,221 @@
+"""Recurring-phase detection — the paper's first future-work direction.
+
+Section 7: *"we will extend our framework to instantiate algorithms
+that detect phases that repeat themselves. Such an enhancement would
+allow a dynamic optimization system to record the efficacy of a
+phase-based optimization at the end of the phase and determine whether
+to employ the same optimization when the phase reoccurs."*
+
+This module implements that extension on top of the detector:
+
+- when a phase ends, its **signature** is taken from the elements the
+  (Adaptive) trailing window accumulated over the phase — exactly the
+  "signature of the entire phase" role Section 5 ascribes to the
+  Adaptive TW;
+- a :class:`PhaseRegistry` matches new signatures against known ones
+  with the same unweighted set similarity the models use, assigning a
+  stable **phase id** to recurrences;
+- :class:`RecurringPhaseDetector` wraps a detector configuration and
+  produces, per run, the phase intervals labelled with their ids, so a
+  client can look up what it learned the last time the phase occurred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.detector import DetectedPhase
+from repro.core.models import build_model
+from repro.core.analyzers import build_analyzer
+from repro.core.state import PhaseState
+from repro.profiles.trace import BranchTrace
+
+#: Default similarity a signature must reach to count as a recurrence.
+DEFAULT_MATCH_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class PhaseSignature:
+    """The distinct-element working set a phase exercised."""
+
+    elements: FrozenSet[int]
+
+    def similarity(self, other: "PhaseSignature") -> float:
+        """Asymmetric unweighted similarity: |self ∩ other| / |self|.
+
+        Mirrors the framework's unweighted model (the current signature
+        plays the CW role; the registered one the TW role).
+        """
+        if not self.elements:
+            return 1.0 if not other.elements else 0.0
+        return len(self.elements & other.elements) / len(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+@dataclass(frozen=True)
+class RecurringPhase:
+    """A detected phase labelled with its recurrence identity."""
+
+    phase: DetectedPhase
+    phase_id: int
+    is_recurrence: bool
+    match_similarity: float
+
+
+class PhaseRegistry:
+    """Known phase signatures, matched by working-set similarity.
+
+    The registry keeps one signature per phase id; a match *updates* the
+    stored signature to the union of what has been seen (phases drift a
+    little between occurrences).
+    """
+
+    def __init__(self, match_threshold: float = DEFAULT_MATCH_THRESHOLD) -> None:
+        if not 0.0 <= match_threshold <= 1.0:
+            raise ValueError(f"match_threshold must be in [0, 1], got {match_threshold}")
+        self.match_threshold = match_threshold
+        self._signatures: Dict[int, PhaseSignature] = {}
+        self._occurrences: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def occurrences(self, phase_id: int) -> int:
+        """How many times phase ``phase_id`` has been observed."""
+        return self._occurrences.get(phase_id, 0)
+
+    def signature(self, phase_id: int) -> PhaseSignature:
+        """The (unioned) signature stored for ``phase_id``."""
+        return self._signatures[phase_id]
+
+    def observe(self, signature: PhaseSignature) -> Tuple[int, bool, float]:
+        """Match ``signature`` against the registry; register if novel.
+
+        Returns ``(phase_id, is_recurrence, similarity)`` where
+        ``similarity`` is against the best-matching known signature
+        (0.0 when the registry was empty).
+        """
+        best_id: Optional[int] = None
+        best_similarity = 0.0
+        for known_id, known in self._signatures.items():
+            value = signature.similarity(known)
+            if value > best_similarity:
+                best_similarity = value
+                best_id = known_id
+        if best_id is not None and best_similarity >= self.match_threshold:
+            merged = PhaseSignature(
+                self._signatures[best_id].elements | signature.elements
+            )
+            self._signatures[best_id] = merged
+            self._occurrences[best_id] += 1
+            return best_id, True, best_similarity
+        new_id = len(self._signatures)
+        self._signatures[new_id] = signature
+        self._occurrences[new_id] = 1
+        return new_id, False, best_similarity
+
+
+@dataclass
+class RecurrenceResult:
+    """Output of a recurring-phase detection run."""
+
+    phases: List[RecurringPhase]
+    registry: PhaseRegistry
+
+    def num_distinct_phases(self) -> int:
+        """How many distinct phase identities the run exhibited."""
+        return len(self.registry)
+
+    def recurrences(self) -> List[RecurringPhase]:
+        """The phases that matched a previously seen signature."""
+        return [p for p in self.phases if p.is_recurrence]
+
+
+class RecurringPhaseDetector:
+    """An online detector that also labels phases with recurrence ids.
+
+    Runs the Figure 3 loop with an Adaptive TW (required: the TW is the
+    phase signature) and consults a :class:`PhaseRegistry` at every
+    phase end.
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        registry: Optional[PhaseRegistry] = None,
+        match_threshold: float = DEFAULT_MATCH_THRESHOLD,
+    ) -> None:
+        if config.trailing is not TrailingPolicy.ADAPTIVE:
+            raise ValueError(
+                "recurring-phase detection requires the Adaptive TW policy "
+                "(the trailing window is the phase signature)"
+            )
+        self.config = config
+        self.registry = registry if registry is not None else PhaseRegistry(match_threshold)
+
+    def run(self, trace: BranchTrace) -> RecurrenceResult:
+        """Detect phases in ``trace`` and label recurrences."""
+        model = build_model(self.config)
+        analyzer = build_analyzer(self.config)
+        state = PhaseState.TRANSITION
+        skip = self.config.skip_factor
+        data = trace.array
+        total = int(data.size)
+
+        phases: List[RecurringPhase] = []
+        open_start: Optional[Tuple[int, int]] = None
+
+        def close_phase(end: int) -> None:
+            nonlocal open_start
+            if open_start is None:
+                return
+            detected_start, corrected_start = open_start
+            signature = PhaseSignature(
+                frozenset(model.tw_counts) | frozenset(model.cw_counts)
+            )
+            phase_id, recurred, similarity = self.registry.observe(signature)
+            stats = analyzer.stats
+            mean = stats.total / stats.count if stats.count else 0.0
+            phases.append(
+                RecurringPhase(
+                    phase=DetectedPhase(detected_start, corrected_start, end, mean),
+                    phase_id=phase_id,
+                    is_recurrence=recurred,
+                    match_similarity=similarity,
+                )
+            )
+            open_start = None
+
+        for start in range(0, total, skip):
+            group = data[start : start + skip].tolist()
+            model.push(group)
+            if not model.filled:
+                new_state = PhaseState.TRANSITION
+                similarity = None
+            else:
+                similarity = model.similarity()
+                new_state = analyzer.process_value(similarity, state)
+
+            if state.is_transition() and new_state.is_phase():
+                anchor_abs = model.anchor_and_resize(
+                    self.config.anchor, self.config.resize, adaptive=True
+                )
+                analyzer.reset_stats(similarity if similarity is not None else 0.0)
+                detected_start = model.consumed - len(group)
+                open_start = (detected_start, min(anchor_abs, detected_start))
+            elif state.is_phase() and new_state.is_transition():
+                # Signature must be read *before* the windows flush.
+                close_phase(model.consumed - len(group))
+                model.clear_and_seed(group)
+                analyzer.clear()
+            elif state.is_phase() and similarity is not None:
+                analyzer.update_stats(similarity)
+            state = new_state
+
+        if state.is_phase():
+            close_phase(total)
+        return RecurrenceResult(phases=phases, registry=self.registry)

@@ -1,0 +1,27 @@
+"""The two detector output states: P (in phase) and T (in transition)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class PhaseState(enum.Enum):
+    """Per-element detector output (Section 2)."""
+
+    TRANSITION = "T"
+    PHASE = "P"
+
+    def is_phase(self) -> bool:
+        """True for P."""
+        return self is PhaseState.PHASE
+
+    def is_transition(self) -> bool:
+        """True for T."""
+        return self is PhaseState.TRANSITION
+
+    def __str__(self) -> str:
+        return self.value
+
+
+T = PhaseState.TRANSITION
+P = PhaseState.PHASE

@@ -1,0 +1,120 @@
+"""Streaming detection: run a detector over a trace that never fully
+materializes in memory.
+
+The online setting the paper targets has no stored trace at all — the
+VM hands the detector ``skipFactor`` elements at a time.  This module
+provides the two glue layers a deployment needs:
+
+- :class:`StreamingDetector` — buffers an arbitrary-chunk element feed
+  and drives :class:`~repro.core.detector.PhaseDetector` exactly
+  ``skipFactor`` elements per step (notifying an optional callback at
+  every phase boundary);
+- :func:`detect_stream` — detection over a binary trace file via
+  :func:`repro.profiles.io.stream_trace`, with memory bounded by the
+  chunk size plus the window state.
+
+Both produce output identical to an in-memory ``run()`` (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import DetectedPhase, DetectionResult, PhaseDetector
+from repro.core.state import PhaseState
+
+#: Callback signature: (event, position) with event "start" or "end".
+BoundaryCallback = Callable[[str, int], None]
+
+
+class StreamingDetector:
+    """Chunk-buffering front end for the reference detector.
+
+    Feed chunks of any size with :meth:`feed`; call :meth:`finish` at
+    end of stream.  States are accumulated per element; boundary events
+    fire as soon as the detector commits them (a "start" fires on the
+    step that enters P — necessarily after the true start, as the paper
+    discusses).
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        on_boundary: Optional[BoundaryCallback] = None,
+    ) -> None:
+        self.config = config
+        self.detector = PhaseDetector(config)
+        self._buffer: List[int] = []
+        self._states = bytearray()
+        self._position = 0
+        self._in_phase = False
+        self._on_boundary = on_boundary
+
+    @property
+    def position(self) -> int:
+        """Number of elements consumed so far."""
+        return self._position
+
+    def feed(self, chunk: Union[Sequence[int], np.ndarray]) -> None:
+        """Consume one chunk of profile elements (any length)."""
+        if isinstance(chunk, np.ndarray):
+            chunk = chunk.tolist()
+        self._buffer.extend(chunk)
+        skip = self.config.skip_factor
+        while len(self._buffer) >= skip:
+            group = self._buffer[:skip]
+            del self._buffer[:skip]
+            self._step(group)
+
+    def _step(self, group: List[int]) -> None:
+        state = self.detector.process_profile(group)
+        in_phase = state is PhaseState.PHASE
+        self._states.extend(b"\x01" * len(group) if in_phase else b"\x00" * len(group))
+        if self._on_boundary is not None:
+            if in_phase and not self._in_phase:
+                self._on_boundary("start", self._position)
+            elif self._in_phase and not in_phase:
+                self._on_boundary("end", self._position)
+        self._in_phase = in_phase
+        self._position += len(group)
+
+    def finish(self) -> DetectionResult:
+        """Flush any partial step and return the full result."""
+        if self._buffer:
+            self._step(list(self._buffer))
+            self._buffer.clear()
+        phases: List[DetectedPhase] = self.detector.finish(self._position)
+        if self._in_phase and self._on_boundary is not None:
+            self._on_boundary("end", self._position)
+            self._in_phase = False
+        states = np.frombuffer(bytes(self._states), dtype=np.uint8).astype(bool)
+        return DetectionResult(
+            states=states, detected_phases=phases, config=self.config
+        )
+
+
+def detect_stream(
+    source: Union[str, Iterable[np.ndarray]],
+    config: DetectorConfig,
+    chunk_size: int = 1 << 14,
+    on_boundary: Optional[BoundaryCallback] = None,
+) -> DetectionResult:
+    """Detect phases over a streamed trace.
+
+    ``source`` is either a path to a binary trace file (streamed via
+    :func:`repro.profiles.io.stream_trace`) or any iterable of element
+    arrays/lists.
+    """
+    if isinstance(source, (str,)) or hasattr(source, "__fspath__"):
+        from repro.profiles.io import stream_trace
+
+        chunks: Iterable = stream_trace(source, chunk_size=chunk_size)
+    else:
+        chunks = source
+    streaming = StreamingDetector(config, on_boundary=on_boundary)
+    for chunk in chunks:
+        streaming.feed(chunk)
+    return streaming.finish()

@@ -1,0 +1,142 @@
+"""Aggregation helpers: the paper's "average of best scores" analyses.
+
+Every figure in Sections 4-5 is some variant of: fix one dimension of
+interest, take the *best* score across all other grid dimensions for
+each (benchmark, MPL), then average over benchmarks (and sometimes over
+MPLs).  These helpers implement that pattern over flat
+:class:`~repro.experiments.runner.SweepRecord` lists.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import SweepRecord
+
+Predicate = Callable[[SweepRecord], bool]
+Value = Callable[[SweepRecord], float]
+
+
+def best_by(
+    records: Iterable[SweepRecord],
+    key: Callable[[SweepRecord], Tuple],
+    where: Optional[Predicate] = None,
+    value: Value = lambda r: r.score,
+) -> Dict[Tuple, float]:
+    """Max of ``value`` per ``key`` over records passing ``where``."""
+    best: Dict[Tuple, float] = {}
+    for record in records:
+        if where is not None and not where(record):
+            continue
+        k = key(record)
+        v = value(record)
+        if k not in best or v > best[k]:
+            best[k] = v
+    return best
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def average_best_score(
+    records: Iterable[SweepRecord],
+    where: Optional[Predicate] = None,
+    value: Value = lambda r: r.score,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> float:
+    """Average over benchmarks of the best score within each benchmark.
+
+    This is the paper's "average of best scores across all benchmarks":
+    for each benchmark take the best score across every configuration
+    passing ``where``, then average those per-benchmark bests.
+    """
+    best = best_by(records, key=lambda r: (r.benchmark,), where=where, value=value)
+    if benchmarks is not None:
+        best = {k: v for k, v in best.items() if k[0] in benchmarks}
+    if not best:
+        return float("nan")
+    return mean(list(best.values()))
+
+
+def percent_improvement(new: float, base: float) -> float:
+    """``100 * (new - base) / base`` (0 when the base is 0)."""
+    if base == 0:
+        return 0.0
+    return 100.0 * (new - base) / base
+
+
+def group_records(
+    records: Iterable[SweepRecord],
+    key: Callable[[SweepRecord], Tuple],
+) -> Dict[Tuple, List[SweepRecord]]:
+    """Bucket records by ``key``."""
+    groups: Dict[Tuple, List[SweepRecord]] = defaultdict(list)
+    for record in records:
+        groups[key(record)].append(record)
+    return dict(groups)
+
+
+# -- CW-vs-MPL relations (Table 2) ---------------------------------------------
+
+
+def cw_smaller(record: SweepRecord) -> bool:
+    """CW nominally smaller than the MPL."""
+    return record.cw_nominal < record.mpl_nominal
+
+
+def cw_equal(record: SweepRecord) -> bool:
+    """CW nominally equal to the MPL."""
+    return record.cw_nominal == record.mpl_nominal
+
+
+def cw_larger(record: SweepRecord) -> bool:
+    """CW nominally larger than the MPL."""
+    return record.cw_nominal > record.mpl_nominal
+
+
+def cw_at_most_half(record: SweepRecord) -> bool:
+    """CW at most half the MPL (the paper's preferred setting)."""
+    return record.cw_nominal * 2 <= record.mpl_nominal
+
+
+#: Minimum baseline phases for a (benchmark, MPL) cell to be "useful".
+#: The paper excludes cells with only 1-2 very large phases: every
+#: detector scores highly there, which just flattens the averages.
+MIN_BASELINE_PHASES = 3
+
+
+def enough_phases(record: SweepRecord) -> bool:
+    """The record's (benchmark, MPL) cell has a meaningful phase count."""
+    return record.num_baseline_phases >= MIN_BASELINE_PHASES
+
+
+def family_is(name: str) -> Predicate:
+    """Predicate: record belongs to TW-policy family ``name``."""
+    def check(record: SweepRecord) -> bool:
+        return record.family == name
+
+    return check
+
+
+def and_(*predicates: Predicate) -> Predicate:
+    """Conjunction of predicates."""
+    def check(record: SweepRecord) -> bool:
+        return all(p(record) for p in predicates)
+
+    return check
+
+
+def default_adaptive(record: SweepRecord) -> bool:
+    """The Adaptive TW with its default RN anchoring + Slide resizing."""
+    return record.family == "adaptive" and record.anchor == "rn" and record.resize == "slide"
+
+
+def family_default(name: str) -> Predicate:
+    """Family predicate that pins Adaptive to its default anchor/resize."""
+    if name == "adaptive":
+        return default_adaptive
+    return family_is(name)

@@ -1,0 +1,156 @@
+"""Client cost model and MPL selection — the paper's third future-work item.
+
+Section 3.1 motivates the MPL with a cost argument ("if a client's
+phase-based optimization requires an approximate cost of 100,000
+branches, then employing this action for a phase that is only 50,000
+branches long will result in a net loss"), and Section 7 asks "how to
+set the MPL for a particular client".
+
+:class:`ClientModel` makes the argument executable: a phase-guided
+optimization client is (action cost, per-element speedup, per-element
+mis-speculation penalty).  From those,
+
+- :meth:`ClientModel.break_even_length` is the analytic minimum phase
+  length that amortizes one action;
+- :meth:`ClientModel.suggested_mpl` applies a safety factor (a phase
+  must *profit*, not merely break even);
+- :func:`sweep_mpl` measures the realized net benefit across candidate
+  MPLs for a concrete detector on a concrete trace, so the analytic
+  suggestion can be validated empirically (see
+  ``benchmarks/test_client_model.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baseline.oracle import solve_baseline
+from repro.core.config import DetectorConfig
+from repro.core.detector import DetectionResult
+from repro.core.engine import run_detector
+from repro.profiles.callloop import CallLoopTrace
+from repro.profiles.trace import BranchTrace
+
+
+@dataclass(frozen=True)
+class ClientModel:
+    """A phase-guided optimization client's cost structure.
+
+    Attributes:
+        action_cost: profile elements of overhead per phase start (e.g.
+            a recompilation).
+        speedup: fractional gain per element correctly specialized
+            (detector P and oracle P).
+        mis_penalty: fractional loss per element wrongly specialized
+            (detector P, oracle T).
+    """
+
+    action_cost: float
+    speedup: float
+    mis_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action_cost < 0:
+            raise ValueError("action_cost must be non-negative")
+        if self.speedup <= 0:
+            raise ValueError("speedup must be positive")
+        if self.mis_penalty < 0:
+            raise ValueError("mis_penalty must be non-negative")
+
+    @property
+    def break_even_length(self) -> float:
+        """Phase length at which one action exactly pays for itself."""
+        return self.action_cost / self.speedup
+
+    def suggested_mpl(self, safety_factor: float = 2.0) -> int:
+        """An MPL recommendation: break-even length times a safety factor.
+
+        The safety factor absorbs detection lateness (a detector covers
+        only part of each phase) and scoring noise; 2.0 is a robust
+        default (see the client-model bench).
+        """
+        if safety_factor < 1.0:
+            raise ValueError("safety_factor must be at least 1")
+        return max(1, round(self.break_even_length * safety_factor))
+
+    def benefit(
+        self,
+        detected_states: np.ndarray,
+        num_phase_starts: int,
+        oracle_states: np.ndarray,
+    ) -> float:
+        """Net benefit (element-equivalents) of acting on this detection."""
+        detected_states = np.asarray(detected_states, dtype=bool)
+        oracle_states = np.asarray(oracle_states, dtype=bool)
+        correct = float(np.logical_and(detected_states, oracle_states).sum())
+        wrong = float(np.logical_and(detected_states, ~oracle_states).sum())
+        return (
+            self.speedup * correct
+            - self.mis_penalty * wrong
+            - self.action_cost * num_phase_starts
+        )
+
+
+@dataclass(frozen=True)
+class MplOutcome:
+    """Realized client benefit for one candidate MPL."""
+
+    mpl: int
+    benefit: float
+    oracle_phases: int
+    detected_phases: int
+    percent_of_ideal: float
+
+
+def sweep_mpl(
+    branch_trace: BranchTrace,
+    call_loop: CallLoopTrace,
+    client: ClientModel,
+    mpls: Sequence[int],
+    config_for_mpl: Optional[Callable[[int], DetectorConfig]] = None,
+) -> List[MplOutcome]:
+    """Measure the client's net benefit across candidate MPLs.
+
+    ``config_for_mpl`` builds the detector for each MPL; the default
+    follows the paper's guidance (Adaptive TW, CW = MPL/2, threshold
+    0.6).  The oracle is re-solved per MPL: the MPL defines which
+    stability is worth acting on.
+    """
+    if config_for_mpl is None:
+        def config_for_mpl(mpl: int) -> DetectorConfig:
+            from repro.core.config import TrailingPolicy
+
+            return DetectorConfig(
+                cw_size=max(2, mpl // 2),
+                trailing=TrailingPolicy.ADAPTIVE,
+                threshold=0.6,
+            )
+
+    outcomes: List[MplOutcome] = []
+    ideal = client.speedup * len(branch_trace)
+    for mpl in mpls:
+        oracle = solve_baseline(call_loop, mpl)
+        result: DetectionResult = run_detector(branch_trace, config_for_mpl(mpl))
+        value = client.benefit(
+            result.states, len(result.detected_phases), oracle.states()
+        )
+        outcomes.append(
+            MplOutcome(
+                mpl=mpl,
+                benefit=value,
+                oracle_phases=oracle.num_phases,
+                detected_phases=len(result.detected_phases),
+                percent_of_ideal=100.0 * value / ideal if ideal else 0.0,
+            )
+        )
+    return outcomes
+
+
+def best_mpl(outcomes: Sequence[MplOutcome]) -> MplOutcome:
+    """The empirically best MPL of a sweep."""
+    if not outcomes:
+        raise ValueError("no outcomes to choose from")
+    return max(outcomes, key=lambda o: o.benefit)

@@ -1,0 +1,189 @@
+"""Suite profiles and the detector parameter grid.
+
+The paper evaluates >10,000 detector instantiations over traces of
+2.8M-63M branches.  We keep the same *nominal* parameter labels (MPL
+1K-200K, CW 500-100K) and map them onto our shorter traces through a
+single scale factor, so every table and figure lines up with the
+paper's rows and series (see DESIGN.md §5).
+
+A :class:`SuiteProfile` bundles the workload scale, the nominal→actual
+mapping, and the grid density:
+
+- ``QUICK``   — small traces and grid (CI, tests, fast benches);
+- ``DEFAULT`` — the full grid on ~370K total elements (what the
+  reported experiments use);
+- ``PAPER``   — the paper's actual element counts (slow; provided for
+  completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import (
+    AnalyzerKind,
+    AnchorPolicy,
+    DetectorConfig,
+    ModelKind,
+    ResizePolicy,
+    TrailingPolicy,
+)
+
+#: nominal → actual conversion baseline: the DEFAULT suite's traces are
+#: about 1/20 the paper's phase scale.
+BASE_MPL_SCALE = 0.05
+
+#: The paper's nominal MPL values (Table 1(b)) and the extension used in
+#: Figures 4 and 8.
+MPL_NOMINALS: Tuple[int, ...] = (1_000, 5_000, 10_000, 25_000, 50_000, 100_000)
+MPL_NOMINALS_EXTENDED: Tuple[int, ...] = MPL_NOMINALS + (200_000,)
+#: The MPL subset most figures report (Sections 4.3-4.4).
+MPL_NOMINALS_FIGURES: Tuple[int, ...] = (1_000, 10_000, 50_000, 100_000)
+
+#: The paper's nominal CW sizes (Section 4.2).
+CW_NOMINALS: Tuple[int, ...] = (500, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000)
+
+THRESHOLD_VALUES: Tuple[float, ...] = (0.5, 0.6, 0.7, 0.8)
+DELTA_VALUES: Tuple[float, ...] = (0.01, 0.05, 0.1, 0.2, 0.3, 0.4)
+
+
+@dataclass(frozen=True)
+class SuiteProfile:
+    """One experiment scale: workload size plus nominal→actual mapping."""
+
+    name: str
+    workload_scale: float
+    thresholds: Tuple[float, ...] = THRESHOLD_VALUES
+    deltas: Tuple[float, ...] = DELTA_VALUES
+    cw_nominals: Tuple[int, ...] = CW_NOMINALS
+    mpl_nominals: Tuple[int, ...] = MPL_NOMINALS
+
+    @property
+    def scale_factor(self) -> float:
+        """nominal units → actual profile elements."""
+        return BASE_MPL_SCALE * self.workload_scale
+
+    def actual(self, nominal: int) -> int:
+        """Convert a nominal MPL/CW value to actual profile elements."""
+        return max(2, round(nominal * self.scale_factor))
+
+    def actual_mpls(self, nominals: Optional[Tuple[int, ...]] = None) -> List[int]:
+        """Actual MPL values for ``nominals`` (default: the profile's grid)."""
+        return [self.actual(n) for n in (nominals or self.mpl_nominals)]
+
+
+QUICK = SuiteProfile(
+    name="quick",
+    workload_scale=0.3,
+    thresholds=(0.5, 0.6, 0.8),
+    deltas=(0.01, 0.05, 0.2),
+    cw_nominals=(500, 1_000, 5_000, 25_000, 100_000),
+)
+DEFAULT = SuiteProfile(name="default", workload_scale=1.0)
+PAPER = SuiteProfile(name="paper", workload_scale=20.0)
+
+PROFILES = {p.name: p for p in (QUICK, DEFAULT, PAPER)}
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One grid point, in nominal units.
+
+    ``family`` is one of ``fixed`` (skipFactor = CW = TW, the extant
+    approach), ``constant`` (Constant TW, skipFactor 1), or ``adaptive``
+    (Adaptive TW, skipFactor 1).
+    """
+
+    family: str
+    cw_nominal: int
+    model: ModelKind
+    analyzer: AnalyzerKind
+    value: float  # threshold or delta
+    anchor: AnchorPolicy = AnchorPolicy.RN
+    resize: ResizePolicy = ResizePolicy.SLIDE
+
+    def analyzer_label(self) -> str:
+        """'thr=0.6' or 'avg=0.05' — the figures' x-axis labels."""
+        kind = "thr" if self.analyzer is AnalyzerKind.THRESHOLD else "avg"
+        return f"{kind}={self.value}"
+
+    def to_config(self, profile: SuiteProfile) -> DetectorConfig:
+        """Materialize the actual DetectorConfig for ``profile``."""
+        cw = profile.actual(self.cw_nominal)
+        threshold = self.value if self.analyzer is AnalyzerKind.THRESHOLD else 0.5
+        delta = self.value if self.analyzer is AnalyzerKind.AVERAGE else 0.05
+        if self.family == "fixed":
+            return DetectorConfig(
+                cw_size=cw,
+                tw_size=cw,
+                skip_factor=cw,
+                trailing=TrailingPolicy.CONSTANT,
+                model=self.model,
+                analyzer=self.analyzer,
+                threshold=threshold,
+                delta=delta,
+            )
+        trailing = (
+            TrailingPolicy.ADAPTIVE if self.family == "adaptive" else TrailingPolicy.CONSTANT
+        )
+        return DetectorConfig(
+            cw_size=cw,
+            tw_size=cw,
+            skip_factor=1,
+            trailing=trailing,
+            anchor=self.anchor,
+            resize=self.resize,
+            model=self.model,
+            analyzer=self.analyzer,
+            threshold=threshold,
+            delta=delta,
+        )
+
+
+def _analyzer_points(profile: SuiteProfile) -> List[Tuple[AnalyzerKind, float]]:
+    points: List[Tuple[AnalyzerKind, float]] = []
+    points.extend((AnalyzerKind.THRESHOLD, t) for t in profile.thresholds)
+    points.extend((AnalyzerKind.AVERAGE, d) for d in profile.deltas)
+    return points
+
+
+def paper_grid(profile: SuiteProfile) -> List[ConfigSpec]:
+    """The full evaluation grid (Sections 4.2-4.4 plus the Section 5
+    anchoring/resizing ablation).
+
+    - three families × all CW sizes × both models × all analyzers;
+    - the three non-default (anchor, resize) Adaptive variants with the
+      unweighted model (Figure 7's ablation).
+    """
+    specs: List[ConfigSpec] = []
+    analyzers = _analyzer_points(profile)
+    for family in ("fixed", "constant", "adaptive"):
+        for cw in profile.cw_nominals:
+            for model in (ModelKind.UNWEIGHTED, ModelKind.WEIGHTED):
+                for analyzer, value in analyzers:
+                    specs.append(ConfigSpec(family, cw, model, analyzer, value))
+    for anchor, resize in (
+        (AnchorPolicy.LNN, ResizePolicy.SLIDE),
+        (AnchorPolicy.RN, ResizePolicy.MOVE),
+        (AnchorPolicy.LNN, ResizePolicy.MOVE),
+    ):
+        for cw in profile.cw_nominals:
+            for analyzer, value in analyzers:
+                specs.append(
+                    ConfigSpec(
+                        "adaptive",
+                        cw,
+                        ModelKind.UNWEIGHTED,
+                        analyzer,
+                        value,
+                        anchor=anchor,
+                        resize=resize,
+                    )
+                )
+    return specs
+
+
+def grid_size(profile: SuiteProfile) -> int:
+    """Number of grid points for ``profile``."""
+    return len(paper_grid(profile))

@@ -1,0 +1,154 @@
+"""Per-benchmark detail tables.
+
+The paper repeatedly appeals to per-benchmark data behind its averaged
+figures ("when we consider the individual benchmark data, however...").
+These generators expose that level: best score per (benchmark, TW
+policy) at each MPL, and the per-benchmark winner between two
+dimensions of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.aggregate import (
+    and_,
+    best_by,
+    cw_at_most_half,
+    family_default,
+)
+from repro.experiments.config_space import MPL_NOMINALS
+from repro.experiments.report import nominal_label, render_table
+from repro.experiments.runner import SweepRecord
+
+
+@dataclass
+class PerBenchmarkTable:
+    """Best scores per benchmark for one TW-policy family."""
+
+    family: str
+    mpl_nominals: List[int]
+    #: benchmark -> [best score per MPL] (None when no config qualified)
+    rows: Dict[str, List[Optional[float]]]
+
+    def render(self) -> str:
+        headers = ["Benchmark"] + [nominal_label(m) for m in self.mpl_nominals]
+        body = []
+        for benchmark, values in self.rows.items():
+            body.append(
+                [benchmark]
+                + ["-" if v is None else round(v, 3) for v in values]
+            )
+        return render_table(
+            headers,
+            body,
+            title=f"Best score per benchmark ({self.family} TW, CW <= MPL/2)",
+        )
+
+
+def per_benchmark_best(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    family: str,
+    mpl_nominals: Sequence[int] = MPL_NOMINALS,
+) -> PerBenchmarkTable:
+    """Best score per (benchmark, MPL) for one family, CW <= MPL/2."""
+    best = best_by(
+        records,
+        key=lambda r: (r.benchmark, r.mpl_nominal),
+        where=and_(family_default(family), cw_at_most_half),
+    )
+    rows: Dict[str, List[Optional[float]]] = {}
+    for benchmark in benchmarks:
+        rows[benchmark] = [best.get((benchmark, m)) for m in mpl_nominals]
+    return PerBenchmarkTable(family=family, mpl_nominals=list(mpl_nominals), rows=rows)
+
+
+@dataclass
+class WinnerTable:
+    """Per-benchmark winner between two dimension values."""
+
+    dimension: str
+    left: str
+    right: str
+    mpl_nominals: List[int]
+    #: benchmark -> ['left' | 'right' | 'tie' | '-' per MPL]
+    rows: Dict[str, List[str]]
+
+    def render(self) -> str:
+        headers = ["Benchmark"] + [nominal_label(m) for m in self.mpl_nominals]
+        body = [[benchmark] + cells for benchmark, cells in self.rows.items()]
+        return render_table(
+            headers,
+            body,
+            title=(
+                f"Per-benchmark winner: {self.left} vs {self.right} "
+                f"({self.dimension}, CW <= MPL/2)"
+            ),
+        )
+
+    def win_counts(self) -> Tuple[int, int]:
+        """(left wins, right wins) across all cells."""
+        left = sum(cells.count(self.left) for cells in self.rows.values())
+        right = sum(cells.count(self.right) for cells in self.rows.values())
+        return left, right
+
+
+def per_benchmark_winner(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    dimension: str,
+    left: str,
+    right: str,
+    mpl_nominals: Sequence[int] = MPL_NOMINALS,
+    tie_margin: float = 0.005,
+) -> WinnerTable:
+    """Which of two dimension values wins per (benchmark, MPL).
+
+    ``dimension`` is ``"family"`` or ``"model"``; ``left``/``right`` are
+    its two values (e.g. ``"constant"`` vs ``"adaptive"``, or
+    ``"unweighted"`` vs ``"weighted"``).
+    """
+    if dimension == "family":
+        def member(record: SweepRecord, value: str) -> bool:
+            return family_default(value)(record)
+    elif dimension == "model":
+        def member(record: SweepRecord, value: str) -> bool:
+            return record.model == value and (
+                family_default("adaptive")(record)
+                or family_default("constant")(record)
+            )
+    else:
+        raise ValueError(f"unknown dimension {dimension!r}")
+
+    def best_for(value: str) -> Dict[Tuple, float]:
+        return best_by(
+            records,
+            key=lambda r: (r.benchmark, r.mpl_nominal),
+            where=and_(lambda r, v=value: member(r, v), cw_at_most_half),
+        )
+
+    left_best = best_for(left)
+    right_best = best_for(right)
+    rows: Dict[str, List[str]] = {}
+    for benchmark in benchmarks:
+        cells: List[str] = []
+        for nominal in mpl_nominals:
+            key = (benchmark, nominal)
+            l_value = left_best.get(key)
+            r_value = right_best.get(key)
+            if l_value is None or r_value is None:
+                cells.append("-")
+            elif abs(l_value - r_value) <= tie_margin:
+                cells.append("tie")
+            else:
+                cells.append(left if l_value > r_value else right)
+        rows[benchmark] = cells
+    return WinnerTable(
+        dimension=dimension,
+        left=left,
+        right=right,
+        mpl_nominals=list(mpl_nominals),
+        rows=rows,
+    )

@@ -1,0 +1,70 @@
+"""Sweep-record export: CSV for external analysis.
+
+The sweep's JSONL cache is an implementation detail; for analysis in
+pandas/R/spreadsheets, export the records to CSV (and read them back,
+for round-trip workflows).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import fields
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.experiments.runner import SweepRecord
+
+PathLike = Union[str, Path]
+
+_FIELDS = [f.name for f in fields(SweepRecord)]
+_INT_FIELDS = {
+    "cw_nominal",
+    "mpl_nominal",
+    "num_detected_phases",
+    "num_baseline_phases",
+}
+_FLOAT_FIELDS = {
+    "score",
+    "correlation",
+    "sensitivity",
+    "false_positives",
+    "corrected_score",
+}
+
+
+def records_to_csv(records: Sequence[SweepRecord], path: PathLike) -> None:
+    """Write sweep records to ``path`` as CSV with a header row."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record.to_row())
+
+
+def records_from_csv(path: PathLike) -> List[SweepRecord]:
+    """Read sweep records written by :func:`records_to_csv`.
+
+    Raises:
+        ValueError: if the header doesn't match the record schema.
+    """
+    path = Path(path)
+    records: List[SweepRecord] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or set(reader.fieldnames) != set(_FIELDS):
+            raise ValueError(
+                f"{path}: header {reader.fieldnames} does not match "
+                f"SweepRecord fields"
+            )
+        for row in reader:
+            typed = {}
+            for key, value in row.items():
+                if key in _INT_FIELDS:
+                    typed[key] = int(value)
+                elif key in _FLOAT_FIELDS:
+                    typed[key] = float(value)
+                else:
+                    typed[key] = value
+            records.append(SweepRecord(**typed))
+    return records

@@ -1,0 +1,284 @@
+"""Figure generators: Figures 4, 5, 6, 7, and 8.
+
+Each generator aggregates sweep records into the series the paper
+plots, and returns a result object with the numbers plus a ``render()``
+that prints them as an aligned text table (one row per x-axis point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.aggregate import (
+    and_,
+    enough_phases,
+    average_best_score,
+    best_by,
+    cw_at_most_half,
+    family_default,
+    mean,
+    percent_improvement,
+)
+from repro.experiments.config_space import (
+    MPL_NOMINALS,
+    MPL_NOMINALS_EXTENDED,
+    MPL_NOMINALS_FIGURES,
+    SuiteProfile,
+)
+from repro.experiments.report import nominal_label, render_table
+from repro.experiments.runner import SweepRecord
+
+#: The TW-policy series of Figures 4 and 8, with display names.
+FIGURE_FAMILIES: Tuple[Tuple[str, str], ...] = (
+    ("fixed", "Fixed Intervals (skip=CW)"),
+    ("constant", "Constant TW (skip=1)"),
+    ("adaptive", "Adaptive TW (skip=1)"),
+)
+
+
+def _at_mpl(nominal: int):
+    def check(record: SweepRecord) -> bool:
+        return record.mpl_nominal == nominal
+
+    return check
+
+
+@dataclass
+class FigureSeries:
+    """A generic per-MPL multi-series figure result."""
+
+    title: str
+    mpl_nominals: List[int]
+    #: series label -> [value per MPL]
+    series: Dict[str, List[float]]
+
+    def render(self) -> str:
+        headers = ["MPL"] + list(self.series)
+        rows = []
+        for index, nominal in enumerate(self.mpl_nominals):
+            row: List[object] = [nominal_label(nominal)]
+            for label in self.series:
+                value = self.series[label][index]
+                row.append("-" if value != value else round(value, 3))  # NaN -> "-"
+            rows.append(row)
+        return render_table(headers, rows, title=self.title)
+
+
+def figure_4(
+    records: Sequence[SweepRecord],
+    mpl_nominals: Sequence[int] = MPL_NOMINALS_EXTENDED,
+) -> FigureSeries:
+    """Figure 4: skip factor and Fixed vs Constant vs Adaptive windowing.
+
+    Average of best scores across all benchmarks, models, and analyzers;
+    CW at most 1/2 the MPL.
+    """
+    series: Dict[str, List[float]] = {label: [] for _, label in FIGURE_FAMILIES}
+    for nominal in mpl_nominals:
+        for family, label in FIGURE_FAMILIES:
+            series[label].append(
+                average_best_score(
+                    records,
+                    where=and_(family_default(family), cw_at_most_half, _at_mpl(nominal), enough_phases),
+                )
+            )
+    return FigureSeries(
+        title="Figure 4: average best score vs MPL (skip factor & TW policy)",
+        mpl_nominals=list(mpl_nominals),
+        series=series,
+    )
+
+
+def figure_5(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    mpl_nominals: Sequence[int] = MPL_NOMINALS_FIGURES,
+    excluded_benchmark: str = "compress",
+) -> FigureSeries:
+    """Figure 5: weighted vs unweighted models, with and without compress."""
+    without = [b for b in benchmarks if b != excluded_benchmark]
+    series: Dict[str, List[float]] = {}
+    for family_key, family_label in (("constant", "Constant"), ("adaptive", "Adaptive")):
+        for model in ("weighted", "unweighted"):
+            for suffix, subset in (("", None), (f" w/o {excluded_benchmark}", without)):
+                label = f"{family_label} {model}{suffix}"
+                series[label] = []
+    for nominal in mpl_nominals:
+        for family_key, family_label in (("constant", "Constant"), ("adaptive", "Adaptive")):
+            for model in ("weighted", "unweighted"):
+                where = and_(
+                    family_default(family_key),
+                    cw_at_most_half,
+                    _at_mpl(nominal),
+                    lambda r, m=model: r.model == m,
+                )
+                series[f"{family_label} {model}"].append(
+                    average_best_score(records, where=where)
+                )
+                series[f"{family_label} {model} w/o {excluded_benchmark}"].append(
+                    average_best_score(records, where=where, benchmarks=without)
+                )
+    return FigureSeries(
+        title="Figure 5: average best score, weighted vs unweighted model",
+        mpl_nominals=list(mpl_nominals),
+        series=series,
+    )
+
+
+def figure_6(
+    records: Sequence[SweepRecord],
+    profile: SuiteProfile,
+    mpl_nominals: Sequence[int] = MPL_NOMINALS_FIGURES,
+) -> Dict[str, FigureSeries]:
+    """Figure 6: Threshold vs Average analyzers (unweighted model).
+
+    Returns one series set per TW policy: ``{"constant": ..., "adaptive": ...}``.
+    """
+    analyzer_labels = [f"thr={t}" for t in profile.thresholds] + [
+        f"avg={d}" for d in profile.deltas
+    ]
+    results: Dict[str, FigureSeries] = {}
+    for family_key, family_label in (("constant", "Constant TW"), ("adaptive", "Adaptive TW")):
+        series: Dict[str, List[float]] = {label: [] for label in analyzer_labels}
+        for nominal in mpl_nominals:
+            for label in analyzer_labels:
+                where = and_(
+                    family_default(family_key),
+                    cw_at_most_half,
+                    _at_mpl(nominal),
+                    lambda r: r.model == "unweighted",
+                    lambda r, a=label: r.analyzer == a,
+                )
+                series[label].append(average_best_score(records, where=where))
+        results[family_key] = FigureSeries(
+            title=f"Figure 6 ({family_label}): average best score per analyzer",
+            mpl_nominals=list(mpl_nominals),
+            series=series,
+        )
+    return results
+
+
+@dataclass
+class ImprovementSeries:
+    """A per-MPL percent-improvement series (Figure 7)."""
+
+    title: str
+    mpl_nominals: List[int]
+    improvements: List[float]
+
+    def render(self) -> str:
+        rows = [
+            (nominal_label(nominal), round(value, 2))
+            for nominal, value in zip(self.mpl_nominals, self.improvements)
+        ]
+        return render_table(["MPL", "% improvement"], rows, title=self.title)
+
+
+def _adaptive_variant(anchor: str, resize: str):
+    def check(record: SweepRecord) -> bool:
+        return (
+            record.family == "adaptive"
+            and record.anchor == anchor
+            and record.resize == resize
+            and record.model == "unweighted"
+        )
+
+    return check
+
+
+def _variant_improvement(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    mpl_nominals: Sequence[int],
+    new_variant: Tuple[str, str],
+    base_variant: Tuple[str, str],
+    title: str,
+) -> ImprovementSeries:
+    improvements: List[float] = []
+    for nominal in mpl_nominals:
+        gains: List[float] = []
+        for benchmark in benchmarks:
+            def best_for(variant: Tuple[str, str]) -> Optional[float]:
+                cell = best_by(
+                    records,
+                    key=lambda r: (),
+                    where=and_(
+                        _adaptive_variant(*variant),
+                        _at_mpl(nominal),
+                        lambda r, b=benchmark: r.benchmark == b,
+                    ),
+                )
+                return cell.get(())
+
+            new_best = best_for(new_variant)
+            base_best = best_for(base_variant)
+            if new_best is not None and base_best is not None:
+                gains.append(percent_improvement(new_best, base_best))
+        improvements.append(mean(gains))
+    return ImprovementSeries(title, list(mpl_nominals), improvements)
+
+
+def figure_7a(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    mpl_nominals: Sequence[int] = MPL_NOMINALS,
+) -> ImprovementSeries:
+    """Figure 7(a): Slide vs Move resizing, RN anchoring."""
+    return _variant_improvement(
+        records,
+        benchmarks,
+        mpl_nominals,
+        new_variant=("rn", "slide"),
+        base_variant=("rn", "move"),
+        title="Figure 7(a): % improvement, Sliding vs Moving the TW (RN anchor)",
+    )
+
+
+def figure_7b(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    mpl_nominals: Sequence[int] = MPL_NOMINALS,
+) -> ImprovementSeries:
+    """Figure 7(b): RN vs LNN anchoring, Slide resizing."""
+    return _variant_improvement(
+        records,
+        benchmarks,
+        mpl_nominals,
+        new_variant=("rn", "slide"),
+        base_variant=("lnn", "slide"),
+        title="Figure 7(b): % improvement, RN vs LNN anchoring (Slide resize)",
+    )
+
+
+def figure_8(
+    records: Sequence[SweepRecord],
+    mpl_nominals: Sequence[int] = MPL_NOMINALS_EXTENDED,
+) -> FigureSeries:
+    """Figure 8: Constant vs Adaptive with anchor-corrected phase starts.
+
+    Identical aggregation to Figure 4, but the Adaptive TW series is
+    scored with anchor-corrected boundaries: the Adaptive TW's left
+    boundary *is* the anchor point, so once a phase is detected the
+    policy knows where it began.  A Constant TW has already discarded
+    those elements by the time the phase is confirmed, so its series
+    keeps the detection-time boundaries (see DESIGN.md).
+    """
+    series: Dict[str, List[float]] = {"Constant TW": [], "Adaptive TW": []}
+    for nominal in mpl_nominals:
+        for family, label, value in (
+            ("constant", "Constant TW", lambda r: r.score),
+            ("adaptive", "Adaptive TW", lambda r: r.corrected_score),
+        ):
+            series[label].append(
+                average_best_score(
+                    records,
+                    where=and_(family_default(family), cw_at_most_half, _at_mpl(nominal), enough_phases),
+                    value=value,
+                )
+            )
+    return FigureSeries(
+        title="Figure 8: average best score with anchor-corrected boundaries",
+        mpl_nominals=list(mpl_nominals),
+        series=series,
+    )

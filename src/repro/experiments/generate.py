@@ -1,0 +1,100 @@
+"""One-shot regeneration of every table and figure.
+
+Runs (or loads from cache) the full parameter sweep for a profile and
+renders Tables 1(a)-2(b) and Figures 4-8 as text, optionally writing
+them to a results directory.  Usable as a library or from the command
+line::
+
+    python -m repro.experiments.generate --profile default --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.experiments import figures, tables
+from repro.experiments.config_space import PROFILES, SuiteProfile, paper_grid
+from repro.experiments.sweep import Sweep
+
+
+def generate_all(
+    profile: SuiteProfile,
+    out_dir: Optional[Path] = None,
+    progress: bool = False,
+    sweep: Optional[Sweep] = None,
+) -> Dict[str, str]:
+    """Render every table/figure for ``profile``.
+
+    Returns a mapping of artifact name (e.g. ``"figure_4"``) to rendered
+    text.  With ``out_dir`` set, each artifact is also written to
+    ``<out_dir>/<name>.txt``.
+    """
+    if sweep is None:
+        sweep = Sweep(profile)
+    records = sweep.ensure(paper_grid(profile), progress=progress)
+
+    artifacts: Dict[str, str] = {}
+    artifacts["table_1a"] = tables.table_1a(sweep).render()
+    artifacts["table_1b"] = tables.table_1b(sweep).render()
+    artifacts["table_2a"] = tables.table_2a(records, sweep.benchmarks).render()
+    artifacts["table_2b"] = tables.table_2b(records, sweep.benchmarks).render()
+    artifacts["figure_4"] = figures.figure_4(records).render()
+    artifacts["figure_5"] = figures.figure_5(records, sweep.benchmarks).render()
+    for family, series in figures.figure_6(records, profile).items():
+        artifacts[f"figure_6_{family}"] = series.render()
+    artifacts["figure_7a"] = figures.figure_7a(records, sweep.benchmarks).render()
+    artifacts["figure_7b"] = figures.figure_7b(records, sweep.benchmarks).render()
+    artifacts["figure_8"] = figures.figure_8(records).render()
+
+    from repro.experiments.detail import per_benchmark_best, per_benchmark_winner
+
+    for family in ("constant", "adaptive"):
+        artifacts[f"detail_best_{family}"] = per_benchmark_best(
+            records, sweep.benchmarks, family
+        ).render()
+    artifacts["detail_winner_policy"] = per_benchmark_winner(
+        records, sweep.benchmarks, "family", "constant", "adaptive"
+    ).render()
+    artifacts["detail_winner_model"] = per_benchmark_winner(
+        records, sweep.benchmarks, "model", "unweighted", "weighted"
+    ).render()
+
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, text in artifacts.items():
+            (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    return artifacts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table and figure of the paper."
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="default",
+        help="suite profile (scale + grid density)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for rendered .txt artifacts"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress sweep progress on stderr"
+    )
+    args = parser.parse_args(argv)
+    artifacts = generate_all(
+        PROFILES[args.profile], out_dir=args.out, progress=not args.quiet
+    )
+    for name in sorted(artifacts):
+        print(artifacts[name])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

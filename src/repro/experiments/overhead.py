@@ -1,0 +1,134 @@
+"""Detection-overhead analysis — the paper's second future-work direction.
+
+Section 7: *"we plan to investigate and optimize the overhead of
+accurate phase detection. There are three sources of overhead in a
+phase-aware optimization system: profile collection, phase detection,
+and phase consumption."*
+
+This module measures the *detection* component in machine-independent
+units: how many similarity evaluations a configuration performs, how
+many window updates it does, and how much window state it keeps —
+the quantities that dominate a real deployment's cost, independent of
+the host. Wall-clock throughput is reported alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import PhaseDetector
+from repro.core.models import SimilarityModel
+from repro.profiles.trace import BranchTrace
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Machine-independent detection costs for one (trace, config) run."""
+
+    config_label: str
+    trace_length: int
+    similarity_evaluations: int
+    window_updates: int          # individual element moves through windows
+    anchor_operations: int
+    window_flushes: int
+    peak_tw_length: int
+    peak_tracked_elements: int   # distinct elements across both count tables
+    wall_seconds: float
+
+    @property
+    def elements_per_second(self) -> float:
+        """Wall-clock throughput of the (reference) detector."""
+        if self.wall_seconds == 0:
+            return float("inf")
+        return self.trace_length / self.wall_seconds
+
+    @property
+    def evaluations_per_element(self) -> float:
+        """Similarity evaluations per consumed profile element."""
+        if self.trace_length == 0:
+            return 0.0
+        return self.similarity_evaluations / self.trace_length
+
+
+class _MeteredModel:
+    """Counting proxy around a SimilarityModel (composition, not patching)."""
+
+    def __init__(self, inner: SimilarityModel) -> None:
+        self._inner = inner
+        self.similarity_evaluations = 0
+        self.window_updates = 0
+        self.anchor_operations = 0
+        self.window_flushes = 0
+        self.peak_tw_length = 0
+        self.peak_tracked = 0
+
+    # -- metered operations ------------------------------------------------
+
+    def push(self, elements) -> None:
+        elements = list(elements)
+        self._inner.push(elements)
+        # Each element enters the CW; full windows also move one element
+        # CW->TW and may evict one from the TW.
+        self.window_updates += len(elements)
+        self._sample()
+
+    def similarity(self) -> float:
+        self.similarity_evaluations += 1
+        return self._inner.similarity()
+
+    def anchor_and_resize(self, anchor_policy, resize_policy, adaptive) -> int:
+        self.anchor_operations += 1
+        return self._inner.anchor_and_resize(anchor_policy, resize_policy, adaptive)
+
+    def clear_and_seed(self, seed_elements) -> None:
+        self.window_flushes += 1
+        self._inner.clear_and_seed(seed_elements)
+
+    def _sample(self) -> None:
+        tw_length = self._inner.tw_length
+        if tw_length > self.peak_tw_length:
+            self.peak_tw_length = tw_length
+        tracked = len(self._inner.cw_counts) + len(self._inner.tw_counts)
+        if tracked > self.peak_tracked:
+            self.peak_tracked = tracked
+
+    # -- passthrough state -----------------------------------------------------
+
+    @property
+    def filled(self) -> bool:
+        return self._inner.filled
+
+    @property
+    def consumed(self) -> int:
+        return self._inner.consumed
+
+
+def measure_overhead(trace: BranchTrace, config: DetectorConfig) -> OverheadReport:
+    """Run the reference detector with a metered model; report the costs."""
+    detector = PhaseDetector(config)
+    meter = _MeteredModel(detector.model)
+    detector.model = meter
+    started = time.perf_counter()
+    detector.run(trace)
+    elapsed = time.perf_counter() - started
+    return OverheadReport(
+        config_label=config.describe(),
+        trace_length=len(trace),
+        similarity_evaluations=meter.similarity_evaluations,
+        window_updates=meter.window_updates,
+        anchor_operations=meter.anchor_operations,
+        window_flushes=meter.window_flushes,
+        peak_tw_length=meter.peak_tw_length,
+        peak_tracked_elements=meter.peak_tracked,
+        wall_seconds=elapsed,
+    )
+
+
+def overhead_comparison(
+    trace: BranchTrace, configs: Sequence[DetectorConfig]
+) -> List[OverheadReport]:
+    """Measure several configurations over the same trace."""
+    return [measure_overhead(trace, config) for config in configs]

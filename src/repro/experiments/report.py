@@ -1,0 +1,69 @@
+"""Fixed-width text rendering for tables and figure series."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Format one cell: floats to ``precision``, everything else via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned fixed-width table.
+
+    Numeric columns are right-aligned; text columns left-aligned.
+    """
+    text_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    numeric = [True] * columns
+    for original in rows:
+        for index, cell in enumerate(original):
+            if not isinstance(cell, (int, float)):
+                numeric[index] = False
+
+    def _line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_line([str(h) for h in headers]))
+    lines.append(_line(["-" * w for w in widths]))
+    lines.extend(_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def nominal_label(value: int) -> str:
+    """Render a nominal MPL/CW value the way the paper writes it (1K, 200K)."""
+    if value % 1000 == 0 and value >= 1000:
+        return f"{value // 1000}K"
+    return str(value)

@@ -1,0 +1,118 @@
+"""Run detectors over traces and score them against baselines.
+
+One detector run produces a state sequence; scoring it against each
+MPL's baseline yields one :class:`SweepRecord` per (benchmark, config,
+MPL).  Records carry both the ordinary score and the anchor-corrected
+score used by Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baseline.oracle import BaselineSolution, solve_baseline
+from repro.core.engine import run_detector
+from repro.experiments.config_space import ConfigSpec, SuiteProfile
+from repro.profiles.callloop import CallLoopTrace
+from repro.profiles.trace import BranchTrace
+from repro.scoring.metric import score_states
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """Scores of one (benchmark, config, MPL) evaluation."""
+
+    benchmark: str
+    family: str
+    cw_nominal: int
+    model: str
+    analyzer: str
+    anchor: str
+    resize: str
+    mpl_nominal: int
+    score: float
+    correlation: float
+    sensitivity: float
+    false_positives: float
+    corrected_score: float
+    num_detected_phases: int
+    num_baseline_phases: int
+
+    def to_row(self) -> Dict[str, object]:
+        """Flat dict form (JSONL cache serialization)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def from_row(row: Dict[str, object]) -> "SweepRecord":
+        return SweepRecord(**row)
+
+
+class BaselineSet:
+    """Solved baselines for one benchmark across a set of nominal MPLs."""
+
+    def __init__(
+        self,
+        call_loop: CallLoopTrace,
+        profile: SuiteProfile,
+        mpl_nominals: Sequence[int],
+        name: str = "",
+    ) -> None:
+        self.name = name or call_loop.name
+        self.profile = profile
+        self.solutions: Dict[int, BaselineSolution] = {}
+        self._states: Dict[int, np.ndarray] = {}
+        for nominal in mpl_nominals:
+            solution = solve_baseline(call_loop, profile.actual(nominal), name=self.name)
+            self.solutions[nominal] = solution
+            self._states[nominal] = solution.states()
+
+    def states(self, mpl_nominal: int) -> np.ndarray:
+        """The oracle's state array for a nominal MPL."""
+        return self._states[mpl_nominal]
+
+    @property
+    def mpl_nominals(self) -> List[int]:
+        return list(self.solutions)
+
+
+def evaluate_spec(
+    trace: BranchTrace,
+    baselines: BaselineSet,
+    spec: ConfigSpec,
+    profile: SuiteProfile,
+) -> List[SweepRecord]:
+    """Run one grid point over one trace; score it at every MPL."""
+    config = spec.to_config(profile)
+    result = run_detector(trace, config)
+    corrected_states = result.corrected_states()
+    corrected_phases = result.corrected_phases()
+    records: List[SweepRecord] = []
+    for nominal in baselines.mpl_nominals:
+        base_states = baselines.states(nominal)
+        plain = score_states(result.states, base_states)
+        corrected = score_states(
+            corrected_states, base_states, detected_phases=corrected_phases
+        )
+        records.append(
+            SweepRecord(
+                benchmark=baselines.name,
+                family=spec.family,
+                cw_nominal=spec.cw_nominal,
+                model=spec.model.value,
+                analyzer=spec.analyzer_label(),
+                anchor=spec.anchor.value,
+                resize=spec.resize.value,
+                mpl_nominal=nominal,
+                score=plain.score,
+                correlation=plain.correlation,
+                sensitivity=plain.sensitivity,
+                false_positives=plain.false_positives,
+                corrected_score=corrected.score,
+                num_detected_phases=plain.num_detected_phases,
+                num_baseline_phases=plain.num_baseline_phases,
+            )
+        )
+    return records

@@ -1,0 +1,181 @@
+"""The parameter sweep with an on-disk record cache.
+
+A sweep evaluates a set of grid points over every benchmark trace and
+scores each run at every MPL.  Detector runs are the expensive part, so
+completed records are appended to a JSONL cache keyed by (benchmark
+fingerprint, grid point, MPL set); re-running a sweep with a warm cache
+only aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.config_space import (
+    ConfigSpec,
+    MPL_NOMINALS_EXTENDED,
+    SuiteProfile,
+    paper_grid,
+)
+from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_spec
+from repro.workloads.suite import DEFAULT_CACHE_DIR, load_suite, workload, workload_names
+
+_CacheKey = Tuple[str, str, Tuple, int]
+
+
+def _spec_key(spec: ConfigSpec) -> Tuple:
+    return (
+        spec.family,
+        spec.cw_nominal,
+        spec.model.value,
+        spec.analyzer_label(),
+        spec.anchor.value,
+        spec.resize.value,
+    )
+
+
+class Sweep:
+    """Evaluate grid points over the benchmark suite, with caching.
+
+    Args:
+        profile: the suite profile (scale + grid density).
+        cache_dir: where traces and sweep records live (defaults to the
+            suite's trace cache directory).
+        benchmarks: subset of workload names (default: all eight).
+        mpl_nominals: nominal MPL values to score at (default: the
+            extended set including 200K, so one sweep feeds every
+            table and figure).
+    """
+
+    def __init__(
+        self,
+        profile: SuiteProfile,
+        cache_dir: Optional[Path] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+        mpl_nominals: Sequence[int] = MPL_NOMINALS_EXTENDED,
+    ) -> None:
+        self.profile = profile
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+        self.benchmarks = list(benchmarks) if benchmarks is not None else workload_names()
+        self.mpl_nominals = list(mpl_nominals)
+        self._traces = load_suite(scale=profile.workload_scale, cache_dir=self.cache_dir,
+                                  names=self.benchmarks)
+        self._baselines: Dict[str, BaselineSet] = {}
+        self._records: Dict[_CacheKey, SweepRecord] = {}
+        self._cache_path = self.cache_dir / f"sweep-{profile.name}.jsonl"
+        self._load_cache()
+
+    # -- cache ------------------------------------------------------------------
+
+    def _fingerprint(self, benchmark: str) -> str:
+        return workload(benchmark).fingerprint(self.profile.workload_scale)
+
+    def _load_cache(self) -> None:
+        if not self._cache_path.exists():
+            return
+        fingerprints = {name: self._fingerprint(name) for name in self.benchmarks}
+        with self._cache_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # tolerate a torn tail from an interrupted run
+                fingerprint = row.pop("fingerprint", "")
+                record = SweepRecord.from_row(row)
+                if fingerprints.get(record.benchmark) != fingerprint:
+                    continue  # workload changed; discard stale rows
+                self._records[self._record_key(record)] = record
+
+    def _record_key(self, record: SweepRecord) -> _CacheKey:
+        spec_key = (
+            record.family,
+            record.cw_nominal,
+            record.model,
+            record.analyzer,
+            record.anchor,
+            record.resize,
+        )
+        return (record.benchmark, self.profile.name, spec_key, record.mpl_nominal)
+
+    def _append_cache(self, records: Iterable[SweepRecord]) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        with self._cache_path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                row = record.to_row()
+                row["fingerprint"] = self._fingerprint(record.benchmark)
+                handle.write(json.dumps(row) + "\n")
+
+    # -- evaluation ----------------------------------------------------------------
+
+    @property
+    def traces(self) -> Dict[str, Tuple]:
+        """benchmark name -> (branch trace, call-loop trace)."""
+        return self._traces
+
+    def baselines(self, benchmark: str) -> BaselineSet:
+        """The solved baseline set for ``benchmark`` (computed lazily)."""
+        if benchmark not in self._baselines:
+            _, call_loop = self._traces[benchmark]
+            self._baselines[benchmark] = BaselineSet(
+                call_loop, self.profile, self.mpl_nominals, name=benchmark
+            )
+        return self._baselines[benchmark]
+
+    def ensure(
+        self,
+        specs: Optional[Sequence[ConfigSpec]] = None,
+        progress: bool = False,
+    ) -> List[SweepRecord]:
+        """Evaluate any missing (benchmark, spec) pairs; return all records.
+
+        With a warm cache this is pure lookup.  ``progress`` prints a
+        one-line-per-benchmark trace to stderr for long runs.
+        """
+        specs = list(specs) if specs is not None else paper_grid(self.profile)
+        wanted: List[SweepRecord] = []
+        for benchmark in self.benchmarks:
+            missing = [
+                spec
+                for spec in specs
+                if any(
+                    (benchmark, self.profile.name, _spec_key(spec), nominal)
+                    not in self._records
+                    for nominal in self.mpl_nominals
+                )
+            ]
+            if missing:
+                branch_trace, _ = self._traces[benchmark]
+                baselines = self.baselines(benchmark)
+                started = time.time()
+                fresh: List[SweepRecord] = []
+                for spec in missing:
+                    fresh.extend(
+                        evaluate_spec(branch_trace, baselines, spec, self.profile)
+                    )
+                for record in fresh:
+                    self._records[self._record_key(record)] = record
+                self._append_cache(fresh)
+                if progress:
+                    print(
+                        f"[sweep:{self.profile.name}] {benchmark}: "
+                        f"{len(missing)} configs in {time.time() - started:.1f}s",
+                        file=sys.stderr,
+                    )
+            for spec in specs:
+                for nominal in self.mpl_nominals:
+                    key = (benchmark, self.profile.name, _spec_key(spec), nominal)
+                    record = self._records.get(key)
+                    if record is not None:
+                        wanted.append(record)
+        return wanted
+
+    def records(self) -> List[SweepRecord]:
+        """All records currently cached (no evaluation)."""
+        return list(self._records.values())

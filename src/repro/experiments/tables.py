@@ -1,0 +1,235 @@
+"""Table generators: Tables 1(a), 1(b), 2(a), and 2(b).
+
+Each generator returns a small result object holding the rows plus a
+``render()`` producing the paper-shaped text table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baseline.coverage import BaselineCoverage
+from repro.experiments.aggregate import (
+    best_by,
+    cw_at_most_half,
+    cw_equal,
+    cw_larger,
+    cw_smaller,
+    family_default,
+    mean,
+    percent_improvement,
+)
+from repro.experiments.config_space import MPL_NOMINALS
+from repro.experiments.report import nominal_label, render_table
+from repro.experiments.runner import SweepRecord
+from repro.experiments.sweep import Sweep
+from repro.workloads.characteristics import BenchmarkCharacteristics
+
+#: Families shown in Table 2, with display names.
+TABLE2_FAMILIES: Tuple[Tuple[str, str], ...] = (
+    ("adaptive", "Adaptive TW"),
+    ("constant", "Constant TW"),
+    ("fixed", "Fixed Interval"),
+)
+
+
+@dataclass
+class Table1a:
+    """Benchmark characteristics (Table 1(a))."""
+
+    rows: List[BenchmarkCharacteristics]
+
+    def render(self) -> str:
+        return render_table(
+            ["Benchmark", "Dynamic Branches", "Loop Executions",
+             "Method Invocations", "Recursion Roots"],
+            [
+                (r.name, r.dynamic_branches, r.loop_executions,
+                 r.method_invocations, r.recursion_roots)
+                for r in self.rows
+            ],
+            title="Table 1(a): Benchmark Characteristics",
+        )
+
+
+def table_1a(sweep: Sweep) -> Table1a:
+    """Compute Table 1(a) from the sweep's traces."""
+    rows = [
+        BenchmarkCharacteristics.of(branch, call_loop)
+        for branch, call_loop in (sweep.traces[name] for name in sweep.benchmarks)
+    ]
+    return Table1a(rows)
+
+
+@dataclass
+class Table1b:
+    """Baseline phases per MPL (Table 1(b))."""
+
+    mpl_nominals: List[int]
+    #: benchmark -> {mpl_nominal: BaselineCoverage}
+    coverage: Dict[str, Dict[int, BaselineCoverage]]
+
+    def render(self) -> str:
+        headers = ["Benchmark"]
+        for nominal in self.mpl_nominals:
+            label = nominal_label(nominal)
+            headers.extend([f"MPL={label} #Phases", f"MPL={label} %inPhase"])
+        rows = []
+        for benchmark, per_mpl in self.coverage.items():
+            row: List[object] = [benchmark]
+            for nominal in self.mpl_nominals:
+                cell = per_mpl[nominal]
+                row.extend([cell.num_phases, round(cell.percent_in_phase, 2)])
+            rows.append(row)
+        return render_table(
+            headers, rows, title="Table 1(b): Baseline Phases per MPL", precision=2
+        )
+
+
+def table_1b(
+    sweep: Sweep, mpl_nominals: Sequence[int] = MPL_NOMINALS
+) -> Table1b:
+    """Compute Table 1(b) from the sweep's baseline solutions."""
+    coverage: Dict[str, Dict[int, BaselineCoverage]] = {}
+    for benchmark in sweep.benchmarks:
+        baselines = sweep.baselines(benchmark)
+        coverage[benchmark] = {
+            nominal: BaselineCoverage.of(baselines.solutions[nominal])
+            for nominal in mpl_nominals
+        }
+    return Table1b(list(mpl_nominals), coverage)
+
+
+@dataclass
+class Table2a:
+    """Percent improvement of best score: CW smaller/equal vs larger than MPL."""
+
+    #: benchmark -> family -> (smaller %, equal %)
+    rows: Dict[str, Dict[str, Tuple[float, float]]]
+
+    def render(self) -> str:
+        headers = ["Benchmark"]
+        for _, label in TABLE2_FAMILIES:
+            headers.extend([f"{label} Smaller", f"{label} Equal"])
+        body = []
+        for benchmark, per_family in self.rows.items():
+            row: List[object] = [benchmark]
+            for family, _ in TABLE2_FAMILIES:
+                smaller, equal = per_family[family]
+                row.extend([round(smaller, 2), round(equal, 2)])
+            body.append(row)
+        averages: List[object] = ["Average"]
+        for index in range(len(TABLE2_FAMILIES) * 2):
+            averages.append(
+                round(mean([row[index + 1] for row in body]), 2)
+            )
+        body.append(averages)
+        return render_table(
+            headers, body,
+            title="Table 2(a): % improvement in best score, CW smaller/equal vs larger than MPL",
+            precision=2,
+        )
+
+
+def table_2a(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    mpl_nominals: Sequence[int] = MPL_NOMINALS,
+) -> Table2a:
+    """Compute Table 2(a) from sweep records.
+
+    For each (benchmark, family, MPL): the best score across all other
+    parameters with the CW smaller than / equal to / larger than the
+    MPL; the improvement columns are averaged over the MPLs for which
+    all three categories exist.
+    """
+    bests = _best_per_relation(records, mpl_nominals)
+    rows: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for benchmark in benchmarks:
+        per_family: Dict[str, Tuple[float, float]] = {}
+        for family, _ in TABLE2_FAMILIES:
+            smaller_gains: List[float] = []
+            equal_gains: List[float] = []
+            for nominal in mpl_nominals:
+                cell = {
+                    name: bests[(benchmark, family, nominal, name)]
+                    for name in ("smaller", "equal", "larger")
+                    if (benchmark, family, nominal, name) in bests
+                }
+                if len(cell) == 3:
+                    smaller_gains.append(
+                        percent_improvement(cell["smaller"], cell["larger"])
+                    )
+                    equal_gains.append(
+                        percent_improvement(cell["equal"], cell["larger"])
+                    )
+            per_family[family] = (mean(smaller_gains), mean(equal_gains))
+        rows[benchmark] = per_family
+    return Table2a(rows)
+
+
+def _best_per_relation(
+    records: Sequence[SweepRecord], mpl_nominals: Sequence[int]
+) -> Dict[Tuple, float]:
+    """One pass: best score per (benchmark, family, MPL, CW-MPL relation)."""
+    wanted = set(mpl_nominals)
+    family_checks = [(family, family_default(family)) for family, _ in TABLE2_FAMILIES]
+    relations = (
+        ("smaller", cw_smaller),
+        ("equal", cw_equal),
+        ("larger", cw_larger),
+        ("half", cw_at_most_half),
+    )
+    bests: Dict[Tuple, float] = {}
+    for record in records:
+        if record.mpl_nominal not in wanted:
+            continue
+        for family, check in family_checks:
+            if not check(record):
+                continue
+            for name, relation in relations:
+                if relation(record):
+                    key = (record.benchmark, family, record.mpl_nominal, name)
+                    if key not in bests or record.score > bests[key]:
+                        bests[key] = record.score
+    return bests
+
+
+@dataclass
+class Table2b:
+    """Average of best scores for CW smaller / equal / at most half the MPL."""
+
+    #: family -> (smaller, equal, half)
+    rows: Dict[str, Tuple[float, float, float]]
+
+    def render(self) -> str:
+        body = [
+            (label, *map(lambda v: round(v, 3), self.rows[family]))
+            for family, label in TABLE2_FAMILIES
+        ]
+        return render_table(
+            ["TW policy", "Smaller", "Equal", "1/2 MPL"],
+            body,
+            title="Table 2(b): average of best scores across benchmarks and MPLs",
+        )
+
+
+def table_2b(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    mpl_nominals: Sequence[int] = MPL_NOMINALS,
+) -> Table2b:
+    """Compute Table 2(b): mean over (benchmark, MPL) cells of best scores."""
+    bests = _best_per_relation(records, mpl_nominals)
+    rows: Dict[str, Tuple[float, float, float]] = {}
+    for family, _ in TABLE2_FAMILIES:
+        cells: Dict[str, List[float]] = {"smaller": [], "equal": [], "half": []}
+        for benchmark in benchmarks:
+            for nominal in mpl_nominals:
+                for name in cells:
+                    key = (benchmark, family, nominal, name)
+                    if key in bests:
+                        cells[name].append(bests[key])
+        rows[family] = (mean(cells["smaller"]), mean(cells["equal"]), mean(cells["half"]))
+    return Table2b(rows)

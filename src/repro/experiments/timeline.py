@@ -1,0 +1,110 @@
+"""ASCII timelines: visualize state sequences and phase structure.
+
+The paper's companion work visualizes phased behavior; for a terminal
+library the equivalent is a downsampled strip per state sequence, plus
+side-by-side comparison of oracle and detector output with a difference
+row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+PHASE_CHAR = "#"
+TRANSITION_CHAR = "."
+DIFF_CHAR = "x"
+AGREE_CHAR = " "
+
+
+def strip(states: np.ndarray, width: int = 100) -> str:
+    """Downsample a boolean state array to a ``width``-character strip.
+
+    Each character covers ``ceil(n / width)`` elements and shows ``#``
+    when the majority is in phase.
+    """
+    states = np.asarray(states, dtype=bool)
+    if states.size == 0:
+        return ""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    bucket = max(1, -(-states.size // width))
+    chars: List[str] = []
+    for start in range(0, states.size, bucket):
+        window = states[start : start + bucket]
+        chars.append(PHASE_CHAR if window.mean() >= 0.5 else TRANSITION_CHAR)
+    return "".join(chars)
+
+
+def difference_strip(
+    detected: np.ndarray, baseline: np.ndarray, width: int = 100
+) -> str:
+    """A strip marking where detector and oracle disagree (majority-wise)."""
+    detected = np.asarray(detected, dtype=bool)
+    baseline = np.asarray(baseline, dtype=bool)
+    if detected.shape != baseline.shape:
+        raise ValueError("state arrays differ in length")
+    if detected.size == 0:
+        return ""
+    disagreement = detected != baseline
+    bucket = max(1, -(-detected.size // width))
+    chars: List[str] = []
+    for start in range(0, detected.size, bucket):
+        window = disagreement[start : start + bucket]
+        chars.append(DIFF_CHAR if window.mean() >= 0.5 else AGREE_CHAR)
+    return "".join(chars)
+
+
+def comparison(
+    rows: Dict[str, np.ndarray],
+    width: int = 100,
+    diff_against: Optional[str] = None,
+) -> str:
+    """Render labelled strips, aligned, optionally with a difference row.
+
+    Args:
+        rows: label -> boolean state array (all the same length).
+        width: strip width in characters.
+        diff_against: a label in ``rows``; every other row gets a
+            disagreement strip against it.
+    """
+    if not rows:
+        return ""
+    lengths = {states.shape[0] if hasattr(states, "shape") else len(states)
+               for states in rows.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"state arrays differ in length: {sorted(lengths)}")
+    label_width = max(len(label) for label in rows)
+    if diff_against is not None:
+        diff_labels = [len("^diff " + label) for label in rows if label != diff_against]
+        if diff_labels:
+            label_width = max(label_width, max(diff_labels))
+    lines = [
+        f"{label.ljust(label_width)}  {strip(states, width)}"
+        for label, states in rows.items()
+    ]
+    if diff_against is not None:
+        reference = rows[diff_against]
+        for label, states in rows.items():
+            if label == diff_against:
+                continue
+            lines.append(
+                f"{('^diff ' + label).ljust(label_width)}  "
+                f"{difference_strip(states, reference, width)}".rstrip()
+            )
+    return "\n".join(lines)
+
+
+def phase_ruler(num_elements: int, phases: Sequence, width: int = 100) -> str:
+    """A strip marking phase *boundaries* (starts and ends) with ``|``."""
+    if num_elements <= 0:
+        return ""
+    bucket = max(1, -(-num_elements // width))
+    marks = [" "] * (-(-num_elements // bucket))
+    for interval in phases:
+        start, end = interval[0], interval[1]
+        for position in (start, max(start, end - 1)):
+            index = min(position // bucket, len(marks) - 1)
+            marks[index] = "|"
+    return "".join(marks)

@@ -1,0 +1,80 @@
+"""Branch-trace substrate: profile elements, traces, trace I/O, synthetic generators.
+
+The paper's detectors consume a *conditional branch trace*: a sequence of
+profile elements, each encoding a unique source location (method id +
+bytecode offset) plus a taken bit.  This package provides that substrate:
+
+- :mod:`repro.profiles.element` — the packed integer encoding.
+- :mod:`repro.profiles.trace` — the :class:`BranchTrace` container.
+- :mod:`repro.profiles.io` — text and binary on-disk formats.
+- :mod:`repro.profiles.synthetic` — synthetic phased-trace generators
+  used by tests and micro-benchmarks.
+- :mod:`repro.profiles.alphabet` — branch-site alphabet bookkeeping.
+"""
+
+from repro.profiles.element import (
+    MAX_METHOD_ID,
+    MAX_OFFSET,
+    ProfileElement,
+    decode_element,
+    encode_element,
+)
+from repro.profiles.trace import BranchTrace, TraceStats
+from repro.profiles.alphabet import BranchAlphabet
+from repro.profiles.io import (
+    read_trace,
+    read_trace_binary,
+    read_trace_text,
+    stream_trace,
+    write_trace,
+    write_trace_binary,
+    write_trace_text,
+)
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+from repro.profiles.multithread import demux, detect_per_thread, interleave
+from repro.profiles.perturb import (
+    drop_elements,
+    inject_noise,
+    sample_elements,
+    swap_segments,
+)
+from repro.profiles.synthetic import (
+    PhaseSpec,
+    SyntheticTraceBuilder,
+    make_phased_trace,
+    make_noise_trace,
+    make_periodic_trace,
+)
+
+__all__ = [
+    "MAX_METHOD_ID",
+    "MAX_OFFSET",
+    "ProfileElement",
+    "decode_element",
+    "encode_element",
+    "BranchTrace",
+    "TraceStats",
+    "BranchAlphabet",
+    "read_trace",
+    "read_trace_binary",
+    "read_trace_text",
+    "stream_trace",
+    "write_trace",
+    "write_trace_binary",
+    "write_trace_text",
+    "CallLoopEvent",
+    "CallLoopTrace",
+    "EventKind",
+    "demux",
+    "detect_per_thread",
+    "interleave",
+    "drop_elements",
+    "inject_noise",
+    "sample_elements",
+    "swap_segments",
+    "PhaseSpec",
+    "SyntheticTraceBuilder",
+    "make_phased_trace",
+    "make_noise_trace",
+    "make_periodic_trace",
+]

@@ -1,0 +1,78 @@
+"""Branch-site alphabet bookkeeping.
+
+A *branch alphabet* interns arbitrary hashable site labels (e.g. a
+``(function, offset)`` pair from the MiniVM, or a string name in a
+synthetic generator) into dense profile-element integers.  Keeping the
+alphabet dense keeps the similarity models' hash tables small and makes
+synthetic traces reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+from repro.profiles.element import encode_element
+
+
+class BranchAlphabet:
+    """Interns site labels into (method_id, offset) pairs and profile elements.
+
+    Labels are assigned ids in first-seen order, so a trace produced from
+    the same program is byte-identical across runs.
+    """
+
+    def __init__(self) -> None:
+        self._site_ids: Dict[Hashable, Tuple[int, int]] = {}
+        self._labels: List[Hashable] = []
+        self._method_ids: Dict[Hashable, int] = {}
+        self._method_names: List[Hashable] = []
+        self._next_offset: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._site_ids
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._labels)
+
+    def method_id(self, method: Hashable) -> int:
+        """Return (assigning if needed) the dense id for ``method``."""
+        mid = self._method_ids.get(method)
+        if mid is None:
+            mid = len(self._method_names)
+            self._method_ids[method] = mid
+            self._method_names.append(method)
+            self._next_offset[mid] = 0
+        return mid
+
+    def method_name(self, method_id: int) -> Hashable:
+        """Return the label originally interned for ``method_id``."""
+        return self._method_names[method_id]
+
+    def site(self, label: Hashable, method: Hashable = None) -> Tuple[int, int]:
+        """Intern ``label`` as a branch site, returning (method_id, offset).
+
+        If ``method`` is None the label itself is used as the method key,
+        which gives every site its own method — fine for synthetic traces.
+        """
+        ids = self._site_ids.get(label)
+        if ids is None:
+            mid = self.method_id(method if method is not None else label)
+            offset = self._next_offset[mid]
+            self._next_offset[mid] = offset + 1
+            ids = (mid, offset)
+            self._site_ids[label] = ids
+            self._labels.append(label)
+        return ids
+
+    def element(self, label: Hashable, taken: bool, method: Hashable = None) -> int:
+        """Intern ``label`` and return the packed profile element for it."""
+        mid, offset = self.site(label, method)
+        return encode_element(mid, offset, taken)
+
+    @property
+    def num_methods(self) -> int:
+        """Number of distinct methods interned so far."""
+        return len(self._method_names)

@@ -1,0 +1,169 @@
+"""The dynamic call-loop trace.
+
+Section 4.1 of the paper instruments loop and method entries/exits and
+records, for each event, a unique identifier plus the offset into the
+branch trace at that point ("the time of the latest dynamic branch").
+The baseline oracle consumes this trace to find complete repetitive
+instances.
+
+Events carry:
+
+- ``kind`` — one of :class:`EventKind`,
+- ``ident`` — the static loop id or method id,
+- ``time`` — number of branch profile elements emitted *before* the
+  event, i.e. the event sits between trace positions ``time - 1`` and
+  ``time``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+
+class EventKind(enum.IntEnum):
+    """The four call-loop instrumentation events."""
+
+    METHOD_ENTRY = 0
+    METHOD_EXIT = 1
+    LOOP_ENTRY = 2
+    LOOP_EXIT = 3
+
+
+@dataclass(frozen=True)
+class CallLoopEvent:
+    """One instrumentation event in the call-loop trace."""
+
+    kind: EventKind
+    ident: int
+    time: int
+
+    def is_entry(self) -> bool:
+        """True for METHOD_ENTRY and LOOP_ENTRY."""
+        return self.kind in (EventKind.METHOD_ENTRY, EventKind.LOOP_ENTRY)
+
+    def is_loop(self) -> bool:
+        """True for LOOP_ENTRY and LOOP_EXIT."""
+        return self.kind in (EventKind.LOOP_ENTRY, EventKind.LOOP_EXIT)
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.ident})@{self.time}"
+
+
+class CallLoopTrace:
+    """An ordered sequence of call-loop events for one program run."""
+
+    __slots__ = ("_events", "name", "num_branches")
+
+    def __init__(
+        self,
+        events: Iterable[CallLoopEvent] = (),
+        name: str = "",
+        num_branches: int = 0,
+    ) -> None:
+        self._events: List[CallLoopEvent] = list(events)
+        self.name = name
+        self.num_branches = num_branches
+        self._validate()
+
+    def _validate(self) -> None:
+        last_time = 0
+        for event in self._events:
+            if event.time < last_time:
+                raise ValueError(
+                    f"call-loop events out of order: {event} after time {last_time}"
+                )
+            last_time = event.time
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[CallLoopEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> CallLoopEvent:
+        return self._events[index]
+
+    def __repr__(self) -> str:
+        return f"CallLoopTrace({self.name!r}, events={len(self)})"
+
+    # -- summary statistics used by Table 1(a) ------------------------------
+
+    def loop_executions(self) -> int:
+        """Number of complete loop executions (LOOP_ENTRY events)."""
+        return sum(1 for e in self._events if e.kind == EventKind.LOOP_ENTRY)
+
+    def method_invocations(self) -> int:
+        """Number of method invocations (METHOD_ENTRY events)."""
+        return sum(1 for e in self._events if e.kind == EventKind.METHOD_ENTRY)
+
+    def recursion_roots(self) -> int:
+        """Number of method invocations that are roots of recursive execution.
+
+        Per Section 3.1: an invocation of method *m* is a recursion root
+        if no other activation of *m* is on the stack at the time of the
+        invocation **and** the execution it starts later re-invokes *m*
+        (directly or transitively) before returning.
+        """
+        roots = 0
+        # Each stack entry: [method id, is outermost activation, re-invoked?]
+        stack: List[List[object]] = []
+        depth_of: dict = {}
+        outermost_index: dict = {}
+        for event in self._events:
+            if event.kind == EventKind.METHOD_ENTRY:
+                mid = event.ident
+                depth = depth_of.get(mid, 0)
+                if depth == 0:
+                    outermost_index[mid] = len(stack)
+                    stack.append([mid, True, False])
+                else:
+                    stack[outermost_index[mid]][2] = True
+                    stack.append([mid, False, False])
+                depth_of[mid] = depth + 1
+            elif event.kind == EventKind.METHOD_EXIT:
+                if stack:
+                    mid, outermost, reinvoked = stack.pop()
+                    depth_of[mid] = depth_of.get(mid, 1) - 1
+                    if outermost and reinvoked:
+                        roots += 1
+        return roots
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write a compact binary form of the trace."""
+        path = Path(path)
+        with path.open("wb") as handle:
+            handle.write(b"RPCLOOP1")
+            name_bytes = self.name.encode("utf-8")
+            handle.write(len(name_bytes).to_bytes(4, "little"))
+            handle.write(name_bytes)
+            handle.write(self.num_branches.to_bytes(8, "little"))
+            handle.write(len(self._events).to_bytes(8, "little"))
+            for event in self._events:
+                handle.write(int(event.kind).to_bytes(1, "little"))
+                handle.write(event.ident.to_bytes(8, "little"))
+                handle.write(event.time.to_bytes(8, "little"))
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "CallLoopTrace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        with path.open("rb") as handle:
+            magic = handle.read(8)
+            if magic != b"RPCLOOP1":
+                raise ValueError(f"{path}: bad call-loop trace magic {magic!r}")
+            name_len = int.from_bytes(handle.read(4), "little")
+            name = handle.read(name_len).decode("utf-8")
+            num_branches = int.from_bytes(handle.read(8), "little")
+            count = int.from_bytes(handle.read(8), "little")
+            events = []
+            for _ in range(count):
+                kind = EventKind(int.from_bytes(handle.read(1), "little"))
+                ident = int.from_bytes(handle.read(8), "little")
+                time = int.from_bytes(handle.read(8), "little")
+                events.append(CallLoopEvent(kind, ident, time))
+        return CallLoopTrace(events, name=name, num_branches=num_branches)

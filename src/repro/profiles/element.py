@@ -1,0 +1,84 @@
+"""Profile element encoding.
+
+The paper (Section 4.1) represents each dynamic conditional branch as a
+single integer that encodes a unique method ID, the bytecode offset of
+the branch within that method, and a bit recording whether the branch
+was taken.  We use the packed layout::
+
+    bits [1 + OFFSET_BITS, ...)  method id
+    bits [1, 1 + OFFSET_BITS)    bytecode offset
+    bit  0                       taken
+
+so two dynamic executions of the same static branch with the same
+outcome map to the same profile element, which is exactly the property
+the set-based similarity models rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+OFFSET_BITS = 16
+TAKEN_BITS = 1
+
+MAX_OFFSET = (1 << OFFSET_BITS) - 1
+MAX_METHOD_ID = (1 << (63 - OFFSET_BITS - TAKEN_BITS)) - 1
+
+_OFFSET_SHIFT = TAKEN_BITS
+_METHOD_SHIFT = TAKEN_BITS + OFFSET_BITS
+
+#: Public alias: right-shift a packed element by this to get its method id.
+METHOD_SHIFT = _METHOD_SHIFT
+
+
+def encode_element(method_id: int, offset: int, taken: bool) -> int:
+    """Pack a branch site + outcome into a single profile-element integer.
+
+    Args:
+        method_id: unique id of the method containing the branch.
+        offset: bytecode offset of the branch within the method.
+        taken: whether the branch was taken.
+
+    Returns:
+        A non-negative integer uniquely identifying (method, offset, taken).
+
+    Raises:
+        ValueError: if either field is out of range.
+    """
+    if not 0 <= method_id <= MAX_METHOD_ID:
+        raise ValueError(f"method_id {method_id} out of range [0, {MAX_METHOD_ID}]")
+    if not 0 <= offset <= MAX_OFFSET:
+        raise ValueError(f"offset {offset} out of range [0, {MAX_OFFSET}]")
+    return (method_id << _METHOD_SHIFT) | (offset << _OFFSET_SHIFT) | int(bool(taken))
+
+
+def decode_element(element: int) -> "ProfileElement":
+    """Unpack a profile-element integer produced by :func:`encode_element`."""
+    if element < 0:
+        raise ValueError(f"profile element must be non-negative, got {element}")
+    taken = bool(element & 1)
+    offset = (element >> _OFFSET_SHIFT) & MAX_OFFSET
+    method_id = element >> _METHOD_SHIFT
+    return ProfileElement(method_id=method_id, offset=offset, taken=taken)
+
+
+@dataclass(frozen=True)
+class ProfileElement:
+    """A decoded profile element: one dynamic conditional-branch outcome."""
+
+    method_id: int
+    offset: int
+    taken: bool
+
+    def encode(self) -> int:
+        """Pack this element back into its integer form."""
+        return encode_element(self.method_id, self.offset, self.taken)
+
+    @property
+    def site(self) -> int:
+        """The static branch site (method id + offset), ignoring the outcome."""
+        return (self.method_id << _METHOD_SHIFT) | (self.offset << _OFFSET_SHIFT)
+
+    def __str__(self) -> str:
+        arrow = "T" if self.taken else "N"
+        return f"m{self.method_id}@{self.offset}:{arrow}"

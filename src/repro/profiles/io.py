@@ -1,0 +1,153 @@
+"""Trace persistence: text and binary on-disk formats.
+
+Two formats are supported:
+
+* **Text** (``.trace``): a human-inspectable header followed by one
+  packed element per line.  Useful for small fixtures and debugging.
+* **Binary** (``.btrace``): a small magic header followed by raw little-
+  endian int64 data.  This is the format the workload suite caches.
+
+Both formats round-trip exactly, including the trace name.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.profiles.trace import BranchTrace
+
+TEXT_MAGIC = "# repro-branch-trace v1"
+BINARY_MAGIC = b"RPTRACE1"
+
+PathLike = Union[str, os.PathLike]
+
+
+class TraceFormatError(ValueError):
+    """Raised when an on-disk trace file is malformed."""
+
+
+def write_trace_text(trace: BranchTrace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in the one-element-per-line text format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"{TEXT_MAGIC}\n")
+        handle.write(f"# name: {trace.name}\n")
+        handle.write(f"# length: {len(trace)}\n")
+        for chunk in trace.chunks(1 << 16) if len(trace) else []:
+            handle.write("\n".join(map(str, chunk.tolist())))
+            handle.write("\n")
+
+
+def read_trace_text(path: PathLike) -> BranchTrace:
+    """Read a text-format trace written by :func:`write_trace_text`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline().rstrip("\n")
+        if first != TEXT_MAGIC:
+            raise TraceFormatError(f"{path}: bad magic line {first!r}")
+        name = ""
+        declared_length = None
+        position = handle.tell()
+        while True:
+            position = handle.tell()
+            line = handle.readline()
+            if not line.startswith("#"):
+                break
+            body = line[1:].strip()
+            if body.startswith("name:"):
+                name = body[len("name:") :].strip()
+            elif body.startswith("length:"):
+                declared_length = int(body[len("length:") :].strip())
+        handle.seek(position)
+        data = np.loadtxt(handle, dtype=np.int64, ndmin=1) if _has_data(handle) else np.empty(0, np.int64)
+    if declared_length is not None and data.size != declared_length:
+        raise TraceFormatError(
+            f"{path}: declared length {declared_length} but found {data.size} elements"
+        )
+    return BranchTrace(data, name=name)
+
+
+def _has_data(handle: io.TextIOBase) -> bool:
+    position = handle.tell()
+    chunk = handle.read(64)
+    handle.seek(position)
+    return bool(chunk.strip())
+
+
+def write_trace_binary(trace: BranchTrace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in the compact binary format."""
+    path = Path(path)
+    name_bytes = trace.name.encode("utf-8")
+    with path.open("wb") as handle:
+        handle.write(BINARY_MAGIC)
+        handle.write(len(name_bytes).to_bytes(4, "little"))
+        handle.write(name_bytes)
+        handle.write(len(trace).to_bytes(8, "little"))
+        handle.write(np.ascontiguousarray(trace.array, dtype="<i8").tobytes())
+
+
+def read_trace_binary(path: PathLike) -> BranchTrace:
+    """Read a binary-format trace written by :func:`write_trace_binary`."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(BINARY_MAGIC))
+        if magic != BINARY_MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        name_len = int.from_bytes(handle.read(4), "little")
+        name = handle.read(name_len).decode("utf-8")
+        length = int.from_bytes(handle.read(8), "little")
+        payload = handle.read(length * 8)
+        if len(payload) != length * 8:
+            raise TraceFormatError(f"{path}: truncated payload")
+        data = np.frombuffer(payload, dtype="<i8").astype(np.int64)
+    return BranchTrace(data, name=name)
+
+
+def write_trace(trace: BranchTrace, path: PathLike) -> None:
+    """Write a trace, picking the format from the file extension.
+
+    ``.btrace`` selects the binary format; anything else gets text.
+    """
+    if str(path).endswith(".btrace"):
+        write_trace_binary(trace, path)
+    else:
+        write_trace_text(trace, path)
+
+
+def read_trace(path: PathLike) -> BranchTrace:
+    """Read a trace, picking the format from the file extension."""
+    if str(path).endswith(".btrace"):
+        return read_trace_binary(path)
+    return read_trace_text(path)
+
+
+def stream_trace(path: PathLike, chunk_size: int = 1 << 16) -> Iterator[np.ndarray]:
+    """Stream a binary trace from disk in chunks without loading it whole.
+
+    This models the online setting: the detector never needs the full
+    profile in memory.  Yields int64 arrays of at most ``chunk_size``
+    elements.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(BINARY_MAGIC))
+        if magic != BINARY_MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        name_len = int.from_bytes(handle.read(4), "little")
+        handle.read(name_len)
+        length = int.from_bytes(handle.read(8), "little")
+        remaining = length
+        while remaining > 0:
+            take = min(chunk_size, remaining)
+            payload = handle.read(take * 8)
+            if len(payload) != take * 8:
+                raise TraceFormatError(f"{path}: truncated payload")
+            remaining -= take
+            yield np.frombuffer(payload, dtype="<i8").astype(np.int64)

@@ -1,0 +1,97 @@
+"""Trace perturbation: controlled corruption for robustness studies.
+
+Online detectors in production consume *sampled* or *lossy* profiles
+(the paper's remote-profiling citation motivates exactly this).  These
+transforms model the common defects:
+
+- :func:`inject_noise` — replace a fraction of elements with fresh
+  never-seen elements (sampling glitches, unrelated interrupts);
+- :func:`drop_elements` — delete a fraction of elements (lossy
+  collection, rate-limited buffers);
+- :func:`sample_elements` — keep every k-th element (systematic
+  sampling, the cheapest collection strategy);
+- :func:`swap_segments` — exchange two segments (out-of-order delivery).
+
+All transforms are deterministic under a seed and preserve element
+encodability.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+import numpy as np
+
+from repro.profiles.element import MAX_METHOD_ID, encode_element
+from repro.profiles.trace import BranchTrace
+
+#: Noise elements are drawn from a reserved method-id range far above
+#: anything the MiniVM or synthetic generators produce.
+_NOISE_METHOD_BASE = MAX_METHOD_ID - (1 << 20)
+
+
+def _fresh_noise(rng: random.Random) -> int:
+    return encode_element(
+        _NOISE_METHOD_BASE + rng.randrange(1 << 20),
+        rng.randrange(1 << 16),
+        bool(rng.getrandbits(1)),
+    )
+
+
+def inject_noise(trace: BranchTrace, rate: float, seed: int = 0) -> BranchTrace:
+    """Replace a ``rate`` fraction of elements with fresh noise elements."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if rate == 0.0 or len(trace) == 0:
+        return trace
+    rng = random.Random(seed)
+    data = trace.array.copy()
+    count = int(round(rate * data.size))
+    positions = rng.sample(range(data.size), count)
+    for position in positions:
+        data[position] = _fresh_noise(rng)
+    return BranchTrace(data, name=f"{trace.name}+noise{rate}", meta=trace.meta)
+
+
+def drop_elements(trace: BranchTrace, rate: float, seed: int = 0) -> BranchTrace:
+    """Delete a ``rate`` fraction of elements uniformly at random."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"rate must be in [0, 1), got {rate}")
+    if rate == 0.0 or len(trace) == 0:
+        return trace
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(trace)) >= rate
+    return BranchTrace(
+        trace.array[keep], name=f"{trace.name}-drop{rate}", meta=trace.meta
+    )
+
+
+def sample_elements(trace: BranchTrace, period: int) -> BranchTrace:
+    """Keep every ``period``-th element (systematic sampling)."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if period == 1:
+        return trace
+    return BranchTrace(
+        trace.array[::period], name=f"{trace.name}/s{period}", meta=trace.meta
+    )
+
+
+def swap_segments(
+    trace: BranchTrace,
+    first: Tuple[int, int],
+    second: Tuple[int, int],
+) -> BranchTrace:
+    """Exchange two equal-length, non-overlapping segments."""
+    (a_start, a_end), (b_start, b_end) = sorted([first, second])
+    if a_end - a_start != b_end - b_start:
+        raise ValueError("segments must have equal length")
+    if not (0 <= a_start <= a_end <= b_start <= b_end <= len(trace)):
+        raise ValueError("segments must be in order, in range, non-overlapping")
+    data = trace.array.copy()
+    data[a_start:a_end], data[b_start:b_end] = (
+        trace.array[b_start:b_end],
+        trace.array[a_start:a_end],
+    )
+    return BranchTrace(data, name=f"{trace.name}~swap", meta=trace.meta)

@@ -1,0 +1,166 @@
+"""Synthetic phased-trace generators.
+
+These builders produce branch traces with *known* phase structure, which
+makes them the backbone of the unit/property tests: a detector's output
+can be checked against ground truth without running the oracle, and the
+oracle can be checked against the spec used to generate the trace.
+
+The central abstraction is :class:`PhaseSpec`: a contiguous region of
+the trace drawn from a fixed repeating pattern (a "loop body"), possibly
+perturbed with noise.  Regions between phases are transitions drawn from
+a wide random alphabet.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.profiles.alphabet import BranchAlphabet
+from repro.profiles.trace import BranchTrace
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Ground-truth description of one phase region in a synthetic trace.
+
+    Attributes:
+        start: index of the first element of the phase.
+        length: number of elements in the phase.
+        pattern_id: identifies the repeating pattern; equal ids mean the
+            same "loop body" repeated.
+    """
+
+    start: int
+    length: int
+    pattern_id: int
+
+    @property
+    def end(self) -> int:
+        """Index one past the last element of the phase."""
+        return self.start + self.length
+
+
+class SyntheticTraceBuilder:
+    """Incrementally build a trace with known phase / transition regions.
+
+    Example::
+
+        builder = SyntheticTraceBuilder(seed=7)
+        builder.add_transition(200)
+        builder.add_phase(5_000, body_size=12)
+        builder.add_transition(300)
+        trace, specs = builder.build()
+    """
+
+    def __init__(self, seed: int = 0, name: str = "synthetic") -> None:
+        self._rng = random.Random(seed)
+        self._name = name
+        self._elements: List[int] = []
+        self._specs: List[PhaseSpec] = []
+        self._alphabet = BranchAlphabet()
+        self._patterns: List[List[int]] = []
+        self._noise_sites = 0
+
+    def _fresh_noise_element(self) -> int:
+        self._noise_sites += 1
+        label = ("noise", self._noise_sites)
+        return self._alphabet.element(label, taken=bool(self._rng.getrandbits(1)))
+
+    def new_pattern(self, body_size: int) -> int:
+        """Create a fresh repeating pattern of ``body_size`` distinct sites."""
+        if body_size <= 0:
+            raise ValueError("body_size must be positive")
+        pattern_id = len(self._patterns)
+        body = [
+            self._alphabet.element(("pattern", pattern_id, i), taken=(i % 2 == 0))
+            for i in range(body_size)
+        ]
+        self._patterns.append(body)
+        return pattern_id
+
+    def add_phase(
+        self,
+        length: int,
+        body_size: int = 10,
+        pattern_id: Optional[int] = None,
+        noise_rate: float = 0.0,
+    ) -> PhaseSpec:
+        """Append a phase: ``length`` elements cycling through a pattern body.
+
+        Args:
+            length: number of profile elements in the phase.
+            body_size: number of distinct sites in a fresh pattern
+                (ignored when ``pattern_id`` is given).
+            pattern_id: reuse a previously created pattern (so the phase
+                "repeats" an earlier one).
+            noise_rate: probability, per element, of substituting a
+                never-seen noise element — models warm-up jitter.
+
+        Returns:
+            The :class:`PhaseSpec` recording the ground truth.
+        """
+        if length <= 0:
+            raise ValueError("phase length must be positive")
+        if not 0.0 <= noise_rate < 1.0:
+            raise ValueError("noise_rate must be in [0, 1)")
+        if pattern_id is None:
+            pattern_id = self.new_pattern(body_size)
+        body = self._patterns[pattern_id]
+        start = len(self._elements)
+        for i in range(length):
+            if noise_rate and self._rng.random() < noise_rate:
+                self._elements.append(self._fresh_noise_element())
+            else:
+                self._elements.append(body[i % len(body)])
+        spec = PhaseSpec(start=start, length=length, pattern_id=pattern_id)
+        self._specs.append(spec)
+        return spec
+
+    def add_transition(self, length: int) -> None:
+        """Append ``length`` elements of non-repeating transition noise."""
+        if length < 0:
+            raise ValueError("transition length must be non-negative")
+        for _ in range(length):
+            self._elements.append(self._fresh_noise_element())
+
+    def build(self) -> Tuple[BranchTrace, List[PhaseSpec]]:
+        """Finalize and return (trace, ground-truth phase specs)."""
+        trace = BranchTrace(np.asarray(self._elements, dtype=np.int64), name=self._name)
+        return trace, list(self._specs)
+
+
+def make_phased_trace(
+    num_phases: int = 4,
+    phase_length: int = 2_000,
+    transition_length: int = 200,
+    body_size: int = 10,
+    seed: int = 0,
+) -> Tuple[BranchTrace, List[PhaseSpec]]:
+    """Build a simple alternating transition/phase/transition/... trace."""
+    builder = SyntheticTraceBuilder(seed=seed, name="phased")
+    for _ in range(num_phases):
+        builder.add_transition(transition_length)
+        builder.add_phase(phase_length, body_size=body_size)
+    builder.add_transition(transition_length)
+    return builder.build()
+
+
+def make_noise_trace(length: int = 5_000, seed: int = 0) -> BranchTrace:
+    """Build a trace of pure transition noise (no repetition at all)."""
+    builder = SyntheticTraceBuilder(seed=seed, name="noise")
+    builder.add_transition(length)
+    trace, _ = builder.build()
+    return trace
+
+
+def make_periodic_trace(
+    length: int = 10_000, body_size: int = 16, seed: int = 0
+) -> Tuple[BranchTrace, List[PhaseSpec]]:
+    """Build a trace that is one long perfectly periodic phase."""
+    builder = SyntheticTraceBuilder(seed=seed, name="periodic")
+    builder.add_phase(length, body_size=body_size)
+    return builder.build()

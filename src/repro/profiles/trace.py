@@ -1,0 +1,139 @@
+"""The BranchTrace container.
+
+A :class:`BranchTrace` is the immutable unit of input to every detector
+and to the baseline oracle: a dense array of packed profile elements
+plus optional provenance metadata.  Internally it is a ``numpy`` int64
+array so that whole-trace statistics (distinct sites, entropy, run
+structure) stay cheap even for million-element traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.profiles.element import METHOD_SHIFT, ProfileElement, decode_element
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Whole-trace summary statistics."""
+
+    length: int
+    distinct_elements: int
+    distinct_methods: int
+    entropy_bits: float
+    most_common_element: int
+    most_common_fraction: float
+
+
+class BranchTrace:
+    """An immutable sequence of packed profile elements.
+
+    Args:
+        elements: packed profile-element integers (any int sequence or
+            numpy array; copied/coerced to an int64 array).
+        name: optional provenance label (e.g. the workload name).
+        meta: optional free-form metadata dictionary.
+    """
+
+    __slots__ = ("_data", "name", "meta")
+
+    def __init__(
+        self,
+        elements: Union[Sequence[int], np.ndarray],
+        name: str = "",
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        data = np.asarray(elements, dtype=np.int64)
+        if data.ndim != 1:
+            raise ValueError(f"trace must be one-dimensional, got shape {data.shape}")
+        if data.size and data.min() < 0:
+            raise ValueError("profile elements must be non-negative")
+        data.setflags(write=False)
+        self._data = data
+        self.name = name
+        self.meta = dict(meta or {})
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data.tolist())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return BranchTrace(self._data[index], name=self.name, meta=self.meta)
+        return int(self._data[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BranchTrace):
+            return NotImplemented
+        return np.array_equal(self._data, other._data)
+
+    def __hash__(self) -> int:
+        return hash((self.name, len(self), self._data[:64].tobytes()))
+
+    def __repr__(self) -> str:
+        label = self.name or "<anonymous>"
+        return f"BranchTrace({label!r}, length={len(self)})"
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying read-only int64 array."""
+        return self._data
+
+    def decoded(self) -> Iterator[ProfileElement]:
+        """Iterate decoded :class:`ProfileElement` values (slow; for debugging)."""
+        for value in self._data.tolist():
+            yield decode_element(value)
+
+    def chunks(self, size: int) -> Iterator[np.ndarray]:
+        """Yield consecutive chunks of at most ``size`` elements."""
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        for start in range(0, len(self), size):
+            yield self._data[start : start + size]
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats(self) -> TraceStats:
+        """Compute whole-trace summary statistics."""
+        if len(self) == 0:
+            return TraceStats(0, 0, 0, 0.0, -1, 0.0)
+        values, counts = np.unique(self._data, return_counts=True)
+        probs = counts / counts.sum()
+        entropy = float(-(probs * np.log2(probs)).sum())
+        top = int(np.argmax(counts))
+        methods = np.unique(values >> METHOD_SHIFT)
+        return TraceStats(
+            length=len(self),
+            distinct_elements=int(values.size),
+            distinct_methods=int(methods.size),
+            entropy_bits=entropy,
+            most_common_element=int(values[top]),
+            most_common_fraction=float(counts[top] / len(self)),
+        )
+
+    def distinct_elements(self) -> int:
+        """Number of distinct profile elements in the trace."""
+        return int(np.unique(self._data).size)
+
+    def concat(self, other: "BranchTrace") -> "BranchTrace":
+        """Return a new trace that is this trace followed by ``other``."""
+        return BranchTrace(
+            np.concatenate([self._data, other._data]),
+            name=self.name or other.name,
+            meta={**other.meta, **self.meta},
+        )
+
+    @staticmethod
+    def from_iter(elements: Iterable[int], name: str = "") -> "BranchTrace":
+        """Build a trace by materializing an iterable of packed elements."""
+        return BranchTrace(np.fromiter(elements, dtype=np.int64), name=name)

@@ -1,0 +1,35 @@
+"""Accuracy scoring metric (Section 3.2).
+
+Compares an online detector's per-element P/T output against the
+baseline solution:
+
+- **correlation** — fraction of profile elements on which detector and
+  oracle agree;
+- **sensitivity** — fraction of oracle phase boundaries matched by a
+  detected phase (three-constraint matching rule);
+- **false positives** — fraction of detected boundaries that match no
+  oracle boundary;
+- **score** = correlation/2 + sensitivity/4 + (1 − false positives)/4.
+"""
+
+from repro.scoring.states import (
+    phases_from_states,
+    states_from_phases,
+    state_string,
+)
+from repro.scoring.boundaries import BoundaryMatching, match_phases
+from repro.scoring.metric import AccuracyScore, score_phases, score_states
+from repro.scoring.latency import LatencyReport, measure_latency
+
+__all__ = [
+    "phases_from_states",
+    "states_from_phases",
+    "state_string",
+    "BoundaryMatching",
+    "match_phases",
+    "AccuracyScore",
+    "LatencyReport",
+    "measure_latency",
+    "score_phases",
+    "score_states",
+]

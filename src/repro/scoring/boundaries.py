@@ -1,0 +1,126 @@
+"""Phase-boundary matching (the three constraints of Section 3.2).
+
+A detected phase ``D`` *qualifies* for baseline phase ``B`` when
+
+1. ``B.start <= D.start < B.end`` — the detected phase starts inside
+   the baseline phase (online detectors are always late), and
+2. ``B.end <= D.end < next(B).start`` — the detected phase ends at or
+   after the baseline phase ends, but before the next baseline phase
+   starts (``next(B).start`` is the trace length for the last phase).
+
+Constraint 3 resolves ties: among qualifying detected phases, the one
+whose boundaries are closest to ``B``'s matches.  A matched phase
+contributes two matched boundaries (its start and its end).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scoring.states import Interval
+
+
+@dataclass(frozen=True)
+class BoundaryMatching:
+    """The outcome of matching detected phases against baseline phases."""
+
+    #: Pairs (detected index, baseline index) for matched phases.
+    pairs: Tuple[Tuple[int, int], ...]
+    num_detected_phases: int
+    num_baseline_phases: int
+
+    @property
+    def num_matched_boundaries(self) -> int:
+        """Each matched phase matches its start and end boundary."""
+        return 2 * len(self.pairs)
+
+    @property
+    def num_baseline_boundaries(self) -> int:
+        return 2 * self.num_baseline_phases
+
+    @property
+    def num_detected_boundaries(self) -> int:
+        return 2 * self.num_detected_phases
+
+    @property
+    def sensitivity(self) -> float:
+        """matchedBoundaries / baselineBoundaries (1.0 when nothing to find)."""
+        if self.num_baseline_boundaries == 0:
+            return 1.0
+        return self.num_matched_boundaries / self.num_baseline_boundaries
+
+    @property
+    def false_positives(self) -> float:
+        """unmatchedDetectedBoundaries / detectedBoundaries (0.0 when none)."""
+        if self.num_detected_boundaries == 0:
+            return 0.0
+        return (
+            self.num_detected_boundaries - self.num_matched_boundaries
+        ) / self.num_detected_boundaries
+
+
+def match_phases(
+    detected: Sequence[Interval],
+    baseline: Sequence[Interval],
+    num_elements: int,
+) -> BoundaryMatching:
+    """Match detected phases to baseline phases per the three constraints.
+
+    Both inputs must be sorted, disjoint interval lists.
+
+    Returns:
+        A :class:`BoundaryMatching` with the one-to-one match pairs.
+    """
+    _check_sorted_disjoint(detected, "detected")
+    _check_sorted_disjoint(baseline, "baseline")
+
+    if not baseline or not detected:
+        return BoundaryMatching((), len(detected), len(baseline))
+
+    baseline_starts = [b[0] for b in baseline]
+    # Candidate lists: baseline index -> [(distance, detected index)]
+    candidates: Dict[int, List[Tuple[int, int]]] = {}
+    for d_index, (d_start, d_end) in enumerate(detected):
+        b_index = _containing_phase(baseline_starts, baseline, d_start)
+        if b_index is None:
+            continue
+        b_start, b_end = baseline[b_index]
+        next_start = (
+            baseline[b_index + 1][0] if b_index + 1 < len(baseline) else num_elements + 1
+        )
+        if not b_end <= d_end < next_start:
+            continue
+        distance = (d_start - b_start) + (d_end - b_end)
+        candidates.setdefault(b_index, []).append((distance, d_index))
+
+    pairs: List[Tuple[int, int]] = []
+    for b_index, options in candidates.items():
+        options.sort()
+        pairs.append((options[0][1], b_index))
+    pairs.sort()
+    return BoundaryMatching(tuple(pairs), len(detected), len(baseline))
+
+
+def _containing_phase(
+    starts: List[int], baseline: Sequence[Interval], position: int
+) -> Optional[int]:
+    """Index of the baseline phase whose [start, end) contains ``position``."""
+    index = bisect.bisect_right(starts, position) - 1
+    if index < 0:
+        return None
+    start, end = baseline[index]
+    if start <= position < end:
+        return index
+    return None
+
+
+def _check_sorted_disjoint(phases: Sequence[Interval], label: str) -> None:
+    previous_end = -1
+    for start, end in phases:
+        if start > end:
+            raise ValueError(f"{label} phase ({start}, {end}) is malformed")
+        if start < previous_end:
+            raise ValueError(f"{label} phases overlap or are unsorted at ({start}, {end})")
+        previous_end = end

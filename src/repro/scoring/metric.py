@@ -1,0 +1,113 @@
+"""The combined accuracy score (Section 3.2).
+
+``score = correlation/2 + sensitivity/4 + (1 - falsePositives)/4``
+
+Correlation weighs per-element agreement; sensitivity and false
+positives weigh boundary matching; scores fall in [0, 1], higher is
+more accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.scoring.boundaries import match_phases
+from repro.scoring.states import Interval, phases_from_states, states_from_phases
+
+CORRELATION_WEIGHT = 0.5
+SENSITIVITY_WEIGHT = 0.25
+FALSE_POSITIVE_WEIGHT = 0.25
+
+
+@dataclass(frozen=True)
+class AccuracyScore:
+    """All components of one detector-vs-baseline comparison."""
+
+    correlation: float
+    sensitivity: float
+    false_positives: float
+    num_detected_phases: int
+    num_baseline_phases: int
+    num_matched_phases: int
+
+    @property
+    def score(self) -> float:
+        """The combined weighted score in [0, 1]."""
+        return (
+            CORRELATION_WEIGHT * self.correlation
+            + SENSITIVITY_WEIGHT * self.sensitivity
+            + FALSE_POSITIVE_WEIGHT * (1.0 - self.false_positives)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"score={self.score:.4f} (corr={self.correlation:.4f}, "
+            f"sens={self.sensitivity:.4f}, fp={self.false_positives:.4f}, "
+            f"matched={self.num_matched_phases}/{self.num_baseline_phases})"
+        )
+
+
+def score_states(
+    detected_states: np.ndarray,
+    baseline_states: np.ndarray,
+    detected_phases: Optional[Sequence[Interval]] = None,
+    baseline_phases: Optional[Sequence[Interval]] = None,
+) -> AccuracyScore:
+    """Score a detector's state sequence against the baseline's.
+
+    Args:
+        detected_states: boolean array, True = P, one entry per element.
+        baseline_states: same shape, from the oracle.
+        detected_phases: optional phase intervals to use for boundary
+            matching instead of the maximal P-runs of
+            ``detected_states`` — Figure 8 passes anchor-corrected
+            intervals here.
+        baseline_phases: optional explicit baseline intervals (defaults
+            to the P-runs of ``baseline_states``).
+
+    Returns:
+        The full :class:`AccuracyScore`.
+    """
+    detected_states = np.asarray(detected_states, dtype=bool)
+    baseline_states = np.asarray(baseline_states, dtype=bool)
+    if detected_states.shape != baseline_states.shape:
+        raise ValueError(
+            f"state arrays differ in length: {detected_states.size} vs "
+            f"{baseline_states.size}"
+        )
+    num_elements = int(detected_states.size)
+    if num_elements == 0:
+        return AccuracyScore(1.0, 1.0, 0.0, 0, 0, 0)
+    correlation = float(np.mean(detected_states == baseline_states))
+    if detected_phases is None:
+        detected_phases = phases_from_states(detected_states)
+    if baseline_phases is None:
+        baseline_phases = phases_from_states(baseline_states)
+    matching = match_phases(detected_phases, baseline_phases, num_elements)
+    return AccuracyScore(
+        correlation=correlation,
+        sensitivity=matching.sensitivity,
+        false_positives=matching.false_positives,
+        num_detected_phases=matching.num_detected_phases,
+        num_baseline_phases=matching.num_baseline_phases,
+        num_matched_phases=len(matching.pairs),
+    )
+
+
+def score_phases(
+    detected_phases: Sequence[Interval],
+    baseline_phases: Sequence[Interval],
+    num_elements: int,
+) -> AccuracyScore:
+    """Score from phase-interval lists alone (states are reconstructed)."""
+    detected_states = states_from_phases(detected_phases, num_elements)
+    baseline_states = states_from_phases(baseline_phases, num_elements)
+    return score_states(
+        detected_states,
+        baseline_states,
+        detected_phases=detected_phases,
+        baseline_phases=baseline_phases,
+    )

@@ -1,0 +1,60 @@
+"""State-sequence utilities.
+
+A state sequence assigns each profile element P (in phase) or T
+(transition); we represent it as a numpy boolean array with True = P.
+Phases are the maximal P-runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: A phase interval: profile elements ``start .. end - 1`` are P.
+Interval = Tuple[int, int]
+
+
+def phases_from_states(states: np.ndarray) -> List[Interval]:
+    """Extract maximal P-runs from a boolean state array.
+
+    Returns ``[(start, end), ...]`` in increasing order.
+    """
+    states = np.asarray(states, dtype=bool)
+    if states.size == 0:
+        return []
+    padded = np.concatenate(([False], states, [False]))
+    deltas = np.diff(padded.astype(np.int8))
+    starts = np.flatnonzero(deltas == 1)
+    ends = np.flatnonzero(deltas == -1)
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+def states_from_phases(phases: Sequence[Interval], num_elements: int) -> np.ndarray:
+    """Build a boolean state array from phase intervals.
+
+    Raises:
+        ValueError: if intervals are out of range or malformed.
+    """
+    states = np.zeros(num_elements, dtype=bool)
+    for start, end in phases:
+        if not 0 <= start <= end <= num_elements:
+            raise ValueError(
+                f"phase ({start}, {end}) outside trace of {num_elements} elements"
+            )
+        states[start:end] = True
+    return states
+
+
+def state_string(states: np.ndarray) -> str:
+    """Render a state array as a 'TTPPP...' string (for tests and debugging)."""
+    return "".join("P" if flag else "T" for flag in np.asarray(states, dtype=bool))
+
+
+def states_from_string(text: str) -> np.ndarray:
+    """Parse a 'TTPPP...' string into a boolean state array."""
+    cleaned = text.strip().upper()
+    invalid = set(cleaned) - {"P", "T"}
+    if invalid:
+        raise ValueError(f"state string contains invalid characters {invalid}")
+    return np.array([char == "P" for char in cleaned], dtype=bool)

@@ -1,0 +1,59 @@
+"""MiniVM: the instrumented execution substrate.
+
+This package stands in for the paper's modified Jikes RVM.  It provides:
+
+- a small stack ISA (:mod:`repro.vm.isa`),
+- an assembler/disassembler for ISA-level programs
+  (:mod:`repro.vm.assembler`),
+- **MiniLang**, a structured language with functions, loops, recursion,
+  and data-dependent branches, plus its lexer/parser/compiler
+  (:mod:`repro.vm.lexer`, :mod:`repro.vm.parser`,
+  :mod:`repro.vm.compiler`),
+- an instrumented interpreter that emits the conditional-branch trace
+  and the call-loop trace (:mod:`repro.vm.interpreter`,
+  :mod:`repro.vm.tracing`).
+"""
+
+from repro.vm.assembler import assemble, disassemble
+from repro.vm.compiler import compile_module, compile_source
+from repro.vm.errors import (
+    AssemblyError,
+    CompileError,
+    ExecutionError,
+    FuelExhaustedError,
+    MiniLangSyntaxError,
+    StackOverflowError,
+    ValidationError,
+    VMError,
+)
+from repro.vm.interpreter import Interpreter, run_program
+from repro.vm.isa import Instruction, Opcode
+from repro.vm.parser import parse
+from repro.vm.program import Function, LoopInfo, Program
+from repro.vm.tracing import CollectingSink, CountingSink, NullSink
+
+__all__ = [
+    "assemble",
+    "disassemble",
+    "compile_module",
+    "compile_source",
+    "parse",
+    "Interpreter",
+    "run_program",
+    "Instruction",
+    "Opcode",
+    "Function",
+    "LoopInfo",
+    "Program",
+    "CollectingSink",
+    "CountingSink",
+    "NullSink",
+    "VMError",
+    "AssemblyError",
+    "CompileError",
+    "MiniLangSyntaxError",
+    "ValidationError",
+    "ExecutionError",
+    "StackOverflowError",
+    "FuelExhaustedError",
+]

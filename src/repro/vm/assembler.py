@@ -1,0 +1,247 @@
+"""MiniVM assembler and disassembler.
+
+The assembly format is line-oriented::
+
+    ; comment
+    .func main params=0 locals=2
+      push 0
+      store 0
+    head:
+      load 0
+      push 10
+      lt
+      br_ifz done
+      loop_begin body_loop
+      ...
+      loop_end body_loop
+      load 0
+      push 1
+      add
+      store 0
+      jmp head
+    done:
+      push 0
+      ret
+    .endfunc
+
+Jump targets are labels; ``call`` takes a function *name* and an arity;
+``loop_begin``/``loop_end`` take a loop *label* (ids are assigned
+program-wide in first-seen order).  The assembler resolves all names and
+produces a validated :class:`~repro.vm.program.Program`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.vm.errors import AssemblyError
+from repro.vm.isa import (
+    BINARY_ARG_OPS,
+    JUMP_OPS,
+    MNEMONICS,
+    OPCODES_BY_MNEMONIC,
+    UNARY_ARG_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.vm.program import Function, LoopInfo, Program
+
+
+class _PendingFunction:
+    def __init__(self, name: str, num_params: int, num_locals: int, line: int) -> None:
+        self.name = name
+        self.num_params = num_params
+        self.num_locals = num_locals
+        self.line = line
+        # (mnemonic opcode, raw operand strings, source line)
+        self.raw_code: List[Tuple[Opcode, List[str], int]] = []
+        self.labels: Dict[str, int] = {}
+
+
+def assemble(source: str, entry: str = "main", name: str = "") -> Program:
+    """Assemble MiniVM assembly ``source`` into a validated Program.
+
+    Raises:
+        AssemblyError: on any syntactic or resolution error.
+    """
+    pending: List[_PendingFunction] = []
+    current: Optional[_PendingFunction] = None
+
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".func"):
+            if current is not None:
+                raise AssemblyError("nested .func", line_no)
+            current = _parse_func_header(line, line_no)
+        elif line == ".endfunc":
+            if current is None:
+                raise AssemblyError(".endfunc outside a function", line_no)
+            pending.append(current)
+            current = None
+        elif line.endswith(":"):
+            if current is None:
+                raise AssemblyError("label outside a function", line_no)
+            label = line[:-1].strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"bad label {label!r}", line_no)
+            if label in current.labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_no)
+            current.labels[label] = len(current.raw_code)
+        else:
+            if current is None:
+                raise AssemblyError("instruction outside a function", line_no)
+            parts = line.split()
+            mnemonic = parts[0].lower()
+            if mnemonic not in OPCODES_BY_MNEMONIC:
+                raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no)
+            current.raw_code.append(
+                (OPCODES_BY_MNEMONIC[mnemonic], parts[1:], line_no)
+            )
+
+    if current is not None:
+        raise AssemblyError(f"unterminated .func {current.name!r}", current.line)
+    if not pending:
+        raise AssemblyError("no functions defined")
+
+    func_ids = {pf.name: index for index, pf in enumerate(pending)}
+    if len(func_ids) != len(pending):
+        raise AssemblyError("duplicate function names")
+
+    loop_ids: Dict[Tuple[int, str], int] = {}
+    loops: List[LoopInfo] = []
+    functions: List[Function] = []
+    for pf in pending:
+        code = _resolve(pf, func_ids, loop_ids, loops, func_ids[pf.name], pending)
+        functions.append(
+            Function(
+                name=pf.name,
+                func_id=func_ids[pf.name],
+                num_params=pf.num_params,
+                num_locals=pf.num_locals,
+                code=code,
+            )
+        )
+    return Program(functions, entry=entry, loops=loops, name=name)
+
+
+def _parse_func_header(line: str, line_no: int) -> _PendingFunction:
+    parts = line.split()
+    if len(parts) < 2:
+        raise AssemblyError(".func requires a name", line_no)
+    fname = parts[1]
+    if not fname.isidentifier():
+        raise AssemblyError(f"bad function name {fname!r}", line_no)
+    num_params = 0
+    num_locals: Optional[int] = None
+    for option in parts[2:]:
+        if "=" not in option:
+            raise AssemblyError(f"bad .func option {option!r}", line_no)
+        key, _, value = option.partition("=")
+        try:
+            number = int(value)
+        except ValueError:
+            raise AssemblyError(f"bad .func option value {option!r}", line_no) from None
+        if key == "params":
+            num_params = number
+        elif key == "locals":
+            num_locals = number
+        else:
+            raise AssemblyError(f"unknown .func option {key!r}", line_no)
+    if num_locals is None:
+        num_locals = num_params
+    return _PendingFunction(fname, num_params, num_locals, line_no)
+
+
+def _resolve(
+    pf: _PendingFunction,
+    func_ids: Dict[str, int],
+    loop_ids: Dict[Tuple[int, str], int],
+    loops: List[LoopInfo],
+    this_func_id: int,
+    pending: List[_PendingFunction],
+) -> List[Instruction]:
+    code: List[Instruction] = []
+    for op, operands, line_no in pf.raw_code:
+        if op in JUMP_OPS:
+            _expect_operands(op, operands, 1, line_no)
+            target = operands[0]
+            if target not in pf.labels:
+                raise AssemblyError(f"unknown label {target!r}", line_no)
+            code.append(Instruction(op, pf.labels[target]))
+        elif op == Opcode.CALL:
+            _expect_operands(op, operands, 2, line_no)
+            callee = operands[0]
+            if callee not in func_ids:
+                raise AssemblyError(f"call to unknown function {callee!r}", line_no)
+            arity = _int_operand(operands[1], line_no)
+            code.append(Instruction(op, func_ids[callee], arity))
+        elif op in (Opcode.LOOP_BEGIN, Opcode.LOOP_END):
+            _expect_operands(op, operands, 1, line_no)
+            key = (this_func_id, operands[0])
+            if key not in loop_ids:
+                loop_ids[key] = len(loops)
+                loops.append(
+                    LoopInfo(loop_id=len(loops), function_id=this_func_id, label=operands[0])
+                )
+            code.append(Instruction(op, loop_ids[key]))
+        elif op in UNARY_ARG_OPS:
+            _expect_operands(op, operands, 1, line_no)
+            code.append(Instruction(op, _int_operand(operands[0], line_no)))
+        elif op in BINARY_ARG_OPS:
+            _expect_operands(op, operands, 2, line_no)
+            code.append(
+                Instruction(
+                    op,
+                    _int_operand(operands[0], line_no),
+                    _int_operand(operands[1], line_no),
+                )
+            )
+        else:
+            _expect_operands(op, operands, 0, line_no)
+            code.append(Instruction(op))
+    return code
+
+
+def _expect_operands(op: Opcode, operands: List[str], count: int, line_no: int) -> None:
+    if len(operands) != count:
+        raise AssemblyError(
+            f"{MNEMONICS[op]} takes {count} operand(s), got {len(operands)}", line_no
+        )
+
+
+def _int_operand(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"expected integer operand, got {text!r}", line_no) from None
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` back to assembly text (labels are synthesized)."""
+    loop_labels = {loop.loop_id: loop.label or f"loop{loop.loop_id}" for loop in program.loops}
+    lines: List[str] = []
+    for func in program.functions:
+        lines.append(f".func {func.name} params={func.num_params} locals={func.num_locals}")
+        targets = sorted(
+            {instr.arg for instr in func.code if instr.op in JUMP_OPS}
+        )
+        label_for = {pc: f"L{index}" for index, pc in enumerate(targets)}
+        for pc, instr in enumerate(func.code):
+            if pc in label_for:
+                lines.append(f"{label_for[pc]}:")
+            if instr.op in JUMP_OPS:
+                lines.append(f"  {MNEMONICS[instr.op]} {label_for[instr.arg]}")
+            elif instr.op == Opcode.CALL:
+                callee = program[instr.arg].name
+                lines.append(f"  call {callee} {instr.arg2}")
+            elif instr.op in (Opcode.LOOP_BEGIN, Opcode.LOOP_END):
+                lines.append(f"  {MNEMONICS[instr.op]} {loop_labels.get(instr.arg, instr.arg)}")
+            else:
+                lines.append(f"  {instr}")
+        if len(func.code) in label_for:
+            lines.append(f"{label_for[len(func.code)]}:")
+        lines.append(".endfunc")
+        lines.append("")
+    return "\n".join(lines)

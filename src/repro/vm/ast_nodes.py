@@ -1,0 +1,160 @@
+"""MiniLang abstract syntax tree.
+
+All nodes are frozen dataclasses; positions (source line) are kept for
+compiler error messages.  The tree is deliberately small: integers,
+names, calls, binary/unary operators, and the five statement forms the
+workloads need (var, assignment, if/else, while/for, return).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLiteral(Node):
+    """An integer constant."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    """A reference to a local variable or parameter."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    """A unary operation: ``-`` or ``!``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    """A binary operation, including short-circuit ``&&`` / ``||``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """A call to a user function or a builtin (``rnd``, ``mem``, ``setmem``)."""
+
+    callee: str
+    args: Tuple["Expr", ...]
+
+
+Expr = (IntLiteral, Name, Unary, Binary, Call)
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarDecl(Node):
+    """``var name = expr;`` — declares and initializes a new local."""
+
+    ident: str
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    """``name = expr;``"""
+
+    ident: str
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    """An expression evaluated for effect; its value is discarded."""
+
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class If(Node):
+    """``if (cond) { ... } else { ... }`` — else branch optional."""
+
+    cond: "Expr"
+    then_body: Tuple["Stmt", ...]
+    else_body: Tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Node):
+    """``while (cond) { ... }`` — compiles to an instrumented loop."""
+
+    cond: "Expr"
+    body: Tuple["Stmt", ...]
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class For(Node):
+    """``for (init; cond; step) { ... }`` — sugar over While."""
+
+    init: Optional["Stmt"]
+    cond: Optional["Expr"]
+    step: Optional["Stmt"]
+    body: Tuple["Stmt", ...]
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    """``return expr;`` or ``return;`` (returns 0)."""
+
+    value: Optional["Expr"] = None
+
+
+@dataclass(frozen=True)
+class Halt(Node):
+    """``halt;`` — stops the whole program."""
+
+
+Stmt = (VarDecl, Assign, ExprStmt, If, While, For, Return, Halt)
+
+
+# -- top level -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionDef(Node):
+    """``fn name(params...) { body }``"""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    """A parsed MiniLang source file."""
+
+    functions: Tuple[FunctionDef, ...]
+
+    def function(self, name: str) -> FunctionDef:
+        """Look up a function definition by name."""
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)

@@ -1,0 +1,358 @@
+"""MiniLang → MiniVM bytecode compiler.
+
+Single-module, two-pass compilation: first collect function signatures,
+then generate code.  Every ``while``/``for`` loop is wrapped in
+``LOOP_BEGIN``/``LOOP_END`` markers (the loop instrumentation the paper
+added to Jikes RVM), and every conditional construct lowers to the
+``BR_IF``/``BR_IFZ`` instructions that emit profile elements.
+
+Builtins:
+
+- ``rnd(n)`` — deterministic pseudo-random integer in ``[0, n)``.
+- ``mem(addr)`` — read global memory (0 if unset).
+- ``setmem(addr, value)`` — write global memory; evaluates to 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.vm.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Halt,
+    If,
+    IntLiteral,
+    Module,
+    Name,
+    Return,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.vm.errors import CompileError
+from repro.vm.isa import Instruction, Opcode
+from repro.vm.parser import parse
+from repro.vm.program import Function, LoopInfo, Program
+
+_BUILTIN_ARITY = {"rnd": 1, "mem": 1, "setmem": 2}
+
+_BINOP_OPCODES = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "==": Opcode.EQ,
+    "!=": Opcode.NE,
+    "<": Opcode.LT,
+    "<=": Opcode.LE,
+    ">": Opcode.GT,
+    ">=": Opcode.GE,
+}
+
+
+def compile_source(
+    source: str, entry: str = "main", name: str = "", optimize: bool = False
+) -> Program:
+    """Parse and compile MiniLang ``source`` into a validated Program.
+
+    With ``optimize=True``, the AST is constant-folded and the bytecode
+    peephole-cleaned (see :mod:`repro.vm.optimizer`); results are
+    identical but folded branches emit no profile elements.
+    """
+    module = parse(source)
+    if optimize:
+        from repro.vm.optimizer import optimize_module, peephole
+
+        return peephole(compile_module(optimize_module(module), entry=entry, name=name))
+    return compile_module(module, entry=entry, name=name)
+
+
+def compile_module(module: Module, entry: str = "main", name: str = "") -> Program:
+    """Compile a parsed :class:`Module` into a validated Program."""
+    signatures: Dict[str, Tuple[int, int]] = {}
+    for index, func in enumerate(module.functions):
+        if func.name in signatures:
+            raise CompileError(f"function {func.name!r} defined twice")
+        if func.name in _BUILTIN_ARITY:
+            raise CompileError(f"function {func.name!r} shadows a builtin")
+        signatures[func.name] = (index, len(func.params))
+
+    loops: List[LoopInfo] = []
+    functions: List[Function] = []
+    for index, func_def in enumerate(module.functions):
+        compiler = _FunctionCompiler(func_def, index, signatures, loops)
+        functions.append(compiler.compile())
+    return Program(functions, entry=entry, loops=loops, name=name)
+
+
+class _Emitter:
+    """Appends instructions and backpatches forward jump targets."""
+
+    def __init__(self) -> None:
+        self.code: List[Instruction] = []
+
+    def emit(self, op: Opcode, arg: Optional[int] = None, arg2: Optional[int] = None) -> int:
+        self.code.append(Instruction(op, arg, arg2))
+        return len(self.code) - 1
+
+    def emit_jump(self, op: Opcode) -> int:
+        """Emit a jump with a placeholder target; patch it later."""
+        # Placeholder 0 is always a valid-looking target; patched before use.
+        self.code.append(Instruction(op, 0))
+        return len(self.code) - 1
+
+    def patch(self, index: int, target: Optional[int] = None) -> None:
+        """Point the jump at ``index`` to ``target`` (default: next pc)."""
+        resolved = len(self.code) if target is None else target
+        old = self.code[index]
+        self.code[index] = Instruction(old.op, resolved, old.arg2)
+
+    @property
+    def here(self) -> int:
+        return len(self.code)
+
+
+class _Scope:
+    """A lexical scope mapping names to local slots."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.names: Dict[str, int] = {}
+
+    def lookup(self, name: str) -> Optional[int]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _FunctionCompiler:
+    def __init__(
+        self,
+        func_def: FunctionDef,
+        func_id: int,
+        signatures: Dict[str, Tuple[int, int]],
+        loops: List[LoopInfo],
+    ) -> None:
+        self._def = func_def
+        self._func_id = func_id
+        self._signatures = signatures
+        self._loops = loops
+        self._emitter = _Emitter()
+        self._scope = _Scope()
+        self._num_slots = 0
+
+    def compile(self) -> Function:
+        for param in self._def.params:
+            self._declare(param, self._def.line)
+        for stmt in self._def.body:
+            self._stmt(stmt)
+        # Implicit `return 0;` so control can never fall off the end.
+        self._emitter.emit(Opcode.PUSH, 0)
+        self._emitter.emit(Opcode.RET)
+        return Function(
+            name=self._def.name,
+            func_id=self._func_id,
+            num_params=len(self._def.params),
+            num_locals=self._num_slots,
+            code=self._emitter.code,
+        )
+
+    # -- scope helpers --------------------------------------------------------
+
+    def _declare(self, name: str, line: int) -> int:
+        if name in self._scope.names:
+            raise CompileError(
+                f"{self._def.name}:{line}: {name!r} already declared in this scope"
+            )
+        slot = self._num_slots
+        self._num_slots += 1
+        self._scope.names[name] = slot
+        return slot
+
+    def _resolve(self, name: str, line: int) -> int:
+        slot = self._scope.lookup(name)
+        if slot is None:
+            raise CompileError(f"{self._def.name}:{line}: undefined variable {name!r}")
+        return slot
+
+    def _push_scope(self) -> None:
+        self._scope = _Scope(self._scope)
+
+    def _pop_scope(self) -> None:
+        assert self._scope.parent is not None
+        self._scope = self._scope.parent
+
+    def _new_loop(self, label: str) -> int:
+        loop_id = len(self._loops)
+        self._loops.append(LoopInfo(loop_id=loop_id, function_id=self._func_id, label=label))
+        return loop_id
+
+    # -- statements --------------------------------------------------------------
+
+    def _stmt(self, stmt) -> None:
+        if isinstance(stmt, VarDecl):
+            self._expr(stmt.value)
+            slot = self._declare(stmt.ident, stmt.line)
+            self._emitter.emit(Opcode.STORE, slot)
+        elif isinstance(stmt, Assign):
+            self._expr(stmt.value)
+            self._emitter.emit(Opcode.STORE, self._resolve(stmt.ident, stmt.line))
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.value)
+            self._emitter.emit(Opcode.POP)
+        elif isinstance(stmt, If):
+            self._if(stmt)
+        elif isinstance(stmt, While):
+            self._while(stmt)
+        elif isinstance(stmt, For):
+            self._for(stmt)
+        elif isinstance(stmt, Return):
+            if stmt.value is None:
+                self._emitter.emit(Opcode.PUSH, 0)
+            else:
+                self._expr(stmt.value)
+            self._emitter.emit(Opcode.RET)
+        elif isinstance(stmt, Halt):
+            self._emitter.emit(Opcode.HALT)
+        else:  # pragma: no cover - parser produces only the above
+            raise CompileError(f"unknown statement node {type(stmt).__name__}")
+
+    def _body(self, statements) -> None:
+        self._push_scope()
+        for stmt in statements:
+            self._stmt(stmt)
+        self._pop_scope()
+
+    def _if(self, stmt: If) -> None:
+        self._expr(stmt.cond)
+        skip_then = self._emitter.emit_jump(Opcode.BR_IFZ)
+        self._body(stmt.then_body)
+        if stmt.else_body:
+            skip_else = self._emitter.emit_jump(Opcode.JMP)
+            self._emitter.patch(skip_then)
+            self._body(stmt.else_body)
+            self._emitter.patch(skip_else)
+        else:
+            self._emitter.patch(skip_then)
+
+    def _while(self, stmt: While) -> None:
+        loop_id = self._new_loop(stmt.label or f"while_{stmt.line}")
+        self._emitter.emit(Opcode.LOOP_BEGIN, loop_id)
+        head = self._emitter.here
+        self._expr(stmt.cond)
+        exit_jump = self._emitter.emit_jump(Opcode.BR_IFZ)
+        self._body(stmt.body)
+        self._emitter.emit(Opcode.JMP, head)
+        self._emitter.patch(exit_jump)
+        self._emitter.emit(Opcode.LOOP_END, loop_id)
+
+    def _for(self, stmt: For) -> None:
+        self._push_scope()
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        loop_id = self._new_loop(stmt.label or f"for_{stmt.line}")
+        self._emitter.emit(Opcode.LOOP_BEGIN, loop_id)
+        head = self._emitter.here
+        exit_jump = None
+        if stmt.cond is not None:
+            self._expr(stmt.cond)
+            exit_jump = self._emitter.emit_jump(Opcode.BR_IFZ)
+        self._body(stmt.body)
+        if stmt.step is not None:
+            self._stmt(stmt.step)
+        self._emitter.emit(Opcode.JMP, head)
+        if exit_jump is not None:
+            self._emitter.patch(exit_jump)
+        self._emitter.emit(Opcode.LOOP_END, loop_id)
+        self._pop_scope()
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expr(self, expr) -> None:
+        if isinstance(expr, IntLiteral):
+            self._emitter.emit(Opcode.PUSH, expr.value)
+        elif isinstance(expr, Name):
+            self._emitter.emit(Opcode.LOAD, self._resolve(expr.ident, expr.line))
+        elif isinstance(expr, Unary):
+            self._expr(expr.operand)
+            self._emitter.emit(Opcode.NEG if expr.op == "-" else Opcode.NOT)
+        elif isinstance(expr, Binary):
+            if expr.op == "&&":
+                self._and(expr)
+            elif expr.op == "||":
+                self._or(expr)
+            else:
+                self._expr(expr.left)
+                self._expr(expr.right)
+                self._emitter.emit(_BINOP_OPCODES[expr.op])
+        elif isinstance(expr, Call):
+            self._call(expr)
+        else:  # pragma: no cover - parser produces only the above
+            raise CompileError(f"unknown expression node {type(expr).__name__}")
+
+    def _and(self, expr: Binary) -> None:
+        self._expr(expr.left)
+        short = self._emitter.emit_jump(Opcode.BR_IFZ)
+        self._expr(expr.right)
+        self._emitter.emit(Opcode.NOT)
+        self._emitter.emit(Opcode.NOT)
+        done = self._emitter.emit_jump(Opcode.JMP)
+        self._emitter.patch(short)
+        self._emitter.emit(Opcode.PUSH, 0)
+        self._emitter.patch(done)
+
+    def _or(self, expr: Binary) -> None:
+        self._expr(expr.left)
+        short = self._emitter.emit_jump(Opcode.BR_IF)
+        self._expr(expr.right)
+        self._emitter.emit(Opcode.NOT)
+        self._emitter.emit(Opcode.NOT)
+        done = self._emitter.emit_jump(Opcode.JMP)
+        self._emitter.patch(short)
+        self._emitter.emit(Opcode.PUSH, 1)
+        self._emitter.patch(done)
+
+    def _call(self, expr: Call) -> None:
+        if expr.callee in _BUILTIN_ARITY:
+            expected = _BUILTIN_ARITY[expr.callee]
+            if len(expr.args) != expected:
+                raise CompileError(
+                    f"{self._def.name}:{expr.line}: builtin {expr.callee!r} takes "
+                    f"{expected} argument(s), got {len(expr.args)}"
+                )
+            if expr.callee == "rnd":
+                self._expr(expr.args[0])
+                self._emitter.emit(Opcode.RND)
+            elif expr.callee == "mem":
+                self._expr(expr.args[0])
+                self._emitter.emit(Opcode.GLOAD)
+            else:  # setmem(addr, value): interpreter pops addr, then value
+                self._expr(expr.args[1])
+                self._expr(expr.args[0])
+                self._emitter.emit(Opcode.GSTORE)
+                self._emitter.emit(Opcode.PUSH, 0)
+            return
+        signature = self._signatures.get(expr.callee)
+        if signature is None:
+            raise CompileError(
+                f"{self._def.name}:{expr.line}: call to undefined function "
+                f"{expr.callee!r}"
+            )
+        func_id, arity = signature
+        if len(expr.args) != arity:
+            raise CompileError(
+                f"{self._def.name}:{expr.line}: {expr.callee!r} takes {arity} "
+                f"argument(s), got {len(expr.args)}"
+            )
+        for arg in expr.args:
+            self._expr(arg)
+        self._emitter.emit(Opcode.CALL, func_id, arity)

@@ -1,0 +1,46 @@
+"""Error hierarchy for the MiniVM substrate."""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for all MiniVM errors."""
+
+
+class AssemblyError(VMError):
+    """Raised by the assembler on malformed assembly source."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        prefix = f"line {line}: " if line else ""
+        super().__init__(f"{prefix}{message}")
+        self.line = line
+
+
+class MiniLangSyntaxError(VMError):
+    """Raised by the MiniLang lexer/parser on malformed source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column
+
+
+class CompileError(VMError):
+    """Raised by the MiniLang compiler on semantic errors."""
+
+
+class ValidationError(VMError):
+    """Raised when a Program fails static validation."""
+
+
+class ExecutionError(VMError):
+    """Raised by the interpreter on a runtime fault."""
+
+
+class StackOverflowError(ExecutionError):
+    """Raised when the call stack exceeds the configured limit."""
+
+
+class FuelExhaustedError(ExecutionError):
+    """Raised when execution exceeds its instruction budget."""

@@ -1,0 +1,252 @@
+"""The instrumented MiniVM interpreter.
+
+Executes a validated :class:`~repro.vm.program.Program` while emitting
+
+- one packed profile element per executed **conditional** branch
+  (``BR_IF`` / ``BR_IFZ``), and
+- call-loop events on function entry/exit and at the ``LOOP_BEGIN`` /
+  ``LOOP_END`` markers, each stamped with the branch count at the time
+  of the event,
+
+which together are exactly the two traces the paper's modified Jikes RVM
+produced.  The interpreter is deterministic: the only source of
+"randomness" is the ``RND`` opcode, driven by a seeded 64-bit LCG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.profiles.callloop import EventKind
+from repro.profiles.element import encode_element
+from repro.vm.errors import ExecutionError, FuelExhaustedError, StackOverflowError
+from repro.vm.program import Program
+from repro.vm.tracing import NullSink
+
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+_MASK64 = (1 << 64) - 1
+
+_ENTRY_KIND = EventKind.METHOD_ENTRY
+_EXIT_KIND = EventKind.METHOD_EXIT
+_LOOP_ENTRY_KIND = EventKind.LOOP_ENTRY
+_LOOP_EXIT_KIND = EventKind.LOOP_EXIT
+
+
+class Interpreter:
+    """Executes MiniVM programs with instrumentation.
+
+    Args:
+        max_call_depth: call-stack limit (recursion guard).
+        max_fuel: instruction budget; ``None`` means unlimited.
+    """
+
+    def __init__(self, max_call_depth: int = 2_000, max_fuel: Optional[int] = None) -> None:
+        self.max_call_depth = max_call_depth
+        self.max_fuel = max_fuel
+
+    def run(
+        self,
+        program: Program,
+        sink=None,
+        args: Optional[List[int]] = None,
+        seed: int = 0x5EED,
+    ) -> int:
+        """Run ``program`` from its entry function and return its result.
+
+        Args:
+            program: a validated program.
+            sink: a trace sink (defaults to :class:`NullSink`).
+            args: integer arguments for the entry function.
+            seed: seed for the ``RND`` opcode's LCG.
+
+        Returns:
+            The integer returned by the entry function (0 if it halts).
+
+        Raises:
+            ExecutionError: on runtime faults (bad arity, division by
+                zero, stack underflow, call-depth or fuel exhaustion).
+        """
+        sink = sink if sink is not None else NullSink()
+        entry = program.entry_function
+        args = list(args or [])
+        if len(args) != entry.num_params:
+            raise ExecutionError(
+                f"entry function {entry.name!r} takes {entry.num_params} args, "
+                f"got {len(args)}"
+            )
+
+        # Flatten instructions into tuples once per run for dispatch speed.
+        flat_code: List[List[tuple]] = [
+            [(int(i.op), i.arg, i.arg2) for i in f.code] for f in program.functions
+        ]
+        num_locals = [f.num_locals for f in program.functions]
+
+        branch = sink.branch
+        call_event = sink.call_event
+
+        memory: Dict[int, int] = {}
+        rng_state = (seed ^ 0x9E3779B97F4A7C15) & _MASK64
+
+        branch_count = 0
+        func_id = entry.func_id
+        code = flat_code[func_id]
+        pc = 0
+        locals_: List[int] = args + [0] * (entry.num_locals - entry.num_params)
+        stack: List[int] = []
+        # Loops currently open in this frame, so RET/HALT can emit the
+        # LOOP_EXIT events an early return would otherwise skip.
+        open_loops: List[int] = []
+        # Call stack frames: (func_id, return pc, locals, operand stack, open loops)
+        frames: List[tuple] = []
+        fuel = self.max_fuel if self.max_fuel is not None else -1
+
+        call_event(_ENTRY_KIND, func_id, 0)
+
+        while True:
+            if fuel == 0:
+                raise FuelExhaustedError(
+                    f"instruction budget exhausted in {program[func_id].name}@{pc}"
+                )
+            fuel -= 1
+            try:
+                op, arg, arg2 = code[pc]
+            except IndexError:
+                raise ExecutionError(
+                    f"pc {pc} out of range in function {program[func_id].name!r}"
+                ) from None
+            pc += 1
+
+            if op == 0:  # PUSH
+                stack.append(arg)
+            elif op == 3:  # LOAD
+                stack.append(locals_[arg])
+            elif op == 4:  # STORE
+                locals_[arg] = stack.pop()
+            elif op == 19:  # BR_IF
+                taken = stack.pop() != 0
+                branch(encode_element(func_id, pc - 1, taken))
+                branch_count += 1
+                if taken:
+                    pc = arg
+            elif op == 20:  # BR_IFZ
+                taken = stack.pop() == 0
+                branch(encode_element(func_id, pc - 1, taken))
+                branch_count += 1
+                if taken:
+                    pc = arg
+            elif op == 18:  # JMP
+                pc = arg
+            elif op == 5:  # ADD
+                right = stack.pop()
+                stack[-1] += right
+            elif op == 6:  # SUB
+                right = stack.pop()
+                stack[-1] -= right
+            elif op == 7:  # MUL
+                right = stack.pop()
+                stack[-1] *= right
+            elif op == 8:  # DIV
+                right = stack.pop()
+                if right == 0:
+                    raise ExecutionError(f"division by zero in {program[func_id].name}")
+                left = stack[-1]
+                stack[-1] = -(-left // right) if (left < 0) != (right < 0) else left // right
+            elif op == 9:  # MOD
+                right = stack.pop()
+                if right == 0:
+                    raise ExecutionError(f"modulo by zero in {program[func_id].name}")
+                left = stack[-1]
+                quotient = -(-left // right) if (left < 0) != (right < 0) else left // right
+                stack[-1] = left - quotient * right
+            elif op == 12:  # EQ
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] == right else 0
+            elif op == 13:  # NE
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] != right else 0
+            elif op == 14:  # LT
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] < right else 0
+            elif op == 15:  # LE
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] <= right else 0
+            elif op == 16:  # GT
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] > right else 0
+            elif op == 17:  # GE
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] >= right else 0
+            elif op == 10:  # NEG
+                stack[-1] = -stack[-1]
+            elif op == 11:  # NOT
+                stack[-1] = 1 if stack[-1] == 0 else 0
+            elif op == 1:  # POP
+                stack.pop()
+            elif op == 2:  # DUP
+                stack.append(stack[-1])
+            elif op == 21:  # CALL
+                if len(frames) >= self.max_call_depth:
+                    raise StackOverflowError(
+                        f"call depth {self.max_call_depth} exceeded calling "
+                        f"{program[arg].name!r}"
+                    )
+                new_locals = [0] * num_locals[arg]
+                if arg2:
+                    new_locals[:arg2] = stack[-arg2:]
+                    del stack[-arg2:]
+                frames.append((func_id, pc, locals_, stack, open_loops))
+                func_id = arg
+                code = flat_code[func_id]
+                pc = 0
+                locals_ = new_locals
+                stack = []
+                open_loops = []
+                call_event(_ENTRY_KIND, func_id, branch_count)
+            elif op == 22:  # RET
+                result = stack.pop() if stack else 0
+                while open_loops:
+                    call_event(_LOOP_EXIT_KIND, open_loops.pop(), branch_count)
+                call_event(_EXIT_KIND, func_id, branch_count)
+                if not frames:
+                    return result
+                func_id, pc, locals_, stack, open_loops = frames.pop()
+                code = flat_code[func_id]
+                stack.append(result)
+            elif op == 24:  # LOOP_BEGIN
+                open_loops.append(arg)
+                call_event(_LOOP_ENTRY_KIND, arg, branch_count)
+            elif op == 25:  # LOOP_END
+                if open_loops:
+                    open_loops.pop()
+                call_event(_LOOP_EXIT_KIND, arg, branch_count)
+            elif op == 26:  # RND
+                bound = stack.pop()
+                if bound <= 0:
+                    raise ExecutionError(f"rnd bound must be positive, got {bound}")
+                rng_state = (rng_state * _LCG_MUL + _LCG_ADD) & _MASK64
+                stack.append((rng_state >> 33) % bound)
+            elif op == 27:  # GLOAD
+                stack.append(memory.get(stack.pop(), 0))
+            elif op == 28:  # GSTORE
+                addr = stack.pop()
+                memory[addr] = stack.pop()
+            elif op == 23:  # HALT
+                while frames:
+                    while open_loops:
+                        call_event(_LOOP_EXIT_KIND, open_loops.pop(), branch_count)
+                    call_event(_EXIT_KIND, func_id, branch_count)
+                    frame = frames.pop()
+                    func_id = frame[0]
+                    open_loops = frame[4]
+                while open_loops:
+                    call_event(_LOOP_EXIT_KIND, open_loops.pop(), branch_count)
+                call_event(_EXIT_KIND, func_id, branch_count)
+                return 0
+            else:
+                raise ExecutionError(f"unknown opcode {op}")
+
+
+def run_program(program: Program, sink=None, args=None, seed: int = 0x5EED, **kwargs) -> int:
+    """Convenience wrapper: run ``program`` with a fresh :class:`Interpreter`."""
+    return Interpreter(**kwargs).run(program, sink=sink, args=args, seed=seed)

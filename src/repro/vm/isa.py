@@ -1,0 +1,124 @@
+"""MiniVM instruction set.
+
+A small stack ISA, sufficient to express the loop/recursion/branch
+structure that the paper's phase analysis cares about:
+
+- integer arithmetic and comparisons on an operand stack,
+- local variable slots per frame,
+- conditional branches (**the only instructions that emit profile
+  elements**),
+- calls/returns,
+- explicit loop markers (``LOOP_BEGIN``/``LOOP_END``) inserted by the
+  MiniLang compiler around every loop, mirroring the loop
+  instrumentation the paper added to Jikes RVM's optimizing compiler,
+- a deterministic per-run PRNG instruction (``RND``) so workloads can
+  have data-dependent branches while staying reproducible,
+- a flat global memory (``GLOAD``/``GSTORE``) for array-ish workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class Opcode(enum.IntEnum):
+    """All MiniVM opcodes."""
+
+    # Stack & locals
+    PUSH = 0     # arg: constant            -> push arg
+    POP = 1      #                          -> discard top
+    DUP = 2      #                          -> duplicate top
+    LOAD = 3     # arg: slot                -> push locals[slot]
+    STORE = 4    # arg: slot                -> locals[slot] = pop
+    # Arithmetic
+    ADD = 5
+    SUB = 6
+    MUL = 7
+    DIV = 8      # integer division, truncation toward zero; div by 0 faults
+    MOD = 9
+    NEG = 10
+    NOT = 11     # logical not: push 1 if pop == 0 else 0
+    # Comparisons (push 1/0)
+    EQ = 12
+    NE = 13
+    LT = 14
+    LE = 15
+    GT = 16
+    GE = 17
+    # Control flow
+    JMP = 18     # arg: target pc (unconditional; no profile element)
+    BR_IF = 19   # arg: target pc; pop cond; jump if cond != 0  [emits element]
+    BR_IFZ = 20  # arg: target pc; pop cond; jump if cond == 0  [emits element]
+    CALL = 21    # arg: function id, arg2: number of arguments
+    RET = 22     # pop return value, pop frame
+    HALT = 23    # stop execution of the whole program
+    # Instrumentation markers
+    LOOP_BEGIN = 24  # arg: static loop id
+    LOOP_END = 25    # arg: static loop id
+    # Builtins
+    RND = 26     # pop n; push deterministic pseudo-random int in [0, n)
+    GLOAD = 27   # pop addr; push memory[addr] (0 if unset)
+    GSTORE = 28  # pop addr, pop value; memory[addr] = value
+
+
+#: Opcodes that take one integer operand.
+UNARY_ARG_OPS = frozenset(
+    {
+        Opcode.PUSH,
+        Opcode.LOAD,
+        Opcode.STORE,
+        Opcode.JMP,
+        Opcode.BR_IF,
+        Opcode.BR_IFZ,
+        Opcode.LOOP_BEGIN,
+        Opcode.LOOP_END,
+    }
+)
+
+#: Opcodes that take two integer operands.
+BINARY_ARG_OPS = frozenset({Opcode.CALL})
+
+#: Opcodes that take no operand.
+NO_ARG_OPS = frozenset(op for op in Opcode) - UNARY_ARG_OPS - BINARY_ARG_OPS
+
+#: Conditional-branch opcodes: the only ones that emit profile elements.
+BRANCH_OPS = frozenset({Opcode.BR_IF, Opcode.BR_IFZ})
+
+#: Opcodes whose operand is a code offset within the same function.
+JUMP_OPS = frozenset({Opcode.JMP, Opcode.BR_IF, Opcode.BR_IFZ})
+
+MNEMONICS: Dict[Opcode, str] = {op: op.name.lower() for op in Opcode}
+OPCODES_BY_MNEMONIC: Dict[str, Opcode] = {name: op for op, name in MNEMONICS.items()}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded MiniVM instruction.
+
+    ``arg``/``arg2`` are ``None`` for opcodes that do not use them.
+    """
+
+    op: Opcode
+    arg: Optional[int] = None
+    arg2: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op in UNARY_ARG_OPS:
+            if self.arg is None or self.arg2 is not None:
+                raise ValueError(f"{self.op.name} takes exactly one operand")
+        elif self.op in BINARY_ARG_OPS:
+            if self.arg is None or self.arg2 is None:
+                raise ValueError(f"{self.op.name} takes exactly two operands")
+        else:
+            if self.arg is not None or self.arg2 is not None:
+                raise ValueError(f"{self.op.name} takes no operand")
+
+    def __str__(self) -> str:
+        parts = [MNEMONICS[self.op]]
+        if self.arg is not None:
+            parts.append(str(self.arg))
+        if self.arg2 is not None:
+            parts.append(str(self.arg2))
+        return " ".join(parts)

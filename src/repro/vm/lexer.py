@@ -1,0 +1,108 @@
+"""MiniLang lexer.
+
+MiniLang is the small structured language the workloads are written in;
+it compiles to MiniVM bytecode.  The lexer produces a flat token stream
+with line/column positions for error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.vm.errors import MiniLangSyntaxError
+
+KEYWORDS = frozenset({"fn", "var", "if", "else", "while", "for", "return", "halt"})
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = ("==", "!=", "<=", ">=", "&&", "||")
+_SINGLE_OPS = "+-*/%<>!=(){},;"
+
+
+class TokenKind(enum.Enum):
+    """Token categories produced by the lexer."""
+
+    INT = "int"
+    NAME = "name"
+    KEYWORD = "keyword"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniLang ``source``; appends a terminating EOF token.
+
+    Raises:
+        MiniLangSyntaxError: on any character that starts no token.
+    """
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            newline = source.find("\n", index)
+            index = length if newline == -1 else newline
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            text = source[start:index]
+            yield Token(TokenKind.INT, text, line, column)
+            column += len(text)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.NAME
+            yield Token(kind, text, line, column)
+            column += len(text)
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, index):
+                yield Token(TokenKind.OP, op, line, column)
+                index += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_OPS:
+            yield Token(TokenKind.OP, char, line, column)
+            index += 1
+            column += 1
+            continue
+        raise MiniLangSyntaxError(f"unexpected character {char!r}", line, column)
+    yield Token(TokenKind.EOF, "", line, column)

@@ -1,0 +1,275 @@
+"""MiniLang/MiniVM optimizations: AST constant folding and a bytecode
+peephole pass.
+
+Opt-in (``compile_source(..., optimize=True)`` via
+:func:`optimize_module` / :func:`peephole`): the workload suite compiles
+unoptimized so traces stay byte-stable, but the optimizer demonstrates —
+and the tests verify — that the instrumentation design survives a real
+compiler pass: program *results* are preserved exactly, while folded
+branches legitimately disappear from the profile (just as a JIT's
+optimized code would emit fewer profile events).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.vm.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Halt,
+    If,
+    IntLiteral,
+    Module,
+    Name,
+    Return,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.vm.isa import Instruction, Opcode
+from repro.vm.program import Function, Program
+
+
+def _trunc_div(left: int, right: int) -> int:
+    quotient = abs(left) // abs(right)
+    return quotient if (left >= 0) == (right >= 0) else -quotient
+
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+}
+
+
+def fold_expr(expr):
+    """Recursively constant-fold one expression."""
+    if isinstance(expr, (IntLiteral, Name)):
+        return expr
+    if isinstance(expr, Unary):
+        operand = fold_expr(expr.operand)
+        if isinstance(operand, IntLiteral):
+            if expr.op == "-":
+                return IntLiteral(line=expr.line, value=-operand.value)
+            return IntLiteral(line=expr.line, value=int(operand.value == 0))
+        return Unary(line=expr.line, op=expr.op, operand=operand)
+    if isinstance(expr, Binary):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        if isinstance(left, IntLiteral) and isinstance(right, IntLiteral):
+            if expr.op in _FOLDABLE:
+                return IntLiteral(line=expr.line, value=_FOLDABLE[expr.op](left.value, right.value))
+            if expr.op in ("/", "%") and right.value != 0:
+                quotient = _trunc_div(left.value, right.value)
+                value = quotient if expr.op == "/" else left.value - quotient * right.value
+                return IntLiteral(line=expr.line, value=value)
+            if expr.op == "&&":
+                return IntLiteral(
+                    line=expr.line, value=int(left.value != 0 and right.value != 0)
+                )
+            if expr.op == "||":
+                return IntLiteral(
+                    line=expr.line, value=int(left.value != 0 or right.value != 0)
+                )
+        # Short-circuit with a constant left side folds structurally.
+        if isinstance(left, IntLiteral) and expr.op == "&&" and left.value == 0:
+            return IntLiteral(line=expr.line, value=0)
+        if isinstance(left, IntLiteral) and expr.op == "||" and left.value != 0:
+            return IntLiteral(line=expr.line, value=1)
+        return Binary(line=expr.line, op=expr.op, left=left, right=right)
+    if isinstance(expr, Call):
+        return Call(
+            line=expr.line,
+            callee=expr.callee,
+            args=tuple(fold_expr(a) for a in expr.args),
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _fold_stmt(stmt) -> Optional[object]:
+    """Fold one statement; returns None when the statement folds away."""
+    if isinstance(stmt, VarDecl):
+        return VarDecl(line=stmt.line, ident=stmt.ident, value=fold_expr(stmt.value))
+    if isinstance(stmt, Assign):
+        return Assign(line=stmt.line, ident=stmt.ident, value=fold_expr(stmt.value))
+    if isinstance(stmt, ExprStmt):
+        value = fold_expr(stmt.value)
+        if isinstance(value, IntLiteral):
+            return None  # pure constant for effect: dead
+        return ExprStmt(line=stmt.line, value=value)
+    if isinstance(stmt, If):
+        cond = fold_expr(stmt.cond)
+        then_body = _fold_body(stmt.then_body)
+        else_body = _fold_body(stmt.else_body)
+        if isinstance(cond, IntLiteral):
+            # The branch is static: splice the chosen arm into the
+            # enclosing body.  Arms are block-scoped, so splicing is
+            # only safe when the arm declares no variables; otherwise
+            # keep the (now constant-condition) If node.
+            chosen = then_body if cond.value != 0 else else_body
+            if not _declares(chosen):
+                return _Splice(chosen)
+        return If(line=stmt.line, cond=cond, then_body=then_body, else_body=else_body)
+    if isinstance(stmt, While):
+        cond = fold_expr(stmt.cond)
+        if isinstance(cond, IntLiteral) and cond.value == 0:
+            return None  # the loop never runs
+        return While(line=stmt.line, cond=cond, body=_fold_body(stmt.body), label=stmt.label)
+    if isinstance(stmt, For):
+        return For(
+            line=stmt.line,
+            init=_fold_stmt(stmt.init) if stmt.init is not None else None,
+            cond=fold_expr(stmt.cond) if stmt.cond is not None else None,
+            step=_fold_stmt(stmt.step) if stmt.step is not None else None,
+            body=_fold_body(stmt.body),
+            label=stmt.label,
+        )
+    if isinstance(stmt, Return):
+        value = fold_expr(stmt.value) if stmt.value is not None else None
+        return Return(line=stmt.line, value=value)
+    if isinstance(stmt, Halt):
+        return stmt
+    raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+
+class _Splice:
+    """Marker: replace a statement with an inline sequence."""
+
+    def __init__(self, statements: Tuple) -> None:
+        self.statements = statements
+
+
+def _declares(body) -> bool:
+    return any(isinstance(s, VarDecl) for s in body)
+
+
+def _fold_body(body) -> Tuple:
+    folded: List = []
+    for stmt in body:
+        result = _fold_stmt(stmt)
+        if result is None:
+            continue
+        if isinstance(result, _Splice):
+            folded.extend(result.statements)
+        else:
+            folded.append(result)
+    return tuple(folded)
+
+
+def optimize_module(module: Module) -> Module:
+    """Constant-fold every function in ``module``."""
+    return Module(
+        line=module.line,
+        functions=tuple(
+            FunctionDef(
+                line=f.line, name=f.name, params=f.params, body=_fold_body(f.body)
+            )
+            for f in module.functions
+        ),
+    )
+
+
+# -- bytecode peephole -----------------------------------------------------------
+
+_BINOP_EVAL = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.EQ: lambda a, b: int(a == b),
+    Opcode.NE: lambda a, b: int(a != b),
+    Opcode.LT: lambda a, b: int(a < b),
+    Opcode.LE: lambda a, b: int(a <= b),
+    Opcode.GT: lambda a, b: int(a > b),
+    Opcode.GE: lambda a, b: int(a >= b),
+}
+
+
+def peephole(program: Program) -> Program:
+    """Local bytecode rewrites that cannot change observable behavior.
+
+    Currently: ``PUSH a; PUSH b; <pure binop>`` → ``PUSH (a op b)`` and
+    ``PUSH x; POP`` → (nothing).  Jump targets are preserved by only
+    rewriting windows no jump lands inside.
+    """
+    functions = []
+    for func in program.functions:
+        functions.append(
+            Function(
+                name=func.name,
+                func_id=func.func_id,
+                num_params=func.num_params,
+                num_locals=func.num_locals,
+                code=_peephole_code(func.code),
+            )
+        )
+    return Program(functions, entry=program.entry, loops=program.loops, name=program.name)
+
+
+def _peephole_code(code: List[Instruction]) -> List[Instruction]:
+    targets = {
+        instr.arg
+        for instr in code
+        if instr.op in (Opcode.JMP, Opcode.BR_IF, Opcode.BR_IFZ)
+    }
+    changed = True
+    while changed:
+        changed = False
+        result: List[Instruction] = []
+        remap: List[int] = []  # old pc -> new pc
+        index = 0
+        while index < len(code):
+            window_clear = not any(
+                (index + offset) in targets for offset in (1, 2)
+            )
+            if (
+                window_clear
+                and index + 2 < len(code)
+                and code[index].op is Opcode.PUSH
+                and code[index + 1].op is Opcode.PUSH
+                and code[index + 2].op in _BINOP_EVAL
+            ):
+                folded = _BINOP_EVAL[code[index + 2].op](
+                    code[index].arg, code[index + 1].arg
+                )
+                remap.extend([len(result)] * 3)
+                result.append(Instruction(Opcode.PUSH, folded))
+                index += 3
+                changed = True
+                continue
+            if (
+                index + 1 < len(code)
+                and (index + 1) not in targets
+                and code[index].op is Opcode.PUSH
+                and code[index + 1].op is Opcode.POP
+            ):
+                remap.extend([len(result)] * 2)
+                index += 2
+                changed = True
+                continue
+            remap.append(len(result))
+            result.append(code[index])
+            index += 1
+        remap.append(len(result))  # one-past-the-end maps too
+        code = [
+            Instruction(i.op, remap[i.arg], i.arg2)
+            if i.op in (Opcode.JMP, Opcode.BR_IF, Opcode.BR_IFZ)
+            else i
+            for i in result
+        ]
+        targets = {
+            instr.arg
+            for instr in code
+            if instr.op in (Opcode.JMP, Opcode.BR_IF, Opcode.BR_IFZ)
+        }
+    return code

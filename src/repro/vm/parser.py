@@ -1,0 +1,295 @@
+"""MiniLang recursive-descent parser.
+
+Grammar (EBNF)::
+
+    module     := functiondef*
+    functiondef:= 'fn' NAME '(' [NAME (',' NAME)*] ')' block
+    block      := '{' stmt* '}'
+    stmt       := 'var' NAME '=' expr ';'
+               | NAME '=' expr ';'
+               | 'if' '(' expr ')' block ['else' (block | ifstmt)]
+               | 'while' '(' expr ')' block
+               | 'for' '(' [simple] ';' [expr] ';' [simple] ')' block
+               | 'return' [expr] ';'
+               | 'halt' ';'
+               | expr ';'
+    simple     := 'var' NAME '=' expr | NAME '=' expr | expr
+    expr       := or
+    or         := and ('||' and)*
+    and        := equality ('&&' equality)*
+    equality   := relational (('==' | '!=') relational)*
+    relational := additive (('<' | '<=' | '>' | '>=') additive)*
+    additive   := term (('+' | '-') term)*
+    term       := unary (('*' | '/' | '%') unary)*
+    unary      := ('-' | '!') unary | primary
+    primary    := INT | NAME | NAME '(' [expr (',' expr)*] ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.vm.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Halt,
+    If,
+    IntLiteral,
+    Module,
+    Name,
+    Return,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.vm.errors import MiniLangSyntaxError
+from repro.vm.lexer import Token, TokenKind, tokenize
+
+
+def parse(source: str) -> Module:
+    """Parse MiniLang ``source`` into a :class:`Module`.
+
+    Raises:
+        MiniLangSyntaxError: on any syntax error.
+    """
+    return _Parser(tokenize(source)).parse_module()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._loop_counter = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind is kind and (text is None or token.text == text)
+
+    def _match(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        token = self._current
+        wanted = text if text is not None else kind.value
+        raise MiniLangSyntaxError(
+            f"expected {wanted!r}, got {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+    def _fresh_loop_label(self, line: int) -> str:
+        self._loop_counter += 1
+        return f"loop_{line}_{self._loop_counter}"
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        functions: List[FunctionDef] = []
+        while not self._check(TokenKind.EOF):
+            functions.append(self._function())
+        if not functions:
+            raise MiniLangSyntaxError("empty module", 1, 1)
+        return Module(line=1, functions=tuple(functions))
+
+    def _function(self) -> FunctionDef:
+        start = self._expect(TokenKind.KEYWORD, "fn")
+        name = self._expect(TokenKind.NAME).text
+        self._expect(TokenKind.OP, "(")
+        params: List[str] = []
+        if not self._check(TokenKind.OP, ")"):
+            params.append(self._expect(TokenKind.NAME).text)
+            while self._match(TokenKind.OP, ","):
+                params.append(self._expect(TokenKind.NAME).text)
+        self._expect(TokenKind.OP, ")")
+        body = self._block()
+        if len(set(params)) != len(params):
+            raise MiniLangSyntaxError(
+                f"duplicate parameter in function {name!r}", start.line, start.column
+            )
+        return FunctionDef(line=start.line, name=name, params=tuple(params), body=body)
+
+    def _block(self) -> Tuple:
+        self._expect(TokenKind.OP, "{")
+        statements = []
+        while not self._check(TokenKind.OP, "}"):
+            if self._check(TokenKind.EOF):
+                token = self._current
+                raise MiniLangSyntaxError("unterminated block", token.line, token.column)
+            statements.append(self._statement())
+        self._expect(TokenKind.OP, "}")
+        return tuple(statements)
+
+    def _statement(self):
+        token = self._current
+        if self._check(TokenKind.KEYWORD, "var"):
+            stmt = self._simple_statement()
+            self._expect(TokenKind.OP, ";")
+            return stmt
+        if self._check(TokenKind.KEYWORD, "if"):
+            return self._if_statement()
+        if self._check(TokenKind.KEYWORD, "while"):
+            return self._while_statement()
+        if self._check(TokenKind.KEYWORD, "for"):
+            return self._for_statement()
+        if self._match(TokenKind.KEYWORD, "return"):
+            value = None
+            if not self._check(TokenKind.OP, ";"):
+                value = self._expression()
+            self._expect(TokenKind.OP, ";")
+            return Return(line=token.line, value=value)
+        if self._match(TokenKind.KEYWORD, "halt"):
+            self._expect(TokenKind.OP, ";")
+            return Halt(line=token.line)
+        stmt = self._simple_statement()
+        self._expect(TokenKind.OP, ";")
+        return stmt
+
+    def _simple_statement(self):
+        """A statement without its trailing ';': var decl, assignment, or expr."""
+        token = self._current
+        if self._match(TokenKind.KEYWORD, "var"):
+            ident = self._expect(TokenKind.NAME).text
+            self._expect(TokenKind.OP, "=")
+            return VarDecl(line=token.line, ident=ident, value=self._expression())
+        if (
+            self._check(TokenKind.NAME)
+            and self._tokens[self._pos + 1].kind is TokenKind.OP
+            and self._tokens[self._pos + 1].text == "="
+        ):
+            ident = self._advance().text
+            self._advance()  # '='
+            return Assign(line=token.line, ident=ident, value=self._expression())
+        return ExprStmt(line=token.line, value=self._expression())
+
+    def _if_statement(self):
+        token = self._expect(TokenKind.KEYWORD, "if")
+        self._expect(TokenKind.OP, "(")
+        cond = self._expression()
+        self._expect(TokenKind.OP, ")")
+        then_body = self._block()
+        else_body: Tuple = ()
+        if self._match(TokenKind.KEYWORD, "else"):
+            if self._check(TokenKind.KEYWORD, "if"):
+                else_body = (self._if_statement(),)
+            else:
+                else_body = self._block()
+        return If(line=token.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _while_statement(self):
+        token = self._expect(TokenKind.KEYWORD, "while")
+        self._expect(TokenKind.OP, "(")
+        cond = self._expression()
+        self._expect(TokenKind.OP, ")")
+        body = self._block()
+        return While(
+            line=token.line, cond=cond, body=body, label=self._fresh_loop_label(token.line)
+        )
+
+    def _for_statement(self):
+        token = self._expect(TokenKind.KEYWORD, "for")
+        self._expect(TokenKind.OP, "(")
+        init = None
+        if not self._check(TokenKind.OP, ";"):
+            init = self._simple_statement()
+        self._expect(TokenKind.OP, ";")
+        cond = None
+        if not self._check(TokenKind.OP, ";"):
+            cond = self._expression()
+        self._expect(TokenKind.OP, ";")
+        step = None
+        if not self._check(TokenKind.OP, ")"):
+            step = self._simple_statement()
+        self._expect(TokenKind.OP, ")")
+        body = self._block()
+        return For(
+            line=token.line,
+            init=init,
+            cond=cond,
+            step=step,
+            body=body,
+            label=self._fresh_loop_label(token.line),
+        )
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expression(self):
+        return self._or()
+
+    def _binary_chain(self, sub, ops):
+        left = sub()
+        while self._current.kind is TokenKind.OP and self._current.text in ops:
+            op = self._advance()
+            right = sub()
+            left = Binary(line=op.line, op=op.text, left=left, right=right)
+        return left
+
+    def _or(self):
+        return self._binary_chain(self._and, ("||",))
+
+    def _and(self):
+        return self._binary_chain(self._equality, ("&&",))
+
+    def _equality(self):
+        return self._binary_chain(self._relational, ("==", "!="))
+
+    def _relational(self):
+        return self._binary_chain(self._additive, ("<", "<=", ">", ">="))
+
+    def _additive(self):
+        return self._binary_chain(self._term, ("+", "-"))
+
+    def _term(self):
+        return self._binary_chain(self._unary, ("*", "/", "%"))
+
+    def _unary(self):
+        token = self._current
+        if token.kind is TokenKind.OP and token.text in ("-", "!"):
+            self._advance()
+            return Unary(line=token.line, op=token.text, operand=self._unary())
+        return self._primary()
+
+    def _primary(self):
+        token = self._current
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return IntLiteral(line=token.line, value=int(token.text))
+        if token.kind is TokenKind.NAME:
+            self._advance()
+            if self._match(TokenKind.OP, "("):
+                args = []
+                if not self._check(TokenKind.OP, ")"):
+                    args.append(self._expression())
+                    while self._match(TokenKind.OP, ","):
+                        args.append(self._expression())
+                self._expect(TokenKind.OP, ")")
+                return Call(line=token.line, callee=token.text, args=tuple(args))
+            return Name(line=token.line, ident=token.text)
+        if self._match(TokenKind.OP, "("):
+            expr = self._expression()
+            self._expect(TokenKind.OP, ")")
+            return expr
+        raise MiniLangSyntaxError(
+            f"expected an expression, got {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )

@@ -1,0 +1,131 @@
+"""Post-hoc profile analysis: hot branches, per-function breakdowns.
+
+The paper's overhead discussion separates *profile collection* from
+*detection*.  This module covers the collection side's natural
+companion questions: which branch sites dominate a trace, how biased
+are they, and how is execution distributed across functions — the
+statistics a VM would use to decide what to instrument at all.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.profiles.element import decode_element
+from repro.profiles.trace import BranchTrace
+from repro.vm.program import Program
+
+
+@dataclass(frozen=True)
+class BranchSiteStats:
+    """Execution statistics of one static branch site."""
+
+    method_id: int
+    offset: int
+    executions: int
+    taken: int
+
+    @property
+    def not_taken(self) -> int:
+        return self.executions - self.taken
+
+    @property
+    def taken_ratio(self) -> float:
+        """Fraction of executions that took the branch."""
+        return self.taken / self.executions if self.executions else 0.0
+
+    @property
+    def bias(self) -> float:
+        """How predictable the branch is: max(p, 1-p) of the taken ratio."""
+        ratio = self.taken_ratio
+        return max(ratio, 1.0 - ratio)
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Aggregated branch-site statistics for one trace."""
+
+    sites: List[BranchSiteStats]
+    total_branches: int
+
+    def hottest(self, count: int = 10) -> List[BranchSiteStats]:
+        """The ``count`` most-executed branch sites."""
+        return sorted(self.sites, key=lambda s: -s.executions)[:count]
+
+    def per_function(self) -> Dict[int, int]:
+        """method id -> dynamic branch count."""
+        totals: Dict[int, int] = {}
+        for site in self.sites:
+            totals[site.method_id] = totals.get(site.method_id, 0) + site.executions
+        return totals
+
+    def coverage(self, top: int) -> float:
+        """Fraction of dynamic branches covered by the ``top`` hottest sites."""
+        if self.total_branches == 0:
+            return 0.0
+        hot = sum(site.executions for site in self.hottest(top))
+        return hot / self.total_branches
+
+    def mean_bias(self) -> float:
+        """Execution-weighted mean branch bias (predictability)."""
+        if self.total_branches == 0:
+            return 0.0
+        weighted = sum(site.bias * site.executions for site in self.sites)
+        return weighted / self.total_branches
+
+
+def profile_trace(trace: BranchTrace) -> TraceProfile:
+    """Aggregate a branch trace into per-site statistics."""
+    data = trace.array
+    total = int(data.size)
+    if total == 0:
+        return TraceProfile(sites=[], total_branches=0)
+    # Site = element >> 1 (drop the taken bit); count both outcomes.
+    sites_array = data >> np.int64(1)
+    taken_array = (data & np.int64(1)).astype(bool)
+    executions = Counter(sites_array.tolist())
+    taken_counts = Counter(sites_array[taken_array].tolist())
+    sites: List[BranchSiteStats] = []
+    for site, count in executions.items():
+        decoded = decode_element(int(site) << 1)
+        sites.append(
+            BranchSiteStats(
+                method_id=decoded.method_id,
+                offset=decoded.offset,
+                executions=count,
+                taken=taken_counts.get(site, 0),
+            )
+        )
+    sites.sort(key=lambda s: (s.method_id, s.offset))
+    return TraceProfile(sites=sites, total_branches=total)
+
+
+def render_profile(
+    profile: TraceProfile,
+    program: Optional[Program] = None,
+    top: int = 10,
+) -> str:
+    """Human-readable hot-branch report; function names resolve via
+    ``program`` when provided."""
+    def function_name(method_id: int) -> str:
+        if program is not None and 0 <= method_id < len(program.functions):
+            return program.functions[method_id].name
+        return f"m{method_id}"
+
+    lines = [
+        f"{profile.total_branches:,} dynamic branches over "
+        f"{len(profile.sites)} static sites "
+        f"(mean bias {profile.mean_bias():.3f})"
+    ]
+    for site in profile.hottest(top):
+        share = 100.0 * site.executions / profile.total_branches
+        lines.append(
+            f"  {function_name(site.method_id)}@{site.offset:<5} "
+            f"{site.executions:>9,} ({share:5.1f}%)  "
+            f"taken {site.taken_ratio:6.1%}  bias {site.bias:.2f}"
+        )
+    return "\n".join(lines)

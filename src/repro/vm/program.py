@@ -1,0 +1,152 @@
+"""Program and Function containers, plus static validation.
+
+A :class:`Program` is the executable unit: a list of functions, an entry
+function, and the static loop table.  Function ids index the function
+list; loop ids are globally unique across the program.  Validation
+checks every structural property the interpreter assumes, so the
+interpreter itself can stay fast and unchecked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.vm.errors import ValidationError
+from repro.vm.isa import JUMP_OPS, Instruction, Opcode
+
+
+@dataclass
+class Function:
+    """One MiniVM function.
+
+    Attributes:
+        name: source-level name (unique within a program).
+        func_id: dense id — must equal the function's index in the program.
+        num_params: number of parameters (stored in locals[0..num_params)).
+        num_locals: total local slots, including parameters.
+        code: the instruction sequence.
+    """
+
+    name: str
+    func_id: int
+    num_params: int
+    num_locals: int
+    code: List[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
+@dataclass
+class LoopInfo:
+    """Static metadata for one loop: which function owns it, and a label."""
+
+    loop_id: int
+    function_id: int
+    label: str = ""
+
+
+class Program:
+    """A validated, executable MiniVM program."""
+
+    def __init__(
+        self,
+        functions: Sequence[Function],
+        entry: str = "main",
+        loops: Optional[Sequence[LoopInfo]] = None,
+        name: str = "",
+    ) -> None:
+        self.functions: List[Function] = list(functions)
+        self.name = name
+        self.loops: List[LoopInfo] = list(loops or [])
+        self._by_name: Dict[str, Function] = {f.name: f for f in self.functions}
+        if entry not in self._by_name:
+            raise ValidationError(f"entry function {entry!r} not defined")
+        self.entry = entry
+        self.validate()
+
+    @property
+    def entry_function(self) -> Function:
+        """The function execution starts in."""
+        return self._by_name[self.entry]
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValidationError(f"no function named {name!r}") from None
+
+    def __getitem__(self, func_id: int) -> Function:
+        return self.functions[func_id]
+
+    def num_instructions(self) -> int:
+        """Total static instruction count across all functions."""
+        return sum(len(f.code) for f in self.functions)
+
+    def validate(self) -> None:
+        """Check every structural invariant the interpreter relies on.
+
+        Raises:
+            ValidationError: on the first violated invariant.
+        """
+        if len(self._by_name) != len(self.functions):
+            raise ValidationError("duplicate function names")
+        for index, func in enumerate(self.functions):
+            if func.func_id != index:
+                raise ValidationError(
+                    f"function {func.name!r} has id {func.func_id}, expected {index}"
+                )
+            if func.num_params < 0 or func.num_locals < func.num_params:
+                raise ValidationError(
+                    f"function {func.name!r}: bad locals layout "
+                    f"(params={func.num_params}, locals={func.num_locals})"
+                )
+            self._validate_code(func)
+        seen_loops = set()
+        for loop in self.loops:
+            if loop.loop_id in seen_loops:
+                raise ValidationError(f"duplicate loop id {loop.loop_id}")
+            seen_loops.add(loop.loop_id)
+            if not 0 <= loop.function_id < len(self.functions):
+                raise ValidationError(
+                    f"loop {loop.loop_id} references missing function {loop.function_id}"
+                )
+
+    def _validate_code(self, func: Function) -> None:
+        size = len(func.code)
+        if size == 0:
+            raise ValidationError(f"function {func.name!r} has no code")
+        loop_ids = {loop.loop_id for loop in self.loops}
+        for pc, instr in enumerate(func.code):
+            where = f"{func.name}@{pc}"
+            if instr.op in JUMP_OPS:
+                if not 0 <= instr.arg < size:
+                    raise ValidationError(
+                        f"{where}: jump target {instr.arg} out of range [0, {size})"
+                    )
+            elif instr.op == Opcode.CALL:
+                if not 0 <= instr.arg < len(self.functions):
+                    raise ValidationError(f"{where}: call to missing function {instr.arg}")
+                callee = self.functions[instr.arg]
+                if instr.arg2 != callee.num_params:
+                    raise ValidationError(
+                        f"{where}: call passes {instr.arg2} args, "
+                        f"{callee.name!r} takes {callee.num_params}"
+                    )
+            elif instr.op in (Opcode.LOAD, Opcode.STORE):
+                if not 0 <= instr.arg < func.num_locals:
+                    raise ValidationError(
+                        f"{where}: local slot {instr.arg} out of range "
+                        f"[0, {func.num_locals})"
+                    )
+            elif instr.op in (Opcode.LOOP_BEGIN, Opcode.LOOP_END):
+                if self.loops and instr.arg not in loop_ids:
+                    raise ValidationError(f"{where}: unknown loop id {instr.arg}")
+        last = func.code[-1].op
+        if last not in (Opcode.RET, Opcode.HALT, Opcode.JMP):
+            raise ValidationError(
+                f"function {func.name!r} may fall off the end "
+                f"(last opcode {last.name})"
+            )

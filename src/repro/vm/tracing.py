@@ -1,0 +1,77 @@
+"""Trace sinks: where the interpreter's instrumentation events go.
+
+The interpreter is generic over a sink.  Three sinks are provided:
+
+- :class:`CollectingSink` — materializes both the branch trace and the
+  call-loop trace (the configuration the workload suite uses).
+- :class:`CountingSink` — counts events without storing them (cheap
+  smoke runs).
+- :class:`NullSink` — discards everything (pure-execution timing).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+from repro.profiles.trace import BranchTrace
+
+
+class NullSink:
+    """Discards all instrumentation events."""
+
+    def branch(self, element: int) -> None:
+        """Record one dynamic conditional branch (ignored)."""
+
+    def call_event(self, kind: EventKind, ident: int, time: int) -> None:
+        """Record one call-loop event (ignored)."""
+
+
+class CountingSink:
+    """Counts events by kind without storing them."""
+
+    def __init__(self) -> None:
+        self.num_branches = 0
+        self.num_method_entries = 0
+        self.num_method_exits = 0
+        self.num_loop_entries = 0
+        self.num_loop_exits = 0
+
+    def branch(self, element: int) -> None:
+        """Count one dynamic conditional branch."""
+        self.num_branches += 1
+
+    def call_event(self, kind: EventKind, ident: int, time: int) -> None:
+        """Count one call-loop event."""
+        if kind == EventKind.METHOD_ENTRY:
+            self.num_method_entries += 1
+        elif kind == EventKind.METHOD_EXIT:
+            self.num_method_exits += 1
+        elif kind == EventKind.LOOP_ENTRY:
+            self.num_loop_entries += 1
+        else:
+            self.num_loop_exits += 1
+
+
+class CollectingSink:
+    """Materializes the branch trace and the call-loop trace."""
+
+    def __init__(self) -> None:
+        self.elements: List[int] = []
+        self.events: List[CallLoopEvent] = []
+
+    def branch(self, element: int) -> None:
+        """Append one dynamic conditional branch profile element."""
+        self.elements.append(element)
+
+    def call_event(self, kind: EventKind, ident: int, time: int) -> None:
+        """Append one call-loop event stamped with the branch-trace offset."""
+        self.events.append(CallLoopEvent(kind, ident, time))
+
+    def branch_trace(self, name: str = "") -> BranchTrace:
+        """Build the collected :class:`BranchTrace`."""
+        return BranchTrace(self.elements, name=name)
+
+    def call_loop_trace(self, name: str = "") -> CallLoopTrace:
+        """Build the collected :class:`CallLoopTrace`."""
+        return CallLoopTrace(self.events, name=name, num_branches=len(self.elements))

@@ -1,0 +1,35 @@
+"""The benchmark suite: eight MiniLang workloads mirroring SPECjvm98 + JLex.
+
+Each workload's *phase-relevant* structure (loop sizes, nesting,
+recursion, method-invocation runs, irregular glue) mirrors one of the
+paper's benchmarks; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.base import Workload, scaled
+from repro.workloads.characteristics import (
+    BenchmarkCharacteristics,
+    characteristics_table,
+)
+from repro.workloads.suite import (
+    ALL_WORKLOADS,
+    DEFAULT_CACHE_DIR,
+    WORKLOADS_BY_NAME,
+    load_suite,
+    load_traces,
+    workload,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "scaled",
+    "BenchmarkCharacteristics",
+    "characteristics_table",
+    "ALL_WORKLOADS",
+    "WORKLOADS_BY_NAME",
+    "DEFAULT_CACHE_DIR",
+    "load_suite",
+    "load_traces",
+    "workload",
+    "workload_names",
+]

@@ -1,0 +1,59 @@
+"""Workload infrastructure.
+
+Each workload is a MiniLang program whose *phase-relevant* structure
+mirrors one of the paper's benchmarks (SPECjvm98 size 10 + JLex): the
+mix of tight loops, nested loops, method-invocation runs, and recursion
+that gives rise to its Table 1 characteristics.  A workload is scale-
+parameterized so the suite can produce short traces for CI and longer
+ones for the full experiment runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.profiles.callloop import CallLoopTrace
+from repro.profiles.trace import BranchTrace
+from repro.vm.compiler import compile_source
+from repro.vm.interpreter import Interpreter
+from repro.vm.tracing import CollectingSink
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: a name plus a scale-parameterized MiniLang source."""
+
+    name: str
+    #: Which paper benchmark this workload's phase structure mirrors.
+    mirrors: str
+    #: scale -> MiniLang source text.
+    source: Callable[[float], str]
+    #: Seed for the program's ``rnd()`` stream.
+    seed: int = 0x5EED
+
+    def program_source(self, scale: float = 1.0) -> str:
+        """The MiniLang source at ``scale``."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return self.source(scale)
+
+    def fingerprint(self, scale: float) -> str:
+        """Content hash identifying (source, scale, seed) — the cache key."""
+        digest = hashlib.sha256()
+        digest.update(self.program_source(scale).encode("utf-8"))
+        digest.update(f"|seed={self.seed}|scale={scale}".encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def run(self, scale: float = 1.0) -> Tuple[BranchTrace, CallLoopTrace]:
+        """Compile and execute the workload, collecting both traces."""
+        program = compile_source(self.program_source(scale), name=self.name)
+        sink = CollectingSink()
+        Interpreter(max_call_depth=10_000).run(program, sink=sink, seed=self.seed)
+        return sink.branch_trace(self.name), sink.call_loop_trace(self.name)
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer knob, flooring at ``minimum``."""
+    return max(minimum, round(value * scale))

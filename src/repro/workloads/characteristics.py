@@ -1,0 +1,45 @@
+"""Benchmark characteristics — the data behind Table 1(a).
+
+For each benchmark: dynamic branches, loop executions, method
+invocations, and recursion roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.profiles.callloop import CallLoopTrace
+from repro.profiles.trace import BranchTrace
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacteristics:
+    """One Table 1(a) row."""
+
+    name: str
+    dynamic_branches: int
+    loop_executions: int
+    method_invocations: int
+    recursion_roots: int
+
+    @staticmethod
+    def of(branch_trace: BranchTrace, call_loop: CallLoopTrace) -> "BenchmarkCharacteristics":
+        """Compute the row for one benchmark's traces."""
+        return BenchmarkCharacteristics(
+            name=branch_trace.name or call_loop.name,
+            dynamic_branches=len(branch_trace),
+            loop_executions=call_loop.loop_executions(),
+            method_invocations=call_loop.method_invocations(),
+            recursion_roots=call_loop.recursion_roots(),
+        )
+
+
+def characteristics_table(
+    traces: Dict[str, tuple],
+) -> List[BenchmarkCharacteristics]:
+    """Table 1(a) rows for a suite mapping ``name -> (branch, call-loop)``."""
+    return [
+        BenchmarkCharacteristics.of(branch, call_loop)
+        for name, (branch, call_loop) in traces.items()
+    ]

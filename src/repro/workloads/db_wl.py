@@ -1,0 +1,105 @@
+"""``_209_db`` stand-in.
+
+db performs database operations (add, delete, find, sort) over an
+in-memory address file: long scan and sort loops dominated by a few
+operations, giving very high coverage (84-97%) with phase counts
+falling from 1152 (MPL 1K) to 5 (100K).
+
+Structure here: an index-build loop, then a stream of operations —
+linear scans, a shell-style sort pass with nested loops, and point
+lookups — over a memory-resident table.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, scaled
+
+
+def _source(scale: float) -> str:
+    records = scaled(220, scale, minimum=24)
+    operations = scaled(18, min(1.0, scale), minimum=4)
+    return f"""
+// _209_db stand-in: scans, sorts, and lookups over a memory table.
+fn build_table(n) {{
+    var i = 0;
+    while (i < n) {{
+        setmem(i, (i * 7919 + 13) % 10007);
+        i = i + 1;
+    }}
+    return n;
+}}
+
+fn scan_count(n, key) {{
+    var count = 0;
+    var i = 0;
+    while (i < n) {{
+        if (mem(i) % 97 == key % 97) {{
+            count = count + 1;
+        }}
+        i = i + 1;
+    }}
+    return count;
+}}
+
+fn sort_pass(n) {{
+    // One bubble pass repeated until no swaps in the window; nested
+    // loops yield a long sorting phase.
+    var swapped = 1;
+    var passes = 0;
+    while (swapped > 0 && passes < 6) {{
+        swapped = 0;
+        var i = 0;
+        while (i < n - 1) {{
+            if (mem(i) > mem(i + 1)) {{
+                var tmp = mem(i);
+                setmem(i, mem(i + 1));
+                setmem(i + 1, tmp);
+                swapped = swapped + 1;
+            }}
+            i = i + 1;
+        }}
+        passes = passes + 1;
+    }}
+    return passes;
+}}
+
+fn lookup(n, key) {{
+    var lo = 0;
+    var hi = n;
+    while (lo < hi) {{
+        var mid = (lo + hi) / 2;
+        if (mem(mid) < key) {{
+            lo = mid + 1;
+        }} else {{
+            hi = mid;
+        }}
+    }}
+    return lo;
+}}
+
+fn main() {{
+    var n = {records};
+    build_table(n);
+    var total = 0;
+    var op = 0;
+    while (op < {operations}) {{
+        var kind = (op * 11) % 4;
+        if (kind == 0) {{
+            total = total + scan_count(n, op * 31);
+        }} else if (kind == 1) {{
+            total = total + sort_pass(n);
+        }} else if (kind == 2) {{
+            total = total + lookup(n, rnd(10007));
+            total = total + scan_count(n, op * 17);
+        }} else {{
+            setmem(rnd(n), rnd(10007));
+            total = total + scan_count(n, op * 13);
+        }}
+        op = op + 1;
+    }}
+    return total;
+}}
+"""
+
+
+WORKLOAD = Workload(name="db", mirrors="_209_db", source=_source, seed=209)

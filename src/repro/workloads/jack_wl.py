@@ -1,0 +1,110 @@
+"""``_228_jack`` stand-in.
+
+jack is a parser generator that famously processes its own grammar 16
+times.  Execution is a repeated pipeline of lexing loops, recursive
+grammar walks, and table-construction loops, separated by substantial
+per-pass bookkeeping; coverage *drops* at high MPL (13.6% at 100K)
+because no single construct spans a large fraction of the run.
+
+Structure here: 16 *unrolled* top-level pass calls (no loop spans the
+run) with irregular per-pass reporting between them; within a pass, the
+lex / expand / table loops are each a few hundred elements, so nothing
+qualifies once the MPL exceeds a single pass's largest loop — except
+one oversized "self-test" pass that keeps a sliver of coverage.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, scaled
+
+
+def _source(scale: float) -> str:
+    passes = 16
+    stream = scaled(240, scale, minimum=24)
+    productions = scaled(26, scale, minimum=5)
+    table_rows = scaled(140, scale, minimum=12)
+    pass_calls = "\n".join(
+        f"    total = total + run_pass({p}, {4 if p == 15 else 1});\n"
+        f"    total = total + report({p}, total);"
+        for p in range(passes)
+    )
+    return f"""
+// _228_jack stand-in: 16 repeated generator passes.
+fn lex(n, pass_id) {{
+    var toks = 0;
+    var i = 0;
+    while (i < n) {{
+        var c = (i * 13 + pass_id * 5) % 9;
+        if (c < 3) {{
+            toks = toks + 1;
+        }} else if (c == 7) {{
+            toks = toks + 3;
+        }}
+        i = i + 1;
+    }}
+    return toks;
+}}
+
+fn expand(prod, depth) {{
+    // Recursive production expansion.
+    if (depth <= 0) {{
+        return prod % 7;
+    }}
+    var v = prod;
+    if (v % 2 == 0) {{
+        v = v + expand(v / 2 + 1, depth - 1);
+    }}
+    if (v % 3 == 0) {{
+        v = v + expand(v / 3 + 2, depth - 1);
+    }}
+    return v + 1;
+}}
+
+fn build_tables(rows, pass_id) {{
+    var filled = 0;
+    var r = 0;
+    while (r < rows) {{
+        var slot = (r * 31 + pass_id * 7) % 19;
+        if (slot < 9) {{
+            setmem(40000 + slot, r);
+            filled = filled + 1;
+        }}
+        r = r + 1;
+    }}
+    return filled;
+}}
+
+fn run_pass(pass_id, factor) {{
+    var total = lex({stream} * factor, pass_id);
+    var p = 0;
+    while (p < {productions}) {{
+        total = total + expand(p + pass_id, 3 + p % 3);
+        p = p + 1;
+    }}
+    total = total + build_tables({table_rows} * factor, pass_id);
+    return total;
+}}
+
+fn report(pass_id, v) {{
+    var x = v + pass_id;
+    if (x % 2 == 0) {{ x = x + 13; }}
+    if (x % 3 == 1) {{ x = x - 5; }}
+    if (x % 5 == 2) {{ x = x * 2; }}
+    if (x % 7 == 4) {{ x = x + pass_id; }}
+    if (x % 11 == 6) {{ x = x - 1; }}
+    if (x % 13 == 0) {{ x = x + 2; }}
+    if (x % 17 == 8) {{ x = x + 3; }}
+    if (x % 19 == 1) {{ x = x - 7; }}
+    if (x > 100000) {{ x = x % 99991; }}
+    return x % 1000;
+}}
+
+fn main() {{
+    var total = 0;
+{pass_calls}
+    return total;
+}}
+"""
+
+
+WORKLOAD = Workload(name="jack", mirrors="_228_jack", source=_source, seed=228)

@@ -1,0 +1,135 @@
+"""``_213_javac`` stand-in.
+
+javac compiles Java source: a recursive-descent front end over many
+compilation units, followed by per-unit attribution and code
+generation.  Its execution is the most irregular of the suite — Table
+1(b) shows modest coverage at every MPL (45-66%) because much of the
+work sits in medium-sized, non-repeating spans.
+
+Structure here: compilation units are *unrolled* top-level calls with
+irregular glue (no loop spans the run); unit sizes vary by an order of
+magnitude (two "big file" units), so some loops qualify at large MPL
+while plenty of irregular work never does.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, scaled
+
+
+def _source(scale: float) -> str:
+    units = 14
+    tokens_base = scaled(150, scale, minimum=16)
+    tokens_span = scaled(260, scale, minimum=20)
+    big_factor = 7
+    unit_calls = "\n".join(
+        f"    total = total + compile_unit({u}, {big_factor if u in (4, 9) else 1});\n"
+        f"    total = total + link_unit({u}, total);"
+        for u in range(units)
+    )
+    return f"""
+// _213_javac stand-in: compiler passes over varying-size units.
+fn tokenize(n, unit) {{
+    var toks = 0;
+    var i = 0;
+    while (i < n) {{
+        var c = (i * 31 + unit * 7) % 11;
+        if (c < 4) {{
+            toks = toks + 1;
+        }} else if (c < 7) {{
+            toks = toks + 2;
+        }}
+        i = i + 1;
+    }}
+    return toks;
+}}
+
+fn parse_expr(depth, seedv) {{
+    // Recursive-descent parse of a nested expression.
+    if (depth <= 0) {{
+        return seedv % 9;
+    }}
+    var v = seedv;
+    if (v % 3 == 0) {{
+        v = v + parse_expr(depth - 1, v / 2 + 1);
+    }} else if (v % 3 == 1) {{
+        v = v + parse_expr(depth - 1, v / 3 + 2);
+        v = v + parse_expr(depth - 2, v / 5 + 3);
+    }} else {{
+        v = v + 1;
+    }}
+    return v;
+}}
+
+fn attribute(symbols, unit) {{
+    var resolved = 0;
+    var s = 0;
+    while (s < symbols) {{
+        var h = (s * 17 + unit) % 13;
+        if (h < 5) {{ resolved = resolved + 1; }}
+        if (h == 7) {{ resolved = resolved + 2; }}
+        s = s + 1;
+    }}
+    return resolved;
+}}
+
+fn codegen(stmts, unit) {{
+    var bytes = 0;
+    var s = 0;
+    while (s < stmts) {{
+        if ((s + unit) % 4 == 0) {{
+            bytes = bytes + 3;
+        }} else {{
+            bytes = bytes + 1;
+        }}
+        s = s + 1;
+    }}
+    return bytes;
+}}
+
+fn glue(unit, v) {{
+    var g = v + unit * 3;
+    if (g % 2 == 0) {{ g = g + 7; }}
+    if (g % 3 == 2) {{ g = g - 4; }}
+    if (g % 5 == 1) {{ g = g * 2; }}
+    if (g % 7 == 3) {{ g = g + unit; }}
+    if (g % 11 == 0) {{ g = g + 1; }}
+    if (g % 13 == 5) {{ g = g - 2; }}
+    if (g > 100000) {{ g = g % 99991; }}
+    return g % 1000;
+}}
+
+fn compile_unit(unit, factor) {{
+    var size = ({tokens_base} + (unit * 137) % {tokens_span}) * factor;
+    var total = 0;
+    var toks = tokenize(size, unit);
+    total = total + glue(unit, toks);
+    total = total + parse_expr(5 + unit % 4, toks + unit);
+    total = total + glue(unit, total);
+    total = total + attribute(size / 2 + 3, unit);
+    total = total + glue(unit, total);
+    total = total + codegen(size / 3 + 5, unit);
+    return total;
+}}
+
+fn link_unit(unit, v) {{
+    var x = v + unit * 31;
+    if (x % 2 == 1) {{ x = x + 9; }}
+    if (x % 3 == 0) {{ x = x - 2; }}
+    if (x % 5 == 3) {{ x = x * 2; }}
+    if (x % 7 == 6) {{ x = x + unit; }}
+    if (x % 11 == 4) {{ x = x + 1; }}
+    if (x > 100000) {{ x = x % 99991; }}
+    setmem(60000 + unit, x);
+    return x % 1000;
+}}
+
+fn main() {{
+    var total = 0;
+{unit_calls}
+    return total;
+}}
+"""
+
+
+WORKLOAD = Workload(name="javac", mirrors="_213_javac", source=_source, seed=213)

@@ -1,0 +1,108 @@
+"""``_202_jess`` stand-in.
+
+Jess is an expert-system shell: execution is thousands of *small*
+rule-matching loops of widely varying length, occasional rule firings
+(short method bursts, sometimes recursive), and per-round agenda
+maintenance.  Table 1(b) shows the signature: a huge number of small
+phases at low MPL (3250 at 1K) collapsing quickly as MPL grows, with
+mid-range coverage at large MPL (≈42-44% at 50K-100K).
+
+Structure here: inference rounds are *unrolled* top-level calls (the
+paper's benchmarks have no single loop spanning the whole run), each a
+sweep of variable-length match loops; every fourth round works on a 4x
+fact set, so a few large phases survive at large MPL.  Rounds are
+separated by irregular agenda-rebuild glue so they never merge.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, scaled
+
+
+def _source(scale: float) -> str:
+    rounds = 12
+    # Rules x facts is quadratic; scale each factor by sqrt(scale).
+    dimension = scale ** 0.5
+    rules = scaled(26, dimension, minimum=6)
+    fact_base = scaled(14, dimension, minimum=4)
+    fact_span = scaled(58, dimension, minimum=8)
+    big_factor = 5
+    round_calls = "\n".join(
+        f"    total = total + run_round({r}, {big_factor if r % 4 == 3 else 1});\n"
+        f"    total = total + rebuild_agenda({r}, total);"
+        for r in range(rounds)
+    )
+    return f"""
+// _202_jess stand-in: many small variable-length match loops.
+fn match_rule(rule, facts) {{
+    var hits = 0;
+    var i = 0;
+    while (i < facts) {{
+        if ((i * 7 + rule * 3) % 5 == 0) {{
+            hits = hits + 1;
+        }}
+        i = i + 1;
+    }}
+    return hits;
+}}
+
+fn derive(depth, seedv) {{
+    // A short recursive inference chain (recursion roots in Table 1a).
+    if (depth <= 0) {{
+        return seedv;
+    }}
+    var v = seedv;
+    if (v % 2 == 0) {{ v = v + 3; }}
+    return derive(depth - 1, v) + 1;
+}}
+
+fn fire(rule, strength) {{
+    var v = strength;
+    if (rule % 4 == 0) {{
+        v = v + derive(3 + rule % 3, strength);
+    }}
+    if (v % 3 == 1) {{ v = v * 2; }}
+    if (v % 5 < 2) {{ v = v - 1; }}
+    setmem(rule, v);
+    return v;
+}}
+
+fn run_round(round, factor) {{
+    var total = 0;
+    var rule = 0;
+    while (rule < {rules}) {{
+        var facts = ({fact_base} + (rule * 13 + round * 7) % {fact_span}) * factor;
+        var hits = match_rule(rule, facts);
+        if (hits % 3 == 0) {{
+            total = total + fire(rule, hits);
+        }}
+        rule = rule + 1;
+    }}
+    return total;
+}}
+
+fn rebuild_agenda(round, v) {{
+    // Irregular non-loop glue between rounds: keeps round executions
+    // from merging into a single giant phase.
+    var a = v + round * 97;
+    if (a % 2 == 0) {{ a = a + 11; }}
+    if (a % 3 == 0) {{ a = a + 7; }}
+    if (a % 5 == 0) {{ a = a - 3; }}
+    if (a % 7 == 0) {{ a = a + 1; }}
+    if (a % 11 == 0) {{ a = a * 2; }}
+    if (a % 13 == 3) {{ a = a - 9; }}
+    if (a > 100000) {{ a = a % 99991; }}
+    if (a % 17 < 5) {{ a = a + round; }}
+    setmem(10000 + round, a);
+    return a % 1000;
+}}
+
+fn main() {{
+    var total = 0;
+{round_calls}
+    return total;
+}}
+"""
+
+
+WORKLOAD = Workload(name="jess", mirrors="_202_jess", source=_source, seed=202)

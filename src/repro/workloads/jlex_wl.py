@@ -1,0 +1,133 @@
+"""``JLex`` stand-in.
+
+JLex generates a lexical analyzer from a specification: a handful of
+long, distinct algorithmic stages (NFA construction, subset
+construction, DFA minimization, code emission).  Table 1(b) shows very
+high coverage throughout (78-97%) with a modest number of phases (102
+at MPL 1K, 2 at 100K).
+
+Structure here: the four classic stages, each a substantial nested-loop
+computation over a state table, run once in sequence.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, scaled
+
+
+def _source(scale: float) -> str:
+    # The NFA/DFA stages multiply states x alphabet x passes, so each
+    # dimension scales as sqrt(scale) to keep the trace ~linear in the
+    # scale knob (identical sources at scale = 1).
+    dimension = scale ** 0.5
+    rules = scaled(48, dimension, minimum=8)
+    nfa_states = scaled(70, dimension, minimum=10)
+    dfa_states = scaled(40, dimension, minimum=8)
+    alphabet = scaled(20, dimension, minimum=4)
+    emit_lines = scaled(160, scale, minimum=16)
+    return f"""
+// JLex stand-in: NFA -> DFA -> minimize -> emit.
+fn read_spec(n) {{
+    var rules = 0;
+    var i = 0;
+    while (i < n) {{
+        var c = (i * 11) % 7;
+        if (c < 3) {{ rules = rules + 1; }}
+        i = i + 1;
+    }}
+    return rules;
+}}
+
+fn build_nfa(states, rules) {{
+    var edges = 0;
+    var s = 0;
+    while (s < states) {{
+        var r = 0;
+        while (r < rules / 4 + 2) {{
+            if ((s * 7 + r * 3) % 5 < 2) {{
+                setmem(50000 + (s * 131 + r) % 8191, s);
+                edges = edges + 1;
+            }}
+            r = r + 1;
+        }}
+        s = s + 1;
+    }}
+    return edges;
+}}
+
+fn subset_construction(nfa_states, alphabet) {{
+    var dfa = 1;
+    var work = 1;
+    while (work > 0) {{
+        work = work - 1;
+        var a = 0;
+        while (a < alphabet) {{
+            var closure = 0;
+            var s = 0;
+            while (s < nfa_states / 4 + 3) {{
+                if ((s * 13 + a * 7 + dfa) % 6 < 2) {{
+                    closure = closure + 1;
+                }}
+                s = s + 1;
+            }}
+            if (closure > 0 && dfa < {dfa_states}) {{
+                dfa = dfa + 1;
+                if (dfa % 3 == 0 && work < 6) {{
+                    work = work + 1;
+                }}
+            }}
+            a = a + 1;
+        }}
+    }}
+    return dfa;
+}}
+
+fn minimize(dfa_states, alphabet) {{
+    var partitions = 2;
+    var changed = 1;
+    while (changed > 0 && partitions < dfa_states) {{
+        changed = 0;
+        var p = 0;
+        while (p < dfa_states) {{
+            var q = 0;
+            while (q < alphabet) {{
+                if ((p * 17 + q * 5 + partitions) % 23 == 0) {{
+                    changed = 1;
+                }}
+                q = q + 1;
+            }}
+            p = p + 1;
+        }}
+        if (changed > 0) {{
+            partitions = partitions + 1;
+        }}
+    }}
+    return partitions;
+}}
+
+fn emit(lines, dfa) {{
+    var bytes = 0;
+    var i = 0;
+    while (i < lines) {{
+        if ((i + dfa) % 4 == 0) {{
+            bytes = bytes + 12;
+        }} else {{
+            bytes = bytes + 7;
+        }}
+        i = i + 1;
+    }}
+    return bytes;
+}}
+
+fn main() {{
+    var rules = read_spec({rules});
+    var edges = build_nfa({nfa_states}, rules);
+    var dfa = subset_construction({nfa_states}, {alphabet});
+    var parts = minimize({dfa_states} + dfa % 7, {alphabet});
+    var bytes = emit({emit_lines}, dfa);
+    return rules + edges + dfa + parts + bytes;
+}}
+"""
+
+
+WORKLOAD = Workload(name="jlex", mirrors="JLex", source=_source, seed=206)

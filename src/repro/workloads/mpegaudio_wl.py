@@ -1,0 +1,119 @@
+"""``_222_mpegaudio`` stand-in.
+
+mpegaudio decodes an MP3 stream: a long sequence of frames, each
+processed by a fixed cascade of small tight filter loops, grouped into
+granules.  Table 1(b) shows the signature: an enormous number of tiny
+phases at low MPL (7,594 at 1K), intermediate frame/granule groupings,
+then 2 giant phases at 100K (99.75% coverage).
+
+Structure here: *unrolled* granule calls (two audio "channels" of
+granules, so the largest MPL sees two giant merged spans), each granule
+a frame loop whose body runs a windowing loop, two subband filter
+loops (every fourth frame uses a 6x long-block filter), and an output
+loop.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, scaled
+
+
+def _source(scale: float) -> str:
+    granules = 10
+    # Frames x per-frame loop iterations is quadratic; scale each
+    # factor by sqrt(scale).
+    dimension = scale ** 0.5
+    frames_per_granule = scaled(22, dimension, minimum=4)
+    window_iters = scaled(24, dimension, minimum=5)
+    filter_iters = scaled(30, dimension, minimum=6)
+    output_iters = scaled(18, dimension, minimum=4)
+    lines = []
+    for g in range(granules):
+        lines.append(f"    pcm = pcm + decode_granule({g}, {frames_per_granule});")
+        if g == granules // 2 - 1:
+            # A mid-stream seek splits the run into two giant merged
+            # spans (the paper's 2 phases at MPL 100K).
+            lines.append("    pcm = pcm + seek_stream(pcm);")
+    granule_calls = "\n".join(lines)
+    return f"""
+// _222_mpegaudio stand-in: cascades of small tight filter loops.
+fn window_samples(frame, n) {{
+    var acc = 0;
+    var i = 0;
+    while (i < n) {{
+        var s = (frame * 5 + i * 3) % 64;
+        if (s < 32) {{ acc = acc + s; }}
+        i = i + 1;
+    }}
+    return acc;
+}}
+
+fn subband_filter(frame, band, n) {{
+    var acc = 0;
+    var i = 0;
+    while (i < n) {{
+        var c = (i * 7 + band * 11 + frame) % 16;
+        if (c < 8) {{
+            acc = acc + c;
+        }} else {{
+            acc = acc - 1;
+        }}
+        i = i + 1;
+    }}
+    return acc;
+}}
+
+fn write_pcm(frame, n) {{
+    var i = 0;
+    while (i < n) {{
+        setmem(30000 + (frame * n + i) % 4096, (frame + i) % 256);
+        i = i + 1;
+    }}
+    return n;
+}}
+
+fn sync_header(frame) {{
+    var h = frame * 419;
+    if (h % 2 == 0) {{ h = h + 3; }}
+    if (h % 3 == 1) {{ h = h - 1; }}
+    return h;
+}}
+
+fn decode_granule(granule, frames) {{
+    var pcm = 0;
+    var frame = 0;
+    while (frame < frames) {{
+        var f = granule * frames + frame;
+        pcm = pcm + sync_header(f);
+        pcm = pcm + window_samples(f, {window_iters});
+        if (f % 4 == 3) {{
+            // Long-block frame: one 6x filter pass.
+            pcm = pcm + subband_filter(f, 0, {filter_iters} * 6);
+        }} else {{
+            pcm = pcm + subband_filter(f, 0, {filter_iters});
+            pcm = pcm + subband_filter(f, 1, {filter_iters});
+        }}
+        pcm = pcm + write_pcm(f, {output_iters});
+        frame = frame + 1;
+    }}
+    return pcm;
+}}
+
+fn seek_stream(v) {{
+    var s = v;
+    if (s % 2 == 0) {{ s = s + 17; }}
+    if (s % 3 == 2) {{ s = s - 6; }}
+    if (s % 5 == 1) {{ s = s * 2; }}
+    if (s > 100000) {{ s = s % 99991; }}
+    return s % 100;
+}}
+
+fn main() {{
+    var pcm = 0;
+{granule_calls}
+    return pcm;
+}}
+"""
+
+
+WORKLOAD = Workload(name="mpegaudio", mirrors="_222_mpegaudio", source=_source, seed=222)

@@ -1,0 +1,100 @@
+"""``_205_raytrace`` stand-in.
+
+Raytrace renders a scene: per-tile loops of per-pixel work where each
+pixel traces a recursive ray tree (reflection/refraction bounces).
+Table 1(a) shows the signature: a large number of recursion roots
+(6,811) relative to the other benchmarks; Table 1(b) shows phase counts
+shrinking from 1448 (MPL 1K) to 17 (100K) with coverage falling to
+≈43% at the largest MPL.
+
+Structure here: the image is rendered as *unrolled* top-level tile
+calls (no loop spans the run); each tile is a scanline loop over a
+pixel loop; every pixel call traces a recursive ray tree.  Two tiles
+cover a reflective region and are 4x taller, so a few big phases
+survive at large MPL.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, scaled
+
+
+def _source(scale: float) -> str:
+    tiles = 8
+    # Height x width is quadratic; scale each by sqrt(scale).
+    dimension = scale ** 0.5
+    tile_height = scaled(9, dimension, minimum=3)
+    width = scaled(24, dimension, minimum=6)
+    tile_calls = "\n".join(
+        f"    image = image + render_tile({t}, {tile_height * (4 if t in (2, 5) else 1)});\n"
+        f"    image = image + flush_tile({t}, image);"
+        for t in range(tiles)
+    )
+    return f"""
+// _205_raytrace stand-in: recursive per-pixel ray trees over tiles.
+fn intersect(x, y, depth) {{
+    var t = (x * 13 + y * 7 + depth * 3) % 17;
+    if (t < 5) {{ return 0; }}
+    if (t < 11) {{ return 1; }}
+    return 2;
+}}
+
+fn shade(hit, x, y) {{
+    var c = hit * 40 + (x + y) % 23;
+    if (c % 2 == 0) {{ c = c + 9; }}
+    if (c % 7 < 3) {{ c = c * 2; }}
+    return c % 256;
+}}
+
+fn trace(x, y, depth) {{
+    // Recursive ray tree: every top-level call is a recursion root.
+    var hit = intersect(x, y, depth);
+    if (hit == 0) {{
+        return 0;
+    }}
+    var color = shade(hit, x, y);
+    if (depth > 0) {{
+        if (hit == 1) {{
+            color = color + trace(x + 1, y, depth - 1) / 2;
+        }} else {{
+            color = color + trace(x + 1, y, depth - 1) / 2;
+            color = color + trace(x, y + 1, depth - 1) / 4;
+        }}
+    }}
+    return color;
+}}
+
+fn render_tile(tile, height) {{
+    var acc = 0;
+    var y = 0;
+    while (y < height) {{
+        var x = 0;
+        while (x < {width}) {{
+            acc = acc + trace(x + tile * {width}, y + tile * 7, 2 + (x * y) % 3);
+            x = x + 1;
+        }}
+        y = y + 1;
+    }}
+    return acc;
+}}
+
+fn flush_tile(tile, acc) {{
+    var v = acc + tile;
+    if (v % 2 == 0) {{ v = v + 5; }}
+    if (v % 3 == 1) {{ v = v - 2; }}
+    if (v % 5 == 4) {{ v = v * 2; }}
+    if (v % 7 == 0) {{ v = v + tile; }}
+    if (v > 100000) {{ v = v % 99991; }}
+    setmem(20000 + tile, v);
+    return v % 500;
+}}
+
+fn main() {{
+    var image = 0;
+{tile_calls}
+    return image;
+}}
+"""
+
+
+WORKLOAD = Workload(name="raytrace", mirrors="_205_raytrace", source=_source, seed=205)

@@ -1,0 +1,51 @@
+"""Baseline coverage-statistics tests."""
+
+import pytest
+
+from repro.baseline.coverage import BaselineCoverage, coverage_for_mpls
+from repro.baseline.oracle import BaselineSolution, PhaseInterval, solve_baseline
+from repro.baseline.cri import CRIKind
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+
+ME, MX = EventKind.METHOD_ENTRY, EventKind.METHOD_EXIT
+LE, LX = EventKind.LOOP_ENTRY, EventKind.LOOP_EXIT
+
+
+def phase(start, end):
+    return PhaseInterval(start=start, end=end, static_id=("l", 0), kind=CRIKind.LOOP)
+
+
+class TestBaselineCoverage:
+    def test_of_solution(self):
+        solution = BaselineSolution(
+            [phase(0, 40), phase(60, 160)], num_elements=200, mpl=20
+        )
+        coverage = BaselineCoverage.of(solution)
+        assert coverage.num_phases == 2
+        assert coverage.percent_in_phase == pytest.approx(70.0)
+        assert coverage.mean_phase_length == pytest.approx(70.0)
+        assert coverage.median_phase_length == pytest.approx(70.0)  # numpy even-count median
+        assert coverage.max_phase_length == 100
+        assert coverage.mpl == 20
+
+    def test_empty_solution(self):
+        coverage = BaselineCoverage.of(BaselineSolution([], num_elements=100, mpl=5))
+        assert coverage.num_phases == 0
+        assert coverage.percent_in_phase == 0.0
+        assert coverage.mean_phase_length == 0.0
+        assert coverage.max_phase_length == 0
+
+    def test_coverage_for_mpls_ordering(self):
+        trace = CallLoopTrace(
+            [
+                CallLoopEvent(ME, 0, 0),
+                CallLoopEvent(LE, 0, 5),
+                CallLoopEvent(LX, 0, 80),
+                CallLoopEvent(MX, 0, 100),
+            ],
+            num_branches=100,
+        )
+        result = coverage_for_mpls(trace, [10, 50, 90])
+        assert list(result) == [10, 50, 90]
+        assert result[10].num_phases == 1
+        assert result[90].num_phases == 0

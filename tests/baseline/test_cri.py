@@ -1,0 +1,113 @@
+"""CRI extraction and adjacency-merging tests."""
+
+from repro.baseline.cri import CRIKind, RepetitiveInstance, extract_cris, merge_adjacent
+from repro.baseline.tree import build_repetition_tree
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+
+ME, MX = EventKind.METHOD_ENTRY, EventKind.METHOD_EXIT
+LE, LX = EventKind.LOOP_ENTRY, EventKind.LOOP_EXIT
+
+
+def cris_for(*events, num_branches=0):
+    trace = CallLoopTrace(
+        [CallLoopEvent(k, i, t) for k, i, t in events], num_branches=num_branches
+    )
+    return extract_cris(build_repetition_tree(trace))
+
+
+def cri(static_id, start, end, kind=CRIKind.LOOP, count=1, children=()):
+    return RepetitiveInstance(
+        static_id=static_id, start=start, end=end, kind=kind, count=count,
+        children=tuple(children),
+    )
+
+
+class TestMergeAdjacent:
+    def test_distance_one_merges(self):
+        merged = merge_adjacent([cri(("l", 0), 0, 10), cri(("l", 0), 11, 20)])
+        assert len(merged) == 1
+        assert (merged[0].start, merged[0].end) == (0, 20)
+        assert merged[0].kind is CRIKind.MERGED_LOOP
+        assert merged[0].count == 2
+
+    def test_distance_zero_merges(self):
+        merged = merge_adjacent([cri(("l", 0), 0, 10), cri(("l", 0), 10, 20)])
+        assert len(merged) == 1
+
+    def test_distance_two_does_not_merge(self):
+        merged = merge_adjacent([cri(("l", 0), 0, 10), cri(("l", 0), 12, 20)])
+        assert len(merged) == 2
+
+    def test_different_ids_do_not_merge(self):
+        merged = merge_adjacent([cri(("l", 0), 0, 10), cri(("l", 1), 11, 20)])
+        assert len(merged) == 2
+
+    def test_run_of_many(self):
+        run = [cri(("m", 3), i * 10, i * 10 + 9, kind=CRIKind.METHOD) for i in range(5)]
+        merged = merge_adjacent(run)
+        assert len(merged) == 1
+        assert merged[0].count == 5
+        assert merged[0].kind is CRIKind.MERGED_METHOD
+
+    def test_interleaved_ids_break_runs(self):
+        items = [
+            cri(("m", 0), 0, 5, kind=CRIKind.METHOD),
+            cri(("m", 1), 5, 10, kind=CRIKind.METHOD),
+            cri(("m", 0), 10, 15, kind=CRIKind.METHOD),
+        ]
+        assert len(merge_adjacent(items)) == 3
+
+    def test_merged_children_are_next_level(self):
+        inner_a = cri(("l", 1), 1, 9)
+        inner_b = cri(("l", 1), 12, 19)
+        left = cri(("l", 0), 0, 10, children=[inner_a])
+        right = cri(("l", 0), 11, 20, children=[inner_b])
+        merged = merge_adjacent([left, right])
+        assert len(merged) == 1
+        # Children are the members' own children, not the members.
+        kinds = [c.static_id for c in merged[0].children]
+        assert kinds == [("l", 1), ("l", 1)]
+
+
+class TestRepetitiveness:
+    def test_loop_is_repetitive(self):
+        assert cri(("l", 0), 0, 5, kind=CRIKind.LOOP).is_repetitive()
+
+    def test_single_method_not_repetitive(self):
+        assert not cri(("m", 0), 0, 5, kind=CRIKind.METHOD).is_repetitive()
+
+    def test_recursion_is_repetitive(self):
+        assert cri(("m", 0), 0, 5, kind=CRIKind.RECURSION).is_repetitive()
+
+    def test_merged_method_needs_two(self):
+        single = cri(("m", 0), 0, 5, kind=CRIKind.MERGED_METHOD, count=1)
+        double = cri(("m", 0), 0, 5, kind=CRIKind.MERGED_METHOD, count=2)
+        assert not single.is_repetitive()
+        assert double.is_repetitive()
+
+
+class TestExtractFromTrace:
+    def test_loop_execution_becomes_loop_cri(self):
+        cris = cris_for((ME, 0, 0), (LE, 0, 1), (LX, 0, 9), (MX, 0, 10))
+        main = cris[0]
+        assert main.kind is CRIKind.METHOD
+        assert main.children[0].kind is CRIKind.LOOP
+
+    def test_recursion_root_becomes_recursion_cri(self):
+        cris = cris_for(
+            (ME, 0, 0), (ME, 1, 1), (ME, 1, 2), (MX, 1, 3), (MX, 1, 4), (MX, 0, 5)
+        )
+        root = cris[0].children[0]
+        assert root.kind is CRIKind.RECURSION
+
+    def test_back_to_back_calls_merge(self):
+        cris = cris_for(
+            (ME, 0, 0),
+            (ME, 1, 1), (MX, 1, 4),
+            (ME, 1, 5), (MX, 1, 8),
+            (MX, 0, 9),
+        )
+        merged = cris[0].children[0]
+        assert merged.kind is CRIKind.MERGED_METHOD
+        assert merged.count == 2
+        assert merged.is_repetitive()

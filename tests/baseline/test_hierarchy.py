@@ -1,0 +1,111 @@
+"""Hierarchical phase structure tests."""
+
+import pytest
+
+from repro.baseline.hierarchy import solve_hierarchy
+from repro.baseline.oracle import solve_baseline
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+from repro.workloads import load_traces
+
+ME, MX = EventKind.METHOD_ENTRY, EventKind.METHOD_EXIT
+LE, LX = EventKind.LOOP_ENTRY, EventKind.LOOP_EXIT
+
+
+def trace(*events, num_branches):
+    return CallLoopTrace(
+        [CallLoopEvent(k, i, t) for k, i, t in events], num_branches=num_branches
+    )
+
+
+@pytest.fixture
+def nested_trace():
+    # Outer loop [0, 300) containing two inner loops [20, 120) and
+    # [150, 260), each with gaps > 1 around them.
+    return trace(
+        (ME, 0, 0),
+        (LE, 0, 0),
+        (LE, 1, 20), (LX, 1, 120),
+        (LE, 2, 150), (LX, 2, 260),
+        (LX, 0, 300),
+        (MX, 0, 300),
+        num_branches=300,
+    )
+
+
+class TestHierarchyStructure:
+    def test_nesting_preserved(self, nested_trace):
+        hierarchy = solve_hierarchy(nested_trace, mpl=50)
+        assert len(hierarchy.roots) == 1
+        outer = hierarchy.roots[0]
+        assert (outer.start, outer.end) == (0, 300)
+        assert [c.static_id for c in outer.children] == [("l", 1), ("l", 2)]
+        assert hierarchy.max_depth() == 2
+
+    def test_depths(self, nested_trace):
+        hierarchy = solve_hierarchy(nested_trace, mpl=50)
+        assert len(hierarchy.at_depth(0)) == 1
+        assert len(hierarchy.at_depth(1)) == 2
+
+    def test_small_inner_skipped(self, nested_trace):
+        hierarchy = solve_hierarchy(nested_trace, mpl=105)
+        outer = hierarchy.roots[0]
+        # Only the second inner loop (110 long) qualifies at MPL 105.
+        assert [c.static_id for c in outer.children] == [("l", 2)]
+
+    def test_mpl_validation(self, nested_trace):
+        with pytest.raises(ValueError):
+            solve_hierarchy(nested_trace, mpl=0)
+
+    def test_intervening_levels_skipped(self):
+        # Outer loop -> method call -> inner loop: the method invocation
+        # is not repetitive, so the inner loop attaches directly.
+        t = trace(
+            (ME, 0, 0),
+            (LE, 0, 0),
+            (ME, 1, 10),
+            (LE, 1, 20), (LX, 1, 120),
+            (MX, 1, 130),
+            (LX, 0, 200),
+            (MX, 0, 200),
+            num_branches=200,
+        )
+        hierarchy = solve_hierarchy(t, mpl=50)
+        outer = hierarchy.roots[0]
+        assert outer.static_id == ("l", 0)
+        assert outer.children[0].static_id == ("l", 1)
+        assert outer.children[0].depth == 1
+
+
+class TestFlatConsistency:
+    def test_leaves_equal_flat_solution(self, nested_trace):
+        for mpl in (10, 50, 105, 200, 500):
+            hierarchy = solve_hierarchy(nested_trace, mpl=mpl)
+            flat = solve_baseline(nested_trace, mpl=mpl)
+            leaf_intervals = sorted((l.start, l.end) for l in hierarchy.leaves())
+            flat_intervals = sorted((p.start, p.end) for p in flat.phases)
+            assert leaf_intervals == flat_intervals, mpl
+
+    def test_flat_solution_export(self, nested_trace):
+        hierarchy = solve_hierarchy(nested_trace, mpl=50)
+        exported = hierarchy.flat_solution()
+        flat = solve_baseline(nested_trace, mpl=50)
+        assert [(p.start, p.end) for p in exported.phases] == [
+            (p.start, p.end) for p in flat.phases
+        ]
+        assert exported.percent_in_phase == pytest.approx(flat.percent_in_phase)
+
+    def test_leaves_equal_flat_on_real_workload(self, tmp_path):
+        _, call_loop = load_traces("mpegaudio", scale=0.15, cache_dir=tmp_path)
+        for mpl in (20, 100, 600):
+            hierarchy = solve_hierarchy(call_loop, mpl)
+            flat = solve_baseline(call_loop, mpl)
+            assert sorted((l.start, l.end) for l in hierarchy.leaves()) == sorted(
+                (p.start, p.end) for p in flat.phases
+            )
+
+    def test_hierarchy_is_laminar(self, tmp_path):
+        _, call_loop = load_traces("compress", scale=0.15, cache_dir=tmp_path)
+        hierarchy = solve_hierarchy(call_loop, 20)
+        for node in hierarchy.walk():
+            for child in node.children:
+                assert node.start <= child.start <= child.end <= node.end

@@ -1,0 +1,175 @@
+"""Oracle (baseline solution) tests against hand-built call-loop traces
+and real MiniLang programs."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.oracle import solve_baseline
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+
+ME, MX = EventKind.METHOD_ENTRY, EventKind.METHOD_EXIT
+LE, LX = EventKind.LOOP_ENTRY, EventKind.LOOP_EXIT
+
+
+def trace(*events, num_branches):
+    return CallLoopTrace(
+        [CallLoopEvent(k, i, t) for k, i, t in events], num_branches=num_branches
+    )
+
+
+class TestMplFiltering:
+    def test_loop_below_mpl_rejected(self):
+        t = trace((ME, 0, 0), (LE, 0, 5), (LX, 0, 55), (MX, 0, 60), num_branches=60)
+        assert solve_baseline(t, mpl=51).num_phases == 0
+        assert solve_baseline(t, mpl=50).num_phases == 1
+
+    def test_mpl_must_be_positive(self):
+        t = trace((ME, 0, 0), (MX, 0, 1), num_branches=1)
+        with pytest.raises(ValueError):
+            solve_baseline(t, mpl=0)
+
+    def test_single_method_invocation_never_a_phase(self):
+        t = trace((ME, 0, 0), (ME, 1, 5), (MX, 1, 500), (MX, 0, 505), num_branches=505)
+        assert solve_baseline(t, mpl=10).num_phases == 0
+
+
+class TestNestSelection:
+    def test_inner_wins_when_it_qualifies(self):
+        # Outer loop [0, 100); inner [10, 60) with gaps > 1 around it.
+        t = trace(
+            (ME, 0, 0),
+            (LE, 0, 0),
+            (LE, 1, 10), (LX, 1, 60),
+            (LX, 0, 100),
+            (MX, 0, 100),
+            num_branches=100,
+        )
+        solution = solve_baseline(t, mpl=20)
+        assert [(p.start, p.end) for p in solution.phases] == [(10, 60)]
+
+    def test_outer_wins_when_inner_too_small(self):
+        t = trace(
+            (ME, 0, 0),
+            (LE, 0, 0),
+            (LE, 1, 10), (LX, 1, 25),
+            (LX, 0, 100),
+            (MX, 0, 100),
+            num_branches=100,
+        )
+        solution = solve_baseline(t, mpl=20)
+        assert [(p.start, p.end) for p in solution.phases] == [(0, 100)]
+
+    def test_perfect_nest_merges_inner_executions(self):
+        # Inner executions separated by exactly 1 element (outer back edge).
+        events = [(ME, 0, 0), (LE, 0, 0)]
+        time = 1
+        for _ in range(4):
+            events.append((LE, 1, time))
+            events.append((LX, 1, time + 20))
+            time += 21  # 1-element gap before the next inner execution
+        events.append((LX, 0, time + 2))
+        events.append((MX, 0, time + 2))
+        t = trace(*events, num_branches=time + 2)
+        solution = solve_baseline(t, mpl=30)
+        # The merged inner run qualifies as one phase; inner executions
+        # (20 each) alone would not.
+        assert solution.num_phases == 1
+        phase = solution.phases[0]
+        assert phase.start == 1
+        assert phase.end >= time - 1
+
+    def test_separated_inner_executions_stay_separate(self):
+        events = [(ME, 0, 0), (LE, 0, 0)]
+        time = 5
+        for _ in range(3):
+            events.append((LE, 1, time))
+            events.append((LX, 1, time + 30))
+            time += 35  # 5-element gaps: no merging
+        events.append((LX, 0, time + 5))
+        events.append((MX, 0, time + 5))
+        t = trace(*events, num_branches=time + 5)
+        solution = solve_baseline(t, mpl=25)
+        assert solution.num_phases == 3
+
+    def test_recursion_root_phase(self):
+        t = trace(
+            (ME, 0, 0),
+            (ME, 1, 10), (ME, 1, 20), (MX, 1, 50), (MX, 1, 80),
+            (MX, 0, 100),
+            num_branches=100,
+        )
+        solution = solve_baseline(t, mpl=40)
+        assert [(p.start, p.end) for p in solution.phases] == [(10, 80)]
+
+
+class TestSolutionProperties:
+    def _solution(self, mpl=20):
+        t = trace(
+            (ME, 0, 0),
+            (LE, 0, 10), (LX, 0, 40),
+            (LE, 1, 50), (LX, 1, 90),
+            (MX, 0, 100),
+            num_branches=100,
+        )
+        return solve_baseline(t, mpl=mpl)
+
+    def test_states_match_phases(self):
+        solution = self._solution()
+        states = solution.states()
+        assert states.shape == (100,)
+        assert states[10:40].all() and states[50:90].all()
+        assert not states[:10].any() and not states[40:50].any() and not states[90:].any()
+
+    def test_percent_in_phase(self):
+        solution = self._solution()
+        assert solution.percent_in_phase == pytest.approx(70.0)
+        assert solution.elements_in_phase == 70
+
+    def test_phases_sorted_disjoint(self):
+        solution = self._solution()
+        previous_end = 0
+        for phase in solution.phases:
+            assert phase.start >= previous_end
+            previous_end = phase.end
+
+    def test_monotone_phase_count_in_mpl(self):
+        counts = [self._solution(mpl).num_phases for mpl in (10, 30, 41, 1000)]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestOracleOnRealPrograms:
+    def test_repeated_work_loops_found(self, minilang_runner):
+        source = """
+        fn work(n) {
+            var i = 0;
+            while (i < n) { i = i + 1; }
+            return i;
+        }
+        fn pad(v) {
+            var x = v;
+            if (x % 2 == 0) { x = x + 1; }
+            if (x % 3 == 0) { x = x + 2; }
+            if (x % 5 == 0) { x = x + 3; }
+            return x;
+        }
+        fn main() {
+            var acc = work(200);
+            acc = acc + pad(acc);
+            acc = acc + work(200);
+            acc = acc + pad(acc);
+            acc = acc + work(200);
+            return acc;
+        }
+        """
+        _, sink = minilang_runner(source)
+        solution = solve_baseline(sink.call_loop_trace("t"), mpl=100)
+        assert solution.num_phases == 3
+        lengths = [p.length for p in solution.phases]
+        assert all(195 <= length <= 205 for length in lengths)
+
+    def test_states_length_matches_branches(self, minilang_runner):
+        source = "fn main() { var i = 0; while (i < 50) { i = i + 1; } return i; }"
+        _, sink = minilang_runner(source)
+        clt = sink.call_loop_trace("t")
+        solution = solve_baseline(clt, mpl=10)
+        assert solution.states().shape[0] == clt.num_branches

@@ -1,0 +1,110 @@
+"""Repetition-tree construction tests."""
+
+import pytest
+
+from repro.baseline.tree import build_repetition_tree, count_nodes
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+
+ME, MX = EventKind.METHOD_ENTRY, EventKind.METHOD_EXIT
+LE, LX = EventKind.LOOP_ENTRY, EventKind.LOOP_EXIT
+
+
+def trace(*events, num_branches=0):
+    return CallLoopTrace(
+        [CallLoopEvent(k, i, t) for k, i, t in events], num_branches=num_branches
+    )
+
+
+class TestTreeShape:
+    def test_single_method(self):
+        roots = build_repetition_tree(trace((ME, 0, 0), (MX, 0, 10)))
+        assert len(roots) == 1
+        assert roots[0].static_id == ("m", 0)
+        assert (roots[0].start, roots[0].end) == (0, 10)
+
+    def test_nesting(self):
+        roots = build_repetition_tree(
+            trace((ME, 0, 0), (LE, 0, 1), (ME, 1, 2), (MX, 1, 5), (LX, 0, 8), (MX, 0, 9))
+        )
+        main = roots[0]
+        assert len(main.children) == 1
+        loop = main.children[0]
+        assert loop.static_id == ("l", 0)
+        assert loop.children[0].static_id == ("m", 1)
+        assert count_nodes(roots) == 3
+
+    def test_sibling_order_preserved(self):
+        roots = build_repetition_tree(
+            trace(
+                (ME, 0, 0),
+                (LE, 0, 1), (LX, 0, 4),
+                (LE, 1, 6), (LX, 1, 9),
+                (MX, 0, 10),
+            )
+        )
+        children = roots[0].children
+        assert [c.static_id for c in children] == [("l", 0), ("l", 1)]
+        assert children[0].end <= children[1].start
+
+    def test_mismatched_exit_raises(self):
+        with pytest.raises(ValueError):
+            build_repetition_tree(trace((ME, 0, 0), (LE, 0, 1), (MX, 0, 5)))
+
+    def test_exit_on_empty_stack_raises(self):
+        with pytest.raises(ValueError):
+            build_repetition_tree(trace((MX, 0, 5)))
+
+    def test_truncated_trace_closed_at_end(self):
+        roots = build_repetition_tree(
+            trace((ME, 0, 0), (LE, 0, 2), num_branches=42)
+        )
+        assert roots[0].end == 42
+        assert roots[0].children[0].end == 42
+
+
+class TestRecursionMarking:
+    def test_direct_recursion_marks_outermost(self):
+        roots = build_repetition_tree(
+            trace(
+                (ME, 0, 0),
+                (ME, 1, 1), (ME, 1, 2), (MX, 1, 3), (MX, 1, 4),
+                (MX, 0, 5),
+            )
+        )
+        outer_f = roots[0].children[0]
+        inner_f = outer_f.children[0]
+        assert outer_f.is_recursion_root
+        assert not inner_f.is_recursion_root
+
+    def test_mutual_recursion(self):
+        # main -> foo -> bar -> foo
+        roots = build_repetition_tree(
+            trace(
+                (ME, 0, 0),
+                (ME, 1, 1),
+                (ME, 2, 2),
+                (ME, 1, 3),
+                (MX, 1, 4),
+                (MX, 2, 5),
+                (MX, 1, 6),
+                (MX, 0, 7),
+            )
+        )
+        foo = roots[0].children[0]
+        assert foo.is_recursion_root
+        bar = foo.children[0]
+        assert not bar.is_recursion_root
+
+    def test_non_recursive_not_marked(self):
+        roots = build_repetition_tree(
+            trace((ME, 0, 0), (ME, 1, 1), (MX, 1, 2), (ME, 1, 3), (MX, 1, 4), (MX, 0, 5))
+        )
+        for child in roots[0].children:
+            assert not child.is_recursion_root
+
+    def test_walk_preorder(self):
+        roots = build_repetition_tree(
+            trace((ME, 0, 0), (LE, 0, 1), (LX, 0, 2), (LE, 1, 3), (LX, 1, 4), (MX, 0, 5))
+        )
+        ids = [n.static_id for n in roots[0].walk()]
+        assert ids == [("m", 0), ("l", 0), ("l", 1)]

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.profiles.synthetic import SyntheticTraceBuilder, make_phased_trace
+from repro.vm.compiler import compile_source
+from repro.vm.interpreter import Interpreter
+from repro.vm.tracing import CollectingSink
+
+
+@pytest.fixture
+def phased_trace():
+    """A trace with 3 known phases separated by transitions."""
+    trace, specs = make_phased_trace(
+        num_phases=3, phase_length=1_500, transition_length=200, body_size=10, seed=42
+    )
+    return trace, specs
+
+
+@pytest.fixture
+def phased_truth(phased_trace):
+    """The ground-truth boolean state array for ``phased_trace``."""
+    trace, specs = phased_trace
+    truth = np.zeros(len(trace), dtype=bool)
+    for spec in specs:
+        truth[spec.start : spec.end] = True
+    return trace, specs, truth
+
+
+@pytest.fixture
+def noisy_phased_trace():
+    """Phases with warm-up noise and a repeated pattern."""
+    builder = SyntheticTraceBuilder(seed=7)
+    builder.add_transition(120)
+    first = builder.add_phase(900, body_size=8, noise_rate=0.03)
+    builder.add_transition(80)
+    builder.add_phase(700, body_size=20)
+    builder.add_transition(150)
+    builder.add_phase(1_100, pattern_id=first.pattern_id, noise_rate=0.02)
+    builder.add_transition(60)
+    return builder.build()
+
+
+def run_minilang(source: str, seed: int = 0x5EED):
+    """Compile and run MiniLang source; return (result, sink)."""
+    program = compile_source(source)
+    sink = CollectingSink()
+    result = Interpreter(max_call_depth=10_000).run(program, sink=sink, seed=seed)
+    return result, sink
+
+
+@pytest.fixture
+def minilang_runner():
+    """Callable fixture: run MiniLang source, returning (result, sink)."""
+    return run_minilang

@@ -1,0 +1,97 @@
+"""DetectorConfig validation and helpers."""
+
+import pytest
+
+from repro.core.config import (
+    AnalyzerKind,
+    AnchorPolicy,
+    DetectorConfig,
+    ModelKind,
+    ResizePolicy,
+    TrailingPolicy,
+)
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = DetectorConfig(cw_size=100)
+        assert config.effective_tw_size == 100
+        assert config.skip_factor == 1
+        assert config.trailing is TrailingPolicy.CONSTANT
+
+    def test_explicit_tw(self):
+        config = DetectorConfig(cw_size=100, tw_size=300)
+        assert config.effective_tw_size == 300
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cw_size": 0},
+            {"cw_size": 10, "tw_size": 0},
+            {"cw_size": 10, "skip_factor": 0},
+            {"cw_size": 10, "threshold": 1.5},
+            {"cw_size": 10, "delta": -0.1},
+            {"cw_size": 10, "enter_threshold": 2.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            DetectorConfig(**kwargs)
+
+
+class TestFixedInterval:
+    def test_factory(self):
+        config = DetectorConfig.fixed_interval(500)
+        assert config.is_fixed_interval
+        assert config.skip_factor == 500
+        assert config.effective_tw_size == 500
+
+    def test_not_fixed_interval(self):
+        assert not DetectorConfig(cw_size=500).is_fixed_interval
+        assert not DetectorConfig(
+            cw_size=500, skip_factor=500, tw_size=100
+        ).is_fixed_interval
+
+
+class TestKeyAndDescribe:
+    def test_key_distinguishes_configs(self):
+        base = DetectorConfig(cw_size=100)
+        assert base.key() != DetectorConfig(cw_size=200).key()
+        assert base.key() != DetectorConfig(cw_size=100, threshold=0.7).key()
+        assert base.key() != DetectorConfig(
+            cw_size=100, trailing=TrailingPolicy.ADAPTIVE
+        ).key()
+
+    def test_key_stable_for_equal_configs(self):
+        assert DetectorConfig(cw_size=100).key() == DetectorConfig(cw_size=100).key()
+
+    def test_describe_mentions_policies(self):
+        config = DetectorConfig(
+            cw_size=100,
+            trailing=TrailingPolicy.ADAPTIVE,
+            anchor=AnchorPolicy.LNN,
+            resize=ResizePolicy.MOVE,
+            model=ModelKind.WEIGHTED,
+            analyzer=AnalyzerKind.AVERAGE,
+            delta=0.1,
+        )
+        text = config.describe()
+        assert "adaptive" in text
+        assert "lnn" in text
+        assert "move" in text
+        assert "weighted" in text
+        assert "0.1" in text
+
+
+class TestScaled:
+    def test_scaling_windows(self):
+        config = DetectorConfig(cw_size=1_000, tw_size=2_000)
+        scaled = config.scaled(0.05)
+        assert scaled.cw_size == 50
+        assert scaled.effective_tw_size == 100
+
+    def test_skip_one_stays_one(self):
+        assert DetectorConfig(cw_size=1_000).scaled(0.001).skip_factor == 1
+
+    def test_floors_at_one(self):
+        assert DetectorConfig(cw_size=10).scaled(0.001).cw_size == 1

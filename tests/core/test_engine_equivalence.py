@@ -1,0 +1,116 @@
+"""The optimized engine must match the reference detector bit-for-bit."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyzerKind,
+    AnchorPolicy,
+    DetectorConfig,
+    ModelKind,
+    PhaseDetector,
+    ResizePolicy,
+    TrailingPolicy,
+)
+from repro.core.engine import run_detector
+from repro.profiles.synthetic import SyntheticTraceBuilder
+
+
+def gnarly_trace(seed=11):
+    builder = SyntheticTraceBuilder(seed=seed)
+    builder.add_transition(150)
+    first = builder.add_phase(900, body_size=7, noise_rate=0.03)
+    builder.add_transition(60)
+    builder.add_phase(400, body_size=25)
+    builder.add_transition(180)
+    builder.add_phase(1_400, pattern_id=first.pattern_id, noise_rate=0.01)
+    builder.add_transition(40)
+    return builder.build()[0]
+
+
+def assert_equivalent(trace, config):
+    reference = PhaseDetector(config).run(trace)
+    engine = run_detector(trace, config)
+    assert np.array_equal(reference.states, engine.states), config.describe()
+    assert reference.detected_phases == engine.detected_phases, config.describe()
+
+
+TRACE = gnarly_trace()
+
+
+@pytest.mark.parametrize("model", [ModelKind.UNWEIGHTED, ModelKind.WEIGHTED])
+@pytest.mark.parametrize("trailing", [TrailingPolicy.CONSTANT, TrailingPolicy.ADAPTIVE])
+@pytest.mark.parametrize("skip", [1, 7, 40])
+def test_policy_model_skip_grid(model, trailing, skip):
+    config = DetectorConfig(
+        cw_size=40,
+        skip_factor=skip,
+        trailing=trailing,
+        model=model,
+        threshold=0.6,
+    )
+    assert_equivalent(TRACE, config)
+
+
+@pytest.mark.parametrize("anchor", [AnchorPolicy.RN, AnchorPolicy.LNN])
+@pytest.mark.parametrize("resize", [ResizePolicy.SLIDE, ResizePolicy.MOVE])
+def test_anchor_resize_grid(anchor, resize):
+    config = DetectorConfig(
+        cw_size=60,
+        trailing=TrailingPolicy.ADAPTIVE,
+        anchor=anchor,
+        resize=resize,
+        threshold=0.55,
+    )
+    assert_equivalent(TRACE, config)
+
+
+@pytest.mark.parametrize("analyzer,value", [
+    (AnalyzerKind.THRESHOLD, 0.5),
+    (AnalyzerKind.THRESHOLD, 0.8),
+    (AnalyzerKind.AVERAGE, 0.01),
+    (AnalyzerKind.AVERAGE, 0.3),
+])
+def test_analyzer_grid(analyzer, value):
+    config = DetectorConfig(
+        cw_size=50,
+        trailing=TrailingPolicy.ADAPTIVE,
+        model=ModelKind.WEIGHTED,
+        analyzer=analyzer,
+        threshold=value if analyzer is AnalyzerKind.THRESHOLD else 0.5,
+        delta=value if analyzer is AnalyzerKind.AVERAGE else 0.05,
+    )
+    assert_equivalent(TRACE, config)
+
+
+def test_uneven_tw_size():
+    config = DetectorConfig(cw_size=30, tw_size=90, threshold=0.6)
+    assert_equivalent(TRACE, config)
+
+
+def test_fixed_interval():
+    assert_equivalent(TRACE, DetectorConfig.fixed_interval(64))
+
+
+def test_window_larger_than_trace():
+    config = DetectorConfig(cw_size=5_000, threshold=0.5)
+    assert_equivalent(TRACE, config)
+
+
+def test_tiny_windows():
+    config = DetectorConfig(cw_size=2, tw_size=2, threshold=0.5)
+    assert_equivalent(TRACE[:500], config)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_traces(seed):
+    config = DetectorConfig(
+        cw_size=33,
+        trailing=TrailingPolicy.ADAPTIVE,
+        model=ModelKind.WEIGHTED,
+        analyzer=AnalyzerKind.AVERAGE,
+        delta=0.1,
+    )
+    assert_equivalent(gnarly_trace(seed=seed), config)

@@ -1,0 +1,81 @@
+"""Frequency-distinguished phases: the Figure 5 compress-anomaly mechanism.
+
+The paper's one benchmark where the weighted model clearly beats the
+unweighted model is compress.  The mechanism is isolated here: when two
+behaviors share the same branch *sites* and differ only in outcome
+*frequencies*, the unweighted working-set model is blind (similarity
+stays 1.0 across the boundary) while the weighted model sees the mass
+shift.  See ``repro/workloads/compress_wl.py`` for why the workload
+suite does not bake this structure into compress itself (it also
+defeats RN/LNN anchoring, inverting Figure 8).
+"""
+
+import random
+
+import pytest
+
+from repro.core import DetectorConfig, ModelKind
+from repro.core.engine import run_detector
+from repro.profiles.trace import BranchTrace
+
+
+def frequency_phased_trace(seed=3, region_length=3_000):
+    """Two regions over the SAME three elements with opposite frequency
+    mixes, repeated twice: A B A B."""
+    rng = random.Random(seed)
+    elements = [100, 200, 300]
+    mix_a = [0.70, 0.20, 0.10]
+    mix_b = [0.10, 0.20, 0.70]
+    data = []
+    boundaries = []
+    for mix in (mix_a, mix_b, mix_a, mix_b):
+        boundaries.append(len(data))
+        data.extend(rng.choices(elements, weights=mix, k=region_length))
+    return BranchTrace(data, name="freq-phased"), boundaries[1:]
+
+
+class TestFrequencyOnlyPhases:
+    def test_unweighted_model_is_blind(self):
+        trace, _ = frequency_phased_trace()
+        config = DetectorConfig(cw_size=150, model=ModelKind.UNWEIGHTED, threshold=0.8)
+        result = run_detector(trace, config)
+        # Same three elements everywhere: similarity is 1.0 once the
+        # windows fill, so the whole trace is one undifferentiated phase.
+        assert len(result.detected_phases) == 1
+        assert result.detected_phases[0].end == len(trace)
+
+    def test_weighted_model_sees_the_mass_shift(self):
+        trace, boundaries = frequency_phased_trace()
+        config = DetectorConfig(cw_size=150, model=ModelKind.WEIGHTED, threshold=0.8)
+        result = run_detector(trace, config)
+        # The weighted model breaks the trace at (or shortly after)
+        # every mix change.
+        assert len(result.detected_phases) >= 3
+        ends = [p.end for p in result.detected_phases]
+        for boundary in boundaries:
+            assert any(
+                boundary <= end <= boundary + 400 for end in ends
+            ), (boundary, ends)
+
+    def test_weighted_similarity_across_mix_change(self):
+        """The cross-boundary weighted similarity equals the overlap of
+        the two mixes: sum of min frequencies = .1 + .2 + .1 = ~0.4."""
+        from repro.core.models import WeightedSetModel
+
+        rng = random.Random(9)
+        region_a = rng.choices([1, 2, 3], weights=[0.7, 0.2, 0.1], k=2_000)
+        region_b = rng.choices([1, 2, 3], weights=[0.1, 0.2, 0.7], k=2_000)
+        model = WeightedSetModel(cw_capacity=1_000, tw_capacity=1_000)
+        model.push(region_a[:1_000])   # TW <- pure mix A
+        model.push(region_b[:1_000])   # CW <- pure mix B
+        assert model.similarity() == pytest.approx(0.4, abs=0.07)
+
+    def test_unweighted_similarity_across_mix_change_is_one(self):
+        from repro.core.models import UnweightedSetModel
+
+        rng = random.Random(9)
+        region_a = rng.choices([1, 2, 3], weights=[0.7, 0.2, 0.1], k=1_000)
+        region_b = rng.choices([1, 2, 3], weights=[0.1, 0.2, 0.7], k=1_000)
+        model = UnweightedSetModel(cw_capacity=1_000, tw_capacity=1_000)
+        model.push(region_a + region_b)
+        assert model.similarity() == pytest.approx(1.0)

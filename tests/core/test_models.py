@@ -1,0 +1,194 @@
+"""Similarity model tests: paper examples and incremental maintenance."""
+
+import pytest
+
+from repro.core.config import AnchorPolicy, DetectorConfig, ModelKind, ResizePolicy
+from repro.core.models import UnweightedSetModel, WeightedSetModel, build_model
+
+
+def fill(model, trailing, current):
+    """Load the TW with ``trailing`` and the CW with ``current``."""
+    model.push(list(trailing) + list(current))
+    return model
+
+
+class TestUnweightedModel:
+    def test_paper_example(self):
+        # CW = {a, b}, TW = {a, c} -> 0.5 regardless of frequency.
+        model = UnweightedSetModel(cw_capacity=2, tw_capacity=2)
+        fill(model, ["a1", "c1"], ["a1", "b1"])
+        assert model.similarity() == pytest.approx(0.5)
+
+    def test_frequency_ignored(self):
+        model = UnweightedSetModel(cw_capacity=3, tw_capacity=3)
+        fill(model, ["a", "a", "c"], ["a", "a", "b"])
+        # distinct CW = {a, b}; shared = {a} -> 0.5
+        assert model.similarity() == pytest.approx(0.5)
+
+    def test_identical_windows(self):
+        model = UnweightedSetModel(cw_capacity=4, tw_capacity=4)
+        fill(model, [1, 2, 3, 4], [4, 3, 2, 1])
+        assert model.similarity() == pytest.approx(1.0)
+
+    def test_disjoint_windows(self):
+        model = UnweightedSetModel(cw_capacity=2, tw_capacity=2)
+        fill(model, [1, 2], [3, 4])
+        assert model.similarity() == 0.0
+
+    def test_incremental_matches_recompute_under_sliding(self):
+        model = UnweightedSetModel(cw_capacity=5, tw_capacity=7)
+        stream = [i % 9 for i in range(200)] + [i % 4 for i in range(100)]
+        for element in stream:
+            model.push([element])
+            if model.filled:
+                expected_distinct = len(model.cw_counts)
+                expected_shared = sum(
+                    1 for e in model.cw_counts if e in model.tw_counts
+                )
+                expected = expected_shared / expected_distinct
+                assert model.similarity() == pytest.approx(expected)
+
+    def test_empty_cw_similarity_zero(self):
+        model = UnweightedSetModel(cw_capacity=2, tw_capacity=2)
+        assert model.similarity() == 0.0
+
+
+class TestWeightedModel:
+    def test_paper_example(self):
+        # CW {(a,5),(b,3),(c,2)}, TW {(a,25),(b,15),(c,10),(d,50)} -> 0.5.
+        model = WeightedSetModel(cw_capacity=10, tw_capacity=100)
+        trailing = ["a"] * 25 + ["b"] * 15 + ["c"] * 10 + ["d"] * 50
+        current = ["a"] * 5 + ["b"] * 3 + ["c"] * 2
+        fill(model, trailing, current)
+        assert model.similarity() == pytest.approx(0.5)
+
+    def test_identical_distributions(self):
+        model = WeightedSetModel(cw_capacity=4, tw_capacity=8)
+        fill(model, [1, 1, 2, 2, 1, 1, 2, 2], [1, 1, 2, 2])
+        assert model.similarity() == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        model = WeightedSetModel(cw_capacity=2, tw_capacity=2)
+        fill(model, [1, 2], [3, 4])
+        assert model.similarity() == 0.0
+
+    def test_symmetry_of_min(self):
+        # min() treats both windows the same after weight normalization.
+        model = WeightedSetModel(cw_capacity=4, tw_capacity=4)
+        fill(model, [1, 1, 1, 2], [1, 2, 2, 2])
+        # weights: e1 cw=.25 tw=.75 -> .25; e2 cw=.75 tw=.25 -> .25
+        assert model.similarity() == pytest.approx(0.5)
+
+
+class TestWindowMechanics:
+    def test_fill_order_tw_holds_older(self):
+        model = UnweightedSetModel(cw_capacity=2, tw_capacity=2)
+        model.push([10, 11, 12, 13])
+        assert list(model._tw) == [10, 11]
+        assert list(model._cw) == [12, 13]
+        assert model.filled
+
+    def test_not_filled_before_enough_elements(self):
+        model = UnweightedSetModel(cw_capacity=3, tw_capacity=3)
+        model.push([1, 2, 3, 4, 5])
+        assert not model.filled
+        model.push([6])
+        assert model.filled
+
+    def test_eviction_beyond_tw(self):
+        model = UnweightedSetModel(cw_capacity=2, tw_capacity=2)
+        model.push([1, 2, 3, 4, 5, 6])
+        assert list(model._tw) == [3, 4]
+        assert list(model._cw) == [5, 6]
+
+    def test_clear_and_seed(self):
+        model = UnweightedSetModel(cw_capacity=3, tw_capacity=3)
+        model.push(list(range(10)))
+        model.clear_and_seed([100, 101])
+        assert not model.filled
+        assert list(model._cw) == [100, 101]
+        assert model.tw_length == 0
+        assert model.cw_counts == {100: 1, 101: 1}
+
+    def test_seed_clamped_to_capacity(self):
+        model = UnweightedSetModel(cw_capacity=2, tw_capacity=2)
+        model.clear_and_seed([1, 2, 3, 4])
+        assert list(model._cw) == [3, 4]
+
+    def test_tw_start_abs_tracks_positions(self):
+        model = UnweightedSetModel(cw_capacity=2, tw_capacity=3)
+        model.push(list(range(10)))
+        assert model.consumed == 10
+        assert model.tw_start_abs == 10 - 2 - 3
+
+    def test_growth_mode(self):
+        model = UnweightedSetModel(cw_capacity=2, tw_capacity=2)
+        model.push([1, 2, 3, 4])
+        model.growing = True
+        model.push([5, 6, 7, 8])
+        assert model.tw_length == 6  # grew instead of evicting
+
+
+class TestAnchoring:
+    def build(self, trailing, current, cw=3, tw=4):
+        model = UnweightedSetModel(cw_capacity=cw, tw_capacity=tw)
+        model.push(list(trailing) + list(current))
+        return model
+
+    def test_rn_after_rightmost_noisy(self):
+        # TW = [n, a, n, b]; CW = [a, b, c]: noisy at 0 and 2 -> anchor 3.
+        model = self.build(["n1", "a", "n2", "b"], ["a", "b", "c"])
+        assert model.anchor_index(AnchorPolicy.RN) == 3
+
+    def test_lnn_leftmost_non_noisy(self):
+        model = self.build(["n1", "a", "n2", "b"], ["a", "b", "c"])
+        assert model.anchor_index(AnchorPolicy.LNN) == 1
+
+    def test_no_noise_anchors_at_zero(self):
+        model = self.build(["a", "b", "a", "b"], ["a", "b", "c"])
+        assert model.anchor_index(AnchorPolicy.RN) == 0
+        assert model.anchor_index(AnchorPolicy.LNN) == 0
+
+    def test_all_noise_anchors_at_end(self):
+        model = self.build(["x", "y", "z", "w"], ["a", "b", "c"])
+        assert model.anchor_index(AnchorPolicy.RN) == 4
+        assert model.anchor_index(AnchorPolicy.LNN) == 4
+
+    def test_slide_moves_cw_elements_into_tw(self):
+        model = self.build(["n1", "n2", "a", "b"], ["a", "b", "c"])
+        # anchor (RN) = 2; slide drops TW[:2], moves 2 from CW.
+        anchor_abs = model.anchor_and_resize(
+            AnchorPolicy.RN, ResizePolicy.SLIDE, adaptive=True
+        )
+        assert anchor_abs == 2
+        assert list(model._tw) == ["a", "b", "a", "b"]
+        assert list(model._cw) == ["c"]
+        assert model.growing
+
+    def test_move_shrinks_tw_only(self):
+        model = self.build(["n1", "n2", "a", "b"], ["a", "b", "c"])
+        model.anchor_and_resize(AnchorPolicy.RN, ResizePolicy.MOVE, adaptive=True)
+        assert list(model._tw) == ["a", "b"]
+        assert list(model._cw) == ["a", "b", "c"]
+
+    def test_constant_policy_computes_anchor_without_resize(self):
+        model = self.build(["n1", "n2", "a", "b"], ["a", "b", "c"])
+        anchor_abs = model.anchor_and_resize(
+            AnchorPolicy.RN, ResizePolicy.SLIDE, adaptive=False
+        )
+        assert anchor_abs == 2
+        assert list(model._tw) == ["n1", "n2", "a", "b"]
+        assert not model.growing
+
+    def test_slide_keeps_at_least_one_cw_element(self):
+        model = self.build(["x", "y", "z", "w"], ["a", "b", "c"])
+        model.anchor_and_resize(AnchorPolicy.RN, ResizePolicy.SLIDE, adaptive=True)
+        assert model.cw_length >= 1
+
+
+class TestBuildModel:
+    def test_dispatch(self):
+        unweighted = build_model(DetectorConfig(cw_size=4, model=ModelKind.UNWEIGHTED))
+        weighted = build_model(DetectorConfig(cw_size=4, model=ModelKind.WEIGHTED))
+        assert isinstance(unweighted, UnweightedSetModel)
+        assert isinstance(weighted, WeightedSetModel)

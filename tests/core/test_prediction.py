@@ -1,0 +1,101 @@
+"""Phase-prediction tests."""
+
+import pytest
+
+from repro.core.prediction import (
+    LastPhasePredictor,
+    MarkovPhasePredictor,
+    PredictionOutcome,
+    evaluate_predictor,
+)
+
+
+class TestLastPhasePredictor:
+    def test_no_prediction_before_data(self):
+        assert LastPhasePredictor().predict() is None
+
+    def test_predicts_last_seen(self):
+        predictor = LastPhasePredictor()
+        predictor.observe(3)
+        assert predictor.predict() == 3
+        predictor.observe(5)
+        assert predictor.predict() == 5
+
+    def test_perfect_on_constant_sequence(self):
+        outcome = evaluate_predictor(LastPhasePredictor(), [1] * 20)
+        assert outcome.accuracy == 1.0
+        assert outcome.coverage == pytest.approx(19 / 20)
+
+    def test_fails_on_alternation(self):
+        outcome = evaluate_predictor(LastPhasePredictor(), [0, 1] * 10)
+        assert outcome.accuracy == 0.0
+
+
+class TestMarkovPhasePredictor:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            MarkovPhasePredictor(order=0)
+
+    def test_learns_alternation(self):
+        outcome = evaluate_predictor(MarkovPhasePredictor(order=1), [0, 1] * 20)
+        # After seeing 0->1 and 1->0 once, every prediction is right.
+        assert outcome.accuracy > 0.9
+
+    def test_order2_disambiguates(self):
+        # Sequence: 0 1 2, 0 1 3, repeated — after "0 1" the successor
+        # alternates, so order-1 is 50/50 while order-2 keyed on the
+        # preceding element of each block stays ambiguous too; use a
+        # pattern order-2 *can* learn: successor of (a, b) is unique.
+        pattern = [0, 1, 2, 1, 0, 3]  # (0,1)->2, (1,2)->1, (2,1)->0, ...
+        sequence = pattern * 15
+        order1 = evaluate_predictor(MarkovPhasePredictor(order=1), sequence)
+        order2 = evaluate_predictor(MarkovPhasePredictor(order=2), sequence)
+        assert order2.accuracy > order1.accuracy
+        assert order2.accuracy > 0.9
+
+    def test_falls_back_to_shorter_history(self):
+        predictor = MarkovPhasePredictor(order=3)
+        for phase_id in (1, 2, 1, 2):
+            predictor.observe(phase_id)
+        # History (1, 2) unseen at length 3; falls back and predicts 1.
+        assert predictor.predict() == 1
+
+    def test_no_prediction_cold(self):
+        assert MarkovPhasePredictor(order=2).predict() is None
+
+
+class TestEvaluate:
+    def test_empty_sequence(self):
+        outcome = evaluate_predictor(LastPhasePredictor(), [])
+        assert outcome.accuracy == 0.0
+        assert outcome.coverage == 0.0
+
+    def test_outcome_fields(self):
+        outcome = evaluate_predictor(LastPhasePredictor(), [7, 7, 8])
+        assert outcome == PredictionOutcome(predictions=2, correct=1, total_phases=3)
+
+    def test_on_detected_recurrence_ids(self):
+        """End-to-end: detect recurring phases, then predict their order."""
+        from repro.core.config import DetectorConfig, TrailingPolicy
+        from repro.core.recurrence import RecurringPhaseDetector
+        from repro.profiles.synthetic import SyntheticTraceBuilder
+
+        builder = SyntheticTraceBuilder(seed=61)
+        first = builder.add_phase(900, body_size=8)
+        builder.add_transition(120)
+        second = builder.add_phase(900, body_size=16)
+        builder.add_transition(120)
+        for _ in range(5):  # strict alternation continues
+            builder.add_phase(900, pattern_id=first.pattern_id)
+            builder.add_transition(120)
+            builder.add_phase(900, pattern_id=second.pattern_id)
+            builder.add_transition(120)
+        trace, _ = builder.build()
+        config = DetectorConfig(
+            cw_size=60, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+        )
+        result = RecurringPhaseDetector(config).run(trace)
+        ids = [p.phase_id for p in result.phases]
+        assert len(set(ids)) == 2
+        outcome = evaluate_predictor(MarkovPhasePredictor(order=1), ids)
+        assert outcome.accuracy > 0.8

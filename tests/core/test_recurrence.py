@@ -1,0 +1,121 @@
+"""Recurring-phase detection tests (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.recurrence import (
+    PhaseRegistry,
+    PhaseSignature,
+    RecurringPhaseDetector,
+)
+from repro.profiles.synthetic import SyntheticTraceBuilder
+
+
+def adaptive_config(cw=80, threshold=0.6):
+    return DetectorConfig(
+        cw_size=cw, trailing=TrailingPolicy.ADAPTIVE, threshold=threshold
+    )
+
+
+class TestPhaseSignature:
+    def test_similarity_is_asymmetric_fraction(self):
+        left = PhaseSignature(frozenset({1, 2}))
+        right = PhaseSignature(frozenset({1, 3}))
+        assert left.similarity(right) == pytest.approx(0.5)
+
+    def test_identical(self):
+        sig = PhaseSignature(frozenset({1, 2, 3}))
+        assert sig.similarity(sig) == 1.0
+
+    def test_empty_signatures(self):
+        empty = PhaseSignature(frozenset())
+        full = PhaseSignature(frozenset({1}))
+        assert empty.similarity(empty) == 1.0
+        assert empty.similarity(full) == 0.0
+        assert full.similarity(empty) == 0.0
+
+
+class TestPhaseRegistry:
+    def test_novel_signatures_get_fresh_ids(self):
+        registry = PhaseRegistry()
+        id_a, rec_a, _ = registry.observe(PhaseSignature(frozenset(range(10))))
+        id_b, rec_b, _ = registry.observe(PhaseSignature(frozenset(range(100, 110))))
+        assert id_a != id_b
+        assert not rec_a and not rec_b
+        assert len(registry) == 2
+
+    def test_recurrence_matches_and_counts(self):
+        registry = PhaseRegistry(match_threshold=0.5)
+        signature = PhaseSignature(frozenset(range(10)))
+        first_id, _, _ = registry.observe(signature)
+        again = PhaseSignature(frozenset(range(2, 12)))  # 80% overlap
+        second_id, recurred, similarity = registry.observe(again)
+        assert second_id == first_id
+        assert recurred
+        assert similarity >= 0.5
+        assert registry.occurrences(first_id) == 2
+
+    def test_signature_union_on_match(self):
+        registry = PhaseRegistry(match_threshold=0.5)
+        phase_id, _, _ = registry.observe(PhaseSignature(frozenset({1, 2, 3})))
+        registry.observe(PhaseSignature(frozenset({2, 3, 4})))
+        assert registry.signature(phase_id).elements == frozenset({1, 2, 3, 4})
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PhaseRegistry(match_threshold=1.5)
+
+
+class TestRecurringPhaseDetector:
+    def _trace(self):
+        builder = SyntheticTraceBuilder(seed=21)
+        builder.add_transition(200)
+        first = builder.add_phase(1_500, body_size=10)
+        builder.add_transition(200)
+        builder.add_phase(1_500, body_size=10)  # different pattern
+        builder.add_transition(200)
+        builder.add_phase(1_500, pattern_id=first.pattern_id)  # recurrence!
+        builder.add_transition(200)
+        return builder.build()
+
+    def test_requires_adaptive_tw(self):
+        with pytest.raises(ValueError):
+            RecurringPhaseDetector(DetectorConfig(cw_size=50))
+
+    def test_recurrence_identified(self):
+        trace, _ = self._trace()
+        result = RecurringPhaseDetector(adaptive_config()).run(trace)
+        assert len(result.phases) == 3
+        ids = [p.phase_id for p in result.phases]
+        assert ids[0] != ids[1]        # two distinct phases...
+        assert ids[2] == ids[0]        # ...then the first one recurs
+        assert result.phases[2].is_recurrence
+        assert result.num_distinct_phases() == 2
+        assert len(result.recurrences()) == 1
+
+    def test_phase_intervals_match_plain_detector(self):
+        from repro.core.engine import run_detector
+
+        trace, _ = self._trace()
+        config = adaptive_config()
+        recurrence = RecurringPhaseDetector(config).run(trace)
+        plain = run_detector(trace, config)
+        assert [p.phase for p in recurrence.phases] == plain.detected_phases
+
+    def test_registry_persists_across_runs(self):
+        trace, _ = self._trace()
+        registry = PhaseRegistry()
+        detector = RecurringPhaseDetector(adaptive_config(), registry=registry)
+        first = detector.run(trace)
+        second = RecurringPhaseDetector(adaptive_config(), registry=registry).run(trace)
+        # Second run over the same trace: every phase is a recurrence.
+        assert all(p.is_recurrence for p in second.phases)
+        assert second.num_distinct_phases() == first.num_distinct_phases()
+
+    def test_all_noise_produces_no_phases(self):
+        builder = SyntheticTraceBuilder(seed=3)
+        builder.add_transition(2_000)
+        trace, _ = builder.build()
+        result = RecurringPhaseDetector(adaptive_config()).run(trace)
+        assert result.phases == []
+        assert result.num_distinct_phases() == 0

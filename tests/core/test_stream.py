@@ -1,0 +1,105 @@
+"""Streaming detection tests: chunked input == one-shot run."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.detector import PhaseDetector
+from repro.core.stream import StreamingDetector, detect_stream
+from repro.profiles.io import write_trace_binary
+from repro.profiles.synthetic import SyntheticTraceBuilder
+
+
+@pytest.fixture(scope="module")
+def trace():
+    builder = SyntheticTraceBuilder(seed=81)
+    builder.add_transition(200)
+    builder.add_phase(1_500, body_size=10)
+    builder.add_transition(150)
+    builder.add_phase(1_200, body_size=20)
+    builder.add_transition(100)
+    return builder.build()[0]
+
+
+def config(**kwargs):
+    defaults = dict(cw_size=80, threshold=0.6)
+    defaults.update(kwargs)
+    return DetectorConfig(**defaults)
+
+
+class TestStreamingDetector:
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 10_000])
+    def test_matches_one_shot(self, trace, chunk):
+        cfg = config()
+        one_shot = PhaseDetector(cfg).run(trace)
+        streaming = StreamingDetector(cfg)
+        data = trace.array
+        for start in range(0, len(trace), chunk):
+            streaming.feed(data[start : start + chunk])
+        result = streaming.finish()
+        assert np.array_equal(result.states, one_shot.states)
+        assert result.detected_phases == one_shot.detected_phases
+
+    @pytest.mark.parametrize("skip", [3, 50])
+    def test_matches_one_shot_with_skip(self, trace, skip):
+        cfg = config(skip_factor=skip)
+        one_shot = PhaseDetector(cfg).run(trace)
+        streaming = StreamingDetector(cfg)
+        streaming.feed(trace.array)
+        result = streaming.finish()
+        assert np.array_equal(result.states, one_shot.states)
+        assert result.detected_phases == one_shot.detected_phases
+
+    def test_boundary_callbacks(self, trace):
+        events = []
+        streaming = StreamingDetector(
+            config(), on_boundary=lambda kind, pos: events.append((kind, pos))
+        )
+        streaming.feed(trace.array)
+        result = streaming.finish()
+        starts = [pos for kind, pos in events if kind == "start"]
+        ends = [pos for kind, pos in events if kind == "end"]
+        assert len(starts) == len(result.detected_phases)
+        assert len(ends) == len(result.detected_phases)
+        for phase, start, end in zip(result.detected_phases, starts, ends):
+            assert phase.detected_start == start
+            assert phase.end == end
+
+    def test_end_fires_at_stream_end_for_open_phase(self):
+        builder = SyntheticTraceBuilder(seed=82)
+        builder.add_phase(800, body_size=6)
+        trace, _ = builder.build()
+        events = []
+        streaming = StreamingDetector(
+            config(cw_size=40), on_boundary=lambda kind, pos: events.append((kind, pos))
+        )
+        streaming.feed(trace.array)
+        streaming.finish()
+        assert events[-1][0] == "end"
+        assert events[-1][1] == len(trace)
+
+    def test_position_tracks_consumption(self, trace):
+        streaming = StreamingDetector(config(skip_factor=7))
+        streaming.feed(trace.array[:100])
+        # 100 elements = 14 full groups of 7 consumed; 2 buffered.
+        assert streaming.position == 98
+        streaming.finish()
+        assert streaming.position == 100
+
+
+class TestDetectStream:
+    def test_from_file(self, trace, tmp_path):
+        path = tmp_path / "t.btrace"
+        write_trace_binary(trace, path)
+        cfg = config(trailing=TrailingPolicy.ADAPTIVE)
+        from_file = detect_stream(str(path), cfg, chunk_size=256)
+        one_shot = PhaseDetector(cfg).run(trace)
+        assert np.array_equal(from_file.states, one_shot.states)
+        assert from_file.detected_phases == one_shot.detected_phases
+
+    def test_from_iterable(self, trace):
+        cfg = config()
+        chunks = [trace.array[i : i + 500] for i in range(0, len(trace), 500)]
+        result = detect_stream(chunks, cfg)
+        one_shot = PhaseDetector(cfg).run(trace)
+        assert np.array_equal(result.states, one_shot.states)

@@ -1,0 +1,122 @@
+"""Aggregation helper tests."""
+
+import math
+
+import pytest
+
+from repro.experiments.aggregate import (
+    and_,
+    average_best_score,
+    best_by,
+    cw_at_most_half,
+    cw_equal,
+    cw_larger,
+    cw_smaller,
+    default_adaptive,
+    enough_phases,
+    family_default,
+    family_is,
+    mean,
+    percent_improvement,
+)
+from repro.experiments.runner import SweepRecord
+
+
+def record(benchmark="b", family="constant", cw=500, mpl=1_000, score=0.5,
+           anchor="rn", resize="slide", phases=5, corrected=None):
+    return SweepRecord(
+        benchmark=benchmark,
+        family=family,
+        cw_nominal=cw,
+        model="unweighted",
+        analyzer="thr=0.5",
+        anchor=anchor,
+        resize=resize,
+        mpl_nominal=mpl,
+        score=score,
+        correlation=score,
+        sensitivity=score,
+        false_positives=0.0,
+        corrected_score=corrected if corrected is not None else score,
+        num_detected_phases=3,
+        num_baseline_phases=phases,
+    )
+
+
+class TestBestBy:
+    def test_max_per_key(self):
+        records = [record(score=0.3), record(score=0.8), record(benchmark="c", score=0.5)]
+        best = best_by(records, key=lambda r: (r.benchmark,))
+        assert best == {("b",): 0.8, ("c",): 0.5}
+
+    def test_where_filters(self):
+        records = [record(score=0.9, family="fixed"), record(score=0.4)]
+        best = best_by(records, key=lambda r: (), where=family_is("constant"))
+        assert best == {(): 0.4}
+
+    def test_custom_value(self):
+        records = [record(score=0.2, corrected=0.9)]
+        best = best_by(records, key=lambda r: (), value=lambda r: r.corrected_score)
+        assert best == {(): 0.9}
+
+
+class TestAverageBest:
+    def test_average_over_benchmarks(self):
+        records = [
+            record(benchmark="a", score=0.4),
+            record(benchmark="a", score=0.6),
+            record(benchmark="b", score=1.0),
+        ]
+        assert average_best_score(records) == pytest.approx((0.6 + 1.0) / 2)
+
+    def test_benchmark_subset(self):
+        records = [record(benchmark="a", score=0.4), record(benchmark="b", score=1.0)]
+        assert average_best_score(records, benchmarks=["a"]) == pytest.approx(0.4)
+
+    def test_empty_returns_nan(self):
+        assert math.isnan(average_best_score([], where=lambda r: True))
+
+
+class TestPredicates:
+    def test_cw_relations(self):
+        smaller = record(cw=500, mpl=1_000)
+        equal = record(cw=1_000, mpl=1_000)
+        larger = record(cw=5_000, mpl=1_000)
+        assert cw_smaller(smaller) and not cw_smaller(equal)
+        assert cw_equal(equal) and not cw_equal(larger)
+        assert cw_larger(larger) and not cw_larger(smaller)
+
+    def test_cw_at_most_half(self):
+        assert cw_at_most_half(record(cw=500, mpl=1_000))
+        assert not cw_at_most_half(record(cw=501, mpl=1_000))
+
+    def test_enough_phases(self):
+        assert enough_phases(record(phases=3))
+        assert not enough_phases(record(phases=2))
+
+    def test_default_adaptive(self):
+        assert default_adaptive(record(family="adaptive"))
+        assert not default_adaptive(record(family="adaptive", anchor="lnn"))
+        assert not default_adaptive(record(family="constant"))
+
+    def test_family_default_pins_adaptive(self):
+        predicate = family_default("adaptive")
+        assert predicate(record(family="adaptive"))
+        assert not predicate(record(family="adaptive", resize="move"))
+        assert family_default("fixed")(record(family="fixed"))
+
+    def test_and_(self):
+        predicate = and_(family_is("constant"), cw_smaller)
+        assert predicate(record(cw=500, mpl=1_000))
+        assert not predicate(record(cw=5_000, mpl=1_000))
+
+
+class TestScalars:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percent_improvement(self):
+        assert percent_improvement(1.1, 1.0) == pytest.approx(10.0)
+        assert percent_improvement(0.9, 1.0) == pytest.approx(-10.0)
+        assert percent_improvement(1.0, 0.0) == 0.0

@@ -1,0 +1,78 @@
+"""Client cost model and MPL-selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.client_model import ClientModel, MplOutcome, best_mpl, sweep_mpl
+from repro.scoring.states import states_from_phases
+from repro.workloads import load_traces
+
+
+class TestClientModel:
+    def test_break_even(self):
+        client = ClientModel(action_cost=100, speedup=0.1)
+        assert client.break_even_length == pytest.approx(1_000.0)
+
+    def test_suggested_mpl_scales_break_even(self):
+        client = ClientModel(action_cost=100, speedup=0.1)
+        assert client.suggested_mpl(safety_factor=2.0) == 2_000
+        with pytest.raises(ValueError):
+            client.suggested_mpl(safety_factor=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientModel(action_cost=-1, speedup=0.1)
+        with pytest.raises(ValueError):
+            ClientModel(action_cost=1, speedup=0.0)
+        with pytest.raises(ValueError):
+            ClientModel(action_cost=1, speedup=0.1, mis_penalty=-0.1)
+
+    def test_benefit_accounting(self):
+        client = ClientModel(action_cost=10, speedup=0.5, mis_penalty=0.25)
+        oracle = states_from_phases([(0, 100)], 200)
+        detected = states_from_phases([(50, 150)], 200)
+        # 50 correct, 50 wrong, 1 action.
+        value = client.benefit(detected, 1, oracle)
+        assert value == pytest.approx(0.5 * 50 - 0.25 * 50 - 10)
+
+    def test_perfect_detection_benefit(self):
+        client = ClientModel(action_cost=0, speedup=1.0)
+        oracle = states_from_phases([(10, 60)], 100)
+        assert client.benefit(oracle, 1, oracle) == pytest.approx(50.0)
+
+
+class TestSweepMpl:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("cm")
+        return load_traces("jlex", scale=0.25, cache_dir=cache)
+
+    def test_outcomes_per_mpl(self, traces):
+        branch, call_loop = traces
+        client = ClientModel(action_cost=30, speedup=0.15, mis_penalty=0.05)
+        outcomes = sweep_mpl(branch, call_loop, client, mpls=(25, 100, 400))
+        assert [o.mpl for o in outcomes] == [25, 100, 400]
+        for outcome in outcomes:
+            assert outcome.detected_phases >= 0
+            assert -1_000_000 < outcome.benefit < client.speedup * len(branch)
+
+    def test_best_mpl(self, traces):
+        branch, call_loop = traces
+        client = ClientModel(action_cost=30, speedup=0.15)
+        outcomes = sweep_mpl(branch, call_loop, client, mpls=(25, 100, 400))
+        chosen = best_mpl(outcomes)
+        assert chosen.benefit == max(o.benefit for o in outcomes)
+
+    def test_best_mpl_empty(self):
+        with pytest.raises(ValueError):
+            best_mpl([])
+
+    def test_expensive_actions_push_mpl_up(self, traces):
+        """A costlier action makes small-MPL (many-phase) regimes lose."""
+        branch, call_loop = traces
+        cheap = ClientModel(action_cost=5, speedup=0.15)
+        costly = ClientModel(action_cost=400, speedup=0.15)
+        mpls = (25, 150, 600)
+        cheap_best = best_mpl(sweep_mpl(branch, call_loop, cheap, mpls))
+        costly_best = best_mpl(sweep_mpl(branch, call_loop, costly, mpls))
+        assert costly_best.mpl >= cheap_best.mpl

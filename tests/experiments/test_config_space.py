@@ -1,0 +1,104 @@
+"""Profile and grid tests."""
+
+import pytest
+
+from repro.core.config import AnalyzerKind, ModelKind, TrailingPolicy
+from repro.experiments.config_space import (
+    CW_NOMINALS,
+    DEFAULT,
+    MPL_NOMINALS,
+    MPL_NOMINALS_EXTENDED,
+    PAPER,
+    PROFILES,
+    QUICK,
+    ConfigSpec,
+    SuiteProfile,
+    grid_size,
+    paper_grid,
+)
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(PROFILES) == {"quick", "default", "paper"}
+
+    def test_default_scaling(self):
+        assert DEFAULT.actual(1_000) == 50
+        assert DEFAULT.actual(100_000) == 5_000
+        assert DEFAULT.actual(200_000) == 10_000
+
+    def test_paper_scaling_is_nominal(self):
+        assert PAPER.actual(1_000) == 1_000
+        assert PAPER.actual(100_000) == 100_000
+
+    def test_actual_floors_at_two(self):
+        tiny = SuiteProfile(name="t", workload_scale=0.0001)
+        assert tiny.actual(1_000) == 2
+
+    def test_actual_mpls_default_grid(self):
+        assert DEFAULT.actual_mpls() == [50, 250, 500, 1_250, 2_500, 5_000]
+
+    def test_extended_includes_200k(self):
+        assert MPL_NOMINALS_EXTENDED[-1] == 200_000
+        assert MPL_NOMINALS == MPL_NOMINALS_EXTENDED[:-1]
+
+
+class TestConfigSpec:
+    def test_fixed_family_materialization(self):
+        spec = ConfigSpec("fixed", 1_000, ModelKind.UNWEIGHTED, AnalyzerKind.THRESHOLD, 0.6)
+        config = spec.to_config(DEFAULT)
+        assert config.is_fixed_interval
+        assert config.cw_size == 50
+        assert config.threshold == 0.6
+
+    def test_constant_family(self):
+        spec = ConfigSpec("constant", 5_000, ModelKind.WEIGHTED, AnalyzerKind.AVERAGE, 0.1)
+        config = spec.to_config(DEFAULT)
+        assert config.trailing is TrailingPolicy.CONSTANT
+        assert config.skip_factor == 1
+        assert config.delta == 0.1
+
+    def test_adaptive_family(self):
+        spec = ConfigSpec("adaptive", 500, ModelKind.UNWEIGHTED, AnalyzerKind.THRESHOLD, 0.5)
+        config = spec.to_config(DEFAULT)
+        assert config.trailing is TrailingPolicy.ADAPTIVE
+
+    def test_analyzer_label(self):
+        thr = ConfigSpec("fixed", 500, ModelKind.UNWEIGHTED, AnalyzerKind.THRESHOLD, 0.6)
+        avg = ConfigSpec("fixed", 500, ModelKind.UNWEIGHTED, AnalyzerKind.AVERAGE, 0.05)
+        assert thr.analyzer_label() == "thr=0.6"
+        assert avg.analyzer_label() == "avg=0.05"
+
+
+class TestGrid:
+    def test_grid_size_formula(self):
+        analyzers = len(DEFAULT.thresholds) + len(DEFAULT.deltas)
+        cw = len(DEFAULT.cw_nominals)
+        expected = 3 * cw * 2 * analyzers + 3 * cw * analyzers
+        assert grid_size(DEFAULT) == expected
+
+    def test_grid_covers_families(self):
+        grid = paper_grid(QUICK)
+        families = {spec.family for spec in grid}
+        assert families == {"fixed", "constant", "adaptive"}
+
+    def test_grid_has_anchor_ablation(self):
+        grid = paper_grid(QUICK)
+        variants = {
+            (spec.anchor.value, spec.resize.value)
+            for spec in grid
+            if spec.family == "adaptive"
+        }
+        assert variants == {("rn", "slide"), ("lnn", "slide"), ("rn", "move"), ("lnn", "move")}
+
+    def test_ablation_variants_unweighted_only(self):
+        grid = paper_grid(QUICK)
+        for spec in grid:
+            if spec.family == "adaptive" and (
+                spec.anchor.value != "rn" or spec.resize.value != "slide"
+            ):
+                assert spec.model is ModelKind.UNWEIGHTED
+
+    def test_no_duplicate_specs(self):
+        grid = paper_grid(DEFAULT)
+        assert len(grid) == len(set(grid))

@@ -1,0 +1,95 @@
+"""Per-benchmark detail table tests."""
+
+import pytest
+
+from repro.experiments.detail import per_benchmark_best, per_benchmark_winner
+from repro.experiments.runner import SweepRecord
+
+
+def record(benchmark, family="constant", model="unweighted", cw=500, mpl=1_000,
+           score=0.5, anchor="rn", resize="slide"):
+    return SweepRecord(
+        benchmark=benchmark,
+        family=family,
+        cw_nominal=cw,
+        model=model,
+        analyzer="thr=0.5",
+        anchor=anchor,
+        resize=resize,
+        mpl_nominal=mpl,
+        score=score,
+        correlation=score,
+        sensitivity=score,
+        false_positives=0.0,
+        corrected_score=score,
+        num_detected_phases=3,
+        num_baseline_phases=5,
+    )
+
+
+RECORDS = [
+    record("a", family="constant", score=0.7),
+    record("a", family="constant", score=0.6),
+    record("a", family="adaptive", score=0.8),
+    record("a", family="adaptive", score=0.75, anchor="lnn"),  # not default
+    record("b", family="constant", score=0.4),
+    record("b", family="adaptive", score=0.3),
+    record("a", family="constant", model="weighted", score=0.65),
+]
+
+
+class TestPerBenchmarkBest:
+    def test_best_per_cell(self):
+        table = per_benchmark_best(RECORDS, ["a", "b"], "constant", mpl_nominals=[1_000])
+        assert table.rows["a"] == [0.7]
+        assert table.rows["b"] == [0.4]
+
+    def test_missing_cell_is_none(self):
+        table = per_benchmark_best(RECORDS, ["a"], "constant", mpl_nominals=[1_000, 5_000])
+        assert table.rows["a"][1] is None
+        assert "-" in table.render()
+
+    def test_adaptive_pins_default_variant(self):
+        table = per_benchmark_best(RECORDS, ["a"], "adaptive", mpl_nominals=[1_000])
+        assert table.rows["a"] == [0.8]  # the lnn record is excluded
+
+    def test_cw_filter(self):
+        big_cw = [record("a", cw=5_000, mpl=1_000, score=0.99)]
+        table = per_benchmark_best(RECORDS + big_cw, ["a"], "constant", mpl_nominals=[1_000])
+        assert table.rows["a"] == [0.7]  # cw 5000 > mpl/2 excluded
+
+
+class TestPerBenchmarkWinner:
+    def test_family_winner(self):
+        table = per_benchmark_winner(
+            RECORDS, ["a", "b"], "family", "constant", "adaptive", mpl_nominals=[1_000]
+        )
+        assert table.rows["a"] == ["adaptive"]
+        assert table.rows["b"] == ["constant"]
+        assert table.win_counts() == (1, 1)
+
+    def test_model_winner(self):
+        table = per_benchmark_winner(
+            RECORDS, ["a"], "model", "unweighted", "weighted", mpl_nominals=[1_000]
+        )
+        assert table.rows["a"] == ["unweighted"]  # 0.8 vs 0.65
+
+    def test_tie_margin(self):
+        records = [
+            record("a", family="constant", score=0.700),
+            record("a", family="adaptive", score=0.702),
+        ]
+        table = per_benchmark_winner(
+            records, ["a"], "family", "constant", "adaptive", mpl_nominals=[1_000]
+        )
+        assert table.rows["a"] == ["tie"]
+
+    def test_missing_cells_dash(self):
+        table = per_benchmark_winner(
+            RECORDS, ["a"], "family", "constant", "adaptive", mpl_nominals=[25_000]
+        )
+        assert table.rows["a"] == ["-"]
+
+    def test_unknown_dimension(self):
+        with pytest.raises(ValueError):
+            per_benchmark_winner(RECORDS, ["a"], "analyzer", "x", "y")

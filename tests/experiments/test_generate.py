@@ -1,0 +1,67 @@
+"""Artifact-regeneration (generate.py) tests on a tiny profile."""
+
+import pytest
+
+from repro.experiments.config_space import SuiteProfile
+from repro.experiments.generate import generate_all
+from repro.experiments.sweep import Sweep
+
+TINY = SuiteProfile(
+    name="tinygen",
+    workload_scale=0.08,
+    thresholds=(0.6,),
+    deltas=(0.05,),
+    cw_nominals=(500, 5_000),
+)
+
+EXPECTED = {
+    "table_1a",
+    "table_1b",
+    "table_2a",
+    "table_2b",
+    "figure_4",
+    "figure_5",
+    "figure_6_constant",
+    "figure_6_adaptive",
+    "figure_7a",
+    "figure_7b",
+    "figure_8",
+    "detail_best_constant",
+    "detail_best_adaptive",
+    "detail_winner_policy",
+    "detail_winner_model",
+}
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("gencache")
+    out = tmp_path_factory.mktemp("genout")
+    sweep = Sweep(TINY, cache_dir=cache, benchmarks=["db", "jack"])
+    result = generate_all(TINY, out_dir=out, sweep=sweep)
+    return result, out
+
+
+class TestGenerateAll:
+    def test_all_artifacts_present(self, artifacts):
+        result, _ = artifacts
+        assert set(result) == EXPECTED
+
+    def test_files_written(self, artifacts):
+        result, out = artifacts
+        for name in EXPECTED:
+            path = out / f"{name}.txt"
+            assert path.exists(), name
+            assert path.read_text().strip() == result[name].strip()
+
+    def test_artifacts_render_nonempty(self, artifacts):
+        result, _ = artifacts
+        for name, text in result.items():
+            assert len(text.splitlines()) >= 3, name
+
+    def test_regeneration_is_stable(self, artifacts, tmp_path_factory):
+        result, _ = artifacts
+        cache = tmp_path_factory.getbasetemp() / "gencache0"
+        sweep = Sweep(TINY, cache_dir=cache, benchmarks=["db", "jack"])
+        again = generate_all(TINY, sweep=sweep)
+        assert again == result

@@ -1,0 +1,75 @@
+"""Overhead-analysis tests."""
+
+import pytest
+
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.experiments.overhead import measure_overhead, overhead_comparison
+from repro.profiles.synthetic import SyntheticTraceBuilder
+
+
+def trace_with_phases():
+    builder = SyntheticTraceBuilder(seed=31)
+    builder.add_transition(300)
+    builder.add_phase(2_000, body_size=8)
+    builder.add_transition(300)
+    builder.add_phase(2_000, body_size=8)
+    builder.add_transition(300)
+    return builder.build()[0]
+
+
+TRACE = trace_with_phases()
+
+
+class TestMeasureOverhead:
+    def test_skip_one_evaluates_once_per_element_after_fill(self):
+        config = DetectorConfig(cw_size=100, threshold=0.6)
+        report = measure_overhead(TRACE, config)
+        assert report.window_updates == len(TRACE)
+        # Similarity is computed once per step while windows are full;
+        # refills after each phase end suppress some evaluations.
+        assert 0.5 < report.evaluations_per_element <= 1.0
+
+    def test_fixed_interval_evaluates_once_per_window(self):
+        config = DetectorConfig.fixed_interval(100)
+        report = measure_overhead(TRACE, config)
+        skip_one = measure_overhead(TRACE, DetectorConfig(cw_size=100, threshold=0.5))
+        # skip = CW does ~1/CW as many similarity evaluations.
+        assert report.similarity_evaluations <= len(TRACE) // 100 + 1
+        assert report.similarity_evaluations * 50 < skip_one.similarity_evaluations
+
+    def test_adaptive_tw_grows_with_phase(self):
+        adaptive = measure_overhead(
+            TRACE,
+            DetectorConfig(cw_size=100, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6),
+        )
+        constant = measure_overhead(TRACE, DetectorConfig(cw_size=100, threshold=0.6))
+        # The Adaptive TW holds (most of) the phase; the Constant TW is bounded.
+        assert constant.peak_tw_length == 100
+        assert adaptive.peak_tw_length > 500
+
+    def test_unweighted_tracks_bounded_set(self):
+        report = measure_overhead(
+            TRACE,
+            DetectorConfig(cw_size=100, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6),
+        )
+        # Distinct tracked elements stay far below the TW length for a
+        # repetitive phase (the paper's manageable-size argument).
+        assert report.peak_tracked_elements < report.peak_tw_length
+
+    def test_anchor_and_flush_counts(self):
+        config = DetectorConfig(cw_size=100, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6)
+        report = measure_overhead(TRACE, config)
+        # Two phases: two anchorings, two flushes.
+        assert report.anchor_operations == 2
+        assert report.window_flushes == 2
+
+    def test_comparison_runs_all(self):
+        configs = [
+            DetectorConfig(cw_size=50, threshold=0.6),
+            DetectorConfig.fixed_interval(50),
+        ]
+        reports = overhead_comparison(TRACE, configs)
+        assert len(reports) == 2
+        assert reports[0].trace_length == reports[1].trace_length == len(TRACE)
+        assert all(r.wall_seconds > 0 for r in reports)
+        assert all(r.elements_per_second > 0 for r in reports)

@@ -1,0 +1,56 @@
+"""Extra report-rendering edge cases."""
+
+import pytest
+
+from repro.experiments.report import format_cell, nominal_label, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(0.123456, precision=2) == "0.12"
+        assert format_cell(0.123456) == "0.123"
+
+    def test_bool_not_formatted_as_float(self):
+        assert format_cell(True) == "True"
+
+    def test_int_passthrough(self):
+        assert format_cell(1500) == "1500"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_numeric_right_aligned(self):
+        text = render_table(["name", "n"], [("a", 5), ("bbbb", 12345)])
+        lines = text.splitlines()
+        # numeric column right-aligned: last char of header row and data
+        # rows line up on the digit column
+        assert lines[-1].endswith("12345")
+        assert lines[-2].endswith("    5")
+
+    def test_title_underlined(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_mixed_column_left_aligned(self):
+        text = render_table(["v"], [(1,), ("x",)])
+        assert "x" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestNominalLabel:
+    @pytest.mark.parametrize("value,label", [
+        (500, "500"),
+        (1_000, "1K"),
+        (25_000, "25K"),
+        (200_000, "200K"),
+        (1_500, "1500"),
+    ])
+    def test_labels(self, value, label):
+        assert nominal_label(value) == label

@@ -1,0 +1,54 @@
+"""Robustness-study tests."""
+
+import pytest
+
+from repro.experiments.robustness import degradation, noise_robustness
+from repro.workloads import load_traces
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("robust")
+    return load_traces("compress", scale=0.2, cache_dir=cache)
+
+
+class TestNoiseRobustness:
+    def test_points_per_rate_and_detector(self, traces):
+        branch, call_loop = traces
+        points = noise_robustness(branch, call_loop, mpl=100, noise_rates=(0.0, 0.1))
+        assert len(points) == 2 * 5
+        labels = {p.detector for p in points}
+        assert "fixed-interval" in labels
+        assert "constant-weighted" in labels and "adaptive-unweighted" in labels
+
+    def test_scores_bounded(self, traces):
+        branch, call_loop = traces
+        points = noise_robustness(branch, call_loop, mpl=100, noise_rates=(0.0, 0.05))
+        for point in points:
+            assert 0.0 <= point.score <= 1.0
+
+    def test_noise_degrades_or_holds(self, traces):
+        """Clean trace should score at least as well as heavy noise for
+        the skip-1 detectors (mild noise may coincidentally help)."""
+        branch, call_loop = traces
+        points = noise_robustness(
+            branch, call_loop, mpl=100, noise_rates=(0.0, 0.3)
+        )
+        for detector in ("constant-unweighted", "adaptive-unweighted"):
+            assert degradation(points, detector) >= -0.05, detector
+
+    def test_weighted_model_holds_under_moderate_noise(self, traces):
+        """At a 5% corruption rate the weighted model barely moves: it
+        only loses the noise's mass, not whole distinct-set fractions."""
+        branch, call_loop = traces
+        points = noise_robustness(
+            branch, call_loop, mpl=100, noise_rates=(0.0, 0.05)
+        )
+        for detector in ("constant-weighted", "adaptive-weighted"):
+            assert degradation(points, detector) <= 0.15, detector
+
+    def test_degradation_requires_two_rates(self, traces):
+        branch, call_loop = traces
+        points = noise_robustness(branch, call_loop, mpl=100, noise_rates=(0.0,))
+        with pytest.raises(ValueError):
+            degradation(points, "constant-weighted")

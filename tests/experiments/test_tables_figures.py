@@ -1,0 +1,135 @@
+"""Table/figure generator tests on a small real sweep."""
+
+import math
+
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.config_space import SuiteProfile, paper_grid
+from repro.experiments.sweep import Sweep
+
+PROFILE = SuiteProfile(
+    name="tinyfig",
+    workload_scale=0.08,
+    thresholds=(0.5, 0.6),
+    deltas=(0.05,),
+    cw_nominals=(500, 1_000, 5_000),
+    mpl_nominals=(1_000, 5_000, 10_000),
+)
+MPLS = (1_000, 5_000, 10_000)
+BENCHES = ["db", "jack"]
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("sweepcache")
+    sweep = Sweep(PROFILE, cache_dir=cache, benchmarks=BENCHES, mpl_nominals=MPLS)
+    sweep.ensure(paper_grid(PROFILE))
+    return sweep
+
+
+@pytest.fixture(scope="module")
+def records(sweep):
+    return sweep.ensure(paper_grid(PROFILE))
+
+
+class TestTable1a:
+    def test_rows_and_render(self, sweep):
+        table = tables.table_1a(sweep)
+        assert [r.name for r in table.rows] == BENCHES
+        text = table.render()
+        assert "Dynamic Branches" in text
+        assert "db" in text
+
+
+class TestTable1b:
+    def test_structure(self, sweep):
+        table = tables.table_1b(sweep, mpl_nominals=MPLS)
+        assert set(table.coverage) == set(BENCHES)
+        for per_mpl in table.coverage.values():
+            counts = [per_mpl[m].num_phases for m in MPLS]
+            assert counts == sorted(counts, reverse=True)
+        assert "MPL=1K" in table.render()
+
+
+class TestTable2:
+    def test_table_2a_shape(self, records):
+        table = tables.table_2a(records, BENCHES, mpl_nominals=MPLS)
+        assert set(table.rows) == set(BENCHES)
+        for per_family in table.rows.values():
+            assert set(per_family) == {"adaptive", "constant", "fixed"}
+        text = table.render()
+        assert "Average" in text
+
+    def test_table_2b_values_in_range(self, records):
+        table = tables.table_2b(records, BENCHES, mpl_nominals=MPLS)
+        for smaller, equal, half in table.rows.values():
+            for value in (smaller, equal, half):
+                assert 0.0 <= value <= 1.0
+
+
+class TestFigures:
+    def test_figure_4_series(self, records):
+        figure = figures.figure_4(records, mpl_nominals=MPLS)
+        assert set(figure.series) == {
+            "Fixed Intervals (skip=CW)",
+            "Constant TW (skip=1)",
+            "Adaptive TW (skip=1)",
+        }
+        for values in figure.series.values():
+            assert len(values) == len(MPLS)
+        assert "Figure 4" in figure.render()
+
+    def test_figure_5_with_and_without(self, records):
+        figure = figures.figure_5(
+            records, BENCHES, mpl_nominals=MPLS, excluded_benchmark="db"
+        )
+        with_db = figure.series["Constant unweighted"]
+        without_db = figure.series["Constant unweighted w/o db"]
+        assert len(with_db) == len(without_db) == len(MPLS)
+
+    def test_figure_6_per_family(self, records):
+        results = figures.figure_6(records, PROFILE, mpl_nominals=MPLS)
+        assert set(results) == {"constant", "adaptive"}
+        for series in results.values():
+            assert set(series.series) == {"thr=0.5", "thr=0.6", "avg=0.05"}
+
+    def test_figure_7_improvements(self, records):
+        a = figures.figure_7a(records, BENCHES, mpl_nominals=MPLS)
+        b = figures.figure_7b(records, BENCHES, mpl_nominals=MPLS)
+        assert len(a.improvements) == len(MPLS)
+        assert len(b.improvements) == len(MPLS)
+        assert "% improvement" in a.render()
+
+    def test_figure_8_series(self, records):
+        figure = figures.figure_8(records, mpl_nominals=MPLS)
+        assert set(figure.series) == {"Constant TW", "Adaptive TW"}
+
+    def test_nan_rendered_as_dash(self):
+        figure = figures.FigureSeries(
+            title="x", mpl_nominals=[1_000], series={"s": [float("nan")]}
+        )
+        assert "-" in figure.render()
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        from repro.experiments.report import render_table
+
+        text = render_table(["name", "value"], [("a", 1.5), ("bb", 20)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+
+    def test_render_rejects_ragged_rows(self):
+        from repro.experiments.report import render_table
+
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [("only-one",)])
+
+    def test_nominal_label(self):
+        from repro.experiments.report import nominal_label
+
+        assert nominal_label(1_000) == "1K"
+        assert nominal_label(200_000) == "200K"
+        assert nominal_label(512) == "512"

@@ -1,0 +1,95 @@
+"""ASCII timeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.timeline import (
+    comparison,
+    difference_strip,
+    phase_ruler,
+    strip,
+)
+from repro.scoring.states import states_from_phases
+
+
+class TestStrip:
+    def test_empty(self):
+        assert strip(np.array([], dtype=bool)) == ""
+
+    def test_short_array_one_char_per_element(self):
+        states = np.array([True, False, True], dtype=bool)
+        assert strip(states, width=10) == "#.#"
+
+    def test_downsampling_majority(self):
+        states = states_from_phases([(0, 75)], 100)
+        rendered = strip(states, width=4)
+        assert rendered == "###."
+
+    def test_width_bound(self):
+        states = np.ones(1_000, dtype=bool)
+        assert len(strip(states, width=50)) <= 50
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            strip(np.ones(4, dtype=bool), width=0)
+
+
+class TestDifferenceStrip:
+    def test_agreement_blank(self):
+        states = states_from_phases([(2, 6)], 10)
+        assert set(difference_strip(states, states.copy(), width=10)) <= {" "}
+
+    def test_disagreement_marked(self):
+        left = states_from_phases([(0, 5)], 10)
+        right = states_from_phases([(5, 10)], 10)
+        rendered = difference_strip(left, right, width=10)
+        assert "x" in rendered
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            difference_strip(np.ones(3, dtype=bool), np.ones(4, dtype=bool))
+
+
+class TestComparison:
+    def test_labels_aligned(self):
+        rows = {
+            "oracle": states_from_phases([(0, 50)], 100),
+            "detector": states_from_phases([(10, 60)], 100),
+        }
+        rendered = comparison(rows, width=20)
+        lines = rendered.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("oracle  ")
+        strips = [line.split()[-1] for line in lines]
+        assert len(strips[0]) == len(strips[1])
+
+    def test_diff_row(self):
+        rows = {
+            "oracle": states_from_phases([(0, 50)], 100),
+            "detector": states_from_phases([(50, 100)], 100),
+        }
+        rendered = comparison(rows, width=20, diff_against="oracle")
+        assert "^diff detector" in rendered
+        assert "x" in rendered
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            comparison({"a": np.ones(3, dtype=bool), "b": np.ones(4, dtype=bool)})
+
+    def test_empty(self):
+        assert comparison({}) == ""
+
+
+class TestPhaseRuler:
+    def test_marks_boundaries(self):
+        ruler = phase_ruler(100, [(20, 40)], width=100)
+        assert ruler[20] == "|"
+        assert ruler[39] == "|"
+        assert ruler[0] == " "
+
+    def test_empty_trace(self):
+        assert phase_ruler(0, []) == ""
+
+    def test_boundary_at_end(self):
+        ruler = phase_ruler(100, [(90, 100)], width=10)
+        assert ruler[-1] == "|"

@@ -1,0 +1,52 @@
+"""Branch alphabet interning tests."""
+
+from repro.profiles.alphabet import BranchAlphabet
+from repro.profiles.element import decode_element
+
+
+class TestAlphabet:
+    def test_same_label_same_element(self):
+        alphabet = BranchAlphabet()
+        a1 = alphabet.element("site-a", taken=True)
+        a2 = alphabet.element("site-a", taken=True)
+        assert a1 == a2
+
+    def test_taken_bit_distinguishes(self):
+        alphabet = BranchAlphabet()
+        taken = alphabet.element("s", taken=True)
+        not_taken = alphabet.element("s", taken=False)
+        assert taken != not_taken
+        assert decode_element(taken).site == decode_element(not_taken).site
+
+    def test_first_seen_order_is_stable(self):
+        def build():
+            alphabet = BranchAlphabet()
+            return [alphabet.element(label, False) for label in ("x", "y", "z", "x")]
+
+        assert build() == build()
+
+    def test_method_grouping(self):
+        alphabet = BranchAlphabet()
+        a = alphabet.element(("f", 0), False, method="f")
+        b = alphabet.element(("f", 1), False, method="f")
+        c = alphabet.element(("g", 0), False, method="g")
+        assert decode_element(a).method_id == decode_element(b).method_id
+        assert decode_element(a).method_id != decode_element(c).method_id
+        assert decode_element(a).offset == 0
+        assert decode_element(b).offset == 1
+
+    def test_len_and_contains(self):
+        alphabet = BranchAlphabet()
+        alphabet.site("one")
+        alphabet.site("two")
+        alphabet.site("one")
+        assert len(alphabet) == 2
+        assert "one" in alphabet
+        assert "three" not in alphabet
+        assert list(alphabet) == ["one", "two"]
+
+    def test_method_name_lookup(self):
+        alphabet = BranchAlphabet()
+        mid = alphabet.method_id("main")
+        assert alphabet.method_name(mid) == "main"
+        assert alphabet.num_methods == 1

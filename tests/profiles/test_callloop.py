@@ -1,0 +1,124 @@
+"""Call-loop trace tests: ordering, statistics, persistence."""
+
+import pytest
+
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+
+
+def ev(kind, ident, time):
+    return CallLoopEvent(kind, ident, time)
+
+
+ME, MX = EventKind.METHOD_ENTRY, EventKind.METHOD_EXIT
+LE, LX = EventKind.LOOP_ENTRY, EventKind.LOOP_EXIT
+
+
+class TestConstruction:
+    def test_orders_must_be_nondecreasing(self):
+        with pytest.raises(ValueError):
+            CallLoopTrace([ev(ME, 0, 10), ev(MX, 0, 5)])
+
+    def test_equal_times_allowed(self):
+        trace = CallLoopTrace([ev(ME, 0, 0), ev(ME, 1, 0), ev(MX, 1, 0), ev(MX, 0, 0)])
+        assert len(trace) == 4
+
+    def test_indexing_and_iteration(self):
+        events = [ev(ME, 0, 0), ev(MX, 0, 3)]
+        trace = CallLoopTrace(events, name="x", num_branches=3)
+        assert trace[0] == events[0]
+        assert list(trace) == events
+        assert trace.num_branches == 3
+
+
+class TestStatistics:
+    def test_loop_and_method_counts(self):
+        trace = CallLoopTrace(
+            [ev(ME, 0, 0), ev(LE, 0, 1), ev(LX, 0, 9), ev(LE, 0, 10), ev(LX, 0, 20), ev(MX, 0, 21)]
+        )
+        assert trace.loop_executions() == 2
+        assert trace.method_invocations() == 1
+
+    def test_no_recursion(self):
+        trace = CallLoopTrace([ev(ME, 0, 0), ev(ME, 1, 1), ev(MX, 1, 2), ev(MX, 0, 3)])
+        assert trace.recursion_roots() == 0
+
+    def test_direct_recursion_single_root(self):
+        # main -> f -> f -> f : one root (the outermost f).
+        trace = CallLoopTrace(
+            [
+                ev(ME, 0, 0),
+                ev(ME, 1, 1),
+                ev(ME, 1, 2),
+                ev(ME, 1, 3),
+                ev(MX, 1, 4),
+                ev(MX, 1, 5),
+                ev(MX, 1, 6),
+                ev(MX, 0, 7),
+            ]
+        )
+        assert trace.recursion_roots() == 1
+
+    def test_mutual_recursion_root_is_outermost(self):
+        # main -> foo -> bar -> foo: the outer foo is the recursion root.
+        trace = CallLoopTrace(
+            [
+                ev(ME, 0, 0),
+                ev(ME, 1, 1),  # foo
+                ev(ME, 2, 2),  # bar
+                ev(ME, 1, 3),  # foo again -> root at outer foo
+                ev(MX, 1, 4),
+                ev(MX, 2, 5),
+                ev(MX, 1, 6),
+                ev(MX, 0, 7),
+            ]
+        )
+        assert trace.recursion_roots() == 1
+
+    def test_sequential_recursive_executions_each_count(self):
+        events = []
+        time = 0
+        events.append(ev(ME, 0, time))
+        for _ in range(3):  # three separate recursive executions of f
+            events.append(ev(ME, 1, time))
+            events.append(ev(ME, 1, time + 1))
+            events.append(ev(MX, 1, time + 2))
+            events.append(ev(MX, 1, time + 3))
+            time += 4
+        events.append(ev(MX, 0, time))
+        assert CallLoopTrace(events).recursion_roots() == 3
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        trace = CallLoopTrace(
+            [ev(ME, 0, 0), ev(LE, 3, 5), ev(LX, 3, 50), ev(MX, 0, 60)],
+            name="persist",
+            num_branches=60,
+        )
+        path = tmp_path / "t.cloop"
+        trace.save(path)
+        loaded = CallLoopTrace.load(path)
+        assert list(loaded) == list(trace)
+        assert loaded.name == "persist"
+        assert loaded.num_branches == 60
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.cloop"
+        path.write_bytes(b"NOTRIGHT" + b"\x00" * 16)
+        with pytest.raises(ValueError):
+            CallLoopTrace.load(path)
+
+
+class TestEventHelpers:
+    def test_is_entry(self):
+        assert ev(ME, 0, 0).is_entry()
+        assert ev(LE, 0, 0).is_entry()
+        assert not ev(MX, 0, 0).is_entry()
+
+    def test_is_loop(self):
+        assert ev(LE, 0, 0).is_loop()
+        assert ev(LX, 0, 0).is_loop()
+        assert not ev(ME, 0, 0).is_loop()
+
+    def test_str(self):
+        assert str(ev(LE, 4, 12)) == "LOOP_ENTRY(4)@12"

@@ -1,0 +1,80 @@
+"""Profile element encoding tests."""
+
+import pytest
+
+from repro.profiles.element import (
+    MAX_METHOD_ID,
+    MAX_OFFSET,
+    ProfileElement,
+    decode_element,
+    encode_element,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip_simple(self):
+        element = encode_element(3, 17, True)
+        decoded = decode_element(element)
+        assert decoded == ProfileElement(method_id=3, offset=17, taken=True)
+
+    def test_round_trip_not_taken(self):
+        decoded = decode_element(encode_element(5, 0, False))
+        assert decoded.method_id == 5
+        assert decoded.offset == 0
+        assert decoded.taken is False
+
+    def test_zero_element(self):
+        assert encode_element(0, 0, False) == 0
+        assert decode_element(0) == ProfileElement(0, 0, False)
+
+    def test_taken_bit_is_lsb(self):
+        taken = encode_element(1, 1, True)
+        not_taken = encode_element(1, 1, False)
+        assert taken == not_taken + 1
+
+    def test_distinct_sites_distinct_elements(self):
+        seen = {
+            encode_element(m, o, t)
+            for m in range(4)
+            for o in range(4)
+            for t in (False, True)
+        }
+        assert len(seen) == 4 * 4 * 2
+
+    def test_max_values_round_trip(self):
+        element = encode_element(MAX_METHOD_ID, MAX_OFFSET, True)
+        decoded = decode_element(element)
+        assert decoded.method_id == MAX_METHOD_ID
+        assert decoded.offset == MAX_OFFSET
+        assert decoded.taken is True
+
+    def test_method_id_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_element(MAX_METHOD_ID + 1, 0, False)
+        with pytest.raises(ValueError):
+            encode_element(-1, 0, False)
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_element(0, MAX_OFFSET + 1, False)
+        with pytest.raises(ValueError):
+            encode_element(0, -1, False)
+
+    def test_decode_negative_rejected(self):
+        with pytest.raises(ValueError):
+            decode_element(-5)
+
+
+class TestProfileElement:
+    def test_encode_method(self):
+        original = ProfileElement(method_id=9, offset=250, taken=False)
+        assert decode_element(original.encode()) == original
+
+    def test_site_ignores_taken(self):
+        taken = decode_element(encode_element(2, 8, True))
+        not_taken = decode_element(encode_element(2, 8, False))
+        assert taken.site == not_taken.site
+
+    def test_str_format(self):
+        assert str(ProfileElement(1, 2, True)) == "m1@2:T"
+        assert str(ProfileElement(1, 2, False)) == "m1@2:N"

@@ -1,0 +1,118 @@
+"""Trace persistence tests (text, binary, streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.profiles.io import (
+    TraceFormatError,
+    read_trace,
+    read_trace_binary,
+    read_trace_text,
+    stream_trace,
+    write_trace,
+    write_trace_binary,
+    write_trace_text,
+)
+from repro.profiles.trace import BranchTrace
+
+
+@pytest.fixture
+def trace():
+    return BranchTrace(list(range(100, 400, 3)), name="roundtrip")
+
+
+class TestTextFormat:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace_text(trace, path)
+        loaded = read_trace_text(path)
+        assert loaded == trace
+        assert loaded.name == "roundtrip"
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "e.trace"
+        write_trace_text(BranchTrace([], name="empty"), path)
+        loaded = read_trace_text(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n1\n2\n")
+        with pytest.raises(TraceFormatError):
+            read_trace_text(path)
+
+    def test_length_mismatch(self, tmp_path):
+        path = tmp_path / "short.trace"
+        path.write_text("# repro-branch-trace v1\n# name: x\n# length: 5\n1\n2\n")
+        with pytest.raises(TraceFormatError):
+            read_trace_text(path)
+
+    def test_human_readable(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace_text(trace, path)
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("#")
+        assert lines[3] == "100"
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "t.btrace"
+        write_trace_binary(trace, path)
+        loaded = read_trace_binary(path)
+        assert loaded == trace
+        assert loaded.name == "roundtrip"
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "e.btrace"
+        write_trace_binary(BranchTrace([]), path)
+        assert len(read_trace_binary(path)) == 0
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.btrace"
+        path.write_bytes(b"GARBAGE!" + b"\x00" * 32)
+        with pytest.raises(TraceFormatError):
+            read_trace_binary(path)
+
+    def test_truncated(self, trace, tmp_path):
+        path = tmp_path / "t.btrace"
+        write_trace_binary(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(TraceFormatError):
+            read_trace_binary(path)
+
+    def test_unicode_name(self, tmp_path):
+        path = tmp_path / "u.btrace"
+        write_trace_binary(BranchTrace([1], name="bénch"), path)
+        assert read_trace_binary(path).name == "bénch"
+
+
+class TestDispatchAndStreaming:
+    def test_extension_dispatch(self, trace, tmp_path):
+        binary = tmp_path / "a.btrace"
+        text = tmp_path / "a.trace"
+        write_trace(trace, binary)
+        write_trace(trace, text)
+        assert read_trace(binary) == trace
+        assert read_trace(text) == trace
+
+    def test_stream_matches_whole(self, trace, tmp_path):
+        path = tmp_path / "s.btrace"
+        write_trace_binary(trace, path)
+        streamed = np.concatenate(list(stream_trace(path, chunk_size=7)))
+        assert np.array_equal(streamed, trace.array)
+
+    def test_stream_chunk_sizes(self, trace, tmp_path):
+        path = tmp_path / "s.btrace"
+        write_trace_binary(trace, path)
+        chunks = list(stream_trace(path, chunk_size=16))
+        assert all(len(c) <= 16 for c in chunks)
+        assert sum(len(c) for c in chunks) == len(trace)
+
+    def test_stream_bad_chunk_size(self, trace, tmp_path):
+        path = tmp_path / "s.btrace"
+        write_trace_binary(trace, path)
+        with pytest.raises(ValueError):
+            list(stream_trace(path, chunk_size=0))

@@ -1,0 +1,100 @@
+"""Synthetic trace generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.profiles.synthetic import (
+    PhaseSpec,
+    SyntheticTraceBuilder,
+    make_noise_trace,
+    make_periodic_trace,
+    make_phased_trace,
+)
+
+
+class TestBuilder:
+    def test_specs_cover_phases(self):
+        builder = SyntheticTraceBuilder(seed=1)
+        builder.add_transition(50)
+        spec = builder.add_phase(300, body_size=5)
+        trace, specs = builder.build()
+        assert specs == [spec]
+        assert spec.start == 50
+        assert spec.length == 300
+        assert spec.end == 350
+        assert len(trace) == 350
+
+    def test_phase_is_periodic(self):
+        builder = SyntheticTraceBuilder(seed=2)
+        spec = builder.add_phase(100, body_size=4)
+        trace, _ = builder.build()
+        data = trace.array
+        assert np.array_equal(data[:4], data[4:8])
+        assert len(np.unique(data)) == 4
+
+    def test_pattern_reuse(self):
+        builder = SyntheticTraceBuilder(seed=3)
+        first = builder.add_phase(40, body_size=4)
+        builder.add_transition(10)
+        second = builder.add_phase(40, pattern_id=first.pattern_id)
+        trace, specs = builder.build()
+        assert specs[0].pattern_id == specs[1].pattern_id
+        data = trace.array
+        assert np.array_equal(data[first.start : first.start + 4],
+                              data[second.start : second.start + 4])
+
+    def test_transition_elements_unique(self):
+        builder = SyntheticTraceBuilder(seed=4)
+        builder.add_transition(200)
+        trace, _ = builder.build()
+        assert len(np.unique(trace.array)) == 200
+
+    def test_noise_rate_injects_fresh_elements(self):
+        builder = SyntheticTraceBuilder(seed=5)
+        builder.add_phase(1_000, body_size=5, noise_rate=0.2)
+        trace, _ = builder.build()
+        distinct = len(np.unique(trace.array))
+        assert distinct > 5  # noise beyond the body
+        assert distinct < 1_000  # but still mostly the body
+
+    def test_invalid_arguments(self):
+        builder = SyntheticTraceBuilder()
+        with pytest.raises(ValueError):
+            builder.add_phase(0)
+        with pytest.raises(ValueError):
+            builder.add_phase(10, noise_rate=1.5)
+        with pytest.raises(ValueError):
+            builder.add_transition(-1)
+        with pytest.raises(ValueError):
+            builder.new_pattern(0)
+
+    def test_deterministic_across_builds(self):
+        def build():
+            builder = SyntheticTraceBuilder(seed=9)
+            builder.add_transition(30)
+            builder.add_phase(100, body_size=6, noise_rate=0.1)
+            return builder.build()[0]
+
+        assert build() == build()
+
+
+class TestConvenienceGenerators:
+    def test_make_phased_trace_layout(self):
+        trace, specs = make_phased_trace(
+            num_phases=3, phase_length=200, transition_length=50
+        )
+        assert len(specs) == 3
+        assert len(trace) == 3 * 200 + 4 * 50
+        assert specs[0].start == 50
+        assert all(s.length == 200 for s in specs)
+
+    def test_make_noise_trace(self):
+        trace = make_noise_trace(length=123, seed=0)
+        assert len(trace) == 123
+        assert len(np.unique(trace.array)) == 123
+
+    def test_make_periodic_trace(self):
+        trace, specs = make_periodic_trace(length=64, body_size=8)
+        assert len(specs) == 1
+        assert specs[0].length == 64
+        assert len(np.unique(trace.array)) == 8

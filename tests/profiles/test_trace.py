@@ -1,0 +1,105 @@
+"""BranchTrace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.profiles.element import encode_element
+from repro.profiles.trace import BranchTrace
+
+
+def make_trace(values, name="t"):
+    return BranchTrace(values, name=name)
+
+
+class TestConstruction:
+    def test_from_list(self):
+        trace = make_trace([1, 2, 3])
+        assert len(trace) == 3
+        assert list(trace) == [1, 2, 3]
+
+    def test_from_numpy(self):
+        trace = make_trace(np.array([4, 5], dtype=np.int32))
+        assert trace.array.dtype == np.int64
+
+    def test_empty(self):
+        trace = make_trace([])
+        assert len(trace) == 0
+        assert trace.stats().length == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_trace([1, -2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            make_trace(np.zeros((2, 2), dtype=np.int64))
+
+    def test_array_is_read_only(self):
+        trace = make_trace([1, 2])
+        with pytest.raises(ValueError):
+            trace.array[0] = 9
+
+    def test_from_iter(self):
+        trace = BranchTrace.from_iter(iter([7, 8, 9]), name="gen")
+        assert list(trace) == [7, 8, 9]
+        assert trace.name == "gen"
+
+
+class TestSequenceProtocol:
+    def test_indexing(self):
+        trace = make_trace([10, 20, 30])
+        assert trace[0] == 10
+        assert trace[-1] == 30
+
+    def test_slicing_returns_trace(self):
+        trace = make_trace([1, 2, 3, 4], name="x")
+        sub = trace[1:3]
+        assert isinstance(sub, BranchTrace)
+        assert list(sub) == [2, 3]
+        assert sub.name == "x"
+
+    def test_equality(self):
+        assert make_trace([1, 2]) == make_trace([1, 2])
+        assert make_trace([1, 2]) != make_trace([2, 1])
+
+    def test_concat(self):
+        joined = make_trace([1], name="a").concat(make_trace([2, 3]))
+        assert list(joined) == [1, 2, 3]
+        assert joined.name == "a"
+
+
+class TestStats:
+    def test_distinct_and_entropy(self):
+        trace = make_trace([5, 5, 5, 5])
+        stats = trace.stats()
+        assert stats.distinct_elements == 1
+        assert stats.entropy_bits == pytest.approx(0.0)
+        assert stats.most_common_element == 5
+        assert stats.most_common_fraction == pytest.approx(1.0)
+
+    def test_uniform_entropy(self):
+        trace = make_trace([0, 1, 2, 3])
+        assert trace.stats().entropy_bits == pytest.approx(2.0)
+
+    def test_distinct_methods(self):
+        trace = make_trace(
+            [encode_element(0, 0, False), encode_element(0, 1, True), encode_element(3, 0, False)]
+        )
+        assert trace.stats().distinct_methods == 2
+
+    def test_chunks(self):
+        trace = make_trace(list(range(10)))
+        chunks = list(trace.chunks(4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert chunks[2].tolist() == [8, 9]
+
+    def test_chunks_bad_size(self):
+        with pytest.raises(ValueError):
+            list(make_trace([1]).chunks(0))
+
+    def test_decoded(self):
+        trace = make_trace([encode_element(1, 2, True)])
+        decoded = list(trace.decoded())
+        assert decoded[0].method_id == 1
+        assert decoded[0].offset == 2
+        assert decoded[0].taken is True

@@ -1,0 +1,81 @@
+"""Property-based equivalence: optimized engine vs reference detector."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AnalyzerKind,
+    AnchorPolicy,
+    DetectorConfig,
+    ModelKind,
+    PhaseDetector,
+    ResizePolicy,
+    TrailingPolicy,
+)
+from repro.core.engine import run_detector
+from repro.profiles.trace import BranchTrace
+
+# Small alphabets make both repetition and collisions likely.
+elements = st.integers(min_value=0, max_value=12)
+
+configs = st.builds(
+    DetectorConfig,
+    cw_size=st.integers(min_value=1, max_value=12),
+    tw_size=st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
+    skip_factor=st.integers(min_value=1, max_value=9),
+    trailing=st.sampled_from(list(TrailingPolicy)),
+    anchor=st.sampled_from(list(AnchorPolicy)),
+    resize=st.sampled_from(list(ResizePolicy)),
+    model=st.sampled_from(list(ModelKind)),
+    analyzer=st.sampled_from(list(AnalyzerKind)),
+    threshold=st.sampled_from([0.3, 0.5, 0.7, 0.9]),
+    delta=st.sampled_from([0.01, 0.1, 0.3]),
+    enter_threshold=st.sampled_from([0.4, 0.6]),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(trace=st.lists(elements, min_size=0, max_size=400), config=configs)
+def test_engine_matches_reference(trace, config):
+    branch_trace = BranchTrace(trace)
+    reference = PhaseDetector(config).run(branch_trace)
+    engine = run_detector(branch_trace, config)
+    assert np.array_equal(reference.states, engine.states)
+    assert reference.detected_phases == engine.detected_phases
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    body=st.integers(min_value=1, max_value=6),
+    repeats=st.integers(min_value=10, max_value=60),
+    noise=st.integers(min_value=0, max_value=40),
+    config=configs,
+)
+def test_engine_matches_reference_on_structured_traces(body, repeats, noise, config):
+    """Phased traces exercise the in-phase paths (growth, anchoring)."""
+    phase = list(range(body)) * repeats
+    transition = list(range(100, 100 + noise))
+    trace = BranchTrace(transition + phase + transition + phase)
+    reference = PhaseDetector(config).run(trace)
+    engine = run_detector(trace, config)
+    assert np.array_equal(reference.states, engine.states)
+    assert reference.detected_phases == engine.detected_phases
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace=st.lists(elements, min_size=0, max_size=300), config=configs)
+def test_detector_output_invariants(trace, config):
+    """States/phases structural invariants hold for any input."""
+    result = run_detector(BranchTrace(trace), config)
+    assert result.states.shape == (len(trace),)
+    previous_end = 0
+    for phase in result.detected_phases:
+        assert 0 <= phase.corrected_start <= phase.detected_start
+        assert previous_end <= phase.detected_start < phase.end <= len(trace)
+        previous_end = phase.end
+    # Detected phases agree with the state array's P-runs.
+    from repro.scoring.states import phases_from_states
+
+    assert [(p.detected_start, p.end) for p in result.detected_phases] == (
+        phases_from_states(result.states)
+    )

@@ -1,0 +1,127 @@
+"""Property-based tests of the baseline oracle's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.oracle import solve_baseline
+from repro.profiles.callloop import CallLoopEvent, CallLoopTrace, EventKind
+
+
+@st.composite
+def call_loop_traces(draw):
+    """Generate a random well-nested call-loop trace.
+
+    A recursive structure of loops and calls; times advance by random
+    amounts at every step (the "branches" executed between events).
+    """
+    events = []
+    time = 0
+    max_depth = draw(st.integers(min_value=1, max_value=4))
+    num_methods = draw(st.integers(min_value=1, max_value=4))
+    num_loops = draw(st.integers(min_value=1, max_value=4))
+
+    def advance():
+        nonlocal time
+        time += draw(st.integers(min_value=0, max_value=30))
+
+    def emit_block(depth):
+        count = draw(st.integers(min_value=0, max_value=3))
+        for _ in range(count):
+            advance()
+            if depth >= max_depth:
+                continue
+            if draw(st.booleans()):
+                loop_id = draw(st.integers(min_value=0, max_value=num_loops - 1))
+                events.append(CallLoopEvent(EventKind.LOOP_ENTRY, loop_id, time))
+                emit_block(depth + 1)
+                advance()
+                events.append(CallLoopEvent(EventKind.LOOP_EXIT, loop_id, time))
+            else:
+                method = draw(st.integers(min_value=1, max_value=num_methods))
+                events.append(CallLoopEvent(EventKind.METHOD_ENTRY, method, time))
+                emit_block(depth + 1)
+                advance()
+                events.append(CallLoopEvent(EventKind.METHOD_EXIT, method, time))
+
+    events.append(CallLoopEvent(EventKind.METHOD_ENTRY, 0, 0))
+    emit_block(0)
+    advance()
+    events.append(CallLoopEvent(EventKind.METHOD_EXIT, 0, time))
+    return CallLoopTrace(events, num_branches=time)
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=call_loop_traces(), mpl=st.integers(min_value=1, max_value=120))
+def test_phases_disjoint_in_bounds_and_long_enough(trace, mpl):
+    solution = solve_baseline(trace, mpl)
+    previous_end = 0
+    for phase in solution.phases:
+        assert phase.length >= mpl
+        assert 0 <= phase.start < phase.end <= trace.num_branches
+        assert phase.start >= previous_end
+        previous_end = phase.end
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace=call_loop_traces())
+def test_phase_count_monotone_in_mpl(trace):
+    """Raising the MPL can only merge or drop phases, never add them."""
+    counts = [solve_baseline(trace, mpl).num_phases for mpl in (1, 5, 20, 60, 200)]
+    assert counts == sorted(counts, reverse=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace=call_loop_traces(), mpl=st.integers(min_value=1, max_value=120))
+def test_states_consistent_with_phases(trace, mpl):
+    solution = solve_baseline(trace, mpl)
+    states = solution.states()
+    assert states.shape == (trace.num_branches,)
+    assert int(states.sum()) == solution.elements_in_phase
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace=call_loop_traces(), mpl=st.integers(min_value=1, max_value=120))
+def test_hierarchy_leaves_equal_flat_solution(trace, mpl):
+    """The flat oracle is exactly the hierarchy's innermost level."""
+    from repro.baseline.hierarchy import solve_hierarchy
+
+    hierarchy = solve_hierarchy(trace, mpl)
+    flat = solve_baseline(trace, mpl)
+    assert sorted((l.start, l.end) for l in hierarchy.leaves()) == sorted(
+        (p.start, p.end) for p in flat.phases
+    )
+    # And the hierarchy is laminar with depths increasing downward.
+    for node in hierarchy.walk():
+        for child in node.children:
+            assert node.start <= child.start <= child.end <= node.end
+            assert child.depth == node.depth + 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(trace=call_loop_traces())
+def test_merge_adjacent_is_idempotent_and_shape_preserving(trace):
+    """Merging twice changes nothing; spans and order are preserved."""
+    from repro.baseline.cri import extract_cris, merge_adjacent
+    from repro.baseline.tree import build_repetition_tree
+
+    cris = extract_cris(build_repetition_tree(trace))
+
+    def flatten(items):
+        result = []
+        for cri in items:
+            result.append((cri.static_id, cri.start, cri.end, cri.kind, cri.count))
+            result.extend(flatten(cri.children))
+        return result
+
+    merged_once = merge_adjacent(cris)
+    merged_twice = merge_adjacent(merged_once)
+    assert flatten(merged_once) == flatten(merged_twice)
+    # Sibling order preserved and spans non-overlapping at each level.
+    def check_level(items):
+        previous_end = None
+        for cri in items:
+            assert cri.start <= cri.end
+            if previous_end is not None:
+                assert cri.start >= previous_end
+            previous_end = cri.end
+            check_level(cri.children)
+    check_level(merged_once)

@@ -1,0 +1,76 @@
+"""Property-based tests of the accuracy metric's invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.scoring.boundaries import match_phases
+from repro.scoring.metric import score_states
+from repro.scoring.states import phases_from_states, states_from_phases
+
+state_arrays = st.lists(st.booleans(), min_size=0, max_size=200).map(
+    lambda bits: np.array(bits, dtype=bool)
+)
+
+
+@st.composite
+def paired_states(draw):
+    length = draw(st.integers(min_value=0, max_value=200))
+    detected = draw(st.lists(st.booleans(), min_size=length, max_size=length))
+    baseline = draw(st.lists(st.booleans(), min_size=length, max_size=length))
+    return np.array(detected, dtype=bool), np.array(baseline, dtype=bool)
+
+
+@settings(max_examples=300, deadline=None)
+@given(pair=paired_states())
+def test_score_components_bounded(pair):
+    detected, baseline = pair
+    result = score_states(detected, baseline)
+    assert 0.0 <= result.score <= 1.0
+    assert 0.0 <= result.correlation <= 1.0
+    assert 0.0 <= result.sensitivity <= 1.0
+    assert 0.0 <= result.false_positives <= 1.0
+    assert result.num_matched_phases <= result.num_detected_phases
+    assert result.num_matched_phases <= result.num_baseline_phases
+
+
+@settings(max_examples=200, deadline=None)
+@given(states=state_arrays)
+def test_self_comparison_is_perfect(states):
+    result = score_states(states, states.copy())
+    assert result.score == 1.0
+    assert result.correlation == 1.0
+    assert result.sensitivity == 1.0
+    assert result.false_positives == 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(pair=paired_states())
+def test_matched_pairs_satisfy_constraints(pair):
+    detected_states, baseline_states = pair
+    detected = phases_from_states(detected_states)
+    baseline = phases_from_states(baseline_states)
+    length = detected_states.size
+    matching = match_phases(detected, baseline, length)
+    matched_baseline = set()
+    matched_detected = set()
+    for d_index, b_index in matching.pairs:
+        assert d_index not in matched_detected
+        assert b_index not in matched_baseline
+        matched_detected.add(d_index)
+        matched_baseline.add(b_index)
+        d_start, d_end = detected[d_index]
+        b_start, b_end = baseline[b_index]
+        next_start = baseline[b_index + 1][0] if b_index + 1 < len(baseline) else length + 1
+        assert b_start <= d_start < b_end
+        assert b_end <= d_end < next_start
+
+
+@settings(max_examples=200, deadline=None)
+@given(states=state_arrays)
+def test_phase_state_round_trip(states):
+    phases = phases_from_states(states)
+    rebuilt = states_from_phases(phases, states.size)
+    assert np.array_equal(rebuilt, states)
+    # Runs are maximal: consecutive phases never touch.
+    for (s1, e1), (s2, e2) in zip(phases, phases[1:]):
+        assert e1 < s2

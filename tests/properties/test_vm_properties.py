@@ -1,0 +1,162 @@
+"""Property-based tests of the MiniLang compiler and MiniVM.
+
+The central property: compiling and interpreting a randomly generated
+expression gives the same value as evaluating the corresponding Python
+expression with MiniVM's truncating division semantics.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.vm.compiler import compile_source
+from repro.vm.interpreter import run_program
+from repro.vm.tracing import CollectingSink
+from repro.profiles.callloop import EventKind
+
+
+def trunc_div(a, b):
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def trunc_mod(a, b):
+    return a - trunc_div(a, b) * b
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Generate (source text, python value) pairs."""
+    if depth >= 4 or draw(st.booleans()):
+        value = draw(st.integers(min_value=0, max_value=50))
+        return str(value), value
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", "<=", "==", "!=", "&&", "||"]))
+    left_src, left_val = draw(expressions(depth=depth + 1))
+    right_src, right_val = draw(expressions(depth=depth + 1))
+    source = f"({left_src} {op} {right_src})"
+    if op == "+":
+        value = left_val + right_val
+    elif op == "-":
+        value = left_val - right_val
+    elif op == "*":
+        value = left_val * right_val
+    elif op == "/":
+        assume(right_val != 0)
+        value = trunc_div(left_val, right_val)
+    elif op == "%":
+        assume(right_val != 0)
+        value = trunc_mod(left_val, right_val)
+    elif op == "<":
+        value = int(left_val < right_val)
+    elif op == "<=":
+        value = int(left_val <= right_val)
+    elif op == "==":
+        value = int(left_val == right_val)
+    elif op == "!=":
+        value = int(left_val != right_val)
+    elif op == "&&":
+        value = int(left_val != 0 and right_val != 0)
+    else:  # ||
+        value = int(left_val != 0 or right_val != 0)
+    return source, value
+
+
+@settings(max_examples=300, deadline=None)
+@given(pair=expressions())
+def test_compiled_expressions_match_python(pair):
+    source, expected = pair
+    program = compile_source(f"fn main() {{ return {source}; }}")
+    assert run_program(program) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    iterations=st.integers(min_value=0, max_value=50),
+    step=st.integers(min_value=1, max_value=5),
+)
+def test_loop_sum_matches_python(iterations, step):
+    source = f"""
+    fn main() {{
+        var s = 0;
+        for (var i = 0; i < {iterations}; i = i + {step}) {{ s = s + i; }}
+        return s;
+    }}
+    """
+    assert run_program(compile_source(source)) == sum(range(0, iterations, step))
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(min_value=0, max_value=12))
+def test_recursive_fibonacci(n):
+    source = """
+    fn fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    fn main() { return fib(%d); }
+    """ % n
+
+    def fib(k):
+        a, b = 0, 1
+        for _ in range(k):
+            a, b = b, a + b
+        return a
+
+    assert run_program(compile_source(source)) == fib(n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    outer=st.integers(min_value=0, max_value=8),
+    inner=st.integers(min_value=0, max_value=8),
+)
+def test_instrumentation_event_counts(outer, inner):
+    """Loop entry/exit counts follow directly from the iteration counts."""
+    source = f"""
+    fn main() {{
+        var acc = 0;
+        for (var i = 0; i < {outer}; i = i + 1) {{
+            for (var j = 0; j < {inner}; j = j + 1) {{ acc = acc + 1; }}
+        }}
+        return acc;
+    }}
+    """
+    program = compile_source(source)
+    sink = CollectingSink()
+    result = run_program(program, sink=sink)
+    assert result == outer * inner
+    loop_entries = sum(1 for e in sink.events if e.kind is EventKind.LOOP_ENTRY)
+    loop_exits = sum(1 for e in sink.events if e.kind is EventKind.LOOP_EXIT)
+    # Outer loop runs once; inner loop once per outer iteration.
+    assert loop_entries == loop_exits == 1 + outer
+    # Conditional branches: outer tests (outer+1) + inner tests per outer.
+    assert len(sink.elements) == (outer + 1) + outer * (inner + 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pair=expressions())
+def test_optimizer_preserves_expression_values(pair):
+    """compile(optimize=True) evaluates every expression identically."""
+    source, expected = pair
+    program = compile_source(f"fn main() {{ return {source}; }}", optimize=True)
+    assert run_program(program) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    iterations=st.integers(min_value=0, max_value=30),
+    threshold=st.integers(min_value=0, max_value=30),
+)
+def test_optimizer_preserves_loop_behavior(iterations, threshold):
+    source = f"""
+    fn main() {{
+        var acc = 0;
+        var i = 0;
+        while (i < {iterations}) {{
+            if (i < {threshold}) {{ acc = acc + 2 * 3; }} else {{ acc = acc - (1 + 0); }}
+            i = i + 1;
+        }}
+        return acc;
+    }}
+    """
+    plain = run_program(compile_source(source))
+    optimized = run_program(compile_source(source, optimize=True))
+    assert plain == optimized

@@ -1,0 +1,106 @@
+"""Boundary-matching tests: the three constraints of Section 3.2."""
+
+import pytest
+
+from repro.scoring.boundaries import match_phases
+
+N = 1_000  # trace length used throughout
+
+
+class TestMatchingConstraints:
+    def test_exact_match(self):
+        matching = match_phases([(100, 200)], [(100, 200)], N)
+        assert matching.pairs == ((0, 0),)
+        assert matching.sensitivity == 1.0
+        assert matching.false_positives == 0.0
+
+    def test_late_detection_matches(self):
+        # Start inside the baseline phase; end after it, before the next.
+        matching = match_phases([(120, 230)], [(100, 200), (400, 500)], N)
+        assert matching.pairs == ((0, 0),)
+
+    def test_start_before_baseline_start_fails(self):
+        matching = match_phases([(90, 210)], [(100, 200)], N)
+        assert matching.pairs == ()
+
+    def test_start_at_baseline_end_fails(self):
+        matching = match_phases([(200, 250)], [(100, 200)], N)
+        assert matching.pairs == ()
+
+    def test_end_before_baseline_end_fails(self):
+        matching = match_phases([(120, 190)], [(100, 200)], N)
+        assert matching.pairs == ()
+
+    def test_end_into_next_phase_fails(self):
+        matching = match_phases([(120, 450)], [(100, 200), (400, 500)], N)
+        assert matching.pairs == ()
+
+    def test_end_exactly_at_next_start_fails(self):
+        matching = match_phases([(120, 400)], [(100, 200), (400, 500)], N)
+        assert matching.pairs == ()
+
+    def test_last_phase_end_may_reach_trace_end(self):
+        matching = match_phases([(120, N)], [(100, 200)], N)
+        assert matching.pairs == ((0, 0),)
+
+    def test_at_most_one_candidate_per_baseline_phase(self):
+        # With disjoint detected phases, a second phase that qualifies
+        # for the same baseline phase cannot exist: it would have to
+        # start before B.end but after the first one's end (>= B.end).
+        # Constraint 3's tie-break is therefore vacuous for valid input;
+        # the closest single candidate simply matches.
+        matching = match_phases(
+            [(110, 210), (220, 390)], [(100, 200), (400, 500)], N
+        )
+        assert matching.pairs == ((0, 0),)
+        assert matching.num_matched_boundaries == 2
+
+    def test_one_detected_phase_matches_at_most_one_baseline(self):
+        matching = match_phases([(120, 230)], [(100, 200), (225, 300)], N)
+        # end (230) is inside the next phase [225, 300): no match.
+        assert matching.pairs == ()
+
+    def test_multiple_independent_matches(self):
+        matching = match_phases(
+            [(110, 220), (420, 520)], [(100, 200), (400, 500)], N
+        )
+        assert matching.pairs == ((0, 0), (1, 1))
+        assert matching.sensitivity == 1.0
+        assert matching.false_positives == 0.0
+
+
+class TestRates:
+    def test_sensitivity_counts_boundaries(self):
+        matching = match_phases([(110, 220)], [(100, 200), (400, 500)], N)
+        assert matching.num_baseline_boundaries == 4
+        assert matching.num_matched_boundaries == 2
+        assert matching.sensitivity == 0.5
+
+    def test_false_positive_rate(self):
+        matching = match_phases([(110, 220), (600, 700)], [(100, 200)], N)
+        assert matching.num_detected_boundaries == 4
+        assert matching.false_positives == 0.5
+
+    def test_no_baseline_phases(self):
+        matching = match_phases([(10, 20)], [], N)
+        assert matching.sensitivity == 1.0
+        assert matching.false_positives == 1.0
+
+    def test_no_detected_phases(self):
+        matching = match_phases([], [(10, 20)], N)
+        assert matching.sensitivity == 0.0
+        assert matching.false_positives == 0.0
+
+
+class TestValidation:
+    def test_unsorted_detected_rejected(self):
+        with pytest.raises(ValueError):
+            match_phases([(50, 80), (10, 20)], [(1, 5)], N)
+
+    def test_overlapping_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            match_phases([(1, 2)], [(10, 30), (20, 40)], N)
+
+    def test_malformed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            match_phases([(30, 10)], [], N)

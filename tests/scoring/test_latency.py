@@ -1,0 +1,86 @@
+"""Detection-latency measurement tests."""
+
+import pytest
+
+from repro.scoring.latency import measure_latency
+from repro.core import DetectorConfig, TrailingPolicy
+from repro.core.engine import run_detector
+from repro.profiles.synthetic import SyntheticTraceBuilder
+
+N = 1_000
+
+
+class TestMeasureLatency:
+    def test_exact_match_zero_lateness(self):
+        report = measure_latency([(100, 200)], [(100, 200)], N)
+        assert report.start_lateness == [0]
+        assert report.end_lateness == [0]
+        assert report.mean_start_lateness == 0.0
+
+    def test_late_detection_measured(self):
+        report = measure_latency([(130, 215)], [(100, 200)], N)
+        assert report.start_lateness == [30]
+        assert report.end_lateness == [15]
+
+    def test_only_matched_phases_counted(self):
+        report = measure_latency(
+            [(130, 215), (600, 700)], [(100, 200)], N
+        )
+        assert report.num_matched == 1
+        assert report.num_baseline_phases == 1
+        assert len(report.start_lateness) == 1
+
+    def test_no_matches(self):
+        report = measure_latency([(5, 10)], [(100, 200)], N)
+        assert report.num_matched == 0
+        assert report.mean_start_lateness == 0.0
+        assert report.max_start_lateness == 0
+
+    def test_multiple_matches_averaged(self):
+        report = measure_latency(
+            [(110, 210), (450, 520)], [(100, 200), (400, 500)], N
+        )
+        assert report.start_lateness == [10, 50]
+        assert report.mean_start_lateness == pytest.approx(30.0)
+        assert report.max_start_lateness == 50
+
+
+class TestLatencyOnRealDetection:
+    def _trace(self):
+        builder = SyntheticTraceBuilder(seed=51)
+        for _ in range(4):
+            builder.add_transition(250)
+            builder.add_phase(2_000, body_size=10)
+        builder.add_transition(250)
+        return builder.build()
+
+    def test_lateness_grows_with_window_size(self):
+        trace, specs = self._trace()
+        truth = [(s.start, s.end) for s in specs]
+
+        def mean_lateness(cw):
+            config = DetectorConfig(cw_size=cw, threshold=0.6)
+            result = run_detector(trace, config)
+            report = measure_latency(result.phases(), truth, len(trace))
+            assert report.num_matched >= 3
+            return report.mean_start_lateness
+
+        small = mean_lateness(50)
+        large = mean_lateness(400)
+        # Detection waits for the windows to fill with phase content:
+        # lateness scales with CW+TW.
+        assert large > small
+        assert small >= 50  # at least one window's worth
+
+    def test_anchor_correction_removes_start_lateness(self):
+        trace, specs = self._trace()
+        truth = [(s.start, s.end) for s in specs]
+        config = DetectorConfig(
+            cw_size=100, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+        )
+        result = run_detector(trace, config)
+        plain = measure_latency(result.phases(), truth, len(trace))
+        corrected = measure_latency(result.corrected_phases(), truth, len(trace))
+        assert corrected.num_matched >= plain.num_matched - 1
+        assert corrected.mean_start_lateness < plain.mean_start_lateness
+        assert corrected.mean_start_lateness <= 5

@@ -1,0 +1,90 @@
+"""Combined accuracy-score tests."""
+
+import numpy as np
+import pytest
+
+from repro.scoring.metric import AccuracyScore, score_phases, score_states
+from repro.scoring.states import states_from_phases, states_from_string
+
+
+class TestScoreComposition:
+    def test_weights(self):
+        score = AccuracyScore(
+            correlation=0.8,
+            sensitivity=0.5,
+            false_positives=0.25,
+            num_detected_phases=2,
+            num_baseline_phases=2,
+            num_matched_phases=1,
+        )
+        assert score.score == pytest.approx(0.8 / 2 + 0.5 / 4 + 0.75 / 4)
+
+    def test_perfect(self):
+        baseline = states_from_phases([(10, 60)], 100)
+        result = score_states(baseline.copy(), baseline)
+        assert result.score == pytest.approx(1.0)
+        assert result.correlation == 1.0
+        assert result.sensitivity == 1.0
+        assert result.false_positives == 0.0
+
+    def test_all_transition_detector(self):
+        baseline = states_from_phases([(10, 60)], 100)
+        result = score_states(np.zeros(100, dtype=bool), baseline)
+        assert result.correlation == pytest.approx(0.5)
+        assert result.sensitivity == 0.0
+        assert result.false_positives == 0.0
+        assert result.score == pytest.approx(0.5 / 2 + 0 + 0.25)
+
+    def test_all_phase_detector(self):
+        baseline = states_from_phases([(10, 60)], 100)
+        result = score_states(np.ones(100, dtype=bool), baseline)
+        # One detected phase [0,100): starts before the baseline phase.
+        assert result.sensitivity == 0.0
+        assert result.false_positives == 1.0
+
+    def test_late_detector_scores_well(self):
+        baseline = states_from_phases([(10, 60)], 100)
+        detected = states_from_phases([(20, 65)], 100)
+        result = score_states(detected, baseline)
+        assert result.sensitivity == 1.0
+        assert result.false_positives == 0.0
+        assert 0.8 < result.score < 1.0
+
+    def test_empty_traces(self):
+        result = score_states(np.array([], dtype=bool), np.array([], dtype=bool))
+        assert result.score == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            score_states(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+
+class TestExplicitPhases:
+    def test_score_phases_matches_score_states(self):
+        detected = [(20, 65)]
+        baseline = [(10, 60)]
+        from_phases = score_phases(detected, baseline, 100)
+        from_states = score_states(
+            states_from_phases(detected, 100), states_from_phases(baseline, 100)
+        )
+        assert from_phases.score == pytest.approx(from_states.score)
+
+    def test_override_detected_phases(self):
+        # Figure-8 style: states say one thing, corrected intervals another.
+        baseline_states = states_from_phases([(10, 60)], 100)
+        detected_states = states_from_phases([(30, 70)], 100)
+        corrected = [(10, 70)]
+        plain = score_states(detected_states, baseline_states)
+        overridden = score_states(
+            states_from_phases(corrected, 100),
+            baseline_states,
+            detected_phases=corrected,
+        )
+        assert overridden.correlation > plain.correlation
+
+    def test_str_contains_components(self):
+        result = score_states(
+            states_from_string("TTPPT"), states_from_string("TTPPT")
+        )
+        text = str(result)
+        assert "corr=" in text and "sens=" in text and "fp=" in text

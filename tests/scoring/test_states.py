@@ -1,0 +1,66 @@
+"""State-sequence utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.scoring.states import (
+    phases_from_states,
+    state_string,
+    states_from_phases,
+)
+from repro.scoring.states import states_from_string
+
+
+class TestPhasesFromStates:
+    def test_empty(self):
+        assert phases_from_states(np.array([], dtype=bool)) == []
+
+    def test_all_transition(self):
+        assert phases_from_states(np.zeros(5, dtype=bool)) == []
+
+    def test_all_phase(self):
+        assert phases_from_states(np.ones(5, dtype=bool)) == [(0, 5)]
+
+    def test_multiple_runs(self):
+        states = states_from_string("TTPPPTTPPT")
+        assert phases_from_states(states) == [(2, 5), (7, 9)]
+
+    def test_boundary_runs(self):
+        states = states_from_string("PPTTP")
+        assert phases_from_states(states) == [(0, 2), (4, 5)]
+
+    def test_single_element_phase(self):
+        assert phases_from_states(states_from_string("TPT")) == [(1, 2)]
+
+
+class TestStatesFromPhases:
+    def test_round_trip(self):
+        phases = [(2, 5), (7, 9)]
+        states = states_from_phases(phases, 10)
+        assert phases_from_states(states) == phases
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            states_from_phases([(5, 20)], 10)
+        with pytest.raises(ValueError):
+            states_from_phases([(-1, 3)], 10)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            states_from_phases([(5, 2)], 10)
+
+    def test_empty_interval_allowed(self):
+        states = states_from_phases([(3, 3)], 5)
+        assert not states.any()
+
+
+class TestStrings:
+    def test_state_string(self):
+        assert state_string(states_from_string("TPPT")) == "TPPT"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            states_from_string("TPX")
+
+    def test_parse_case_insensitive(self):
+        assert state_string(states_from_string("tpp")) == "TPP"

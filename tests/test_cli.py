@@ -1,0 +1,100 @@
+"""CLI tests (run each subcommand in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+SCALE = "0.1"
+
+
+@pytest.fixture
+def traced(tmp_path):
+    assert main(["trace", "db", "--scale", SCALE, "--out", str(tmp_path)]) == 0
+    return tmp_path
+
+
+class TestTrace:
+    def test_writes_both_files(self, traced, capsys):
+        assert (traced / "db.btrace").exists()
+        assert (traced / "db.cloop").exists()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nonexistent"])
+
+
+class TestOracle:
+    def test_prints_phases(self, traced, capsys):
+        capsys.readouterr()
+        assert main(["oracle", str(traced / "db.cloop"), "--mpl", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "phases" in out
+        assert "MPL=40" in out
+
+    def test_limit_zero_prints_all(self, traced, capsys):
+        capsys.readouterr()
+        main(["oracle", str(traced / "db.cloop"), "--mpl", "40", "--limit", "0"])
+        out = capsys.readouterr().out
+        assert "more" not in out
+
+
+class TestDetect:
+    def test_prints_detected_phases(self, traced, capsys):
+        capsys.readouterr()
+        code = main(
+            ["detect", str(traced / "db.btrace"), "--cw", "30", "--threshold", "0.6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detector:" in out
+        assert "phases over" in out
+
+    def test_adaptive_options(self, traced, capsys):
+        capsys.readouterr()
+        code = main(
+            [
+                "detect", str(traced / "db.btrace"),
+                "--cw", "30", "--trailing", "adaptive",
+                "--anchor", "lnn", "--resize", "move",
+                "--model", "weighted", "--analyzer", "average", "--delta", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive[lnn,move]" in out
+
+
+class TestScore:
+    def test_score_round_trip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        # Reload DEFAULT_CACHE_DIR indirection: load_traces takes cache_dir
+        # from the suite module constant, so pass scale matching fixture.
+        capsys.readouterr()
+        code = main(
+            ["score", "db", "--scale", SCALE, "--mpl", "40", "--cw", "20",
+             "--threshold", "0.6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "score=" in out
+        assert "anchor-corrected" in out
+
+
+class TestCharacteristics:
+    def test_table_printed(self, capsys):
+        capsys.readouterr()
+        assert main(["characteristics", "--scale", SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark Characteristics" in out
+        for name in ("compress", "jlex"):
+            assert name in out
+
+
+class TestProfile:
+    def test_hot_branch_report(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        capsys.readouterr()
+        assert main(["profile", "db", "--scale", SCALE, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic branches" in out
+        assert "@" in out

@@ -1,0 +1,94 @@
+"""End-to-end integration tests across the whole pipeline.
+
+MiniLang source → compiled program → instrumented run → branch +
+call-loop traces → oracle → detectors (reference, engine, comparators)
+→ scores, at a small scale so the whole chain stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline import solve_baseline
+from repro.core import DetectorConfig, PhaseDetector, TrailingPolicy
+from repro.core.engine import run_detector
+from repro.scoring import score_states
+from repro.vm.compiler import compile_source
+from repro.vm.interpreter import run_program
+from repro.workloads import ALL_WORKLOADS, load_traces
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def suite(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("integration")
+    return {
+        wl.name: load_traces(wl.name, scale=SCALE, cache_dir=cache)
+        for wl in ALL_WORKLOADS
+    }
+
+
+class TestEngineOnRealTraces:
+    @pytest.mark.parametrize("name", [wl.name for wl in ALL_WORKLOADS])
+    def test_engine_matches_reference(self, suite, name):
+        branch_trace, _ = suite[name]
+        config = DetectorConfig(
+            cw_size=40, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+        )
+        reference = PhaseDetector(config).run(branch_trace)
+        engine = run_detector(branch_trace, config)
+        assert np.array_equal(reference.states, engine.states), name
+        assert reference.detected_phases == engine.detected_phases, name
+
+
+class TestDetectionQualityFloor:
+    """A reasonable detector must beat trivial baselines on every benchmark."""
+
+    @pytest.mark.parametrize("name", [wl.name for wl in ALL_WORKLOADS])
+    def test_beats_trivial_detectors(self, suite, name):
+        branch_trace, call_loop = suite[name]
+        oracle_states = solve_baseline(call_loop, mpl=60).states()
+        config = DetectorConfig(
+            cw_size=30, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+        )
+        detected = run_detector(branch_trace, config)
+        score = score_states(detected.states, oracle_states).score
+        all_t = score_states(
+            np.zeros_like(oracle_states), oracle_states
+        ).score
+        assert score > 0.4, name
+        # The trivial all-transition detector is only competitive when
+        # the oracle finds almost nothing in phase.
+        if oracle_states.mean() > 0.4:
+            assert score > all_t, name
+
+
+class TestWorkloadOptimizerEquivalence:
+    """The VM optimizer must preserve every workload's result."""
+
+    @pytest.mark.parametrize("wl", ALL_WORKLOADS, ids=lambda wl: wl.name)
+    def test_optimized_result_identical(self, wl):
+        source = wl.program_source(SCALE)
+        plain = run_program(compile_source(source), seed=wl.seed)
+        optimized = run_program(compile_source(source, optimize=True), seed=wl.seed)
+        assert plain == optimized
+
+
+class TestOracleDetectorAgreementOnCleanPhases:
+    def test_compress_blocks_found_online(self, suite):
+        """compress's per-block loops are the cleanest phases in the
+        suite: a tuned detector should match most of their boundaries."""
+        branch_trace, call_loop = suite["compress"]
+        oracle = solve_baseline(call_loop, mpl=200)
+        config = DetectorConfig(
+            cw_size=100, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+        )
+        result = run_detector(branch_trace, config)
+        score = score_states(result.states, oracle.states())
+        assert score.sensitivity >= 0.5
+        corrected = score_states(
+            result.corrected_states(),
+            oracle.states(),
+            detected_phases=result.corrected_phases(),
+        )
+        assert corrected.correlation >= score.correlation

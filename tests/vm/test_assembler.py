@@ -1,0 +1,162 @@
+"""Assembler/disassembler tests."""
+
+import pytest
+
+from repro.vm.assembler import assemble, disassemble
+from repro.vm.errors import AssemblyError
+from repro.vm.interpreter import run_program
+from repro.vm.isa import Opcode
+
+COUNTDOWN = """
+; count down from 5, summing
+.func main params=0 locals=2
+  push 5
+  store 0
+  push 0
+  store 1
+head:
+  load 0
+  br_ifz done
+  load 1
+  load 0
+  add
+  store 1
+  load 0
+  push 1
+  sub
+  store 0
+  jmp head
+done:
+  load 1
+  ret
+.endfunc
+"""
+
+
+class TestAssemble:
+    def test_countdown_runs(self):
+        program = assemble(COUNTDOWN)
+        assert run_program(program) == 15
+
+    def test_labels_resolve_to_offsets(self):
+        program = assemble(COUNTDOWN)
+        branch = next(i for i in program.function("main").code if i.op is Opcode.BR_IFZ)
+        assert isinstance(branch.arg, int)
+
+    def test_call_by_name(self):
+        source = """
+        .func double params=1 locals=1
+          load 0
+          push 2
+          mul
+          ret
+        .endfunc
+        .func main params=0 locals=0
+          push 21
+          call double 1
+          ret
+        .endfunc
+        """
+        assert run_program(assemble(source)) == 42
+
+    def test_loop_markers_get_ids(self):
+        source = """
+        .func main params=0 locals=1
+          loop_begin body
+          push 0
+          store 0
+        head:
+          load 0
+          push 3
+          lt
+          br_if head
+          loop_end body
+          push 0
+          ret
+        .endfunc
+        """
+        program = assemble(source)
+        assert len(program.loops) == 1
+        assert program.loops[0].label == "body"
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("; hi\n\n.func main params=0 locals=0\n  push 1 ; inline\n  ret\n.endfunc\n")
+        assert run_program(program) == 1
+
+    def test_hex_operands(self):
+        program = assemble(".func main params=0 locals=0\n  push 0x10\n  ret\n.endfunc")
+        assert run_program(program) == 16
+
+
+class TestAssemblyErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble(".func main params=0 locals=0\n  frobnicate\n.endfunc")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblyError):
+            assemble(".func main params=0 locals=0\n  jmp nowhere\n  ret\n.endfunc")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble(".func main params=0 locals=0\nx:\nx:\n  ret\n.endfunc")
+
+    def test_unknown_callee(self):
+        with pytest.raises(AssemblyError):
+            assemble(".func main params=0 locals=0\n  call ghost 0\n  ret\n.endfunc")
+
+    def test_instruction_outside_function(self):
+        with pytest.raises(AssemblyError):
+            assemble("push 1")
+
+    def test_unterminated_function(self):
+        with pytest.raises(AssemblyError):
+            assemble(".func main params=0 locals=0\n  ret")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble(".func main params=0 locals=0\n  push\n  ret\n.endfunc")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble(".func main params=0 locals=0\n  ret\n  bogus\n.endfunc")
+        assert err.value.line == 3
+
+
+class TestDisassemble:
+    def test_round_trip(self):
+        program = assemble(COUNTDOWN)
+        text = disassemble(program)
+        again = assemble(text)
+        assert run_program(again) == run_program(program) == 15
+
+    def test_round_trip_with_calls_and_loops(self):
+        source = """
+        .func helper params=1 locals=1
+          load 0
+          push 1
+          add
+          ret
+        .endfunc
+        .func main params=0 locals=1
+          loop_begin spin
+          push 0
+          store 0
+        top:
+          load 0
+          push 5
+          lt
+          br_ifz out
+          load 0
+          call helper 1
+          store 0
+          jmp top
+        out:
+          loop_end spin
+          load 0
+          ret
+        .endfunc
+        """
+        program = assemble(source)
+        again = assemble(disassemble(program))
+        assert run_program(again) == run_program(program) == 5

@@ -1,0 +1,137 @@
+"""MiniLang compiler tests: codegen shape and semantic errors."""
+
+import pytest
+
+from repro.vm.compiler import compile_source
+from repro.vm.errors import CompileError
+from repro.vm.isa import Opcode
+
+
+def ops(program, function="main"):
+    return [instr.op for instr in program.function(function).code]
+
+
+class TestCodegenShape:
+    def test_implicit_return_zero(self):
+        program = compile_source("fn main() { var x = 1; }")
+        code = program.function("main").code
+        assert code[-1].op is Opcode.RET
+        assert code[-2].op is Opcode.PUSH and code[-2].arg == 0
+
+    def test_while_has_loop_markers_and_branch(self):
+        program = compile_source("fn main() { var i = 0; while (i < 3) { i = i + 1; } }")
+        opcodes = ops(program)
+        assert Opcode.LOOP_BEGIN in opcodes
+        assert Opcode.LOOP_END in opcodes
+        assert Opcode.BR_IFZ in opcodes
+        # LOOP_BEGIN precedes LOOP_END
+        assert opcodes.index(Opcode.LOOP_BEGIN) < opcodes.index(Opcode.LOOP_END)
+
+    def test_for_registers_one_loop(self):
+        program = compile_source("fn main() { for (var i = 0; i < 2; i = i + 1) { } }")
+        assert len(program.loops) == 1
+        assert program.loops[0].function_id == 0
+
+    def test_if_without_else_single_branch(self):
+        program = compile_source("fn main() { if (1) { var x = 2; } }")
+        opcodes = ops(program)
+        assert opcodes.count(Opcode.BR_IFZ) == 1
+        assert Opcode.JMP not in opcodes
+
+    def test_if_else_has_skip_jump(self):
+        program = compile_source("fn main() { if (1) { var x = 2; } else { var y = 3; } }")
+        assert Opcode.JMP in ops(program)
+
+    def test_short_circuit_and_uses_br_ifz(self):
+        program = compile_source("fn main() { return 1 && 2; }")
+        opcodes = ops(program)
+        assert Opcode.BR_IFZ in opcodes
+        assert opcodes.count(Opcode.NOT) == 2
+
+    def test_short_circuit_or_uses_br_if(self):
+        program = compile_source("fn main() { return 0 || 3; }")
+        assert Opcode.BR_IF in ops(program)
+
+    def test_builtin_rnd(self):
+        assert Opcode.RND in ops(compile_source("fn main() { return rnd(10); }"))
+
+    def test_builtin_mem_setmem(self):
+        program = compile_source("fn main() { setmem(1, 2); return mem(1); }")
+        opcodes = ops(program)
+        assert Opcode.GSTORE in opcodes
+        assert Opcode.GLOAD in opcodes
+
+    def test_call_arity_encoded(self):
+        program = compile_source("fn f(a, b) { return a; } fn main() { return f(1, 2); }")
+        call = next(i for i in program.function("main").code if i.op is Opcode.CALL)
+        assert call.arg == 0  # f's id
+        assert call.arg2 == 2
+
+    def test_locals_layout(self):
+        program = compile_source(
+            "fn f(a, b) { var c = a; var d = b; return c + d; } fn main() { return f(1, 2); }"
+        )
+        func = program.function("f")
+        assert func.num_params == 2
+        assert func.num_locals == 4
+
+
+class TestScoping:
+    def test_block_scoping_allows_reuse(self):
+        source = """
+        fn main() {
+            if (1) { var t = 1; }
+            if (1) { var t = 2; }
+            return 0;
+        }
+        """
+        compile_source(source)  # must not raise
+
+    def test_shadowing_in_nested_block(self):
+        source = """
+        fn main() {
+            var x = 1;
+            if (1) { var x = 2; }
+            return x;
+        }
+        """
+        program = compile_source(source)
+        from repro.vm.interpreter import run_program
+
+        assert run_program(program) == 1
+
+    def test_redeclaration_same_scope_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("fn main() { var x = 1; var x = 2; }")
+
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError):
+            compile_source("fn main() { return nope; }")
+
+    def test_for_init_scope_is_local_to_loop(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                "fn main() { for (var i = 0; i < 2; i = i + 1) { } return i; }"
+            )
+
+
+class TestSemanticErrors:
+    def test_unknown_function(self):
+        with pytest.raises(CompileError):
+            compile_source("fn main() { return missing(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError):
+            compile_source("fn f(a) { return a; } fn main() { return f(1, 2); }")
+
+    def test_builtin_arity(self):
+        with pytest.raises(CompileError):
+            compile_source("fn main() { return rnd(1, 2); }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError):
+            compile_source("fn f() { return 0; } fn f() { return 1; }")
+
+    def test_builtin_shadowing_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("fn rnd(x) { return x; } fn main() { return 0; }")

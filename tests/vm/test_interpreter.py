@@ -1,0 +1,243 @@
+"""Interpreter semantics and instrumentation tests."""
+
+import pytest
+
+from repro.profiles.callloop import EventKind
+from repro.vm.compiler import compile_source
+from repro.vm.errors import ExecutionError, FuelExhaustedError, StackOverflowError
+from repro.vm.interpreter import Interpreter, run_program
+from repro.vm.tracing import CollectingSink, CountingSink
+
+
+def run(source, seed=0x5EED, **kwargs):
+    return run_program(compile_source(source), seed=seed, **kwargs)
+
+
+def run_traced(source, seed=0x5EED):
+    program = compile_source(source)
+    sink = CollectingSink()
+    result = Interpreter(max_call_depth=5_000).run(program, sink=sink, seed=seed)
+    return result, sink
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert run("fn main() { return 2 + 3 * 4 - 1; }") == 13
+
+    def test_division_truncates_toward_zero(self):
+        assert run("fn main() { return 7 / 2; }") == 3
+        assert run("fn main() { return -7 / 2; }") == -3
+        assert run("fn main() { return 7 / -2; }") == -3
+
+    def test_modulo_c_style(self):
+        assert run("fn main() { return 7 % 3; }") == 1
+        assert run("fn main() { return -7 % 3; }") == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            run("fn main() { var z = 0; return 1 / z; }")
+
+    def test_comparisons(self):
+        assert run("fn main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3); }") == 3
+        assert run("fn main() { return (1 == 1) + (1 != 1); }") == 1
+
+    def test_unary(self):
+        assert run("fn main() { return -(3) + !0 + !7; }") == -2
+
+    def test_short_circuit_semantics(self):
+        # Right side would divide by zero; && must not evaluate it.
+        assert run("fn main() { var z = 0; return 0 && (1 / z); }") == 0
+        assert run("fn main() { var z = 0; return 1 || (1 / z); }") == 1
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert run("fn main() { var s = 0; var i = 0; while (i < 5) { s = s + i; i = i + 1; } return s; }") == 10
+
+    def test_for_loop(self):
+        assert run("fn main() { var s = 0; for (var i = 1; i <= 4; i = i + 1) { s = s + i; } return s; }") == 10
+
+    def test_nested_if(self):
+        source = """
+        fn classify(x) {
+            if (x < 0) { return 0 - 1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        fn main() { return classify(0 - 5) * 100 + classify(0) * 10 + classify(9); }
+        """
+        assert run(source) == -99  # -1*100 + 0 + 1
+
+    def test_recursion(self):
+        assert run("fn fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); } fn main() { return fact(6); }") == 720
+
+    def test_halt_from_nested_call(self):
+        source = """
+        fn inner() { halt; return 9; }
+        fn main() { var x = inner(); return x + 1; }
+        """
+        assert run(source) == 0
+
+    def test_return_inside_loop(self):
+        source = """
+        fn find(limit) {
+            var i = 0;
+            while (i < limit) {
+                if (i == 7) { return i; }
+                i = i + 1;
+            }
+            return 0 - 1;
+        }
+        fn main() { return find(100); }
+        """
+        assert run(source) == 7
+
+
+class TestBuiltins:
+    def test_memory_round_trip(self):
+        assert run("fn main() { setmem(42, 99); return mem(42); }") == 99
+
+    def test_memory_defaults_to_zero(self):
+        assert run("fn main() { return mem(12345); }") == 0
+
+    def test_rnd_in_range_and_deterministic(self):
+        source = """
+        fn main() {
+            var bad = 0;
+            var i = 0;
+            var acc = 0;
+            while (i < 100) {
+                var r = rnd(10);
+                if (r < 0 || r >= 10) { bad = bad + 1; }
+                acc = acc + r;
+                i = i + 1;
+            }
+            return bad * 10000 + acc;
+        }
+        """
+        first = run(source, seed=123)
+        second = run(source, seed=123)
+        other = run(source, seed=456)
+        assert first == second
+        assert first < 10000  # no out-of-range draws
+        assert first != other  # different seed, different stream
+
+    def test_rnd_bad_bound(self):
+        with pytest.raises(ExecutionError):
+            run("fn main() { var z = 0; return rnd(z); }")
+
+
+class TestLimits:
+    def test_stack_overflow(self):
+        source = "fn loop_forever(n) { return loop_forever(n + 1); } fn main() { return loop_forever(0); }"
+        with pytest.raises(StackOverflowError):
+            run_program(compile_source(source), max_call_depth=100)
+
+    def test_fuel_exhaustion(self):
+        source = "fn main() { var i = 0; while (i >= 0) { i = i + 1; } return i; }"
+        with pytest.raises(FuelExhaustedError):
+            run_program(compile_source(source), max_fuel=10_000)
+
+    def test_entry_arity_mismatch(self):
+        with pytest.raises(ExecutionError):
+            run_program(compile_source("fn main(x) { return x; }"), args=[])
+
+
+class TestInstrumentation:
+    def test_branch_elements_emitted_per_conditional(self):
+        _, sink = run_traced("fn main() { var i = 0; while (i < 3) { i = i + 1; } return i; }")
+        # while condition evaluated 4 times -> 4 conditional branches.
+        assert len(sink.elements) == 4
+
+    def test_branch_taken_bit(self):
+        _, sink = run_traced("fn main() { var i = 0; while (i < 2) { i = i + 1; } return i; }")
+        taken_bits = [e & 1 for e in sink.elements]
+        # BR_IFZ: not-taken while looping, taken at exit.
+        assert taken_bits == [0, 0, 1]
+
+    def test_events_well_nested(self):
+        _, sink = run_traced(
+            """
+            fn work(n) { var i = 0; while (i < n) { i = i + 1; } return i; }
+            fn main() { return work(3) + work(2); }
+            """
+        )
+        depth = 0
+        for event in sink.events:
+            if event.kind in (EventKind.METHOD_ENTRY, EventKind.LOOP_ENTRY):
+                depth += 1
+            else:
+                depth -= 1
+            assert depth >= 0
+        assert depth == 0
+
+    def test_early_return_closes_loops(self):
+        _, sink = run_traced(
+            """
+            fn find() {
+                var i = 0;
+                while (i < 10) {
+                    if (i == 2) { return i; }
+                    i = i + 1;
+                }
+                return 0;
+            }
+            fn main() { return find(); }
+            """
+        )
+        entries = sum(1 for e in sink.events if e.kind is EventKind.LOOP_ENTRY)
+        exits = sum(1 for e in sink.events if e.kind is EventKind.LOOP_EXIT)
+        assert entries == exits == 1
+
+    def test_halt_closes_everything(self):
+        _, sink = run_traced(
+            """
+            fn inner() {
+                var i = 0;
+                while (i < 100) {
+                    if (i == 3) { halt; }
+                    i = i + 1;
+                }
+                return 0;
+            }
+            fn main() { return inner(); }
+            """
+        )
+        depth = 0
+        for event in sink.events:
+            depth += 1 if event.kind in (EventKind.METHOD_ENTRY, EventKind.LOOP_ENTRY) else -1
+        assert depth == 0
+
+    def test_event_times_match_branch_counts(self):
+        _, sink = run_traced(
+            "fn main() { var i = 0; while (i < 5) { i = i + 1; } return i; }"
+        )
+        loop_exit = next(e for e in sink.events if e.kind is EventKind.LOOP_EXIT)
+        assert loop_exit.time == len(sink.elements)
+
+    def test_counting_sink(self):
+        program = compile_source(
+            "fn f() { return 1; } fn main() { var i = 0; while (i < 2) { i = i + f(); } return i; }"
+        )
+        sink = CountingSink()
+        Interpreter().run(program, sink=sink)
+        assert sink.num_branches == 3
+        assert sink.num_method_entries == sink.num_method_exits == 3  # main + 2*f
+        assert sink.num_loop_entries == sink.num_loop_exits == 1
+
+    def test_determinism_of_traces(self):
+        source = """
+        fn main() {
+            var acc = 0;
+            var i = 0;
+            while (i < 50) {
+                if (rnd(3) == 1) { acc = acc + 1; }
+                i = i + 1;
+            }
+            return acc;
+        }
+        """
+        _, first = run_traced(source, seed=9)
+        _, second = run_traced(source, seed=9)
+        assert first.elements == second.elements
+        assert first.events == second.events

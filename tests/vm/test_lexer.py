@@ -1,0 +1,77 @@
+"""MiniLang lexer tests."""
+
+import pytest
+
+from repro.vm.errors import MiniLangSyntaxError
+from repro.vm.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestTokens:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_integers(self):
+        assert kinds("0 42 1234") == [
+            (TokenKind.INT, "0"),
+            (TokenKind.INT, "42"),
+            (TokenKind.INT, "1234"),
+        ]
+
+    def test_names_and_keywords(self):
+        assert kinds("fn foo while x_1") == [
+            (TokenKind.KEYWORD, "fn"),
+            (TokenKind.NAME, "foo"),
+            (TokenKind.KEYWORD, "while"),
+            (TokenKind.NAME, "x_1"),
+        ]
+
+    def test_multi_char_operators_maximal_munch(self):
+        assert kinds("== != <= >= && || < =") == [
+            (TokenKind.OP, "=="),
+            (TokenKind.OP, "!="),
+            (TokenKind.OP, "<="),
+            (TokenKind.OP, ">="),
+            (TokenKind.OP, "&&"),
+            (TokenKind.OP, "||"),
+            (TokenKind.OP, "<"),
+            (TokenKind.OP, "="),
+        ]
+
+    def test_comments_stripped(self):
+        assert kinds("a // comment here\nb") == [
+            (TokenKind.NAME, "a"),
+            (TokenKind.NAME, "b"),
+        ]
+
+    def test_comment_at_eof(self):
+        assert kinds("x // no newline") == [(TokenKind.NAME, "x")]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(MiniLangSyntaxError) as err:
+            tokenize("a $ b")
+        assert err.value.line == 1
+
+    def test_adjacent_punctuation(self):
+        assert kinds("f(x,y);") == [
+            (TokenKind.NAME, "f"),
+            (TokenKind.OP, "("),
+            (TokenKind.NAME, "x"),
+            (TokenKind.OP, ","),
+            (TokenKind.NAME, "y"),
+            (TokenKind.OP, ")"),
+            (TokenKind.OP, ";"),
+        ]
+
+    def test_underscore_leading_name(self):
+        assert kinds("_tmp") == [(TokenKind.NAME, "_tmp")]

@@ -1,0 +1,170 @@
+"""Optimizer tests: semantics preserved, code shrinks where expected."""
+
+import pytest
+
+from repro.vm.compiler import compile_module, compile_source
+from repro.vm.interpreter import run_program
+from repro.vm.isa import Opcode
+from repro.vm.optimizer import fold_expr, optimize_module, peephole
+from repro.vm.parser import parse
+from repro.vm.ast_nodes import Binary, IntLiteral
+
+
+def optimized(source):
+    return peephole(compile_module(optimize_module(parse(source))))
+
+
+def both_results(source, seed=0x5EED):
+    plain = run_program(compile_source(source), seed=seed)
+    opt = run_program(optimized(source), seed=seed)
+    return plain, opt
+
+
+class TestFoldExpr:
+    def parse_expr(self, text):
+        module = parse(f"fn main() {{ return {text}; }}")
+        return module.function("main").body[0].value
+
+    def test_arithmetic_folds(self):
+        folded = fold_expr(self.parse_expr("2 + 3 * 4"))
+        assert isinstance(folded, IntLiteral)
+        assert folded.value == 14
+
+    def test_division_truncates(self):
+        assert fold_expr(self.parse_expr("-(7) / 2")).value == -3
+        assert fold_expr(self.parse_expr("-(7) % 2")).value == -1
+
+    def test_division_by_zero_not_folded(self):
+        folded = fold_expr(self.parse_expr("1 / 0"))
+        assert isinstance(folded, Binary)  # preserved: must fault at runtime
+
+    def test_short_circuit_constant_left(self):
+        assert fold_expr(self.parse_expr("0 && (1 / 0)")).value == 0
+        assert fold_expr(self.parse_expr("5 || (1 / 0)")).value == 1
+
+    def test_names_block_folding(self):
+        module = parse("fn main() { var x = 1; return x + 2; }")
+        expr = module.function("main").body[1].value
+        assert isinstance(fold_expr(expr), Binary)
+
+    def test_comparison_folds(self):
+        assert fold_expr(self.parse_expr("3 < 5")).value == 1
+        assert fold_expr(self.parse_expr("!(3 < 5)")).value == 0
+
+
+class TestStatementFolding:
+    def test_static_if_splices_arm(self):
+        source = """
+        fn main() {
+            var acc = 0;
+            if (1 < 2) { acc = acc + 10; } else { acc = acc + 99; }
+            return acc;
+        }
+        """
+        program = optimized(source)
+        opcodes = [i.op for i in program.function("main").code]
+        assert Opcode.BR_IFZ not in opcodes  # the branch folded away
+        assert run_program(program) == 10
+
+    def test_dead_while_removed(self):
+        source = """
+        fn main() {
+            var acc = 7;
+            while (0) { acc = acc + 1; }
+            return acc;
+        }
+        """
+        program = optimized(source)
+        opcodes = [i.op for i in program.function("main").code]
+        assert Opcode.LOOP_BEGIN not in opcodes
+        assert run_program(program) == 7
+
+    def test_arm_with_decl_not_spliced(self):
+        source = """
+        fn main() {
+            if (1) { var t = 5; setmem(0, t); }
+            if (1) { var t = 6; setmem(1, t); }
+            return mem(0) * 10 + mem(1);
+        }
+        """
+        plain, opt = both_results(source)
+        assert plain == opt == 56
+
+    def test_pure_constant_statement_dropped(self):
+        source = "fn main() { 1 + 2; return 3; }"
+        program = optimized(source)
+        assert run_program(program) == 3
+
+
+class TestPeephole:
+    def test_push_push_binop_folds(self):
+        program = compile_source("fn main() { var x = 0; return x + (2 + 3); }")
+        before = program.num_instructions()
+        after = peephole(program).num_instructions()
+        assert after < before
+
+    def test_jump_targets_preserved(self):
+        source = """
+        fn main() {
+            var acc = 0;
+            var i = 0;
+            while (i < 4 + 6) {
+                acc = acc + 2 * 3;
+                i = i + 1;
+            }
+            return acc;
+        }
+        """
+        plain, opt = both_results(source)
+        assert plain == opt == 60
+
+    def test_idempotent(self):
+        program = compile_source("fn main() { return 1 + 2 + 3; }")
+        once = peephole(program)
+        twice = peephole(once)
+        assert [str(i) for f in once.functions for i in f.code] == [
+            str(i) for f in twice.functions for i in f.code
+        ]
+
+
+class TestEndToEndEquivalence:
+    SOURCES = [
+        # mixed arithmetic, conditions, loops
+        """
+        fn main() {
+            var acc = 0;
+            for (var i = 0; i < 25; i = i + 1) {
+                if (i % 3 == 0 && i % 2 == 0) { acc = acc + i * 2; }
+                else if (i % 5 == 1 || 0) { acc = acc - 1; }
+            }
+            return acc;
+        }
+        """,
+        # recursion with foldable leaf math
+        """
+        fn f(n) {
+            if (n <= 0) { return 3 * 4 - 12; }
+            return f(n - 1) + 2 * 3;
+        }
+        fn main() { return f(9); }
+        """,
+        # memory and rnd (must stay unfolded)
+        """
+        fn main() {
+            setmem(2 + 3, 10 * 2);
+            var v = mem(5) + rnd(4 + 4);
+            return v;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_results_identical(self, source):
+        plain, opt = both_results(source)
+        assert plain == opt
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_optimized_not_larger(self, source):
+        plain = compile_source(source)
+        opt = optimized(source)
+        assert opt.num_instructions() <= plain.num_instructions()

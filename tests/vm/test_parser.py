@@ -1,0 +1,146 @@
+"""MiniLang parser tests."""
+
+import pytest
+
+from repro.vm.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    ExprStmt,
+    For,
+    Halt,
+    If,
+    IntLiteral,
+    Name,
+    Return,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.vm.errors import MiniLangSyntaxError
+from repro.vm.parser import parse
+
+
+def parse_body(body):
+    module = parse(f"fn main() {{ {body} }}")
+    return module.function("main").body
+
+
+def parse_expr(text):
+    (stmt,) = parse_body(f"{text};")
+    assert isinstance(stmt, ExprStmt)
+    return stmt.value
+
+
+class TestTopLevel:
+    def test_functions_and_params(self):
+        module = parse("fn f(a, b) { return a; } fn main() { return f(1, 2); }")
+        assert [f.name for f in module.functions] == ["f", "main"]
+        assert module.function("f").params == ("a", "b")
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(MiniLangSyntaxError):
+            parse("   ")
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(MiniLangSyntaxError):
+            parse("fn f(a, a) { return 0; }")
+
+    def test_missing_brace(self):
+        with pytest.raises(MiniLangSyntaxError):
+            parse("fn main() { return 0;")
+
+
+class TestStatements:
+    def test_var_decl(self):
+        (stmt,) = parse_body("var x = 3;")
+        assert isinstance(stmt, VarDecl)
+        assert stmt.ident == "x"
+        assert isinstance(stmt.value, IntLiteral)
+
+    def test_assignment(self):
+        stmts = parse_body("var x = 0; x = x + 1;")
+        assert isinstance(stmts[1], Assign)
+
+    def test_if_else_chain(self):
+        (stmt,) = parse_body("if (1) { halt; } else if (2) { halt; } else { halt; }")
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.else_body[0], If)
+        assert isinstance(stmt.else_body[0].else_body[0], Halt)
+
+    def test_while_gets_loop_label(self):
+        (stmt,) = parse_body("while (1) { halt; }")
+        assert isinstance(stmt, While)
+        assert stmt.label
+
+    def test_for_desugar_parts(self):
+        (stmt,) = parse_body("for (var i = 0; i < 3; i = i + 1) { halt; }")
+        assert isinstance(stmt, For)
+        assert isinstance(stmt.init, VarDecl)
+        assert isinstance(stmt.cond, Binary)
+        assert isinstance(stmt.step, Assign)
+
+    def test_for_with_empty_slots(self):
+        (stmt,) = parse_body("for (;;) { halt; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_bare_return(self):
+        (stmt,) = parse_body("return;")
+        assert isinstance(stmt, Return)
+        assert stmt.value is None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniLangSyntaxError):
+            parse_body("var x = 3")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_comparison_below_logic(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_or_below_and(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_unary(self):
+        expr = parse_expr("-x + !y")
+        assert isinstance(expr.left, Unary) and expr.left.op == "-"
+        assert isinstance(expr.right, Unary) and expr.right.op == "!"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_call_with_args(self):
+        module = parse("fn g(a) { return a; } fn main() { return g(1 + 2); }")
+        ret = module.function("main").body[0]
+        assert isinstance(ret.value, Call)
+        assert ret.value.callee == "g"
+        assert len(ret.value.args) == 1
+
+    def test_nested_calls(self):
+        expr = parse_expr("rnd(mem(3))")
+        assert expr.callee == "rnd"
+        assert expr.args[0].callee == "mem"
+
+    def test_name_vs_call(self):
+        expr = parse_expr("x")
+        assert isinstance(expr, Name)
+
+    def test_garbage_expression(self):
+        with pytest.raises(MiniLangSyntaxError):
+            parse_expr("1 + ;")

@@ -1,0 +1,105 @@
+"""Hot-branch profiler tests."""
+
+import pytest
+
+from repro.profiles.element import encode_element
+from repro.profiles.trace import BranchTrace
+from repro.vm.compiler import compile_source
+from repro.vm.interpreter import run_program
+from repro.vm.profiler import profile_trace, render_profile
+from repro.vm.tracing import CollectingSink
+
+
+def make_trace(*site_outcomes):
+    """site_outcomes: tuples (method, offset, taken) repeated in order."""
+    return BranchTrace([encode_element(m, o, t) for m, o, t in site_outcomes])
+
+
+class TestProfileTrace:
+    def test_empty(self):
+        profile = profile_trace(BranchTrace([]))
+        assert profile.total_branches == 0
+        assert profile.sites == []
+        assert profile.coverage(3) == 0.0
+
+    def test_site_aggregation(self):
+        trace = make_trace((0, 1, True), (0, 1, False), (0, 1, True), (1, 4, False))
+        profile = profile_trace(trace)
+        assert profile.total_branches == 4
+        assert len(profile.sites) == 2
+        hot = profile.hottest(1)[0]
+        assert (hot.method_id, hot.offset) == (0, 1)
+        assert hot.executions == 3
+        assert hot.taken == 2
+        assert hot.taken_ratio == pytest.approx(2 / 3)
+
+    def test_bias(self):
+        trace = make_trace(*[(0, 0, True)] * 9, (0, 0, False))
+        (site,) = profile_trace(trace).sites
+        assert site.bias == pytest.approx(0.9)
+
+    def test_per_function(self):
+        trace = make_trace((0, 0, True), (0, 1, True), (2, 0, False))
+        per_function = profile_trace(trace).per_function()
+        assert per_function == {0: 2, 2: 1}
+
+    def test_coverage_monotone_in_top(self):
+        trace = make_trace(
+            *[(0, 0, True)] * 5, *[(0, 1, True)] * 3, *[(1, 0, True)] * 2
+        )
+        profile = profile_trace(trace)
+        assert profile.coverage(1) == pytest.approx(0.5)
+        assert profile.coverage(2) == pytest.approx(0.8)
+        assert profile.coverage(3) == pytest.approx(1.0)
+
+
+class TestProfilerOnPrograms:
+    def test_hot_loop_dominates(self):
+        source = """
+        fn cold(x) {
+            if (x > 0) { return x; }
+            return 0;
+        }
+        fn main() {
+            var acc = cold(5);
+            var i = 0;
+            while (i < 500) {
+                if (i % 2 == 0) { acc = acc + 1; }
+                i = i + 1;
+            }
+            return acc;
+        }
+        """
+        program = compile_source(source)
+        sink = CollectingSink()
+        run_program(program, sink=sink)
+        profile = profile_trace(sink.branch_trace("t"))
+        # The loop's two branch sites cover almost everything.
+        assert profile.coverage(2) > 0.99
+        hot = profile.hottest(1)[0]
+        assert hot.method_id == program.function("main").func_id
+
+    def test_render_with_function_names(self):
+        source = "fn main() { var i = 0; while (i < 10) { i = i + 1; } return i; }"
+        program = compile_source(source)
+        sink = CollectingSink()
+        run_program(program, sink=sink)
+        report = render_profile(profile_trace(sink.branch_trace("t")), program)
+        assert "main@" in report
+        assert "dynamic branches" in report
+
+    def test_render_without_program(self):
+        trace = make_trace((3, 7, True))
+        report = render_profile(profile_trace(trace))
+        assert "m3@7" in report
+
+    def test_loop_branch_bias_reflects_iteration_count(self):
+        source = "fn main() { var i = 0; while (i < 99) { i = i + 1; } return i; }"
+        program = compile_source(source)
+        sink = CollectingSink()
+        run_program(program, sink=sink)
+        profile = profile_trace(sink.branch_trace("t"))
+        # BR_IFZ on the loop condition: not-taken 99 times, taken once.
+        (site,) = profile.sites
+        assert site.executions == 100
+        assert site.bias == pytest.approx(0.99)

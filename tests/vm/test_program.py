@@ -1,0 +1,107 @@
+"""Program validation and ISA encoding tests."""
+
+import pytest
+
+from repro.vm.errors import ValidationError
+from repro.vm.isa import Instruction, Opcode
+from repro.vm.program import Function, LoopInfo, Program
+
+
+def func(name, func_id, code, params=0, locals_=None):
+    return Function(
+        name=name,
+        func_id=func_id,
+        num_params=params,
+        num_locals=params if locals_ is None else locals_,
+        code=code,
+    )
+
+
+RET0 = [Instruction(Opcode.PUSH, 0), Instruction(Opcode.RET)]
+
+
+class TestInstruction:
+    def test_operand_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.PUSH)  # needs an operand
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, 1)  # takes none
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CALL, 1)  # needs two
+
+    def test_str(self):
+        assert str(Instruction(Opcode.PUSH, 7)) == "push 7"
+        assert str(Instruction(Opcode.CALL, 0, 2)) == "call 0 2"
+        assert str(Instruction(Opcode.RET)) == "ret"
+
+
+class TestValidation:
+    def test_valid_program(self):
+        program = Program([func("main", 0, RET0)])
+        assert program.entry_function.name == "main"
+
+    def test_missing_entry(self):
+        with pytest.raises(ValidationError):
+            Program([func("helper", 0, RET0)], entry="main")
+
+    def test_wrong_func_id(self):
+        with pytest.raises(ValidationError):
+            Program([func("main", 3, RET0)])
+
+    def test_jump_out_of_range(self):
+        code = [Instruction(Opcode.JMP, 10), Instruction(Opcode.RET)]
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, code)])
+
+    def test_call_to_missing_function(self):
+        code = [Instruction(Opcode.CALL, 5, 0), Instruction(Opcode.RET)]
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, code)])
+
+    def test_call_arity_mismatch(self):
+        helper = func("helper", 1, RET0, params=2, locals_=2)
+        code = [Instruction(Opcode.PUSH, 1), Instruction(Opcode.CALL, 1, 1), Instruction(Opcode.RET)]
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, code), helper])
+
+    def test_local_slot_out_of_range(self):
+        code = [Instruction(Opcode.LOAD, 0), Instruction(Opcode.RET)]
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, code, params=0, locals_=0)])
+
+    def test_fall_off_end(self):
+        code = [Instruction(Opcode.PUSH, 1)]
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, code)])
+
+    def test_empty_function(self):
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, [])])
+
+    def test_unknown_loop_id(self):
+        code = [Instruction(Opcode.LOOP_BEGIN, 9)] + RET0
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, code)], loops=[LoopInfo(0, 0, "l")])
+
+    def test_duplicate_loop_id(self):
+        loops = [LoopInfo(0, 0, "a"), LoopInfo(0, 0, "b")]
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, RET0)], loops=loops)
+
+    def test_duplicate_function_names(self):
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, RET0), func("main", 1, RET0)])
+
+    def test_bad_locals_layout(self):
+        with pytest.raises(ValidationError):
+            Program([func("main", 0, RET0, params=3, locals_=1)])
+
+    def test_function_lookup(self):
+        program = Program([func("main", 0, RET0)])
+        assert program.function("main").func_id == 0
+        with pytest.raises(ValidationError):
+            program.function("ghost")
+
+    def test_num_instructions(self):
+        program = Program([func("main", 0, RET0)])
+        assert program.num_instructions() == 2

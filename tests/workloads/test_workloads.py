@@ -1,0 +1,161 @@
+"""Workload suite tests.
+
+Uses a very small scale so every workload compiles and runs quickly;
+one session-scoped fixture shares the executed traces across tests.
+"""
+
+import pytest
+
+from repro.baseline import solve_baseline
+from repro.profiles.callloop import EventKind
+from repro.workloads import (
+    ALL_WORKLOADS,
+    BenchmarkCharacteristics,
+    load_suite,
+    load_traces,
+    workload,
+    workload_names,
+)
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="session")
+def tiny_suite(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("traces")
+    return load_suite(scale=SCALE, cache_dir=cache)
+
+
+class TestRegistry:
+    def test_eight_benchmarks(self):
+        assert len(ALL_WORKLOADS) == 8
+        assert workload_names() == [
+            "compress", "jess", "raytrace", "db", "javac", "mpegaudio", "jack", "jlex",
+        ]
+
+    def test_lookup(self):
+        assert workload("jess").name == "jess"
+        with pytest.raises(KeyError):
+            workload("nope")
+
+    def test_fingerprint_changes_with_scale(self):
+        wl = workload("compress")
+        assert wl.fingerprint(1.0) != wl.fingerprint(0.5)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            workload("compress").program_source(0)
+
+
+class TestExecution:
+    def test_all_workloads_run(self, tiny_suite):
+        assert set(tiny_suite) == set(workload_names())
+        for name, (branch, call_loop) in tiny_suite.items():
+            assert len(branch) > 500, name
+            assert call_loop.num_branches == len(branch), name
+
+    def test_events_well_nested(self, tiny_suite):
+        for name, (_, call_loop) in tiny_suite.items():
+            depth = 0
+            for event in call_loop:
+                if event.kind in (EventKind.METHOD_ENTRY, EventKind.LOOP_ENTRY):
+                    depth += 1
+                else:
+                    depth -= 1
+                assert depth >= 0, name
+            assert depth == 0, name
+
+    def test_deterministic(self, tmp_path):
+        first_branch, first_loop = workload("db").run(SCALE)
+        second_branch, second_loop = workload("db").run(SCALE)
+        assert first_branch == second_branch
+        assert list(first_loop) == list(second_loop)
+
+    def test_recursive_benchmarks_have_roots(self, tiny_suite):
+        for name in ("raytrace", "javac", "jack", "jess"):
+            _, call_loop = tiny_suite[name]
+            assert call_loop.recursion_roots() > 0, name
+
+    def test_loop_benchmarks_have_no_roots(self, tiny_suite):
+        for name in ("compress", "db", "mpegaudio", "jlex"):
+            _, call_loop = tiny_suite[name]
+            assert call_loop.recursion_roots() == 0, name
+
+
+class TestCharacteristics:
+    def test_table_row(self, tiny_suite):
+        branch, call_loop = tiny_suite["compress"]
+        row = BenchmarkCharacteristics.of(branch, call_loop)
+        assert row.name == "compress"
+        assert row.dynamic_branches == len(branch)
+        assert row.loop_executions == call_loop.loop_executions()
+
+
+class TestOracleShapes:
+    def test_phase_counts_decrease_with_mpl(self, tiny_suite):
+        for name, (_, call_loop) in tiny_suite.items():
+            counts = [
+                solve_baseline(call_loop, mpl).num_phases
+                for mpl in (10, 50, 200, 1_000)
+            ]
+            assert counts == sorted(counts, reverse=True), (name, counts)
+
+    def test_compress_high_coverage(self, tiny_suite):
+        _, call_loop = tiny_suite["compress"]
+        solution = solve_baseline(call_loop, mpl=20)
+        assert solution.percent_in_phase > 90.0
+
+
+class TestCaching:
+    def test_cache_round_trip(self, tmp_path):
+        first = load_traces("db", scale=SCALE, cache_dir=tmp_path)
+        files = list(tmp_path.iterdir())
+        assert len(files) == 2  # .btrace + .cloop
+        second = load_traces("db", scale=SCALE, cache_dir=tmp_path)
+        assert first[0] == second[0]
+        assert list(first[1]) == list(second[1])
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", ["compress", "jess", "mpegaudio"])
+    def test_trace_length_grows_with_scale(self, name):
+        # Use scales above the knobs' minimum floors.
+        small_branch, _ = workload(name).run(0.25)
+        large_branch, _ = workload(name).run(0.75)
+        assert len(large_branch) > len(small_branch) * 1.5
+
+    def test_scale_changes_source(self):
+        wl = workload("db")
+        assert wl.program_source(0.1) != wl.program_source(0.5)
+
+    def test_all_sources_compile_at_tiny_scale(self):
+        from repro.vm.compiler import compile_source
+
+        for wl in ALL_WORKLOADS:
+            program = compile_source(wl.program_source(0.05), name=wl.name)
+            assert program.num_instructions() > 20, wl.name
+
+
+class TestAssemblerRoundTrip:
+    """compile -> disassemble -> re-assemble -> identical behavior."""
+
+    @pytest.mark.parametrize("name", [
+        "compress", "jess", "raytrace", "db", "javac", "mpegaudio", "jack", "jlex",
+    ])
+    def test_disassembly_round_trip(self, name):
+        from repro.vm.assembler import assemble, disassemble
+        from repro.vm.compiler import compile_source
+        from repro.vm.interpreter import run_program
+        from repro.vm.tracing import CollectingSink
+
+        wl = workload(name)
+        program = compile_source(wl.program_source(0.05), name=name)
+        rebuilt = assemble(disassemble(program), name=name)
+
+        original_sink = CollectingSink()
+        rebuilt_sink = CollectingSink()
+        original = run_program(program, sink=original_sink, seed=wl.seed)
+        again = run_program(rebuilt, sink=rebuilt_sink, seed=wl.seed)
+        assert original == again
+        assert original_sink.elements == rebuilt_sink.elements
+        assert original_sink.events == rebuilt_sink.events
