@@ -1,8 +1,9 @@
 # Convenience targets for the repro project.
 
 PYTHON ?= python
+PROFILE ?= default
 
-.PHONY: install test bench results results-quick examples clean-cache
+.PHONY: install test bench sweep results results-quick examples clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +13,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Warm the sweep record cache over all cores (JOBS=N or REPRO_JOBS=N to pin).
+sweep:
+	$(PYTHON) -m repro.cli sweep --profile $(PROFILE) $(if $(JOBS),--jobs $(JOBS))
 
 results:
 	$(PYTHON) -m repro.experiments.generate --profile default --out results/default

@@ -5,7 +5,8 @@ The profile is selected by the ``REPRO_PROFILE`` environment variable
 ``sweep``/``records`` fixtures warm the sweep cache once (expensive on a
 cold cache: the full detector grid runs; minutes), so the timed bodies
 measure table/figure *regeneration*, which is what a user iterating on
-the analysis pays.
+the analysis pays.  Set ``REPRO_JOBS`` to fan the cache warm-up out
+over worker processes (see ``docs/sweep.md``).
 
 Rendered artifacts are written to ``results/<profile>/`` as a side
 effect, so one benchmark run leaves the full set of reproduced tables
@@ -32,8 +33,16 @@ def profile():
 
 
 @pytest.fixture(scope="session")
-def sweep(profile):
-    return Sweep(profile)
+def jobs():
+    """Sweep worker count: REPRO_JOBS if set, else serial."""
+    from repro.experiments.parallel import resolve_jobs
+
+    return resolve_jobs(None) if os.environ.get("REPRO_JOBS") else 1
+
+
+@pytest.fixture(scope="session")
+def sweep(profile, jobs):
+    return Sweep(profile, jobs=jobs)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,88 @@
+"""Sweep executor scaling: serial vs multiprocess on a tiny profile.
+
+Two pytest-benchmark rows time the identical cold-cache sweep serially
+and with two workers, so the speedup is visible in the comparison
+table; a third (non-benchmark) check asserts the two modes produce
+byte-identical caches.  Traces are generated once and copied into each
+round's fresh cache directory, so only detector evaluation is timed.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.experiments.config_space import SuiteProfile, paper_grid
+from repro.experiments.sweep import Sweep
+from repro.workloads.suite import load_suite
+
+TINY = SuiteProfile(
+    name="partiny",
+    workload_scale=0.15,
+    thresholds=(0.5, 0.6, 0.8),
+    deltas=(0.05, 0.2),
+    cw_nominals=(500, 5_000, 25_000),
+)
+BENCHMARKS = ["db", "jess", "jlex"]
+SPECS = paper_grid(TINY)
+
+
+@pytest.fixture(scope="module")
+def warm_trace_dir(tmp_path_factory):
+    """Trace files generated once, shared (copied) by every round."""
+    cache = tmp_path_factory.mktemp("partiny-traces")
+    load_suite(scale=TINY.workload_scale, cache_dir=cache, names=BENCHMARKS)
+    return cache
+
+
+def _fresh_cache(tmp_path_factory, warm_trace_dir):
+    cache = tmp_path_factory.mktemp("partiny-run")
+    for path in warm_trace_dir.iterdir():
+        shutil.copy2(path, cache / path.name)
+    return cache
+
+
+def _bench_sweep(benchmark, tmp_path_factory, warm_trace_dir, jobs):
+    def setup():
+        cache = _fresh_cache(tmp_path_factory, warm_trace_dir)
+        sweep = Sweep(TINY, cache_dir=cache, benchmarks=BENCHMARKS)
+        return (sweep,), {}
+
+    def run(sweep):
+        return sweep.ensure(SPECS, jobs=jobs)
+
+    from repro.experiments.config_space import MPL_NOMINALS_EXTENDED
+
+    records = benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+    assert len(records) == len(SPECS) * len(BENCHMARKS) * len(MPL_NOMINALS_EXTENDED)
+
+
+def test_sweep_serial(benchmark, tmp_path_factory, warm_trace_dir):
+    """Baseline: every cell evaluated in-process."""
+    _bench_sweep(benchmark, tmp_path_factory, warm_trace_dir, jobs=1)
+
+
+def test_sweep_two_workers(benchmark, tmp_path_factory, warm_trace_dir):
+    """The same sweep fanned over two worker processes.
+
+    On a multi-core machine this row should be measurably faster than
+    ``test_sweep_serial``; on a single core it only measures overhead.
+    """
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-core machine: two workers cannot beat serial")
+    _bench_sweep(benchmark, tmp_path_factory, warm_trace_dir, jobs=2)
+
+
+def test_modes_byte_identical(tmp_path_factory, warm_trace_dir):
+    """Serial and 2-worker runs write byte-identical record caches."""
+    serial_cache = _fresh_cache(tmp_path_factory, warm_trace_dir)
+    parallel_cache = _fresh_cache(tmp_path_factory, warm_trace_dir)
+    serial = Sweep(TINY, cache_dir=serial_cache, benchmarks=BENCHMARKS)
+    parallel = Sweep(TINY, cache_dir=parallel_cache, benchmarks=BENCHMARKS)
+    assert serial.ensure(SPECS, jobs=1) == parallel.ensure(SPECS, jobs=2)
+    assert (
+        (serial_cache / "sweep-partiny.jsonl").read_bytes()
+        == (parallel_cache / "sweep-partiny.jsonl").read_bytes()
+    )

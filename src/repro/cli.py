@@ -7,6 +7,7 @@ Subcommands::
     repro detect <file.btrace> --cw N ...   # run one detector, print phases
     repro score <workload|files> --mpl N    # detector-vs-oracle accuracy
     repro characteristics                   # Table 1(a) for the suite
+    repro sweep --profile quick --jobs 4    # (re)fill the sweep record cache
     repro generate --profile default        # regenerate all tables/figures
 
 Run ``repro <subcommand> --help`` for each command's options.
@@ -162,12 +163,35 @@ def cmd_characteristics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.config_space import PROFILES, paper_grid
+    from repro.experiments.parallel import resolve_jobs
+    from repro.experiments.sweep import Sweep
+
+    profile = PROFILES[args.profile]
+    jobs = resolve_jobs(args.jobs)
+    benchmarks = args.benchmarks or None
+    cache_dir = Path(args.cache_dir) if args.cache_dir is not None else None
+    sweep = Sweep(profile, cache_dir=cache_dir, benchmarks=benchmarks)
+    records = sweep.ensure(
+        paper_grid(profile), progress=not args.quiet, jobs=jobs
+    )
+    print(
+        f"sweep '{profile.name}': {len(records)} records over "
+        f"{len(sweep.benchmarks)} benchmarks (jobs={jobs})"
+    )
+    print(f"cache: {sweep.cache_path}")
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.experiments.generate import main as generate_main
 
     forwarded: List[str] = ["--profile", args.profile]
     if args.out is not None:
         forwarded += ["--out", str(args.out)]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
     return generate_main(forwarded)
 
 
@@ -221,11 +245,42 @@ def build_parser() -> argparse.ArgumentParser:
     characteristics_parser.add_argument("--scale", type=float, default=1.0)
     characteristics_parser.set_defaults(handler=cmd_characteristics)
 
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run (or warm) the parameter sweep record cache"
+    )
+    sweep_parser.add_argument("--profile", default="default")
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS, else all cores)",
+    )
+    sweep_parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        choices=workload_names(),
+        default=None,
+        help="subset of workloads (default: all eight)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, help="trace/record cache directory"
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress on stderr"
+    )
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
     generate_parser = subparsers.add_parser(
         "generate", help="regenerate every table and figure"
     )
     generate_parser.add_argument("--profile", default="default")
     generate_parser.add_argument("--out", default=None)
+    generate_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_JOBS, else all cores)",
+    )
     generate_parser.set_defaults(handler=cmd_generate)
 
     return parser

@@ -37,6 +37,7 @@ from repro.experiments.config_space import (
     grid_size,
     paper_grid,
 )
+from repro.experiments.parallel import ParallelSweepExecutor, resolve_jobs
 from repro.experiments.report import nominal_label, render_table
 from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_spec
 from repro.experiments.sweep import Sweep
@@ -80,4 +81,6 @@ __all__ = [
     "SweepRecord",
     "evaluate_spec",
     "Sweep",
+    "ParallelSweepExecutor",
+    "resolve_jobs",
 ]

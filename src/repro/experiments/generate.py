@@ -25,16 +25,18 @@ def generate_all(
     out_dir: Optional[Path] = None,
     progress: bool = False,
     sweep: Optional[Sweep] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, str]:
     """Render every table/figure for ``profile``.
 
     Returns a mapping of artifact name (e.g. ``"figure_4"``) to rendered
     text.  With ``out_dir`` set, each artifact is also written to
-    ``<out_dir>/<name>.txt``.
+    ``<out_dir>/<name>.txt``.  ``jobs`` selects the sweep worker count
+    (``None`` keeps the sweep's own default; >1 runs multiprocess).
     """
     if sweep is None:
         sweep = Sweep(profile)
-    records = sweep.ensure(paper_grid(profile), progress=progress)
+    records = sweep.ensure(paper_grid(profile), progress=progress, jobs=jobs)
 
     artifacts: Dict[str, str] = {}
     artifacts["table_1a"] = tables.table_1a(sweep).render()
@@ -86,9 +88,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress sweep progress on stderr"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_JOBS, else all cores)",
+    )
     args = parser.parse_args(argv)
+    from repro.experiments.parallel import resolve_jobs
+
     artifacts = generate_all(
-        PROFILES[args.profile], out_dir=args.out, progress=not args.quiet
+        PROFILES[args.profile], out_dir=args.out, progress=not args.quiet,
+        jobs=resolve_jobs(args.jobs),
     )
     for name in sorted(artifacts):
         print(artifacts[name])

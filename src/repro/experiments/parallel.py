@@ -1,0 +1,268 @@
+"""Multiprocess sweep execution.
+
+The paper's evaluation is >10,000 detector instantiations (Section 4);
+each (benchmark, grid point) cell is independent, so the sweep is
+embarrassingly parallel.  This module fans (benchmark, spec-chunk) work
+items out over a :class:`~concurrent.futures.ProcessPoolExecutor` while
+preserving the serial sweep's observable behavior exactly:
+
+* **Workers load traces from the on-disk cache, not the pipe.**  The
+  parent materializes every trace before the pool starts (a cache
+  miss runs the workload once); workers then call
+  ``load_traces``/:meth:`BaselineSet.for_benchmark` themselves, so the
+  only things pickled across the pipe are small ``ConfigSpec`` values
+  outbound and flat record rows inbound.
+* **Per-worker memoization.**  Each worker process keeps one
+  ``(branch trace, BaselineSet)`` pair per benchmark it has seen, so the
+  expensive oracle solve is paid at most ``jobs`` times per benchmark,
+  and chunking keeps that amortized over many grid points.
+* **Ordered delivery.**  Chunks are submitted in deterministic
+  (benchmark-major, spec-order) sequence and results are re-ordered on
+  receipt, so cache appends happen in exactly the order the serial
+  sweep would produce — a parallel run's JSONL cache is byte-identical
+  to a serial run's, and an interrupted run leaves a valid prefix that
+  the next run treats as warm.
+* **Progress/ETA.**  With ``progress=True`` a per-benchmark line
+  (configs evaluated, wall time, configs/s) plus a running ETA for the
+  whole sweep is printed to stderr.
+
+Worker count resolution order: explicit ``jobs`` argument, then the
+``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
+
+The on-disk formats this executor relies on are specified in
+``docs/formats.md``; the sweep lifecycle in ``docs/sweep.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config_space import ConfigSpec, SuiteProfile
+from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_spec
+
+#: Grid points per work item.  Large enough to amortize pipe and
+#: memoization overhead, small enough to load-balance a skewed grid.
+DEFAULT_CHUNK_SIZE = 8
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument, then ``REPRO_JOBS``, then cores.
+
+    Raises :class:`ValueError` for a non-positive or unparseable count.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+# -- worker side --------------------------------------------------------------
+#
+# Module-level so it pickles under both fork and spawn start methods.
+# _init_worker runs once per worker process; _WORKER_STATE is therefore
+# per-process, never shared.
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    profile: SuiteProfile,
+    cache_dir: Optional[str],
+    mpl_nominals: Tuple[int, ...],
+) -> None:
+    _WORKER_STATE["profile"] = profile
+    _WORKER_STATE["cache_dir"] = cache_dir
+    _WORKER_STATE["mpl_nominals"] = mpl_nominals
+    _WORKER_STATE["benchmarks"] = {}
+
+
+def _benchmark_context(benchmark: str):
+    """Per-worker memoized (branch trace, baselines) for a benchmark."""
+    contexts: Dict = _WORKER_STATE["benchmarks"]  # type: ignore[assignment]
+    if benchmark not in contexts:
+        from repro.workloads.suite import load_traces
+
+        profile: SuiteProfile = _WORKER_STATE["profile"]  # type: ignore[assignment]
+        cache_dir = _WORKER_STATE["cache_dir"]
+        branch_trace, call_loop = load_traces(
+            benchmark, scale=profile.workload_scale, cache_dir=cache_dir
+        )
+        baselines = BaselineSet(
+            call_loop,
+            profile,
+            _WORKER_STATE["mpl_nominals"],  # type: ignore[arg-type]
+            name=benchmark,
+        )
+        contexts[benchmark] = (branch_trace, baselines)
+    return contexts[benchmark]
+
+
+def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> List[Dict]:
+    """Evaluate one work item; return flat record rows (JSON-safe)."""
+    branch_trace, baselines = _benchmark_context(benchmark)
+    profile: SuiteProfile = _WORKER_STATE["profile"]  # type: ignore[assignment]
+    rows: List[Dict] = []
+    for spec in specs:
+        for record in evaluate_spec(branch_trace, baselines, spec, profile):
+            rows.append(record.to_row())
+    return rows
+
+
+# -- parent side --------------------------------------------------------------
+
+
+@dataclass
+class _Chunk:
+    """One submitted work item and its place in the deterministic order."""
+
+    index: int
+    benchmark: str
+    specs: List[ConfigSpec]
+
+
+@dataclass
+class _Progress:
+    """Wall-clock accounting for the progress/ETA report."""
+
+    total_configs: int
+    started: float = field(default_factory=time.time)
+    done_configs: int = 0
+    benchmark_configs: Dict[str, int] = field(default_factory=dict)
+    benchmark_started: Dict[str, float] = field(default_factory=dict)
+
+    def note(self, profile_name: str, benchmark: str, configs: int,
+             benchmark_finished: bool) -> None:
+        now = time.time()
+        self.benchmark_started.setdefault(benchmark, now)
+        self.done_configs += configs
+        self.benchmark_configs[benchmark] = (
+            self.benchmark_configs.get(benchmark, 0) + configs
+        )
+        if not benchmark_finished:
+            return
+        elapsed = now - self.started
+        rate = self.done_configs / elapsed if elapsed > 0 else float("inf")
+        remaining = self.total_configs - self.done_configs
+        eta = remaining / rate if rate > 0 else 0.0
+        bench_configs = self.benchmark_configs[benchmark]
+        bench_elapsed = now - self.benchmark_started[benchmark]
+        print(
+            f"[sweep:{profile_name}] {benchmark}: {bench_configs} configs "
+            f"in {bench_elapsed:.1f}s ({rate:.1f} configs/s overall, "
+            f"{self.done_configs}/{self.total_configs} done, eta {eta:.0f}s)",
+            file=sys.stderr,
+        )
+
+
+class ParallelSweepExecutor:
+    """Fan sweep work items over a process pool, delivering in order.
+
+    Args:
+        profile: the suite profile workers evaluate under.
+        cache_dir: the suite trace cache directory workers load from
+            (must already contain every trace — the parent's
+            ``load_suite`` guarantees this).
+        mpl_nominals: nominal MPLs each grid point is scored at.
+        jobs: worker count (``None`` → :func:`resolve_jobs`).
+        chunk_size: grid points per work item (``None`` → a size that
+            gives each worker several items per benchmark, capped at
+            :data:`DEFAULT_CHUNK_SIZE`).
+    """
+
+    def __init__(
+        self,
+        profile: SuiteProfile,
+        cache_dir,
+        mpl_nominals: Sequence[int],
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.profile = profile
+        self.cache_dir = cache_dir
+        self.mpl_nominals = tuple(mpl_nominals)
+        self.jobs = resolve_jobs(jobs)
+        self.chunk_size = chunk_size
+
+    def _chunk_specs(self, specs: Sequence[ConfigSpec]) -> List[List[ConfigSpec]]:
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            # ~4 items per worker per benchmark for load balance.
+            size = max(1, min(DEFAULT_CHUNK_SIZE, -(-len(specs) // (self.jobs * 4))))
+        return [list(specs[i : i + size]) for i in range(0, len(specs), size)]
+
+    def run(
+        self,
+        work: Sequence[Tuple[str, Sequence[ConfigSpec]]],
+        on_chunk: Callable[[str, List[SweepRecord], bool], None],
+        progress: bool = False,
+    ) -> int:
+        """Evaluate every (benchmark, missing-spec) batch in ``work``.
+
+        ``on_chunk(benchmark, records, benchmark_finished)`` is invoked
+        strictly in submission order — benchmark-major, spec-order —
+        regardless of worker completion order, so the caller can append
+        records to the JSONL cache as they arrive and still end up with
+        a byte-identical file to a serial run.  Returns the number of
+        grid points evaluated.
+        """
+        chunks: List[_Chunk] = []
+        for benchmark, specs in work:
+            for piece in self._chunk_specs(list(specs)):
+                chunks.append(_Chunk(len(chunks), benchmark, piece))
+        if not chunks:
+            return 0
+        total_configs = sum(len(c.specs) for c in chunks)
+        tracker = _Progress(total_configs)
+        last_chunk_of_benchmark = {c.benchmark: c.index for c in chunks}
+
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_worker,
+            initargs=(
+                self.profile,
+                str(self.cache_dir) if self.cache_dir is not None else None,
+                self.mpl_nominals,
+            ),
+        ) as pool:
+            futures = {
+                pool.submit(_evaluate_chunk, chunk.benchmark, chunk.specs): chunk
+                for chunk in chunks
+            }
+            buffered: Dict[int, List[Dict]] = {}
+            next_index = 0
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    buffered[futures[future].index] = future.result()
+                while next_index in buffered:
+                    chunk = chunks[next_index]
+                    rows = buffered.pop(next_index)
+                    records = [SweepRecord.from_row(row) for row in rows]
+                    benchmark_finished = (
+                        last_chunk_of_benchmark[chunk.benchmark] == chunk.index
+                    )
+                    on_chunk(chunk.benchmark, records, benchmark_finished)
+                    if progress:
+                        tracker.note(
+                            self.profile.name,
+                            chunk.benchmark,
+                            len(chunk.specs),
+                            benchmark_finished,
+                        )
+                    next_index += 1
+        return total_configs

@@ -51,7 +51,14 @@ class SweepRecord:
 
 
 class BaselineSet:
-    """Solved baselines for one benchmark across a set of nominal MPLs."""
+    """Solved baselines for one benchmark across a set of nominal MPLs.
+
+    Construction is deterministic and self-contained (no module-level
+    state, no RNG), so it is safe to build inside a forked or spawned
+    worker process; :meth:`for_benchmark` builds one straight from the
+    suite's on-disk trace cache, which is how the parallel sweep
+    executor avoids shipping traces over the worker pipe.
+    """
 
     def __init__(
         self,
@@ -68,6 +75,27 @@ class BaselineSet:
             solution = solve_baseline(call_loop, profile.actual(nominal), name=self.name)
             self.solutions[nominal] = solution
             self._states[nominal] = solution.states()
+
+    @classmethod
+    def for_benchmark(
+        cls,
+        benchmark: str,
+        profile: SuiteProfile,
+        mpl_nominals: Sequence[int],
+        cache_dir=None,
+    ) -> "BaselineSet":
+        """Build the set for a named workload from the on-disk trace cache.
+
+        Loads (or, on a cold cache, regenerates) the workload's call-loop
+        trace via :func:`repro.workloads.suite.load_traces` and solves
+        every baseline locally in the calling process.
+        """
+        from repro.workloads.suite import load_traces
+
+        _, call_loop = load_traces(
+            benchmark, scale=profile.workload_scale, cache_dir=cache_dir
+        )
+        return cls(call_loop, profile, mpl_nominals, name=benchmark)
 
     def states(self, mpl_nominal: int) -> np.ndarray:
         """The oracle's state array for a nominal MPL."""

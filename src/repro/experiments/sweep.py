@@ -5,6 +5,13 @@ scores each run at every MPL.  Detector runs are the expensive part, so
 completed records are appended to a JSONL cache keyed by (benchmark
 fingerprint, grid point, MPL set); re-running a sweep with a warm cache
 only aggregates.
+
+Evaluation runs serially in-process by default (``jobs=1``) or fans out
+over a process pool (``jobs>1`` or ``jobs=None`` with ``REPRO_JOBS``
+set) via :mod:`repro.experiments.parallel`.  Both modes append cache
+rows in the same deterministic order, so the cache file is
+byte-identical either way; see ``docs/sweep.md`` for the lifecycle and
+``docs/formats.md`` for the cache schema.
 """
 
 from __future__ import annotations
@@ -49,6 +56,8 @@ class Sweep:
         mpl_nominals: nominal MPL values to score at (default: the
             extended set including 200K, so one sweep feeds every
             table and figure).
+        jobs: default worker count for :meth:`ensure` (1 = serial
+            in-process evaluation; >1 fans out over a process pool).
     """
 
     def __init__(
@@ -57,11 +66,13 @@ class Sweep:
         cache_dir: Optional[Path] = None,
         benchmarks: Optional[Sequence[str]] = None,
         mpl_nominals: Sequence[int] = MPL_NOMINALS_EXTENDED,
+        jobs: int = 1,
     ) -> None:
         self.profile = profile
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
         self.benchmarks = list(benchmarks) if benchmarks is not None else workload_names()
         self.mpl_nominals = list(mpl_nominals)
+        self.jobs = jobs
         self._traces = load_suite(scale=profile.workload_scale, cache_dir=self.cache_dir,
                                   names=self.benchmarks)
         self._baselines: Dict[str, BaselineSet] = {}
@@ -115,6 +126,11 @@ class Sweep:
     # -- evaluation ----------------------------------------------------------------
 
     @property
+    def cache_path(self) -> Path:
+        """The JSONL record cache file backing this sweep."""
+        return self._cache_path
+
+    @property
     def traces(self) -> Dict[str, Tuple]:
         """benchmark name -> (branch trace, call-loop trace)."""
         return self._traces
@@ -128,46 +144,90 @@ class Sweep:
             )
         return self._baselines[benchmark]
 
+    def _missing(self, benchmark: str, specs: Sequence[ConfigSpec]) -> List[ConfigSpec]:
+        return [
+            spec
+            for spec in specs
+            if any(
+                (benchmark, self.profile.name, _spec_key(spec), nominal)
+                not in self._records
+                for nominal in self.mpl_nominals
+            )
+        ]
+
+    def _evaluate_serial(
+        self, work: Sequence[Tuple[str, List[ConfigSpec]]], progress: bool
+    ) -> None:
+        for benchmark, missing in work:
+            branch_trace, _ = self._traces[benchmark]
+            baselines = self.baselines(benchmark)
+            started = time.time()
+            fresh: List[SweepRecord] = []
+            for spec in missing:
+                fresh.extend(evaluate_spec(branch_trace, baselines, spec, self.profile))
+            for record in fresh:
+                self._records[self._record_key(record)] = record
+            self._append_cache(fresh)
+            if progress:
+                print(
+                    f"[sweep:{self.profile.name}] {benchmark}: "
+                    f"{len(missing)} configs in {time.time() - started:.1f}s",
+                    file=sys.stderr,
+                )
+
+    def _evaluate_parallel(
+        self,
+        work: Sequence[Tuple[str, List[ConfigSpec]]],
+        jobs: int,
+        progress: bool,
+    ) -> None:
+        from repro.experiments.parallel import ParallelSweepExecutor, resolve_jobs
+
+        jobs = resolve_jobs(jobs)
+        if jobs <= 1:
+            return self._evaluate_serial(work, progress)
+        executor = ParallelSweepExecutor(
+            self.profile, self.cache_dir, self.mpl_nominals, jobs=jobs
+        )
+
+        def on_chunk(
+            benchmark: str, records: List[SweepRecord], benchmark_finished: bool
+        ) -> None:
+            for record in records:
+                self._records[self._record_key(record)] = record
+            self._append_cache(records)
+
+        executor.run(work, on_chunk, progress=progress)
+
     def ensure(
         self,
         specs: Optional[Sequence[ConfigSpec]] = None,
         progress: bool = False,
+        jobs: Optional[int] = None,
     ) -> List[SweepRecord]:
         """Evaluate any missing (benchmark, spec) pairs; return all records.
 
         With a warm cache this is pure lookup.  ``progress`` prints a
-        one-line-per-benchmark trace to stderr for long runs.
+        one-line-per-benchmark trace to stderr for long runs.  ``jobs``
+        overrides the sweep's default worker count for this call: 1
+        evaluates serially in-process, >1 fans work out over a process
+        pool (see :mod:`repro.experiments.parallel`); both produce the
+        same records and a byte-identical cache file.
         """
         specs = list(specs) if specs is not None else paper_grid(self.profile)
+        jobs = self.jobs if jobs is None else jobs
+        work = [
+            (benchmark, missing)
+            for benchmark in self.benchmarks
+            if (missing := self._missing(benchmark, specs))
+        ]
+        if work:
+            if jobs is not None and jobs <= 1:
+                self._evaluate_serial(work, progress)
+            else:
+                self._evaluate_parallel(work, jobs, progress)
         wanted: List[SweepRecord] = []
         for benchmark in self.benchmarks:
-            missing = [
-                spec
-                for spec in specs
-                if any(
-                    (benchmark, self.profile.name, _spec_key(spec), nominal)
-                    not in self._records
-                    for nominal in self.mpl_nominals
-                )
-            ]
-            if missing:
-                branch_trace, _ = self._traces[benchmark]
-                baselines = self.baselines(benchmark)
-                started = time.time()
-                fresh: List[SweepRecord] = []
-                for spec in missing:
-                    fresh.extend(
-                        evaluate_spec(branch_trace, baselines, spec, self.profile)
-                    )
-                for record in fresh:
-                    self._records[self._record_key(record)] = record
-                self._append_cache(fresh)
-                if progress:
-                    print(
-                        f"[sweep:{self.profile.name}] {benchmark}: "
-                        f"{len(missing)} configs in {time.time() - started:.1f}s",
-                        file=sys.stderr,
-                    )
             for spec in specs:
                 for nominal in self.mpl_nominals:
                     key = (benchmark, self.profile.name, _spec_key(spec), nominal)

@@ -91,16 +91,47 @@ def write_trace_binary(trace: BranchTrace, path: PathLike) -> None:
         handle.write(np.ascontiguousarray(trace.array, dtype="<i8").tobytes())
 
 
+def _read_binary_header(handle, path: Path, file_size: int) -> tuple:
+    """Validate and read the binary header; return (name, length).
+
+    Every declared size is checked against the bytes actually present so
+    a corrupt header raises :class:`TraceFormatError` instead of driving
+    a huge allocation (``MemoryError``) or a garbage payload.
+    """
+    magic = handle.read(len(BINARY_MAGIC))
+    if magic != BINARY_MAGIC:
+        raise TraceFormatError(f"{path}: bad magic {magic!r}")
+    name_len_bytes = handle.read(4)
+    if len(name_len_bytes) != 4:
+        raise TraceFormatError(f"{path}: truncated header")
+    name_len = int.from_bytes(name_len_bytes, "little")
+    if name_len > file_size - handle.tell():
+        raise TraceFormatError(
+            f"{path}: declared name length {name_len} exceeds file size {file_size}"
+        )
+    try:
+        name = handle.read(name_len).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(f"{path}: undecodable trace name: {exc}") from None
+    length_bytes = handle.read(8)
+    if len(length_bytes) != 8:
+        raise TraceFormatError(f"{path}: truncated header")
+    length = int.from_bytes(length_bytes, "little")
+    remaining = file_size - handle.tell()
+    if length * 8 > remaining:
+        raise TraceFormatError(
+            f"{path}: declared length {length} needs {length * 8} payload bytes "
+            f"but only {remaining} remain"
+        )
+    return name, length
+
+
 def read_trace_binary(path: PathLike) -> BranchTrace:
     """Read a binary-format trace written by :func:`write_trace_binary`."""
     path = Path(path)
+    file_size = path.stat().st_size
     with path.open("rb") as handle:
-        magic = handle.read(len(BINARY_MAGIC))
-        if magic != BINARY_MAGIC:
-            raise TraceFormatError(f"{path}: bad magic {magic!r}")
-        name_len = int.from_bytes(handle.read(4), "little")
-        name = handle.read(name_len).decode("utf-8")
-        length = int.from_bytes(handle.read(8), "little")
+        name, length = _read_binary_header(handle, path, file_size)
         payload = handle.read(length * 8)
         if len(payload) != length * 8:
             raise TraceFormatError(f"{path}: truncated payload")
@@ -136,13 +167,9 @@ def stream_trace(path: PathLike, chunk_size: int = 1 << 16) -> Iterator[np.ndarr
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
     path = Path(path)
+    file_size = path.stat().st_size
     with path.open("rb") as handle:
-        magic = handle.read(len(BINARY_MAGIC))
-        if magic != BINARY_MAGIC:
-            raise TraceFormatError(f"{path}: bad magic {magic!r}")
-        name_len = int.from_bytes(handle.read(4), "little")
-        handle.read(name_len)
-        length = int.from_bytes(handle.read(8), "little")
+        _, length = _read_binary_header(handle, path, file_size)
         remaining = length
         while remaining > 0:
             take = min(chunk_size, remaining)

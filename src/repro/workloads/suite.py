@@ -74,7 +74,12 @@ def load_traces(
     branch_path = cache_dir / f"{name}-{fingerprint}.btrace"
     callloop_path = cache_dir / f"{name}-{fingerprint}.cloop"
     if branch_path.exists() and callloop_path.exists():
-        return read_trace_binary(branch_path), CallLoopTrace.load(callloop_path)
+        try:
+            return read_trace_binary(branch_path), CallLoopTrace.load(callloop_path)
+        except ValueError:
+            # A corrupt cache entry (TraceFormatError or a torn .cloop) is
+            # a miss: re-run the workload and overwrite the bad files.
+            pass
     branch_trace, call_loop = wl.run(scale)
     cache_dir.mkdir(parents=True, exist_ok=True)
     write_trace_binary(branch_trace, branch_path)

@@ -1,0 +1,159 @@
+"""Parallel sweep executor tests: equivalence, ordering, jobs resolution."""
+
+import json
+
+import pytest
+
+from repro.core.config import AnalyzerKind, ModelKind
+from repro.experiments.config_space import ConfigSpec, SuiteProfile
+from repro.experiments.parallel import (
+    DEFAULT_CHUNK_SIZE,
+    ParallelSweepExecutor,
+    resolve_jobs,
+)
+from repro.experiments.sweep import Sweep
+
+TINY = SuiteProfile(
+    name="tiny",
+    workload_scale=0.08,
+    thresholds=(0.6,),
+    deltas=(0.05,),
+    cw_nominals=(500, 5_000),
+)
+
+SPECS = [
+    ConfigSpec("constant", 500, ModelKind.UNWEIGHTED, AnalyzerKind.THRESHOLD, 0.6),
+    ConfigSpec("adaptive", 500, ModelKind.UNWEIGHTED, AnalyzerKind.THRESHOLD, 0.6),
+    ConfigSpec("constant", 5_000, ModelKind.WEIGHTED, AnalyzerKind.THRESHOLD, 0.6),
+    ConfigSpec("adaptive", 5_000, ModelKind.UNWEIGHTED, AnalyzerKind.AVERAGE, 0.05),
+]
+
+MPLS = (1_000, 10_000)
+BENCHMARKS = ["db", "jlex"]
+CACHE_NAME = "sweep-tiny.jsonl"
+
+
+def _run_sweep(cache_dir, jobs):
+    sweep = Sweep(TINY, cache_dir=cache_dir, benchmarks=BENCHMARKS, mpl_nominals=MPLS)
+    records = sweep.ensure(SPECS, jobs=jobs)
+    return records, (cache_dir / CACHE_NAME).read_bytes()
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) >= 1
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestChunking:
+    def test_explicit_chunk_size(self, tmp_path):
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=2, chunk_size=3)
+        chunks = executor._chunk_specs(SPECS)
+        assert [len(c) for c in chunks] == [3, 1]
+        assert [spec for chunk in chunks for spec in chunk] == SPECS
+
+    def test_auto_chunk_size_capped(self, tmp_path):
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=1)
+        many = SPECS * 30
+        chunks = executor._chunk_specs(many)
+        assert all(len(c) <= DEFAULT_CHUNK_SIZE for c in chunks)
+        assert sum(len(c) for c in chunks) == len(many)
+
+
+class TestSerialParallelEquivalence:
+    def test_records_and_cache_bytes_identical(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial_records, serial_cache = _run_sweep(serial_dir, jobs=1)
+        parallel_records, parallel_cache = _run_sweep(parallel_dir, jobs=2)
+        assert parallel_records == serial_records
+        assert parallel_cache == serial_cache
+
+    def test_parallel_run_warms_cache(self, tmp_path):
+        first, cache_bytes = _run_sweep(tmp_path, jobs=2)
+        fresh = Sweep(
+            TINY, cache_dir=tmp_path, benchmarks=BENCHMARKS, mpl_nominals=MPLS
+        )
+        assert len(fresh.records()) == len(first)
+        again = fresh.ensure(SPECS, jobs=2)
+        assert again == first
+        # Nothing was missing, so the cache file must be untouched.
+        assert (tmp_path / CACHE_NAME).read_bytes() == cache_bytes
+
+    def test_parallel_completes_interrupted_cache(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        serial_records, serial_cache = _run_sweep(serial_dir, jobs=1)
+        # Simulate a killed run: keep only a prefix of whole cache lines.
+        partial_dir = tmp_path / "partial"
+        Sweep(TINY, cache_dir=partial_dir, benchmarks=BENCHMARKS, mpl_nominals=MPLS)
+        lines = serial_cache.decode("utf-8").splitlines(keepends=True)
+        (partial_dir / CACHE_NAME).write_text("".join(lines[:3]), encoding="utf-8")
+        resumed = Sweep(
+            TINY, cache_dir=partial_dir, benchmarks=BENCHMARKS, mpl_nominals=MPLS
+        )
+        records = resumed.ensure(SPECS, jobs=2)
+        assert records == serial_records
+
+    def test_torn_cache_tail_recovered_in_parallel(self, tmp_path):
+        _run_sweep(tmp_path, jobs=1)
+        cache = tmp_path / CACHE_NAME
+        with cache.open("a") as handle:
+            handle.write('{"benchmark": "db", "trunc')
+        fresh = Sweep(
+            TINY, cache_dir=tmp_path, benchmarks=BENCHMARKS, mpl_nominals=MPLS
+        )
+        records = fresh.ensure(SPECS, jobs=2)
+        assert len(records) == len(SPECS) * len(MPLS) * len(BENCHMARKS)
+
+    def test_cache_rows_are_valid_jsonl(self, tmp_path):
+        _, cache_bytes = _run_sweep(tmp_path, jobs=2)
+        rows = [json.loads(line) for line in cache_bytes.decode().splitlines()]
+        assert all("fingerprint" in row for row in rows)
+        assert len(rows) == len(SPECS) * len(MPLS) * len(BENCHMARKS)
+
+
+class TestExecutorOrdering:
+    def test_chunks_delivered_in_submission_order(self, tmp_path):
+        # Warm the trace cache so workers hit disk, then drive the
+        # executor directly with single-spec chunks.
+        sweep = Sweep(TINY, cache_dir=tmp_path, benchmarks=BENCHMARKS, mpl_nominals=MPLS)
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=2, chunk_size=1)
+        seen = []
+
+        def on_chunk(benchmark, records, benchmark_finished):
+            seen.append((benchmark, [r.cw_nominal for r in records], benchmark_finished))
+
+        work = [(name, SPECS) for name in BENCHMARKS]
+        total = executor.run(work, on_chunk, progress=False)
+        assert total == len(SPECS) * len(BENCHMARKS)
+        benchmarks_seen = [benchmark for benchmark, _, _ in seen]
+        assert benchmarks_seen == sorted(
+            benchmarks_seen, key=BENCHMARKS.index
+        )
+        finished_flags = [done for _, _, done in seen]
+        assert finished_flags.count(True) == len(BENCHMARKS)
+        # The last chunk of each benchmark carries the finished flag.
+        assert finished_flags[len(SPECS) - 1] and finished_flags[-1]
+
+    def test_empty_work_is_noop(self, tmp_path):
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=2)
+        calls = []
+        assert executor.run([], calls.append, progress=True) == 0
+        assert calls == []

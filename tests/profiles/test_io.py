@@ -89,6 +89,63 @@ class TestBinaryFormat:
         assert read_trace_binary(path).name == "bénch"
 
 
+class TestCorruptBinaryHeaders:
+    """A malformed header must raise TraceFormatError, never MemoryError."""
+
+    def _corrupt_length(self, trace, tmp_path, declared):
+        path = tmp_path / "t.btrace"
+        write_trace_binary(trace, path)
+        data = bytearray(path.read_bytes())
+        name_len = int.from_bytes(data[8:12], "little")
+        offset = 12 + name_len
+        data[offset : offset + 8] = declared.to_bytes(8, "little")
+        path.write_bytes(bytes(data))
+        return path
+
+    def test_oversized_declared_length(self, trace, tmp_path):
+        # The seed bug: a huge declared length drove an 8-exabyte read.
+        path = self._corrupt_length(trace, tmp_path, 0x0C00_0000_0000_0001)
+        with pytest.raises(TraceFormatError, match="declared length"):
+            read_trace_binary(path)
+
+    def test_slightly_oversized_declared_length(self, trace, tmp_path):
+        path = self._corrupt_length(trace, tmp_path, len(trace) + 1)
+        with pytest.raises(TraceFormatError):
+            read_trace_binary(path)
+
+    def test_oversized_name_length(self, tmp_path):
+        path = tmp_path / "n.btrace"
+        path.write_bytes(b"RPTRACE1" + (0xFFFF_FFFF).to_bytes(4, "little"))
+        with pytest.raises(TraceFormatError, match="name length"):
+            read_trace_binary(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "h.btrace"
+        path.write_bytes(b"RPTRACE1\x02")
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            read_trace_binary(path)
+
+    def test_header_missing_length_field(self, tmp_path):
+        path = tmp_path / "h2.btrace"
+        path.write_bytes(b"RPTRACE1" + (2).to_bytes(4, "little") + b"ab\x01\x02")
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            read_trace_binary(path)
+
+    def test_undecodable_name(self, tmp_path):
+        path = tmp_path / "u.btrace"
+        path.write_bytes(
+            b"RPTRACE1" + (2).to_bytes(4, "little") + b"\xff\xfe"
+            + (0).to_bytes(8, "little")
+        )
+        with pytest.raises(TraceFormatError, match="undecodable"):
+            read_trace_binary(path)
+
+    def test_stream_oversized_declared_length(self, trace, tmp_path):
+        path = self._corrupt_length(trace, tmp_path, 1 << 56)
+        with pytest.raises(TraceFormatError, match="declared length"):
+            list(stream_trace(path))
+
+
 class TestDispatchAndStreaming:
     def test_extension_dispatch(self, trace, tmp_path):
         binary = tmp_path / "a.btrace"

@@ -98,3 +98,42 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "dynamic branches" in out
         assert "@" in out
+
+
+class TestSweep:
+    def _tiny_profile(self, monkeypatch):
+        from repro.experiments import config_space
+
+        tiny = config_space.SuiteProfile(
+            name="tinycli",
+            workload_scale=0.08,
+            thresholds=(0.6,),
+            deltas=(0.05,),
+            cw_nominals=(500,),
+        )
+        monkeypatch.setitem(config_space.PROFILES, "tinycli", tiny)
+        return tiny
+
+    def test_parallel_sweep_writes_cache(self, capsys, tmp_path, monkeypatch):
+        self._tiny_profile(monkeypatch)
+        capsys.readouterr()
+        code = main(
+            ["sweep", "--profile", "tinycli", "--jobs", "2",
+             "--benchmarks", "db", "--cache-dir", str(tmp_path), "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep 'tinycli'" in out
+        assert "jobs=2" in out
+        assert (tmp_path / "sweep-tinycli.jsonl").exists()
+
+    def test_warm_rerun_is_lookup(self, capsys, tmp_path, monkeypatch):
+        self._tiny_profile(monkeypatch)
+        argv = ["sweep", "--profile", "tinycli", "--benchmarks", "db",
+                "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(argv + ["--jobs", "2"]) == 0
+        cache_bytes = (tmp_path / "sweep-tinycli.jsonl").read_bytes()
+        capsys.readouterr()
+        assert main(argv + ["--jobs", "1"]) == 0
+        # Fully warm: nothing recomputed, cache untouched.
+        assert (tmp_path / "sweep-tinycli.jsonl").read_bytes() == cache_bytes

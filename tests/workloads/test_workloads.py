@@ -115,6 +115,21 @@ class TestCaching:
         assert first[0] == second[0]
         assert list(first[1]) == list(second[1])
 
+    def test_corrupt_cached_trace_regenerated(self, tmp_path):
+        first = load_traces("db", scale=SCALE, cache_dir=tmp_path)
+        btrace = next(tmp_path.glob("db-*.btrace"))
+        # Corrupt the declared-length field the way the seed cache was:
+        # keep the magic/name intact, declare an absurd payload size.
+        data = bytearray(btrace.read_bytes())
+        name_len = int.from_bytes(data[8:12], "little")
+        offset = 12 + name_len
+        data[offset : offset + 8] = (0x0C00_0000_0000_0001).to_bytes(8, "little")
+        btrace.write_bytes(bytes(data))
+        healed = load_traces("db", scale=SCALE, cache_dir=tmp_path)
+        assert healed[0] == first[0]
+        # The bad file was overwritten with a valid one.
+        assert load_traces("db", scale=SCALE, cache_dir=tmp_path)[0] == first[0]
+
 
 class TestScaling:
     @pytest.mark.parametrize("name", ["compress", "jess", "mpegaudio"])
