@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Null-path detector benchmark guard.
+
+Measures the optimized engine with observability *disabled*
+(``observer=None`` — the default every caller gets) and compares a
+calibration-normalized score against a committed baseline, so the check
+is meaningful across machines: raw seconds divide by the time the same
+interpreter takes for a fixed pure-Python workload, cancelling
+host-speed differences.
+
+Two modes::
+
+    # record a new baseline (committed as benchmarks/BENCH_*.json)
+    PYTHONPATH=src python benchmarks/check_regression.py --record
+
+    # CI guard: fail (exit 1) if the aggregate normalized score
+    # regressed more than --tolerance vs the newest committed baseline
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+The guarded quantity is the *aggregate* normalized score (sum over the
+config matrix of per-config best-of-``--repeats`` times); per-config
+scores are recorded and printed but not individually gated — they are
+noisier than the aggregate on shared CI hardware.
+"""
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core import DetectorConfig, ModelKind, TrailingPolicy
+from repro.core.engine import run_detector
+from repro.obs.manifest import environment_info
+from repro.profiles.synthetic import SyntheticTraceBuilder
+
+BASELINE_VERSION = 1
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_TOLERANCE = 0.10
+
+#: Same model x policy matrix as test_perf_detector.py.
+CONFIGS = {
+    "unweighted-constant": DetectorConfig(cw_size=250, threshold=0.6),
+    "unweighted-adaptive": DetectorConfig(
+        cw_size=250, trailing=TrailingPolicy.ADAPTIVE, threshold=0.6
+    ),
+    "weighted-constant": DetectorConfig(
+        cw_size=250, model=ModelKind.WEIGHTED, threshold=0.6
+    ),
+    "weighted-adaptive": DetectorConfig(
+        cw_size=250,
+        model=ModelKind.WEIGHTED,
+        trailing=TrailingPolicy.ADAPTIVE,
+        threshold=0.6,
+    ),
+}
+
+
+def bench_trace():
+    builder = SyntheticTraceBuilder(seed=17, name="bench")
+    for _ in range(5):
+        builder.add_transition(400)
+        builder.add_phase(6_000, body_size=14, noise_rate=0.01)
+    builder.add_transition(400)
+    return builder.build()[0]
+
+
+def _calibration_workload():
+    # Fixed pure-Python work; its wall time is the unit every detector
+    # time divides by.  Must never change once baselines are recorded.
+    total = 0
+    for i in range(1_500_000):
+        total += i & 1023
+    return total
+
+
+def _timed(func):
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def measure(repeats):
+    trace = bench_trace()
+    # Interleave calibration samples with the detector samples so slow
+    # drift (frequency scaling, co-tenant load) hits both sides of the
+    # ratio; best-of-N on each side then discards transient spikes.
+    cal_samples = []
+    det_samples = {label: [] for label in CONFIGS}
+    _calibration_workload()  # warm up the interpreter before timing
+    run_detector(trace, next(iter(CONFIGS.values())))
+    for _ in range(repeats):
+        cal_samples.append(_timed(_calibration_workload))
+        for label, config in CONFIGS.items():
+            det_samples[label].append(
+                _timed(lambda c=config: run_detector(trace, c))
+            )
+    calibration = min(cal_samples)
+    configs = {}
+    for label in CONFIGS:
+        seconds = min(det_samples[label])
+        configs[label] = {
+            "seconds": round(seconds, 6),
+            "normalized": round(seconds / calibration, 4),
+        }
+    return {
+        "version": BASELINE_VERSION,
+        "kind": "bench-baseline",
+        "benchmark": "perf_detector_null_path",
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "repeats": repeats,
+        "elements": len(trace),
+        "calibration_seconds": round(calibration, 6),
+        "configs": configs,
+        "aggregate_normalized": round(
+            sum(entry["normalized"] for entry in configs.values()), 4
+        ),
+        "environment": environment_info(),
+    }
+
+
+def latest_baseline():
+    candidates = sorted(BENCH_DIR.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def _print_report(result):
+    print(f"calibration: {result['calibration_seconds']:.4f}s "
+          f"(repeats={result['repeats']})")
+    for label, entry in result["configs"].items():
+        print(f"  {label:22s} {entry['seconds']:.4f}s "
+              f"normalized={entry['normalized']:.4f}")
+    print(f"aggregate normalized score: {result['aggregate_normalized']:.4f}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="write a new baseline instead of checking")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="baseline path for --record "
+                             "(default: benchmarks/BENCH_<date>_perf_detector.json)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline to check against "
+                             "(default: newest benchmarks/BENCH_*.json)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression (default 0.10)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N repetitions per measurement")
+    args = parser.parse_args(argv)
+
+    result = measure(args.repeats)
+    _print_report(result)
+
+    if args.record:
+        out = args.out
+        if out is None:
+            stamp = result["created_at"][:10]
+            out = BENCH_DIR / f"BENCH_{stamp}_perf_detector.json"
+        out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"baseline recorded: {out}")
+        return 0
+
+    baseline_path = args.baseline or latest_baseline()
+    if baseline_path is None or not baseline_path.exists():
+        print("error: no baseline found (record one with --record)",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if baseline.get("version", 0) != BASELINE_VERSION:
+        print(f"error: {baseline_path} has unsupported version "
+              f"{baseline.get('version')}", file=sys.stderr)
+        return 2
+    reference = float(baseline["aggregate_normalized"])
+    current = float(result["aggregate_normalized"])
+    change = (current - reference) / reference
+    print(f"baseline {baseline_path.name}: aggregate {reference:.4f} "
+          f"(recorded {baseline.get('created_at')})")
+    print(f"change: {change:+.1%} (tolerance {args.tolerance:+.0%})")
+    if change > args.tolerance:
+        print(f"FAIL: null-path detector benchmark regressed {change:+.1%} "
+              f"(> {args.tolerance:.0%}) vs {baseline_path.name}",
+              file=sys.stderr)
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

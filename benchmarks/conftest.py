@@ -22,6 +22,10 @@ import pytest
 
 from repro.experiments.config_space import PROFILES, paper_grid
 from repro.experiments.sweep import Sweep
+from repro.obs.logsetup import setup_logging
+
+# Route the sweep's progress lines (repro.sweep logger) to stderr.
+setup_logging()
 
 PROFILE_NAME = os.environ.get("REPRO_PROFILE", "default")
 RESULTS_DIR = Path(__file__).resolve().parents[1] / "results" / PROFILE_NAME

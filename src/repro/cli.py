@@ -9,6 +9,15 @@ Subcommands::
     repro characteristics                   # Table 1(a) for the suite
     repro sweep --profile quick --jobs 4    # (re)fill the sweep record cache
     repro generate --profile default        # regenerate all tables/figures
+    repro obs summary                       # render a sweep's run manifest
+    repro obs tail <events.jsonl>           # last events of a detector trace
+    repro obs diff <a.json> <b.json>        # compare two run manifests
+
+Global ``--verbose``/``--quiet`` control the ``repro`` logger level
+(progress lines go to stderr at INFO).  ``detect``/``score`` accept
+``--events FILE`` to record the detector's structured event stream as
+JSONL; ``sweep --profiling`` samples wall time and memory per chunk.
+See ``docs/observability.md``.
 
 Run ``repro <subcommand> --help`` for each command's options.
 """
@@ -16,6 +25,7 @@ Run ``repro <subcommand> --help`` for each command's options.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -31,6 +41,8 @@ from repro.core.config import (
 )
 from repro.core.engine import run_detector
 from repro.experiments.report import render_table
+from repro.obs.bus import JsonlSink
+from repro.obs.logsetup import setup_logging
 from repro.profiles.callloop import CallLoopTrace
 from repro.profiles.io import read_trace, write_trace_binary
 from repro.scoring import score_states
@@ -53,6 +65,10 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--threshold", type=float, default=0.5)
     parser.add_argument("--delta", type=float, default=0.05)
+    parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="record the detector's event stream to FILE as JSONL",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> DetectorConfig:
@@ -99,10 +115,20 @@ def cmd_oracle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_with_events(trace, config, events_path):
+    """Run the engine, optionally recording its event stream as JSONL."""
+    if events_path is None:
+        return run_detector(trace, config)
+    with JsonlSink(events_path) as sink:
+        result = run_detector(trace, config, observer=sink)
+    print(f"events: {sink.emitted} -> {events_path}")
+    return result
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     trace = read_trace(args.trace)
     config = _config_from_args(args)
-    result = run_detector(trace, config)
+    result = _run_with_events(trace, config, args.events)
     print(f"detector: {config.describe()}")
     print(f"{len(result.detected_phases)} phases over {len(trace):,} elements")
     for phase in result.detected_phases:
@@ -117,7 +143,7 @@ def cmd_score(args: argparse.Namespace) -> int:
     branch_trace, call_loop = load_traces(args.workload, scale=args.scale)
     oracle = solve_baseline(call_loop, args.mpl)
     config = _config_from_args(args)
-    result = run_detector(branch_trace, config)
+    result = _run_with_events(branch_trace, config, args.events)
     plain = score_states(result.states, oracle.states())
     corrected = score_states(
         result.corrected_states(), oracle.states(), detected_phases=result.corrected_phases()
@@ -174,13 +200,55 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cache_dir = Path(args.cache_dir) if args.cache_dir is not None else None
     sweep = Sweep(profile, cache_dir=cache_dir, benchmarks=benchmarks)
     records = sweep.ensure(
-        paper_grid(profile), progress=not args.quiet, jobs=jobs
+        paper_grid(profile), progress=not args.quiet, jobs=jobs,
+        profiling=args.profiling,
     )
     print(
         f"sweep '{profile.name}': {len(records)} records over "
         f"{len(sweep.benchmarks)} benchmarks (jobs={jobs})"
     )
     print(f"cache: {sweep.cache_path}")
+    print(f"manifest: {sweep.manifest_path}")
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.bus import read_events
+    from repro.obs.manifest import (
+        diff_manifests,
+        load_manifest,
+        manifest_path_for,
+        summarize_manifest,
+    )
+
+    def resolve_manifest(path_arg: Optional[str]) -> Path:
+        if path_arg is not None:
+            path = Path(path_arg)
+            if path.suffix == ".jsonl":
+                return manifest_path_for(path)
+            return path
+        from repro.workloads.suite import DEFAULT_CACHE_DIR
+
+        cache_dir = (
+            Path(args.cache_dir) if args.cache_dir is not None else DEFAULT_CACHE_DIR
+        )
+        return cache_dir / f"sweep-{args.profile}.manifest.json"
+
+    if args.obs_command == "summary":
+        path = resolve_manifest(args.path)
+        if not path.exists():
+            print(f"no run manifest at {path} (run `repro sweep` first)",
+                  file=sys.stderr)
+            return 1
+        print(summarize_manifest(load_manifest(path)))
+        return 0
+    if args.obs_command == "tail":
+        events = list(read_events(args.trace, validate=args.validate))
+        for event in events[-args.count:] if args.count > 0 else events:
+            print(json.dumps(event, separators=(",", ":")))
+        return 0
+    # diff
+    print(diff_manifests(load_manifest(args.old), load_manifest(args.new)))
     return 0
 
 
@@ -204,6 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more logging (DEBUG); repeatable",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0, dest="quiet_global",
+        help="less logging (warnings only)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -268,7 +344,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--quiet", action="store_true", help="suppress progress on stderr"
     )
+    sweep_parser.add_argument(
+        "--profiling", action="store_true",
+        help="sample wall time and tracemalloc peak per work chunk",
+    )
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="inspect run manifests and event traces"
+    )
+    obs_subparsers = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    obs_summary = obs_subparsers.add_parser(
+        "summary", help="render a sweep's run manifest"
+    )
+    obs_summary.add_argument(
+        "path", nargs="?", default=None,
+        help="a .manifest.json (or its sweep .jsonl cache); "
+             "default: resolved from --profile/--cache-dir",
+    )
+    obs_summary.add_argument("--profile", default="default")
+    obs_summary.add_argument("--cache-dir", default=None)
+    obs_summary.set_defaults(handler=cmd_obs)
+
+    obs_tail = obs_subparsers.add_parser(
+        "tail", help="print the last events of a JSONL event trace"
+    )
+    obs_tail.add_argument("trace", help="an events .jsonl file")
+    obs_tail.add_argument(
+        "-n", "--count", type=int, default=10, help="events to print (0 = all)"
+    )
+    obs_tail.add_argument(
+        "--validate", action="store_true", help="check events against the schema"
+    )
+    obs_tail.set_defaults(handler=cmd_obs)
+
+    obs_diff = obs_subparsers.add_parser(
+        "diff", help="compare two run manifests"
+    )
+    obs_diff.add_argument("old", help="baseline manifest .json")
+    obs_diff.add_argument("new", help="comparison manifest .json")
+    obs_diff.set_defaults(handler=cmd_obs)
 
     generate_parser = subparsers.add_parser(
         "generate", help="regenerate every table and figure"
@@ -288,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(verbosity=args.verbose - args.quiet_global)
     return args.handler(args)
 
 

@@ -60,6 +60,16 @@ class Analyzer:
 
     def process_value(self, similarity: float, current_state: PhaseState) -> PhaseState:
         """Decide the new state for ``similarity`` given the current state."""
+        bar = self.effective_bar(current_state)
+        return PhaseState.PHASE if similarity >= bar else PhaseState.TRANSITION
+
+    def effective_bar(self, current_state: PhaseState) -> float:
+        """The threshold in force for the next decision.
+
+        This is the diagnostic the ``decision`` observability event
+        records: what value the similarity had to clear, *before* the
+        decision mutates any running statistics.
+        """
         raise NotImplementedError
 
     def reset_stats(self, seed: float) -> None:
@@ -91,8 +101,8 @@ class ThresholdAnalyzer(Analyzer):
         super().__init__()
         self.threshold = threshold
 
-    def process_value(self, similarity: float, current_state: PhaseState) -> PhaseState:
-        return PhaseState.PHASE if similarity >= self.threshold else PhaseState.TRANSITION
+    def effective_bar(self, current_state: PhaseState) -> float:
+        return self.threshold
 
     @property
     def confidence(self) -> float:
@@ -119,12 +129,10 @@ class AverageAnalyzer(Analyzer):
         self.delta = delta
         self.enter_threshold = enter_threshold
 
-    def process_value(self, similarity: float, current_state: PhaseState) -> PhaseState:
+    def effective_bar(self, current_state: PhaseState) -> float:
         if current_state.is_phase() and self.stats.count:
-            bar = self.stats.mean - self.delta
-        else:
-            bar = self.enter_threshold
-        return PhaseState.PHASE if similarity >= bar else PhaseState.TRANSITION
+            return self.stats.mean - self.delta
+        return self.enter_threshold
 
     @property
     def confidence(self) -> float:

@@ -78,12 +78,21 @@ class DetectionResult:
 
 
 class PhaseDetector:
-    """Online phase detector: one Model plus one Analyzer (Figure 3)."""
+    """Online phase detector: one Model plus one Analyzer (Figure 3).
 
-    def __init__(self, config: DetectorConfig) -> None:
+    ``observer`` is an optional observability sink (anything with an
+    ``emit(event: dict)`` method — see :mod:`repro.obs`).  When set,
+    the detector emits the structured per-step event stream documented
+    in ``docs/observability.md``; when None (the default) no events are
+    built at all.
+    """
+
+    def __init__(self, config: DetectorConfig, observer=None) -> None:
         self.config = config
         self.model: SimilarityModel = build_model(config)
         self.analyzer: Analyzer = build_analyzer(config)
+        self.observer = observer
+        self.model.observer = observer  # windows emit tw_resize/window_flush
         self.state = PhaseState.TRANSITION
         self._adaptive = config.trailing is TrailingPolicy.ADAPTIVE
         # Per-phase records built up during streaming.
@@ -100,12 +109,35 @@ class PhaseDetector:
         model = self.model
         model.push(elements)
 
+        observer = self.observer
         if not model.filled:
             new_state = PhaseState.TRANSITION
             similarity = None
         else:
             similarity = model.similarity()
+            if observer is not None:
+                step = model.consumed
+                observer.emit(
+                    {
+                        "ev": "similarity",
+                        "step": step,
+                        "value": similarity,
+                        "cw": model.cw_length,
+                        "tw": model.tw_length,
+                    }
+                )
+                bar = self.analyzer.effective_bar(self.state)
             new_state = self.analyzer.process_value(similarity, self.state)
+            if observer is not None:
+                observer.emit(
+                    {
+                        "ev": "decision",
+                        "step": step,
+                        "state": "P" if new_state.is_phase() else "T",
+                        "value": similarity,
+                        "bar": bar,
+                    }
+                )
 
         if self.state.is_transition() and new_state.is_phase():
             # Start phase: anchor the TW and reset analyzer statistics.
@@ -115,6 +147,16 @@ class PhaseDetector:
             self.analyzer.reset_stats(similarity if similarity is not None else 0.0)
             detected_start = model.consumed - len(elements)
             self._open_phase = (detected_start, min(anchor_abs, detected_start))
+            if observer is not None:
+                observer.emit(
+                    {
+                        "ev": "phase_enter",
+                        "step": model.consumed,
+                        "detected_start": detected_start,
+                        "corrected_start": min(anchor_abs, detected_start),
+                        "anchor": anchor_abs,
+                    }
+                )
         elif self.state.is_phase() and new_state.is_transition():
             # End phase: record it (while the stats are live), then
             # flush the windows and reseed the CW.
@@ -138,6 +180,17 @@ class PhaseDetector:
                 DetectedPhase(detected_start, corrected_start, end, mean)
             )
             self._open_phase = None
+            if self.observer is not None:
+                self.observer.emit(
+                    {
+                        "ev": "phase_exit",
+                        "step": self.model.consumed,
+                        "detected_start": detected_start,
+                        "corrected_start": corrected_start,
+                        "end": end,
+                        "mean_similarity": mean,
+                    }
+                )
 
     def finish(self, total_elements: int) -> List[DetectedPhase]:
         """Close any phase still open at end of trace and return all phases."""
@@ -155,6 +208,16 @@ class PhaseDetector:
         skip = self.config.skip_factor
         states = np.zeros(total, dtype=bool)
         similarities = np.full(total, np.nan) if record_similarity else None
+        if self.observer is not None:
+            self.observer.emit(
+                {
+                    "ev": "run_begin",
+                    "step": 0,
+                    "trace": trace.name,
+                    "elements": total,
+                    "config": self.config.describe(),
+                }
+            )
         for start in range(0, total, skip):
             group = data[start : start + skip].tolist()
             new_state = self.process_profile(group)
@@ -163,6 +226,15 @@ class PhaseDetector:
             if record_similarity and self.model.filled:
                 similarities[start : start + len(group)] = self.model.similarity()
         phases = self.finish(total)
+        if self.observer is not None:
+            self.observer.emit(
+                {
+                    "ev": "run_end",
+                    "step": total,
+                    "phases": len(phases),
+                    "elements": total,
+                }
+            )
         return DetectionResult(
             states=states,
             detected_phases=phases,
@@ -171,6 +243,6 @@ class PhaseDetector:
         )
 
 
-def detect(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
+def detect(trace: BranchTrace, config: DetectorConfig, observer=None) -> DetectionResult:
     """Convenience one-shot: run a fresh detector for ``config`` over ``trace``."""
-    return PhaseDetector(config).run(trace)
+    return PhaseDetector(config, observer=observer).run(trace)

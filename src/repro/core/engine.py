@@ -39,10 +39,30 @@ from repro.core.detector import DetectedPhase, DetectionResult
 from repro.profiles.trace import BranchTrace
 
 
-def run_detector(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
-    """Run ``config`` over ``trace`` with the optimized engine."""
+def run_detector(
+    trace: BranchTrace, config: DetectorConfig, observer=None
+) -> DetectionResult:
+    """Run ``config`` over ``trace`` with the optimized engine.
+
+    ``observer`` is an optional observability sink (see
+    :mod:`repro.obs`); it receives the identical event stream the
+    reference :class:`~repro.core.detector.PhaseDetector` emits.  The
+    default ``None`` keeps the hot loop free of event construction —
+    the only added cost is one ``is not None`` test per step.
+    """
     total = int(trace.array.size)
     elements: List[int] = trace.array.tolist()
+    emit = observer.emit if observer is not None else None
+    if emit is not None:
+        emit(
+            {
+                "ev": "run_begin",
+                "step": 0,
+                "trace": trace.name,
+                "elements": total,
+                "config": config.describe(),
+            }
+        )
 
     cw_cap = config.cw_size
     tw_cap = config.effective_tw_size
@@ -190,6 +210,31 @@ def run_detector(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
                 new_in_phase = similarity >= (stat_total / stat_count) - delta
             else:
                 new_in_phase = similarity >= enter_threshold
+            if emit is not None:
+                emit(
+                    {
+                        "ev": "similarity",
+                        "step": consumed,
+                        "value": similarity,
+                        "cw": len(cw),
+                        "tw": len(tw),
+                    }
+                )
+                if threshold_analyzer:
+                    bar = threshold
+                elif in_phase and stat_count:
+                    bar = (stat_total / stat_count) - delta
+                else:
+                    bar = enter_threshold
+                emit(
+                    {
+                        "ev": "decision",
+                        "step": consumed,
+                        "state": "P" if new_in_phase else "T",
+                        "value": similarity,
+                        "bar": bar,
+                    }
+                )
 
         # ---- state transitions (Figure 3) --------------------------------------
         if not in_phase and new_in_phase:
@@ -211,6 +256,7 @@ def run_detector(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
                         break
                     index += 1
             anchor_abs = tw_start_abs + anchor
+            moved_total = 0
             if adaptive:
                 for _ in range(anchor):
                     dead = tw_popleft()
@@ -222,7 +268,8 @@ def run_detector(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
                         if dead in cw_counts:
                             shared -= 1
                 if resize_slide:
-                    for _ in range(min(anchor, len(cw) - 1)):
+                    moved_total = max(0, min(anchor, len(cw) - 1))
+                    for _ in range(moved_total):
                         moved = cw_popleft()
                         moved_count = cw_counts[moved] - 1
                         if moved_count:
@@ -244,16 +291,49 @@ def run_detector(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
             detected_start = consumed - group_len
             open_detected = detected_start
             open_corrected = anchor_abs if anchor_abs < detected_start else detected_start
+            if emit is not None:
+                if adaptive:
+                    emit(
+                        {
+                            "ev": "tw_resize",
+                            "step": consumed,
+                            "anchor": anchor,
+                            "dropped": anchor,
+                            "moved": moved_total,
+                            "policy": config.resize.value,
+                        }
+                    )
+                emit(
+                    {
+                        "ev": "phase_enter",
+                        "step": consumed,
+                        "detected_start": open_detected,
+                        "corrected_start": open_corrected,
+                        "anchor": anchor_abs,
+                    }
+                )
         elif in_phase and not new_in_phase:
             # End phase: record it, then flush windows and reseed the CW.
+            phase_mean = stat_total / stat_count if stat_count else 0.0
             phases.append(
                 DetectedPhase(
                     open_detected,
                     open_corrected,
                     consumed - group_len,
-                    stat_total / stat_count if stat_count else 0.0,
+                    phase_mean,
                 )
             )
+            if emit is not None:
+                emit(
+                    {
+                        "ev": "phase_exit",
+                        "step": consumed,
+                        "detected_start": open_detected,
+                        "corrected_start": open_corrected,
+                        "end": consumed - group_len,
+                        "mean_similarity": phase_mean,
+                    }
+                )
             open_detected = -1
             cw.clear()
             tw.clear()
@@ -271,6 +351,14 @@ def run_detector(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
                 cw_counts[element] = count
                 if count == 1:
                     distinct_cw += 1
+            if emit is not None:
+                emit(
+                    {
+                        "ev": "window_flush",
+                        "step": consumed,
+                        "seeded": min(group_len, cw_cap),
+                    }
+                )
             stat_total = 0.0
             stat_count = 0
         elif in_phase:
@@ -284,13 +372,30 @@ def run_detector(trace: BranchTrace, config: DetectorConfig) -> DetectionResult:
         position += skip
 
     if in_phase and open_detected >= 0:
+        phase_mean = stat_total / stat_count if stat_count else 0.0
         phases.append(
-            DetectedPhase(
-                open_detected,
-                open_corrected,
-                total,
-                stat_total / stat_count if stat_count else 0.0,
+            DetectedPhase(open_detected, open_corrected, total, phase_mean)
+        )
+        if emit is not None:
+            emit(
+                {
+                    "ev": "phase_exit",
+                    "step": total,
+                    "detected_start": open_detected,
+                    "corrected_start": open_corrected,
+                    "end": total,
+                    "mean_similarity": phase_mean,
+                }
             )
+
+    if emit is not None:
+        emit(
+            {
+                "ev": "run_end",
+                "step": total,
+                "phases": len(phases),
+                "elements": total,
+            }
         )
 
     state_array = np.frombuffer(bytes(states), dtype=np.uint8).astype(bool)

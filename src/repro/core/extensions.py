@@ -137,12 +137,10 @@ class EwmaAnalyzer(Analyzer):
         self.enter_threshold = enter_threshold
         self._ewma: Optional[float] = None
 
-    def process_value(self, similarity: float, current_state: PhaseState) -> PhaseState:
+    def effective_bar(self, current_state: PhaseState) -> float:
         if current_state.is_phase() and self._ewma is not None:
-            bar = self._ewma - self.delta
-        else:
-            bar = self.enter_threshold
-        return PhaseState.PHASE if similarity >= bar else PhaseState.TRANSITION
+            return self._ewma - self.delta
+        return self.enter_threshold
 
     def reset_stats(self, seed: float) -> None:
         super().reset_stats(seed)
@@ -178,9 +176,10 @@ class HysteresisAnalyzer(Analyzer):
         self.enter_threshold = enter_threshold
         self.exit_threshold = exit_threshold
 
-    def process_value(self, similarity: float, current_state: PhaseState) -> PhaseState:
-        bar = self.exit_threshold if current_state.is_phase() else self.enter_threshold
-        return PhaseState.PHASE if similarity >= bar else PhaseState.TRANSITION
+    def effective_bar(self, current_state: PhaseState) -> float:
+        if current_state.is_phase():
+            return self.exit_threshold
+        return self.enter_threshold
 
 
 def build_extended_detector(

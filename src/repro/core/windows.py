@@ -41,6 +41,9 @@ class WindowPair:
         self.filled = False
         #: True while the Adaptive TW is growing (in phase).
         self.growing = False
+        #: Optional observability sink (anything with ``emit(event)``);
+        #: None — the default — costs nothing beyond this attribute.
+        self.observer = None
 
     # -- hooks ---------------------------------------------------------------
 
@@ -125,6 +128,14 @@ class WindowPair:
         self._reset_aggregates()
         for element in seed_elements[-self.cw_capacity :]:
             self._cw_add(element)
+        if self.observer is not None:
+            self.observer.emit(
+                {
+                    "ev": "window_flush",
+                    "step": self.consumed,
+                    "seeded": min(len(seed_elements), self.cw_capacity),
+                }
+            )
 
     def _reset_aggregates(self) -> None:
         """Reset model aggregates after a flush (hook for subclasses)."""
@@ -181,16 +192,29 @@ class WindowPair:
         anchor_abs = self.tw_start_abs + anchor
         if not adaptive:
             return anchor_abs
+        moved = 0
         if resize_policy is ResizePolicy.SLIDE:
             # Drop TW[:anchor]; refill the TW from the CW's left so its
             # left boundary lands on the anchor point.  The CW shrinks
             # and refills as the stream continues.
             for _ in range(anchor):
                 self._tw_pop_left()
-            for _ in range(min(anchor, len(self._cw) - 1)):
+            moved = max(0, min(anchor, len(self._cw) - 1))
+            for _ in range(moved):
                 self._tw_add(self._cw_pop_left())
         else:  # MOVE: shrink the TW from the left; CW unaffected.
             for _ in range(anchor):
                 self._tw_pop_left()
         self.growing = True
+        if self.observer is not None:
+            self.observer.emit(
+                {
+                    "ev": "tw_resize",
+                    "step": self.consumed,
+                    "anchor": anchor,
+                    "dropped": anchor,
+                    "moved": moved,
+                    "policy": resize_policy.value,
+                }
+            )
         return anchor_abs

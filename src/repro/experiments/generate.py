@@ -96,7 +96,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     from repro.experiments.parallel import resolve_jobs
+    from repro.obs.logsetup import setup_logging
 
+    setup_logging(verbosity=-1 if args.quiet else 0)
     artifacts = generate_all(
         PROFILES[args.profile], out_dir=args.out, progress=not args.quiet,
         jobs=resolve_jobs(args.jobs),

@@ -9,11 +9,16 @@ This module measures the *detection* component in machine-independent
 units: how many similarity evaluations a configuration performs, how
 many window updates it does, and how much window state it keeps —
 the quantities that dominate a real deployment's cost, independent of
-the host. Wall-clock throughput is reported alongside.
+the host. Wall-clock throughput is reported alongside: every interval
+is measured on the monotonic ``time.perf_counter`` clock, and with
+``repeats > 1`` the detector runs several times so the report carries
+the spread (std/min/max), not just a single sample — single wall-clock
+samples on a shared machine are noise.
 """
 
 from __future__ import annotations
 
+import statistics
 import time
 from dataclasses import dataclass
 from typing import List, Sequence
@@ -36,7 +41,11 @@ class OverheadReport:
     window_flushes: int
     peak_tw_length: int
     peak_tracked_elements: int   # distinct elements across both count tables
-    wall_seconds: float
+    wall_seconds: float          # mean over ``repeats`` runs (perf_counter)
+    wall_std: float = 0.0        # sample std dev (0.0 with one repeat)
+    wall_min: float = 0.0
+    wall_max: float = 0.0
+    repeats: int = 1
 
     @property
     def elements_per_second(self) -> float:
@@ -105,15 +114,45 @@ class _MeteredModel:
     def consumed(self) -> int:
         return self._inner.consumed
 
+    @property
+    def cw_length(self) -> int:
+        return self._inner.cw_length
 
-def measure_overhead(trace: BranchTrace, config: DetectorConfig) -> OverheadReport:
-    """Run the reference detector with a metered model; report the costs."""
-    detector = PhaseDetector(config)
-    meter = _MeteredModel(detector.model)
-    detector.model = meter
-    started = time.perf_counter()
-    detector.run(trace)
-    elapsed = time.perf_counter() - started
+    @property
+    def tw_length(self) -> int:
+        return self._inner.tw_length
+
+    @property
+    def observer(self):
+        return self._inner.observer
+
+    @observer.setter
+    def observer(self, value) -> None:
+        self._inner.observer = value
+
+
+def measure_overhead(
+    trace: BranchTrace, config: DetectorConfig, repeats: int = 1
+) -> OverheadReport:
+    """Run the reference detector with a metered model; report the costs.
+
+    The machine-independent counts come from the first run (they are
+    deterministic); the wall-clock figures are summarized over
+    ``repeats`` runs on the monotonic clock.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    timings: List[float] = []
+    meter: _MeteredModel = None  # type: ignore[assignment]
+    for iteration in range(repeats):
+        detector = PhaseDetector(config)
+        metered = _MeteredModel(detector.model)
+        detector.model = metered
+        started = time.perf_counter()
+        detector.run(trace)
+        timings.append(time.perf_counter() - started)
+        if iteration == 0:
+            meter = metered
     return OverheadReport(
         config_label=config.describe(),
         trace_length=len(trace),
@@ -123,12 +162,16 @@ def measure_overhead(trace: BranchTrace, config: DetectorConfig) -> OverheadRepo
         window_flushes=meter.window_flushes,
         peak_tw_length=meter.peak_tw_length,
         peak_tracked_elements=meter.peak_tracked,
-        wall_seconds=elapsed,
+        wall_seconds=statistics.fmean(timings),
+        wall_std=statistics.stdev(timings) if len(timings) > 1 else 0.0,
+        wall_min=min(timings),
+        wall_max=max(timings),
+        repeats=repeats,
     )
 
 
 def overhead_comparison(
-    trace: BranchTrace, configs: Sequence[DetectorConfig]
+    trace: BranchTrace, configs: Sequence[DetectorConfig], repeats: int = 1
 ) -> List[OverheadReport]:
     """Measure several configurations over the same trace."""
-    return [measure_overhead(trace, config) for config in configs]
+    return [measure_overhead(trace, config, repeats=repeats) for config in configs]

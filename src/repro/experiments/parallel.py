@@ -24,19 +24,31 @@ preserving the serial sweep's observable behavior exactly:
   the next run treats as warm.
 * **Progress/ETA.**  With ``progress=True`` a per-benchmark line
   (configs evaluated, wall time, configs/s) plus a running ETA for the
-  whole sweep is printed to stderr.
+  whole sweep is logged at INFO on the ``repro.sweep`` logger (the CLI
+  routes it to stderr; see :mod:`repro.obs.logsetup`).
+* **Per-worker accounting.**  Every chunk result carries its worker's
+  pid, wall time and record count, plus a cumulative snapshot of the
+  worker's process-local metrics registry (trace reads, cache hits).
+  After :meth:`ParallelSweepExecutor.run` the aggregation is available
+  as :attr:`worker_stats`/:attr:`worker_metrics` — the sum of
+  per-worker record counts equals the records delivered, which is the
+  invariant the run manifest records and ``repro obs summary`` checks.
+* **Opt-in chunk profiling.**  With ``profiling=True`` each chunk is
+  wrapped in a :class:`~repro.obs.profiling.ChunkProfiler` (wall time +
+  ``tracemalloc`` peak); profiles come back in :attr:`chunk_profiles`.
 
 Worker count resolution order: explicit ``jobs`` argument, then the
 ``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
 
 The on-disk formats this executor relies on are specified in
-``docs/formats.md``; the sweep lifecycle in ``docs/sweep.md``.
+``docs/formats.md``; the sweep lifecycle in ``docs/sweep.md``; the
+metrics and manifest schema in ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
+import logging
 import os
-import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -44,6 +56,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config_space import ConfigSpec, SuiteProfile
 from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_spec
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.profiling import ChunkProfiler
+
+logger = logging.getLogger("repro.sweep")
 
 #: Grid points per work item.  Large enough to amortize pipe and
 #: memoization overhead, small enough to load-balance a skewed grid.
@@ -82,11 +98,16 @@ def _init_worker(
     profile: SuiteProfile,
     cache_dir: Optional[str],
     mpl_nominals: Tuple[int, ...],
+    profiling: bool = False,
 ) -> None:
     _WORKER_STATE["profile"] = profile
     _WORKER_STATE["cache_dir"] = cache_dir
     _WORKER_STATE["mpl_nominals"] = mpl_nominals
     _WORKER_STATE["benchmarks"] = {}
+    _WORKER_STATE["profiling"] = profiling
+    # A forked worker inherits the parent's accumulated counts; reset so
+    # the snapshots shipped back are purely this worker's own activity.
+    GLOBAL_METRICS.reset()
 
 
 def _benchmark_context(benchmark: str):
@@ -110,15 +131,43 @@ def _benchmark_context(benchmark: str):
     return contexts[benchmark]
 
 
-def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> List[Dict]:
-    """Evaluate one work item; return flat record rows (JSON-safe)."""
+def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
+    """Evaluate one work item; return rows plus this worker's accounting.
+
+    The result is ``{"rows": [...], "stats": {...}}`` where ``stats``
+    carries the worker pid, this chunk's wall time / config / record
+    counts, the optional :class:`ChunkProfiler` memory peak, and a
+    cumulative snapshot of the worker's process-local metrics registry
+    (the parent keeps the latest snapshot per pid and merges them).
+    """
     branch_trace, baselines = _benchmark_context(benchmark)
     profile: SuiteProfile = _WORKER_STATE["profile"]  # type: ignore[assignment]
     rows: List[Dict] = []
-    for spec in specs:
-        for record in evaluate_spec(branch_trace, baselines, spec, profile):
-            rows.append(record.to_row())
-    return rows
+    profiler = (
+        ChunkProfiler(f"{benchmark}[{len(specs)} specs]")
+        if _WORKER_STATE.get("profiling")
+        else None
+    )
+    started = time.perf_counter()
+    if profiler is not None:
+        with profiler:
+            for spec in specs:
+                for record in evaluate_spec(branch_trace, baselines, spec, profile):
+                    rows.append(record.to_row())
+    else:
+        for spec in specs:
+            for record in evaluate_spec(branch_trace, baselines, spec, profile):
+                rows.append(record.to_row())
+    wall = time.perf_counter() - started
+    stats: Dict = {
+        "pid": os.getpid(),
+        "wall_seconds": wall,
+        "configs": len(specs),
+        "records": len(rows),
+        "peak_bytes": profiler.profile.peak_bytes if profiler is not None else None,
+        "metrics": GLOBAL_METRICS.snapshot(),
+    }
+    return {"rows": rows, "stats": stats}
 
 
 # -- parent side --------------------------------------------------------------
@@ -135,17 +184,21 @@ class _Chunk:
 
 @dataclass
 class _Progress:
-    """Wall-clock accounting for the progress/ETA report."""
+    """Wall-clock accounting for the progress/ETA report.
+
+    All interval math uses the monotonic ``time.perf_counter`` clock;
+    the report goes to the ``repro.sweep`` logger at INFO.
+    """
 
     total_configs: int
-    started: float = field(default_factory=time.time)
+    started: float = field(default_factory=time.perf_counter)
     done_configs: int = 0
     benchmark_configs: Dict[str, int] = field(default_factory=dict)
     benchmark_started: Dict[str, float] = field(default_factory=dict)
 
     def note(self, profile_name: str, benchmark: str, configs: int,
              benchmark_finished: bool) -> None:
-        now = time.time()
+        now = time.perf_counter()
         self.benchmark_started.setdefault(benchmark, now)
         self.done_configs += configs
         self.benchmark_configs[benchmark] = (
@@ -159,11 +212,11 @@ class _Progress:
         eta = remaining / rate if rate > 0 else 0.0
         bench_configs = self.benchmark_configs[benchmark]
         bench_elapsed = now - self.benchmark_started[benchmark]
-        print(
-            f"[sweep:{profile_name}] {benchmark}: {bench_configs} configs "
-            f"in {bench_elapsed:.1f}s ({rate:.1f} configs/s overall, "
-            f"{self.done_configs}/{self.total_configs} done, eta {eta:.0f}s)",
-            file=sys.stderr,
+        logger.info(
+            "[%s] %s: %d configs in %.1fs (%.1f configs/s overall, "
+            "%d/%d done, eta %.0fs)",
+            profile_name, benchmark, bench_configs, bench_elapsed, rate,
+            self.done_configs, self.total_configs, eta,
         )
 
 
@@ -180,6 +233,13 @@ class ParallelSweepExecutor:
         chunk_size: grid points per work item (``None`` → a size that
             gives each worker several items per benchmark, capped at
             :data:`DEFAULT_CHUNK_SIZE`).
+        profiling: wrap each chunk in a :class:`ChunkProfiler`
+            (wall time + tracemalloc peak); see :attr:`chunk_profiles`.
+
+    After :meth:`run` returns, :attr:`worker_stats` holds one
+    accounting entry per worker process, :attr:`worker_metrics` the
+    latest cumulative metrics snapshot per worker, and
+    :attr:`chunk_profiles` any chunk profiles collected.
     """
 
     def __init__(
@@ -189,12 +249,17 @@ class ParallelSweepExecutor:
         mpl_nominals: Sequence[int],
         jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        profiling: bool = False,
     ) -> None:
         self.profile = profile
         self.cache_dir = cache_dir
         self.mpl_nominals = tuple(mpl_nominals)
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = chunk_size
+        self.profiling = profiling
+        self.worker_stats: List[Dict] = []
+        self.worker_metrics: Dict[int, Dict] = {}
+        self.chunk_profiles: List[Dict] = []
 
     def _chunk_specs(self, specs: Sequence[ConfigSpec]) -> List[List[ConfigSpec]]:
         if self.chunk_size is not None:
@@ -223,11 +288,15 @@ class ParallelSweepExecutor:
         for benchmark, specs in work:
             for piece in self._chunk_specs(list(specs)):
                 chunks.append(_Chunk(len(chunks), benchmark, piece))
+        self.worker_stats = []
+        self.worker_metrics = {}
+        self.chunk_profiles = []
         if not chunks:
             return 0
         total_configs = sum(len(c.specs) for c in chunks)
         tracker = _Progress(total_configs)
         last_chunk_of_benchmark = {c.benchmark: c.index for c in chunks}
+        per_worker: Dict[int, Dict] = {}
 
         with ProcessPoolExecutor(
             max_workers=self.jobs,
@@ -236,13 +305,14 @@ class ParallelSweepExecutor:
                 self.profile,
                 str(self.cache_dir) if self.cache_dir is not None else None,
                 self.mpl_nominals,
+                self.profiling,
             ),
         ) as pool:
             futures = {
                 pool.submit(_evaluate_chunk, chunk.benchmark, chunk.specs): chunk
                 for chunk in chunks
             }
-            buffered: Dict[int, List[Dict]] = {}
+            buffered: Dict[int, Dict] = {}
             next_index = 0
             pending = set(futures)
             while pending:
@@ -251,7 +321,10 @@ class ParallelSweepExecutor:
                     buffered[futures[future].index] = future.result()
                 while next_index in buffered:
                     chunk = chunks[next_index]
-                    rows = buffered.pop(next_index)
+                    result = buffered.pop(next_index)
+                    rows = result["rows"]
+                    stats = result["stats"]
+                    self._account(per_worker, chunk, stats)
                     records = [SweepRecord.from_row(row) for row in rows]
                     benchmark_finished = (
                         last_chunk_of_benchmark[chunk.benchmark] == chunk.index
@@ -265,4 +338,35 @@ class ParallelSweepExecutor:
                             benchmark_finished,
                         )
                     next_index += 1
+        self.worker_stats = [per_worker[pid] for pid in sorted(per_worker)]
         return total_configs
+
+    def _account(self, per_worker: Dict[int, Dict], chunk: _Chunk, stats: Dict) -> None:
+        """Fold one chunk's worker stats into the per-pid aggregation."""
+        pid = stats["pid"]
+        entry = per_worker.get(pid)
+        if entry is None:
+            entry = per_worker[pid] = {
+                "pid": pid,
+                "chunks": 0,
+                "configs": 0,
+                "records": 0,
+                "wall_seconds": 0.0,
+                "peak_bytes": None,
+            }
+        entry["chunks"] += 1
+        entry["configs"] += stats["configs"]
+        entry["records"] += stats["records"]
+        entry["wall_seconds"] += stats["wall_seconds"]
+        peak = stats.get("peak_bytes")
+        if peak is not None:
+            entry["peak_bytes"] = max(entry["peak_bytes"] or 0, peak)
+            self.chunk_profiles.append(
+                {
+                    "label": f"{chunk.benchmark}:chunk-{chunk.index}",
+                    "wall_seconds": stats["wall_seconds"],
+                    "peak_bytes": peak,
+                }
+            )
+        # Cumulative snapshot: keep the worker's latest.
+        self.worker_metrics[pid] = stats.get("metrics", {})

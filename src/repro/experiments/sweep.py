@@ -12,12 +12,20 @@ set) via :mod:`repro.experiments.parallel`.  Both modes append cache
 rows in the same deterministic order, so the cache file is
 byte-identical either way; see ``docs/sweep.md`` for the lifecycle and
 ``docs/formats.md`` for the cache schema.
+
+Every :meth:`Sweep.ensure` that touches the on-disk cache also writes a
+run manifest next to it (``sweep-<profile>.manifest.json``) recording
+the config fingerprint, environment, per-worker accounting and a
+metrics snapshot — see :mod:`repro.obs.manifest` and
+``docs/observability.md``.  Progress lines go to the ``repro.sweep``
+logger (the CLI's ``--verbose``/``--quiet`` control the level).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-import sys
+import logging
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -29,7 +37,11 @@ from repro.experiments.config_space import (
     paper_grid,
 )
 from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_spec
+from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
+from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry
 from repro.workloads.suite import DEFAULT_CACHE_DIR, load_suite, workload, workload_names
+
+logger = logging.getLogger("repro.sweep")
 
 _CacheKey = Tuple[str, str, Tuple, int]
 
@@ -43,6 +55,20 @@ def _spec_key(spec: ConfigSpec) -> Tuple:
         spec.anchor.value,
         spec.resize.value,
     )
+
+
+def grid_fingerprint(specs: Sequence[ConfigSpec], mpl_nominals: Sequence[int]) -> str:
+    """A short stable hash of the evaluated grid (specs x MPLs).
+
+    Recorded in the run manifest so a manifest is checkable against the
+    grid that produced it: same specs and MPLs -> same fingerprint,
+    regardless of benchmark subset or worker count.
+    """
+    digest = hashlib.sha256()
+    for spec in specs:
+        digest.update(repr(_spec_key(spec)).encode("utf-8"))
+    digest.update(repr(tuple(mpl_nominals)).encode("utf-8"))
+    return digest.hexdigest()[:12]
 
 
 class Sweep:
@@ -73,8 +99,12 @@ class Sweep:
         self.benchmarks = list(benchmarks) if benchmarks is not None else workload_names()
         self.mpl_nominals = list(mpl_nominals)
         self.jobs = jobs
-        self._traces = load_suite(scale=profile.workload_scale, cache_dir=self.cache_dir,
-                                  names=self.benchmarks)
+        #: Per-sweep metrics registry; snapshotted into the run manifest.
+        self.metrics = MetricsRegistry()
+        with self.metrics.time("sweep.load_suite_seconds"):
+            self._traces = load_suite(scale=profile.workload_scale,
+                                      cache_dir=self.cache_dir,
+                                      names=self.benchmarks)
         self._baselines: Dict[str, BaselineSet] = {}
         self._records: Dict[_CacheKey, SweepRecord] = {}
         self._cache_path = self.cache_dir / f"sweep-{profile.name}.jsonl"
@@ -88,21 +118,28 @@ class Sweep:
     def _load_cache(self) -> None:
         if not self._cache_path.exists():
             return
+        loaded = self.metrics.counter("sweep.cache_rows_loaded")
+        stale = self.metrics.counter("sweep.cache_rows_stale")
+        torn = self.metrics.counter("sweep.cache_rows_torn")
         fingerprints = {name: self._fingerprint(name) for name in self.benchmarks}
-        with self._cache_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # tolerate a torn tail from an interrupted run
-                fingerprint = row.pop("fingerprint", "")
-                record = SweepRecord.from_row(row)
-                if fingerprints.get(record.benchmark) != fingerprint:
-                    continue  # workload changed; discard stale rows
-                self._records[self._record_key(record)] = record
+        with self.metrics.time("sweep.cache_load_seconds"):
+            with self._cache_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError:
+                        torn.inc()  # tolerate a torn tail from an interrupted run
+                        continue
+                    fingerprint = row.pop("fingerprint", "")
+                    record = SweepRecord.from_row(row)
+                    if fingerprints.get(record.benchmark) != fingerprint:
+                        stale.inc()  # workload changed; discard stale rows
+                        continue
+                    loaded.inc()
+                    self._records[self._record_key(record)] = record
 
     def _record_key(self, record: SweepRecord) -> _CacheKey:
         spec_key = (
@@ -157,75 +194,114 @@ class Sweep:
 
     def _evaluate_serial(
         self, work: Sequence[Tuple[str, List[ConfigSpec]]], progress: bool
-    ) -> None:
+    ) -> int:
+        evaluated = 0
         for benchmark, missing in work:
             branch_trace, _ = self._traces[benchmark]
             baselines = self.baselines(benchmark)
-            started = time.time()
+            started = time.perf_counter()
             fresh: List[SweepRecord] = []
             for spec in missing:
                 fresh.extend(evaluate_spec(branch_trace, baselines, spec, self.profile))
             for record in fresh:
                 self._records[self._record_key(record)] = record
             self._append_cache(fresh)
+            evaluated += len(fresh)
+            elapsed = time.perf_counter() - started
+            self.metrics.timing("sweep.benchmark_seconds").observe(elapsed)
+            self.metrics.counter("sweep.records_evaluated").inc(len(fresh))
             if progress:
-                print(
-                    f"[sweep:{self.profile.name}] {benchmark}: "
-                    f"{len(missing)} configs in {time.time() - started:.1f}s",
-                    file=sys.stderr,
+                logger.info(
+                    "[%s] %s: %d configs in %.1fs",
+                    self.profile.name, benchmark, len(missing), elapsed,
                 )
+        return evaluated
 
     def _evaluate_parallel(
         self,
         work: Sequence[Tuple[str, List[ConfigSpec]]],
         jobs: int,
         progress: bool,
-    ) -> None:
+        profiling: bool = False,
+    ) -> Tuple[int, List[Dict], Dict[int, Dict], List[Dict]]:
+        """Fan ``work`` out; returns (evaluated, worker stats, metrics, profiles)."""
         from repro.experiments.parallel import ParallelSweepExecutor, resolve_jobs
 
         jobs = resolve_jobs(jobs)
         if jobs <= 1:
-            return self._evaluate_serial(work, progress)
+            return self._evaluate_serial(work, progress), [], {}, []
         executor = ParallelSweepExecutor(
-            self.profile, self.cache_dir, self.mpl_nominals, jobs=jobs
+            self.profile, self.cache_dir, self.mpl_nominals, jobs=jobs,
+            profiling=profiling,
         )
+        evaluated = 0
 
         def on_chunk(
             benchmark: str, records: List[SweepRecord], benchmark_finished: bool
         ) -> None:
+            nonlocal evaluated
             for record in records:
                 self._records[self._record_key(record)] = record
             self._append_cache(records)
+            evaluated += len(records)
+            if benchmark_finished:
+                self.metrics.counter("sweep.benchmarks_finished").inc()
 
         executor.run(work, on_chunk, progress=progress)
+        self.metrics.counter("sweep.records_evaluated").inc(evaluated)
+        return (
+            evaluated,
+            executor.worker_stats,
+            executor.worker_metrics,
+            executor.chunk_profiles,
+        )
+
+    @property
+    def manifest_path(self) -> Path:
+        """Where :meth:`ensure` writes the run manifest."""
+        return manifest_path_for(self._cache_path)
 
     def ensure(
         self,
         specs: Optional[Sequence[ConfigSpec]] = None,
         progress: bool = False,
         jobs: Optional[int] = None,
+        profiling: bool = False,
+        manifest: bool = True,
     ) -> List[SweepRecord]:
         """Evaluate any missing (benchmark, spec) pairs; return all records.
 
-        With a warm cache this is pure lookup.  ``progress`` prints a
-        one-line-per-benchmark trace to stderr for long runs.  ``jobs``
-        overrides the sweep's default worker count for this call: 1
-        evaluates serially in-process, >1 fans work out over a process
-        pool (see :mod:`repro.experiments.parallel`); both produce the
-        same records and a byte-identical cache file.
+        With a warm cache this is pure lookup.  ``progress`` logs a
+        one-line-per-benchmark trace (``repro.sweep`` logger, INFO).
+        ``jobs`` overrides the sweep's default worker count for this
+        call: 1 evaluates serially in-process, >1 fans work out over a
+        process pool (see :mod:`repro.experiments.parallel`); both
+        produce the same records and a byte-identical cache file.
+        ``profiling`` wraps each parallel chunk in a
+        :class:`~repro.obs.profiling.ChunkProfiler`.  Unless
+        ``manifest=False``, a run manifest is written next to the cache
+        describing this call (see :mod:`repro.obs.manifest`).
         """
         specs = list(specs) if specs is not None else paper_grid(self.profile)
         jobs = self.jobs if jobs is None else jobs
+        started = time.perf_counter()
         work = [
             (benchmark, missing)
             for benchmark in self.benchmarks
             if (missing := self._missing(benchmark, specs))
         ]
+        evaluated = 0
+        workers: List[Dict] = []
+        worker_metrics: Dict[int, Dict] = {}
+        chunk_profiles: List[Dict] = []
         if work:
             if jobs is not None and jobs <= 1:
-                self._evaluate_serial(work, progress)
+                evaluated = self._evaluate_serial(work, progress)
             else:
-                self._evaluate_parallel(work, jobs, progress)
+                evaluated, workers, worker_metrics, chunk_profiles = (
+                    self._evaluate_parallel(work, jobs, progress, profiling)
+                )
+        elapsed = time.perf_counter() - started
         wanted: List[SweepRecord] = []
         for benchmark in self.benchmarks:
             for spec in specs:
@@ -234,7 +310,46 @@ class Sweep:
                     record = self._records.get(key)
                     if record is not None:
                         wanted.append(record)
+        if manifest:
+            self._write_manifest(
+                specs, jobs, elapsed, evaluated,
+                workers, worker_metrics, chunk_profiles,
+            )
         return wanted
+
+    def _write_manifest(
+        self,
+        specs: Sequence[ConfigSpec],
+        jobs: Optional[int],
+        elapsed: float,
+        evaluated: int,
+        workers: List[Dict],
+        worker_metrics: Dict[int, Dict],
+        chunk_profiles: List[Dict],
+    ) -> Path:
+        """Write this run's manifest next to the cache (atomic)."""
+        # One registry view of the run: the sweep's own instruments, the
+        # parent process's I/O counters, then each worker's latest
+        # cumulative snapshot (cumulative -> merge once per worker).
+        merged = MetricsRegistry.merged(
+            [self.metrics.snapshot(), GLOBAL_METRICS.snapshot()]
+            + [worker_metrics[pid] for pid in sorted(worker_metrics)]
+        )
+        document = build_manifest(
+            profile=self.profile.name,
+            benchmarks=self.benchmarks,
+            fingerprints={name: self._fingerprint(name) for name in self.benchmarks},
+            grid_fingerprint=grid_fingerprint(specs, self.mpl_nominals),
+            mpl_nominals=self.mpl_nominals,
+            jobs=jobs if jobs is not None else 1,
+            elapsed_seconds=elapsed,
+            records_evaluated=evaluated,
+            records_total=len(self._records),
+            workers=workers,
+            metrics=merged.snapshot(),
+            chunk_profiles=chunk_profiles,
+        )
+        return write_manifest(document, self.manifest_path)
 
     def records(self) -> List[SweepRecord]:
         """All records currently cached (no evaluation)."""

@@ -1,0 +1,70 @@
+"""Observability: event traces, metrics, profiling, and run manifests.
+
+The detector core and the experiment harness are instrumented with
+structured, machine-readable signals — the same per-step visibility the
+paper's own evaluation needed (when a transition was declared, how the
+adaptive TW resized, what similarity the model reported), but available
+to every run:
+
+- :mod:`repro.obs.events` — the per-step detector event taxonomy and
+  its documented schema, plus :func:`replay_phases` which reconstructs
+  the exact phase sequence a run produced from its event trace;
+- :mod:`repro.obs.bus` — the event bus and sinks (``NullSink``,
+  ``MemorySink``, ``JsonlSink``) plus the torn-write-tolerant
+  :func:`read_events` loader;
+- :mod:`repro.obs.metrics` — counters, gauges and timing summaries in a
+  :class:`MetricsRegistry` whose snapshots merge across processes;
+- :mod:`repro.obs.profiling` — opt-in wall-time + ``tracemalloc``
+  sampling for sweep chunks;
+- :mod:`repro.obs.manifest` — the run manifest written next to every
+  sweep cache (config fingerprints, environment, per-worker metrics);
+- :mod:`repro.obs.logsetup` — ``logging`` configuration for the CLI's
+  ``--verbose``/``--quiet`` flags.
+
+Design rule: the *disabled* path must be free.  Nothing in ``repro.core``
+imports this package; the detector entry points take ``observer=None``
+and guard every emission behind a single ``is not None`` test, so a run
+without a sink costs one predictable branch per step.  See
+``docs/observability.md`` for the full taxonomy, the metrics catalog,
+and the overhead guarantees.
+"""
+
+from repro.obs.bus import EventBus, JsonlSink, MemorySink, NullSink, read_events
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventSchemaError,
+    replay_phases,
+    validate_event,
+)
+from repro.obs.manifest import (
+    diff_manifests,
+    load_manifest,
+    manifest_path_for,
+    summarize_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry
+from repro.obs.profiling import ChunkProfile, ChunkProfiler
+from repro.obs.logsetup import setup_logging
+
+__all__ = [
+    "EVENT_TYPES",
+    "EventBus",
+    "EventSchemaError",
+    "ChunkProfile",
+    "ChunkProfiler",
+    "GLOBAL_METRICS",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "diff_manifests",
+    "load_manifest",
+    "manifest_path_for",
+    "read_events",
+    "replay_phases",
+    "setup_logging",
+    "summarize_manifest",
+    "validate_event",
+    "write_manifest",
+]

@@ -1,0 +1,63 @@
+"""``logging`` configuration for the CLI and test harnesses.
+
+The library itself only ever *gets* loggers (``repro.sweep`` etc.) —
+it never installs handlers, so embedding applications keep full control
+of where (or whether) progress output goes.  The CLI, and anything else
+that wants the classic stderr progress lines, calls
+:func:`setup_logging` once:
+
+- ``verbosity > 0``  (``--verbose``) — DEBUG;
+- ``verbosity == 0`` (default)       — INFO (progress lines);
+- ``verbosity < 0``  (``--quiet``)   — WARNING only.
+
+Setup is idempotent: a second call adjusts the level but installs no
+duplicate handler.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["progress_logger", "setup_logging"]
+
+#: Root of the library's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+
+def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger tree.
+
+    Returns the configured root library logger.  ``stream`` overrides
+    the destination (tests pass a ``StringIO``).
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity < 0:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    logger.setLevel(level)
+    logger.propagate = False
+    handler: Optional[logging.Handler] = None
+    for existing in logger.handlers:
+        if isinstance(existing, logging.StreamHandler):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    return logger
+
+
+def progress_logger(name: str) -> logging.Logger:
+    """A child logger under the ``repro`` tree (e.g. ``repro.sweep``)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")

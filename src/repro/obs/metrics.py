@@ -1,0 +1,190 @@
+"""Counters, gauges and timing summaries with mergeable snapshots.
+
+A :class:`MetricsRegistry` is a named bag of three instrument kinds:
+
+- :class:`Counter` — a monotonically increasing count (records
+  evaluated, cache hits);
+- :class:`Gauge` — a last-write-wins value (worker count, trace
+  length);
+- :class:`Timing` — a streaming summary of observed durations
+  (count / total / min / max, so mean is derivable) — enough to answer
+  "where does the wall time go" without keeping samples.
+
+Snapshots are plain JSON-safe dicts.  :meth:`MetricsRegistry.merge`
+folds another snapshot in (counters add, gauges take the other's value,
+timings combine), which is how per-process registries from
+``ProcessPoolExecutor`` workers collapse into the one the run manifest
+records.
+
+Instrument lookups are ``dict.setdefault`` under the hood and increments
+are plain attribute writes, so sprinkling counters on I/O-frequency code
+paths (file reads, cache probes) is safe; per-element hot loops should
+stay uninstrumented — see the overhead guarantees in
+``docs/observability.md``.
+
+:data:`GLOBAL_METRICS` is the process-wide default registry used by the
+trace I/O layer; anything that owns a run (e.g. a ``Sweep``) keeps its
+own.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Optional
+
+__all__ = ["Counter", "Gauge", "GLOBAL_METRICS", "MetricsRegistry", "Timing"]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins numeric value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Timing:
+    """A streaming duration summary: count, total, min, max."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum,
+        }
+
+    def merge_dict(self, other: Dict[str, float]) -> None:
+        count = int(other.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(other.get("total", 0.0))
+        self.minimum = min(self.minimum, float(other.get("min", float("inf"))))
+        self.maximum = max(self.maximum, float(other.get("max", 0.0)))
+
+
+class MetricsRegistry:
+    """Named counters/gauges/timings with JSON snapshots that merge."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timings: Dict[str, Timing] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def timing(self, name: str) -> Timing:
+        timing = self._timings.get(name)
+        if timing is None:
+            timing = self._timings[name] = Timing()
+        return timing
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager: observe the block's wall time (monotonic)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timing(name).observe(time.perf_counter() - started)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-safe view of every instrument's current value."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "timings": {
+                name: t.to_dict() for name, t in sorted(self._timings.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add, gauges take the incoming value, timings combine
+        their summaries.  Merging is associative, so per-worker
+        snapshots can arrive in any order.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))          # type: ignore[arg-type]
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))          # type: ignore[arg-type]
+        for name, summary in snapshot.get("timings", {}).items():
+            self.timing(name).merge_dict(summary)       # type: ignore[arg-type]
+
+    @staticmethod
+    def merged(snapshots: Iterable[Dict[str, Dict[str, object]]]) -> "MetricsRegistry":
+        """A fresh registry holding the fold of ``snapshots``."""
+        registry = MetricsRegistry()
+        for snapshot in snapshots:
+            registry.merge(snapshot)
+        return registry
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._timings.clear()
+
+    def get(self, kind: str, name: str) -> Optional[object]:
+        """Look an instrument up without creating it (None if absent)."""
+        store = {"counter": self._counters, "gauge": self._gauges,
+                 "timing": self._timings}[kind]
+        return store.get(name)
+
+
+#: Process-wide default registry (trace I/O, cache hit rates).  Worker
+#: processes each get their own copy-on-fork/fresh-on-spawn instance;
+#: the parallel executor ships their snapshots back explicitly.
+GLOBAL_METRICS = MetricsRegistry()

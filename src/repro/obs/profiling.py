@@ -1,0 +1,86 @@
+"""Opt-in wall-time and memory profiling for sweep chunks.
+
+The sweep's ``--profiling`` mode wraps each evaluated chunk in a
+:class:`ChunkProfiler`, which samples wall time (monotonic) and — when
+``tracemalloc`` is importable — the chunk's peak traced allocation.
+Profiles ride back to the parent alongside the chunk's records and land
+in the run manifest, so "which benchmark's grid points are slow or
+memory-hungry" is answerable from the manifest alone.
+
+``tracemalloc`` roughly doubles allocation cost while tracing, which is
+why this is opt-in and never enabled by the default path; the profiler
+restores tracing to its prior state on exit so it composes with an
+outer trace (e.g. pytest's).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+try:  # pragma: no cover - tracemalloc ships with CPython
+    import tracemalloc
+except ImportError:  # pragma: no cover
+    tracemalloc = None  # type: ignore[assignment]
+
+__all__ = ["ChunkProfile", "ChunkProfiler"]
+
+
+@dataclass(frozen=True)
+class ChunkProfile:
+    """One profiled block: label, wall time, and allocation peak."""
+
+    label: str
+    wall_seconds: float
+    peak_bytes: Optional[int]     # None when tracemalloc was unavailable
+    current_bytes: Optional[int]  # still-live traced bytes at exit
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "wall_seconds": self.wall_seconds,
+            "peak_bytes": self.peak_bytes,
+            "current_bytes": self.current_bytes,
+        }
+
+
+class ChunkProfiler:
+    """Context manager sampling wall time and tracemalloc peaks.
+
+    >>> with ChunkProfiler("db:chunk-3") as prof:
+    ...     evaluate()
+    >>> prof.profile.wall_seconds
+    """
+
+    def __init__(self, label: str, trace_memory: bool = True) -> None:
+        self.label = label
+        self.trace_memory = trace_memory and tracemalloc is not None
+        self.profile: Optional[ChunkProfile] = None
+        self._started = 0.0
+        self._owns_trace = False
+
+    def __enter__(self) -> "ChunkProfiler":
+        if self.trace_memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._owns_trace = True
+            elif hasattr(tracemalloc, "reset_peak"):
+                tracemalloc.reset_peak()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        wall = time.perf_counter() - self._started
+        peak: Optional[int] = None
+        current: Optional[int] = None
+        if self.trace_memory and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            if self._owns_trace:
+                tracemalloc.stop()
+        self.profile = ChunkProfile(
+            label=self.label,
+            wall_seconds=wall,
+            peak_bytes=peak,
+            current_bytes=current,
+        )

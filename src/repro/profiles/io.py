@@ -8,6 +8,11 @@ Two formats are supported:
   endian int64 data.  This is the format the workload suite caches.
 
 Both formats round-trip exactly, including the trace name.
+
+Successful reads and writes tick the process-wide ``io.trace_reads`` /
+``io.trace_writes`` / ``io.trace_bytes_*`` counters on
+:data:`repro.obs.metrics.GLOBAL_METRICS`; sweeps fold these into the
+run manifest (workers ship their own snapshots back to the parent).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Iterator, Union
 
 import numpy as np
 
+from repro.obs.metrics import GLOBAL_METRICS
 from repro.profiles.trace import BranchTrace
 
 TEXT_MAGIC = "# repro-branch-trace v1"
@@ -41,6 +47,8 @@ def write_trace_text(trace: BranchTrace, path: PathLike) -> None:
         for chunk in trace.chunks(1 << 16) if len(trace) else []:
             handle.write("\n".join(map(str, chunk.tolist())))
             handle.write("\n")
+    GLOBAL_METRICS.counter("io.trace_writes").inc()
+    GLOBAL_METRICS.counter("io.trace_bytes_written").inc(path.stat().st_size)
 
 
 def read_trace_text(path: PathLike) -> BranchTrace:
@@ -69,6 +77,8 @@ def read_trace_text(path: PathLike) -> BranchTrace:
         raise TraceFormatError(
             f"{path}: declared length {declared_length} but found {data.size} elements"
         )
+    GLOBAL_METRICS.counter("io.trace_reads").inc()
+    GLOBAL_METRICS.counter("io.trace_bytes_read").inc(path.stat().st_size)
     return BranchTrace(data, name=name)
 
 
@@ -89,6 +99,8 @@ def write_trace_binary(trace: BranchTrace, path: PathLike) -> None:
         handle.write(name_bytes)
         handle.write(len(trace).to_bytes(8, "little"))
         handle.write(np.ascontiguousarray(trace.array, dtype="<i8").tobytes())
+    GLOBAL_METRICS.counter("io.trace_writes").inc()
+    GLOBAL_METRICS.counter("io.trace_bytes_written").inc(path.stat().st_size)
 
 
 def _read_binary_header(handle, path: Path, file_size: int) -> tuple:
@@ -136,6 +148,8 @@ def read_trace_binary(path: PathLike) -> BranchTrace:
         if len(payload) != length * 8:
             raise TraceFormatError(f"{path}: truncated payload")
         data = np.frombuffer(payload, dtype="<i8").astype(np.int64)
+    GLOBAL_METRICS.counter("io.trace_reads").inc()
+    GLOBAL_METRICS.counter("io.trace_bytes_read").inc(file_size)
     return BranchTrace(data, name=name)
 
 

@@ -11,6 +11,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import GLOBAL_METRICS
 from repro.profiles.callloop import CallLoopTrace
 from repro.profiles.io import read_trace_binary, write_trace_binary
 from repro.profiles.trace import BranchTrace
@@ -75,12 +76,16 @@ def load_traces(
     callloop_path = cache_dir / f"{name}-{fingerprint}.cloop"
     if branch_path.exists() and callloop_path.exists():
         try:
-            return read_trace_binary(branch_path), CallLoopTrace.load(callloop_path)
+            result = read_trace_binary(branch_path), CallLoopTrace.load(callloop_path)
+            GLOBAL_METRICS.counter("io.trace_cache_hits").inc()
+            return result
         except ValueError:
             # A corrupt cache entry (TraceFormatError or a torn .cloop) is
             # a miss: re-run the workload and overwrite the bad files.
             pass
-    branch_trace, call_loop = wl.run(scale)
+    GLOBAL_METRICS.counter("io.trace_cache_misses").inc()
+    with GLOBAL_METRICS.time("io.workload_run_seconds"):
+        branch_trace, call_loop = wl.run(scale)
     cache_dir.mkdir(parents=True, exist_ok=True)
     write_trace_binary(branch_trace, branch_path)
     call_loop.save(callloop_path)

@@ -157,3 +157,61 @@ class TestExecutorOrdering:
         calls = []
         assert executor.run([], calls.append, progress=True) == 0
         assert calls == []
+        assert executor.worker_stats == []
+        assert executor.worker_metrics == {}
+
+
+class TestWorkerAccounting:
+    def test_worker_records_sum_to_delivered_records(self, tmp_path):
+        sweep = Sweep(TINY, cache_dir=tmp_path, benchmarks=BENCHMARKS,
+                      mpl_nominals=MPLS)
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=2,
+                                         chunk_size=1)
+        delivered = []
+
+        def on_chunk(benchmark, records, benchmark_finished):
+            delivered.extend(records)
+
+        work = [(name, SPECS) for name in BENCHMARKS]
+        executor.run(work, on_chunk, progress=False)
+        assert executor.worker_stats, "expected at least one worker entry"
+        assert sum(w["records"] for w in executor.worker_stats) == len(delivered)
+        assert sum(w["configs"] for w in executor.worker_stats) == (
+            len(SPECS) * len(BENCHMARKS)
+        )
+        for stats in executor.worker_stats:
+            assert stats["chunks"] >= 1
+            assert stats["wall_seconds"] >= 0.0
+        # Worker pids are unique and the metrics snapshots are keyed by them.
+        pids = [w["pid"] for w in executor.worker_stats]
+        assert len(pids) == len(set(pids))
+        assert set(executor.worker_metrics) == set(pids)
+
+    def test_worker_metrics_count_trace_cache_hits(self, tmp_path):
+        Sweep(TINY, cache_dir=tmp_path, benchmarks=BENCHMARKS, mpl_nominals=MPLS)
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=2)
+        executor.run([(name, SPECS) for name in BENCHMARKS],
+                     lambda *args: None, progress=False)
+        merged_hits = sum(
+            snapshot.get("counters", {}).get("io.trace_cache_hits", 0)
+            for snapshot in executor.worker_metrics.values()
+        )
+        # Every worker loads each benchmark it sees from the warm cache.
+        assert merged_hits >= 1
+
+    def test_profiling_collects_chunk_profiles(self, tmp_path):
+        Sweep(TINY, cache_dir=tmp_path, benchmarks=BENCHMARKS, mpl_nominals=MPLS)
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=2,
+                                         chunk_size=2, profiling=True)
+        executor.run([(name, SPECS) for name in BENCHMARKS],
+                     lambda *args: None, progress=False)
+        assert executor.chunk_profiles, "profiling mode must collect profiles"
+        for profile in executor.chunk_profiles:
+            assert profile["wall_seconds"] >= 0.0
+            assert profile["peak_bytes"] > 0
+
+    def test_no_profiles_without_profiling(self, tmp_path):
+        Sweep(TINY, cache_dir=tmp_path, benchmarks=BENCHMARKS, mpl_nominals=MPLS)
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=2)
+        executor.run([(BENCHMARKS[0], SPECS)], lambda *args: None, progress=False)
+        assert executor.chunk_profiles == []

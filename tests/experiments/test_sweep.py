@@ -97,3 +97,61 @@ class TestSweepCache:
         second = sweep.baselines("db")
         assert first is second
         assert set(first.mpl_nominals) == set(MPLS)
+
+
+class TestRunManifest:
+    def test_ensure_writes_manifest(self, sweep, tmp_path):
+        from repro.obs.manifest import load_manifest
+
+        sweep.ensure(SPECS)
+        manifest = load_manifest(tmp_path / "sweep-tiny.manifest.json")
+        assert manifest["profile"] == "tiny"
+        assert manifest["benchmarks"] == ["db"]
+        assert manifest["jobs"] == 1
+        assert manifest["records"]["evaluated"] == len(SPECS) * len(MPLS)
+        assert manifest["records"]["total"] == len(SPECS) * len(MPLS)
+        assert manifest["fingerprints"].keys() == {"db"}
+        assert manifest["environment"]["python"]
+        counters = manifest["metrics"]["counters"]
+        assert counters["sweep.records_evaluated"] == len(SPECS) * len(MPLS)
+
+    def test_manifest_can_be_suppressed(self, sweep, tmp_path):
+        sweep.ensure(SPECS, manifest=False)
+        assert not (tmp_path / "sweep-tiny.manifest.json").exists()
+
+    def test_parallel_manifest_worker_invariant(self, tmp_path):
+        from repro.obs.manifest import load_manifest, summarize_manifest
+
+        sweep = Sweep(TINY, cache_dir=tmp_path, benchmarks=["db", "jlex"],
+                      mpl_nominals=MPLS)
+        sweep.ensure(SPECS, jobs=2)
+        manifest = load_manifest(sweep.manifest_path)
+        workers = manifest["workers"]
+        assert workers, "parallel run must record per-worker accounting"
+        assert sum(w["records"] for w in workers) == (
+            manifest["records"]["evaluated"]
+        )
+        summary = summarize_manifest(manifest)
+        assert "account for" in summary
+        assert "DO NOT" not in summary
+
+    def test_warm_rerun_manifest_reports_zero_evaluated(self, sweep, tmp_path):
+        from repro.obs.manifest import load_manifest
+
+        sweep.ensure(SPECS)
+        fresh = Sweep(TINY, cache_dir=tmp_path, benchmarks=["db"],
+                      mpl_nominals=MPLS)
+        fresh.ensure(SPECS)
+        manifest = load_manifest(fresh.manifest_path)
+        assert manifest["records"]["evaluated"] == 0
+        assert manifest["records"]["total"] == len(SPECS) * len(MPLS)
+        counters = manifest["metrics"]["counters"]
+        assert counters["sweep.cache_rows_loaded"] == len(SPECS) * len(MPLS)
+
+    def test_grid_fingerprint_stability(self):
+        from repro.experiments.sweep import grid_fingerprint
+
+        first = grid_fingerprint(SPECS, MPLS)
+        assert first == grid_fingerprint(list(SPECS), list(MPLS))
+        assert first != grid_fingerprint(SPECS[:1], MPLS)
+        assert first != grid_fingerprint(SPECS, (1_000,))

@@ -1,0 +1,72 @@
+"""Logging setup: levels, idempotence, and library silence by default."""
+
+import io
+import logging
+
+from repro.obs.logsetup import progress_logger, setup_logging
+
+
+def fresh_root():
+    """Strip handlers installed by earlier tests (logger objects are global)."""
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    return root
+
+
+def test_default_verbosity_is_info():
+    fresh_root()
+    stream = io.StringIO()
+    logger = setup_logging(stream=stream)
+    assert logger.level == logging.INFO
+    progress_logger("sweep").info("hello %d", 7)
+    progress_logger("sweep").debug("invisible")
+    assert stream.getvalue() == "[repro.sweep] hello 7\n"
+
+
+def test_verbose_enables_debug_and_quiet_suppresses_info():
+    fresh_root()
+    stream = io.StringIO()
+    setup_logging(verbosity=1, stream=stream)
+    progress_logger("x").debug("dbg")
+    assert "dbg" in stream.getvalue()
+
+    fresh_root()
+    stream = io.StringIO()
+    setup_logging(verbosity=-1, stream=stream)
+    progress_logger("x").info("quiet info")
+    progress_logger("x").warning("warn")
+    assert "quiet info" not in stream.getvalue()
+    assert "warn" in stream.getvalue()
+
+
+def test_setup_is_idempotent():
+    fresh_root()
+    stream = io.StringIO()
+    setup_logging(stream=stream)
+    setup_logging(stream=stream)
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+    progress_logger("y").info("once")
+    assert stream.getvalue().count("once") == 1
+
+
+def test_second_call_adjusts_level_in_place():
+    fresh_root()
+    stream = io.StringIO()
+    setup_logging(verbosity=0, stream=stream)
+    setup_logging(verbosity=-1, stream=stream)
+    progress_logger("z").info("hidden")
+    assert stream.getvalue() == ""
+
+
+def test_progress_logger_namespacing():
+    assert progress_logger("sweep").name == "repro.sweep"
+    assert progress_logger("repro.sweep").name == "repro.sweep"
+    assert progress_logger("repro").name == "repro"
+
+
+def test_library_does_not_propagate_to_root_after_setup():
+    fresh_root()
+    setup_logging(stream=io.StringIO())
+    assert logging.getLogger("repro").propagate is False

@@ -1,0 +1,106 @@
+"""Metrics registry: instruments, snapshots, and worker-style merging."""
+
+import json
+
+from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry, Timing
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("jobs").set(2)
+        registry.gauge("jobs").set(8)
+        assert registry.gauge("jobs").value == 8
+
+    def test_timing_summary(self):
+        timing = Timing()
+        for value in (0.2, 0.1, 0.4):
+            timing.observe(value)
+        assert timing.count == 3
+        assert timing.minimum == 0.1
+        assert timing.maximum == 0.4
+        assert abs(timing.mean - (0.7 / 3)) < 1e-12
+
+    def test_time_context_manager_observes(self):
+        registry = MetricsRegistry()
+        with registry.time("block"):
+            pass
+        timing = registry.timing("block")
+        assert timing.count == 1
+        assert timing.total >= 0.0
+
+    def test_get_does_not_create(self):
+        registry = MetricsRegistry()
+        assert registry.get("counter", "absent") is None
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestSnapshots:
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.5)
+        registry.timing("c").observe(0.25)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_empty_timing_snapshot_has_zero_min(self):
+        registry = MetricsRegistry()
+        registry.timing("t")
+        assert registry.snapshot()["timings"]["t"]["min"] == 0.0
+
+    def test_merge_semantics(self):
+        first = MetricsRegistry()
+        first.counter("records").inc(10)
+        first.gauge("jobs").set(2)
+        first.timing("chunk").observe(1.0)
+        second = MetricsRegistry()
+        second.counter("records").inc(5)
+        second.gauge("jobs").set(4)
+        second.timing("chunk").observe(3.0)
+        merged = MetricsRegistry.merged([first.snapshot(), second.snapshot()])
+        assert merged.counter("records").value == 15
+        assert merged.gauge("jobs").value == 4  # last write wins
+        timing = merged.timing("chunk")
+        assert timing.count == 2
+        assert timing.minimum == 1.0
+        assert timing.maximum == 3.0
+
+    def test_merge_is_associative(self):
+        snapshots = []
+        for increment in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("n").inc(increment)
+            registry.timing("t").observe(float(increment))
+            snapshots.append(registry.snapshot())
+        left = MetricsRegistry.merged(snapshots)
+        right = MetricsRegistry.merged([snapshots[0]])
+        right.merge(MetricsRegistry.merged(snapshots[1:]).snapshot())
+        assert left.snapshot() == right.snapshot()
+
+    def test_merging_empty_timing_is_a_noop(self):
+        registry = MetricsRegistry()
+        registry.timing("t").observe(2.0)
+        registry.merge({"timings": {"t": {"count": 0, "total": 0.0,
+                                          "min": 0.0, "max": 0.0}}})
+        assert registry.timing("t").count == 1
+        assert registry.timing("t").minimum == 2.0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "timings": {}}
+
+
+def test_global_registry_exists_and_is_a_registry():
+    assert isinstance(GLOBAL_METRICS, MetricsRegistry)
+    snapshot = GLOBAL_METRICS.snapshot()
+    assert set(snapshot) == {"counters", "gauges", "timings"}

@@ -1,0 +1,43 @@
+"""Chunk profiler: wall/memory sampling and tracemalloc stewardship."""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs.profiling import ChunkProfiler
+
+
+def test_profile_captures_wall_and_peak():
+    with ChunkProfiler("alloc") as profiler:
+        buffers = [bytearray(64 * 1024) for _ in range(8)]
+    profile = profiler.profile
+    assert profile.label == "alloc"
+    assert profile.wall_seconds >= 0.0
+    assert profile.peak_bytes >= 8 * 64 * 1024
+    assert len(buffers) == 8
+    d = profile.to_dict()
+    assert d["label"] == "alloc"
+    assert d["peak_bytes"] == profile.peak_bytes
+
+
+def test_profile_unavailable_before_exit():
+    profiler = ChunkProfiler("pending")
+    assert profiler.profile is None
+
+
+def test_owns_tracemalloc_when_not_tracing():
+    if tracemalloc.is_tracing():
+        pytest.skip("tracemalloc already active in this interpreter")
+    with ChunkProfiler("own"):
+        assert tracemalloc.is_tracing()
+    assert not tracemalloc.is_tracing()
+
+
+def test_leaves_existing_tracing_running():
+    tracemalloc.start()
+    try:
+        with ChunkProfiler("guest"):
+            pass
+        assert tracemalloc.is_tracing()
+    finally:
+        tracemalloc.stop()

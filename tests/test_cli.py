@@ -137,3 +137,85 @@ class TestSweep:
         assert main(argv + ["--jobs", "1"]) == 0
         # Fully warm: nothing recomputed, cache untouched.
         assert (tmp_path / "sweep-tinycli.jsonl").read_bytes() == cache_bytes
+
+    def test_sweep_writes_manifest(self, capsys, tmp_path, monkeypatch):
+        self._tiny_profile(monkeypatch)
+        capsys.readouterr()
+        code = main(
+            ["sweep", "--profile", "tinycli", "--jobs", "2",
+             "--benchmarks", "db", "--cache-dir", str(tmp_path), "--quiet"]
+        )
+        assert code == 0
+        assert "manifest:" in capsys.readouterr().out
+        assert (tmp_path / "sweep-tinycli.manifest.json").exists()
+
+
+class TestObs:
+    def _warm_sweep(self, tmp_path, monkeypatch):
+        TestSweep()._tiny_profile(monkeypatch)
+        main(["sweep", "--profile", "tinycli", "--jobs", "2",
+              "--benchmarks", "db", "--cache-dir", str(tmp_path), "--quiet"])
+        return tmp_path / "sweep-tinycli.manifest.json"
+
+    def test_summary_renders_manifest(self, capsys, tmp_path, monkeypatch):
+        manifest_path = self._warm_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["obs", "summary", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep manifest: profile 'tinycli'" in out
+        assert "worker records account for all" in out
+
+    def test_summary_accepts_cache_path(self, capsys, tmp_path, monkeypatch):
+        manifest_path = self._warm_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["obs", "summary",
+                     str(tmp_path / "sweep-tinycli.jsonl")]) == 0
+        assert "tinycli" in capsys.readouterr().out
+        assert manifest_path.exists()
+
+    def test_summary_missing_manifest_fails(self, capsys, tmp_path):
+        capsys.readouterr()
+        code = main(["obs", "summary", str(tmp_path / "absent.manifest.json")])
+        assert code == 1
+        assert "no run manifest" in capsys.readouterr().err
+
+    def test_diff_of_identical_manifests(self, capsys, tmp_path, monkeypatch):
+        manifest_path = self._warm_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(manifest_path), str(manifest_path)]) == 0
+        assert "(no differences)" in capsys.readouterr().out
+
+    def test_tail_prints_last_events(self, traced, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        main(["detect", str(traced / "db.btrace"), "--cw", "30",
+              "--threshold", "0.6", "--events", str(events)])
+        capsys.readouterr()
+        assert main(["obs", "tail", str(events), "-n", "2", "--validate"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert '"ev":"run_end"' in lines[-1]
+
+
+class TestEvents:
+    def test_detect_records_event_stream(self, traced, capsys, tmp_path):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        capsys.readouterr()
+        code = main(["detect", str(traced / "db.btrace"), "--cw", "30",
+                     "--threshold", "0.6", "--events", str(events)])
+        assert code == 0
+        assert "events:" in capsys.readouterr().out
+        lines = events.read_text().splitlines()
+        assert json.loads(lines[0])["ev"] == "run_begin"
+        assert json.loads(lines[-1])["ev"] == "run_end"
+
+    def test_score_records_event_stream(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        events = tmp_path / "events.jsonl"
+        capsys.readouterr()
+        code = main(["score", "db", "--scale", SCALE, "--mpl", "40",
+                     "--cw", "20", "--threshold", "0.6",
+                     "--events", str(events)])
+        assert code == 0
+        assert events.exists()
