@@ -27,10 +27,12 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.core import DetectorConfig, ModelKind, TrailingPolicy
+from repro.core.bank import DetectorBank
 from repro.core.engine import run_detector
 from repro.obs.manifest import environment_info
 from repro.profiles.synthetic import SyntheticTraceBuilder
@@ -55,6 +57,24 @@ CONFIGS = {
         threshold=0.6,
     ),
 }
+
+
+#: Members of the multi-config bank measurement (one sweep-like batch).
+BANK_SIZE = 16
+
+
+def _bank_configs():
+    """``BANK_SIZE`` configs cycling the matrix across thresholds, the
+    way a sweep grid mixes bank members."""
+    thresholds = (0.4, 0.5, 0.6, 0.7)
+    base = list(CONFIGS.values())
+    return [
+        replace(
+            base[i % len(base)],
+            threshold=thresholds[(i // len(base)) % len(thresholds)],
+        )
+        for i in range(BANK_SIZE)
+    ]
 
 
 def bench_trace():
@@ -88,6 +108,9 @@ def measure(repeats):
     # ratio; best-of-N on each side then discards transient spikes.
     cal_samples = []
     det_samples = {label: [] for label in CONFIGS}
+    bank_configs = _bank_configs()
+    seq_samples = []
+    bank_samples = []
     _calibration_workload()  # warm up the interpreter before timing
     run_detector(trace, next(iter(CONFIGS.values())))
     for _ in range(repeats):
@@ -96,7 +119,15 @@ def measure(repeats):
             det_samples[label].append(
                 _timed(lambda c=config: run_detector(trace, c))
             )
+        seq_samples.append(
+            _timed(lambda: [run_detector(trace, c) for c in bank_configs])
+        )
+        bank_samples.append(
+            _timed(lambda: DetectorBank(bank_configs).run(trace))
+        )
     calibration = min(cal_samples)
+    seq_seconds = min(seq_samples)
+    bank_seconds = min(bank_samples)
     configs = {}
     for label in CONFIGS:
         seconds = min(det_samples[label])
@@ -113,6 +144,14 @@ def measure(repeats):
         "elements": len(trace),
         "calibration_seconds": round(calibration, 6),
         "configs": configs,
+        "bank": {
+            "size": BANK_SIZE,
+            "sequential_seconds": round(seq_seconds, 6),
+            "sequential_normalized": round(seq_seconds / calibration, 4),
+            "bank_seconds": round(bank_seconds, 6),
+            "bank_normalized": round(bank_seconds / calibration, 4),
+            "speedup": round(seq_seconds / bank_seconds, 4),
+        },
         "aggregate_normalized": round(
             sum(entry["normalized"] for entry in configs.values()), 4
         ),
@@ -131,6 +170,12 @@ def _print_report(result):
     for label, entry in result["configs"].items():
         print(f"  {label:22s} {entry['seconds']:.4f}s "
               f"normalized={entry['normalized']:.4f}")
+    bank = result["bank"]
+    print(f"  bank[{bank['size']}] sequential   {bank['sequential_seconds']:.4f}s "
+          f"normalized={bank['sequential_normalized']:.4f}")
+    print(f"  bank[{bank['size']}] single-pass  {bank['bank_seconds']:.4f}s "
+          f"normalized={bank['bank_normalized']:.4f} "
+          f"(speedup {bank['speedup']:.2f}x)")
     print(f"aggregate normalized score: {result['aggregate_normalized']:.4f}")
 
 
@@ -183,6 +228,19 @@ def main(argv=None):
               f"(> {args.tolerance:.0%}) vs {baseline_path.name}",
               file=sys.stderr)
         return 1
+    bank_ref = baseline.get("bank")
+    if bank_ref is not None:
+        # The bank gate is the sequential/bank ratio, not wall time: both
+        # sides are measured in the same run, so the check is immune to
+        # host-speed drift that the calibration cannot fully cancel.
+        speedup = float(result["bank"]["speedup"])
+        print(f"bank speedup: {speedup:.2f}x "
+              f"(baseline {float(bank_ref['speedup']):.2f}x)")
+        if speedup < 1.0:
+            print(f"FAIL: {BANK_SIZE}-config bank was not faster than "
+                  f"{BANK_SIZE} sequential run_detector calls "
+                  f"({speedup:.2f}x)", file=sys.stderr)
+            return 1
     print("OK: within tolerance")
     return 0
 

@@ -5,6 +5,9 @@ Subcommands::
     repro trace <workload> --out DIR        # run a workload, save both traces
     repro oracle <file.cloop> --mpl N       # print the baseline solution
     repro detect <file.btrace> --cw N ...   # run one detector, print phases
+    repro detect ... --checkpoint F --checkpoint-at N  # suspend mid-trace
+    repro detect <file.btrace> --resume F   # resume from a checkpoint
+    repro bank <file.btrace> --cw N         # bank-vs-sequential benchmark
     repro score <workload|files> --mpl N    # detector-vs-oracle accuracy
     repro characteristics                   # Table 1(a) for the suite
     repro sweep --profile quick --jobs 4    # (re)fill the sweep record cache
@@ -50,8 +53,12 @@ from repro.workloads import load_traces, workload, workload_names
 from repro.workloads.characteristics import BenchmarkCharacteristics
 
 
-def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--cw", type=int, required=True, help="current-window size")
+def _add_detector_arguments(
+    parser: argparse.ArgumentParser, cw_required: bool = True
+) -> None:
+    parser.add_argument(
+        "--cw", type=int, required=cw_required, help="current-window size"
+    )
     parser.add_argument("--tw", type=int, default=None, help="trailing-window size (default: CW)")
     parser.add_argument("--skip", type=int, default=1, help="skip factor (default 1)")
     parser.add_argument(
@@ -125,18 +132,147 @@ def _run_with_events(trace, config, events_path):
     return result
 
 
-def cmd_detect(args: argparse.Namespace) -> int:
-    trace = read_trace(args.trace)
-    config = _config_from_args(args)
-    result = _run_with_events(trace, config, args.events)
+def _print_detection(config, result, total: int) -> None:
     print(f"detector: {config.describe()}")
-    print(f"{len(result.detected_phases)} phases over {len(trace):,} elements")
+    print(f"{len(result.detected_phases)} phases over {total:,} elements")
     for phase in result.detected_phases:
         print(
             f"  [{phase.detected_start:>9}, {phase.end:>9})  "
             f"anchor-corrected start {phase.corrected_start}"
         )
+
+
+def _detect_checkpoint(args: argparse.Namespace, trace) -> int:
+    """Run detection up to ``--checkpoint-at``, then serialize and stop."""
+    from repro.core.stream import StreamingDetector
+
+    config = _config_from_args(args)
+    at = args.checkpoint_at
+    if at is None or not 0 < at < len(trace):
+        print(
+            f"--checkpoint needs --checkpoint-at N with 0 < N < {len(trace)} "
+            f"(got {at})",
+            file=sys.stderr,
+        )
+        return 1
+    streaming = StreamingDetector(config)
+    streaming.feed(trace.array[:at])
+    path = Path(args.checkpoint)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(streaming.checkpoint()) + "\n", encoding="utf-8")
+    print(f"detector: {config.describe()}")
+    print(
+        f"checkpoint after {streaming.elements_fed:,} of {len(trace):,} "
+        f"elements -> {path}"
+    )
+    print(f"resume with: repro detect {args.trace} --resume {path}")
     return 0
+
+
+def _detect_resume(args: argparse.Namespace, trace) -> int:
+    """Resume a checkpointed detection over the rest of the trace."""
+    from repro.core.runtime import CheckpointError
+    from repro.core.stream import StreamingDetector
+
+    try:
+        data = json.loads(Path(args.resume).read_text(encoding="utf-8"))
+        streaming = StreamingDetector.restore(data)
+    except (OSError, json.JSONDecodeError, CheckpointError) as error:
+        print(f"cannot resume from {args.resume}: {error}", file=sys.stderr)
+        return 1
+    fed = streaming.elements_fed
+    if fed > len(trace):
+        print(
+            f"checkpoint is {fed:,} elements in but the trace has only "
+            f"{len(trace):,}",
+            file=sys.stderr,
+        )
+        return 1
+    streaming.feed(trace.array[fed:])
+    result = streaming.finish()
+    print(f"resumed at element {fed:,} from {args.resume}")
+    _print_detection(streaming.config, result, len(trace))
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    if args.resume is not None and args.checkpoint is not None:
+        print("--resume and --checkpoint are mutually exclusive", file=sys.stderr)
+        return 1
+    if args.resume is not None:
+        return _detect_resume(args, trace)
+    if args.cw is None:
+        print("--cw is required (unless resuming with --resume)", file=sys.stderr)
+        return 1
+    if args.checkpoint is not None:
+        return _detect_checkpoint(args, trace)
+    config = _config_from_args(args)
+    result = _run_with_events(trace, config, args.events)
+    _print_detection(config, result, len(trace))
+    return 0
+
+
+def cmd_bank(args: argparse.Namespace) -> int:
+    """Benchmark a multi-config DetectorBank against sequential runs."""
+    import time
+
+    from repro.core.bank import DetectorBank
+
+    trace = read_trace(args.trace)
+    base = _config_from_args(args)
+    configs = _bank_variants(base, args.size)
+    print(
+        f"bank benchmark: {len(configs)} configs over {len(trace):,} elements "
+        f"(best of {args.repeats})"
+    )
+
+    serial_best = float("inf")
+    serial_results = None
+    for _ in range(args.repeats):
+        started = time.perf_counter()
+        results = [run_detector(trace, config) for config in configs]
+        serial_best = min(serial_best, time.perf_counter() - started)
+        serial_results = results
+    bank_best = float("inf")
+    bank_results = None
+    for _ in range(args.repeats):
+        started = time.perf_counter()
+        results = DetectorBank(configs).run(trace)
+        bank_best = min(bank_best, time.perf_counter() - started)
+        bank_results = results
+
+    identical = all(
+        a.detected_phases == b.detected_phases
+        and bool((a.states == b.states).all())
+        for a, b in zip(serial_results, bank_results)
+    )
+    speedup = serial_best / bank_best if bank_best > 0 else float("inf")
+    print(f"  sequential: {serial_best:.4f}s ({len(configs)} run_detector calls)")
+    print(f"  bank:       {bank_best:.4f}s (single pass)")
+    print(f"  speedup:    {speedup:.2f}x; results identical: {identical}")
+    return 0 if identical else 1
+
+
+def _bank_variants(base: DetectorConfig, count: int) -> List[DetectorConfig]:
+    """A deterministic spread of ``count`` configs around ``base``.
+
+    Cycles model x trailing x threshold so the bank exercises mixed
+    members the way a sweep grid does.
+    """
+    from dataclasses import replace
+    from itertools import cycle, islice
+
+    variants = [
+        (model, trailing, threshold)
+        for threshold in (0.4, 0.5, 0.6, 0.7)
+        for model in ModelKind
+        for trailing in TrailingPolicy
+    ]
+    return [
+        replace(base, model=model, trailing=trailing, threshold=threshold)
+        for model, trailing, threshold in islice(cycle(variants), count)
+    ]
 
 
 def cmd_score(args: argparse.Namespace) -> int:
@@ -198,7 +334,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     jobs = resolve_jobs(args.jobs)
     benchmarks = args.benchmarks or None
     cache_dir = Path(args.cache_dir) if args.cache_dir is not None else None
-    sweep = Sweep(profile, cache_dir=cache_dir, benchmarks=benchmarks)
+    sweep = Sweep(
+        profile, cache_dir=cache_dir, benchmarks=benchmarks,
+        bank=not args.no_bank,
+    )
     records = sweep.ensure(
         paper_grid(profile), progress=not args.quiet, jobs=jobs,
         profiling=args.profiling,
@@ -297,8 +436,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     detect_parser = subparsers.add_parser("detect", help="run one detector over a branch trace")
     detect_parser.add_argument("trace", help="a .btrace or .trace file")
-    _add_detector_arguments(detect_parser)
+    _add_detector_arguments(detect_parser, cw_required=False)
+    detect_parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="suspend: write a versioned JSON checkpoint to FILE and stop "
+             "(requires --checkpoint-at; see docs/formats.md)",
+    )
+    detect_parser.add_argument(
+        "--checkpoint-at", type=int, default=None, metavar="N",
+        help="take the checkpoint after N elements",
+    )
+    detect_parser.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="resume a detection from a checkpoint FILE "
+             "(detector options come from the checkpoint)",
+    )
     detect_parser.set_defaults(handler=cmd_detect)
+
+    bank_parser = subparsers.add_parser(
+        "bank", help="benchmark a multi-config DetectorBank vs sequential runs"
+    )
+    bank_parser.add_argument("trace", help="a .btrace or .trace file")
+    _add_detector_arguments(bank_parser)
+    bank_parser.add_argument(
+        "--size", type=int, default=16, help="bank member count (default 16)"
+    )
+    bank_parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats, best-of (default 3)"
+    )
+    bank_parser.set_defaults(handler=cmd_bank)
 
     score_parser = subparsers.add_parser("score", help="score a detector against the oracle")
     score_parser.add_argument("workload", choices=workload_names())
@@ -347,6 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--profiling", action="store_true",
         help="sample wall time and tracemalloc peak per work chunk",
+    )
+    sweep_parser.add_argument(
+        "--no-bank", action="store_true",
+        help="evaluate one run_detector call per grid point instead of "
+             "single-pass multi-config banks (same records, slower)",
     )
     sweep_parser.set_defaults(handler=cmd_sweep)
 

@@ -32,11 +32,20 @@ from repro.core.config import (
     ResizePolicy,
     TrailingPolicy,
 )
+from repro.core.bank import DetectorBank
 from repro.core.detector import (
     DetectedPhase,
     DetectionResult,
     PhaseDetector,
     detect,
+)
+from repro.core.engine import run_detector
+from repro.core.runtime import (
+    CheckpointError,
+    DetectorRuntime,
+    PhaseTracker,
+    StepOutcome,
+    validate_checkpoint,
 )
 from repro.core.models import (
     SimilarityModel,
@@ -92,4 +101,11 @@ __all__ = [
     "DetectedPhase",
     "DetectionResult",
     "detect",
+    "run_detector",
+    "DetectorRuntime",
+    "DetectorBank",
+    "PhaseTracker",
+    "StepOutcome",
+    "CheckpointError",
+    "validate_checkpoint",
 ]

@@ -1,0 +1,128 @@
+"""DetectorBank: many detector configurations, one trace pass.
+
+A sweep evaluates a grid of configurations over the same benchmark
+trace.  Running :func:`~repro.core.engine.run_detector` per grid point
+re-decodes the trace (ndarray → list) and re-slices it into
+``skipFactor`` groups once per configuration, even though that work is
+identical for every member with the same skip factor.  The bank
+amortizes it: the trace is decoded exactly once, members are grouped
+into *lanes* by skip factor, and each lane's group chunking is built
+once per segment and shared by all of its members — converting the
+sweep's hot path from O(configs × trace walks) to O(trace walks) of
+decode/chunk work.
+
+Every member is an independent :class:`~repro.core.runtime.DetectorRuntime`
+advanced in lockstep over the shared groups, so results (states, phases,
+similarity statistics, observability events) are bit-identical to
+running each configuration alone — pinned by the equivalence tests and
+by the sweep cache byte-equality test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.runtime import (
+    SEGMENT_ELEMENTS,
+    DetectionResult,
+    DetectorRuntime,
+)
+from repro.profiles.trace import BranchTrace
+
+__all__ = ["DetectorBank"]
+
+
+class DetectorBank:
+    """N detector configurations advanced in lockstep over one trace.
+
+    ``observers`` optionally gives one observability sink per member
+    (positionally matched to ``configs``); each member's event stream is
+    identical to a solo run of that configuration.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[DetectorConfig],
+        observers: Optional[Sequence[object]] = None,
+    ) -> None:
+        configs = list(configs)
+        if not configs:
+            raise ValueError("DetectorBank needs at least one configuration")
+        if observers is None:
+            observers = [None] * len(configs)
+        elif len(observers) != len(configs):
+            raise ValueError(
+                f"got {len(observers)} observers for {len(configs)} configs"
+            )
+        self.runtimes = [
+            DetectorRuntime(config, observer=observer)
+            for config, observer in zip(configs, observers)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.runtimes)
+
+    @property
+    def configs(self) -> List[DetectorConfig]:
+        return [runtime.config for runtime in self.runtimes]
+
+    def run(self, trace: BranchTrace) -> List[DetectionResult]:
+        """Run every member over ``trace``; results in member order."""
+        data = trace.array
+        total = int(data.size)
+        elements = data.tolist()  # the one decode all members share
+        runtimes = self.runtimes
+
+        for runtime in runtimes:
+            observer = runtime.observer
+            if observer is not None:
+                observer.emit(
+                    {
+                        "ev": "run_begin",
+                        "step": 0,
+                        "trace": trace.name,
+                        "elements": total,
+                        "config": runtime.config.describe(),
+                    }
+                )
+
+        buffers = [bytearray(total) for _ in runtimes]
+        lanes: Dict[int, List[int]] = {}
+        for index, runtime in enumerate(runtimes):
+            lanes.setdefault(runtime.config.skip_factor, []).append(index)
+
+        for skip, members in lanes.items():
+            segment = skip * max(1, SEGMENT_ELEMENTS // skip)
+            base = 0
+            while base < total:
+                stop = min(base + segment, total)
+                groups = [
+                    elements[start : start + skip] for start in range(base, stop, skip)
+                ]
+                for index in members:
+                    runtimes[index].advance(groups, buffers[index], base)
+                base = stop
+
+        results: List[DetectionResult] = []
+        for index, runtime in enumerate(runtimes):
+            phases = runtime.finish(total)
+            observer = runtime.observer
+            if observer is not None:
+                observer.emit(
+                    {
+                        "ev": "run_end",
+                        "step": total,
+                        "phases": len(phases),
+                        "elements": total,
+                    }
+                )
+            states = np.frombuffer(bytes(buffers[index]), dtype=np.uint8).astype(bool)
+            results.append(
+                DetectionResult(
+                    states=states, detected_phases=phases, config=runtime.config
+                )
+            )
+        return results

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 
 class TrailingPolicy(enum.Enum):
@@ -149,6 +149,39 @@ class DetectorConfig:
             round(self.threshold, 6),
             round(self.delta, 6),
             round(self.enter_threshold, 6),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict representation (used by detector checkpoints)."""
+        return {
+            "cw_size": self.cw_size,
+            "tw_size": self.tw_size,
+            "skip_factor": self.skip_factor,
+            "trailing": self.trailing.value,
+            "anchor": self.anchor.value,
+            "resize": self.resize.value,
+            "model": self.model.value,
+            "analyzer": self.analyzer.value,
+            "threshold": self.threshold,
+            "delta": self.delta,
+            "enter_threshold": self.enter_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DetectorConfig":
+        """Inverse of :meth:`to_dict`; validates via ``__post_init__``."""
+        return cls(
+            cw_size=int(data["cw_size"]),
+            tw_size=None if data.get("tw_size") is None else int(data["tw_size"]),
+            skip_factor=int(data.get("skip_factor", 1)),
+            trailing=TrailingPolicy(data["trailing"]),
+            anchor=AnchorPolicy(data["anchor"]),
+            resize=ResizePolicy(data["resize"]),
+            model=ModelKind(data["model"]),
+            analyzer=AnalyzerKind(data["analyzer"]),
+            threshold=float(data["threshold"]),
+            delta=float(data["delta"]),
+            enter_threshold=float(data["enter_threshold"]),
         )
 
     def describe(self) -> str:

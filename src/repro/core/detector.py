@@ -1,9 +1,13 @@
 """The online phase detector (Figure 3's framework loop).
 
-:class:`PhaseDetector` is the reference implementation: readable and
-structured exactly like the paper's pseudo-code.  The optimized engine
-in :mod:`repro.core.engine` produces bit-identical output and is what
-the experiment sweeps use.
+:class:`PhaseDetector` is the reference front over the unified
+:class:`~repro.core.runtime.DetectorRuntime`: it always drives the
+runtime's component-based :meth:`~repro.core.runtime.DetectorRuntime.step`
+path, structured exactly like the paper's pseudo-code, and therefore
+supports injected custom models/analyzers (see
+:mod:`repro.core.extensions`).  The optimized path lives in the same
+runtime and is what :func:`repro.core.engine.run_detector` uses; the two
+are verified bit-identical by the equivalence tests.
 
 The detector consumes ``skipFactor`` profile elements per step and
 outputs one state per input element.  It also records, for each
@@ -14,67 +18,27 @@ where in the trailing window the phase actually began.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
-import numpy as np
-
-from repro.core.analyzers import Analyzer, build_analyzer
-from repro.core.config import DetectorConfig, TrailingPolicy
-from repro.core.models import SimilarityModel, build_model
+from repro.core.analyzers import Analyzer
+from repro.core.config import DetectorConfig
+from repro.core.models import SimilarityModel
+from repro.core.runtime import (
+    DetectedPhase,
+    DetectionResult,
+    DetectorRuntime,
+    StepOutcome,
+)
 from repro.core.state import PhaseState
 from repro.profiles.trace import BranchTrace
-from repro.scoring.states import Interval, states_from_phases
 
-
-@dataclass(frozen=True)
-class DetectedPhase:
-    """One detected phase with both raw and anchor-corrected starts.
-
-    ``mean_similarity`` is the running average of the phase's similarity
-    values — the optional confidence signal Section 2 mentions a client
-    may want.
-    """
-
-    detected_start: int
-    corrected_start: int
-    end: int
-    mean_similarity: float = 0.0
-
-    @property
-    def length(self) -> int:
-        return self.end - self.detected_start
-
-    @property
-    def confidence(self) -> float:
-        """Alias: how stable the phase's similarity was, in [0, 1]."""
-        return self.mean_similarity
-
-
-@dataclass
-class DetectionResult:
-    """The full output of a detector run over one trace."""
-
-    states: np.ndarray               # bool, True = P, one per element
-    detected_phases: List[DetectedPhase]
-    config: DetectorConfig
-    similarity_values: Optional[np.ndarray] = None
-
-    @property
-    def num_elements(self) -> int:
-        return int(self.states.size)
-
-    def phases(self) -> List[Interval]:
-        """Detected phase intervals as reported online (detection-time starts)."""
-        return [(p.detected_start, p.end) for p in self.detected_phases]
-
-    def corrected_phases(self) -> List[Interval]:
-        """Phase intervals with anchor-corrected starts (Figure 8)."""
-        return [(p.corrected_start, p.end) for p in self.detected_phases]
-
-    def corrected_states(self) -> np.ndarray:
-        """State array rebuilt from the anchor-corrected intervals."""
-        return states_from_phases(self.corrected_phases(), self.num_elements)
+__all__ = [
+    "DetectedPhase",
+    "DetectionResult",
+    "PhaseDetector",
+    "StepOutcome",
+    "detect",
+]
 
 
 class PhaseDetector:
@@ -88,16 +52,48 @@ class PhaseDetector:
     """
 
     def __init__(self, config: DetectorConfig, observer=None) -> None:
-        self.config = config
-        self.model: SimilarityModel = build_model(config)
-        self.analyzer: Analyzer = build_analyzer(config)
-        self.observer = observer
-        self.model.observer = observer  # windows emit tw_resize/window_flush
-        self.state = PhaseState.TRANSITION
-        self._adaptive = config.trailing is TrailingPolicy.ADAPTIVE
-        # Per-phase records built up during streaming.
-        self._phases: List[DetectedPhase] = []
-        self._open_phase: Optional[Tuple[int, int]] = None  # (det start, corrected)
+        self.runtime = DetectorRuntime(config, observer=observer)
+
+    # The model/analyzer/state/observer live in the runtime; these
+    # delegating properties keep the established surface, including
+    # post-construction component injection (extensions, metering).
+
+    @property
+    def config(self) -> DetectorConfig:
+        return self.runtime.config
+
+    @property
+    def model(self) -> SimilarityModel:
+        return self.runtime.model
+
+    @model.setter
+    def model(self, value: SimilarityModel) -> None:
+        self.runtime.model = value
+        value.observer = self.runtime.observer
+
+    @property
+    def analyzer(self) -> Analyzer:
+        return self.runtime.analyzer
+
+    @analyzer.setter
+    def analyzer(self, value: Analyzer) -> None:
+        self.runtime.analyzer = value
+
+    @property
+    def state(self) -> PhaseState:
+        return self.runtime.state
+
+    @state.setter
+    def state(self, value: PhaseState) -> None:
+        self.runtime.state = value
+
+    @property
+    def observer(self):
+        return self.runtime.observer
+
+    @observer.setter
+    def observer(self, value) -> None:
+        self.runtime.observer = value
 
     def process_profile(self, elements: Sequence[int]) -> PhaseState:
         """Consume the most recent ``skipFactor`` profile elements.
@@ -105,141 +101,22 @@ class PhaseDetector:
         Returns the new state, which applies to every element passed in.
         This is the framework's ``processProfile`` entry point.
         """
-        elements = list(elements)
-        model = self.model
-        model.push(elements)
-
-        observer = self.observer
-        if not model.filled:
-            new_state = PhaseState.TRANSITION
-            similarity = None
-        else:
-            similarity = model.similarity()
-            if observer is not None:
-                step = model.consumed
-                observer.emit(
-                    {
-                        "ev": "similarity",
-                        "step": step,
-                        "value": similarity,
-                        "cw": model.cw_length,
-                        "tw": model.tw_length,
-                    }
-                )
-                bar = self.analyzer.effective_bar(self.state)
-            new_state = self.analyzer.process_value(similarity, self.state)
-            if observer is not None:
-                observer.emit(
-                    {
-                        "ev": "decision",
-                        "step": step,
-                        "state": "P" if new_state.is_phase() else "T",
-                        "value": similarity,
-                        "bar": bar,
-                    }
-                )
-
-        if self.state.is_transition() and new_state.is_phase():
-            # Start phase: anchor the TW and reset analyzer statistics.
-            anchor_abs = model.anchor_and_resize(
-                self.config.anchor, self.config.resize, self._adaptive
-            )
-            self.analyzer.reset_stats(similarity if similarity is not None else 0.0)
-            detected_start = model.consumed - len(elements)
-            self._open_phase = (detected_start, min(anchor_abs, detected_start))
-            if observer is not None:
-                observer.emit(
-                    {
-                        "ev": "phase_enter",
-                        "step": model.consumed,
-                        "detected_start": detected_start,
-                        "corrected_start": min(anchor_abs, detected_start),
-                        "anchor": anchor_abs,
-                    }
-                )
-        elif self.state.is_phase() and new_state.is_transition():
-            # End phase: record it (while the stats are live), then
-            # flush the windows and reseed the CW.
-            self._close_phase(model.consumed - len(elements))
-            model.clear_and_seed(elements)
-            self.analyzer.clear()
-        elif self.state.is_phase():
-            # In phase: track statistics.
-            if similarity is not None:
-                self.analyzer.update_stats(similarity)
-
-        self.state = new_state
-        return new_state
-
-    def _close_phase(self, end: int) -> None:
-        if self._open_phase is not None:
-            detected_start, corrected_start = self._open_phase
-            stats = self.analyzer.stats
-            mean = stats.total / stats.count if stats.count else 0.0
-            self._phases.append(
-                DetectedPhase(detected_start, corrected_start, end, mean)
-            )
-            self._open_phase = None
-            if self.observer is not None:
-                self.observer.emit(
-                    {
-                        "ev": "phase_exit",
-                        "step": self.model.consumed,
-                        "detected_start": detected_start,
-                        "corrected_start": corrected_start,
-                        "end": end,
-                        "mean_similarity": mean,
-                    }
-                )
+        return self.runtime.step(elements).state
 
     def finish(self, total_elements: int) -> List[DetectedPhase]:
         """Close any phase still open at end of trace and return all phases."""
-        if self.state.is_phase():
-            self._close_phase(total_elements)
-            self.state = PhaseState.TRANSITION
-        return list(self._phases)
+        return self.runtime.finish(total_elements)
 
     def run(
         self, trace: BranchTrace, record_similarity: bool = False
     ) -> DetectionResult:
-        """Run the detector over a whole trace and collect per-element states."""
-        data = trace.array
-        total = int(data.size)
-        skip = self.config.skip_factor
-        states = np.zeros(total, dtype=bool)
-        similarities = np.full(total, np.nan) if record_similarity else None
-        if self.observer is not None:
-            self.observer.emit(
-                {
-                    "ev": "run_begin",
-                    "step": 0,
-                    "trace": trace.name,
-                    "elements": total,
-                    "config": self.config.describe(),
-                }
-            )
-        for start in range(0, total, skip):
-            group = data[start : start + skip].tolist()
-            new_state = self.process_profile(group)
-            if new_state.is_phase():
-                states[start : start + len(group)] = True
-            if record_similarity and self.model.filled:
-                similarities[start : start + len(group)] = self.model.similarity()
-        phases = self.finish(total)
-        if self.observer is not None:
-            self.observer.emit(
-                {
-                    "ev": "run_end",
-                    "step": total,
-                    "phases": len(phases),
-                    "elements": total,
-                }
-            )
-        return DetectionResult(
-            states=states,
-            detected_phases=phases,
-            config=self.config,
-            similarity_values=similarities,
+        """Run the detector over a whole trace and collect per-element states.
+
+        ``record_similarity`` collects, per element, the similarity value
+        each step's decision actually used (NaN while the windows fill).
+        """
+        return self.runtime.run(
+            trace, record_similarity=record_similarity, fused=False
         )
 
 

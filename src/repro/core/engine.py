@@ -1,48 +1,29 @@
-"""Optimized detector engine.
+"""Optimized detector entry point.
 
-Runs one detector configuration over a whole trace in a single
-monolithic loop with inlined window/count bookkeeping.  Produces output
-identical to :class:`repro.core.detector.PhaseDetector` (verified by
-equivalence tests in ``tests/core/test_engine_equivalence.py``) at
-several times the speed — this is what the experiment sweeps call.
-
-Key techniques:
-
-- similarity aggregates are maintained incrementally: the unweighted
-  model's distinct/shared counters always; the weighted model's scaled
-  numerator ``S = sum_e min(cw_e * |TW|, tw_e * |CW|)`` whenever both
-  window lengths are at their steady-state capacities (count deltas are
-  then exact with fixed lengths).  When lengths move — initial fill,
-  post-anchor refill, Adaptive TW growth — the numerator is recomputed
-  over the CW's distinct elements, which in-phase is small because the
-  content is repetitive;
-- states are accumulated in a bytearray and bulk-converted;
-- everything hot is a local variable.
+:func:`run_detector` runs one configuration over a whole trace on the
+unified :class:`~repro.core.runtime.DetectorRuntime`, letting it use the
+optimized fused path (the inlined window/count loop described in
+:mod:`repro.core.runtime`).  Output is identical to the reference
+:class:`~repro.core.detector.PhaseDetector` — verified by the
+equivalence tests in ``tests/core/`` — at several times the speed; this
+is what the experiment sweeps call.  For many configurations over one
+trace, prefer :class:`~repro.core.bank.DetectorBank`, which decodes and
+chunks the trace once.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import List
-
-import numpy as np
-
-from repro.core.config import (
-    AnalyzerKind,
-    AnchorPolicy,
-    DetectorConfig,
-    ModelKind,
-    ResizePolicy,
-    TrailingPolicy,
-)
-from repro.core.detector import DetectedPhase, DetectionResult
+from repro.core.config import DetectorConfig
+from repro.core.runtime import DetectionResult, DetectorRuntime
 from repro.profiles.trace import BranchTrace
+
+__all__ = ["run_detector"]
 
 
 def run_detector(
     trace: BranchTrace, config: DetectorConfig, observer=None
 ) -> DetectionResult:
-    """Run ``config`` over ``trace`` with the optimized engine.
+    """Run ``config`` over ``trace`` with the optimized runtime path.
 
     ``observer`` is an optional observability sink (see
     :mod:`repro.obs`); it receives the identical event stream the
@@ -50,353 +31,4 @@ def run_detector(
     default ``None`` keeps the hot loop free of event construction —
     the only added cost is one ``is not None`` test per step.
     """
-    total = int(trace.array.size)
-    elements: List[int] = trace.array.tolist()
-    emit = observer.emit if observer is not None else None
-    if emit is not None:
-        emit(
-            {
-                "ev": "run_begin",
-                "step": 0,
-                "trace": trace.name,
-                "elements": total,
-                "config": config.describe(),
-            }
-        )
-
-    cw_cap = config.cw_size
-    tw_cap = config.effective_tw_size
-    skip = config.skip_factor
-    adaptive = config.trailing is TrailingPolicy.ADAPTIVE
-    weighted = config.model is ModelKind.WEIGHTED
-    anchor_rn = config.anchor is AnchorPolicy.RN
-    resize_slide = config.resize is ResizePolicy.SLIDE
-    threshold_analyzer = config.analyzer is AnalyzerKind.THRESHOLD
-    threshold = config.threshold
-    delta = config.delta
-    enter_threshold = config.enter_threshold
-
-    cw: deque = deque()
-    tw: deque = deque()
-    cw_counts: dict = {}
-    tw_counts: dict = {}
-
-    # Unweighted aggregates (always maintained; they are cheap).
-    distinct_cw = 0
-    shared = 0
-    # Weighted aggregate; valid only when s_dirty is False.
-    s_num = 0
-    s_dirty = True
-
-    filled = False
-    growing = False
-    in_phase = False
-    stat_total = 0.0  # analyzer running stats for the current phase
-    stat_count = 0
-
-    states = bytearray(total)
-    phases: List[DetectedPhase] = []
-    open_detected = -1
-    open_corrected = -1
-    consumed = 0
-
-    cw_append = cw.append
-    cw_popleft = cw.popleft
-    tw_append = tw.append
-    tw_popleft = tw.popleft
-    cw_counts_get = cw_counts.get
-    tw_counts_get = tw_counts.get
-
-    position = 0
-    while position < total:
-        group = elements[position : position + skip]
-        group_len = len(group)
-
-        # The incremental weighted numerator is exact only while both
-        # windows sit at their steady-state lengths for the whole group.
-        steady_w = (
-            weighted
-            and not s_dirty
-            and filled
-            and not growing
-            and len(cw) == cw_cap
-            and len(tw) == tw_cap
-        )
-        if weighted and not steady_w:
-            s_dirty = True
-
-        # ---- push the group through the windows ------------------------------
-        for element in group:
-            consumed += 1
-            # CW add
-            cw_append(element)
-            count = cw_counts_get(element, 0) + 1
-            cw_counts[element] = count
-            if count == 1:
-                distinct_cw += 1
-                if element in tw_counts:
-                    shared += 1
-            if steady_w:
-                tw_count = tw_counts_get(element, 0)
-                if tw_count:
-                    s_num += min(count * tw_cap, tw_count * cw_cap) - min(
-                        (count - 1) * tw_cap, tw_count * cw_cap
-                    )
-            if len(cw) > cw_cap:
-                # CW evict -> TW add
-                old = cw_popleft()
-                old_count = cw_counts[old] - 1
-                if old_count:
-                    cw_counts[old] = old_count
-                else:
-                    del cw_counts[old]
-                    distinct_cw -= 1
-                    if old in tw_counts:
-                        shared -= 1
-                old_tw = tw_counts_get(old, 0)
-                if steady_w and old_tw:
-                    s_num += min(old_count * tw_cap, old_tw * cw_cap) - min(
-                        (old_count + 1) * tw_cap, old_tw * cw_cap
-                    )
-                tw_append(old)
-                tw_counts[old] = old_tw + 1
-                if old_tw == 0 and old_count:
-                    shared += 1
-                if steady_w and old_count:
-                    s_num += min(old_count * tw_cap, (old_tw + 1) * cw_cap) - min(
-                        old_count * tw_cap, old_tw * cw_cap
-                    )
-                if not growing and len(tw) > tw_cap:
-                    dead = tw_popleft()
-                    dead_count = tw_counts[dead] - 1
-                    if dead_count:
-                        tw_counts[dead] = dead_count
-                    else:
-                        del tw_counts[dead]
-                        if dead in cw_counts:
-                            shared -= 1
-                    if steady_w:
-                        dead_cw = cw_counts_get(dead, 0)
-                        if dead_cw:
-                            s_num += min(dead_cw * tw_cap, dead_count * cw_cap) - min(
-                                dead_cw * tw_cap, (dead_count + 1) * cw_cap
-                            )
-
-        if not filled and len(tw) >= tw_cap and len(cw) >= cw_cap:
-            filled = True
-
-        # ---- similarity + analyzer -------------------------------------------
-        if not filled:
-            new_in_phase = False
-            similarity = 0.0
-        else:
-            if weighted:
-                cw_len = len(cw)
-                tw_len = len(tw)
-                if s_dirty:
-                    s_num = 0
-                    for element, count in cw_counts.items():
-                        tw_count = tw_counts_get(element)
-                        if tw_count is not None:
-                            s_num += min(count * tw_len, tw_count * cw_len)
-                    if cw_len == cw_cap and tw_len == tw_cap:
-                        s_dirty = False
-                similarity = s_num / (cw_len * tw_len) if cw_len and tw_len else 0.0
-            else:
-                similarity = shared / distinct_cw if distinct_cw else 0.0
-            if threshold_analyzer:
-                new_in_phase = similarity >= threshold
-            elif in_phase and stat_count:
-                new_in_phase = similarity >= (stat_total / stat_count) - delta
-            else:
-                new_in_phase = similarity >= enter_threshold
-            if emit is not None:
-                emit(
-                    {
-                        "ev": "similarity",
-                        "step": consumed,
-                        "value": similarity,
-                        "cw": len(cw),
-                        "tw": len(tw),
-                    }
-                )
-                if threshold_analyzer:
-                    bar = threshold
-                elif in_phase and stat_count:
-                    bar = (stat_total / stat_count) - delta
-                else:
-                    bar = enter_threshold
-                emit(
-                    {
-                        "ev": "decision",
-                        "step": consumed,
-                        "state": "P" if new_in_phase else "T",
-                        "value": similarity,
-                        "bar": bar,
-                    }
-                )
-
-        # ---- state transitions (Figure 3) --------------------------------------
-        if not in_phase and new_in_phase:
-            # Start phase: anchor (and resize, if adaptive) the TW.
-            tw_start_abs = consumed - len(cw) - len(tw)
-            if anchor_rn:
-                anchor = 0
-                index = 0
-                for element in tw:
-                    if element not in cw_counts:
-                        anchor = index + 1
-                    index += 1
-            else:
-                anchor = len(tw)
-                index = 0
-                for element in tw:
-                    if element in cw_counts:
-                        anchor = index
-                        break
-                    index += 1
-            anchor_abs = tw_start_abs + anchor
-            moved_total = 0
-            if adaptive:
-                for _ in range(anchor):
-                    dead = tw_popleft()
-                    dead_count = tw_counts[dead] - 1
-                    if dead_count:
-                        tw_counts[dead] = dead_count
-                    else:
-                        del tw_counts[dead]
-                        if dead in cw_counts:
-                            shared -= 1
-                if resize_slide:
-                    moved_total = max(0, min(anchor, len(cw) - 1))
-                    for _ in range(moved_total):
-                        moved = cw_popleft()
-                        moved_count = cw_counts[moved] - 1
-                        if moved_count:
-                            cw_counts[moved] = moved_count
-                        else:
-                            del cw_counts[moved]
-                            distinct_cw -= 1
-                            if moved in tw_counts:
-                                shared -= 1
-                        tw_append(moved)
-                        tw_count = tw_counts_get(moved, 0) + 1
-                        tw_counts[moved] = tw_count
-                        if tw_count == 1 and moved in cw_counts:
-                            shared += 1
-                growing = True
-                s_dirty = True
-            stat_total = similarity
-            stat_count = 1
-            detected_start = consumed - group_len
-            open_detected = detected_start
-            open_corrected = anchor_abs if anchor_abs < detected_start else detected_start
-            if emit is not None:
-                if adaptive:
-                    emit(
-                        {
-                            "ev": "tw_resize",
-                            "step": consumed,
-                            "anchor": anchor,
-                            "dropped": anchor,
-                            "moved": moved_total,
-                            "policy": config.resize.value,
-                        }
-                    )
-                emit(
-                    {
-                        "ev": "phase_enter",
-                        "step": consumed,
-                        "detected_start": open_detected,
-                        "corrected_start": open_corrected,
-                        "anchor": anchor_abs,
-                    }
-                )
-        elif in_phase and not new_in_phase:
-            # End phase: record it, then flush windows and reseed the CW.
-            phase_mean = stat_total / stat_count if stat_count else 0.0
-            phases.append(
-                DetectedPhase(
-                    open_detected,
-                    open_corrected,
-                    consumed - group_len,
-                    phase_mean,
-                )
-            )
-            if emit is not None:
-                emit(
-                    {
-                        "ev": "phase_exit",
-                        "step": consumed,
-                        "detected_start": open_detected,
-                        "corrected_start": open_corrected,
-                        "end": consumed - group_len,
-                        "mean_similarity": phase_mean,
-                    }
-                )
-            open_detected = -1
-            cw.clear()
-            tw.clear()
-            cw_counts.clear()
-            tw_counts.clear()
-            distinct_cw = 0
-            shared = 0
-            s_num = 0
-            s_dirty = True
-            filled = False
-            growing = False
-            for element in group[-cw_cap:]:
-                cw_append(element)
-                count = cw_counts_get(element, 0) + 1
-                cw_counts[element] = count
-                if count == 1:
-                    distinct_cw += 1
-            if emit is not None:
-                emit(
-                    {
-                        "ev": "window_flush",
-                        "step": consumed,
-                        "seeded": min(group_len, cw_cap),
-                    }
-                )
-            stat_total = 0.0
-            stat_count = 0
-        elif in_phase:
-            stat_total += similarity
-            stat_count += 1
-
-        if new_in_phase:
-            states[consumed - group_len : consumed] = b"\x01" * group_len
-
-        in_phase = new_in_phase
-        position += skip
-
-    if in_phase and open_detected >= 0:
-        phase_mean = stat_total / stat_count if stat_count else 0.0
-        phases.append(
-            DetectedPhase(open_detected, open_corrected, total, phase_mean)
-        )
-        if emit is not None:
-            emit(
-                {
-                    "ev": "phase_exit",
-                    "step": total,
-                    "detected_start": open_detected,
-                    "corrected_start": open_corrected,
-                    "end": total,
-                    "mean_similarity": phase_mean,
-                }
-            )
-
-    if emit is not None:
-        emit(
-            {
-                "ev": "run_end",
-                "step": total,
-                "phases": len(phases),
-                "elements": total,
-            }
-        )
-
-    state_array = np.frombuffer(bytes(states), dtype=np.uint8).astype(bool)
-    return DetectionResult(states=state_array, detected_phases=phases, config=config)
+    return DetectorRuntime(config, observer=observer).run(trace)

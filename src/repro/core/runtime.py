@@ -1,0 +1,838 @@
+"""The unified incremental detector runtime.
+
+Every way this codebase runs a detector — the readable reference
+:class:`~repro.core.detector.PhaseDetector`, the optimized
+:func:`~repro.core.engine.run_detector`, the chunk-buffering
+:class:`~repro.core.stream.StreamingDetector`, and the multi-config
+:class:`~repro.core.bank.DetectorBank` — is a thin front over one
+:class:`DetectorRuntime`.  The runtime owns the full detector state
+(windows, counts, analyzer statistics, the open-phase record) and
+advances it ``skipFactor`` elements at a time, which is exactly the
+online contract of the paper's Figure 3 loop: the VM hands the detector
+one profile group per step.
+
+Two equivalent execution paths share that state:
+
+- :meth:`DetectorRuntime.step` — the reference path, structured like
+  the paper's pseudo-code on top of the pluggable
+  :class:`~repro.core.models.SimilarityModel` /
+  :class:`~repro.core.analyzers.Analyzer` components.  This is the path
+  custom components (extensions, metered models) go through, and it
+  returns a :class:`StepOutcome` carrying the similarity value the
+  decision actually used.
+- :meth:`DetectorRuntime.advance` — the optimized path: the former
+  engine loop, inlining the per-element window/count bookkeeping with
+  everything hot in local variables.  It operates directly on the
+  standard model's deques and count dicts and syncs all scalar state
+  back on exit, so the two paths interleave freely and a checkpoint
+  taken after either is identical.  Rare events (phase entry anchoring,
+  window flushes) are delegated to the same
+  :class:`~repro.core.windows.WindowPair` methods the reference path
+  uses.
+
+Phase bookkeeping — opening, anchor-corrected starts, closing, and the
+``phase_enter``/``phase_exit`` observability events — lives in
+:class:`PhaseTracker` and nowhere else.
+
+The runtime's state is serializable: :meth:`DetectorRuntime.checkpoint`
+returns a JSON-safe dict (versioned schema, see ``docs/formats.md``)
+from which :meth:`DetectorRuntime.restore` resumes with bit-identical
+continuation — same states, same phases, same event stream as an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.analyzers import (
+    Analyzer,
+    AverageAnalyzer,
+    ThresholdAnalyzer,
+    build_analyzer,
+)
+from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.models import (
+    SimilarityModel,
+    UnweightedSetModel,
+    WeightedSetModel,
+    build_model,
+)
+from repro.core.state import PhaseState
+from repro.profiles.trace import BranchTrace
+from repro.scoring.states import Interval, states_from_phases
+
+#: Elements per fused :meth:`DetectorRuntime.run` segment — bounds the
+#: transient group-list memory without measurable sync overhead.
+SEGMENT_ELEMENTS = 1 << 16
+
+#: ``format`` field of a serialized checkpoint.
+CHECKPOINT_FORMAT = "repro-detector-checkpoint"
+#: Current checkpoint schema version (see ``docs/formats.md``).
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DetectedPhase:
+    """One detected phase with both raw and anchor-corrected starts.
+
+    ``mean_similarity`` is the running average of the phase's similarity
+    values — the optional confidence signal Section 2 mentions a client
+    may want.
+    """
+
+    detected_start: int
+    corrected_start: int
+    end: int
+    mean_similarity: float = 0.0
+
+    @property
+    def length(self) -> int:
+        return self.end - self.detected_start
+
+    @property
+    def confidence(self) -> float:
+        """Alias: how stable the phase's similarity was, in [0, 1]."""
+        return self.mean_similarity
+
+
+@dataclass
+class DetectionResult:
+    """The full output of a detector run over one trace."""
+
+    states: np.ndarray               # bool, True = P, one per element
+    detected_phases: List[DetectedPhase]
+    config: DetectorConfig
+    similarity_values: Optional[np.ndarray] = None
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.states.size)
+
+    def phases(self) -> List[Interval]:
+        """Detected phase intervals as reported online (detection-time starts)."""
+        return [(p.detected_start, p.end) for p in self.detected_phases]
+
+    def corrected_phases(self) -> List[Interval]:
+        """Phase intervals with anchor-corrected starts (Figure 8)."""
+        return [(p.corrected_start, p.end) for p in self.detected_phases]
+
+    def corrected_states(self) -> np.ndarray:
+        """State array rebuilt from the anchor-corrected intervals."""
+        return states_from_phases(self.corrected_phases(), self.num_elements)
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one :meth:`DetectorRuntime.step` call did.
+
+    ``similarity`` is the value the analyzer's decision actually used —
+    ``None`` while the windows are still filling.  Callers that record
+    similarities must use this instead of re-querying the model: after
+    a phase-entry step the Adaptive TW has already been resized, and
+    after a phase-exit step the windows are flushed, so a recomputed
+    value would differ from the one the decision saw.
+    """
+
+    state: PhaseState
+    similarity: Optional[float]
+    entered: bool = False
+    closed: Optional[DetectedPhase] = None
+
+
+class CheckpointError(ValueError):
+    """Raised for malformed, unsupported, or impossible checkpoints."""
+
+
+class PhaseTracker:
+    """The single home of per-phase bookkeeping and boundary events.
+
+    Tracks the open phase (detection-time and anchor-corrected starts),
+    accumulates closed :class:`DetectedPhase` records, and emits the
+    ``phase_enter``/``phase_exit`` observability events.  Both runtime
+    paths — and nothing outside this module — drive it.
+    """
+
+    __slots__ = ("observer", "phases", "open_detected", "open_corrected")
+
+    def __init__(self, observer=None) -> None:
+        self.observer = observer
+        self.phases: List[DetectedPhase] = []
+        self.open_detected = -1
+        self.open_corrected = -1
+
+    @property
+    def open(self) -> bool:
+        """True while a phase is open (entered but not yet closed)."""
+        return self.open_detected >= 0
+
+    def enter(self, step: int, detected_start: int, anchor_abs: int) -> None:
+        """Open a phase detected at ``detected_start`` (anchor at ``anchor_abs``)."""
+        corrected = anchor_abs if anchor_abs < detected_start else detected_start
+        self.open_detected = detected_start
+        self.open_corrected = corrected
+        if self.observer is not None:
+            self.observer.emit(
+                {
+                    "ev": "phase_enter",
+                    "step": step,
+                    "detected_start": detected_start,
+                    "corrected_start": corrected,
+                    "anchor": anchor_abs,
+                }
+            )
+
+    def exit(self, step: int, end: int, mean_similarity: float) -> DetectedPhase:
+        """Close the open phase at ``end``; record and return it."""
+        phase = DetectedPhase(
+            self.open_detected, self.open_corrected, end, mean_similarity
+        )
+        self.phases.append(phase)
+        self.open_detected = -1
+        self.open_corrected = -1
+        if self.observer is not None:
+            self.observer.emit(
+                {
+                    "ev": "phase_exit",
+                    "step": step,
+                    "detected_start": phase.detected_start,
+                    "corrected_start": phase.corrected_start,
+                    "end": end,
+                    "mean_similarity": mean_similarity,
+                }
+            )
+        return phase
+
+
+class DetectorRuntime:
+    """One detector's full incremental state plus the two ways to advance it.
+
+    Args:
+        config: the detector configuration.
+        observer: optional observability sink (anything with an
+            ``emit(event: dict)`` method — see :mod:`repro.obs`); the
+            default ``None`` keeps both paths free of event
+            construction.
+        model: optional replacement similarity model (extensions); any
+            non-standard component routes :meth:`advance` through the
+            reference :meth:`step` path.
+        analyzer: optional replacement analyzer, same rules.
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        observer=None,
+        model: Optional[SimilarityModel] = None,
+        analyzer: Optional[Analyzer] = None,
+    ) -> None:
+        self.config = config
+        self.model: SimilarityModel = model if model is not None else build_model(config)
+        self.analyzer: Analyzer = analyzer if analyzer is not None else build_analyzer(config)
+        self.state = PhaseState.TRANSITION
+        self.tracker = PhaseTracker(observer)
+        self._adaptive = config.trailing is TrailingPolicy.ADAPTIVE
+        self._observer = observer
+        self.model.observer = observer  # windows emit tw_resize/window_flush
+
+    # -- observer plumbing -----------------------------------------------------
+
+    @property
+    def observer(self):
+        return self._observer
+
+    @observer.setter
+    def observer(self, value) -> None:
+        self._observer = value
+        self.model.observer = value
+        self.tracker.observer = value
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def consumed(self) -> int:
+        """Total profile elements consumed since the start of the stream."""
+        return self.model.consumed
+
+    @property
+    def phases(self) -> List[DetectedPhase]:
+        """Phases closed so far (the open phase, if any, is not included)."""
+        return self.tracker.phases
+
+    def fused_capable(self) -> bool:
+        """True when :meth:`advance` may use the optimized inline path.
+
+        Requires the exact standard component classes: subclasses and
+        wrappers (metered models, extension analyzers) carry their own
+        state the inline loop cannot maintain, so they take the
+        reference path.
+        """
+        return type(self.model) in (UnweightedSetModel, WeightedSetModel) and type(
+            self.analyzer
+        ) in (ThresholdAnalyzer, AverageAnalyzer)
+
+    # -- the reference path ----------------------------------------------------
+
+    def step(self, elements: Sequence[int]) -> StepOutcome:
+        """Consume one ``skipFactor`` group via the pluggable components.
+
+        This is the framework's ``processProfile`` entry point,
+        structured exactly like the paper's pseudo-code.  The returned
+        state applies to every element passed in.
+        """
+        elements = list(elements)
+        model = self.model
+        analyzer = self.analyzer
+        model.push(elements)
+
+        observer = self._observer
+        if not model.filled:
+            new_state = PhaseState.TRANSITION
+            similarity: Optional[float] = None
+        else:
+            similarity = model.similarity()
+            if observer is not None:
+                step = model.consumed
+                observer.emit(
+                    {
+                        "ev": "similarity",
+                        "step": step,
+                        "value": similarity,
+                        "cw": model.cw_length,
+                        "tw": model.tw_length,
+                    }
+                )
+                bar = analyzer.effective_bar(self.state)
+            new_state = analyzer.process_value(similarity, self.state)
+            if observer is not None:
+                observer.emit(
+                    {
+                        "ev": "decision",
+                        "step": step,
+                        "state": "P" if new_state.is_phase() else "T",
+                        "value": similarity,
+                        "bar": bar,
+                    }
+                )
+
+        entered = False
+        closed: Optional[DetectedPhase] = None
+        if self.state.is_transition() and new_state.is_phase():
+            # Start phase: anchor the TW and reset analyzer statistics.
+            anchor_abs = model.anchor_and_resize(
+                self.config.anchor, self.config.resize, self._adaptive
+            )
+            analyzer.reset_stats(similarity if similarity is not None else 0.0)
+            detected_start = model.consumed - len(elements)
+            self.tracker.enter(model.consumed, detected_start, anchor_abs)
+            entered = True
+        elif self.state.is_phase() and new_state.is_transition():
+            # End phase: record it (while the stats are live), then
+            # flush the windows and reseed the CW.
+            closed = self._close(model.consumed - len(elements))
+            model.clear_and_seed(elements)
+            analyzer.clear()
+        elif self.state.is_phase():
+            # In phase: track statistics.
+            if similarity is not None:
+                analyzer.update_stats(similarity)
+
+        self.state = new_state
+        return StepOutcome(new_state, similarity, entered, closed)
+
+    def _close(self, end: int) -> DetectedPhase:
+        stats = self.analyzer.stats
+        mean = stats.total / stats.count if stats.count else 0.0
+        return self.tracker.exit(self.model.consumed, end, mean)
+
+    def finish(self, total_elements: int) -> List[DetectedPhase]:
+        """Close any phase still open at end of stream; return all phases."""
+        if self.state.is_phase():
+            self._close(total_elements)
+            self.state = PhaseState.TRANSITION
+        return list(self.tracker.phases)
+
+    # -- the optimized path ----------------------------------------------------
+
+    def advance(
+        self, groups: Sequence[Sequence[int]], states: bytearray, base: int
+    ) -> None:
+        """Advance over pre-chunked ``skipFactor`` groups.
+
+        ``states`` must already hold zero bytes for every element in
+        ``groups`` starting at offset ``base``; in-phase groups are
+        marked with ``\\x01``.  With the standard components this runs
+        the optimized inline loop; otherwise it loops :meth:`step`.
+        """
+        if self.fused_capable():
+            self._advance_fused(groups, states, base)
+            return
+        offset = base
+        for group in groups:
+            outcome = self.step(group)
+            group_len = len(group)
+            if outcome.state.is_phase():
+                states[offset : offset + group_len] = b"\x01" * group_len
+            offset += group_len
+
+    def _advance_fused(
+        self, groups: Sequence[Sequence[int]], states: bytearray, base: int
+    ) -> None:
+        """The optimized loop (the former engine, see module docstring).
+
+        Key techniques:
+
+        - similarity aggregates are maintained incrementally: the
+          unweighted model's distinct/shared counters always; the
+          weighted model's scaled numerator
+          ``S = sum_e min(cw_e * |TW|, tw_e * |CW|)`` whenever both
+          window lengths are at their steady-state capacities (count
+          deltas are then exact with fixed lengths).  When lengths move
+          — initial fill, post-anchor refill, Adaptive TW growth — the
+          numerator is recomputed over the CW's distinct elements,
+          which in-phase is small because the content is repetitive;
+        - everything hot is a local variable, synced back to the model
+          and analyzer objects on exit (and around the rare transition
+          calls into :class:`~repro.core.windows.WindowPair`).
+        """
+        config = self.config
+        model = self.model
+        analyzer = self.analyzer
+        tracker = self.tracker
+        observer = self._observer
+        emit = observer.emit if observer is not None else None
+
+        cw_cap = model.cw_capacity
+        tw_cap = model.tw_capacity
+        adaptive = self._adaptive
+        weighted = type(model) is WeightedSetModel
+        threshold_analyzer = type(analyzer) is ThresholdAnalyzer
+        threshold = analyzer.threshold if threshold_analyzer else 0.0
+        delta = 0.0 if threshold_analyzer else analyzer.delta
+        enter_threshold = 0.0 if threshold_analyzer else analyzer.enter_threshold
+        anchor_policy = config.anchor
+        resize_policy = config.resize
+
+        cw = model._cw
+        tw = model._tw
+        cw_counts = model.cw_counts
+        tw_counts = model.tw_counts
+        consumed = model.consumed
+        filled = model.filled
+        growing = model.growing
+        in_phase = self.state is PhaseState.PHASE
+
+        stats = analyzer.stats
+        stat_total = stats.total
+        stat_count = stats.count
+        stat_min = stats.minimum
+        stat_max = stats.maximum
+
+        # Unweighted aggregates (always maintained; they are cheap).
+        distinct_cw = len(cw_counts)
+        shared = 0
+        for element in cw_counts:
+            if element in tw_counts:
+                shared += 1
+        # Weighted aggregate; valid only when s_dirty is False.
+        s_num = 0
+        s_dirty = True
+
+        cw_append = cw.append
+        cw_popleft = cw.popleft
+        tw_append = tw.append
+        tw_popleft = tw.popleft
+        cw_counts_get = cw_counts.get
+        tw_counts_get = tw_counts.get
+
+        offset = base
+        for group in groups:
+            group_len = len(group)
+
+            # The incremental weighted numerator is exact only while both
+            # windows sit at their steady-state lengths for the whole group.
+            steady_w = (
+                weighted
+                and not s_dirty
+                and filled
+                and not growing
+                and len(cw) == cw_cap
+                and len(tw) == tw_cap
+            )
+            if weighted and not steady_w:
+                s_dirty = True
+
+            # ---- push the group through the windows --------------------------
+            for element in group:
+                consumed += 1
+                # CW add
+                cw_append(element)
+                count = cw_counts_get(element, 0) + 1
+                cw_counts[element] = count
+                if count == 1:
+                    distinct_cw += 1
+                    if element in tw_counts:
+                        shared += 1
+                if steady_w:
+                    tw_count = tw_counts_get(element, 0)
+                    if tw_count:
+                        s_num += min(count * tw_cap, tw_count * cw_cap) - min(
+                            (count - 1) * tw_cap, tw_count * cw_cap
+                        )
+                if len(cw) > cw_cap:
+                    # CW evict -> TW add
+                    old = cw_popleft()
+                    old_count = cw_counts[old] - 1
+                    if old_count:
+                        cw_counts[old] = old_count
+                    else:
+                        del cw_counts[old]
+                        distinct_cw -= 1
+                        if old in tw_counts:
+                            shared -= 1
+                    old_tw = tw_counts_get(old, 0)
+                    if steady_w and old_tw:
+                        s_num += min(old_count * tw_cap, old_tw * cw_cap) - min(
+                            (old_count + 1) * tw_cap, old_tw * cw_cap
+                        )
+                    tw_append(old)
+                    tw_counts[old] = old_tw + 1
+                    if old_tw == 0 and old_count:
+                        shared += 1
+                    if steady_w and old_count:
+                        s_num += min(old_count * tw_cap, (old_tw + 1) * cw_cap) - min(
+                            old_count * tw_cap, old_tw * cw_cap
+                        )
+                    if not growing and len(tw) > tw_cap:
+                        dead = tw_popleft()
+                        dead_count = tw_counts[dead] - 1
+                        if dead_count:
+                            tw_counts[dead] = dead_count
+                        else:
+                            del tw_counts[dead]
+                            if dead in cw_counts:
+                                shared -= 1
+                        if steady_w:
+                            dead_cw = cw_counts_get(dead, 0)
+                            if dead_cw:
+                                s_num += min(
+                                    dead_cw * tw_cap, dead_count * cw_cap
+                                ) - min(dead_cw * tw_cap, (dead_count + 1) * cw_cap)
+
+            if not filled and len(tw) >= tw_cap and len(cw) >= cw_cap:
+                filled = True
+
+            # ---- similarity + analyzer ---------------------------------------
+            if not filled:
+                new_in_phase = False
+                similarity = 0.0
+            else:
+                if weighted:
+                    cw_len = len(cw)
+                    tw_len = len(tw)
+                    if s_dirty:
+                        s_num = 0
+                        for element, count in cw_counts.items():
+                            tw_count = tw_counts_get(element)
+                            if tw_count is not None:
+                                s_num += min(count * tw_len, tw_count * cw_len)
+                        if cw_len == cw_cap and tw_len == tw_cap:
+                            s_dirty = False
+                    similarity = s_num / (cw_len * tw_len) if cw_len and tw_len else 0.0
+                else:
+                    similarity = shared / distinct_cw if distinct_cw else 0.0
+                if threshold_analyzer:
+                    new_in_phase = similarity >= threshold
+                elif in_phase and stat_count:
+                    new_in_phase = similarity >= (stat_total / stat_count) - delta
+                else:
+                    new_in_phase = similarity >= enter_threshold
+                if emit is not None:
+                    emit(
+                        {
+                            "ev": "similarity",
+                            "step": consumed,
+                            "value": similarity,
+                            "cw": len(cw),
+                            "tw": len(tw),
+                        }
+                    )
+                    if threshold_analyzer:
+                        bar = threshold
+                    elif in_phase and stat_count:
+                        bar = (stat_total / stat_count) - delta
+                    else:
+                        bar = enter_threshold
+                    emit(
+                        {
+                            "ev": "decision",
+                            "step": consumed,
+                            "state": "P" if new_in_phase else "T",
+                            "value": similarity,
+                            "bar": bar,
+                        }
+                    )
+
+            # ---- state transitions (Figure 3) --------------------------------
+            if not in_phase and new_in_phase:
+                # Start phase: sync the model and delegate anchoring (and
+                # the Adaptive resize + tw_resize event) to the windows.
+                model.consumed = consumed
+                model.filled = filled
+                model.growing = growing
+                if not weighted:
+                    model._distinct_cw = distinct_cw
+                    model._shared = shared
+                anchor_abs = model.anchor_and_resize(
+                    anchor_policy, resize_policy, adaptive
+                )
+                growing = model.growing
+                distinct_cw = len(cw_counts)
+                shared = 0
+                for element in cw_counts:
+                    if element in tw_counts:
+                        shared += 1
+                s_dirty = True
+                analyzer.reset_stats(similarity)
+                stat_total = stats.total
+                stat_count = stats.count
+                stat_min = stats.minimum
+                stat_max = stats.maximum
+                tracker.enter(consumed, consumed - group_len, anchor_abs)
+            elif in_phase and not new_in_phase:
+                # End phase: record it, then flush windows and reseed the CW.
+                phase_mean = stat_total / stat_count if stat_count else 0.0
+                tracker.exit(consumed, consumed - group_len, phase_mean)
+                model.consumed = consumed
+                if not weighted:
+                    model._distinct_cw = distinct_cw
+                    model._shared = shared
+                model.clear_and_seed(list(group))
+                analyzer.clear()
+                filled = False
+                growing = False
+                distinct_cw = len(cw_counts)
+                shared = 0
+                s_num = 0
+                s_dirty = True
+                stat_total = stats.total
+                stat_count = stats.count
+                stat_min = stats.minimum
+                stat_max = stats.maximum
+            elif in_phase:
+                stat_total += similarity
+                stat_count += 1
+                if similarity < stat_min:
+                    stat_min = similarity
+                if similarity > stat_max:
+                    stat_max = similarity
+
+            if new_in_phase:
+                states[offset : offset + group_len] = b"\x01" * group_len
+
+            in_phase = new_in_phase
+            offset += group_len
+
+        # ---- sync everything back so the paths interleave freely -------------
+        model.consumed = consumed
+        model.filled = filled
+        model.growing = growing
+        if not weighted:
+            model._distinct_cw = distinct_cw
+            model._shared = shared
+        stats.total = stat_total
+        stats.count = stat_count
+        stats.minimum = stat_min
+        stats.maximum = stat_max
+        self.state = PhaseState.PHASE if in_phase else PhaseState.TRANSITION
+
+    # -- whole-trace driving ---------------------------------------------------
+
+    def run(
+        self,
+        trace: BranchTrace,
+        record_similarity: bool = False,
+        fused: Optional[bool] = None,
+    ) -> DetectionResult:
+        """Run this runtime over a whole trace from its current state.
+
+        ``fused=None`` picks the optimized path whenever the components
+        allow it; ``fused=False`` forces the reference :meth:`step` loop
+        (what :class:`~repro.core.detector.PhaseDetector` uses, keeping
+        the two paths independently testable).  ``record_similarity``
+        collects the per-step similarity values the decisions used
+        (reference path only).
+        """
+        data = trace.array
+        total = int(data.size)
+        skip = self.config.skip_factor
+        observer = self._observer
+        if observer is not None:
+            observer.emit(
+                {
+                    "ev": "run_begin",
+                    "step": 0,
+                    "trace": trace.name,
+                    "elements": total,
+                    "config": self.config.describe(),
+                }
+            )
+        use_fused = self.fused_capable() if fused is None else fused
+        if record_similarity or not use_fused:
+            states, similarities = self._run_reference(data, total, skip, record_similarity)
+        else:
+            states = self._run_fused(data, total, skip)
+            similarities = None
+        # For a fresh runtime consumed == total; a restored runtime closes
+        # its final phase at the absolute stream position instead.
+        phases = self.finish(self.model.consumed)
+        if observer is not None:
+            observer.emit(
+                {
+                    "ev": "run_end",
+                    "step": total,
+                    "phases": len(phases),
+                    "elements": total,
+                }
+            )
+        return DetectionResult(
+            states=states,
+            detected_phases=phases,
+            config=self.config,
+            similarity_values=similarities,
+        )
+
+    def _run_reference(self, data, total: int, skip: int, record_similarity: bool):
+        states = np.zeros(total, dtype=bool)
+        similarities = np.full(total, np.nan) if record_similarity else None
+        elements = data.tolist()
+        for start in range(0, total, skip):
+            group = elements[start : start + skip]
+            outcome = self.step(group)
+            group_len = len(group)
+            if outcome.state.is_phase():
+                states[start : start + group_len] = True
+            if similarities is not None and outcome.similarity is not None:
+                similarities[start : start + group_len] = outcome.similarity
+        return states, similarities
+
+    def _run_fused(self, data, total: int, skip: int) -> np.ndarray:
+        buffer = bytearray(total)
+        elements = data.tolist()
+        segment = skip * max(1, SEGMENT_ELEMENTS // skip)
+        base = 0
+        while base < total:
+            stop = min(base + segment, total)
+            groups = [elements[start : start + skip] for start in range(base, stop, skip)]
+            self._advance_fused(groups, buffer, base)
+            base = stop
+        return np.frombuffer(bytes(buffer), dtype=np.uint8).astype(bool)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Serialize the full detector state as a JSON-safe dict.
+
+        The schema is versioned (``version`` = :data:`CHECKPOINT_VERSION`,
+        documented in ``docs/formats.md``); :meth:`restore` resumes with
+        bit-identical continuation.  Only the standard model/analyzer
+        components are serializable — custom components raise
+        :class:`CheckpointError`.
+        """
+        if not self.fused_capable():
+            raise CheckpointError(
+                "checkpointing requires the standard model/analyzer components, "
+                f"got {type(self.model).__name__}/{type(self.analyzer).__name__}"
+            )
+        model = self.model
+        stats = self.analyzer.stats
+        tracker = self.tracker
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "config": self.config.to_dict(),
+            "consumed": model.consumed,
+            "state": self.state.value,
+            "filled": model.filled,
+            "growing": model.growing,
+            "cw": [int(element) for element in model._cw],
+            "tw": [int(element) for element in model._tw],
+            "stats": {
+                "count": stats.count,
+                "total": stats.total,
+                "minimum": stats.minimum,
+                "maximum": stats.maximum,
+            },
+            "open_phase": (
+                [tracker.open_detected, tracker.open_corrected]
+                if tracker.open
+                else None
+            ),
+            "phases": [
+                [p.detected_start, p.corrected_start, p.end, p.mean_similarity]
+                for p in tracker.phases
+            ],
+        }
+
+    @classmethod
+    def restore(cls, data: Dict[str, object], observer=None) -> "DetectorRuntime":
+        """Rebuild a runtime from a :meth:`checkpoint` dict."""
+        validate_checkpoint(data)
+        config = DetectorConfig.from_dict(data["config"])  # type: ignore[arg-type]
+        runtime = cls(config, observer=observer)
+        model = runtime.model
+        # Replay the windows through the add hooks so the model's
+        # incremental aggregates are rebuilt exactly (TW first: the
+        # shared count is attributed on the CW side).
+        for element in data["tw"]:  # type: ignore[union-attr]
+            model._tw_add(int(element))
+        for element in data["cw"]:  # type: ignore[union-attr]
+            model._cw_add(int(element))
+        model.consumed = int(data["consumed"])  # type: ignore[arg-type]
+        model.filled = bool(data["filled"])
+        model.growing = bool(data["growing"])
+        stats_data: Dict[str, object] = data["stats"]  # type: ignore[assignment]
+        stats = runtime.analyzer.stats
+        stats.count = int(stats_data["count"])  # type: ignore[arg-type]
+        stats.total = float(stats_data["total"])  # type: ignore[arg-type]
+        stats.minimum = float(stats_data["minimum"])  # type: ignore[arg-type]
+        stats.maximum = float(stats_data["maximum"])  # type: ignore[arg-type]
+        runtime.state = PhaseState(data["state"])
+        tracker = runtime.tracker
+        open_phase = data.get("open_phase")
+        if open_phase is not None:
+            tracker.open_detected = int(open_phase[0])  # type: ignore[index]
+            tracker.open_corrected = int(open_phase[1])  # type: ignore[index]
+        tracker.phases = [
+            DetectedPhase(int(p[0]), int(p[1]), int(p[2]), float(p[3]))
+            for p in data["phases"]  # type: ignore[union-attr]
+        ]
+        return runtime
+
+
+def validate_checkpoint(data: Dict[str, object]) -> None:
+    """Check a checkpoint dict's envelope; raise :class:`CheckpointError`.
+
+    Unknown versions are rejected outright — a newer schema may encode
+    state this code cannot faithfully resume.
+    """
+    if not isinstance(data, dict):
+        raise CheckpointError(f"checkpoint must be a dict, got {type(data).__name__}")
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a detector checkpoint (format={data.get('format')!r})"
+        )
+    version = data.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    required = ("config", "consumed", "state", "filled", "growing",
+                "cw", "tw", "stats", "phases")
+    missing = [field for field in required if field not in data]
+    if missing:
+        raise CheckpointError(f"checkpoint missing fields {missing}")

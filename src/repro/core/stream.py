@@ -6,32 +6,42 @@ VM hands the detector ``skipFactor`` elements at a time.  This module
 provides the two glue layers a deployment needs:
 
 - :class:`StreamingDetector` — buffers an arbitrary-chunk element feed
-  and drives :class:`~repro.core.detector.PhaseDetector` exactly
+  and drives a :class:`~repro.core.runtime.DetectorRuntime` exactly
   ``skipFactor`` elements per step (notifying an optional callback at
   every phase boundary);
 - :func:`detect_stream` — detection over a binary trace file via
   :func:`repro.profiles.io.stream_trace`, with memory bounded by the
   chunk size plus the window state.
 
-Both produce output identical to an in-memory ``run()`` (tested).
+Both produce output identical to an in-memory ``run()`` (tested).  A
+stream can also be suspended and resumed: :meth:`StreamingDetector.checkpoint`
+wraps the runtime's versioned checkpoint with the stream's own state
+(pending buffer, per-element states so far) for bit-identical
+continuation — see ``docs/formats.md``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+import base64
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.config import DetectorConfig
-from repro.core.detector import DetectedPhase, DetectionResult, PhaseDetector
-from repro.core.state import PhaseState
+from repro.core.runtime import (
+    CheckpointError,
+    DetectedPhase,
+    DetectionResult,
+    DetectorRuntime,
+)
 
 #: Callback signature: (event, position) with event "start" or "end".
 BoundaryCallback = Callable[[str, int], None]
 
 
 class StreamingDetector:
-    """Chunk-buffering front end for the reference detector.
+    """Chunk-buffering front end for the unified detector runtime.
 
     Feed chunks of any size with :meth:`feed`; call :meth:`finish` at
     end of stream.  States are accumulated per element; boundary events
@@ -44,9 +54,13 @@ class StreamingDetector:
         self,
         config: DetectorConfig,
         on_boundary: Optional[BoundaryCallback] = None,
+        runtime: Optional[DetectorRuntime] = None,
+        observer=None,
     ) -> None:
         self.config = config
-        self.detector = PhaseDetector(config)
+        self.runtime = (
+            runtime if runtime is not None else DetectorRuntime(config, observer=observer)
+        )
         self._buffer: List[int] = []
         self._states = bytearray()
         self._position = 0
@@ -58,35 +72,52 @@ class StreamingDetector:
         """Number of elements consumed so far."""
         return self._position
 
+    @property
+    def elements_fed(self) -> int:
+        """Elements handed to :meth:`feed` so far (consumed + pending buffer)."""
+        return self._position + len(self._buffer)
+
     def feed(self, chunk: Union[Sequence[int], np.ndarray]) -> None:
         """Consume one chunk of profile elements (any length)."""
         if isinstance(chunk, np.ndarray):
             chunk = chunk.tolist()
         self._buffer.extend(chunk)
         skip = self.config.skip_factor
-        while len(self._buffer) >= skip:
-            group = self._buffer[:skip]
-            del self._buffer[:skip]
-            self._step(group)
+        whole = (len(self._buffer) // skip) * skip
+        if whole:
+            groups = [self._buffer[start : start + skip] for start in range(0, whole, skip)]
+            del self._buffer[:whole]
+            self._advance(groups, whole)
 
-    def _step(self, group: List[int]) -> None:
-        state = self.detector.process_profile(group)
-        in_phase = state is PhaseState.PHASE
-        self._states.extend(b"\x01" * len(group) if in_phase else b"\x00" * len(group))
+    def _advance(self, groups: List[List[int]], length: int) -> None:
+        base = self._position
+        self._states.extend(bytes(length))
+        self.runtime.advance(groups, self._states, base)
+        self._position += length
         if self._on_boundary is not None:
-            if in_phase and not self._in_phase:
-                self._on_boundary("start", self._position)
-            elif self._in_phase and not in_phase:
-                self._on_boundary("end", self._position)
-        self._in_phase = in_phase
-        self._position += len(group)
+            # Every element of a group shares its step's state, so the
+            # byte transitions in the freshly written region are exactly
+            # the boundary positions (position *before* the group).
+            states = self._states
+            in_phase = self._in_phase
+            for start in range(base, self._position, len(groups[0])):
+                group_in_phase = states[start] != 0
+                if group_in_phase and not in_phase:
+                    self._on_boundary("start", start)
+                elif in_phase and not group_in_phase:
+                    self._on_boundary("end", start)
+                in_phase = group_in_phase
+            self._in_phase = in_phase
+        else:
+            self._in_phase = self._states[-1] != 0
 
     def finish(self) -> DetectionResult:
         """Flush any partial step and return the full result."""
         if self._buffer:
-            self._step(list(self._buffer))
+            tail = list(self._buffer)
             self._buffer.clear()
-        phases: List[DetectedPhase] = self.detector.finish(self._position)
+            self._advance([tail], len(tail))
+        phases: List[DetectedPhase] = self.runtime.finish(self._position)
         if self._in_phase and self._on_boundary is not None:
             self._on_boundary("end", self._position)
             self._in_phase = False
@@ -95,23 +126,66 @@ class StreamingDetector:
             states=states, detected_phases=phases, config=self.config
         )
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Serialize detector + stream state (see ``docs/formats.md``).
+
+        The returned dict is the runtime's versioned checkpoint plus a
+        ``stream`` section holding the pending sub-step buffer and the
+        per-element states emitted so far (bit-packed, base64).
+        """
+        data = self.runtime.checkpoint()
+        bits = np.frombuffer(bytes(self._states), dtype=np.uint8)
+        data["stream"] = {
+            "position": self._position,
+            "in_phase": self._in_phase,
+            "buffer": list(self._buffer),
+            "states": base64.b64encode(np.packbits(bits).tobytes()).decode("ascii"),
+        }
+        return data
+
+    @classmethod
+    def restore(
+        cls,
+        data: Dict[str, object],
+        on_boundary: Optional[BoundaryCallback] = None,
+        observer=None,
+    ) -> "StreamingDetector":
+        """Rebuild a streaming detector from a :meth:`checkpoint` dict."""
+        runtime = DetectorRuntime.restore(data, observer=observer)
+        stream_data = data.get("stream")
+        if not isinstance(stream_data, dict):
+            raise CheckpointError("checkpoint has no stream section")
+        streaming = cls(runtime.config, on_boundary=on_boundary, runtime=runtime)
+        streaming._position = int(stream_data["position"])
+        streaming._in_phase = bool(stream_data["in_phase"])
+        streaming._buffer = [int(element) for element in stream_data["buffer"]]
+        packed = np.frombuffer(
+            base64.b64decode(stream_data["states"]), dtype=np.uint8
+        )
+        bits = np.unpackbits(packed)[: streaming._position]
+        streaming._states = bytearray(bits.tobytes())
+        return streaming
+
 
 def detect_stream(
-    source: Union[str, Iterable[np.ndarray]],
+    source: Union[str, os.PathLike, Iterable[np.ndarray]],
     config: DetectorConfig,
     chunk_size: int = 1 << 14,
     on_boundary: Optional[BoundaryCallback] = None,
 ) -> DetectionResult:
     """Detect phases over a streamed trace.
 
-    ``source`` is either a path to a binary trace file (streamed via
-    :func:`repro.profiles.io.stream_trace`) or any iterable of element
+    ``source`` is either a path to a binary trace file — ``str`` or any
+    :class:`os.PathLike` — streamed via
+    :func:`repro.profiles.io.stream_trace`, or any iterable of element
     arrays/lists.
     """
-    if isinstance(source, (str,)) or hasattr(source, "__fspath__"):
+    if isinstance(source, (str, os.PathLike)):
         from repro.profiles.io import stream_trace
 
-        chunks: Iterable = stream_trace(source, chunk_size=chunk_size)
+        chunks: Iterable = stream_trace(os.fspath(source), chunk_size=chunk_size)
     else:
         chunks = source
     streaming = StreamingDetector(config, on_boundary=on_boundary)

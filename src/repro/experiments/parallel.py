@@ -16,6 +16,11 @@ preserving the serial sweep's observable behavior exactly:
   ``(branch trace, BaselineSet)`` pair per benchmark it has seen, so the
   expensive oracle solve is paid at most ``jobs`` times per benchmark,
   and chunking keeps that amortized over many grid points.
+* **Single-pass banks.**  A work item is a trace name plus a slice of
+  grid points; the worker evaluates the slice as one
+  :class:`~repro.core.bank.DetectorBank` pass over the trace (see
+  :func:`repro.experiments.runner.evaluate_bank`), decoding and
+  chunking the trace once per batch instead of once per grid point.
 * **Ordered delivery.**  Chunks are submitted in deterministic
   (benchmark-major, spec-order) sequence and results are re-ordered on
   receipt, so cache appends happen in exactly the order the serial
@@ -55,7 +60,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config_space import ConfigSpec, SuiteProfile
-from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_spec
+from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_bank
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.obs.profiling import ChunkProfiler
 
@@ -99,12 +104,14 @@ def _init_worker(
     cache_dir: Optional[str],
     mpl_nominals: Tuple[int, ...],
     profiling: bool = False,
+    bank: bool = True,
 ) -> None:
     _WORKER_STATE["profile"] = profile
     _WORKER_STATE["cache_dir"] = cache_dir
     _WORKER_STATE["mpl_nominals"] = mpl_nominals
     _WORKER_STATE["benchmarks"] = {}
     _WORKER_STATE["profiling"] = profiling
+    _WORKER_STATE["bank"] = bank
     # A forked worker inherits the parent's accumulated counts; reset so
     # the snapshots shipped back are purely this worker's own activity.
     GLOBAL_METRICS.reset()
@@ -142,7 +149,7 @@ def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
     """
     branch_trace, baselines = _benchmark_context(benchmark)
     profile: SuiteProfile = _WORKER_STATE["profile"]  # type: ignore[assignment]
-    rows: List[Dict] = []
+    bank = bool(_WORKER_STATE.get("bank", True))
     profiler = (
         ChunkProfiler(f"{benchmark}[{len(specs)} specs]")
         if _WORKER_STATE.get("profiling")
@@ -151,13 +158,10 @@ def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
     started = time.perf_counter()
     if profiler is not None:
         with profiler:
-            for spec in specs:
-                for record in evaluate_spec(branch_trace, baselines, spec, profile):
-                    rows.append(record.to_row())
+            records = evaluate_bank(branch_trace, baselines, specs, profile, bank=bank)
     else:
-        for spec in specs:
-            for record in evaluate_spec(branch_trace, baselines, spec, profile):
-                rows.append(record.to_row())
+        records = evaluate_bank(branch_trace, baselines, specs, profile, bank=bank)
+    rows: List[Dict] = [record.to_row() for record in records]
     wall = time.perf_counter() - started
     stats: Dict = {
         "pid": os.getpid(),
@@ -250,6 +254,7 @@ class ParallelSweepExecutor:
         jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         profiling: bool = False,
+        bank: bool = True,
     ) -> None:
         self.profile = profile
         self.cache_dir = cache_dir
@@ -257,6 +262,7 @@ class ParallelSweepExecutor:
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = chunk_size
         self.profiling = profiling
+        self.bank = bank
         self.worker_stats: List[Dict] = []
         self.worker_metrics: Dict[int, Dict] = {}
         self.chunk_profiles: List[Dict] = []
@@ -306,6 +312,7 @@ class ParallelSweepExecutor:
                 str(self.cache_dir) if self.cache_dir is not None else None,
                 self.mpl_nominals,
                 self.profiling,
+                self.bank,
             ),
         ) as pool:
             futures = {

@@ -14,11 +14,18 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.baseline.oracle import BaselineSolution, solve_baseline
+from repro.core.bank import DetectorBank
+from repro.core.detector import DetectionResult
 from repro.core.engine import run_detector
 from repro.experiments.config_space import ConfigSpec, SuiteProfile
 from repro.profiles.callloop import CallLoopTrace
 from repro.profiles.trace import BranchTrace
 from repro.scoring.metric import score_states
+
+#: Grid points evaluated per single-pass :class:`DetectorBank`.  Bounds
+#: the bank's per-member state buffers (one byte per trace element each)
+#: while still amortizing the trace decode/chunking across many members.
+DEFAULT_BANK_SIZE = 16
 
 
 @dataclass(frozen=True)
@@ -106,15 +113,10 @@ class BaselineSet:
         return list(self.solutions)
 
 
-def evaluate_spec(
-    trace: BranchTrace,
-    baselines: BaselineSet,
-    spec: ConfigSpec,
-    profile: SuiteProfile,
+def _score_result(
+    result: DetectionResult, baselines: BaselineSet, spec: ConfigSpec
 ) -> List[SweepRecord]:
-    """Run one grid point over one trace; score it at every MPL."""
-    config = spec.to_config(profile)
-    result = run_detector(trace, config)
+    """Score one detector result at every MPL (one record per MPL)."""
     corrected_states = result.corrected_states()
     corrected_phases = result.corrected_phases()
     records: List[SweepRecord] = []
@@ -143,4 +145,48 @@ def evaluate_spec(
                 num_baseline_phases=plain.num_baseline_phases,
             )
         )
+    return records
+
+
+def evaluate_spec(
+    trace: BranchTrace,
+    baselines: BaselineSet,
+    spec: ConfigSpec,
+    profile: SuiteProfile,
+) -> List[SweepRecord]:
+    """Run one grid point over one trace; score it at every MPL."""
+    config = spec.to_config(profile)
+    result = run_detector(trace, config)
+    return _score_result(result, baselines, spec)
+
+
+def evaluate_bank(
+    trace: BranchTrace,
+    baselines: BaselineSet,
+    specs: Sequence[ConfigSpec],
+    profile: SuiteProfile,
+    bank: bool = True,
+    bank_size: int = DEFAULT_BANK_SIZE,
+) -> List[SweepRecord]:
+    """Run many grid points over one trace; score each at every MPL.
+
+    With ``bank=True`` (the default) the specs are evaluated in
+    single-pass :class:`~repro.core.bank.DetectorBank` batches of
+    ``bank_size``, so the trace is decoded and chunked once per batch
+    instead of once per grid point.  ``bank=False`` falls back to one
+    :func:`~repro.core.engine.run_detector` call per spec — same
+    results in the same order (the bank-equivalence CI job pins this).
+    """
+    if not bank:
+        records: List[SweepRecord] = []
+        for spec in specs:
+            records.extend(evaluate_spec(trace, baselines, spec, profile))
+        return records
+    records = []
+    specs = list(specs)
+    for start in range(0, len(specs), bank_size):
+        batch = specs[start : start + bank_size]
+        results = DetectorBank([spec.to_config(profile) for spec in batch]).run(trace)
+        for spec, result in zip(batch, results):
+            records.extend(_score_result(result, baselines, spec))
     return records

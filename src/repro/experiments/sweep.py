@@ -4,7 +4,11 @@ A sweep evaluates a set of grid points over every benchmark trace and
 scores each run at every MPL.  Detector runs are the expensive part, so
 completed records are appended to a JSONL cache keyed by (benchmark
 fingerprint, grid point, MPL set); re-running a sweep with a warm cache
-only aggregates.
+only aggregates.  Grid points are evaluated in single-pass
+:class:`~repro.core.bank.DetectorBank` batches per trace (each trace is
+decoded and chunked once per batch, not once per grid point); pass
+``bank=False`` to fall back to one detector pass per grid point —
+identical records either way (see ``docs/sweep.md``).
 
 Evaluation runs serially in-process by default (``jobs=1``) or fans out
 over a process pool (``jobs>1`` or ``jobs=None`` with ``REPRO_JOBS``
@@ -36,7 +40,7 @@ from repro.experiments.config_space import (
     SuiteProfile,
     paper_grid,
 )
-from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_spec
+from repro.experiments.runner import BaselineSet, SweepRecord, evaluate_bank
 from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
 from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry
 from repro.workloads.suite import DEFAULT_CACHE_DIR, load_suite, workload, workload_names
@@ -93,12 +97,17 @@ class Sweep:
         benchmarks: Optional[Sequence[str]] = None,
         mpl_nominals: Sequence[int] = MPL_NOMINALS_EXTENDED,
         jobs: int = 1,
+        bank: bool = True,
     ) -> None:
         self.profile = profile
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
         self.benchmarks = list(benchmarks) if benchmarks is not None else workload_names()
         self.mpl_nominals = list(mpl_nominals)
         self.jobs = jobs
+        #: Evaluate grid points in single-pass DetectorBank batches per
+        #: trace (False: one run_detector pass per grid point — slower,
+        #: identical records; kept as the bank-equivalence escape hatch).
+        self.bank = bank
         #: Per-sweep metrics registry; snapshotted into the run manifest.
         self.metrics = MetricsRegistry()
         with self.metrics.time("sweep.load_suite_seconds"):
@@ -200,9 +209,9 @@ class Sweep:
             branch_trace, _ = self._traces[benchmark]
             baselines = self.baselines(benchmark)
             started = time.perf_counter()
-            fresh: List[SweepRecord] = []
-            for spec in missing:
-                fresh.extend(evaluate_spec(branch_trace, baselines, spec, self.profile))
+            fresh: List[SweepRecord] = evaluate_bank(
+                branch_trace, baselines, missing, self.profile, bank=self.bank
+            )
             for record in fresh:
                 self._records[self._record_key(record)] = record
             self._append_cache(fresh)
@@ -232,7 +241,7 @@ class Sweep:
             return self._evaluate_serial(work, progress), [], {}, []
         executor = ParallelSweepExecutor(
             self.profile, self.cache_dir, self.mpl_nominals, jobs=jobs,
-            profiling=profiling,
+            profiling=profiling, bank=self.bank,
         )
         evaluated = 0
 

@@ -1,5 +1,8 @@
 """Streaming detection tests: chunked input == one-shot run."""
 
+import json
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -103,3 +106,75 @@ class TestDetectStream:
         result = detect_stream(chunks, cfg)
         one_shot = PhaseDetector(cfg).run(trace)
         assert np.array_equal(result.states, one_shot.states)
+
+    def test_pathlib_path_source(self, trace, tmp_path):
+        """Regression: a pathlib.Path source must stream identically to
+        both the str path and the in-memory run (detect_stream once
+        special-cased str only)."""
+        path = tmp_path / "t.btrace"
+        write_trace_binary(trace, path)
+        cfg = config()
+        assert isinstance(path, pathlib.Path)
+        from_path = detect_stream(path, cfg, chunk_size=300)
+        from_str = detect_stream(str(path), cfg, chunk_size=300)
+        one_shot = PhaseDetector(cfg).run(trace)
+        assert np.array_equal(from_path.states, one_shot.states)
+        assert from_path.detected_phases == one_shot.detected_phases
+        assert np.array_equal(from_path.states, from_str.states)
+        assert from_path.detected_phases == from_str.detected_phases
+
+
+class TestStreamCheckpoint:
+    @pytest.mark.parametrize("cut", [137, 1_000, 2_600])
+    def test_resume_matches_uninterrupted(self, trace, cut):
+        """Checkpoint mid-stream (including with a partial group pending),
+        JSON round-trip, restore, feed the rest: identical output."""
+        cfg = config(skip_factor=7)
+        data = trace.array
+
+        full = StreamingDetector(cfg)
+        full.feed(data)
+        full_result = full.finish()
+
+        head = StreamingDetector(cfg)
+        head.feed(data[:cut])
+        blob = json.dumps(head.checkpoint())
+
+        resumed = StreamingDetector.restore(json.loads(blob))
+        assert resumed.elements_fed == cut
+        resumed.feed(data[cut:])
+        result = resumed.finish()
+
+        assert np.array_equal(result.states, full_result.states)
+        assert result.detected_phases == full_result.detected_phases
+
+    def test_boundary_callbacks_survive_resume(self, trace):
+        cfg = config()
+        data = trace.array
+        full_events = []
+        full = StreamingDetector(
+            cfg, on_boundary=lambda kind, pos: full_events.append((kind, pos))
+        )
+        full.feed(data)
+        full.finish()
+
+        events = []
+        head = StreamingDetector(
+            cfg, on_boundary=lambda kind, pos: events.append((kind, pos))
+        )
+        head.feed(data[:1_500])
+        resumed = StreamingDetector.restore(
+            head.checkpoint(),
+            on_boundary=lambda kind, pos: events.append((kind, pos)),
+        )
+        resumed.feed(data[1_500:])
+        resumed.finish()
+        assert events == full_events
+
+    def test_missing_stream_section_rejected(self, trace):
+        from repro.core.runtime import CheckpointError, DetectorRuntime
+
+        runtime = DetectorRuntime(config())
+        runtime.step(trace.array[:1].tolist())
+        with pytest.raises(CheckpointError, match="stream"):
+            StreamingDetector.restore(runtime.checkpoint())

@@ -1,0 +1,97 @@
+"""Bank-vs-serial sweep equivalence: same records, byte-identical cache."""
+
+import json
+
+from repro.core.config import AnalyzerKind, ModelKind
+from repro.experiments.config_space import ConfigSpec, SuiteProfile
+from repro.experiments.runner import BaselineSet, evaluate_bank
+from repro.experiments.sweep import Sweep
+from repro.workloads.suite import load_traces
+
+TINY = SuiteProfile(
+    name="tinybank",
+    workload_scale=0.08,
+    thresholds=(0.6,),
+    deltas=(0.05,),
+    cw_nominals=(500, 5_000),
+)
+
+SPECS = [
+    ConfigSpec("constant", 500, ModelKind.UNWEIGHTED, AnalyzerKind.THRESHOLD, 0.6),
+    ConfigSpec("adaptive", 500, ModelKind.UNWEIGHTED, AnalyzerKind.THRESHOLD, 0.6),
+    ConfigSpec("constant", 5_000, ModelKind.WEIGHTED, AnalyzerKind.THRESHOLD, 0.6),
+    ConfigSpec("adaptive", 5_000, ModelKind.UNWEIGHTED, AnalyzerKind.AVERAGE, 0.05),
+]
+
+MPLS = (1_000, 10_000)
+BENCHMARKS = ["db", "jlex"]
+CACHE_NAME = "sweep-tinybank.jsonl"
+
+
+def _run_sweep(cache_dir, jobs, bank):
+    sweep = Sweep(
+        TINY,
+        cache_dir=cache_dir,
+        benchmarks=BENCHMARKS,
+        mpl_nominals=MPLS,
+        bank=bank,
+    )
+    records = sweep.ensure(SPECS, jobs=jobs)
+    return records, (cache_dir / CACHE_NAME).read_bytes()
+
+
+class TestBankSerialEquivalence:
+    def test_cache_bytes_identical_serial_jobs(self, tmp_path):
+        bank_records, bank_cache = _run_sweep(tmp_path / "bank", jobs=1, bank=True)
+        solo_records, solo_cache = _run_sweep(tmp_path / "solo", jobs=1, bank=False)
+        assert bank_records == solo_records
+        assert bank_cache == solo_cache
+
+    def test_cache_bytes_identical_parallel_jobs(self, tmp_path):
+        bank_records, bank_cache = _run_sweep(tmp_path / "bank", jobs=2, bank=True)
+        solo_records, solo_cache = _run_sweep(tmp_path / "solo", jobs=2, bank=False)
+        assert bank_records == solo_records
+        assert bank_cache == solo_cache
+
+    def test_manifests_identical_modulo_timing(self, tmp_path):
+        _run_sweep(tmp_path / "bank", jobs=2, bank=True)
+        _run_sweep(tmp_path / "solo", jobs=2, bank=False)
+        manifests = []
+        for mode in ("bank", "solo"):
+            path = tmp_path / mode / "sweep-tinybank.manifest.json"
+            data = json.loads(path.read_text())
+            # Strip run-dependent timing/identity, keep the work accounting
+            # (fingerprints, grid, record counts).
+            for key in ("created_at", "elapsed_seconds", "workers", "metrics",
+                        "chunk_profiles", "environment"):
+                data.pop(key, None)
+            manifests.append(data)
+        assert manifests[0] == manifests[1]
+
+
+class TestEvaluateBank:
+    def _fixtures(self, tmp_path):
+        trace, _ = load_traces(
+            BENCHMARKS[0], scale=TINY.workload_scale, cache_dir=tmp_path
+        )
+        baselines = BaselineSet.for_benchmark(
+            BENCHMARKS[0], TINY, MPLS, cache_dir=tmp_path
+        )
+        return trace, baselines
+
+    def test_banked_records_equal_serial_records(self, tmp_path):
+        trace, baselines = self._fixtures(tmp_path)
+        banked = evaluate_bank(trace, baselines, SPECS, TINY, bank=True)
+        serial = evaluate_bank(trace, baselines, SPECS, TINY, bank=False)
+        assert banked == serial
+        assert len(banked) == len(SPECS) * len(MPLS)
+
+    def test_batching_respects_bank_size(self, tmp_path):
+        """bank_size smaller than the spec list still covers every spec
+        in order (multiple bank batches)."""
+        trace, baselines = self._fixtures(tmp_path)
+        batched = evaluate_bank(
+            trace, baselines, SPECS, TINY, bank=True, bank_size=2
+        )
+        serial = evaluate_bank(trace, baselines, SPECS, TINY, bank=False)
+        assert batched == serial

@@ -1,0 +1,94 @@
+"""Chunk-boundary fuzz: streaming must be chunking-invariant.
+
+For every suite workload profile, feed its branch trace through
+:class:`StreamingDetector` in randomly sized chunks — including chunks
+smaller and larger than ``skipFactor``, so groups are split and merged
+across every kind of feed boundary — and require output identical to
+:meth:`PhaseDetector.run` over the whole trace.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    AnalyzerKind,
+    DetectorConfig,
+    ModelKind,
+    TrailingPolicy,
+)
+from repro.core.detector import PhaseDetector
+from repro.core.stream import StreamingDetector
+from repro.workloads.suite import load_traces, workload_names
+
+SCALE = 0.05
+SKIP = 7
+
+CONFIGS = {
+    "threshold": DetectorConfig(cw_size=60, skip_factor=SKIP, threshold=0.6),
+    "adaptive-weighted": DetectorConfig(
+        cw_size=60,
+        skip_factor=SKIP,
+        trailing=TrailingPolicy.ADAPTIVE,
+        model=ModelKind.WEIGHTED,
+        analyzer=AnalyzerKind.AVERAGE,
+        threshold=0.5,
+        delta=0.05,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("fuzz-traces")
+    return {
+        name: load_traces(name, scale=SCALE, cache_dir=cache_dir)[0]
+        for name in workload_names()
+    }
+
+
+def random_chunks(total, rng):
+    """Chunk sizes spanning sub-group (< SKIP) through multi-group."""
+    position = 0
+    while position < total:
+        size = rng.choice([1, 2, SKIP - 1, SKIP, SKIP + 1, 3 * SKIP, 100, 997])
+        yield position, min(size, total - position)
+        position += size
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("workload", workload_names())
+def test_random_chunking_matches_one_shot(traces, workload, config_name):
+    trace = traces[workload]
+    config = CONFIGS[config_name]
+    one_shot = PhaseDetector(config).run(trace)
+
+    rng = random.Random(f"{workload}/{config_name}")
+    streaming = StreamingDetector(config)
+    data = trace.array
+    for start, size in random_chunks(len(data), rng):
+        streaming.feed(data[start : start + size])
+    result = streaming.finish()
+
+    assert np.array_equal(result.states, one_shot.states), workload
+    assert result.detected_phases == one_shot.detected_phases, workload
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_chunking_invariance_across_seeds(traces, workload):
+    """Different random chunkings of the same trace agree with each other."""
+    trace = traces[workload]
+    config = CONFIGS["threshold"]
+    results = []
+    for seed in range(3):
+        rng = random.Random(seed)
+        streaming = StreamingDetector(config)
+        data = trace.array
+        for start, size in random_chunks(len(data), rng):
+            streaming.feed(data[start : start + size])
+        results.append(streaming.finish())
+    first = results[0]
+    for other in results[1:]:
+        assert np.array_equal(other.states, first.states)
+        assert other.detected_phases == first.detected_phases

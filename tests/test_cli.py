@@ -64,6 +64,78 @@ class TestDetect:
         assert "adaptive[lnn,move]" in out
 
 
+class TestDetectCheckpoint:
+    def _detect_args(self, traced):
+        return ["detect", str(traced / "db.btrace"), "--cw", "30",
+                "--threshold", "0.6"]
+
+    def _phases_output(self, capsys, argv):
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        return [line for line in out.splitlines() if line.startswith("  [")]
+
+    def test_checkpoint_then_resume_matches_full_run(self, traced, capsys, tmp_path):
+        full_phases = self._phases_output(capsys, self._detect_args(traced))
+        ckpt = tmp_path / "ckpt.json"
+        capsys.readouterr()
+        code = main(self._detect_args(traced)
+                    + ["--checkpoint", str(ckpt), "--checkpoint-at", "400"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoint after" in out
+        assert "resume with:" in out
+        assert ckpt.exists()
+        capsys.readouterr()
+        code = main(["detect", str(traced / "db.btrace"), "--resume", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed at element" in out
+        resumed_phases = [l for l in out.splitlines() if l.startswith("  [")]
+        assert resumed_phases == full_phases
+
+    def test_checkpoint_at_required_and_bounded(self, traced, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        args = self._detect_args(traced) + ["--checkpoint", str(ckpt)]
+        assert main(args) == 1
+        assert "--checkpoint-at" in capsys.readouterr().err
+        assert main(args + ["--checkpoint-at", "99999999"]) == 1
+
+    def test_resume_rejects_garbage_file(self, traced, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "nope"}')
+        capsys.readouterr()
+        assert main(["detect", str(traced / "db.btrace"),
+                     "--resume", str(bad)]) == 1
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_resume_and_checkpoint_mutually_exclusive(self, traced, capsys, tmp_path):
+        capsys.readouterr()
+        code = main(self._detect_args(traced)
+                    + ["--checkpoint", str(tmp_path / "c.json"),
+                       "--checkpoint-at", "400",
+                       "--resume", str(tmp_path / "c.json")])
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_cw_required_without_resume(self, traced, capsys):
+        capsys.readouterr()
+        assert main(["detect", str(traced / "db.btrace")]) == 1
+        assert "--cw is required" in capsys.readouterr().err
+
+
+class TestBank:
+    def test_bank_matches_sequential(self, traced, capsys):
+        capsys.readouterr()
+        code = main(["bank", str(traced / "db.btrace"), "--cw", "30",
+                     "--threshold", "0.6", "--size", "6", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bank benchmark: 6 configs" in out
+        assert "results identical: True" in out
+        assert "speedup:" in out
+
+
 class TestScore:
     def test_score_round_trip(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
