@@ -21,6 +21,14 @@ The guarded quantity is the *aggregate* normalized score (sum over the
 config matrix of per-config best-of-``--repeats`` times); per-config
 scores are recorded and printed but not individually gated — they are
 noisier than the aggregate on shared CI hardware.
+
+The kernel rows time each matrix config twice in the same run — the
+default path (array-native kernels, :mod:`repro.core.kernels`) and the
+legacy fused loop (``kernels=False``) — and gate their ratio.  Like the
+bank gate, the ratio is self-normalizing: both sides see the same host,
+so the check is immune to machine-speed drift entirely.  The
+``unweighted-constant`` row runs the vectorized fast path and must stay
+at least ``KERNEL_MIN_SPEEDUP`` times faster than the legacy loop.
 """
 
 import argparse
@@ -61,6 +69,11 @@ CONFIGS = {
 
 #: Members of the multi-config bank measurement (one sweep-like batch).
 BANK_SIZE = 16
+
+#: The vectorized fast path must beat the legacy fused loop by at least
+#: this factor on the ``unweighted-constant`` row (same-run ratio).
+KERNEL_MIN_SPEEDUP = 3.0
+KERNEL_GATE_CONFIG = "unweighted-constant"
 
 
 def _bank_configs():
@@ -108,6 +121,7 @@ def measure(repeats):
     # ratio; best-of-N on each side then discards transient spikes.
     cal_samples = []
     det_samples = {label: [] for label in CONFIGS}
+    legacy_samples = {label: [] for label in CONFIGS}
     bank_configs = _bank_configs()
     seq_samples = []
     bank_samples = []
@@ -116,24 +130,39 @@ def measure(repeats):
     for _ in range(repeats):
         cal_samples.append(_timed(_calibration_workload))
         for label, config in CONFIGS.items():
+            # Default path: array-native kernels (kernels default on).
             det_samples[label].append(
-                _timed(lambda c=config: run_detector(trace, c))
+                _timed(lambda c=config: run_detector(trace, c, kernels=True))
             )
+            legacy_samples[label].append(
+                _timed(lambda c=config: run_detector(trace, c, kernels=False))
+            )
+        # The bank gate measures the shared-decode lockstep machinery,
+        # so both sides pin kernels off: with kernels on, sequential
+        # runs vectorize too and the ratio collapses into noise.
         seq_samples.append(
-            _timed(lambda: [run_detector(trace, c) for c in bank_configs])
+            _timed(lambda: [run_detector(trace, c, kernels=False)
+                            for c in bank_configs])
         )
         bank_samples.append(
-            _timed(lambda: DetectorBank(bank_configs).run(trace))
+            _timed(lambda: DetectorBank(bank_configs).run(trace, kernels=False))
         )
     calibration = min(cal_samples)
     seq_seconds = min(seq_samples)
     bank_seconds = min(bank_samples)
     configs = {}
+    kernel_rows = {}
     for label in CONFIGS:
         seconds = min(det_samples[label])
         configs[label] = {
             "seconds": round(seconds, 6),
             "normalized": round(seconds / calibration, 4),
+        }
+        legacy_seconds = min(legacy_samples[label])
+        kernel_rows[label] = {
+            "kernel_seconds": round(seconds, 6),
+            "legacy_seconds": round(legacy_seconds, 6),
+            "speedup": round(legacy_seconds / seconds, 4),
         }
     return {
         "version": BASELINE_VERSION,
@@ -151,6 +180,11 @@ def measure(repeats):
             "bank_seconds": round(bank_seconds, 6),
             "bank_normalized": round(bank_seconds / calibration, 4),
             "speedup": round(seq_seconds / bank_seconds, 4),
+        },
+        "kernels": {
+            "gate_config": KERNEL_GATE_CONFIG,
+            "min_speedup": KERNEL_MIN_SPEEDUP,
+            "configs": kernel_rows,
         },
         "aggregate_normalized": round(
             sum(entry["normalized"] for entry in configs.values()), 4
@@ -170,6 +204,10 @@ def _print_report(result):
     for label, entry in result["configs"].items():
         print(f"  {label:22s} {entry['seconds']:.4f}s "
               f"normalized={entry['normalized']:.4f}")
+    for label, row in result["kernels"]["configs"].items():
+        print(f"  kernel {label:15s} {row['kernel_seconds']:.4f}s vs "
+              f"legacy {row['legacy_seconds']:.4f}s "
+              f"(speedup {row['speedup']:.2f}x)")
     bank = result["bank"]
     print(f"  bank[{bank['size']}] sequential   {bank['sequential_seconds']:.4f}s "
           f"normalized={bank['sequential_normalized']:.4f}")
@@ -241,6 +279,18 @@ def main(argv=None):
                   f"{BANK_SIZE} sequential run_detector calls "
                   f"({speedup:.2f}x)", file=sys.stderr)
             return 1
+    # Kernel gate: same-run kernel/legacy ratio, so it needs no baseline
+    # and no calibration — both sides ran on this host seconds apart.
+    kernel_speedup = float(
+        result["kernels"]["configs"][KERNEL_GATE_CONFIG]["speedup"]
+    )
+    print(f"kernel speedup ({KERNEL_GATE_CONFIG}): {kernel_speedup:.2f}x "
+          f"(gate >= {KERNEL_MIN_SPEEDUP:.1f}x)")
+    if kernel_speedup < KERNEL_MIN_SPEEDUP:
+        print(f"FAIL: array-native kernel path was only {kernel_speedup:.2f}x "
+              f"the legacy fused loop on {KERNEL_GATE_CONFIG} "
+              f"(gate {KERNEL_MIN_SPEEDUP:.1f}x)", file=sys.stderr)
+        return 1
     print("OK: within tolerance")
     return 0
 

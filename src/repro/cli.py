@@ -337,6 +337,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sweep = Sweep(
         profile, cache_dir=cache_dir, benchmarks=benchmarks,
         bank=not args.no_bank,
+        kernels=False if args.no_kernels else None,
     )
     records = sweep.ensure(
         paper_grid(profile), progress=not args.quiet, jobs=jobs,
@@ -518,6 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-bank", action="store_true",
         help="evaluate one run_detector call per grid point instead of "
              "single-pass multi-config banks (same records, slower)",
+    )
+    sweep_parser.add_argument(
+        "--no-kernels", action="store_true",
+        help="disable the array-native detector kernels and use the "
+             "incremental fused loop everywhere (same records, slower)",
     )
     sweep_parser.set_defaults(handler=cmd_sweep)
 

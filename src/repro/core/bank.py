@@ -16,6 +16,14 @@ advanced in lockstep over the shared groups, so results (states, phases,
 similarity statistics, observability events) are bit-identical to
 running each configuration alone — pinned by the equivalence tests and
 by the sweep cache byte-equality test.
+
+With the array-native kernels enabled (the default, see
+:mod:`repro.core.kernels`), eligible members skip the lockstep lanes
+entirely and run on the trace's shared dense element remap instead —
+the cached ``dense_codes()`` pass and one materialized code list are
+the bank-level shared work, replacing the shared decode/chunking.
+Observed or custom-component members still use the legacy lanes, and
+results stay bit-identical either way.
 """
 
 from __future__ import annotations
@@ -69,11 +77,24 @@ class DetectorBank:
     def configs(self) -> List[DetectorConfig]:
         return [runtime.config for runtime in self.runtimes]
 
-    def run(self, trace: BranchTrace) -> List[DetectionResult]:
-        """Run every member over ``trace``; results in member order."""
+    def run(
+        self, trace: BranchTrace, kernels: Optional[bool] = None
+    ) -> List[DetectionResult]:
+        """Run every member over ``trace``; results in member order.
+
+        Members eligible for the array-native kernels (see
+        :mod:`repro.core.kernels`) run on the shared per-trace dense
+        remap — the cached ``trace.dense_codes()`` pass plus one
+        materialized code list shared by every dense member, the same
+        way the legacy lanes share the trace decode.  Observed or
+        custom-component members keep the legacy lockstep lanes.
+        ``kernels=None`` consults the ``REPRO_KERNELS`` environment
+        variable; ``kernels=False`` forces the lanes for all members.
+        """
+        from repro.core import kernels as kernel_mod
+
         data = trace.array
         total = int(data.size)
-        elements = data.tolist()  # the one decode all members share
         runtimes = self.runtimes
 
         for runtime in runtimes:
@@ -89,22 +110,55 @@ class DetectorBank:
                     }
                 )
 
-        buffers = [bytearray(total) for _ in runtimes]
-        lanes: Dict[int, List[int]] = {}
+        if kernels is None:
+            kernels = kernel_mod.kernels_enabled()
+        states_by_member: List[Optional[np.ndarray]] = [None] * len(runtimes)
+        vector_members: List[int] = []
+        dense_members: List[int] = []
+        legacy_members: List[int] = []
         for index, runtime in enumerate(runtimes):
-            lanes.setdefault(runtime.config.skip_factor, []).append(index)
+            if kernels and kernel_mod.vectorized_eligible(runtime):
+                vector_members.append(index)
+            elif kernels and kernel_mod.dense_eligible(runtime):
+                dense_members.append(index)
+            else:
+                legacy_members.append(index)
 
-        for skip, members in lanes.items():
-            segment = skip * max(1, SEGMENT_ELEMENTS // skip)
-            base = 0
-            while base < total:
-                stop = min(base + segment, total)
-                groups = [
-                    elements[start : start + skip] for start in range(base, stop, skip)
-                ]
-                for index in members:
-                    runtimes[index].advance(groups, buffers[index], base)
-                base = stop
+        for index in vector_members:
+            states_by_member[index] = kernel_mod.run_vectorized(
+                runtimes[index], trace
+            )
+        if dense_members:
+            codes_np, values = trace.dense_codes()
+            codes = codes_np.tolist()  # one materialization, shared
+            n_codes = int(values.size)
+            for index in dense_members:
+                states_by_member[index] = kernel_mod.run_dense(
+                    runtimes[index], trace, codes, n_codes
+                )
+
+        if legacy_members:
+            elements = data.tolist()  # the one decode the lanes share
+            buffers = {index: bytearray(total) for index in legacy_members}
+            lanes: Dict[int, List[int]] = {}
+            for index in legacy_members:
+                lanes.setdefault(runtimes[index].config.skip_factor, []).append(index)
+            for skip, members in lanes.items():
+                segment = skip * max(1, SEGMENT_ELEMENTS // skip)
+                base = 0
+                while base < total:
+                    stop = min(base + segment, total)
+                    groups = [
+                        elements[start : start + skip]
+                        for start in range(base, stop, skip)
+                    ]
+                    for index in members:
+                        runtimes[index].advance(groups, buffers[index], base)
+                    base = stop
+            for index in legacy_members:
+                states_by_member[index] = np.frombuffer(
+                    bytes(buffers[index]), dtype=np.uint8
+                ).astype(bool)
 
         results: List[DetectionResult] = []
         for index, runtime in enumerate(runtimes):
@@ -119,10 +173,11 @@ class DetectorBank:
                         "elements": total,
                     }
                 )
-            states = np.frombuffer(bytes(buffers[index]), dtype=np.uint8).astype(bool)
             results.append(
                 DetectionResult(
-                    states=states, detected_phases=phases, config=runtime.config
+                    states=states_by_member[index],
+                    detected_phases=phases,
+                    config=runtime.config,
                 )
             )
         return results

@@ -13,6 +13,8 @@ chunks the trace once.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.config import DetectorConfig
 from repro.core.runtime import DetectionResult, DetectorRuntime
 from repro.profiles.trace import BranchTrace
@@ -21,7 +23,10 @@ __all__ = ["run_detector"]
 
 
 def run_detector(
-    trace: BranchTrace, config: DetectorConfig, observer=None
+    trace: BranchTrace,
+    config: DetectorConfig,
+    observer=None,
+    kernels: Optional[bool] = None,
 ) -> DetectionResult:
     """Run ``config`` over ``trace`` with the optimized runtime path.
 
@@ -30,5 +35,10 @@ def run_detector(
     reference :class:`~repro.core.detector.PhaseDetector` emits.  The
     default ``None`` keeps the hot loop free of event construction —
     the only added cost is one ``is not None`` test per step.
+
+    ``kernels`` controls the array-native kernels of
+    :mod:`repro.core.kernels` (``None`` consults ``REPRO_KERNELS``;
+    they apply only to unobserved runs and produce bit-identical
+    results).
     """
-    return DetectorRuntime(config, observer=observer).run(trace)
+    return DetectorRuntime(config, observer=observer).run(trace, kernels=kernels)

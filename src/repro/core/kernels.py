@@ -1,0 +1,989 @@
+"""Array-native detector kernels.
+
+The sweep machinery runs >10,000 detector instantiations over
+million-element traces, and the per-element Python bookkeeping in
+:meth:`~repro.core.runtime.DetectorRuntime._advance_fused` — dict
+lookups keyed by packed int64 profile elements, deque rotation — is the
+dominant cost of every sweep.  This module applies the standard move of
+scalable online change-point systems (NEWMA, FOCuS): constant-size
+numeric state over *densely remapped* element IDs, so the hot loop
+indexes flat count buffers instead of hashing, plus a fully vectorized
+whole-trace fast path for the configurations whose window state never
+depends on analyzer decisions mid-stream.
+
+Three cooperating pieces:
+
+**Dense remapping** — :meth:`BranchTrace.dense_codes` maps the trace's
+packed int64 elements to contiguous small ints (``codes``) once per
+trace via one cached ``np.unique`` pass.  Every lane of a
+:class:`~repro.core.bank.DetectorBank` pass shares the same remap, the
+same way the bank already shares the trace decode.
+
+**Flat count buffers** — :class:`DenseAdvancer` re-implements the fused
+loop's CW/TW bookkeeping on preallocated per-code count lists plus
+scalar intersection/weight accumulators.  Because elements flow
+stream → CW → TW → discard, both windows are always *contiguous slices
+of the trace*; the advancer therefore keeps no window deques at all —
+just two lengths and the shared codes list — and evicts by position
+arithmetic.  In the steady state (both windows at capacity) it walks
+three parallel slices (incoming, CW→TW, TW→discard) in lockstep with
+zero per-element index math.  All similarity aggregates are maintained
+with the exact integer updates of the reference path, so every
+similarity value is bit-identical.
+
+**Vectorized whole-trace fast path** — :func:`run_vectorized` computes
+the full similarity series with sliding-window array operations and
+derives states and phases in one pass.  It is only selected for
+configurations with no analyzer→window feedback: the Constant trailing
+window (which includes the Fixed-Interval geometry) with the Threshold
+analyzer.  The key observations:
+
+- At any *filled* step the windows are pure functions of stream
+  position (CW = the last ``cwSize`` elements, TW = the ``twSize``
+  before them), regardless of earlier phase entries/exits.  Entries do
+  not move Constant windows, and the post-exit flush only shifts the
+  *refill origin* — which affects when steps are filled, never the
+  similarity value of a filled step.
+- The unweighted similarity series reduces to two interval-stabbing
+  counts over per-element previous-occurrence links: an element
+  occurrence ``i`` is a distinct CW member for window starts
+  ``l ∈ (max(prev[i], i-cwSize), i]``, and an adjacent occurrence pair
+  ``(prev[i], i)`` puts its element in both windows for
+  ``l ∈ (max(prev[i], i-cwSize), min(i, prev[i]+twSize)]``.  Both are
+  O(n) with difference arrays.
+- The weighted model vectorizes for the Fixed-Interval geometry
+  (skip = CW = TW), where windows are whole consecutive blocks and the
+  post-exit flush is exactly a no-op; per-block multiset minima come
+  from one sorted ``(block, code)`` count pass.
+
+The detector's decision sequence is then replayed over the precomputed
+series in *episodes*: scan for the next phase entry/exit with array
+searches, and on each exit restart the filled-mask origin at the flush
+point.  Phases, anchor-corrected starts, per-phase mean similarity and
+the final runtime state (windows, analyzer statistics) are
+reconstructed so that checkpoints taken after a vectorized run are
+bit-identical to the incremental paths' — the config-matrix equivalence
+suite in ``tests/core/test_kernels.py`` and the fuzz suite in
+``tests/properties/test_kernel_properties.py`` pin states, phases,
+similarity series, event streams and checkpoints against the reference
+path, and the ``kernel-equivalence`` CI job byte-compares sweep caches
+produced with kernels on vs. off.
+
+Kernels are on by default wherever they apply (see the eligibility
+predicates); set ``REPRO_KERNELS=0`` or pass ``kernels=False`` through
+:func:`~repro.core.engine.run_detector` / the sweep stack to force the
+legacy paths.  See ``docs/performance.md`` for eligibility rules and
+measured speedups.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.analyzers import ThresholdAnalyzer
+from repro.core.config import AnchorPolicy, ResizePolicy, TrailingPolicy
+from repro.core.models import UnweightedSetModel, WeightedSetModel
+from repro.core.state import PhaseState
+
+__all__ = [
+    "kernels_enabled",
+    "dense_eligible",
+    "vectorized_eligible",
+    "DenseAdvancer",
+    "run_dense",
+    "run_vectorized",
+]
+
+
+def kernels_enabled() -> bool:
+    """True unless the ``REPRO_KERNELS`` environment variable disables
+    kernels (``0``/``false``/``off``/``no``)."""
+    return os.environ.get("REPRO_KERNELS", "").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+def _fresh(runtime) -> bool:
+    """True when ``runtime`` has consumed nothing (kernel paths assume
+    stream position == trace position, which only holds from a cold
+    start; restored runtimes take the legacy fused path)."""
+    model = runtime.model
+    return (
+        model.consumed == 0
+        and not model._cw
+        and not model._tw
+        and runtime.state is PhaseState.TRANSITION
+        and not runtime.tracker.open
+        and not runtime.tracker.phases
+    )
+
+
+def dense_eligible(runtime) -> bool:
+    """True when :class:`DenseAdvancer` may drive ``runtime`` over a trace.
+
+    Requires the exact standard components (same rule as
+    :meth:`~repro.core.runtime.DetectorRuntime.fused_capable`), no
+    observer (observed runs take the legacy fused path, which emits the
+    canonical event stream), and a fresh runtime.
+    """
+    return runtime.fused_capable() and runtime.observer is None and _fresh(runtime)
+
+
+def vectorized_eligible(runtime) -> bool:
+    """True when :func:`run_vectorized` may run ``runtime`` over a trace.
+
+    The vectorized path requires configurations with no analyzer→window
+    feedback: the Constant trailing window with the Threshold analyzer.
+    The unweighted model qualifies for any window geometry; the weighted
+    model only for the Fixed-Interval geometry (skip = CW = TW), where
+    windows are whole blocks.  Adaptive TW (windows resize at entry) and
+    the Average analyzer (threshold tracks in-phase statistics) keep the
+    incremental paths.
+    """
+    if not dense_eligible(runtime):
+        return False
+    config = runtime.config
+    if config.trailing is not TrailingPolicy.CONSTANT:
+        return False
+    if type(runtime.analyzer) is not ThresholdAnalyzer:
+        return False
+    if type(runtime.model) is WeightedSetModel:
+        return (
+            config.skip_factor == config.cw_size
+            and config.effective_tw_size == config.cw_size
+        )
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Flat count buffers: the dense incremental advancer
+# ---------------------------------------------------------------------------
+
+
+class DenseAdvancer:
+    """The fused loop on flat count buffers over dense element codes.
+
+    One advancer drives one :class:`~repro.core.runtime.DetectorRuntime`
+    over one trace.  It mirrors ``_advance_fused`` decision for decision
+    — same integer aggregates, same float operations in the same order —
+    but replaces the per-element dict/deque bookkeeping with:
+
+    - ``cw_count``/``tw_count``: per-code occurrence counts in plain
+      Python lists (flat buffers indexed by dense code — no hashing);
+    - implicit windows: both windows are contiguous trace slices, so
+      only their lengths are tracked and evictions read the shared
+      codes list by position;
+    - a steady-state inner loop that walks the incoming / CW→TW /
+      TW→discard slices in lockstep (zero index arithmetic per element).
+
+    Model/analyzer/tracker objects are untouched during the pass; call
+    :meth:`finalize` once at the end to sync every piece of state back
+    so checkpoints and path interleavings behave exactly as with the
+    legacy loop.  Rare events (phase entry anchoring and resizing, the
+    phase-exit window flush) are computed inline on the flat state with
+    the same semantics as :class:`~repro.core.windows.WindowPair`.
+    """
+
+    def __init__(self, runtime, codes: List[int], n_codes: int, data) -> None:
+        if not dense_eligible(runtime):
+            raise ValueError("runtime is not eligible for the dense kernel")
+        self.runtime = runtime
+        self.codes = codes
+        self.n_codes = n_codes
+        self.data = data  # the raw int64 trace array (for state sync-back)
+        config = runtime.config
+        self.skip = config.skip_factor
+        self.cw_cap = config.cw_size
+        self.tw_cap = config.effective_tw_size
+        self.adaptive = config.trailing is TrailingPolicy.ADAPTIVE
+        self.anchor_policy = config.anchor
+        self.resize_policy = config.resize
+        self.weighted = type(runtime.model) is WeightedSetModel
+        analyzer = runtime.analyzer
+        self.threshold_analyzer = type(analyzer) is ThresholdAnalyzer
+        self.threshold = analyzer.threshold if self.threshold_analyzer else 0.0
+        self.delta = 0.0 if self.threshold_analyzer else analyzer.delta
+        self.enter_threshold = (
+            0.0 if self.threshold_analyzer else analyzer.enter_threshold
+        )
+        # Flat per-code buffers (the whole point).
+        self.cw_count = [0] * n_codes
+        self.tw_count = [0] * n_codes
+        self._seen = bytearray(n_codes)  # scratch for dedup scans
+        # Sparse set of the CW's distinct codes (weighted model only):
+        # compact list + per-code position, so the scaled-numerator
+        # recompute iterates O(distinct) codes like the legacy dict —
+        # not the whole O(cw_len) window slice.  Maintained by the
+        # general loop; steady groups invalidate it (they keep the
+        # numerator incrementally and never read it).
+        self.cw_set: List[int] = []
+        self.cw_set_pos = [0] * n_codes if self.weighted else []
+        self.cw_set_valid = True
+        # Scalar state, mirroring the legacy loop's locals.
+        self.consumed = 0
+        self.cw_len = 0
+        self.tw_len = 0
+        self.filled = False
+        self.growing = False
+        self.in_phase = False
+        self.distinct_cw = 0
+        self.shared = 0
+        self.s_num = 0
+        self.s_dirty = True
+        self.stat_total = 0.0
+        self.stat_count = 0
+        self.stat_min = 1.0
+        self.stat_max = 0.0
+        self._finalized = False
+
+    # -- rare events ----------------------------------------------------------
+
+    def _anchor_and_resize(self) -> int:
+        """Inline ``WindowPair.anchor_and_resize`` on the flat state."""
+        codes = self.codes
+        cw_count = self.cw_count
+        tw_count = self.tw_count
+        tw_len = self.tw_len
+        tw_start = self.consumed - self.cw_len - tw_len
+        if self.anchor_policy is AnchorPolicy.RN:
+            anchor = 0
+            for index in range(tw_len):
+                if cw_count[codes[tw_start + index]] == 0:
+                    anchor = index + 1
+        else:  # LNN
+            anchor = tw_len
+            for index in range(tw_len):
+                if cw_count[codes[tw_start + index]] > 0:
+                    anchor = index
+                    break
+        anchor_abs = tw_start + anchor
+        if not self.adaptive:
+            return anchor_abs
+        # Drop TW[:anchor] ...
+        for index in range(anchor):
+            tw_count[codes[tw_start + index]] -= 1
+        self.tw_len = tw_len - anchor
+        if self.resize_policy is ResizePolicy.SLIDE:
+            # ... then refill the TW from the CW's left (windows stay
+            # contiguous: the TW's right edge chases the CW's left edge).
+            moved = max(0, min(anchor, self.cw_len - 1))
+            cw_start = self.consumed - self.cw_len
+            for index in range(moved):
+                code = codes[cw_start + index]
+                cw_count[code] -= 1
+                tw_count[code] += 1
+            self.cw_len -= moved
+            self.tw_len += moved
+        self.growing = True
+        return anchor_abs
+
+    def _recount_cw(self) -> None:
+        """Recompute distinct/shared from the CW slice (after resizes)."""
+        codes = self.codes
+        cw_count = self.cw_count
+        tw_count = self.tw_count
+        seen = self._seen
+        distinct = 0
+        shared = 0
+        start = self.consumed - self.cw_len
+        for pos in range(start, self.consumed):
+            code = codes[pos]
+            if not seen[code]:
+                seen[code] = 1
+                distinct += 1
+                if tw_count[code] > 0:
+                    shared += 1
+        for pos in range(start, self.consumed):
+            seen[codes[pos]] = 0
+        self.distinct_cw = distinct
+        self.shared = shared
+
+    def _rebuild_cw_set(self) -> None:
+        """Rebuild the sparse distinct-CW-code set from the CW slice."""
+        codes = self.codes
+        seen = self._seen
+        cw_set = self.cw_set
+        del cw_set[:]
+        append = cw_set.append
+        cw_set_pos = self.cw_set_pos
+        start = self.consumed - self.cw_len
+        for pos in range(start, self.consumed):
+            code = codes[pos]
+            if not seen[code]:
+                seen[code] = 1
+                cw_set_pos[code] = len(cw_set)
+                append(code)
+        for code in cw_set:
+            seen[code] = 0
+        self.cw_set_valid = True
+
+    def _clear_and_seed(self, group_len: int) -> None:
+        """Inline ``clear_and_seed``: flush both windows, reseed the CW
+        with the last ``min(group_len, cw_cap)`` stream elements."""
+        codes = self.codes
+        span = self.cw_len + self.tw_len
+        if span * 2 < self.n_codes:
+            # Only window members have nonzero counts; clear selectively.
+            cw_count = self.cw_count
+            tw_count = self.tw_count
+            for pos in range(self.consumed - span, self.consumed):
+                code = codes[pos]
+                cw_count[code] = 0
+                tw_count[code] = 0
+        else:
+            self.cw_count = [0] * self.n_codes
+            self.tw_count = [0] * self.n_codes
+        cw_count = self.cw_count
+        seed_len = min(group_len, self.cw_cap)
+        self.cw_len = seed_len
+        self.tw_len = 0
+        distinct = 0
+        if self.weighted:
+            cw_set = self.cw_set
+            del cw_set[:]
+            cw_set_pos = self.cw_set_pos
+            for pos in range(self.consumed - seed_len, self.consumed):
+                code = codes[pos]
+                count = cw_count[code] + 1
+                cw_count[code] = count
+                if count == 1:
+                    distinct += 1
+                    cw_set_pos[code] = len(cw_set)
+                    cw_set.append(code)
+            self.cw_set_valid = True
+        else:
+            for pos in range(self.consumed - seed_len, self.consumed):
+                code = codes[pos]
+                count = cw_count[code] + 1
+                cw_count[code] = count
+                if count == 1:
+                    distinct += 1
+        self.distinct_cw = distinct
+        self.shared = 0
+        self.s_num = 0
+        self.s_dirty = True
+        self.filled = False
+        self.growing = False
+        self.stat_total = 0.0
+        self.stat_count = 0
+        self.stat_min = 1.0
+        self.stat_max = 0.0
+
+    # -- the hot loop ---------------------------------------------------------
+
+    def advance(self, start: int, stop: int, states: bytearray) -> None:
+        """Advance over ``codes[start:stop]`` in ``skipFactor`` groups.
+
+        ``states`` must hold zero bytes for every element in the range;
+        in-phase groups are marked with ``\\x01`` (positions are trace
+        positions — dense runs always start from a fresh runtime).
+        Mirrors ``DetectorRuntime._advance_fused`` decision for decision.
+        """
+        codes = self.codes
+        skip = self.skip
+        cw_cap = self.cw_cap
+        tw_cap = self.tw_cap
+        weighted = self.weighted
+        threshold_analyzer = self.threshold_analyzer
+        threshold = self.threshold
+        delta = self.delta
+        enter_threshold = self.enter_threshold
+        tracker = self.runtime.tracker
+
+        cw_count = self.cw_count
+        tw_count = self.tw_count
+        consumed = self.consumed
+        cw_len = self.cw_len
+        tw_len = self.tw_len
+        filled = self.filled
+        growing = self.growing
+        in_phase = self.in_phase
+        distinct_cw = self.distinct_cw
+        shared = self.shared
+        s_num = self.s_num
+        s_dirty = self.s_dirty
+        cw_set = self.cw_set
+        cw_set_pos = self.cw_set_pos
+        cw_set_valid = self.cw_set_valid
+        stat_total = self.stat_total
+        stat_count = self.stat_count
+        stat_min = self.stat_min
+        stat_max = self.stat_max
+
+        group_start = start
+        while group_start < stop:
+            group_end = min(group_start + skip, stop)
+            group_len = group_end - group_start
+
+            # The incremental weighted numerator is exact only while both
+            # windows sit at their steady-state lengths for the whole group.
+            steady = (
+                filled and not growing and cw_len == cw_cap and tw_len == tw_cap
+            )
+            steady_w = weighted and not s_dirty and steady
+            if weighted and not steady_w:
+                s_dirty = True
+            if weighted and steady:
+                # Steady loops don't maintain the sparse distinct set
+                # (the numerator is incremental there); mark it stale.
+                cw_set_valid = False
+
+            # ---- push the group through the windows ----------------------
+            if steady_w:
+                # Steady state, weighted: three parallel slices (incoming,
+                # CW->TW eviction, TW discard) walked in lockstep, with the
+                # exact scaled-numerator updates of the reference loop.
+                for code, old, dead in zip(
+                    codes[group_start:group_end],
+                    codes[group_start - cw_cap : group_end - cw_cap],
+                    codes[group_start - cw_cap - tw_cap : group_end - cw_cap - tw_cap],
+                ):
+                    # CW add
+                    count = cw_count[code] + 1
+                    cw_count[code] = count
+                    if count == 1:
+                        distinct_cw += 1
+                        if tw_count[code] > 0:
+                            shared += 1
+                    tw_c = tw_count[code]
+                    if tw_c:
+                        s_num += min(count * tw_cap, tw_c * cw_cap) - min(
+                            (count - 1) * tw_cap, tw_c * cw_cap
+                        )
+                    # CW evict -> TW add
+                    old_count = cw_count[old] - 1
+                    cw_count[old] = old_count
+                    if old_count == 0:
+                        distinct_cw -= 1
+                        if tw_count[old] > 0:
+                            shared -= 1
+                    old_tw = tw_count[old]
+                    if old_tw:
+                        s_num += min(old_count * tw_cap, old_tw * cw_cap) - min(
+                            (old_count + 1) * tw_cap, old_tw * cw_cap
+                        )
+                    tw_count[old] = old_tw + 1
+                    if old_tw == 0 and old_count:
+                        shared += 1
+                    if old_count:
+                        s_num += min(old_count * tw_cap, (old_tw + 1) * cw_cap) - min(
+                            old_count * tw_cap, old_tw * cw_cap
+                        )
+                    # TW discard
+                    dead_count = tw_count[dead] - 1
+                    tw_count[dead] = dead_count
+                    if dead_count == 0 and cw_count[dead] > 0:
+                        shared -= 1
+                    dead_cw = cw_count[dead]
+                    if dead_cw:
+                        s_num += min(dead_cw * tw_cap, dead_count * cw_cap) - min(
+                            dead_cw * tw_cap, (dead_count + 1) * cw_cap
+                        )
+                consumed = group_end
+            elif steady:
+                # Steady state, unweighted aggregates only.
+                for code, old, dead in zip(
+                    codes[group_start:group_end],
+                    codes[group_start - cw_cap : group_end - cw_cap],
+                    codes[group_start - cw_cap - tw_cap : group_end - cw_cap - tw_cap],
+                ):
+                    count = cw_count[code] + 1
+                    cw_count[code] = count
+                    if count == 1:
+                        distinct_cw += 1
+                        if tw_count[code] > 0:
+                            shared += 1
+                    old_count = cw_count[old] - 1
+                    cw_count[old] = old_count
+                    if old_count == 0:
+                        distinct_cw -= 1
+                        if tw_count[old] > 0:
+                            shared -= 1
+                    old_tw = tw_count[old]
+                    tw_count[old] = old_tw + 1
+                    if old_tw == 0 and old_count:
+                        shared += 1
+                    dead_count = tw_count[dead] - 1
+                    tw_count[dead] = dead_count
+                    if dead_count == 0 and cw_count[dead] > 0:
+                        shared -= 1
+                consumed = group_end
+            elif weighted:
+                # Fill / post-anchor refill / Adaptive growth, weighted:
+                # the general per-element loop with explicit length
+                # tracking, also maintaining the sparse distinct set the
+                # scaled-numerator recompute iterates.
+                if not cw_set_valid:
+                    self.consumed = consumed
+                    self.cw_len = cw_len
+                    self._rebuild_cw_set()
+                    cw_set_valid = True
+                for pos in range(group_start, group_end):
+                    code = codes[pos]
+                    consumed += 1
+                    count = cw_count[code] + 1
+                    cw_count[code] = count
+                    cw_len += 1
+                    if count == 1:
+                        distinct_cw += 1
+                        if tw_count[code] > 0:
+                            shared += 1
+                        cw_set_pos[code] = len(cw_set)
+                        cw_set.append(code)
+                    if cw_len > cw_cap:
+                        old = codes[consumed - cw_len]
+                        old_count = cw_count[old] - 1
+                        cw_count[old] = old_count
+                        cw_len -= 1
+                        if old_count == 0:
+                            distinct_cw -= 1
+                            if tw_count[old] > 0:
+                                shared -= 1
+                            last = cw_set.pop()
+                            if last != old:
+                                slot = cw_set_pos[old]
+                                cw_set[slot] = last
+                                cw_set_pos[last] = slot
+                        old_tw = tw_count[old]
+                        tw_count[old] = old_tw + 1
+                        tw_len += 1
+                        if old_tw == 0 and old_count:
+                            shared += 1
+                        if not growing and tw_len > tw_cap:
+                            dead = codes[consumed - cw_len - tw_len]
+                            dead_count = tw_count[dead] - 1
+                            tw_count[dead] = dead_count
+                            tw_len -= 1
+                            if dead_count == 0 and cw_count[dead] > 0:
+                                shared -= 1
+                if not filled and tw_len >= tw_cap and cw_len >= cw_cap:
+                    filled = True
+            else:
+                # Fill / post-anchor refill / Adaptive growth: the general
+                # per-element loop with explicit length tracking.
+                for pos in range(group_start, group_end):
+                    code = codes[pos]
+                    consumed += 1
+                    count = cw_count[code] + 1
+                    cw_count[code] = count
+                    cw_len += 1
+                    if count == 1:
+                        distinct_cw += 1
+                        if tw_count[code] > 0:
+                            shared += 1
+                    if cw_len > cw_cap:
+                        old = codes[consumed - cw_len]
+                        old_count = cw_count[old] - 1
+                        cw_count[old] = old_count
+                        cw_len -= 1
+                        if old_count == 0:
+                            distinct_cw -= 1
+                            if tw_count[old] > 0:
+                                shared -= 1
+                        old_tw = tw_count[old]
+                        tw_count[old] = old_tw + 1
+                        tw_len += 1
+                        if old_tw == 0 and old_count:
+                            shared += 1
+                        if not growing and tw_len > tw_cap:
+                            dead = codes[consumed - cw_len - tw_len]
+                            dead_count = tw_count[dead] - 1
+                            tw_count[dead] = dead_count
+                            tw_len -= 1
+                            if dead_count == 0 and cw_count[dead] > 0:
+                                shared -= 1
+                if not filled and tw_len >= tw_cap and cw_len >= cw_cap:
+                    filled = True
+
+            # ---- similarity + analyzer -----------------------------------
+            if not filled:
+                new_in_phase = False
+                similarity = 0.0
+            else:
+                if weighted:
+                    if s_dirty:
+                        if not cw_set_valid:
+                            self.consumed = consumed
+                            self.cw_len = cw_len
+                            self._rebuild_cw_set()
+                            cw_set_valid = True
+                        s_num = 0
+                        for code in cw_set:
+                            tw_c = tw_count[code]
+                            if tw_c:
+                                s_num += min(cw_count[code] * tw_len, tw_c * cw_len)
+                        if cw_len == cw_cap and tw_len == tw_cap:
+                            s_dirty = False
+                    similarity = (
+                        s_num / (cw_len * tw_len) if cw_len and tw_len else 0.0
+                    )
+                else:
+                    similarity = shared / distinct_cw if distinct_cw else 0.0
+                if threshold_analyzer:
+                    new_in_phase = similarity >= threshold
+                elif in_phase and stat_count:
+                    new_in_phase = similarity >= (stat_total / stat_count) - delta
+                else:
+                    new_in_phase = similarity >= enter_threshold
+
+            # ---- state transitions (Figure 3) ----------------------------
+            if not in_phase and new_in_phase:
+                self.consumed = consumed
+                self.cw_len = cw_len
+                self.tw_len = tw_len
+                self.growing = growing
+                anchor_abs = self._anchor_and_resize()
+                cw_len = self.cw_len
+                tw_len = self.tw_len
+                growing = self.growing
+                self._recount_cw()
+                distinct_cw = self.distinct_cw
+                shared = self.shared
+                s_dirty = True
+                if weighted:
+                    # The Adaptive resize may have moved CW elements out.
+                    cw_set_valid = False
+                stat_count = 1
+                stat_total = similarity
+                stat_min = similarity if similarity < 1.0 else 1.0
+                stat_max = similarity if similarity > 0.0 else 0.0
+                tracker.enter(consumed, consumed - group_len, anchor_abs)
+            elif in_phase and not new_in_phase:
+                phase_mean = stat_total / stat_count if stat_count else 0.0
+                tracker.exit(consumed, consumed - group_len, phase_mean)
+                self.consumed = consumed
+                self.cw_len = cw_len
+                self.tw_len = tw_len
+                self._clear_and_seed(group_len)
+                cw_count = self.cw_count
+                tw_count = self.tw_count
+                cw_len = self.cw_len
+                tw_len = self.tw_len
+                cw_set_valid = self.cw_set_valid
+                filled = False
+                growing = False
+                distinct_cw = self.distinct_cw
+                shared = self.shared
+                s_num = 0
+                s_dirty = True
+                stat_total = 0.0
+                stat_count = 0
+                stat_min = 1.0
+                stat_max = 0.0
+            elif in_phase:
+                stat_total += similarity
+                stat_count += 1
+                if similarity < stat_min:
+                    stat_min = similarity
+                if similarity > stat_max:
+                    stat_max = similarity
+
+            if new_in_phase:
+                states[group_start:group_end] = b"\x01" * group_len
+
+            in_phase = new_in_phase
+            group_start = group_end
+
+        # ---- sync the scalars back ---------------------------------------
+        self.consumed = consumed
+        self.cw_len = cw_len
+        self.tw_len = tw_len
+        self.filled = filled
+        self.growing = growing
+        self.in_phase = in_phase
+        self.distinct_cw = distinct_cw
+        self.shared = shared
+        self.s_num = s_num
+        self.s_dirty = s_dirty
+        self.cw_set_valid = cw_set_valid
+        self.stat_total = stat_total
+        self.stat_count = stat_count
+        self.stat_min = stat_min
+        self.stat_max = stat_max
+
+    # -- state sync-back ------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Rebuild the runtime's model/analyzer state from the flat state.
+
+        After this, a checkpoint of the runtime is bit-identical to one
+        taken after the legacy paths consumed the same stream, and the
+        legacy paths can continue from it.  Call exactly once, after the
+        last :meth:`advance`.
+        """
+        if self._finalized:
+            raise RuntimeError("DenseAdvancer.finalize() called twice")
+        self._finalized = True
+        runtime = self.runtime
+        model = runtime.model
+        consumed = self.consumed
+        cw_start = consumed - self.cw_len
+        tw_start = cw_start - self.tw_len
+        # Replay through the add hooks (TW first, like restore) so the
+        # model's own incremental aggregates are rebuilt exactly.
+        for element in self.data[tw_start:cw_start].tolist():
+            model._tw_add(element)
+        for element in self.data[cw_start:consumed].tolist():
+            model._cw_add(element)
+        model.consumed = consumed
+        model.filled = self.filled
+        model.growing = self.growing
+        stats = runtime.analyzer.stats
+        stats.total = self.stat_total
+        stats.count = self.stat_count
+        stats.minimum = self.stat_min
+        stats.maximum = self.stat_max
+        runtime.state = PhaseState.PHASE if self.in_phase else PhaseState.TRANSITION
+
+
+def run_dense(
+    runtime,
+    trace,
+    codes: Optional[List[int]] = None,
+    n_codes: Optional[int] = None,
+) -> np.ndarray:
+    """Run ``runtime`` over ``trace`` with the dense advancer.
+
+    Returns the bool state array; phases land in ``runtime.tracker`` and
+    the runtime's model/analyzer state is left exactly as the legacy
+    paths would leave it (the caller still runs ``runtime.finish``).
+
+    ``codes``/``n_codes`` let a :class:`~repro.core.bank.DetectorBank`
+    pass share one materialized dense-code list across all of its
+    members; by default they come from ``trace.dense_codes()``.
+    """
+    data = trace.array
+    total = int(data.size)
+    if codes is None or n_codes is None:
+        codes_np, values = trace.dense_codes()
+        codes = codes_np.tolist()
+        n_codes = int(values.size)
+    advancer = DenseAdvancer(runtime, codes, n_codes, data)
+    buffer = bytearray(total)
+    advancer.advance(0, total, buffer)
+    advancer.finalize()
+    return np.frombuffer(bytes(buffer), dtype=np.uint8).astype(bool)
+
+
+# ---------------------------------------------------------------------------
+# The vectorized whole-trace fast path
+# ---------------------------------------------------------------------------
+
+
+def _prev_occurrence(codes: np.ndarray) -> np.ndarray:
+    """``prev[i]`` = index of the previous occurrence of ``codes[i]``
+    (or -1).  One stable argsort; equal codes stay in index order."""
+    order = np.argsort(codes, kind="stable").astype(np.int64)
+    prev = np.full(codes.size, -1, dtype=np.int64)
+    if codes.size > 1:
+        same = codes[order[1:]] == codes[order[:-1]]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _unweighted_sims(
+    codes: np.ndarray, cwc: int, twc: int, step_ends: np.ndarray, total: int
+) -> np.ndarray:
+    """Per-step unweighted similarity values via interval stabbing.
+
+    For a window start ``l`` (CW = ``codes[l : l+cwc]``, TW =
+    ``codes[l-twc : l]``), an occurrence ``i`` is a *distinct CW member*
+    exactly for ``l`` in ``(max(prev[i], i-cwc), i]`` — it lies in the
+    CW and no earlier occurrence does.  It is additionally *shared with
+    the TW* when its predecessor lies in the TW: ``l <= prev[i]+twc``.
+    Both per-``l`` counts accumulate in O(n) with difference arrays.
+    Entries for geometrically unfilled steps are left at 0.0 (callers
+    never consult them — the episode walk gates on the filled mask).
+    """
+    n_steps = step_ends.size
+    sims = np.zeros(n_steps, dtype=np.float64)
+    if total < cwc + twc:
+        return sims
+    window_starts = total - cwc + 1  # valid l: 0 .. total-cwc
+    idx = np.arange(total, dtype=np.int64)
+    prev = _prev_occurrence(codes)
+    lo = np.maximum(prev, idx - cwc) + 1
+    hi = np.minimum(idx, total - cwc)
+    ok = lo <= hi
+    add = np.bincount(lo[ok], minlength=window_starts + 1)
+    rem = np.bincount(hi[ok] + 1, minlength=window_starts + 1)
+    distinct = np.cumsum(add[:window_starts] - rem[:window_starts])
+    has_prev = prev >= 0
+    lo2 = lo[has_prev]
+    hi2 = np.minimum(hi[has_prev], prev[has_prev] + twc)
+    ok2 = lo2 <= hi2
+    add2 = np.bincount(lo2[ok2], minlength=window_starts + 1)
+    rem2 = np.bincount(hi2[ok2] + 1, minlength=window_starts + 1)
+    shared = np.cumsum(add2[:window_starts] - rem2[:window_starts])
+    starts = step_ends - cwc
+    valid = starts >= twc
+    lv = starts[valid]
+    # int64/int64 true division == Python int/int (both correctly rounded)
+    sims[valid] = shared[lv] / distinct[lv]
+    return sims
+
+
+def _fixed_interval_sims(
+    codes: np.ndarray, n_codes: int, size: int, step_ends: np.ndarray, total: int
+) -> np.ndarray:
+    """Per-step weighted similarity for the Fixed-Interval geometry
+    (skip = CW = TW = ``size``): at every full-group step the windows
+    are whole consecutive blocks, so per-block multiset minima come
+    from one sorted ``(block, code)`` count pass.  Only the trace's
+    final group can be partial; its windows are computed directly.
+    """
+    n_steps = step_ends.size
+    sims = np.zeros(n_steps, dtype=np.float64)
+    if total < 2 * size:
+        return sims
+    n_full = total // size
+    blocks = np.arange(n_full * size, dtype=np.int64) // size
+    keys = blocks * n_codes + codes[: n_full * size]
+    ukeys, ucounts = np.unique(keys, return_counts=True)
+    target = ukeys - n_codes  # the same code in the previous block
+    pos = np.searchsorted(ukeys, target)
+    pos_c = np.minimum(pos, ukeys.size - 1)
+    matched = ukeys[pos_c] == target
+    minima = np.where(matched, np.minimum(ucounts, ucounts[pos_c]), 0)
+    per_block = np.zeros(n_full, dtype=np.int64)
+    np.add.at(per_block, ukeys // n_codes, minima)
+    denominator = size * size
+    full = (step_ends % size == 0) & (step_ends >= 2 * size)
+    pair = step_ends[full] // size - 1
+    sims[full] = (per_block[pair] * size) / denominator
+    if int(step_ends[-1]) % size != 0:
+        cw_counts = np.bincount(codes[total - size : total], minlength=n_codes)
+        tw_counts = np.bincount(
+            codes[total - 2 * size : total - size], minlength=n_codes
+        )
+        s_num = int(np.minimum(cw_counts, tw_counts).sum()) * size
+        sims[-1] = s_num / denominator
+    return sims
+
+
+def run_vectorized(runtime, trace) -> np.ndarray:
+    """Run ``runtime`` over ``trace`` with the vectorized fast path.
+
+    Computes the whole similarity series up front, then replays the
+    detector's decision sequence in episodes: find the next phase entry
+    among filled steps, find its exit, restart the filled-mask origin
+    at the flush point.  Phases (with anchor-corrected starts and exact
+    mean similarities) land in ``runtime.tracker`` and the final model/
+    analyzer state is reconstructed bit-identically; the caller still
+    runs ``runtime.finish``.  Returns the bool state array.
+    """
+    from repro.core.runtime import DetectedPhase
+
+    if not vectorized_eligible(runtime):
+        raise ValueError("runtime is not eligible for the vectorized kernel")
+    config = runtime.config
+    skip = config.skip_factor
+    cwc = config.cw_size
+    twc = config.effective_tw_size
+    fill_span = cwc + twc
+    threshold = runtime.analyzer.threshold
+    data = trace.array
+    total = int(data.size)
+    states = np.zeros(total, dtype=bool)
+    if total == 0:
+        return states
+    codes, values = trace.dense_codes()
+    n_steps = (total + skip - 1) // skip
+    step_ends = np.minimum(
+        np.arange(1, n_steps + 1, dtype=np.int64) * skip, total
+    )
+    if type(runtime.model) is WeightedSetModel:
+        sims = _fixed_interval_sims(codes, int(values.size), cwc, step_ends, total)
+    else:
+        sims = _unweighted_sims(codes, cwc, twc, step_ends, total)
+    decisions = sims >= threshold
+    phase_steps = np.flatnonzero(decisions)
+    gap_steps = np.flatnonzero(~decisions)
+
+    tracker = runtime.tracker
+    rn_anchor = config.anchor is AnchorPolicy.RN
+    origin = 0
+    cursor = 0
+    open_entry = -1
+    while True:
+        first_filled = int(np.searchsorted(step_ends, origin + fill_span))
+        if first_filled < cursor:
+            first_filled = cursor
+        hit = int(np.searchsorted(phase_steps, first_filled))
+        if hit >= phase_steps.size:
+            break
+        entry = int(phase_steps[hit])
+        c_entry = int(step_ends[entry])
+        entry_len = c_entry - (int(step_ends[entry - 1]) if entry else 0)
+        detected_start = c_entry - entry_len
+        # Anchor over the entry step's windows (Constant trailing: the
+        # windows themselves are untouched).
+        cw_slice = codes[c_entry - cwc : c_entry]
+        tw_slice = codes[c_entry - fill_span : c_entry - cwc]
+        in_cw = np.isin(tw_slice, cw_slice)
+        if rn_anchor:
+            noisy = np.flatnonzero(~in_cw)
+            anchor = int(noisy[-1]) + 1 if noisy.size else 0
+        else:
+            hits = np.flatnonzero(in_cw)
+            anchor = int(hits[0]) if hits.size else twc
+        anchor_abs = (c_entry - fill_span) + anchor
+        corrected = anchor_abs if anchor_abs < detected_start else detected_start
+        drop = int(np.searchsorted(gap_steps, entry + 1))
+        if drop >= gap_steps.size:
+            open_entry = entry
+            tracker.open_detected = detected_start
+            tracker.open_corrected = corrected
+            states[detected_start:total] = True
+            break
+        exit_step = int(gap_steps[drop])
+        c_exit = int(step_ends[exit_step])
+        exit_len = c_exit - int(step_ends[exit_step - 1])
+        end = c_exit - exit_len
+        phase_sims = sims[entry:exit_step]
+        # cumsum is a sequential left-to-right accumulation — the same
+        # addition order as the incremental paths' running total.
+        phase_total = float(np.cumsum(phase_sims)[-1])
+        mean = phase_total / int(phase_sims.size)
+        tracker.phases.append(DetectedPhase(detected_start, corrected, end, mean))
+        states[detected_start:end] = True
+        origin = c_exit - min(exit_len, cwc)
+        cursor = exit_step + 1
+
+    # ---- reconstruct the final incremental state -------------------------
+    model = runtime.model
+    since_origin = total - origin
+    cw_len = since_origin if since_origin < cwc else cwc
+    tw_len = since_origin - cwc
+    if tw_len < 0:
+        tw_len = 0
+    elif tw_len > twc:
+        tw_len = twc
+    cw_start = total - cw_len
+    tw_start = cw_start - tw_len
+    for element in data[tw_start:cw_start].tolist():
+        model._tw_add(element)
+    for element in data[cw_start:total].tolist():
+        model._cw_add(element)
+    model.consumed = total
+    model.filled = since_origin >= fill_span
+    model.growing = False
+    if open_entry >= 0:
+        phase_sims = sims[open_entry:]
+        stats = runtime.analyzer.stats
+        stats.count = int(phase_sims.size)
+        stats.total = float(np.cumsum(phase_sims)[-1])
+        low = float(np.min(phase_sims))
+        high = float(np.max(phase_sims))
+        stats.minimum = low if low < 1.0 else 1.0
+        stats.maximum = high if high > 0.0 else 0.0
+        runtime.state = PhaseState.PHASE
+    else:
+        runtime.state = PhaseState.TRANSITION
+    return states

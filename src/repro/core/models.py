@@ -9,6 +9,12 @@ Two models are provided, both built on :class:`~repro.core.windows.WindowPair`:
   element, its relative weight in each window (count / window length);
   the similarity is the sum over elements of the minimum of the two
   relative weights.
+
+These classes are the semantic reference for the model policy.  The
+array-native kernels of :mod:`repro.core.kernels` mirror the same
+bookkeeping on flat count buffers over dense codes (bit-identical,
+pinned by the kernel equivalence suites); any change to similarity
+semantics here must be reflected there.
 """
 
 from __future__ import annotations

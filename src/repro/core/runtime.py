@@ -30,6 +30,12 @@ Two equivalent execution paths share that state:
   :class:`~repro.core.windows.WindowPair` methods the reference path
   uses.
 
+Whole-trace runs additionally route through the array-native kernels of
+:mod:`repro.core.kernels` when the configuration qualifies — dense
+element codes over flat count buffers, or a fully vectorized pass for
+non-adaptive windows — producing bit-identical results (same states,
+phases, similarity values, and checkpoints) at a fraction of the cost.
+
 Phase bookkeeping — opening, anchor-corrected starts, closing, and the
 ``phase_enter``/``phase_exit`` observability events — lives in
 :class:`PhaseTracker` and nowhere else.
@@ -656,6 +662,7 @@ class DetectorRuntime:
         trace: BranchTrace,
         record_similarity: bool = False,
         fused: Optional[bool] = None,
+        kernels: Optional[bool] = None,
     ) -> DetectionResult:
         """Run this runtime over a whole trace from its current state.
 
@@ -665,6 +672,15 @@ class DetectorRuntime:
         the two paths independently testable).  ``record_similarity``
         collects the per-step similarity values the decisions used
         (reference path only).
+
+        When the fused path is selected, the array-native kernels of
+        :mod:`repro.core.kernels` take over whenever this runtime and
+        the configuration qualify (fresh runtime, standard components,
+        no observer; see ``docs/performance.md``), producing
+        bit-identical results faster.  ``kernels=False`` — or the
+        ``REPRO_KERNELS=0`` environment variable — forces the legacy
+        fused loop; ``kernels=None`` (the default) consults the
+        environment.
         """
         data = trace.array
         total = int(data.size)
@@ -684,8 +700,10 @@ class DetectorRuntime:
         if record_similarity or not use_fused:
             states, similarities = self._run_reference(data, total, skip, record_similarity)
         else:
-            states = self._run_fused(data, total, skip)
             similarities = None
+            states = self._run_kernel(trace, kernels)
+            if states is None:
+                states = self._run_fused(data, total, skip)
         # For a fresh runtime consumed == total; a restored runtime closes
         # its final phase at the absolute stream position instead.
         phases = self.finish(self.model.consumed)
@@ -718,6 +736,31 @@ class DetectorRuntime:
             if similarities is not None and outcome.similarity is not None:
                 similarities[start : start + group_len] = outcome.similarity
         return states, similarities
+
+    def _run_kernel(
+        self, trace: BranchTrace, kernels: Optional[bool]
+    ) -> Optional[np.ndarray]:
+        """Run via :mod:`repro.core.kernels` if enabled and eligible.
+
+        Returns the state array, or ``None`` when the kernels are
+        disabled or this runtime does not qualify (non-standard
+        components, an attached observer, or a restored/partially
+        consumed runtime) — the caller then falls back to
+        :meth:`_run_fused`.
+        """
+        # Imported lazily: kernels.py imports this module for
+        # DetectedPhase, so a top-level import would be circular.
+        from repro.core import kernels as kernel_mod
+
+        if kernels is None:
+            kernels = kernel_mod.kernels_enabled()
+        if not kernels:
+            return None
+        if kernel_mod.vectorized_eligible(self):
+            return kernel_mod.run_vectorized(self, trace)
+        if kernel_mod.dense_eligible(self):
+            return kernel_mod.run_dense(self, trace)
+        return None
 
     def _run_fused(self, data, total: int, skip: int) -> np.ndarray:
         buffer = bytearray(total)

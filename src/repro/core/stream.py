@@ -18,6 +18,12 @@ stream can also be suspended and resumed: :meth:`StreamingDetector.checkpoint`
 wraps the runtime's versioned checkpoint with the stream's own state
 (pending buffer, per-element states so far) for bit-identical
 continuation — see ``docs/formats.md``.
+
+Streaming always uses the incremental runtime paths: the array-native
+kernels of :mod:`repro.core.kernels` need the whole trace up front for
+the per-trace dense remap, which a stream by definition does not have.
+Because the kernels are bit-identical, a checkpoint taken after a
+kernel ``run()`` restores into a stream (and vice versa) seamlessly.
 """
 
 from __future__ import annotations

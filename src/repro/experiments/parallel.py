@@ -105,6 +105,7 @@ def _init_worker(
     mpl_nominals: Tuple[int, ...],
     profiling: bool = False,
     bank: bool = True,
+    kernels: Optional[bool] = None,
 ) -> None:
     _WORKER_STATE["profile"] = profile
     _WORKER_STATE["cache_dir"] = cache_dir
@@ -112,6 +113,7 @@ def _init_worker(
     _WORKER_STATE["benchmarks"] = {}
     _WORKER_STATE["profiling"] = profiling
     _WORKER_STATE["bank"] = bank
+    _WORKER_STATE["kernels"] = kernels
     # A forked worker inherits the parent's accumulated counts; reset so
     # the snapshots shipped back are purely this worker's own activity.
     GLOBAL_METRICS.reset()
@@ -150,6 +152,7 @@ def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
     branch_trace, baselines = _benchmark_context(benchmark)
     profile: SuiteProfile = _WORKER_STATE["profile"]  # type: ignore[assignment]
     bank = bool(_WORKER_STATE.get("bank", True))
+    kernels = _WORKER_STATE.get("kernels")  # Optional[bool]; None = env default
     profiler = (
         ChunkProfiler(f"{benchmark}[{len(specs)} specs]")
         if _WORKER_STATE.get("profiling")
@@ -158,9 +161,13 @@ def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
     started = time.perf_counter()
     if profiler is not None:
         with profiler:
-            records = evaluate_bank(branch_trace, baselines, specs, profile, bank=bank)
+            records = evaluate_bank(
+                branch_trace, baselines, specs, profile, bank=bank, kernels=kernels
+            )
     else:
-        records = evaluate_bank(branch_trace, baselines, specs, profile, bank=bank)
+        records = evaluate_bank(
+            branch_trace, baselines, specs, profile, bank=bank, kernels=kernels
+        )
     rows: List[Dict] = [record.to_row() for record in records]
     wall = time.perf_counter() - started
     stats: Dict = {
@@ -255,6 +262,7 @@ class ParallelSweepExecutor:
         chunk_size: Optional[int] = None,
         profiling: bool = False,
         bank: bool = True,
+        kernels: Optional[bool] = None,
     ) -> None:
         self.profile = profile
         self.cache_dir = cache_dir
@@ -263,6 +271,7 @@ class ParallelSweepExecutor:
         self.chunk_size = chunk_size
         self.profiling = profiling
         self.bank = bank
+        self.kernels = kernels
         self.worker_stats: List[Dict] = []
         self.worker_metrics: Dict[int, Dict] = {}
         self.chunk_profiles: List[Dict] = []
@@ -313,6 +322,7 @@ class ParallelSweepExecutor:
                 self.mpl_nominals,
                 self.profiling,
                 self.bank,
+                self.kernels,
             ),
         ) as pool:
             futures = {

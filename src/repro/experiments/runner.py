@@ -9,7 +9,7 @@ score used by Figure 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -153,10 +153,11 @@ def evaluate_spec(
     baselines: BaselineSet,
     spec: ConfigSpec,
     profile: SuiteProfile,
+    kernels: Optional[bool] = None,
 ) -> List[SweepRecord]:
     """Run one grid point over one trace; score it at every MPL."""
     config = spec.to_config(profile)
-    result = run_detector(trace, config)
+    result = run_detector(trace, config, kernels=kernels)
     return _score_result(result, baselines, spec)
 
 
@@ -167,6 +168,7 @@ def evaluate_bank(
     profile: SuiteProfile,
     bank: bool = True,
     bank_size: int = DEFAULT_BANK_SIZE,
+    kernels: Optional[bool] = None,
 ) -> List[SweepRecord]:
     """Run many grid points over one trace; score each at every MPL.
 
@@ -176,17 +178,24 @@ def evaluate_bank(
     instead of once per grid point.  ``bank=False`` falls back to one
     :func:`~repro.core.engine.run_detector` call per spec — same
     results in the same order (the bank-equivalence CI job pins this).
+
+    ``kernels`` selects the array-native detector kernels for eligible
+    configurations (see :mod:`repro.core.kernels`); ``None`` consults
+    the ``REPRO_KERNELS`` environment variable.  Records are
+    byte-identical either way (the kernel-equivalence CI job pins this).
     """
     if not bank:
         records: List[SweepRecord] = []
         for spec in specs:
-            records.extend(evaluate_spec(trace, baselines, spec, profile))
+            records.extend(evaluate_spec(trace, baselines, spec, profile, kernels))
         return records
     records = []
     specs = list(specs)
     for start in range(0, len(specs), bank_size):
         batch = specs[start : start + bank_size]
-        results = DetectorBank([spec.to_config(profile) for spec in batch]).run(trace)
+        results = DetectorBank([spec.to_config(profile) for spec in batch]).run(
+            trace, kernels=kernels
+        )
         for spec, result in zip(batch, results):
             records.extend(_score_result(result, baselines, spec))
     return records

@@ -98,6 +98,7 @@ class Sweep:
         mpl_nominals: Sequence[int] = MPL_NOMINALS_EXTENDED,
         jobs: int = 1,
         bank: bool = True,
+        kernels: Optional[bool] = None,
     ) -> None:
         self.profile = profile
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
@@ -108,6 +109,10 @@ class Sweep:
         #: trace (False: one run_detector pass per grid point — slower,
         #: identical records; kept as the bank-equivalence escape hatch).
         self.bank = bank
+        #: Array-native kernel selection for eligible configurations
+        #: (None: the REPRO_KERNELS env default; False: the
+        #: kernel-equivalence escape hatch — identical records).
+        self.kernels = kernels
         #: Per-sweep metrics registry; snapshotted into the run manifest.
         self.metrics = MetricsRegistry()
         with self.metrics.time("sweep.load_suite_seconds"):
@@ -210,7 +215,8 @@ class Sweep:
             baselines = self.baselines(benchmark)
             started = time.perf_counter()
             fresh: List[SweepRecord] = evaluate_bank(
-                branch_trace, baselines, missing, self.profile, bank=self.bank
+                branch_trace, baselines, missing, self.profile,
+                bank=self.bank, kernels=self.kernels,
             )
             for record in fresh:
                 self._records[self._record_key(record)] = record
@@ -241,7 +247,7 @@ class Sweep:
             return self._evaluate_serial(work, progress), [], {}, []
         executor = ParallelSweepExecutor(
             self.profile, self.cache_dir, self.mpl_nominals, jobs=jobs,
-            profiling=profiling, bank=self.bank,
+            profiling=profiling, bank=self.bank, kernels=self.kernels,
         )
         evaluated = 0
 

@@ -10,7 +10,7 @@ structure) stay cheap even for million-element traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class BranchTrace:
         meta: optional free-form metadata dictionary.
     """
 
-    __slots__ = ("_data", "name", "meta")
+    __slots__ = ("_data", "name", "meta", "_unique", "_codes")
 
     def __init__(
         self,
@@ -56,6 +56,10 @@ class BranchTrace:
         self._data = data
         self.name = name
         self.meta = dict(meta or {})
+        # Lazy caches; the data array is immutable, so neither ever
+        # needs invalidation.
+        self._unique: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._codes: Optional[np.ndarray] = None
 
     # -- sequence protocol -------------------------------------------------
 
@@ -76,7 +80,9 @@ class BranchTrace:
         return np.array_equal(self._data, other._data)
 
     def __hash__(self) -> int:
-        return hash((self.name, len(self), self._data[:64].tobytes()))
+        # __eq__ compares only the element data, so the hash must be a
+        # function of the data alone (name/meta must not participate).
+        return hash((int(self._data.size), self._data[:64].tobytes()))
 
     def __repr__(self) -> str:
         label = self.name or "<anonymous>"
@@ -103,11 +109,44 @@ class BranchTrace:
 
     # -- statistics ----------------------------------------------------------
 
+    def unique(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted distinct elements and their occurrence counts.
+
+        Computed once and cached — :meth:`stats`,
+        :meth:`distinct_elements`, and :meth:`dense_codes` all share the
+        same ``np.unique`` pass.  The array is immutable, so the cache
+        never needs invalidation.
+        """
+        if self._unique is None:
+            values, counts = np.unique(self._data, return_counts=True)
+            values.setflags(write=False)
+            counts.setflags(write=False)
+            self._unique = (values, counts)
+        return self._unique
+
+    def dense_codes(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense remap of the trace: ``(codes, values)``.
+
+        ``values`` is the sorted distinct-element array from
+        :meth:`unique` and ``codes`` an int32 array with
+        ``values[codes[i]] == array[i]`` — packed int64 profile
+        elements mapped to contiguous small ints, so detector kernels
+        can replace per-element hash lookups with flat array indexing
+        (see :mod:`repro.core.kernels`).  Cached on the trace and shared
+        across every detector lane of a bank pass.
+        """
+        values, _ = self.unique()
+        if self._codes is None:
+            codes = np.searchsorted(values, self._data).astype(np.int32)
+            codes.setflags(write=False)
+            self._codes = codes
+        return self._codes, values
+
     def stats(self) -> TraceStats:
         """Compute whole-trace summary statistics."""
         if len(self) == 0:
             return TraceStats(0, 0, 0, 0.0, -1, 0.0)
-        values, counts = np.unique(self._data, return_counts=True)
+        values, counts = self.unique()
         probs = counts / counts.sum()
         entropy = float(-(probs * np.log2(probs)).sum())
         top = int(np.argmax(counts))
@@ -123,7 +162,7 @@ class BranchTrace:
 
     def distinct_elements(self) -> int:
         """Number of distinct profile elements in the trace."""
-        return int(np.unique(self._data).size)
+        return int(self.unique()[0].size)
 
     def concat(self, other: "BranchTrace") -> "BranchTrace":
         """Return a new trace that is this trace followed by ``other``."""

@@ -1,0 +1,260 @@
+"""Array-native kernel tests: bit-identical to the fused loop, and the
+selection machinery (eligibility predicates, env/flag plumbing, bank
+partitioning) routes every configuration to a correct path."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyzerKind,
+    AnchorPolicy,
+    DetectorConfig,
+    ModelKind,
+    ResizePolicy,
+    TrailingPolicy,
+)
+from repro.core.bank import DetectorBank
+from repro.core.engine import run_detector
+from repro.core.kernels import (
+    dense_eligible,
+    kernels_enabled,
+    run_dense,
+    run_vectorized,
+    vectorized_eligible,
+)
+from repro.core.runtime import DetectorRuntime
+from repro.obs.bus import MemorySink
+from repro.profiles.synthetic import SyntheticTraceBuilder
+from repro.profiles.trace import BranchTrace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    builder = SyntheticTraceBuilder(seed=71)
+    builder.add_transition(150)
+    builder.add_phase(1_100, body_size=9, noise_rate=0.03)
+    builder.add_transition(120)
+    builder.add_phase(900, body_size=21)
+    builder.add_transition(80)
+    builder.add_phase(600, body_size=5, noise_rate=0.01)
+    return builder.build()[0]
+
+
+def matrix_configs():
+    """Every model x analyzer x trailing x anchor x resize combination,
+    over two window geometries (one of them fixed-interval shaped)."""
+    configs = []
+    geometries = [
+        dict(cw_size=60, tw_size=None, skip_factor=60),  # fixed-interval shape
+        dict(cw_size=45, tw_size=90, skip_factor=7),
+    ]
+    for geometry in geometries:
+        for model in ModelKind:
+            for analyzer in AnalyzerKind:
+                for trailing in TrailingPolicy:
+                    for anchor in AnchorPolicy:
+                        for resize in ResizePolicy:
+                            configs.append(
+                                DetectorConfig(
+                                    trailing=trailing,
+                                    anchor=anchor,
+                                    resize=resize,
+                                    model=model,
+                                    analyzer=analyzer,
+                                    threshold=0.5,
+                                    delta=0.08,
+                                    **geometry,
+                                )
+                            )
+    return configs
+
+
+def run_both(trace, config):
+    """(kernel result + checkpoint, legacy result + checkpoint)."""
+    kernel_rt = DetectorRuntime(config)
+    kernel = kernel_rt.run(trace, kernels=True)
+    legacy_rt = DetectorRuntime(config)
+    legacy = legacy_rt.run(trace, kernels=False)
+    return kernel, kernel_rt.checkpoint(), legacy, legacy_rt.checkpoint()
+
+
+class TestEquivalence:
+    def test_full_config_matrix_bit_identical(self, trace):
+        for config in matrix_configs():
+            kernel, kernel_cp, legacy, legacy_cp = run_both(trace, config)
+            label = config.describe()
+            assert np.array_equal(kernel.states, legacy.states), label
+            assert kernel.detected_phases == legacy.detected_phases, label
+            # Checkpoints serialize every piece of live state (windows,
+            # counts, stats, tracker); JSON equality pins them all,
+            # including float bit patterns.
+            assert json.dumps(kernel_cp, sort_keys=True) == json.dumps(
+                legacy_cp, sort_keys=True
+            ), label
+
+    def test_phase_means_bit_identical(self, trace):
+        config = DetectorConfig(cw_size=60, skip_factor=60, threshold=0.5)
+        kernel, _, legacy, _ = run_both(trace, config)
+        for ours, theirs in zip(kernel.detected_phases, legacy.detected_phases):
+            assert ours.mean_similarity == theirs.mean_similarity
+
+    def test_empty_and_tiny_traces(self):
+        config = DetectorConfig(cw_size=5, skip_factor=3, threshold=0.5)
+        for elements in ([], [1], [1, 1, 1, 1], list(range(4))):
+            tiny = BranchTrace(elements)
+            kernel, kernel_cp, legacy, legacy_cp = run_both(tiny, config)
+            assert np.array_equal(kernel.states, legacy.states)
+            assert json.dumps(kernel_cp, sort_keys=True) == json.dumps(
+                legacy_cp, sort_keys=True
+            )
+
+    def test_restored_checkpoints_continue_identically(self, trace):
+        """A checkpoint taken after a kernel run restores into a runtime
+        that keeps advancing exactly like its legacy twin."""
+        config = DetectorConfig(
+            cw_size=40, skip_factor=8, trailing=TrailingPolicy.ADAPTIVE,
+            threshold=0.5,
+        )
+        _, kernel_cp, _, legacy_cp = run_both(trace, config)
+        restored_kernel = DetectorRuntime.restore(kernel_cp)
+        restored_legacy = DetectorRuntime.restore(legacy_cp)
+        extra = (trace.array[:400] % 9).tolist()
+        groups = [extra[i : i + 8] for i in range(0, len(extra), 8)]
+        kernel_states = bytearray(len(extra))
+        legacy_states = bytearray(len(extra))
+        restored_kernel.advance(groups, kernel_states, 0)
+        restored_legacy.advance(groups, legacy_states, 0)
+        assert bytes(kernel_states) == bytes(legacy_states)
+        assert json.dumps(restored_kernel.checkpoint(), sort_keys=True) == (
+            json.dumps(restored_legacy.checkpoint(), sort_keys=True)
+        )
+
+
+class TestEligibility:
+    def test_vectorized_covers_threshold_constant(self):
+        runtime = DetectorRuntime(DetectorConfig(cw_size=20, skip_factor=5))
+        assert vectorized_eligible(runtime)
+        assert dense_eligible(runtime)
+
+    def test_average_analyzer_falls_back_to_dense(self):
+        runtime = DetectorRuntime(
+            DetectorConfig(cw_size=20, skip_factor=5, analyzer=AnalyzerKind.AVERAGE)
+        )
+        assert not vectorized_eligible(runtime)
+        assert dense_eligible(runtime)
+
+    def test_adaptive_trailing_falls_back_to_dense(self):
+        runtime = DetectorRuntime(
+            DetectorConfig(cw_size=20, skip_factor=5, trailing=TrailingPolicy.ADAPTIVE)
+        )
+        assert not vectorized_eligible(runtime)
+        assert dense_eligible(runtime)
+
+    def test_weighted_vectorized_only_for_fixed_interval(self):
+        fixed = DetectorRuntime(
+            DetectorConfig(cw_size=30, skip_factor=30, model=ModelKind.WEIGHTED)
+        )
+        assert vectorized_eligible(fixed)
+        offset = DetectorRuntime(
+            DetectorConfig(cw_size=30, skip_factor=7, model=ModelKind.WEIGHTED)
+        )
+        assert not vectorized_eligible(offset)
+        assert dense_eligible(offset)
+
+    def test_observed_runtime_ineligible(self):
+        runtime = DetectorRuntime(
+            DetectorConfig(cw_size=20, skip_factor=5), observer=MemorySink()
+        )
+        assert not vectorized_eligible(runtime)
+        assert not dense_eligible(runtime)
+
+    def test_consumed_runtime_ineligible(self, trace):
+        runtime = DetectorRuntime(DetectorConfig(cw_size=20, skip_factor=5))
+        states = bytearray(10)
+        runtime.advance([trace.array[:10].tolist()], states, 0)
+        assert not vectorized_eligible(runtime)
+        assert not dense_eligible(runtime)
+
+    def test_kernel_entry_points_reject_ineligible(self, trace):
+        runtime = DetectorRuntime(
+            DetectorConfig(cw_size=20, skip_factor=5, analyzer=AnalyzerKind.AVERAGE)
+        )
+        with pytest.raises(ValueError):
+            run_vectorized(runtime, trace)
+        consumed = DetectorRuntime(DetectorConfig(cw_size=20, skip_factor=5))
+        consumed.advance([trace.array[:5].tolist()], bytearray(5), 0)
+        with pytest.raises(ValueError):
+            run_dense(consumed, trace)
+
+
+class TestSelection:
+    def test_env_variable_disables_kernels(self, monkeypatch):
+        for value in ("0", "false", "off", "no", " OFF "):
+            monkeypatch.setenv("REPRO_KERNELS", value)
+            assert not kernels_enabled()
+        for value in ("", "1", "on", "yes"):
+            monkeypatch.setenv("REPRO_KERNELS", value)
+            assert kernels_enabled()
+        monkeypatch.delenv("REPRO_KERNELS")
+        assert kernels_enabled()
+
+    def test_engine_flag_and_env_agree(self, trace, monkeypatch):
+        config = DetectorConfig(cw_size=50, skip_factor=10, threshold=0.5)
+        enabled = run_detector(trace, config, kernels=True)
+        disabled = run_detector(trace, config, kernels=False)
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        env_disabled = run_detector(trace, config)
+        assert np.array_equal(enabled.states, disabled.states)
+        assert np.array_equal(enabled.states, env_disabled.states)
+        assert enabled.detected_phases == disabled.detected_phases
+
+    def test_observed_run_matches_kernel_run(self, trace):
+        """An observer forces the legacy path; output must not change."""
+        config = DetectorConfig(cw_size=50, skip_factor=10, threshold=0.5)
+        observed = run_detector(trace, config, observer=MemorySink())
+        kernel = run_detector(trace, config, kernels=True)
+        assert np.array_equal(observed.states, kernel.states)
+        assert observed.detected_phases == kernel.detected_phases
+
+
+class TestBank:
+    def grid(self):
+        configs = []
+        for model in ModelKind:
+            for analyzer in AnalyzerKind:
+                for trailing in TrailingPolicy:
+                    configs.append(
+                        DetectorConfig(
+                            cw_size=40,
+                            skip_factor=8,
+                            trailing=trailing,
+                            model=model,
+                            analyzer=analyzer,
+                            threshold=0.5,
+                            delta=0.07,
+                        )
+                    )
+        return configs
+
+    def test_bank_kernels_match_bank_legacy_and_solo(self, trace):
+        configs = self.grid()
+        kernel_bank = DetectorBank(configs).run(trace, kernels=True)
+        legacy_bank = DetectorBank(configs).run(trace, kernels=False)
+        for config, ours, theirs in zip(configs, kernel_bank, legacy_bank):
+            solo = run_detector(trace, config, kernels=False)
+            assert np.array_equal(ours.states, theirs.states)
+            assert np.array_equal(ours.states, solo.states)
+            assert ours.detected_phases == theirs.detected_phases
+            assert ours.detected_phases == solo.detected_phases
+
+    def test_observed_bank_matches_kernel_bank(self, trace):
+        """Observers force every bank member onto the legacy lanes."""
+        configs = self.grid()[:4]
+        sink = MemorySink()
+        observed = DetectorBank(configs, observers=[sink] * len(configs)).run(trace)
+        kernel = DetectorBank(configs).run(trace, kernels=True)
+        for ours, theirs in zip(observed, kernel):
+            assert np.array_equal(ours.states, theirs.states)
+            assert ours.detected_phases == theirs.detected_phases

@@ -68,6 +68,74 @@ class TestSequenceProtocol:
         assert joined.name == "a"
 
 
+class TestHashContract:
+    def test_hash_ignores_name_and_meta(self):
+        # Regression: hash must be a function of the data alone, like
+        # __eq__ — equal traces with different names used to hash apart,
+        # silently breaking dict/set deduplication.
+        plain = make_trace([1, 2, 3], name="a")
+        renamed = make_trace([1, 2, 3], name="b")
+        assert plain == renamed
+        assert hash(plain) == hash(renamed)
+        assert len({plain, renamed}) == 1
+
+    def test_hash_usable_as_dict_key(self):
+        table = {make_trace([7, 8], name="x"): "hit"}
+        assert table[make_trace([7, 8], name="y")] == "hit"
+
+    def test_unequal_lengths_hash_apart(self):
+        # A long trace and its 64-element prefix share the hashed data
+        # window; the length term must still separate them.
+        long = make_trace(list(range(100)))
+        prefix = make_trace(list(range(64)))
+        assert hash(long) != hash(prefix)
+
+
+class TestUniqueCache:
+    def test_unique_values_and_counts(self):
+        trace = make_trace([3, 1, 3, 3, 2])
+        values, counts = trace.unique()
+        assert values.tolist() == [1, 2, 3]
+        assert counts.tolist() == [1, 1, 3]
+
+    def test_unique_is_cached_and_read_only(self):
+        trace = make_trace([5, 5, 9])
+        values, counts = trace.unique()
+        again_values, again_counts = trace.unique()
+        assert values is again_values and counts is again_counts
+        with pytest.raises(ValueError):
+            values[0] = 0
+        with pytest.raises(ValueError):
+            counts[0] = 0
+
+    def test_stats_and_distinct_share_the_cache(self):
+        trace = make_trace([4, 4, 6, 7])
+        values, _ = trace.unique()
+        assert trace.stats().distinct_elements == len(values)
+        assert trace.distinct_elements() == len(values)
+        # The cached tuple survives (no recompute replaced it).
+        assert trace.unique()[0] is values
+
+    def test_dense_codes_round_trip(self):
+        trace = make_trace([10, 3, 10, 99, 3])
+        codes, values = trace.dense_codes()
+        assert codes.dtype == np.int32
+        assert values[codes].tolist() == list(trace)
+        assert codes.max() == len(values) - 1
+
+    def test_dense_codes_cached_and_read_only(self):
+        trace = make_trace([2, 1, 2])
+        codes, values = trace.dense_codes()
+        again_codes, again_values = trace.dense_codes()
+        assert codes is again_codes and values is again_values
+        with pytest.raises(ValueError):
+            codes[0] = 0
+
+    def test_dense_codes_empty_trace(self):
+        codes, values = make_trace([]).dense_codes()
+        assert codes.size == 0 and values.size == 0
+
+
 class TestStats:
     def test_distinct_and_entropy(self):
         trace = make_trace([5, 5, 5, 5])
