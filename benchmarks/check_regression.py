@@ -29,21 +29,42 @@ bank gate, the ratio is self-normalizing: both sides see the same host,
 so the check is immune to machine-speed drift entirely.  The
 ``unweighted-constant`` row runs the vectorized fast path and must stay
 at least ``KERNEL_MIN_SPEEDUP`` times faster than the legacy loop.
+
+The zero-copy rows gate the evaluation scaffolding the same way (both
+sides in the same run, no baseline needed): **warm-start** compares a
+worker's pre-sidecar startup cost (heap trace read + the ``np.unique``
+dense-code pass) against the zero-copy path (mmap read + ``.bcodes``
+sidecar adoption) and must show a reduction; **batch-scoring** compares
+per-(lane, MPL) ``score_states`` calls against one
+``score_states_batch`` pass and must stay at least
+``BATCH_MIN_SPEEDUP`` times faster.
 """
 
 import argparse
 import json
 import sys
+import tempfile
 import time
 from dataclasses import replace
 from datetime import datetime, timezone
 from pathlib import Path
 
+import numpy as np
+
 from repro.core import DetectorConfig, ModelKind, TrailingPolicy
 from repro.core.bank import DetectorBank
 from repro.core.engine import run_detector
 from repro.obs.manifest import environment_info
+from repro.profiles.io import (
+    codes_path_for,
+    ensure_codes_sidecar,
+    read_trace_binary,
+    write_codes_sidecar,
+    write_trace_binary,
+)
 from repro.profiles.synthetic import SyntheticTraceBuilder
+from repro.profiles.trace import BranchTrace
+from repro.scoring.metric import score_states, score_states_batch
 
 BASELINE_VERSION = 1
 BENCH_DIR = Path(__file__).resolve().parent
@@ -75,6 +96,14 @@ BANK_SIZE = 16
 KERNEL_MIN_SPEEDUP = 3.0
 KERNEL_GATE_CONFIG = "unweighted-constant"
 
+#: One score_states_batch pass must beat the per-(lane, MPL)
+#: score_states loop by at least this factor (same-run ratio).
+BATCH_MIN_SPEEDUP = 3.0
+
+#: The mmap + sidecar warm start must beat the heap read + unique pass
+#: (same-run ratio; any reliable reduction passes).
+WARM_START_MIN_SPEEDUP = 1.0
+
 
 def _bank_configs():
     """``BANK_SIZE`` configs cycling the matrix across thresholds, the
@@ -97,6 +126,47 @@ def bench_trace():
         builder.add_phase(6_000, body_size=14, noise_rate=0.01)
     builder.add_transition(400)
     return builder.build()[0]
+
+
+def _warm_start_fixture(tmp_dir, trace):
+    """Cache a large trace + sidecar the way the suite cache would."""
+    big = BranchTrace(np.tile(trace.array, 8), name="warm")
+    path = Path(tmp_dir) / "warm.btrace"
+    write_trace_binary(big, path)
+    write_codes_sidecar(big, codes_path_for(path))
+    return path
+
+
+def _warm_start_cold(path):
+    # Pre-sidecar worker startup: private heap copy + np.unique pass.
+    trace = read_trace_binary(path, mmap=False)
+    trace.dense_codes()
+
+
+def _warm_start_zero_copy(path):
+    # Zero-copy startup: mmap the payload, adopt the persisted remap.
+    trace = read_trace_binary(path, mmap=True)
+    ensure_codes_sidecar(trace, path, mmap=True)
+
+
+def _batch_scoring_fixture(trace):
+    """A bank-sized state matrix and MPL-like baselines to score.
+
+    Random states produce many short phases, which is exactly the
+    boundary-matching load a dense sweep grid generates.
+    """
+    rng = np.random.default_rng(23)
+    num_elements = min(len(trace), 8_000)
+    matrix = rng.random((BANK_SIZE, num_elements)) < 0.5
+    baselines = [rng.random(num_elements) < 0.5 for _ in range(4)]
+    return matrix, baselines
+
+
+def _score_scalar(matrix, baselines):
+    return [
+        [score_states(matrix[lane], base) for base in baselines]
+        for lane in range(matrix.shape[0])
+    ]
 
 
 def _calibration_workload():
@@ -125,31 +195,54 @@ def measure(repeats):
     bank_configs = _bank_configs()
     seq_samples = []
     bank_samples = []
+    cold_samples = []
+    zero_copy_samples = []
+    scalar_score_samples = []
+    batch_score_samples = []
+    matrix, score_baselines = _batch_scoring_fixture(trace)
     _calibration_workload()  # warm up the interpreter before timing
     run_detector(trace, next(iter(CONFIGS.values())))
-    for _ in range(repeats):
-        cal_samples.append(_timed(_calibration_workload))
-        for label, config in CONFIGS.items():
-            # Default path: array-native kernels (kernels default on).
-            det_samples[label].append(
-                _timed(lambda c=config: run_detector(trace, c, kernels=True))
+    with tempfile.TemporaryDirectory(prefix="repro-warmstart-") as tmp_dir:
+        warm_path = _warm_start_fixture(tmp_dir, trace)
+        _warm_start_cold(warm_path)  # prime the OS page cache for both sides
+        for _ in range(repeats):
+            cal_samples.append(_timed(_calibration_workload))
+            for label, config in CONFIGS.items():
+                # Default path: array-native kernels (kernels default on).
+                det_samples[label].append(
+                    _timed(lambda c=config: run_detector(trace, c, kernels=True))
+                )
+                legacy_samples[label].append(
+                    _timed(lambda c=config: run_detector(trace, c, kernels=False))
+                )
+            # The bank gate measures the shared-decode lockstep machinery,
+            # so both sides pin kernels off: with kernels on, sequential
+            # runs vectorize too and the ratio collapses into noise.
+            seq_samples.append(
+                _timed(lambda: [run_detector(trace, c, kernels=False)
+                                for c in bank_configs])
             )
-            legacy_samples[label].append(
-                _timed(lambda c=config: run_detector(trace, c, kernels=False))
+            bank_samples.append(
+                _timed(lambda: DetectorBank(bank_configs).run(trace, kernels=False))
             )
-        # The bank gate measures the shared-decode lockstep machinery,
-        # so both sides pin kernels off: with kernels on, sequential
-        # runs vectorize too and the ratio collapses into noise.
-        seq_samples.append(
-            _timed(lambda: [run_detector(trace, c, kernels=False)
-                            for c in bank_configs])
-        )
-        bank_samples.append(
-            _timed(lambda: DetectorBank(bank_configs).run(trace, kernels=False))
-        )
+            cold_samples.append(_timed(lambda: _warm_start_cold(warm_path)))
+            zero_copy_samples.append(
+                _timed(lambda: _warm_start_zero_copy(warm_path))
+            )
+            scalar_score_samples.append(
+                _timed(lambda: _score_scalar(matrix, score_baselines))
+            )
+            batch_score_samples.append(
+                _timed(lambda: score_states_batch(matrix, score_baselines))
+            )
+        warm_elements = len(read_trace_binary(warm_path, mmap=True))
     calibration = min(cal_samples)
     seq_seconds = min(seq_samples)
     bank_seconds = min(bank_samples)
+    cold_seconds = min(cold_samples)
+    zero_copy_seconds = min(zero_copy_samples)
+    scalar_score_seconds = min(scalar_score_samples)
+    batch_score_seconds = min(batch_score_samples)
     configs = {}
     kernel_rows = {}
     for label in CONFIGS:
@@ -186,6 +279,24 @@ def measure(repeats):
             "min_speedup": KERNEL_MIN_SPEEDUP,
             "configs": kernel_rows,
         },
+        "zero_copy": {
+            "warm_start": {
+                "elements": warm_elements,
+                "cold_seconds": round(cold_seconds, 6),
+                "zero_copy_seconds": round(zero_copy_seconds, 6),
+                "speedup": round(cold_seconds / zero_copy_seconds, 4),
+                "min_speedup": WARM_START_MIN_SPEEDUP,
+            },
+            "batch_scoring": {
+                "lanes": int(matrix.shape[0]),
+                "elements": int(matrix.shape[1]),
+                "baselines": len(score_baselines),
+                "scalar_seconds": round(scalar_score_seconds, 6),
+                "batch_seconds": round(batch_score_seconds, 6),
+                "speedup": round(scalar_score_seconds / batch_score_seconds, 4),
+                "min_speedup": BATCH_MIN_SPEEDUP,
+            },
+        },
         "aggregate_normalized": round(
             sum(entry["normalized"] for entry in configs.values()), 4
         ),
@@ -214,6 +325,15 @@ def _print_report(result):
     print(f"  bank[{bank['size']}] single-pass  {bank['bank_seconds']:.4f}s "
           f"normalized={bank['bank_normalized']:.4f} "
           f"(speedup {bank['speedup']:.2f}x)")
+    warm = result["zero_copy"]["warm_start"]
+    print(f"  warm-start[{warm['elements']} elems] cold {warm['cold_seconds']:.4f}s "
+          f"vs zero-copy {warm['zero_copy_seconds']:.4f}s "
+          f"(speedup {warm['speedup']:.2f}x)")
+    batch = result["zero_copy"]["batch_scoring"]
+    print(f"  batch-score[{batch['lanes']}x{batch['baselines']}] "
+          f"scalar {batch['scalar_seconds']:.4f}s vs "
+          f"batch {batch['batch_seconds']:.4f}s "
+          f"(speedup {batch['speedup']:.2f}x)")
     print(f"aggregate normalized score: {result['aggregate_normalized']:.4f}")
 
 
@@ -290,6 +410,24 @@ def main(argv=None):
         print(f"FAIL: array-native kernel path was only {kernel_speedup:.2f}x "
               f"the legacy fused loop on {KERNEL_GATE_CONFIG} "
               f"(gate {KERNEL_MIN_SPEEDUP:.1f}x)", file=sys.stderr)
+        return 1
+    # Zero-copy gates: same-run ratios, baseline-independent like the
+    # kernel gate.
+    warm_speedup = float(result["zero_copy"]["warm_start"]["speedup"])
+    print(f"warm-start speedup: {warm_speedup:.2f}x "
+          f"(gate > {WARM_START_MIN_SPEEDUP:.1f}x)")
+    if warm_speedup <= WARM_START_MIN_SPEEDUP:
+        print(f"FAIL: mmap + sidecar warm start was not faster than the "
+              f"heap read + unique pass ({warm_speedup:.2f}x)",
+              file=sys.stderr)
+        return 1
+    batch_speedup = float(result["zero_copy"]["batch_scoring"]["speedup"])
+    print(f"batch-scoring speedup: {batch_speedup:.2f}x "
+          f"(gate >= {BATCH_MIN_SPEEDUP:.1f}x)")
+    if batch_speedup < BATCH_MIN_SPEEDUP:
+        print(f"FAIL: score_states_batch was only {batch_speedup:.2f}x the "
+              f"per-pair score_states loop (gate {BATCH_MIN_SPEEDUP:.1f}x)",
+              file=sys.stderr)
         return 1
     print("OK: within tolerance")
     return 0

@@ -338,6 +338,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         profile, cache_dir=cache_dir, benchmarks=benchmarks,
         bank=not args.no_bank,
         kernels=False if args.no_kernels else None,
+        mmap=False if args.no_mmap else None,
     )
     records = sweep.ensure(
         paper_grid(profile), progress=not args.quiet, jobs=jobs,
@@ -524,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-kernels", action="store_true",
         help="disable the array-native detector kernels and use the "
              "incremental fused loop everywhere (same records, slower)",
+    )
+    sweep_parser.add_argument(
+        "--no-mmap", action="store_true",
+        help="heap-copy cached traces instead of mapping them read-only "
+             "(same records; also settable via REPRO_MMAP=0)",
     )
     sweep_parser.set_defaults(handler=cmd_sweep)
 

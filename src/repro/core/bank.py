@@ -129,9 +129,9 @@ class DetectorBank:
                 runtimes[index], trace
             )
         if dense_members:
-            codes_np, values = trace.dense_codes()
-            codes = codes_np.tolist()  # one materialization, shared
-            n_codes = int(values.size)
+            # One materialization, cached on the trace and shared across
+            # every bank batch (not just this one).
+            codes, n_codes = trace.dense_code_list()
             for index in dense_members:
                 states_by_member[index] = kernel_mod.run_dense(
                     runtimes[index], trace, codes, n_codes

@@ -761,9 +761,7 @@ def run_dense(
     data = trace.array
     total = int(data.size)
     if codes is None or n_codes is None:
-        codes_np, values = trace.dense_codes()
-        codes = codes_np.tolist()
-        n_codes = int(values.size)
+        codes, n_codes = trace.dense_code_list()
     advancer = DenseAdvancer(runtime, codes, n_codes, data)
     buffer = bytearray(total)
     advancer.advance(0, total, buffer)

@@ -106,6 +106,7 @@ def _init_worker(
     profiling: bool = False,
     bank: bool = True,
     kernels: Optional[bool] = None,
+    mmap: Optional[bool] = None,
 ) -> None:
     _WORKER_STATE["profile"] = profile
     _WORKER_STATE["cache_dir"] = cache_dir
@@ -114,6 +115,7 @@ def _init_worker(
     _WORKER_STATE["profiling"] = profiling
     _WORKER_STATE["bank"] = bank
     _WORKER_STATE["kernels"] = kernels
+    _WORKER_STATE["mmap"] = mmap
     # A forked worker inherits the parent's accumulated counts; reset so
     # the snapshots shipped back are purely this worker's own activity.
     GLOBAL_METRICS.reset()
@@ -127,8 +129,14 @@ def _benchmark_context(benchmark: str):
 
         profile: SuiteProfile = _WORKER_STATE["profile"]  # type: ignore[assignment]
         cache_dir = _WORKER_STATE["cache_dir"]
+        # mmap (default on) maps the cached trace and its dense-code
+        # sidecar read-only, so all workers share one physical copy of
+        # each through the OS page cache instead of a heap copy apiece.
         branch_trace, call_loop = load_traces(
-            benchmark, scale=profile.workload_scale, cache_dir=cache_dir
+            benchmark,
+            scale=profile.workload_scale,
+            cache_dir=cache_dir,
+            mmap=_WORKER_STATE.get("mmap"),  # type: ignore[arg-type]
         )
         baselines = BaselineSet(
             call_loop,
@@ -263,6 +271,7 @@ class ParallelSweepExecutor:
         profiling: bool = False,
         bank: bool = True,
         kernels: Optional[bool] = None,
+        mmap: Optional[bool] = None,
     ) -> None:
         self.profile = profile
         self.cache_dir = cache_dir
@@ -272,6 +281,7 @@ class ParallelSweepExecutor:
         self.profiling = profiling
         self.bank = bank
         self.kernels = kernels
+        self.mmap = mmap
         self.worker_stats: List[Dict] = []
         self.worker_metrics: Dict[int, Dict] = {}
         self.chunk_profiles: List[Dict] = []
@@ -323,6 +333,7 @@ class ParallelSweepExecutor:
                 self.profiling,
                 self.bank,
                 self.kernels,
+                self.mmap,
             ),
         ) as pool:
             futures = {

@@ -8,8 +8,9 @@ score used by Figure 8.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +21,8 @@ from repro.core.engine import run_detector
 from repro.experiments.config_space import ConfigSpec, SuiteProfile
 from repro.profiles.callloop import CallLoopTrace
 from repro.profiles.trace import BranchTrace
-from repro.scoring.metric import score_states
+from repro.scoring.metric import score_states, score_states_batch
+from repro.scoring.states import Interval, phases_from_states
 
 #: Grid points evaluated per single-pass :class:`DetectorBank`.  Bounds
 #: the bank's per-member state buffers (one byte per trace element each)
@@ -57,14 +59,41 @@ class SweepRecord:
         return SweepRecord(**row)
 
 
+class _LazySolutions(Mapping):
+    """Dict-like view over a :class:`BaselineSet`'s memoized solutions.
+
+    Indexing solves the baseline on first access; iteration and length
+    reflect the declared nominal MPLs without solving anything.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "BaselineSet") -> None:
+        self._owner = owner
+
+    def __getitem__(self, nominal: int) -> BaselineSolution:
+        return self._owner.solution(nominal)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._owner.mpl_nominals)
+
+    def __len__(self) -> int:
+        return len(self._owner.mpl_nominals)
+
+
 class BaselineSet:
     """Solved baselines for one benchmark across a set of nominal MPLs.
 
-    Construction is deterministic and self-contained (no module-level
-    state, no RNG), so it is safe to build inside a forked or spawned
-    worker process; :meth:`for_benchmark` builds one straight from the
-    suite's on-disk trace cache, which is how the parallel sweep
-    executor avoids shipping traces over the worker pipe.
+    Each nominal's baseline is solved **lazily**, memoized on first use
+    (:meth:`solution` / :meth:`states` / :meth:`phases`), so a caller
+    that only ever scores a subset of the declared MPLs — e.g. a
+    parallel worker whose chunk covers one MPL — never pays for the
+    rest.  Construction itself does no solving and is deterministic and
+    self-contained (no module-level state, no RNG), so it is safe to
+    build inside a forked or spawned worker process;
+    :meth:`for_benchmark` builds one straight from the suite's on-disk
+    trace cache, which is how the parallel sweep executor avoids
+    shipping traces over the worker pipe.
     """
 
     def __init__(
@@ -76,12 +105,28 @@ class BaselineSet:
     ) -> None:
         self.name = name or call_loop.name
         self.profile = profile
-        self.solutions: Dict[int, BaselineSolution] = {}
-        self._states: Dict[int, np.ndarray] = {}
-        for nominal in mpl_nominals:
-            solution = solve_baseline(call_loop, profile.actual(nominal), name=self.name)
-            self.solutions[nominal] = solution
-            self._states[nominal] = solution.states()
+        self._call_loop = call_loop
+        self._mpl_nominals = [int(nominal) for nominal in mpl_nominals]
+        self._solutions: Dict[int, BaselineSolution] = {}
+        self._states_cache: Dict[int, np.ndarray] = {}
+        self._phases_cache: Dict[int, List[Interval]] = {}
+
+    def solution(self, mpl_nominal: int) -> BaselineSolution:
+        """The solved baseline for a nominal MPL (solved on first access)."""
+        if mpl_nominal not in self._solutions:
+            if mpl_nominal not in self._mpl_nominals:
+                raise KeyError(mpl_nominal)
+            self._solutions[mpl_nominal] = solve_baseline(
+                self._call_loop,
+                self.profile.actual(mpl_nominal),
+                name=self.name,
+            )
+        return self._solutions[mpl_nominal]
+
+    @property
+    def solutions(self) -> Mapping:
+        """Mapping view ``{nominal MPL: BaselineSolution}`` (lazy)."""
+        return _LazySolutions(self)
 
     @classmethod
     def for_benchmark(
@@ -105,12 +150,49 @@ class BaselineSet:
         return cls(call_loop, profile, mpl_nominals, name=benchmark)
 
     def states(self, mpl_nominal: int) -> np.ndarray:
-        """The oracle's state array for a nominal MPL."""
-        return self._states[mpl_nominal]
+        """The oracle's state array for a nominal MPL (memoized)."""
+        if mpl_nominal not in self._states_cache:
+            self._states_cache[mpl_nominal] = self.solution(mpl_nominal).states()
+        return self._states_cache[mpl_nominal]
+
+    def phases(self, mpl_nominal: int) -> List[Interval]:
+        """The oracle's phase intervals for a nominal MPL (memoized).
+
+        Exactly ``phases_from_states(self.states(mpl_nominal))`` — the
+        default the scalar scorer derives per call — extracted once per
+        MPL for the batched scorer.
+        """
+        if mpl_nominal not in self._phases_cache:
+            self._phases_cache[mpl_nominal] = phases_from_states(
+                self.states(mpl_nominal)
+            )
+        return self._phases_cache[mpl_nominal]
 
     @property
     def mpl_nominals(self) -> List[int]:
-        return list(self.solutions)
+        return list(self._mpl_nominals)
+
+
+def _make_record(
+    baselines: BaselineSet, spec: ConfigSpec, nominal: int, plain, corrected
+) -> SweepRecord:
+    return SweepRecord(
+        benchmark=baselines.name,
+        family=spec.family,
+        cw_nominal=spec.cw_nominal,
+        model=spec.model.value,
+        analyzer=spec.analyzer_label(),
+        anchor=spec.anchor.value,
+        resize=spec.resize.value,
+        mpl_nominal=nominal,
+        score=plain.score,
+        correlation=plain.correlation,
+        sensitivity=plain.sensitivity,
+        false_positives=plain.false_positives,
+        corrected_score=corrected.score,
+        num_detected_phases=plain.num_detected_phases,
+        num_baseline_phases=plain.num_baseline_phases,
+    )
 
 
 def _score_result(
@@ -126,25 +208,47 @@ def _score_result(
         corrected = score_states(
             corrected_states, base_states, detected_phases=corrected_phases
         )
-        records.append(
-            SweepRecord(
-                benchmark=baselines.name,
-                family=spec.family,
-                cw_nominal=spec.cw_nominal,
-                model=spec.model.value,
-                analyzer=spec.analyzer_label(),
-                anchor=spec.anchor.value,
-                resize=spec.resize.value,
-                mpl_nominal=nominal,
-                score=plain.score,
-                correlation=plain.correlation,
-                sensitivity=plain.sensitivity,
-                false_positives=plain.false_positives,
-                corrected_score=corrected.score,
-                num_detected_phases=plain.num_detected_phases,
-                num_baseline_phases=plain.num_baseline_phases,
-            )
-        )
+        records.append(_make_record(baselines, spec, nominal, plain, corrected))
+    return records
+
+
+def _score_results(
+    results: Sequence[DetectionResult],
+    baselines: BaselineSet,
+    specs: Sequence[ConfigSpec],
+) -> List[SweepRecord]:
+    """Score a batch of detector results at every MPL in one pass.
+
+    Bit-identical to mapping :func:`_score_result` over the batch
+    (records in the same lane-major, MPL-minor order), but runs one
+    :func:`~repro.scoring.score_states_batch` call over a ``2L x N``
+    state matrix — rows ``0..L-1`` the plain states, rows ``L..2L-1``
+    the anchor-corrected states — so each MPL baseline is compared and
+    indexed once for the whole bank instead of once per lane.
+    """
+    num_lanes = len(results)
+    if num_lanes == 0:
+        return []
+    nominals = baselines.mpl_nominals
+    matrix = np.vstack(
+        [np.asarray(result.states, dtype=bool) for result in results]
+        + [result.corrected_states() for result in results]
+    )
+    overrides: List[Optional[Sequence[Interval]]] = [None] * num_lanes + [
+        result.corrected_phases() for result in results
+    ]
+    grid = score_states_batch(
+        matrix,
+        [baselines.states(nominal) for nominal in nominals],
+        detected_phases=overrides,
+        baseline_phases=[baselines.phases(nominal) for nominal in nominals],
+    )
+    records: List[SweepRecord] = []
+    for lane, spec in enumerate(specs):
+        for column, nominal in enumerate(nominals):
+            plain = grid[lane][column]
+            corrected = grid[num_lanes + lane][column]
+            records.append(_make_record(baselines, spec, nominal, plain, corrected))
     return records
 
 
@@ -169,6 +273,7 @@ def evaluate_bank(
     bank: bool = True,
     bank_size: int = DEFAULT_BANK_SIZE,
     kernels: Optional[bool] = None,
+    batch: bool = True,
 ) -> List[SweepRecord]:
     """Run many grid points over one trace; score each at every MPL.
 
@@ -183,6 +288,13 @@ def evaluate_bank(
     configurations (see :mod:`repro.core.kernels`); ``None`` consults
     the ``REPRO_KERNELS`` environment variable.  Records are
     byte-identical either way (the kernel-equivalence CI job pins this).
+
+    ``batch`` selects the vectorized batch scorer
+    (:func:`~repro.scoring.score_states_batch`) for each bank batch;
+    ``batch=False`` scores lane by lane via :func:`score_states`.
+    Records are bit-identical either way — ``bank=False`` always scores
+    lane by lane, so the bank-equivalence job pins batch-vs-scalar
+    scoring too.
     """
     if not bank:
         records: List[SweepRecord] = []
@@ -192,10 +304,13 @@ def evaluate_bank(
     records = []
     specs = list(specs)
     for start in range(0, len(specs), bank_size):
-        batch = specs[start : start + bank_size]
-        results = DetectorBank([spec.to_config(profile) for spec in batch]).run(
+        batch_specs = specs[start : start + bank_size]
+        results = DetectorBank([spec.to_config(profile) for spec in batch_specs]).run(
             trace, kernels=kernels
         )
-        for spec, result in zip(batch, results):
-            records.extend(_score_result(result, baselines, spec))
+        if batch:
+            records.extend(_score_results(results, baselines, batch_specs))
+        else:
+            for spec, result in zip(batch_specs, results):
+                records.extend(_score_result(result, baselines, spec))
     return records

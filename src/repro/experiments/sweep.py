@@ -99,6 +99,7 @@ class Sweep:
         jobs: int = 1,
         bank: bool = True,
         kernels: Optional[bool] = None,
+        mmap: Optional[bool] = None,
     ) -> None:
         self.profile = profile
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
@@ -113,12 +114,17 @@ class Sweep:
         #: (None: the REPRO_KERNELS env default; False: the
         #: kernel-equivalence escape hatch — identical records).
         self.kernels = kernels
+        #: Map cached traces and dense-code sidecars read-only instead of
+        #: heap-copying them (None: on unless REPRO_MMAP=0; False: the
+        #: mmap-equivalence escape hatch — identical records).
+        self.mmap = mmap
         #: Per-sweep metrics registry; snapshotted into the run manifest.
         self.metrics = MetricsRegistry()
         with self.metrics.time("sweep.load_suite_seconds"):
             self._traces = load_suite(scale=profile.workload_scale,
                                       cache_dir=self.cache_dir,
-                                      names=self.benchmarks)
+                                      names=self.benchmarks,
+                                      mmap=self.mmap)
         self._baselines: Dict[str, BaselineSet] = {}
         self._records: Dict[_CacheKey, SweepRecord] = {}
         self._cache_path = self.cache_dir / f"sweep-{profile.name}.jsonl"
@@ -248,6 +254,7 @@ class Sweep:
         executor = ParallelSweepExecutor(
             self.profile, self.cache_dir, self.mpl_nominals, jobs=jobs,
             profiling=profiling, bank=self.bank, kernels=self.kernels,
+            mmap=self.mmap,
         )
         evaluated = 0
 

@@ -32,14 +32,21 @@ class TraceStats:
 class BranchTrace:
     """An immutable sequence of packed profile elements.
 
+    The element array may be any int64-compatible buffer, including a
+    read-only ``np.memmap`` over an on-disk ``.btrace`` payload (the
+    zero-copy sweep path) — every view, statistic, and detector kernel
+    works on read-only backing, and hashing/equality depend only on the
+    element data, never on how it is stored.
+
     Args:
         elements: packed profile-element integers (any int sequence or
-            numpy array; copied/coerced to an int64 array).
+            numpy array; coerced to an int64 array — zero-copy when the
+            input is already int64, e.g. a little-endian memmap).
         name: optional provenance label (e.g. the workload name).
         meta: optional free-form metadata dictionary.
     """
 
-    __slots__ = ("_data", "name", "meta", "_unique", "_codes")
+    __slots__ = ("_data", "name", "meta", "_unique", "_codes", "_code_list")
 
     def __init__(
         self,
@@ -60,6 +67,7 @@ class BranchTrace:
         # needs invalidation.
         self._unique: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._codes: Optional[np.ndarray] = None
+        self._code_list: Optional[list] = None
 
     # -- sequence protocol -------------------------------------------------
 
@@ -141,6 +149,51 @@ class BranchTrace:
             codes.setflags(write=False)
             self._codes = codes
         return self._codes, values
+
+    def dense_code_list(self) -> Tuple[list, int]:
+        """The dense codes materialized once as a plain Python list.
+
+        Returns ``(codes_list, n_codes)``.  The incremental dense kernel
+        (:class:`~repro.core.kernels.DenseAdvancer`) indexes codes with
+        Python-level loops, where a list beats repeated ndarray item
+        access; the list is built once per trace and shared by every
+        bank batch instead of re-materialized per
+        :meth:`~repro.core.bank.DetectorBank.run` call.
+        """
+        if self._code_list is None:
+            codes, values = self.dense_codes()
+            self._code_list = codes.tolist()
+            return self._code_list, int(values.size)
+        return self._code_list, int(self.unique()[0].size)
+
+    def adopt_dense_codes(
+        self, codes: np.ndarray, values: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Seed the dense-remap caches from a persisted ``.bcodes`` sidecar.
+
+        ``codes``/``values``/``counts`` must be exactly what
+        :meth:`dense_codes` and :meth:`unique` would compute for this
+        trace (the sidecar reader validates them against the trace's
+        content hash before calling this); the arrays may be read-only
+        memmaps.  Cheap shape checks guard against a caller wiring the
+        wrong sidecar to the wrong trace.
+        """
+        codes = np.asarray(codes, dtype=np.int32)
+        values = np.asarray(values, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if codes.shape != self._data.shape:
+            raise ValueError(
+                f"sidecar codes length {codes.size} != trace length {self._data.size}"
+            )
+        if values.shape != counts.shape:
+            raise ValueError(
+                f"sidecar values/counts length mismatch: {values.size} vs {counts.size}"
+            )
+        for array in (codes, values, counts):
+            array.setflags(write=False)
+        self._unique = (values, counts)
+        self._codes = codes
+        self._code_list = None
 
     def stats(self) -> TraceStats:
         """Compute whole-trace summary statistics."""

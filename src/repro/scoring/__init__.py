@@ -17,14 +17,24 @@ from repro.scoring.states import (
     states_from_phases,
     state_string,
 )
-from repro.scoring.boundaries import BoundaryMatching, match_phases
-from repro.scoring.metric import AccuracyScore, score_phases, score_states
+from repro.scoring.boundaries import (
+    BaselinePhaseIndex,
+    BoundaryMatching,
+    match_phases,
+)
+from repro.scoring.metric import (
+    AccuracyScore,
+    score_phases,
+    score_states,
+    score_states_batch,
+)
 from repro.scoring.latency import LatencyReport, measure_latency
 
 __all__ = [
     "phases_from_states",
     "states_from_phases",
     "state_string",
+    "BaselinePhaseIndex",
     "BoundaryMatching",
     "match_phases",
     "AccuracyScore",
@@ -32,4 +42,5 @@ __all__ = [
     "measure_latency",
     "score_phases",
     "score_states",
+    "score_states_batch",
 ]

@@ -19,6 +19,8 @@ import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.scoring.states import Interval
 
 
@@ -103,6 +105,89 @@ def match_phases(
     return BoundaryMatching(tuple(pairs), len(detected), len(baseline))
 
 
+class BaselinePhaseIndex:
+    """Precomputed matcher for one baseline phase list.
+
+    A sweep scores every detector config against the same per-MPL
+    baseline, so the baseline side of :func:`match_phases` — validation
+    plus the start/end/next-start arrays — is hoisted here and built
+    once per MPL instead of once per (config, MPL) pair.  :meth:`match`
+    then runs the three constraints as vectorized array ops and returns
+    a :class:`BoundaryMatching` identical (pairs, counts, and raised
+    errors alike) to ``match_phases(detected, baseline, num_elements)``.
+    """
+
+    __slots__ = ("phases", "num_elements", "_starts", "_ends", "_next_starts")
+
+    def __init__(self, baseline: Sequence[Interval], num_elements: int) -> None:
+        _check_sorted_disjoint(baseline, "baseline")
+        self.phases: Tuple[Interval, ...] = tuple(
+            (int(start), int(end)) for start, end in baseline
+        )
+        self.num_elements = int(num_elements)
+        count = len(self.phases)
+        self._starts = np.fromiter(
+            (p[0] for p in self.phases), dtype=np.int64, count=count
+        )
+        self._ends = np.fromiter(
+            (p[1] for p in self.phases), dtype=np.int64, count=count
+        )
+        # next(B).start for the qualification upper bound; the scalar
+        # matcher uses num_elements + 1 past the last baseline phase.
+        self._next_starts = np.append(self._starts[1:], self.num_elements + 1)
+
+    def match(self, detected: Sequence[Interval]) -> BoundaryMatching:
+        """Match ``detected`` against this baseline (see :func:`match_phases`)."""
+        intervals = np.asarray(detected, dtype=np.int64).reshape(len(detected), 2)
+        check_sorted_disjoint_arrays(intervals[:, 0], intervals[:, 1], "detected")
+        return self.match_arrays(intervals[:, 0], intervals[:, 1])
+
+    def match_arrays(
+        self, d_starts: np.ndarray, d_ends: np.ndarray
+    ) -> BoundaryMatching:
+        """:meth:`match` over pre-validated start/end arrays.
+
+        The batched scorer validates and array-packs each lane's
+        detected phases once (:func:`check_sorted_disjoint_arrays`),
+        then matches them against every baseline through this
+        entry point — skipping the per-pair validation re-run.
+        """
+        num_detected = int(d_starts.size)
+        num_baseline = len(self.phases)
+        if not num_baseline or not num_detected:
+            return BoundaryMatching((), num_detected, num_baseline)
+        # Constraint 1: the containing baseline phase, if any.
+        b_idx = np.searchsorted(self._starts, d_starts, side="right") - 1
+        in_range = b_idx >= 0
+        safe = np.where(in_range, b_idx, 0)
+        contained = in_range & (d_starts < self._ends[safe])
+        # Constraint 2: ends at/after B.end, before next(B).start.
+        qualified = (
+            contained
+            & (self._ends[safe] <= d_ends)
+            & (d_ends < self._next_starts[safe])
+        )
+        if not qualified.any():
+            return BoundaryMatching((), num_detected, num_baseline)
+        cand_d = np.flatnonzero(qualified)
+        cand_b = b_idx[cand_d]
+        distance = (d_starts[cand_d] - self._starts[cand_b]) + (
+            d_ends[cand_d] - self._ends[cand_b]
+        )
+        # Constraint 3: per baseline phase, the qualifying detected
+        # phase with minimal (distance, detected index) — the same
+        # tie-break ``options.sort()`` applies in the scalar matcher.
+        order = np.lexsort((cand_d, distance, cand_b))
+        ordered_b = cand_b[order]
+        first = np.ones(order.size, dtype=bool)
+        first[1:] = ordered_b[1:] != ordered_b[:-1]
+        winners = order[first]
+        pairs = sorted(
+            (int(cand_d[w]), int(b)) for w, b in zip(winners, ordered_b[first])
+        )
+        return BoundaryMatching(tuple(pairs), num_detected, num_baseline)
+
+
 def _containing_phase(
     starts: List[int], baseline: Sequence[Interval], position: int
 ) -> Optional[int]:
@@ -124,3 +209,24 @@ def _check_sorted_disjoint(phases: Sequence[Interval], label: str) -> None:
         if start < previous_end:
             raise ValueError(f"{label} phases overlap or are unsorted at ({start}, {end})")
         previous_end = end
+
+
+def check_sorted_disjoint_arrays(
+    starts: np.ndarray, ends: np.ndarray, label: str
+) -> None:
+    """Vectorized :func:`_check_sorted_disjoint` with identical errors.
+
+    Reports the *first* offending interval, checking malformedness
+    before overlap at that interval, exactly as the scalar loop does.
+    """
+    if starts.size == 0:
+        return
+    malformed = starts > ends
+    overlapping = starts < np.concatenate(([-1], ends[:-1]))
+    bad = malformed | overlapping
+    if bad.any():
+        index = int(np.argmax(bad))
+        start, end = int(starts[index]), int(ends[index])
+        if malformed[index]:
+            raise ValueError(f"{label} phase ({start}, {end}) is malformed")
+        raise ValueError(f"{label} phases overlap or are unsorted at ({start}, {end})")

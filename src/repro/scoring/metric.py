@@ -10,11 +10,15 @@ more accurate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.scoring.boundaries import match_phases
+from repro.scoring.boundaries import (
+    BaselinePhaseIndex,
+    check_sorted_disjoint_arrays,
+    match_phases,
+)
 from repro.scoring.states import Interval, phases_from_states, states_from_phases
 
 CORRELATION_WEIGHT = 0.5
@@ -95,6 +99,101 @@ def score_states(
         num_baseline_phases=matching.num_baseline_phases,
         num_matched_phases=len(matching.pairs),
     )
+
+
+def score_states_batch(
+    states_matrix: np.ndarray,
+    baseline_states_list: Sequence[np.ndarray],
+    detected_phases: Optional[Sequence[Optional[Sequence[Interval]]]] = None,
+    baseline_phases: Optional[Sequence[Optional[Sequence[Interval]]]] = None,
+) -> List[List[AccuracyScore]]:
+    """Score a bank of detector lanes against a set of baselines at once.
+
+    Semantically equivalent to the nested loop
+    ``[[score_states(states_matrix[i], base, ...) for base in ...] for i ...]``
+    and bit-identical to it (pinned by
+    ``tests/properties/test_batch_scoring.py``), but hoists the
+    per-pair work: correlation becomes one bool-matrix reduction per
+    baseline, detected phases are extracted once per lane, and each
+    baseline's interval arrays are built once
+    (:class:`~repro.scoring.boundaries.BaselinePhaseIndex`) instead of
+    once per (lane, baseline) pair.
+
+    Args:
+        states_matrix: ``(lanes, N)`` boolean matrix, one detector state
+            row per bank lane.
+        baseline_states_list: per-baseline ``(N,)`` boolean arrays
+            (typically one per nominal MPL).
+        detected_phases: optional per-lane phase-interval overrides
+            (``None`` entries fall back to the row's maximal P-runs) —
+            anchor-corrected intervals go here, as in
+            :func:`score_states`.
+        baseline_phases: optional per-baseline interval overrides.
+
+    Returns:
+        ``scores[lane][baseline]`` — the full :class:`AccuracyScore`
+        grid.
+    """
+    matrix = np.asarray(states_matrix, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError(f"states matrix must be 2-D, got shape {matrix.shape}")
+    num_lanes, num_elements = matrix.shape
+    if detected_phases is not None and len(detected_phases) != num_lanes:
+        raise ValueError(
+            f"detected_phases has {len(detected_phases)} entries for "
+            f"{num_lanes} lanes"
+        )
+    if baseline_phases is not None and len(baseline_phases) != len(
+        baseline_states_list
+    ):
+        raise ValueError(
+            f"baseline_phases has {len(baseline_phases)} entries for "
+            f"{len(baseline_states_list)} baselines"
+        )
+    baselines = [np.asarray(base, dtype=bool) for base in baseline_states_list]
+    for base in baselines:
+        if base.shape != (num_elements,):
+            raise ValueError(
+                f"state arrays differ in length: {num_elements} vs {base.size}"
+            )
+    if num_elements == 0:
+        empty = AccuracyScore(1.0, 1.0, 0.0, 0, 0, 0)
+        return [[empty for _ in baselines] for _ in range(num_lanes)]
+
+    # Each lane's phases are extracted, validated, and array-packed
+    # once, then matched against every baseline via match_arrays.
+    lane_intervals: List[np.ndarray] = []
+    for lane in range(num_lanes):
+        override = detected_phases[lane] if detected_phases is not None else None
+        phases = phases_from_states(matrix[lane]) if override is None else override
+        intervals = np.asarray(phases, dtype=np.int64).reshape(len(phases), 2)
+        check_sorted_disjoint_arrays(intervals[:, 0], intervals[:, 1], "detected")
+        lane_intervals.append(intervals)
+    grid: List[List[AccuracyScore]] = [[] for _ in range(num_lanes)]
+    for b_index, base in enumerate(baselines):
+        # One bool-matrix reduction per baseline.  The agreement count
+        # is an exact integer < 2**53, so dividing it by N reproduces
+        # np.mean's float64 result bit-for-bit.
+        agreement = (matrix == base[np.newaxis, :]).sum(axis=1, dtype=np.int64)
+        override = baseline_phases[b_index] if baseline_phases is not None else None
+        index = BaselinePhaseIndex(
+            phases_from_states(base) if override is None else override,
+            num_elements,
+        )
+        for lane in range(num_lanes):
+            intervals = lane_intervals[lane]
+            matching = index.match_arrays(intervals[:, 0], intervals[:, 1])
+            grid[lane].append(
+                AccuracyScore(
+                    correlation=float(agreement[lane]) / num_elements,
+                    sensitivity=matching.sensitivity,
+                    false_positives=matching.false_positives,
+                    num_detected_phases=matching.num_detected_phases,
+                    num_baseline_phases=matching.num_baseline_phases,
+                    num_matched_phases=len(matching.pairs),
+                )
+            )
+    return grid
 
 
 def score_phases(

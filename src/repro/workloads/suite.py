@@ -13,7 +13,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.profiles.callloop import CallLoopTrace
-from repro.profiles.io import read_trace_binary, write_trace_binary
+from repro.profiles.io import (
+    ensure_codes_sidecar,
+    mmap_enabled,
+    read_trace_binary,
+    write_trace_binary,
+)
 from repro.profiles.trace import BranchTrace
 from repro.workloads.base import Workload
 from repro.workloads.compress_wl import WORKLOAD as COMPRESS
@@ -63,22 +68,36 @@ def load_traces(
     name: str,
     scale: float = 1.0,
     cache_dir: Optional[Path] = None,
+    mmap: Optional[bool] = None,
 ) -> Tuple[BranchTrace, CallLoopTrace]:
     """Get (branch trace, call-loop trace) for a workload, using the cache.
 
     On a cache miss the workload is compiled, interpreted, and both
-    traces are written to ``cache_dir`` for next time.
+    traces are written to ``cache_dir`` for next time, together with a
+    ``.bcodes`` dense-code sidecar (see ``docs/formats.md``).  On a hit
+    the sidecar is adopted (regenerated transparently when missing or
+    stale), so callers never pay the per-process ``np.unique`` pass.
+
+    With ``mmap`` (default: on unless ``REPRO_MMAP=0``), the branch
+    trace and sidecar are returned as read-only ``np.memmap`` views over
+    the cache files — concurrent sweep workers then share one physical
+    copy of each trace through the OS page cache instead of N heap
+    copies.
     """
     wl = workload(name)
     cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
+    if mmap is None:
+        mmap = mmap_enabled()
     fingerprint = wl.fingerprint(scale)
     branch_path = cache_dir / f"{name}-{fingerprint}.btrace"
     callloop_path = cache_dir / f"{name}-{fingerprint}.cloop"
     if branch_path.exists() and callloop_path.exists():
         try:
-            result = read_trace_binary(branch_path), CallLoopTrace.load(callloop_path)
+            branch_trace = read_trace_binary(branch_path, mmap=mmap)
+            call_loop = CallLoopTrace.load(callloop_path)
             GLOBAL_METRICS.counter("io.trace_cache_hits").inc()
-            return result
+            ensure_codes_sidecar(branch_trace, branch_path, mmap=mmap)
+            return branch_trace, call_loop
         except ValueError:
             # A corrupt cache entry (TraceFormatError or a torn .cloop) is
             # a miss: re-run the workload and overwrite the bad files.
@@ -89,6 +108,7 @@ def load_traces(
     cache_dir.mkdir(parents=True, exist_ok=True)
     write_trace_binary(branch_trace, branch_path)
     call_loop.save(callloop_path)
+    ensure_codes_sidecar(branch_trace, branch_path, mmap=False)
     return branch_trace, call_loop
 
 
@@ -96,7 +116,11 @@ def load_suite(
     scale: float = 1.0,
     cache_dir: Optional[Path] = None,
     names: Optional[List[str]] = None,
+    mmap: Optional[bool] = None,
 ) -> Dict[str, Tuple[BranchTrace, CallLoopTrace]]:
     """Load (running if needed) every workload's traces."""
     selected = names if names is not None else workload_names()
-    return {name: load_traces(name, scale=scale, cache_dir=cache_dir) for name in selected}
+    return {
+        name: load_traces(name, scale=scale, cache_dir=cache_dir, mmap=mmap)
+        for name in selected
+    }

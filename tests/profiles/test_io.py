@@ -55,6 +55,26 @@ class TestTextFormat:
         assert lines[0].startswith("#")
         assert lines[3] == "100"
 
+    def test_no_trailing_newline(self, tmp_path):
+        # The streamed reader must parse a body whose last line is not
+        # newline-terminated (the old loadtxt/seek path was fragile here).
+        path = tmp_path / "nn.trace"
+        path.write_text("# repro-branch-trace v1\n# name: x\n# length: 3\n5\n6\n7")
+        loaded = read_trace_text(path)
+        assert list(loaded) == [5, 6, 7]
+        assert loaded.name == "x"
+
+    def test_trailing_blank_lines(self, tmp_path):
+        path = tmp_path / "bl.trace"
+        path.write_text("# repro-branch-trace v1\n# length: 2\n1\n2\n\n\n")
+        assert list(read_trace_text(path)) == [1, 2]
+
+    def test_invalid_element(self, tmp_path):
+        path = tmp_path / "iv.trace"
+        path.write_text("# repro-branch-trace v1\n1\nbogus\n")
+        with pytest.raises(TraceFormatError, match="invalid trace element"):
+            read_trace_text(path)
+
 
 class TestBinaryFormat:
     def test_round_trip(self, trace, tmp_path):

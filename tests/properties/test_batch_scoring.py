@@ -1,0 +1,136 @@
+"""Property-based bit-identity of score_states_batch vs score_states.
+
+The batched scorer is the sweep's default scoring path; any divergence
+from the scalar scorer — in the float components or the integer phase
+counts — would silently change cached sweep records, so equality here
+is exact (``==`` on every field), never approximate.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.scoring.boundaries import BaselinePhaseIndex, match_phases
+from repro.scoring.metric import score_states, score_states_batch
+from repro.scoring.states import phases_from_states
+
+
+@st.composite
+def state_batches(draw):
+    """(lanes x N matrix, list of baseline rows) over a shared N."""
+    length = draw(st.integers(min_value=0, max_value=120))
+    lanes = draw(st.integers(min_value=1, max_value=5))
+    num_baselines = draw(st.integers(min_value=1, max_value=4))
+    matrix = np.array(
+        [
+            draw(st.lists(st.booleans(), min_size=length, max_size=length))
+            for _ in range(lanes)
+        ],
+        dtype=bool,
+    ).reshape(lanes, length)
+    baselines = [
+        np.array(
+            draw(st.lists(st.booleans(), min_size=length, max_size=length)),
+            dtype=bool,
+        )
+        for _ in range(num_baselines)
+    ]
+    return matrix, baselines
+
+
+@st.composite
+def corrected_intervals(draw, states):
+    """A sorted, disjoint interval list inside ``states``'s index range.
+
+    Mimics anchor-corrected phases: arbitrary valid intervals that need
+    not equal the maximal P-runs of the state row.
+    """
+    length = int(states.size)
+    count = draw(st.integers(min_value=0, max_value=4))
+    bounds = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=length),
+                min_size=2 * count,
+                max_size=2 * count,
+            )
+        )
+    )
+    return [(bounds[2 * i], bounds[2 * i + 1]) for i in range(count)]
+
+
+def assert_identical(batch_score, scalar_score):
+    assert batch_score.correlation == scalar_score.correlation
+    assert batch_score.sensitivity == scalar_score.sensitivity
+    assert batch_score.false_positives == scalar_score.false_positives
+    assert batch_score.score == scalar_score.score
+    assert batch_score.num_detected_phases == scalar_score.num_detected_phases
+    assert batch_score.num_baseline_phases == scalar_score.num_baseline_phases
+    assert batch_score.num_matched_phases == scalar_score.num_matched_phases
+
+
+@settings(max_examples=300, deadline=None)
+@given(batch=state_batches())
+def test_batch_matches_scalar_plain(batch):
+    matrix, baselines = batch
+    grid = score_states_batch(matrix, baselines)
+    for lane in range(matrix.shape[0]):
+        for column, base in enumerate(baselines):
+            assert_identical(
+                grid[lane][column], score_states(matrix[lane], base)
+            )
+
+
+@settings(max_examples=200, deadline=None)
+@given(batch=state_batches(), data=st.data())
+def test_batch_matches_scalar_with_corrected_phases(batch, data):
+    # Anchor-corrected inputs: per-lane interval overrides, exactly how
+    # _score_results passes result.corrected_phases().
+    matrix, baselines = batch
+    overrides = [
+        data.draw(corrected_intervals(matrix[lane]))
+        for lane in range(matrix.shape[0])
+    ]
+    grid = score_states_batch(matrix, baselines, detected_phases=overrides)
+    for lane in range(matrix.shape[0]):
+        for column, base in enumerate(baselines):
+            assert_identical(
+                grid[lane][column],
+                score_states(matrix[lane], base, detected_phases=overrides[lane]),
+            )
+
+
+@settings(max_examples=200, deadline=None)
+@given(batch=state_batches())
+def test_baseline_index_matches_match_phases(batch):
+    matrix, baselines = batch
+    length = int(matrix.shape[1])
+    for base in baselines:
+        index = BaselinePhaseIndex(phases_from_states(base), length)
+        for lane in range(matrix.shape[0]):
+            detected = phases_from_states(matrix[lane])
+            got = index.match(detected)
+            want = match_phases(detected, phases_from_states(base), length)
+            assert got == want
+
+
+def test_all_p_and_empty_phase_edges():
+    length = 50
+    all_p = np.ones(length, dtype=bool)
+    all_t = np.zeros(length, dtype=bool)
+    alternating = np.arange(length) % 2 == 0
+    matrix = np.vstack([all_p, all_t, alternating])
+    baselines = [all_p, all_t, alternating]
+    grid = score_states_batch(matrix, baselines)
+    for lane in range(3):
+        for column in range(3):
+            assert_identical(
+                grid[lane][column], score_states(matrix[lane], baselines[column])
+            )
+
+
+def test_zero_length_batch():
+    matrix = np.zeros((2, 0), dtype=bool)
+    grid = score_states_batch(matrix, [np.zeros(0, dtype=bool)])
+    scalar = score_states(matrix[0], np.zeros(0, dtype=bool))
+    for lane in range(2):
+        assert_identical(grid[lane][0], scalar)

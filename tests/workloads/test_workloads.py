@@ -109,8 +109,8 @@ class TestOracleShapes:
 class TestCaching:
     def test_cache_round_trip(self, tmp_path):
         first = load_traces("db", scale=SCALE, cache_dir=tmp_path)
-        files = list(tmp_path.iterdir())
-        assert len(files) == 2  # .btrace + .cloop
+        suffixes = sorted(p.suffix for p in tmp_path.iterdir())
+        assert suffixes == [".bcodes", ".btrace", ".cloop"]
         second = load_traces("db", scale=SCALE, cache_dir=tmp_path)
         assert first[0] == second[0]
         assert list(first[1]) == list(second[1])
