@@ -38,6 +38,14 @@ sidecar adoption) and must show a reduction; **batch-scoring** compares
 per-(lane, MPL) ``score_states`` calls against one
 ``score_states_batch`` pass and must stay at least
 ``BATCH_MIN_SPEEDUP`` times faster.
+
+The serve row replays ``SERVE_SESSIONS`` concurrent suite-workload
+sessions through :mod:`repro.serve` (plus a forced-eviction run that
+parks and rehydrates sessions mid-trace).  Gates: the session count,
+byte-identity of every served phase stream against the offline
+detector, at least one park in the eviction run, and a
+calibration-normalized throughput floor
+(``SERVE_MIN_NORMALIZED_THROUGHPUT``).
 """
 
 import argparse
@@ -104,6 +112,20 @@ BATCH_MIN_SPEEDUP = 3.0
 #: (same-run ratio; any reliable reduction passes).
 WARM_START_MIN_SPEEDUP = 1.0
 
+#: The serving row: this many concurrent sessions replaying suite
+#: workloads through the serve layer, every served phase stream
+#: byte-verified against the offline path (plus a small forced-eviction
+#: run proving park/rehydrate mid-trace is invisible).
+SERVE_SESSIONS = 1_000
+SERVE_ELEMENTS_PER_SESSION = 600
+SERVE_CHUNK = 150
+SERVE_PARK_SESSIONS = 64
+SERVE_PARK_MAX_RESIDENT = 8
+#: Calibration-normalized serving throughput floor:
+#: events_per_sec x calibration_seconds (elements served per
+#: calibration unit).  Generous margin below measured (~30k local).
+SERVE_MIN_NORMALIZED_THROUGHPUT = 6_000.0
+
 
 def _bank_configs():
     """``BANK_SIZE`` configs cycling the matrix across thresholds, the
@@ -167,6 +189,43 @@ def _score_scalar(matrix, baselines):
         [score_states(matrix[lane], base) for base in baselines]
         for lane in range(matrix.shape[0])
     ]
+
+
+def _measure_serve(calibration):
+    """The sessions x events/sec serving row (measured once, not per
+    repeat — the run is seconds long and internally averaged over
+    thousands of chunk latencies)."""
+    from repro.serve.loadgen import serve_bench
+
+    row = serve_bench(
+        sessions=SERVE_SESSIONS,
+        elements_per_session=SERVE_ELEMENTS_PER_SESSION,
+        chunk=SERVE_CHUNK,
+        source="suite",
+        scale=0.3,
+        verify=True,
+        park_sessions=SERVE_PARK_SESSIONS,
+        park_max_resident=SERVE_PARK_MAX_RESIDENT,
+    )
+    main, parked = row["main"], row["parked"]
+    return {
+        "sessions": main["sessions"],
+        "elements": main["elements"],
+        "events_per_sec": main["events_per_sec"],
+        "elapsed_seconds": main["elapsed_seconds"],
+        "normalized_throughput": round(
+            main["events_per_sec"] * calibration, 2
+        ),
+        "latency_p50_ms": main["latency_p50_ms"],
+        "latency_p99_ms": main["latency_p99_ms"],
+        "verified": main["verified"],
+        "parked_sessions": parked["sessions"],
+        "parked_parks": parked["parks"],
+        "parked_rehydrations": parked["rehydrations"],
+        "parked_verified": parked["verified"],
+        "min_sessions": SERVE_SESSIONS,
+        "min_normalized_throughput": SERVE_MIN_NORMALIZED_THROUGHPUT,
+    }
 
 
 def _calibration_workload():
@@ -237,6 +296,7 @@ def measure(repeats):
             )
         warm_elements = len(read_trace_binary(warm_path, mmap=True))
     calibration = min(cal_samples)
+    serve_row = _measure_serve(calibration)
     seq_seconds = min(seq_samples)
     bank_seconds = min(bank_samples)
     cold_seconds = min(cold_samples)
@@ -297,6 +357,7 @@ def measure(repeats):
                 "min_speedup": BATCH_MIN_SPEEDUP,
             },
         },
+        "serve": serve_row,
         "aggregate_normalized": round(
             sum(entry["normalized"] for entry in configs.values()), 4
         ),
@@ -334,6 +395,17 @@ def _print_report(result):
           f"scalar {batch['scalar_seconds']:.4f}s vs "
           f"batch {batch['batch_seconds']:.4f}s "
           f"(speedup {batch['speedup']:.2f}x)")
+    serve = result["serve"]
+    print(f"  serve[{serve['sessions']} sessions] "
+          f"{serve['events_per_sec']:.0f} events/s "
+          f"normalized={serve['normalized_throughput']:.0f} "
+          f"p50={serve['latency_p50_ms']:.2f}ms "
+          f"p99={serve['latency_p99_ms']:.2f}ms "
+          f"verified={serve['verified']}")
+    print(f"  serve parked[{serve['parked_sessions']} sessions] "
+          f"parks={serve['parked_parks']} "
+          f"rehydrations={serve['parked_rehydrations']} "
+          f"verified={serve['parked_verified']}")
     print(f"aggregate normalized score: {result['aggregate_normalized']:.4f}")
 
 
@@ -428,6 +500,32 @@ def main(argv=None):
         print(f"FAIL: score_states_batch was only {batch_speedup:.2f}x the "
               f"per-pair score_states loop (gate {BATCH_MIN_SPEEDUP:.1f}x)",
               file=sys.stderr)
+        return 1
+    # Serving gates: correctness flags are absolute (a mismatch anywhere
+    # is a real bug); throughput uses the calibration-normalized floor so
+    # the check survives host-speed differences.
+    serve = result["serve"]
+    print(f"serve: {serve['sessions']} sessions, "
+          f"normalized throughput {serve['normalized_throughput']:.0f} "
+          f"(gate >= {SERVE_MIN_NORMALIZED_THROUGHPUT:.0f})")
+    if serve["sessions"] < SERVE_SESSIONS:
+        print(f"FAIL: serve-bench ran only {serve['sessions']} concurrent "
+              f"sessions (gate {SERVE_SESSIONS})", file=sys.stderr)
+        return 1
+    if serve["verified"] is not True or serve["parked_verified"] is not True:
+        print("FAIL: served phase streams were not byte-identical to the "
+              "offline detector (main verified="
+              f"{serve['verified']}, parked verified="
+              f"{serve['parked_verified']})", file=sys.stderr)
+        return 1
+    if serve["parked_parks"] < 1:
+        print("FAIL: forced-eviction serve run never parked a session — "
+              "the park/rehydrate path went unexercised", file=sys.stderr)
+        return 1
+    if serve["normalized_throughput"] < SERVE_MIN_NORMALIZED_THROUGHPUT:
+        print(f"FAIL: serving throughput {serve['normalized_throughput']:.0f} "
+              f"normalized events/s fell below the floor "
+              f"{SERVE_MIN_NORMALIZED_THROUGHPUT:.0f}", file=sys.stderr)
         return 1
     print("OK: within tolerance")
     return 0

@@ -12,6 +12,8 @@ Subcommands::
     repro characteristics                   # Table 1(a) for the suite
     repro sweep --profile quick --jobs 4    # (re)fill the sweep record cache
     repro generate --profile default        # regenerate all tables/figures
+    repro serve --port 7007                 # streaming detection server (TCP)
+    repro serve-bench --sessions 1000       # serving load generator + verify
     repro obs summary                       # render a sweep's run manifest
     repro obs tail <events.jsonl>           # last events of a detector trace
     repro obs diff <a.json> <b.json>        # compare two run manifests
@@ -393,6 +395,86 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import PhaseServer
+
+    server = PhaseServer(
+        spool_dir=Path(args.spool) if args.spool else None,
+        max_resident=args.max_resident,
+        queue_size=args.queue_size,
+        idle_timeout=args.idle_timeout,
+        events=args.events,
+    )
+
+    async def _run() -> None:
+        await server.start(host=args.host, port=args.port)
+        print(f"serving on {args.host}:{server.port} "
+              f"(max_resident={args.max_resident}, spool={server.spool_dir})",
+              file=sys.stderr)
+        stop = asyncio.Event()
+        try:
+            await stop.wait()
+        finally:
+            manifest_path = Path(args.manifest) if args.manifest else None
+            manifest = await server.drain(manifest_path)
+            print(f"drained {len(manifest['sessions'])} sessions",
+                  file=sys.stderr)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import serve_bench
+
+    row = serve_bench(
+        sessions=args.sessions,
+        elements_per_session=args.elements,
+        chunk=args.chunk,
+        source=args.source,
+        scale=args.scale,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        max_resident=args.max_resident,
+        queue_size=args.queue_size,
+        seed=args.seed,
+        transport=args.transport,
+        connections=args.connections,
+        verify=not args.no_verify,
+        park_sessions=args.park_sessions,
+        park_max_resident=args.park_max_resident,
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(row, indent=2) + "\n")
+    main_row = row["main"]
+    print(f"serve-bench: {main_row['sessions']} sessions x "
+          f"{args.elements} elements over {args.transport} "
+          f"({row['source']} replay)")
+    print(f"  throughput: {main_row['events_per_sec']:,.0f} elements/sec "
+          f"({main_row['elapsed_seconds']:.3f}s)")
+    if main_row["latency_p50_ms"] is not None:
+        print(f"  chunk latency: p50 {main_row['latency_p50_ms']:.3f} ms, "
+              f"p99 {main_row['latency_p99_ms']:.3f} ms")
+    if main_row["verified"] is not None:
+        print(f"  verified vs offline: {main_row['verified']}"
+              + (f" (mismatched: {main_row['mismatched']})"
+                 if main_row["mismatched"] else ""))
+    parked = row.get("parked")
+    if parked is not None:
+        print(f"  parked run: {parked['sessions']} sessions, "
+              f"{parked['parks']} parks / {parked['rehydrations']} rehydrations, "
+              f"verified: {parked['verified']}")
+    failed = (main_row.get("verified") is False
+              or (parked is not None and parked.get("verified") is False))
+    return 1 if failed else 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.experiments.generate import main as generate_main
 
@@ -568,6 +650,57 @@ def build_parser() -> argparse.ArgumentParser:
     obs_diff.add_argument("old", help="baseline manifest .json")
     obs_diff.add_argument("new", help="comparison manifest .json")
     obs_diff.set_defaults(handler=cmd_obs)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the streaming phase-detection server (TCP)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="0 binds an ephemeral port (printed)")
+    serve_parser.add_argument("--max-resident", type=int, default=1024,
+                              help="sessions kept hydrated before LRU parking")
+    serve_parser.add_argument("--queue-size", type=int, default=8,
+                              help="per-session inbound queue bound (chunks)")
+    serve_parser.add_argument("--idle-timeout", type=float, default=None,
+                              help="park sessions idle this many seconds")
+    serve_parser.add_argument("--spool", default=None,
+                              help="spool directory for parked checkpoints")
+    serve_parser.add_argument("--events", choices=["phase", "all"],
+                              default="phase",
+                              help="serve phase boundaries only, or all events")
+    serve_parser.add_argument("--manifest", default=None,
+                              help="write the serve-run manifest here on drain")
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    serve_bench_parser = subparsers.add_parser(
+        "serve-bench",
+        help="seeded serving load generator + offline verification",
+    )
+    serve_bench_parser.add_argument("--sessions", type=int, default=1000)
+    serve_bench_parser.add_argument("--elements", type=int, default=2000,
+                                    help="elements streamed per session")
+    serve_bench_parser.add_argument("--chunk", type=int, default=256)
+    serve_bench_parser.add_argument("--source", choices=["suite", "synthetic"],
+                                    default="suite")
+    serve_bench_parser.add_argument("--scale", type=float, default=0.3,
+                                    help="suite workload scale")
+    serve_bench_parser.add_argument("--cache-dir", default=None)
+    serve_bench_parser.add_argument("--transport", choices=["local", "tcp"],
+                                    default="local")
+    serve_bench_parser.add_argument("--connections", type=int, default=8,
+                                    help="wire connections (tcp transport)")
+    serve_bench_parser.add_argument("--max-resident", type=int, default=None)
+    serve_bench_parser.add_argument("--queue-size", type=int, default=8)
+    serve_bench_parser.add_argument("--seed", type=int, default=17)
+    serve_bench_parser.add_argument("--no-verify", action="store_true",
+                                    help="skip the offline byte comparison")
+    serve_bench_parser.add_argument("--park-sessions", type=int, default=64,
+                                    help="size of the forced-eviction run "
+                                         "(0 skips it)")
+    serve_bench_parser.add_argument("--park-max-resident", type=int, default=8)
+    serve_bench_parser.add_argument("--json", default=None,
+                                    help="also write the full result row here")
+    serve_bench_parser.set_defaults(handler=cmd_serve_bench)
 
     generate_parser = subparsers.add_parser(
         "generate", help="regenerate every table and figure"

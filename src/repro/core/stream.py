@@ -146,7 +146,7 @@ class StreamingDetector:
         data["stream"] = {
             "position": self._position,
             "in_phase": self._in_phase,
-            "buffer": list(self._buffer),
+            "buffer": [int(element) for element in self._buffer],
             "states": base64.b64encode(np.packbits(bits).tobytes()).decode("ascii"),
         }
         return data

@@ -26,6 +26,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -91,6 +92,13 @@ class JsonlSink:
             most one line, which :func:`read_events` tolerates anyway.
 
     Usable as a context manager.
+
+    Thread-safety: :meth:`emit` serializes each event *outside* the
+    lock, then takes an internal lock for the single ``write()`` call —
+    concurrent session writers (e.g. several serving sessions sharing
+    one sink) interleave whole lines, never fragments of two events.
+    Ordering across writers is whatever the lock arbitration yields;
+    within one writer it is emission order.
     """
 
     def __init__(self, path: PathLike, validate: bool = False, buffered: bool = True) -> None:
@@ -99,22 +107,26 @@ class JsonlSink:
         self._validate = validate
         self._buffered = buffered
         self._handle: Optional[io.TextIOBase] = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
         self.emitted = 0
 
     def emit(self, event: Dict[str, object]) -> None:
-        if self._handle is None:
-            raise ValueError(f"JsonlSink({self.path}) is closed")
         if self._validate:
             validate_event(event)
-        self._handle.write(json.dumps(event, separators=(",", ":")) + "\n")
-        if not self._buffered:
-            self._handle.flush()
-        self.emitted += 1
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._handle is None:
+                raise ValueError(f"JsonlSink({self.path}) is closed")
+            self._handle.write(line)
+            if not self._buffered:
+                self._handle.flush()
+            self.emitted += 1
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -1,0 +1,169 @@
+"""The asyncio wire client for the phase-detection service.
+
+:class:`ServeClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` over one TCP connection and multiplexes any
+number of sessions on it.  Served detector events arrive on a
+background reader task and are either buffered per session
+(:meth:`events_for`) or handed to a per-session callback.
+
+The minimal round trip::
+
+    client = await ServeClient.connect("127.0.0.1", port)
+    await client.open("s1", DetectorConfig(cw_size=250, threshold=0.6))
+    await client.send("s1", elements)            # repeat per chunk
+    summary = await client.close_session("s1")   # {"elements": N, "phases": N}
+    phase_events = client.events_for("s1")       # obs-schema dicts, in order
+    await client.aclose()
+
+See ``docs/serving.md`` for the full protocol and a worked example.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import DetectorConfig
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An ``error`` message from the server, raised client-side."""
+
+
+class ServeClient:
+    """One multiplexed wire connection to a :class:`PhaseServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._events: Dict[str, List[Dict[str, object]]] = {}
+        self._callbacks: Dict[str, Callable[[Dict[str, object]], None]] = {}
+        self._opened: Dict[str, asyncio.Future] = {}
+        self._closed: Dict[str, asyncio.Future] = {}
+        self._errors: List[Dict[str, object]] = []
+        self._pong: Optional[asyncio.Future] = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    # -- the session API -------------------------------------------------------
+
+    async def open(
+        self,
+        sid: str,
+        config: "DetectorConfig | Dict[str, object]",
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> None:
+        """Open ``sid`` with ``config`` (a :class:`DetectorConfig` or the
+        equivalent plain dict); waits for the server's ack."""
+        protocol.validate_sid(sid)
+        payload = config.to_dict() if isinstance(config, DetectorConfig) else dict(config)
+        future = asyncio.get_running_loop().create_future()
+        self._opened[sid] = future
+        self._events.setdefault(sid, [])
+        if on_event is not None:
+            self._callbacks[sid] = on_event
+        await self._send({"op": "open", "sid": sid, "config": payload})
+        await future
+
+    async def send(self, sid: str, elements: Sequence[int]) -> None:
+        """Send one chunk of profile elements for ``sid``."""
+        await self._send(
+            {"op": "events", "sid": sid, "elements": [int(e) for e in elements]}
+        )
+
+    async def close_session(self, sid: str) -> Dict[str, object]:
+        """End ``sid``'s stream; returns the server's summary."""
+        future = asyncio.get_running_loop().create_future()
+        self._closed[sid] = future
+        await self._send({"op": "close", "sid": sid})
+        return await future
+
+    async def ping(self) -> None:
+        self._pong = asyncio.get_running_loop().create_future()
+        await self._send({"op": "ping"})
+        await self._pong
+
+    def events_for(self, sid: str) -> List[Dict[str, object]]:
+        """Served detector events received for ``sid`` so far, in order."""
+        return list(self._events.get(sid, []))
+
+    @property
+    def errors(self) -> List[Dict[str, object]]:
+        """``error`` messages received (also raised on pending waits)."""
+        return list(self._errors)
+
+    # -- plumbing --------------------------------------------------------------
+
+    async def _send(self, message: Dict[str, object]) -> None:
+        self._writer.write(protocol.encode_message(message))
+        await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._handle(protocol.decode_message(line))
+        except (ConnectionResetError, ProtocolError, asyncio.CancelledError):
+            pass
+        finally:
+            failure = ServeError("connection closed")
+            for future in list(self._opened.values()) + list(self._closed.values()):
+                if not future.done():
+                    future.set_exception(failure)
+            if self._pong is not None and not self._pong.done():
+                self._pong.set_exception(failure)
+
+    def _handle(self, message: Dict[str, object]) -> None:
+        op = message.get("op")
+        sid = message.get("sid")
+        if op == "event":
+            event: Dict[str, object] = message["event"]  # type: ignore[assignment]
+            self._events.setdefault(str(sid), []).append(event)
+            callback = self._callbacks.get(str(sid))
+            if callback is not None:
+                callback(event)
+        elif op == "opened":
+            future = self._opened.pop(str(sid), None)
+            if future is not None and not future.done():
+                future.set_result(message)
+        elif op == "closed":
+            future = self._closed.pop(str(sid), None)
+            if future is not None and not future.done():
+                future.set_result(
+                    {"elements": message["elements"], "phases": message["phases"]}
+                )
+        elif op == "pong":
+            if self._pong is not None and not self._pong.done():
+                self._pong.set_result(None)
+        elif op == "error":
+            self._errors.append(message)
+            error = ServeError(str(message.get("error")))
+            for waits in (self._opened, self._closed):
+                future = waits.pop(str(sid), None) if sid is not None else None
+                if future is not None and not future.done():
+                    future.set_exception(error)
+
+    async def aclose(self) -> None:
+        """Close the connection and stop the reader task."""
+        self._reader_task.cancel()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

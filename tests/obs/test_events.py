@@ -108,6 +108,46 @@ class TestJsonlRoundTrip:
             sink.emit({"ev": "window_flush", "step": 1, "seeded": 2})
 
 
+class TestConcurrentWriters:
+    def test_interleaved_threads_write_whole_lines(self, tmp_path):
+        # Many session writers sharing one sink (the serving setup):
+        # lines may interleave across writers, but every line must be
+        # one intact event and nothing may be lost.
+        import threading
+
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        per_writer = 500
+
+        def writer(writer_id: int) -> None:
+            for step in range(per_writer):
+                sink.emit({
+                    "ev": "window_flush",
+                    "step": step,
+                    "seeded": writer_id,
+                })
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+        events = list(read_events(path, validate=True))
+        assert len(events) == 8 * per_writer
+        assert sink.emitted == 8 * per_writer
+        # Per-writer order is preserved even though writers interleave.
+        for writer_id in range(8):
+            steps = [e["step"] for e in events if e["seeded"] == writer_id]
+            assert steps == list(range(per_writer))
+
+    def test_emit_close_race_raises_cleanly(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"ev": "window_flush", "step": 1, "seeded": 2})
+
+
 class TestTornWrites:
     def test_torn_final_line_is_dropped(self, tmp_path):
         path = tmp_path / "events.jsonl"

@@ -1,0 +1,219 @@
+"""Session lifecycle and the park/rehydrate bit-identity guarantee."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    AnalyzerKind,
+    DetectorConfig,
+    ModelKind,
+    ResizePolicy,
+    TrailingPolicy,
+)
+from repro.core.engine import run_detector
+from repro.obs.bus import MemorySink
+from repro.profiles.synthetic import make_phased_trace
+from repro.serve.protocol import ProtocolError
+from repro.serve.session import (
+    PHASE_EVENT_KINDS,
+    Session,
+    SessionError,
+    SessionState,
+)
+
+#: The checkpoint matrix: model x analyzer x trailing, plus both
+#: resize policies on the adaptive side.
+MATRIX = {
+    "unweighted-threshold-constant": DetectorConfig(cw_size=200, threshold=0.6),
+    "weighted-threshold-constant": DetectorConfig(
+        cw_size=200, model=ModelKind.WEIGHTED, threshold=0.6
+    ),
+    "unweighted-average-adaptive-slide": DetectorConfig(
+        cw_size=200,
+        analyzer=AnalyzerKind.AVERAGE,
+        trailing=TrailingPolicy.ADAPTIVE,
+        resize=ResizePolicy.SLIDE,
+    ),
+    "weighted-threshold-adaptive-move": DetectorConfig(
+        cw_size=200,
+        model=ModelKind.WEIGHTED,
+        trailing=TrailingPolicy.ADAPTIVE,
+        resize=ResizePolicy.MOVE,
+        threshold=0.6,
+    ),
+    "weighted-average-adaptive-move": DetectorConfig(
+        cw_size=200,
+        model=ModelKind.WEIGHTED,
+        analyzer=AnalyzerKind.AVERAGE,
+        trailing=TrailingPolicy.ADAPTIVE,
+        resize=ResizePolicy.MOVE,
+    ),
+    "skip-factor": DetectorConfig(cw_size=120, skip_factor=5, threshold=0.6),
+}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    trace, _specs = make_phased_trace(
+        num_phases=3, phase_length=1_200, transition_length=150, body_size=10,
+        seed=23,
+    )
+    return trace
+
+
+def offline_stream(trace, config, length):
+    """The reference byte stream: offline run over the same elements."""
+    sink = MemorySink()
+    run_detector(trace[:length], config, observer=sink)
+    return encode(
+        [e for e in sink.events if e["ev"] in PHASE_EVENT_KINDS]
+    )
+
+
+def encode(events):
+    return b"".join(
+        json.dumps(e, separators=(",", ":")).encode() + b"\n" for e in events
+    )
+
+
+def make_session(tmp_path, config, buffer):
+    return Session(
+        "s1", config, tmp_path, on_event=lambda _sid, ev: buffer.append(ev)
+    )
+
+
+class TestLifecycle:
+    def test_states_progress(self, tmp_path, trace):
+        events = []
+        session = make_session(tmp_path, MATRIX["unweighted-threshold-constant"],
+                               events)
+        assert session.state is SessionState.OPEN
+        session.feed(trace.array[:500].tolist())
+        assert session.state is SessionState.ACTIVE
+        assert session.park()
+        assert session.state is SessionState.PARKED
+        assert not session.hydrated
+        assert session.spool_path.exists()
+        session.rehydrate()
+        assert session.state is SessionState.REHYDRATED
+        session.feed(trace.array[500:900].tolist())
+        assert session.state is SessionState.ACTIVE
+        summary = session.close()
+        assert session.state is SessionState.CLOSED
+        assert summary["elements"] == 900
+        assert not session.spool_path.exists()
+
+    def test_invalid_sid_rejected(self, tmp_path):
+        with pytest.raises(ProtocolError):
+            Session("../evil", MATRIX["unweighted-threshold-constant"],
+                    tmp_path, on_event=lambda *_: None)
+
+    def test_feed_after_close_raises(self, tmp_path, trace):
+        session = make_session(
+            tmp_path, MATRIX["unweighted-threshold-constant"], [])
+        session.feed(trace.array[:300].tolist())
+        session.close()
+        with pytest.raises(SessionError):
+            session.feed([1, 2, 3])
+        with pytest.raises(SessionError):
+            session.close()
+
+    def test_park_is_noop_when_parked_or_closed(self, tmp_path, trace):
+        session = make_session(
+            tmp_path, MATRIX["unweighted-threshold-constant"], [])
+        session.feed(trace.array[:300].tolist())
+        assert session.park()
+        assert not session.park()     # already parked
+        session.close()
+        assert not session.park()     # closed
+
+    def test_kill_records_prekill_state(self, tmp_path, trace):
+        session = make_session(
+            tmp_path, MATRIX["unweighted-threshold-constant"], [])
+        session.feed(trace.array[:400].tolist())
+        session.park()
+        session.kill()
+        record = session.record()
+        assert record["killed"] is True
+        assert record["state"] == "closed"
+        assert record["state_at_end"] == "parked"
+        assert not session.spool_path.exists()
+        session.kill()  # idempotent
+
+    def test_record_counts(self, tmp_path, trace):
+        events = []
+        session = make_session(
+            tmp_path, MATRIX["unweighted-threshold-constant"], events)
+        session.feed(trace.array[:2000].tolist())
+        session.park()
+        session.feed(trace.array[2000:4000].tolist())
+        session.close()
+        record = session.record()
+        assert record["events_in"] == 4000
+        assert record["chunks_in"] == 2
+        assert record["parks"] == 1
+        assert record["rehydrations"] == 1
+        assert record["events_out"] == len(events)
+        assert record["phases"] == sum(
+            1 for e in events if e["ev"] == "phase_exit")
+        assert record["phases"] >= 1
+
+
+class TestParkRehydrateIdentity:
+    """Parked/rehydrated streams are byte-identical to uninterrupted runs."""
+
+    @pytest.mark.parametrize("label", sorted(MATRIX))
+    def test_single_park_identity(self, tmp_path, trace, label):
+        config = MATRIX[label]
+        length = 3_000
+        events = []
+        session = make_session(tmp_path, config, events)
+        arr = trace.array[:length]
+        session.feed(arr[:1_234].tolist())
+        assert session.park()
+        session.feed(arr[1_234:2_500].tolist())   # implicit rehydrate
+        session.feed(arr[2_500:].tolist())
+        session.close()
+        assert encode(events) == offline_stream(trace, config, length)
+
+    @pytest.mark.parametrize("label", ["weighted-average-adaptive-move",
+                                       "skip-factor"])
+    def test_every_chunk_boundary_parks(self, tmp_path, trace, label):
+        # Park between *every* chunk, with chunk sizes that tear steps.
+        config = MATRIX[label]
+        length = 2_400
+        events = []
+        session = make_session(tmp_path, config, events)
+        arr = trace.array[:length]
+        position = 0
+        for size in (7, 333, 98, 1_001, 500, 461):
+            session.feed(arr[position : position + size].tolist())
+            position += size
+            session.park()
+        session.feed(arr[position:].tolist())
+        session.close()
+        assert encode(events) == offline_stream(trace, config, length)
+
+    def test_park_close_identity(self, tmp_path, trace):
+        # Closing a parked session still flushes the final phase.
+        config = MATRIX["unweighted-threshold-constant"]
+        length = 2_000
+        events = []
+        session = make_session(tmp_path, config, events)
+        session.feed(trace.array[:length].tolist())
+        session.park()
+        session.close()
+        assert encode(events) == offline_stream(trace, config, length)
+
+    def test_spool_file_is_valid_checkpoint_json(self, tmp_path, trace):
+        session = make_session(
+            tmp_path, MATRIX["unweighted-threshold-constant"], [])
+        session.feed(trace.array[:1_000].tolist())
+        session.park()
+        data = json.loads(session.spool_path.read_text())
+        assert data["format"] == "repro-detector-checkpoint"
+        assert data["version"] == 1
+        assert "stream" in data

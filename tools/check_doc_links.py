@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Check that documentation cross-references resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for two kinds of references:
+
+- Markdown links ``[text](target)`` with relative targets — the target
+  file must exist (anchors are stripped; external ``http(s)://`` and
+  ``mailto:`` links are skipped);
+- inline-code path references like ``docs/serving.md`` or
+  ``ROADMAP.md`` — the named file must exist, tried relative to the
+  referencing file's directory and to the repository root.
+
+Exit status 0 when everything resolves; 1 with one line per broken
+reference otherwise.  Run from anywhere::
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_PATH = re.compile(r"`([A-Za-z0-9_./-]+\.md)(?:#[A-Za-z0-9_-]+)?`")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def iter_references(path: Path) -> Iterator[Tuple[int, str, str]]:
+    """Yield (line number, kind, target) references found in ``path``."""
+    in_code_block = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if in_code_block:
+            continue
+        for match in MARKDOWN_LINK.finditer(line):
+            yield number, "link", match.group(1)
+        for match in CODE_PATH.finditer(line):
+            yield number, "code", match.group(1)
+
+
+def resolve(source: Path, target: str) -> bool:
+    """True when ``target`` (relative reference) names an existing file."""
+    candidates = [source.parent / target, REPO_ROOT / target]
+    return any(candidate.is_file() for candidate in candidates)
+
+
+def check() -> List[str]:
+    """All broken references, formatted one per entry."""
+    problems: List[str] = []
+    for path in doc_files():
+        rel = path.relative_to(REPO_ROOT)
+        for number, kind, raw_target in iter_references(path):
+            if raw_target.startswith(EXTERNAL):
+                continue
+            target = raw_target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            if not resolve(path, target):
+                problems.append(
+                    f"{rel}:{number}: broken {kind} reference -> {raw_target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken doc reference(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK across {len(doc_files())} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
