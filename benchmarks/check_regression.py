@@ -46,6 +46,14 @@ byte-identity of every served phase stream against the offline
 detector, at least one park in the eviction run, and a
 calibration-normalized throughput floor
 (``SERVE_MIN_NORMALIZED_THROUGHPUT``).
+
+The telemetry row gates the cost of *enabled* live telemetry the
+same-run-ratio way: serve-bench with the flight recorder spooling at a
+tight interval (latency histograms are always on) must stay within
+``TELEMETRY_MAX_OVERHEAD`` of the run without it, best-of-N with the
+on/off repeats interleaved so drift hits both sides.  The row also
+re-checks flight-record completeness: summed per-interval
+``serve.events_in`` deltas in the spool must equal the elements fed.
 """
 
 import argparse
@@ -125,6 +133,17 @@ SERVE_PARK_MAX_RESIDENT = 8
 #: events_per_sec x calibration_seconds (elements served per
 #: calibration unit).  Generous margin below measured (~30k local).
 SERVE_MIN_NORMALIZED_THROUGHPUT = 6_000.0
+
+#: The telemetry-overhead row: a smaller synthetic serve-bench run,
+#: once with the flight recorder spooling and once without, interleaved
+#: best-of-``TELEMETRY_REPEATS``.  Throughput with telemetry on must
+#: stay within ``TELEMETRY_MAX_OVERHEAD`` of telemetry off.
+TELEMETRY_SESSIONS = 300
+TELEMETRY_ELEMENTS_PER_SESSION = 800
+TELEMETRY_CHUNK = 160
+TELEMETRY_FLIGHT_INTERVAL = 0.1
+TELEMETRY_REPEATS = 3
+TELEMETRY_MAX_OVERHEAD = 0.05
 
 
 def _bank_configs():
@@ -228,6 +247,62 @@ def _measure_serve(calibration):
     }
 
 
+def _measure_telemetry(calibration):
+    """The telemetry-overhead row: flight recorder on vs off, same run
+    parameters, repeats interleaved so host drift hits both sides.
+
+    Latency histograms are part of the server's registry in both runs;
+    the delta being gated is the flight-recorder sampling loop plus the
+    JSONL spool — i.e. everything ``repro serve --flight-record`` adds.
+    """
+    from repro.obs.timeseries import read_flight_record
+    from repro.serve.loadgen import serve_bench
+
+    common = dict(
+        sessions=TELEMETRY_SESSIONS,
+        elements_per_session=TELEMETRY_ELEMENTS_PER_SESSION,
+        chunk=TELEMETRY_CHUNK,
+        source="synthetic",
+        verify=False,
+        park_sessions=0,
+    )
+    off_samples, on_samples = [], []
+    flight_total = None
+    flight_samples = None
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-") as tmp_dir:
+        for repeat in range(TELEMETRY_REPEATS):
+            off_row = serve_bench(**common)
+            off_samples.append(off_row["main"]["events_per_sec"])
+            spool = Path(tmp_dir) / f"flight-{repeat}.jsonl"
+            on_row = serve_bench(
+                **common,
+                flight_record=spool,
+                flight_interval=TELEMETRY_FLIGHT_INTERVAL,
+            )
+            on_samples.append(on_row["main"]["events_per_sec"])
+            _, samples = read_flight_record(spool)
+            flight_total = sum(
+                s["deltas"].get("serve.events_in", 0) for s in samples
+            )
+            flight_samples = len(samples)
+    off_best = max(off_samples)
+    on_best = max(on_samples)
+    return {
+        "sessions": TELEMETRY_SESSIONS,
+        "elements": TELEMETRY_SESSIONS * TELEMETRY_ELEMENTS_PER_SESSION,
+        "flight_interval": TELEMETRY_FLIGHT_INTERVAL,
+        "repeats": TELEMETRY_REPEATS,
+        "off_events_per_sec": round(off_best, 2),
+        "on_events_per_sec": round(on_best, 2),
+        "off_normalized_throughput": round(off_best * calibration, 2),
+        "on_normalized_throughput": round(on_best * calibration, 2),
+        "overhead": round(1.0 - on_best / off_best, 4),
+        "max_overhead": TELEMETRY_MAX_OVERHEAD,
+        "flight_samples": flight_samples,
+        "flight_events_in": flight_total,
+    }
+
+
 def _calibration_workload():
     # Fixed pure-Python work; its wall time is the unit every detector
     # time divides by.  Must never change once baselines are recorded.
@@ -297,6 +372,7 @@ def measure(repeats):
         warm_elements = len(read_trace_binary(warm_path, mmap=True))
     calibration = min(cal_samples)
     serve_row = _measure_serve(calibration)
+    telemetry_row = _measure_telemetry(calibration)
     seq_seconds = min(seq_samples)
     bank_seconds = min(bank_samples)
     cold_seconds = min(cold_samples)
@@ -358,6 +434,7 @@ def measure(repeats):
             },
         },
         "serve": serve_row,
+        "telemetry": telemetry_row,
         "aggregate_normalized": round(
             sum(entry["normalized"] for entry in configs.values()), 4
         ),
@@ -406,6 +483,12 @@ def _print_report(result):
           f"parks={serve['parked_parks']} "
           f"rehydrations={serve['parked_rehydrations']} "
           f"verified={serve['parked_verified']}")
+    telemetry = result["telemetry"]
+    print(f"  telemetry[{telemetry['sessions']} sessions] "
+          f"off {telemetry['off_events_per_sec']:.0f} events/s vs "
+          f"on {telemetry['on_events_per_sec']:.0f} events/s "
+          f"(overhead {telemetry['overhead']:+.1%}, "
+          f"flight {telemetry['flight_samples']} samples)")
     print(f"aggregate normalized score: {result['aggregate_normalized']:.4f}")
 
 
@@ -526,6 +609,22 @@ def main(argv=None):
         print(f"FAIL: serving throughput {serve['normalized_throughput']:.0f} "
               f"normalized events/s fell below the floor "
               f"{SERVE_MIN_NORMALIZED_THROUGHPUT:.0f}", file=sys.stderr)
+        return 1
+    # Telemetry gates: a same-run on/off ratio (drift-immune like the
+    # kernel gate) plus an absolute flight-record completeness check.
+    telemetry = result["telemetry"]
+    print(f"telemetry overhead: {telemetry['overhead']:+.1%} "
+          f"(gate <= {TELEMETRY_MAX_OVERHEAD:+.0%})")
+    if telemetry["overhead"] > TELEMETRY_MAX_OVERHEAD:
+        print(f"FAIL: serving with the flight recorder enabled was "
+              f"{telemetry['overhead']:+.1%} slower than telemetry off "
+              f"(gate {TELEMETRY_MAX_OVERHEAD:.0%})", file=sys.stderr)
+        return 1
+    if telemetry["flight_events_in"] != telemetry["elements"]:
+        print(f"FAIL: flight-record deltas summed to "
+              f"{telemetry['flight_events_in']} events but the run fed "
+              f"{telemetry['elements']} — the spool lost samples",
+              file=sys.stderr)
         return 1
     print("OK: within tolerance")
     return 0

@@ -13,10 +13,14 @@ Subcommands::
     repro sweep --profile quick --jobs 4    # (re)fill the sweep record cache
     repro generate --profile default        # regenerate all tables/figures
     repro serve --port 7007                 # streaming detection server (TCP)
+    repro serve --flight-record f.jsonl     # ... with a telemetry flight record
     repro serve-bench --sessions 1000       # serving load generator + verify
-    repro obs summary                       # render a sweep's run manifest
+    repro serve-stats --port 7007           # one-shot stats/healthz of a server
+    repro obs summary                       # render a sweep or serve manifest
     repro obs tail <events.jsonl>           # last events of a detector trace
     repro obs diff <a.json> <b.json>        # compare two run manifests
+    repro obs top --port 7007               # live serve telemetry (polling)
+    repro obs trace export spans.jsonl --chrome  # spans -> chrome://tracing
 
 Global ``--verbose``/``--quiet`` control the ``repro`` logger level
 (progress lines go to stderr at INFO).  ``detect``/``score`` accept
@@ -336,11 +340,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     jobs = resolve_jobs(args.jobs)
     benchmarks = args.benchmarks or None
     cache_dir = Path(args.cache_dir) if args.cache_dir is not None else None
+    tracer = None
+    if args.trace is not None:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        if jobs is not None and jobs > 1:
+            print("--trace records serial evaluation only; forcing --jobs 1",
+                  file=sys.stderr)
+            jobs = 1
     sweep = Sweep(
         profile, cache_dir=cache_dir, benchmarks=benchmarks,
         bank=not args.no_bank,
         kernels=False if args.no_kernels else None,
         mmap=False if args.no_mmap else None,
+        tracer=tracer,
     )
     records = sweep.ensure(
         paper_grid(profile), progress=not args.quiet, jobs=jobs,
@@ -352,6 +366,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(f"cache: {sweep.cache_path}")
     print(f"manifest: {sweep.manifest_path}")
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"spans: {len(tracer.spans)} -> {args.trace}")
     return 0
 
 
@@ -395,17 +412,118 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _poll_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs.console import top_frame
+    from repro.serve.client import ServeClient
+
+    client = await ServeClient.connect(args.host, args.port)
+    try:
+        frames = 1 if args.once else args.frames
+        emitted = 0
+        while True:
+            stats = await client.stats()
+            print(top_frame(stats), flush=True)
+            emitted += 1
+            if frames and emitted >= frames:
+                return 0
+            await asyncio.sleep(args.interval)
+    finally:
+        await client.aclose()
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    try:
+        return asyncio.run(_poll_top(args))
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionRefusedError, OSError) as error:
+        print(f"cannot reach server at {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+
+
+def cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import SpanTraceError, chrome_trace, read_spans
+
+    try:
+        header, spans = read_spans(args.spans)
+    except (OSError, SpanTraceError) as error:
+        print(f"cannot read span trace: {error}", file=sys.stderr)
+        return 1
+    if args.chrome:
+        document = chrome_trace(spans)
+        rendered = json.dumps(document, indent=2) + "\n"
+        if args.out is not None:
+            Path(args.out).write_text(rendered, encoding="utf-8")
+            print(f"{len(spans)} spans -> {args.out} "
+                  f"(open in chrome://tracing or Perfetto)")
+        else:
+            print(rendered, end="")
+        return 0
+    print(f"span trace {header.get('trace_id')}: {len(spans)} spans "
+          f"({header.get('dropped', 0)} dropped)")
+    for span in spans:
+        start = float(span.get("start", 0.0))
+        end = float(span.get("end", start))
+        print(f"  {span.get('name')}: span={span.get('span')} "
+              f"parent={span.get('parent')} {(end - start) * 1e3:.3f}ms")
+    return 0
+
+
+async def _fetch_serve_stats(args: argparse.Namespace):
+    from repro.serve.client import ServeClient
+
+    client = await ServeClient.connect(args.host, args.port)
+    try:
+        stats = await client.stats()
+        healthz = await client.healthz()
+    finally:
+        await client.aclose()
+    return stats, healthz
+
+
+def cmd_serve_stats(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs.console import render_healthz, render_stats
+
+    try:
+        stats, healthz = asyncio.run(_fetch_serve_stats(args))
+    except (ConnectionRefusedError, OSError) as error:
+        print(f"cannot reach server at {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"stats": stats, "healthz": healthz}, indent=2))
+        return 0
+    print(render_healthz(healthz))
+    print(render_stats(stats))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve.server import PhaseServer
 
+    tracer = None
+    if args.trace is not None:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     server = PhaseServer(
         spool_dir=Path(args.spool) if args.spool else None,
         max_resident=args.max_resident,
         queue_size=args.queue_size,
         idle_timeout=args.idle_timeout,
         events=args.events,
+        flight_record=Path(args.flight_record) if args.flight_record else None,
+        flight_interval=args.flight_interval,
+        tracer=tracer,
     )
 
     async def _run() -> None:
@@ -421,6 +539,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             manifest = await server.drain(manifest_path)
             print(f"drained {len(manifest['sessions'])} sessions",
                   file=sys.stderr)
+            if tracer is not None:
+                tracer.save(args.trace)
+                print(f"spans: {len(tracer.spans)} -> {args.trace}",
+                      file=sys.stderr)
 
     try:
         asyncio.run(_run())
@@ -449,6 +571,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         verify=not args.no_verify,
         park_sessions=args.park_sessions,
         park_max_resident=args.park_max_resident,
+        flight_record=Path(args.flight_record) if args.flight_record else None,
+        flight_interval=args.flight_interval,
     )
     if args.json:
         Path(args.json).write_text(json.dumps(row, indent=2) + "\n")
@@ -613,6 +737,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="heap-copy cached traces instead of mapping them read-only "
              "(same records; also settable via REPRO_MMAP=0)",
     )
+    sweep_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record sweep/bank/kernel spans to FILE as JSONL "
+             "(serial evaluation; export with `repro obs trace export`)",
+    )
     sweep_parser.set_defaults(handler=cmd_sweep)
 
     obs_parser = subparsers.add_parser(
@@ -651,6 +780,37 @@ def build_parser() -> argparse.ArgumentParser:
     obs_diff.add_argument("new", help="comparison manifest .json")
     obs_diff.set_defaults(handler=cmd_obs)
 
+    obs_top = obs_subparsers.add_parser(
+        "top", help="live serve telemetry: poll a server's stats verb"
+    )
+    obs_top.add_argument("--host", default="127.0.0.1")
+    obs_top.add_argument("--port", type=int, required=True)
+    obs_top.add_argument("--interval", type=float, default=1.0,
+                         help="seconds between polls (default 1)")
+    obs_top.add_argument("--frames", type=int, default=0,
+                         help="frames to print before exiting (0 = forever)")
+    obs_top.add_argument("--once", action="store_true",
+                         help="print one frame and exit")
+    obs_top.set_defaults(handler=cmd_obs_top)
+
+    obs_trace = obs_subparsers.add_parser(
+        "trace", help="inspect or export a span-trace JSONL file"
+    )
+    obs_trace_sub = obs_trace.add_subparsers(dest="trace_command", required=True)
+    obs_trace_export = obs_trace_sub.add_parser(
+        "export", help="export spans (--chrome: the Chrome trace-event format)"
+    )
+    obs_trace_export.add_argument("spans", help="a .spans.jsonl file")
+    obs_trace_export.add_argument(
+        "--chrome", action="store_true",
+        help="emit the Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    obs_trace_export.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    obs_trace_export.set_defaults(handler=cmd_obs_trace)
+
     serve_parser = subparsers.add_parser(
         "serve", help="run the streaming phase-detection server (TCP)"
     )
@@ -670,6 +830,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="serve phase boundaries only, or all events")
     serve_parser.add_argument("--manifest", default=None,
                               help="write the serve-run manifest here on drain")
+    serve_parser.add_argument("--flight-record", default=None, metavar="FILE",
+                              help="spool interval telemetry samples to FILE "
+                                   "as JSONL (see docs/formats.md)")
+    serve_parser.add_argument("--flight-interval", type=float, default=None,
+                              help="seconds between flight-recorder samples "
+                                   "(enables the recorder; default 1 with "
+                                   "--flight-record)")
+    serve_parser.add_argument("--trace", default=None, metavar="FILE",
+                              help="record session-lifecycle spans to FILE "
+                                   "as JSONL on drain")
     serve_parser.set_defaults(handler=cmd_serve)
 
     serve_bench_parser = subparsers.add_parser(
@@ -700,7 +870,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench_parser.add_argument("--park-max-resident", type=int, default=8)
     serve_bench_parser.add_argument("--json", default=None,
                                     help="also write the full result row here")
+    serve_bench_parser.add_argument("--flight-record", default=None,
+                                    metavar="FILE",
+                                    help="spool the main run's telemetry "
+                                         "samples to FILE as JSONL")
+    serve_bench_parser.add_argument("--flight-interval", type=float,
+                                    default=0.25,
+                                    help="seconds between flight samples "
+                                         "(default 0.25)")
     serve_bench_parser.set_defaults(handler=cmd_serve_bench)
+
+    serve_stats_parser = subparsers.add_parser(
+        "serve-stats",
+        help="one-shot stats + healthz of a running phase server",
+    )
+    serve_stats_parser.add_argument("--host", default="127.0.0.1")
+    serve_stats_parser.add_argument("--port", type=int, required=True)
+    serve_stats_parser.add_argument("--json", action="store_true",
+                                    help="print the raw protocol replies")
+    serve_stats_parser.set_defaults(handler=cmd_serve_stats)
 
     generate_parser = subparsers.add_parser(
         "generate", help="regenerate every table and figure"

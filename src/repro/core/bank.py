@@ -28,6 +28,8 @@ results stay bit-identical either way.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -41,6 +43,18 @@ from repro.core.runtime import (
 from repro.profiles.trace import BranchTrace
 
 __all__ = ["DetectorBank"]
+
+
+def _maybe_span(tracer, name, parent, **attrs):
+    """A tracer span when tracing is on; a free ``nullcontext`` when off.
+
+    Keeps :mod:`repro.core` decoupled from :mod:`repro.obs.trace`: the
+    tracer is duck-typed (anything with ``span(name, parent=, **attrs)``)
+    and the off path costs exactly one ``is None`` branch.
+    """
+    if tracer is None:
+        return nullcontext(None)
+    return tracer.span(name, parent=parent, **attrs)
 
 
 class DetectorBank:
@@ -78,7 +92,12 @@ class DetectorBank:
         return [runtime.config for runtime in self.runtimes]
 
     def run(
-        self, trace: BranchTrace, kernels: Optional[bool] = None
+        self,
+        trace: BranchTrace,
+        kernels: Optional[bool] = None,
+        tracer=None,
+        trace_parent=None,
+        metrics=None,
     ) -> List[DetectionResult]:
         """Run every member over ``trace``; results in member order.
 
@@ -90,12 +109,43 @@ class DetectorBank:
         custom-component members keep the legacy lockstep lanes.
         ``kernels=None`` consults the ``REPRO_KERNELS`` environment
         variable; ``kernels=False`` forces the lanes for all members.
+
+        Telemetry (both optional, zero-cost when ``None``):
+
+        - ``tracer``/``trace_parent`` — a duck-typed span tracer (see
+          :mod:`repro.obs.trace`); the run becomes a ``bank.run`` span
+          under ``trace_parent`` with one ``bank.kernel`` child per
+          kernel path actually taken (``vectorized`` / ``dense`` /
+          ``lanes``).
+        - ``metrics`` — a registry whose ``bank.advance_seconds``
+          histogram receives one observation per kernel member run and
+          per legacy lane segment.
         """
         from repro.core import kernels as kernel_mod
 
         data = trace.array
         total = int(data.size)
         runtimes = self.runtimes
+        with _maybe_span(
+            tracer,
+            "bank.run",
+            trace_parent,
+            trace=trace.name,
+            members=len(runtimes),
+            elements=total,
+        ) as bank_span:
+            return self._run(
+                trace, kernels, total, tracer, bank_span, metrics, kernel_mod
+            )
+
+    def _run(
+        self, trace, kernels, total, tracer, bank_span, metrics, kernel_mod
+    ):
+        data = trace.array
+        runtimes = self.runtimes
+        histogram = (
+            metrics.histogram("bank.advance_seconds") if metrics is not None else None
+        )
 
         for runtime in runtimes:
             observer = runtime.observer
@@ -124,41 +174,67 @@ class DetectorBank:
             else:
                 legacy_members.append(index)
 
-        for index in vector_members:
-            states_by_member[index] = kernel_mod.run_vectorized(
-                runtimes[index], trace
-            )
+        if vector_members:
+            with _maybe_span(
+                tracer, "bank.kernel", bank_span,
+                path="vectorized", members=len(vector_members),
+            ):
+                for index in vector_members:
+                    started = time.perf_counter() if histogram is not None else 0.0
+                    states_by_member[index] = kernel_mod.run_vectorized(
+                        runtimes[index], trace
+                    )
+                    if histogram is not None:
+                        histogram.observe(time.perf_counter() - started)
         if dense_members:
-            # One materialization, cached on the trace and shared across
-            # every bank batch (not just this one).
-            codes, n_codes = trace.dense_code_list()
-            for index in dense_members:
-                states_by_member[index] = kernel_mod.run_dense(
-                    runtimes[index], trace, codes, n_codes
-                )
+            with _maybe_span(
+                tracer, "bank.kernel", bank_span,
+                path="dense", members=len(dense_members),
+            ):
+                # One materialization, cached on the trace and shared across
+                # every bank batch (not just this one).
+                codes, n_codes = trace.dense_code_list()
+                for index in dense_members:
+                    started = time.perf_counter() if histogram is not None else 0.0
+                    states_by_member[index] = kernel_mod.run_dense(
+                        runtimes[index], trace, codes, n_codes
+                    )
+                    if histogram is not None:
+                        histogram.observe(time.perf_counter() - started)
 
         if legacy_members:
-            elements = data.tolist()  # the one decode the lanes share
-            buffers = {index: bytearray(total) for index in legacy_members}
-            lanes: Dict[int, List[int]] = {}
-            for index in legacy_members:
-                lanes.setdefault(runtimes[index].config.skip_factor, []).append(index)
-            for skip, members in lanes.items():
-                segment = skip * max(1, SEGMENT_ELEMENTS // skip)
-                base = 0
-                while base < total:
-                    stop = min(base + segment, total)
-                    groups = [
-                        elements[start : start + skip]
-                        for start in range(base, stop, skip)
-                    ]
-                    for index in members:
-                        runtimes[index].advance(groups, buffers[index], base)
-                    base = stop
-            for index in legacy_members:
-                states_by_member[index] = np.frombuffer(
-                    bytes(buffers[index]), dtype=np.uint8
-                ).astype(bool)
+            with _maybe_span(
+                tracer, "bank.kernel", bank_span,
+                path="lanes", members=len(legacy_members),
+            ):
+                elements = data.tolist()  # the one decode the lanes share
+                buffers = {index: bytearray(total) for index in legacy_members}
+                lanes: Dict[int, List[int]] = {}
+                for index in legacy_members:
+                    lanes.setdefault(
+                        runtimes[index].config.skip_factor, []
+                    ).append(index)
+                for skip, members in lanes.items():
+                    segment = skip * max(1, SEGMENT_ELEMENTS // skip)
+                    base = 0
+                    while base < total:
+                        stop = min(base + segment, total)
+                        groups = [
+                            elements[start : start + skip]
+                            for start in range(base, stop, skip)
+                        ]
+                        started = (
+                            time.perf_counter() if histogram is not None else 0.0
+                        )
+                        for index in members:
+                            runtimes[index].advance(groups, buffers[index], base)
+                        if histogram is not None:
+                            histogram.observe(time.perf_counter() - started)
+                        base = stop
+                for index in legacy_members:
+                    states_by_member[index] = np.frombuffer(
+                        bytes(buffers[index]), dtype=np.uint8
+                    ).astype(bool)
 
         results: List[DetectionResult] = []
         for index, runtime in enumerate(runtimes):

@@ -49,6 +49,7 @@ uninterrupted run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -226,6 +227,12 @@ class DetectorRuntime:
             non-standard component routes :meth:`advance` through the
             reference :meth:`step` path.
         analyzer: optional replacement analyzer, same rules.
+        metrics: optional metrics registry (anything with a
+            ``histogram(name)`` accessor whose result has
+            ``observe(seconds)`` — see :mod:`repro.obs.metrics`); when
+            set, every :meth:`advance` chunk records its wall time in
+            the ``runtime.advance_seconds`` histogram.  The default
+            ``None`` costs one branch per chunk, never per element.
     """
 
     def __init__(
@@ -234,6 +241,7 @@ class DetectorRuntime:
         observer=None,
         model: Optional[SimilarityModel] = None,
         analyzer: Optional[Analyzer] = None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.model: SimilarityModel = model if model is not None else build_model(config)
@@ -242,6 +250,7 @@ class DetectorRuntime:
         self.tracker = PhaseTracker(observer)
         self._adaptive = config.trailing is TrailingPolicy.ADAPTIVE
         self._observer = observer
+        self.metrics = metrics
         self.model.observer = observer  # windows emit tw_resize/window_flush
 
     # -- observer plumbing -----------------------------------------------------
@@ -372,17 +381,27 @@ class DetectorRuntime:
         ``groups`` starting at offset ``base``; in-phase groups are
         marked with ``\\x01``.  With the standard components this runs
         the optimized inline loop; otherwise it loops :meth:`step`.
+
+        When a ``metrics`` registry is attached the chunk's wall time
+        lands in the ``runtime.advance_seconds`` histogram — one
+        observation per chunk, nothing per element.
         """
+        metrics = self.metrics
+        started = time.perf_counter() if metrics is not None else 0.0
         if self.fused_capable():
             self._advance_fused(groups, states, base)
-            return
-        offset = base
-        for group in groups:
-            outcome = self.step(group)
-            group_len = len(group)
-            if outcome.state.is_phase():
-                states[offset : offset + group_len] = b"\x01" * group_len
-            offset += group_len
+        else:
+            offset = base
+            for group in groups:
+                outcome = self.step(group)
+                group_len = len(group)
+                if outcome.state.is_phase():
+                    states[offset : offset + group_len] = b"\x01" * group_len
+                offset += group_len
+        if metrics is not None:
+            metrics.histogram("runtime.advance_seconds").observe(
+                time.perf_counter() - started
+            )
 
     def _advance_fused(
         self, groups: Sequence[Sequence[int]], states: bytearray, base: int
@@ -821,11 +840,13 @@ class DetectorRuntime:
         }
 
     @classmethod
-    def restore(cls, data: Dict[str, object], observer=None) -> "DetectorRuntime":
+    def restore(
+        cls, data: Dict[str, object], observer=None, metrics=None
+    ) -> "DetectorRuntime":
         """Rebuild a runtime from a :meth:`checkpoint` dict."""
         validate_checkpoint(data)
         config = DetectorConfig.from_dict(data["config"])  # type: ignore[arg-type]
-        runtime = cls(config, observer=observer)
+        runtime = cls(config, observer=observer, metrics=metrics)
         model = runtime.model
         # Replay the windows through the add hooks so the model's
         # incremental aggregates are rebuilt exactly (TW first: the

@@ -62,10 +62,13 @@ class StreamingDetector:
         on_boundary: Optional[BoundaryCallback] = None,
         runtime: Optional[DetectorRuntime] = None,
         observer=None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.runtime = (
-            runtime if runtime is not None else DetectorRuntime(config, observer=observer)
+            runtime
+            if runtime is not None
+            else DetectorRuntime(config, observer=observer, metrics=metrics)
         )
         self._buffer: List[int] = []
         self._states = bytearray()
@@ -157,9 +160,10 @@ class StreamingDetector:
         data: Dict[str, object],
         on_boundary: Optional[BoundaryCallback] = None,
         observer=None,
+        metrics=None,
     ) -> "StreamingDetector":
         """Rebuild a streaming detector from a :meth:`checkpoint` dict."""
-        runtime = DetectorRuntime.restore(data, observer=observer)
+        runtime = DetectorRuntime.restore(data, observer=observer, metrics=metrics)
         stream_data = data.get("stream")
         if not isinstance(stream_data, dict):
             raise CheckpointError("checkpoint has no stream section")

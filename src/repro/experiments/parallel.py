@@ -178,6 +178,11 @@ def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
         )
     rows: List[Dict] = [record.to_row() for record in records]
     wall = time.perf_counter() - started
+    # Per-chunk wall time lands in the worker's process-local histogram;
+    # the cumulative snapshot below ships it home, where the parent's
+    # latest-per-pid merge folds it into the manifest (histograms merge
+    # associatively, so worker order does not matter).
+    GLOBAL_METRICS.histogram("sweep.job_seconds").observe(wall)
     stats: Dict = {
         "pid": os.getpid(),
         "wall_seconds": wall,

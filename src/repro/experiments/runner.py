@@ -274,6 +274,9 @@ def evaluate_bank(
     bank_size: int = DEFAULT_BANK_SIZE,
     kernels: Optional[bool] = None,
     batch: bool = True,
+    tracer=None,
+    trace_parent=None,
+    metrics=None,
 ) -> List[SweepRecord]:
     """Run many grid points over one trace; score each at every MPL.
 
@@ -295,6 +298,11 @@ def evaluate_bank(
     Records are bit-identical either way — ``bank=False`` always scores
     lane by lane, so the bank-equivalence job pins batch-vs-scalar
     scoring too.
+
+    ``tracer``/``trace_parent``/``metrics`` ride through to
+    :meth:`DetectorBank.run` untouched (``bank.run`` / ``bank.kernel``
+    spans and the ``bank.advance_seconds`` histogram); all three default
+    to ``None`` and cost nothing when off.
     """
     if not bank:
         records: List[SweepRecord] = []
@@ -306,7 +314,11 @@ def evaluate_bank(
     for start in range(0, len(specs), bank_size):
         batch_specs = specs[start : start + bank_size]
         results = DetectorBank([spec.to_config(profile) for spec in batch_specs]).run(
-            trace, kernels=kernels
+            trace,
+            kernels=kernels,
+            tracer=tracer,
+            trace_parent=trace_parent,
+            metrics=metrics,
         )
         if batch:
             records.extend(_score_results(results, baselines, batch_specs))

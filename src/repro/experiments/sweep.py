@@ -31,6 +31,7 @@ import hashlib
 import json
 import logging
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -88,6 +89,12 @@ class Sweep:
             table and figure).
         jobs: default worker count for :meth:`ensure` (1 = serial
             in-process evaluation; >1 fans out over a process pool).
+        tracer: optional span tracer (see :mod:`repro.obs.trace`); when
+            set, each :meth:`ensure` becomes a ``sweep`` span with one
+            ``sweep.job`` child per (benchmark, missing-specs) unit and
+            ``bank.run``/``bank.kernel`` grandchildren under those.
+            Serial evaluation only — parallel workers live in other
+            processes and are profiled via worker metrics instead.
     """
 
     def __init__(
@@ -100,6 +107,7 @@ class Sweep:
         bank: bool = True,
         kernels: Optional[bool] = None,
         mmap: Optional[bool] = None,
+        tracer=None,
     ) -> None:
         self.profile = profile
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
@@ -118,6 +126,8 @@ class Sweep:
         #: heap-copying them (None: on unless REPRO_MMAP=0; False: the
         #: mmap-equivalence escape hatch — identical records).
         self.mmap = mmap
+        #: Optional span tracer, passed down the serial evaluation path.
+        self.tracer = tracer
         #: Per-sweep metrics registry; snapshotted into the run manifest.
         self.metrics = MetricsRegistry()
         with self.metrics.time("sweep.load_suite_seconds"):
@@ -212,24 +222,39 @@ class Sweep:
             )
         ]
 
+    def _span(self, name: str, parent=None, **attrs):
+        if self.tracer is None:
+            return nullcontext(None)
+        return self.tracer.span(name, parent=parent, **attrs)
+
     def _evaluate_serial(
-        self, work: Sequence[Tuple[str, List[ConfigSpec]]], progress: bool
+        self,
+        work: Sequence[Tuple[str, List[ConfigSpec]]],
+        progress: bool,
+        trace_parent=None,
     ) -> int:
         evaluated = 0
         for benchmark, missing in work:
             branch_trace, _ = self._traces[benchmark]
             baselines = self.baselines(benchmark)
             started = time.perf_counter()
-            fresh: List[SweepRecord] = evaluate_bank(
-                branch_trace, baselines, missing, self.profile,
-                bank=self.bank, kernels=self.kernels,
-            )
+            with self._span(
+                "sweep.job", parent=trace_parent,
+                benchmark=benchmark, specs=len(missing),
+            ) as job_span:
+                fresh: List[SweepRecord] = evaluate_bank(
+                    branch_trace, baselines, missing, self.profile,
+                    bank=self.bank, kernels=self.kernels,
+                    tracer=self.tracer, trace_parent=job_span,
+                    metrics=self.metrics,
+                )
             for record in fresh:
                 self._records[self._record_key(record)] = record
             self._append_cache(fresh)
             evaluated += len(fresh)
             elapsed = time.perf_counter() - started
             self.metrics.timing("sweep.benchmark_seconds").observe(elapsed)
+            self.metrics.histogram("sweep.job_seconds").observe(elapsed)
             self.metrics.counter("sweep.records_evaluated").inc(len(fresh))
             if progress:
                 logger.info(
@@ -317,12 +342,17 @@ class Sweep:
         worker_metrics: Dict[int, Dict] = {}
         chunk_profiles: List[Dict] = []
         if work:
-            if jobs is not None and jobs <= 1:
-                evaluated = self._evaluate_serial(work, progress)
-            else:
-                evaluated, workers, worker_metrics, chunk_profiles = (
-                    self._evaluate_parallel(work, jobs, progress, profiling)
-                )
+            with self._span(
+                "sweep", profile=self.profile.name, benchmarks=len(work),
+            ) as sweep_span:
+                if jobs is not None and jobs <= 1:
+                    evaluated = self._evaluate_serial(
+                        work, progress, trace_parent=sweep_span
+                    )
+                else:
+                    evaluated, workers, worker_metrics, chunk_profiles = (
+                        self._evaluate_parallel(work, jobs, progress, profiling)
+                    )
         elapsed = time.perf_counter() - started
         wanted: List[SweepRecord] = []
         for benchmark in self.benchmarks:

@@ -12,8 +12,14 @@ to every run:
 - :mod:`repro.obs.bus` — the event bus and sinks (``NullSink``,
   ``MemorySink``, ``JsonlSink``) plus the torn-write-tolerant
   :func:`read_events` loader;
-- :mod:`repro.obs.metrics` — counters, gauges and timing summaries in a
-  :class:`MetricsRegistry` whose snapshots merge across processes;
+- :mod:`repro.obs.metrics` — counters, gauges, timing summaries and
+  log-scale latency histograms in a :class:`MetricsRegistry` whose
+  snapshots merge across processes;
+- :mod:`repro.obs.timeseries` — the :class:`FlightRecorder`: interval
+  snapshots of a registry with per-interval rates, ring-buffered and
+  spooled to a versioned JSONL flight record;
+- :mod:`repro.obs.trace` — explicit-context span tracing with a
+  Chrome trace-event exporter;
 - :mod:`repro.obs.profiling` — opt-in wall-time + ``tracemalloc``
   sampling for sweep chunks;
 - :mod:`repro.obs.manifest` — the run manifest written next to every
@@ -43,8 +49,10 @@ from repro.obs.manifest import (
     summarize_manifest,
     write_manifest,
 )
-from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry
+from repro.obs.metrics import GLOBAL_METRICS, Histogram, MetricsRegistry
 from repro.obs.profiling import ChunkProfile, ChunkProfiler
+from repro.obs.timeseries import FlightRecorder, read_flight_record
+from repro.obs.trace import Tracer, chrome_trace, read_spans
 from repro.obs.logsetup import setup_logging
 
 __all__ = [
@@ -53,15 +61,21 @@ __all__ = [
     "EventSchemaError",
     "ChunkProfile",
     "ChunkProfiler",
+    "FlightRecorder",
     "GLOBAL_METRICS",
+    "Histogram",
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
     "NullSink",
+    "Tracer",
+    "chrome_trace",
     "diff_manifests",
     "load_manifest",
     "manifest_path_for",
     "read_events",
+    "read_flight_record",
+    "read_spans",
     "replay_phases",
     "setup_logging",
     "summarize_manifest",

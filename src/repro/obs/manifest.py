@@ -39,6 +39,7 @@ __all__ = [
     "load_manifest",
     "manifest_path_for",
     "summarize_manifest",
+    "summarize_serve_manifest",
     "write_manifest",
 ]
 
@@ -135,8 +136,106 @@ def _fmt_bytes(n: Optional[object]) -> str:
     return f"{value:.1f}GiB"
 
 
+def _metrics_sections(metrics: Dict[str, object], lines: List[str]) -> None:
+    """Append the counter/timing/histogram sections shared by all kinds."""
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("  counters:")
+        for name, value in counters.items():  # type: ignore[union-attr]
+            lines.append(f"    {name} = {value}")
+    timings = metrics.get("timings", {})
+    if timings:
+        lines.append("  timings:")
+        for name, summary in timings.items():  # type: ignore[union-attr]
+            count = summary.get("count", 0)
+            total_s = float(summary.get("total", 0.0))
+            mean = total_s / count if count else 0.0
+            lines.append(
+                f"    {name}: n={count} total={total_s:.3f}s mean={mean:.4f}s "
+                f"min={float(summary.get('min', 0.0)):.4f}s "
+                f"max={float(summary.get('max', 0.0)):.4f}s"
+            )
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        from repro.obs.metrics import Histogram
+
+        lines.append("  histograms:")
+        for name, summary in histograms.items():  # type: ignore[union-attr]
+            histogram = Histogram.from_dict(summary)
+            p = histogram.percentiles()
+            lines.append(
+                f"    {name}: n={histogram.count} "
+                f"p50={p['p50'] * 1e3:.3f}ms p95={p['p95'] * 1e3:.3f}ms "
+                f"p99={p['p99'] * 1e3:.3f}ms max={histogram.maximum * 1e3:.3f}ms"
+            )
+
+
+def summarize_serve_manifest(manifest: Dict[str, object]) -> str:
+    """Render a ``serve-run`` manifest: per-session table + metrics."""
+    lines: List[str] = []
+    env = manifest.get("environment", {})
+    sessions: List[Dict[str, object]] = manifest.get("sessions", [])  # type: ignore[assignment]
+    elapsed = float(manifest.get("elapsed_seconds", 0.0))
+    lines.append(
+        f"serve manifest: '{manifest.get('name')}' "
+        f"(v{manifest.get('version')}, {manifest.get('created_at')})"
+    )
+    events_in = sum(int(s.get("events_in", 0)) for s in sessions)
+    parks = sum(int(s.get("parks", 0)) for s in sessions)
+    rehydrations = sum(int(s.get("rehydrations", 0)) for s in sessions)
+    killed = sum(1 for s in sessions if s.get("killed"))
+    rate = events_in / elapsed if elapsed > 0 else 0.0
+    lines.append(
+        f"  run:     {len(sessions)} sessions, {elapsed:.1f}s, "
+        f"{events_in:,} events in ({rate:,.0f} ev/s), "
+        f"{parks} parks / {rehydrations} rehydrations"
+        + (f", {killed} killed" if killed else "")
+    )
+    lines.append(
+        f"  limits:  max_resident={manifest.get('max_resident')}, "
+        f"queue_size={manifest.get('queue_size')}, "
+        f"idle_timeout={manifest.get('idle_timeout')}"
+    )
+    flight_record = manifest.get("flight_record")
+    if flight_record:
+        lines.append(f"  flight:  {flight_record}")
+    lines.append(
+        f"  host:    {env.get('implementation')} {env.get('python')} on "  # type: ignore[union-attr]
+        f"{env.get('platform')} ({env.get('cpu_count')} cpus)"              # type: ignore[union-attr]
+    )
+    if sessions:
+        lines.append("  sessions:")
+        lines.append(
+            "    sid              state     events_in  chunks  events_out"
+            "  phases  parks  rehydr"
+        )
+        for record in sessions:
+            flags = " killed" if record.get("killed") else ""
+            lines.append(
+                f"    {str(record.get('sid', '?')):<16} "
+                f"{str(record.get('state_at_end', record.get('state', '?'))):<9} "
+                f"{int(record.get('events_in', 0)):>9}  "
+                f"{int(record.get('chunks_in', 0)):>6}  "
+                f"{int(record.get('events_out', 0)):>10}  "
+                f"{int(record.get('phases', 0)):>6}  "
+                f"{int(record.get('parks', 0)):>5}  "
+                f"{int(record.get('rehydrations', 0)):>6}{flags}"
+            )
+    _metrics_sections(manifest.get("metrics", {}), lines)  # type: ignore[arg-type]
+    return "\n".join(lines)
+
+
 def summarize_manifest(manifest: Dict[str, object]) -> str:
-    """Render a manifest as the human-readable ``repro obs summary``."""
+    """Render a manifest as the human-readable ``repro obs summary``.
+
+    Dispatches on the manifest ``kind``: ``sweep-run`` manifests (the
+    default) render the grid/worker view, ``serve-run`` manifests (see
+    :meth:`repro.serve.server.PhaseServer.manifest`) render a
+    per-session table.  Both end with the shared metrics sections,
+    including percentile lines for any histogram snapshots.
+    """
+    if manifest.get("kind") == "serve-run":
+        return summarize_serve_manifest(manifest)
     lines: List[str] = []
     records = manifest.get("records", {})
     env = manifest.get("environment", {})
@@ -175,23 +274,7 @@ def summarize_manifest(manifest: Dict[str, object]) -> str:
         lines.append(
             f"    -> worker records {balance} all {evaluated} evaluated records"
         )
-    counters = manifest.get("metrics", {}).get("counters", {})  # type: ignore[union-attr]
-    if counters:
-        lines.append("  counters:")
-        for name, value in counters.items():
-            lines.append(f"    {name} = {value}")
-    timings = manifest.get("metrics", {}).get("timings", {})    # type: ignore[union-attr]
-    if timings:
-        lines.append("  timings:")
-        for name, summary in timings.items():
-            count = summary.get("count", 0)
-            total_s = float(summary.get("total", 0.0))
-            mean = total_s / count if count else 0.0
-            lines.append(
-                f"    {name}: n={count} total={total_s:.3f}s mean={mean:.4f}s "
-                f"min={float(summary.get('min', 0.0)):.4f}s "
-                f"max={float(summary.get('max', 0.0)):.4f}s"
-            )
+    _metrics_sections(manifest.get("metrics", {}), lines)  # type: ignore[arg-type]
     profiles = manifest.get("chunk_profiles", [])
     if profiles:
         lines.append("  chunk profiles:")

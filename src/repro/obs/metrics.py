@@ -1,6 +1,6 @@
-"""Counters, gauges and timing summaries with mergeable snapshots.
+"""Counters, gauges, timings and histograms with mergeable snapshots.
 
-A :class:`MetricsRegistry` is a named bag of three instrument kinds:
+A :class:`MetricsRegistry` is a named bag of four instrument kinds:
 
 - :class:`Counter` — a monotonically increasing count (records
   evaluated, cache hits);
@@ -8,19 +8,26 @@ A :class:`MetricsRegistry` is a named bag of three instrument kinds:
   length);
 - :class:`Timing` — a streaming summary of observed durations
   (count / total / min / max, so mean is derivable) — enough to answer
-  "where does the wall time go" without keeping samples.
+  "where does the wall time go" without keeping samples;
+- :class:`Histogram` — a fixed-bucket log-scale distribution of
+  observed durations.  Same count/total/min/max summary as a
+  :class:`Timing`, plus bucket counts from which percentiles
+  (:meth:`Histogram.quantile`) are derivable from any snapshot — live,
+  mid-run, or merged across workers.
 
 Snapshots are plain JSON-safe dicts.  :meth:`MetricsRegistry.merge`
 folds another snapshot in (counters add, gauges take the other's value,
-timings combine), which is how per-process registries from
-``ProcessPoolExecutor`` workers collapse into the one the run manifest
-records.
+timings and histograms combine), which is how per-process registries
+from ``ProcessPoolExecutor`` workers collapse into the one the run
+manifest records.  Every merge is associative, so snapshots may arrive
+in any order or grouping.
 
-Instrument lookups are ``dict.setdefault`` under the hood and increments
-are plain attribute writes, so sprinkling counters on I/O-frequency code
-paths (file reads, cache probes) is safe; per-element hot loops should
-stay uninstrumented — see the overhead guarantees in
-``docs/observability.md``.
+Instrument updates are thread-safe: each instrument guards its fields
+with one small lock, so the serve layer's thread-backed sinks can share
+a registry with the asyncio loop.  The *uninstrumented* path is
+untouched — code holding no instrument pays nothing, and the
+``observer=None`` convention of :mod:`repro.core` still costs one
+``is not None`` branch (see ``docs/observability.md``).
 
 :data:`GLOBAL_METRICS` is the process-wide default registry used by the
 trace I/O layer; anything that owns a run (e.g. a ``Sweep``) keeps its
@@ -29,55 +36,70 @@ own.
 
 from __future__ import annotations
 
+import math
+import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "GLOBAL_METRICS", "MetricsRegistry", "Timing"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "GLOBAL_METRICS",
+    "Histogram",
+    "MetricsRegistry",
+    "Timing",
+]
 
 
 class Counter:
     """A monotonically increasing integer."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A last-write-wins numeric value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
 
 class Timing:
     """A streaming duration summary: count, total, min, max."""
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if seconds < self.minimum:
-            self.minimum = seconds
-        if seconds > self.maximum:
-            self.maximum = seconds
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds < self.minimum:
+                self.minimum = seconds
+            if seconds > self.maximum:
+                self.maximum = seconds
 
     @property
     def mean(self) -> float:
@@ -95,39 +117,211 @@ class Timing:
         count = int(other.get("count", 0))
         if not count:
             return
-        self.count += count
-        self.total += float(other.get("total", 0.0))
-        self.minimum = min(self.minimum, float(other.get("min", float("inf"))))
-        self.maximum = max(self.maximum, float(other.get("max", 0.0)))
+        with self._lock:
+            self.count += count
+            self.total += float(other.get("total", 0.0))
+            self.minimum = min(self.minimum, float(other.get("min", float("inf"))))
+            self.maximum = max(self.maximum, float(other.get("max", 0.0)))
+
+
+# -- the histogram bucket layout -----------------------------------------------
+#
+# Every Histogram shares one fixed log-scale layout, so bucket counts
+# from different processes line up index-for-index and merging is a
+# plain elementwise add (associative and commutative).  The layout
+# covers 100 ns .. 100 s at 8 buckets per decade — finer than a power
+# of two ladder, coarse enough that a snapshot stays small — with an
+# underflow bucket below and an overflow bucket above.
+
+#: Lower bound of the first log bucket (seconds).
+HISTOGRAM_MIN = 1e-7
+
+#: Log buckets per decade.
+HISTOGRAM_BUCKETS_PER_DECADE = 8
+
+#: Decades covered by the log buckets (1e-7 .. 1e2 seconds).
+HISTOGRAM_DECADES = 9
+
+#: Total bucket count: underflow + log buckets + overflow.
+HISTOGRAM_BUCKETS = HISTOGRAM_DECADES * HISTOGRAM_BUCKETS_PER_DECADE + 2
+
+_LOG_BUCKETS = HISTOGRAM_DECADES * HISTOGRAM_BUCKETS_PER_DECADE
+
+
+def _bucket_index(value: float) -> int:
+    """The bucket a value falls in (0 = underflow, last = overflow)."""
+    if value < HISTOGRAM_MIN:
+        return 0
+    index = int(math.log10(value / HISTOGRAM_MIN) * HISTOGRAM_BUCKETS_PER_DECADE)
+    if index >= _LOG_BUCKETS:
+        return HISTOGRAM_BUCKETS - 1
+    return index + 1
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """``[lower, upper)`` bounds of bucket ``index`` in seconds.
+
+    The underflow bucket is ``[0, HISTOGRAM_MIN)``; the overflow bucket
+    is ``[top, inf)``.
+    """
+    if index <= 0:
+        return (0.0, HISTOGRAM_MIN)
+    if index >= HISTOGRAM_BUCKETS - 1:
+        return (HISTOGRAM_MIN * 10.0 ** (HISTOGRAM_DECADES), float("inf"))
+    lo = HISTOGRAM_MIN * 10.0 ** ((index - 1) / HISTOGRAM_BUCKETS_PER_DECADE)
+    hi = HISTOGRAM_MIN * 10.0 ** (index / HISTOGRAM_BUCKETS_PER_DECADE)
+    return (lo, hi)
+
+
+class Histogram:
+    """A fixed-bucket log-scale duration distribution.
+
+    Percentiles are derived from the bucket counts by linear
+    interpolation inside the covering bucket, clamped to the exact
+    observed ``[min, max]`` — good to one bucket width (about 33% in
+    value at 8 buckets per decade), which is plenty to tell a 2 ms p99
+    from a 20 ms one.
+
+    Snapshots (:meth:`to_dict`) store the non-empty buckets sparsely;
+    :meth:`merge_dict` adds bucket counts elementwise, so merging is
+    associative and commutative like every other instrument.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "counts", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self.counts = [0] * HISTOGRAM_BUCKETS
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        index = _bucket_index(seconds)
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds < self.minimum:
+                self.minimum = seconds
+            if seconds > self.maximum:
+                self.maximum = seconds
+            self.counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` (0..1), interpolated from buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                lo, hi = bucket_bounds(index)
+                if not math.isfinite(hi):
+                    hi = max(self.maximum, lo)
+                fraction = (target - cumulative) / bucket_count
+                value = lo + (hi - lo) * fraction
+                return min(max(value, self.minimum), self.maximum)
+            cumulative += bucket_count
+        return self.maximum
+
+    def percentiles(self) -> Dict[str, float]:
+        """The p50/p95/p99 summary live views render."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = {
+            str(index): count
+            for index, count in enumerate(self.counts)
+            if count
+        }
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum,
+            "buckets": buckets,
+        }
+
+    def merge_dict(self, other: Dict[str, object]) -> None:
+        count = int(other.get("count", 0))  # type: ignore[arg-type]
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total += float(other.get("total", 0.0))  # type: ignore[arg-type]
+            self.minimum = min(
+                self.minimum, float(other.get("min", float("inf")))  # type: ignore[arg-type]
+            )
+            self.maximum = max(
+                self.maximum, float(other.get("max", 0.0))  # type: ignore[arg-type]
+            )
+            for key, bucket_count in other.get("buckets", {}).items():  # type: ignore[union-attr]
+                index = int(key)
+                if not 0 <= index < HISTOGRAM_BUCKETS:
+                    raise ValueError(f"histogram bucket index {key!r} out of range")
+                self.counts[index] += int(bucket_count)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from a snapshot entry (client-side views)."""
+        histogram = cls()
+        histogram.merge_dict(data)
+        return histogram
 
 
 class MetricsRegistry:
-    """Named counters/gauges/timings with JSON snapshots that merge."""
+    """Named counters/gauges/timings/histograms with JSON snapshots
+    that merge."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._timings: Dict[str, Timing] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- instruments ---------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter()
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter())
         return counter
 
     def gauge(self, name: str) -> Gauge:
         gauge = self._gauges.get(name)
         if gauge is None:
-            gauge = self._gauges[name] = Gauge()
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge())
         return gauge
 
     def timing(self, name: str) -> Timing:
         timing = self._timings.get(name)
         if timing is None:
-            timing = self._timings[name] = Timing()
+            with self._lock:
+                timing = self._timings.setdefault(name, Timing())
         return timing
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram())
+        return histogram
 
     @contextmanager
     def time(self, name: str):
@@ -138,24 +332,39 @@ class MetricsRegistry:
         finally:
             self.timing(name).observe(time.perf_counter() - started)
 
+    @contextmanager
+    def time_histogram(self, name: str):
+        """Like :meth:`time`, but into a :class:`Histogram` —
+        percentiles, not just the min/mean/max summary."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - started)
+
     # -- snapshots ------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """A JSON-safe view of every instrument's current value."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            timings = sorted(self._timings.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {name: c.value for name, c in sorted(self._counters.items())},
-            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
-            "timings": {
-                name: t.to_dict() for name, t in sorted(self._timings.items())
-            },
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "timings": {name: t.to_dict() for name, t in timings},
+            "histograms": {name: h.to_dict() for name, h in histograms},
         }
 
     def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
         """Fold another registry's snapshot into this one.
 
-        Counters add, gauges take the incoming value, timings combine
-        their summaries.  Merging is associative, so per-worker
-        snapshots can arrive in any order.
+        Counters add, gauges take the incoming value, timings and
+        histograms combine their summaries.  Merging is associative, so
+        per-worker snapshots can arrive in any order.  Snapshots from
+        older writers simply lack the ``histograms`` section.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(int(value))          # type: ignore[arg-type]
@@ -163,6 +372,8 @@ class MetricsRegistry:
             self.gauge(name).set(float(value))          # type: ignore[arg-type]
         for name, summary in snapshot.get("timings", {}).items():
             self.timing(name).merge_dict(summary)       # type: ignore[arg-type]
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_dict(summary)    # type: ignore[arg-type]
 
     @staticmethod
     def merged(snapshots: Iterable[Dict[str, Dict[str, object]]]) -> "MetricsRegistry":
@@ -173,14 +384,16 @@ class MetricsRegistry:
         return registry
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._timings.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timings.clear()
+            self._histograms.clear()
 
     def get(self, kind: str, name: str) -> Optional[object]:
         """Look an instrument up without creating it (None if absent)."""
         store = {"counter": self._counters, "gauge": self._gauges,
-                 "timing": self._timings}[kind]
+                 "timing": self._timings, "histogram": self._histograms}[kind]
         return store.get(name)
 
 

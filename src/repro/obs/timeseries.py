@@ -1,0 +1,224 @@
+"""The flight recorder: metrics over time, not just at the end.
+
+A :class:`FlightRecorder` snapshots a
+:class:`~repro.obs.metrics.MetricsRegistry` on a fixed interval into a
+bounded in-memory ring buffer, computing per-interval counter deltas as
+it goes — the raw material for rates (events/s, evictions/s) that a
+single cumulative snapshot cannot answer.  Optionally every sample is
+also spooled to a versioned JSONL *flight record* file
+(``docs/formats.md#flight-record-jsonl``), flushed per line so the
+on-disk tail is live while the process runs and survives a crash up to
+the last complete sample.
+
+The recorder is clock-driven but not clock-owning: :meth:`sample` takes
+one sample *now*, and whoever owns the event loop decides the cadence
+(:class:`~repro.serve.server.PhaseServer` runs an asyncio task;
+tests call :meth:`sample` directly).  The first sample's deltas count
+from zero and :meth:`close` takes a final sample by default, so the
+summed ``deltas`` of a complete flight record equal the final counter
+values exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+PathLike = Union[str, os.PathLike]
+
+__all__ = [
+    "FLIGHT_RECORD_VERSION",
+    "FlightRecorder",
+    "FlightRecordError",
+    "read_flight_record",
+]
+
+#: Version of the flight-record JSONL format (bump on shape changes).
+FLIGHT_RECORD_VERSION = 1
+
+#: Default ring-buffer capacity (samples kept in memory).
+DEFAULT_CAPACITY = 600
+
+
+class FlightRecordError(ValueError):
+    """Raised when an on-disk flight record is malformed mid-file."""
+
+
+class FlightRecorder:
+    """Interval snapshots of a registry: ring buffer + JSONL spool.
+
+    Args:
+        registry: the registry to sample.
+        interval: the *intended* seconds between samples — recorded in
+            the header for readers; the actual cadence is whoever calls
+            :meth:`sample`.
+        capacity: ring-buffer bound (oldest samples fall off).
+        spool_path: also append every sample to this JSONL file
+            (``None`` keeps the record in memory only).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval: float = 1.0,
+        capacity: int = DEFAULT_CAPACITY,
+        spool_path: Optional[PathLike] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.registry = registry
+        self.interval = interval
+        self.capacity = capacity
+        self.samples: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._sequence = 0
+        self._started = time.perf_counter()
+        self._last_uptime = 0.0
+        self._previous_counters: Dict[str, int] = {}
+        self.spool_path = Path(spool_path) if spool_path is not None else None
+        self._handle = None
+        if self.spool_path is not None:
+            self.spool_path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.spool_path.open("w", encoding="utf-8")
+            self._write_line(self.header())
+
+    def header(self) -> Dict[str, object]:
+        """The flight record's first line: version + layout facts."""
+        return {
+            "flight_record": FLIGHT_RECORD_VERSION,
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "created": time.time(),
+        }
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(self) -> Dict[str, object]:
+        """Take one sample now; append it to the ring and the spool.
+
+        Each sample carries the full cumulative snapshot plus the
+        counter deltas since the previous sample (the first sample
+        deltas from zero), so summed deltas across a complete record
+        reproduce the final counters exactly.
+        """
+        snapshot = self.registry.snapshot()
+        uptime = time.perf_counter() - self._started
+        elapsed = uptime - self._last_uptime
+        counters: Dict[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+        deltas = {}
+        for name, value in counters.items():
+            delta = int(value) - self._previous_counters.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        self._previous_counters = {name: int(v) for name, v in counters.items()}
+        self._last_uptime = uptime
+        self._sequence += 1
+        sample = {
+            "seq": self._sequence,
+            "t": time.time(),
+            "uptime": round(uptime, 6),
+            "elapsed": round(elapsed, 6),
+            "deltas": deltas,
+            "snapshot": snapshot,
+        }
+        self.samples.append(sample)
+        self._write_line(sample)
+        return sample
+
+    def tail(self, n: int) -> List[Dict[str, object]]:
+        """The most recent ``n`` samples, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.samples)[-n:]
+
+    @staticmethod
+    def rates(sample: Dict[str, object]) -> Dict[str, float]:
+        """Per-second rates for one sample's counter deltas."""
+        elapsed = float(sample.get("elapsed", 0.0))  # type: ignore[arg-type]
+        if elapsed <= 0:
+            return {}
+        deltas: Dict[str, int] = sample.get("deltas", {})  # type: ignore[assignment]
+        return {name: delta / elapsed for name, delta in deltas.items()}
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _write_line(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        # One flush per interval keeps the on-disk tail live and is far
+        # off any hot path.
+        self._handle.flush()
+
+    def close(self, final_sample: bool = True) -> None:
+        """Stop spooling; by default take one last sample first so the
+        record's summed deltas match the final counters."""
+        if final_sample:
+            self.sample()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(final_sample=False)
+
+
+def read_flight_record(
+    path: PathLike,
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Load a flight record back: ``(header, samples)``.
+
+    A torn *final* line (interrupted writer) is silently dropped, the
+    same contract as :func:`repro.obs.bus.read_events`; undecodable
+    content anywhere else raises :class:`FlightRecordError`, as does a
+    missing or unsupported header.
+    """
+    path = Path(path)
+    header: Optional[Dict[str, object]] = None
+    samples: List[Dict[str, object]] = []
+    pending: Optional[int] = None  # line number of an undecodable line
+    with path.open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if pending is not None:
+                raise FlightRecordError(
+                    f"{path}:{pending}: undecodable flight-record line"
+                )
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                pending = number
+                continue
+            if not isinstance(record, dict):
+                raise FlightRecordError(
+                    f"{path}:{number}: record is not a JSON object"
+                )
+            if header is None:
+                version = record.get("flight_record")
+                if not isinstance(version, int):
+                    raise FlightRecordError(
+                        f"{path}:1: missing flight_record header"
+                    )
+                if version > FLIGHT_RECORD_VERSION:
+                    raise FlightRecordError(
+                        f"{path}: flight record version {version} is newer "
+                        f"than supported version {FLIGHT_RECORD_VERSION}"
+                    )
+                header = record
+            else:
+                samples.append(record)
+    if header is None:
+        raise FlightRecordError(f"{path}: empty flight record")
+    return header, samples

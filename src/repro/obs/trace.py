@@ -1,0 +1,252 @@
+"""Lightweight span tracing with explicit context and a Chrome exporter.
+
+A :class:`Span` is one timed region with a name, a trace id, its own
+span id, and an optional parent span id — enough to reconstruct the
+call tree of a run (sweep → bank evaluation → kernel selection; serve
+session open → feed → park → rehydrate → close) without sampling or
+globals.  Context is **explicit**: a :class:`Tracer` is passed down the
+call path and parents are named by argument, never discovered through
+thread-locals — the same discipline as the ``observer=`` parameter, and
+for the same reason: when the tracer is ``None`` the instrumented code
+pays one ``is not None`` branch and nothing else (the zero-cost-when-off
+guarantee in ``docs/observability.md``).
+
+Core code (:mod:`repro.core`) never imports this module; it receives
+the tracer duck-typed through an optional parameter and only calls
+``tracer.span(name, parent=..., **attrs)``.
+
+Finished spans spool to JSONL (:meth:`Tracer.save` /
+:func:`read_spans`) and export to the Chrome trace-event format
+(:func:`chrome_trace`) so a run opens directly in ``chrome://tracing``
+/ Perfetto as a flamegraph.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+PathLike = Union[str, os.PathLike]
+
+__all__ = [
+    "SPAN_TRACE_VERSION",
+    "Span",
+    "SpanTraceError",
+    "Tracer",
+    "chrome_trace",
+    "read_spans",
+]
+
+#: Version of the span-trace JSONL format (bump on shape changes).
+SPAN_TRACE_VERSION = 1
+
+#: Default cap on retained spans (a runaway-feed backstop; the tracer
+#: counts what it drops).
+DEFAULT_MAX_SPANS = 100_000
+
+_TRACE_IDS = itertools.count(1)
+
+
+class SpanTraceError(ValueError):
+    """Raised when an on-disk span trace is malformed."""
+
+
+class Span:
+    """One timed region.  Times are seconds from the tracer's epoch."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end",
+                 "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "start": round(self.start, 9),
+            "end": round(self.end if self.end is not None else self.start, 9),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class Tracer:
+    """Collects spans for one run; explicitly passed, never ambient.
+
+    Usage::
+
+        tracer = Tracer()
+        with tracer.span("sweep", profile="quick") as root:
+            with tracer.span("sweep.job", parent=root, spec=name) as job:
+                evaluate(..., tracer=tracer, parent=job)
+        tracer.save("sweep.spans.jsonl")
+
+    Finished spans land in :attr:`spans` in completion order (children
+    before parents, as a post-order walk).  The retained-span cap keeps
+    a long-running server bounded: beyond ``max_spans`` new spans are
+    timed but dropped, counted in :attr:`dropped`.
+    """
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        self.trace_id = trace_id or f"t{os.getpid():x}.{next(_TRACE_IDS)}"
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._epoch = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Iterator[Span]:
+        """Open a span; it closes (and is retained) when the block exits."""
+        span = Span(
+            name,
+            self.trace_id,
+            next(self._ids),
+            parent.span_id if parent is not None else None,
+            time.perf_counter() - self._epoch,
+            attrs,
+        )
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter() - self._epoch
+            with self._lock:
+                if len(self.spans) < self.max_spans:
+                    self.spans.append(span)
+                else:
+                    self.dropped += 1
+
+    # -- persistence -----------------------------------------------------------
+
+    def header(self) -> Dict[str, object]:
+        return {
+            "span_trace": SPAN_TRACE_VERSION,
+            "trace_id": self.trace_id,
+            "dropped": self.dropped,
+        }
+
+    def save(self, path: PathLike) -> Path:
+        """Write the spans as JSONL: one header line, one span per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            spans = list(self.spans)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.header(), separators=(",", ":")) + "\n")
+            for span in spans:
+                handle.write(
+                    json.dumps(span.to_dict(), separators=(",", ":")) + "\n"
+                )
+        return path
+
+
+def read_spans(path: PathLike) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Load a span trace back: ``(header, span dicts)``.
+
+    A torn final line is dropped (interrupted writer); anything else
+    undecodable raises :class:`SpanTraceError`.
+    """
+    path = Path(path)
+    header: Optional[Dict[str, object]] = None
+    spans: List[Dict[str, object]] = []
+    pending: Optional[int] = None
+    with path.open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if pending is not None:
+                raise SpanTraceError(f"{path}:{pending}: undecodable span line")
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                pending = number
+                continue
+            if not isinstance(record, dict):
+                raise SpanTraceError(f"{path}:{number}: span is not an object")
+            if header is None:
+                version = record.get("span_trace")
+                if not isinstance(version, int):
+                    raise SpanTraceError(f"{path}:1: missing span_trace header")
+                if version > SPAN_TRACE_VERSION:
+                    raise SpanTraceError(
+                        f"{path}: span trace version {version} is newer than "
+                        f"supported version {SPAN_TRACE_VERSION}"
+                    )
+                header = record
+            else:
+                spans.append(record)
+    if header is None:
+        raise SpanTraceError(f"{path}: empty span trace")
+    return header, spans
+
+
+def chrome_trace(spans: List[Dict[str, object]]) -> Dict[str, object]:
+    """Span dicts → the Chrome trace-event format (complete events).
+
+    The result serializes to a JSON object a flamegraph viewer
+    (``chrome://tracing``, Perfetto, speedscope) opens directly:
+    one ``"ph": "X"`` complete event per span, timestamps and durations
+    in microseconds.
+    """
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        start = float(span.get("start", 0.0))  # type: ignore[arg-type]
+        end = float(span.get("end", start))    # type: ignore[arg-type]
+        args: Dict[str, object] = {
+            "span": span.get("span"),
+            "parent": span.get("parent"),
+        }
+        attrs = span.get("attrs")
+        if isinstance(attrs, dict):
+            args.update(attrs)
+        events.append({
+            "name": str(span.get("name", "?")),
+            "cat": str(span.get("trace", "trace")),
+            "ph": "X",
+            "ts": round(start * 1e6, 3),
+            "dur": round(max(end - start, 0.0) * 1e6, 3),
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+    events.sort(key=lambda event: (event["ts"], -float(event["dur"])))  # type: ignore[arg-type]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -48,6 +48,8 @@ class ServeClient:
         self._closed: Dict[str, asyncio.Future] = {}
         self._errors: List[Dict[str, object]] = []
         self._pong: Optional[asyncio.Future] = None
+        self._stats: Optional[asyncio.Future] = None
+        self._healthz: Optional[asyncio.Future] = None
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
@@ -95,6 +97,19 @@ class ServeClient:
         await self._send({"op": "ping"})
         await self._pong
 
+    async def stats(self) -> Dict[str, object]:
+        """Live telemetry (protocol ≥ 2): census, metrics snapshot, and
+        the flight-recorder ring tail."""
+        self._stats = asyncio.get_running_loop().create_future()
+        await self._send({"op": "stats"})
+        return await self._stats
+
+    async def healthz(self) -> Dict[str, object]:
+        """Liveness + drain state (protocol ≥ 2)."""
+        self._healthz = asyncio.get_running_loop().create_future()
+        await self._send({"op": "healthz"})
+        return await self._healthz
+
     def events_for(self, sid: str) -> List[Dict[str, object]]:
         """Served detector events received for ``sid`` so far, in order."""
         return list(self._events.get(sid, []))
@@ -126,8 +141,9 @@ class ServeClient:
             for future in list(self._opened.values()) + list(self._closed.values()):
                 if not future.done():
                     future.set_exception(failure)
-            if self._pong is not None and not self._pong.done():
-                self._pong.set_exception(failure)
+            for pending in (self._pong, self._stats, self._healthz):
+                if pending is not None and not pending.done():
+                    pending.set_exception(failure)
 
     def _handle(self, message: Dict[str, object]) -> None:
         op = message.get("op")
@@ -151,6 +167,12 @@ class ServeClient:
         elif op == "pong":
             if self._pong is not None and not self._pong.done():
                 self._pong.set_result(None)
+        elif op == "stats":
+            if self._stats is not None and not self._stats.done():
+                self._stats.set_result(message)
+        elif op == "healthz":
+            if self._healthz is not None and not self._healthz.done():
+                self._healthz.set_result(message)
         elif op == "error":
             self._errors.append(message)
             error = ServeError(str(message.get("error")))

@@ -9,20 +9,31 @@ catalog, framing rules, and limits are documented in
 
 Client → server operations (``op`` field):
 
-- ``open``   — ``{"op": "open", "sid", "config": {DetectorConfig}}``
-- ``events`` — ``{"op": "events", "sid", "elements": [int, ...]}``
-- ``close``  — ``{"op": "close", "sid"}``
-- ``ping``   — ``{"op": "ping"}``
+- ``open``    — ``{"op": "open", "sid", "config": {DetectorConfig}}``
+- ``events``  — ``{"op": "events", "sid", "elements": [int, ...]}``
+- ``close``   — ``{"op": "close", "sid"}``
+- ``ping``    — ``{"op": "ping"}``
+- ``stats``   — ``{"op": "stats"}`` (protocol ≥ 2): live telemetry
+- ``healthz`` — ``{"op": "healthz"}`` (protocol ≥ 2): liveness + drain
 
 Server → client operations:
 
-- ``opened`` — ``{"op": "opened", "sid", "protocol": 1}``
+- ``opened`` — ``{"op": "opened", "sid", "protocol": 2}``
 - ``event``  — ``{"op": "event", "sid", "event": {...}}`` where
   ``event`` is a :mod:`repro.obs` schema event (``phase_enter`` /
   ``phase_exit`` by default) exactly as the detector emitted it;
 - ``closed`` — ``{"op": "closed", "sid", "elements", "phases"}``
 - ``error``  — ``{"op": "error", "sid" | null, "error": str}``
 - ``pong``   — ``{"op": "pong"}``
+- ``stats``  — ``{"op": "stats", "protocol", "uptime", "sessions",
+  "metrics", "flight"}`` — the current metrics snapshot plus the
+  flight-recorder ring tail (empty when no recorder runs);
+- ``healthz`` — ``{"op": "healthz", "status", "draining", "sessions",
+  "resident", "parked", "uptime"}``
+
+Version 2 is a superset of version 1: every v1 message is valid and
+means the same thing, so v1 clients interoperate unchanged (they just
+never ask for ``stats``/``healthz``).
 
 Session ids are restricted to ``[A-Za-z0-9._-]`` (64 chars max, no
 leading dot) — they name spool files on the server, so the character
@@ -45,13 +56,17 @@ __all__ = [
     "closed_message",
     "error_message",
     "event_message",
+    "healthz_message",
     "opened_message",
+    "stats_message",
     "validate_client_message",
     "validate_sid",
 ]
 
 #: Version of the wire protocol (bump on any incompatible change).
-PROTOCOL_VERSION = 1
+#: v2 added the ``stats`` and ``healthz`` verbs; v1 traffic is a strict
+#: subset and keeps working.
+PROTOCOL_VERSION = 2
 
 #: Longest accepted line, in bytes (also the asyncio reader limit).
 MAX_LINE_BYTES = 1 << 22
@@ -68,6 +83,8 @@ CLIENT_OPS = {
     "events": ("sid", "elements"),
     "close": ("sid",),
     "ping": (),
+    "stats": (),
+    "healthz": (),
 }
 
 
@@ -161,6 +178,42 @@ def closed_message(sid: str, elements: int, phases: int) -> Dict[str, object]:
 
 def error_message(sid: Optional[str], error: str) -> Dict[str, object]:
     return {"op": "error", "sid": sid, "error": error}
+
+
+def stats_message(
+    uptime: float,
+    sessions: Dict[str, int],
+    metrics: Dict[str, object],
+    flight: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """The ``stats`` reply: snapshot + flight-recorder ring tail."""
+    return {
+        "op": "stats",
+        "protocol": PROTOCOL_VERSION,
+        "uptime": round(uptime, 6),
+        "sessions": sessions,
+        "metrics": metrics,
+        "flight": flight,
+    }
+
+
+def healthz_message(
+    draining: bool,
+    sessions: int,
+    resident: int,
+    parked: int,
+    uptime: float,
+) -> Dict[str, object]:
+    """The ``healthz`` reply: liveness, drain state, session census."""
+    return {
+        "op": "healthz",
+        "status": "draining" if draining else "ok",
+        "draining": draining,
+        "sessions": sessions,
+        "resident": resident,
+        "parked": parked,
+        "uptime": round(uptime, 6),
+    }
 
 
 def encode_events(sid: str, events: List[Dict[str, object]]) -> bytes:

@@ -43,12 +43,14 @@ import logging
 import tempfile
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import DetectorConfig
 from repro.obs.manifest import environment_info, write_manifest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import FlightRecorder
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
 from repro.serve.session import Session, SessionError, SessionState
@@ -115,6 +117,14 @@ class PhaseServer:
             default); ``"all"`` serves the full event taxonomy.
         sample_latency: record per-chunk service latencies (seconds from
             enqueue to processed) in :attr:`latency_samples`.
+        flight_record: spool interval metrics samples to this JSONL
+            flight-record file (``docs/formats.md#flight-record-jsonl``).
+        flight_interval: seconds between flight-recorder samples; set it
+            (or ``flight_record``) to enable the recorder — the ``stats``
+            verb then serves the ring-buffer tail.
+        tracer: an optional :class:`repro.obs.trace.Tracer`; when set,
+            session lifecycle steps (open/feed/park/rehydrate/close)
+            record spans.  ``None`` (the default) costs one branch.
     """
 
     def __init__(
@@ -127,6 +137,9 @@ class PhaseServer:
         events: str = "phase",
         name: str = "serve",
         sample_latency: bool = False,
+        flight_record: Optional[Path] = None,
+        flight_interval: Optional[float] = None,
+        tracer=None,
     ) -> None:
         if max_resident < 1:
             raise ValueError("max_resident must be at least 1")
@@ -146,6 +159,14 @@ class PhaseServer:
         self.name = name
         self.metrics = MetricsRegistry()
         self.latency_samples: List[float] = [] if sample_latency else None  # type: ignore[assignment]
+        self.tracer = tracer
+        self.flight: Optional[FlightRecorder] = None
+        if flight_record is not None or flight_interval is not None:
+            self.flight = FlightRecorder(
+                self.metrics,
+                interval=flight_interval if flight_interval is not None else 1.0,
+                spool_path=flight_record,
+            )
         self._lanes: "OrderedDict[str, _Lane]" = OrderedDict()
         self._records: List[Dict[str, object]] = []  # finished sessions
         self._resident: "OrderedDict[str, Session]" = OrderedDict()
@@ -153,7 +174,15 @@ class PhaseServer:
         self._started = time.perf_counter()
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._sweeper: Optional[asyncio.Task] = None
+        self._flight_task: Optional[asyncio.Task] = None
         self._connections: set = set()
+
+    def _span(self, name: str, **attrs):
+        """A lifecycle span when a tracer is attached, else a no-op —
+        the serve-side form of the zero-cost-when-off rule."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
 
     # -- session bookkeeping ---------------------------------------------------
 
@@ -166,6 +195,22 @@ class PhaseServer:
     def resident_count(self) -> int:
         """Sessions whose detector state is currently in memory."""
         return len(self._resident)
+
+    @property
+    def parked_count(self) -> int:
+        """Open sessions currently checkpointed to the spool."""
+        return sum(
+            1 for lane in self._lanes.values()
+            if lane.session.state is SessionState.PARKED
+        )
+
+    def _park(self, session: Session) -> bool:
+        """Park one session, with the counter and (optional) span."""
+        with self._span("serve.park", sid=session.sid):
+            parked = session.park()
+        if parked:
+            self.metrics.counter("serve.sessions_parked").inc()
+        return parked
 
     def _hydrate(self, session: Session) -> None:
         """Make ``session`` resident, parking LRU sessions over the cap.
@@ -180,10 +225,10 @@ class PhaseServer:
         while len(self._resident) >= self.max_resident:
             cold_sid, cold = next(iter(self._resident.items()))
             del self._resident[cold_sid]
-            if cold.park():
-                self.metrics.counter("serve.sessions_parked").inc()
+            self._park(cold)
         if not session.hydrated:
-            with self.metrics.time("serve.rehydrate_seconds"):
+            with self._span("serve.rehydrate", sid=sid), \
+                    self.metrics.time_histogram("serve.rehydrate_seconds"):
                 session.rehydrate()
             self.metrics.counter("serve.sessions_rehydrated").inc()
         self._resident[sid] = session
@@ -225,15 +270,18 @@ class PhaseServer:
             self.spool_dir,
             on_event=on_event if on_event is not None else (lambda _sid, _ev: None),
             events=self.events,
+            metrics=self.metrics,
         )
         lane = _Lane(session, self.queue_size)
         lane.on_event = on_event
         lane.flush = flush
         self._lanes[sid] = lane
-        self._hydrate(session)
+        with self._span("serve.open", sid=sid):
+            self._hydrate(session)
         self.metrics.counter("serve.sessions_opened").inc()
         lane.worker = asyncio.ensure_future(self._worker(lane))
         self._ensure_sweeper()
+        self._ensure_flight()
         return session
 
     async def feed(self, sid: str, elements: Sequence[int]) -> None:
@@ -265,7 +313,9 @@ class PhaseServer:
             try:
                 if kind == "events":
                     self._hydrate(session)
-                    with self.metrics.time("serve.feed_seconds"):
+                    with self._span("serve.feed", sid=session.sid,
+                                    elements=len(payload)), \
+                            self.metrics.time_histogram("serve.feed_seconds"):
                         session.feed(payload)
                     self.metrics.counter("serve.events_in").inc(len(payload))
                     self.metrics.counter("serve.chunks_in").inc()
@@ -277,7 +327,8 @@ class PhaseServer:
                         await lane.flush()
                 else:  # close
                     self._hydrate(session)
-                    summary = session.close()
+                    with self._span("serve.close", sid=session.sid):
+                        summary = session.close()
                     self.metrics.counter("serve.sessions_closed").inc()
                     self._finish_lane(lane)
                     if lane.flush is not None:
@@ -340,9 +391,49 @@ class PhaseServer:
                 busy = lane is not None and not lane.queue.empty()
                 if not busy and session.idle_seconds(now) >= self.idle_timeout:
                     del self._resident[sid]
-                    if session.park():
-                        self.metrics.counter("serve.sessions_parked").inc()
+                    if self._park(session):
                         self.metrics.counter("serve.sessions_idle_parked").inc()
+
+    # -- the flight recorder -----------------------------------------------------
+
+    def _ensure_flight(self) -> None:
+        if self.flight is None:
+            return
+        if self._flight_task is None or self._flight_task.done():
+            self._flight_task = asyncio.ensure_future(self._flight_loop())
+
+    async def _flight_loop(self) -> None:
+        assert self.flight is not None
+        while not self._draining:
+            await asyncio.sleep(self.flight.interval)
+            if self._draining:
+                return
+            self.flight.sample()
+
+    # -- live telemetry ----------------------------------------------------------
+
+    def stats_payload(self, tail: int = 12) -> Dict[str, object]:
+        """The ``stats`` reply: census, snapshot, flight-record tail."""
+        return protocol.stats_message(
+            uptime=time.perf_counter() - self._started,
+            sessions={
+                "open": self.session_count,
+                "resident": self.resident_count,
+                "parked": self.parked_count,
+            },
+            metrics=self.metrics.snapshot(),
+            flight=self.flight.tail(tail) if self.flight is not None else [],
+        )
+
+    def healthz_payload(self) -> Dict[str, object]:
+        """The ``healthz`` reply: drain state + session census."""
+        return protocol.healthz_message(
+            draining=self._draining,
+            sessions=self.session_count,
+            resident=self.resident_count,
+            parked=self.parked_count,
+            uptime=time.perf_counter() - self._started,
+        )
 
     # -- the TCP front end -----------------------------------------------------
 
@@ -356,6 +447,7 @@ class PhaseServer:
             self._handle_connection, host, port, limit=protocol.MAX_LINE_BYTES
         )
         self._ensure_sweeper()
+        self._ensure_flight()
         return self._tcp_server
 
     @property
@@ -431,6 +523,14 @@ class PhaseServer:
         """Apply one validated client message; False closes the connection."""
         if op == "ping":
             writer.write(protocol.encode_message({"op": "pong"}))
+            await writer.drain()
+            return True
+        if op == "stats":
+            writer.write(protocol.encode_message(self.stats_payload()))
+            await writer.drain()
+            return True
+        if op == "healthz":
+            writer.write(protocol.encode_message(self.healthz_payload()))
             await writer.drain()
             return True
         sid: str = message["sid"]  # type: ignore[assignment]
@@ -510,6 +610,8 @@ class PhaseServer:
             await self._tcp_server.wait_closed()
         if self._sweeper is not None:
             self._sweeper.cancel()
+        if self._flight_task is not None:
+            self._flight_task.cancel()
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -523,12 +625,15 @@ class PhaseServer:
             self._discard(session)
             if not session.closed:
                 if session.hydrated or session.state is SessionState.PARKED:
-                    if session.park():
-                        self.metrics.counter("serve.sessions_parked").inc()
+                    self._park(session)
                 else:
                     session.kill()
             self._records.append(session.record())
             del self._lanes[sid]
+        if self.flight is not None:
+            # One final sample so the spooled deltas sum to the final
+            # counters exactly; then stop spooling.
+            self.flight.close(final_sample=True)
         manifest = self.manifest()
         path = manifest_path if manifest_path is not None else (
             self.spool_dir / f"{self.name}.manifest.json"
@@ -542,9 +647,15 @@ class PhaseServer:
 
         records = list(self._records)
         records += [lane.session.record() for lane in self._lanes.values()]
+        flight_record = (
+            str(self.flight.spool_path)
+            if self.flight is not None and self.flight.spool_path is not None
+            else None
+        )
         return {
             "version": 1,
             "kind": SERVE_MANIFEST_KIND,
+            "flight_record": flight_record,
             "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             "name": self.name,
             "elapsed_seconds": round(time.perf_counter() - self._started, 6),

@@ -104,6 +104,9 @@ class Session:
         on_event: ``(sid, event)`` callback for served detector events.
         events: ``"phase"`` (default) serves only phase boundaries;
             ``"all"`` serves the full event taxonomy.
+        metrics: optional metrics registry shared with the server; it
+            rides down to the detector runtime so per-chunk advance
+            times land in the ``runtime.advance_seconds`` histogram.
     """
 
     def __init__(
@@ -113,17 +116,19 @@ class Session:
         spool_dir: Path,
         on_event: Callable[[str, Dict[str, object]], None],
         events: str = "phase",
+        metrics=None,
     ) -> None:
         self.sid = validate_sid(sid)
         self.config = config
         self.spool_dir = Path(spool_dir)
         self.on_event = on_event
+        self.metrics = metrics
         if events not in ("phase", "all"):
             raise ValueError(f"events must be 'phase' or 'all', got {events!r}")
         self._kinds = PHASE_EVENT_KINDS if events == "phase" else None
         self._observer = PhaseEventObserver(self._forward, self._kinds)
         self._detector: Optional[StreamingDetector] = StreamingDetector(
-            config, observer=self._observer
+            config, observer=self._observer, metrics=metrics
         )
         self.state = SessionState.OPEN
         self.killed = False
@@ -203,7 +208,9 @@ class Session:
         if self._detector is not None:
             return
         data = json.loads(self.spool_path.read_text(encoding="utf-8"))
-        self._detector = StreamingDetector.restore(data, observer=self._observer)
+        self._detector = StreamingDetector.restore(
+            data, observer=self._observer, metrics=self.metrics
+        )
         self.state = SessionState.REHYDRATED
         self.rehydrations += 1
         self.last_active = time.monotonic()

@@ -5,10 +5,18 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.obs.metrics import GLOBAL_METRICS
 from repro.profiles.synthetic import SyntheticTraceBuilder, make_phased_trace
 from repro.vm.compiler import compile_source
 from repro.vm.interpreter import Interpreter
 from repro.vm.tracing import CollectingSink
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_metrics():
+    """Isolate the process-wide registry: no test sees another's counts."""
+    GLOBAL_METRICS.reset()
+    yield
 
 
 @pytest.fixture

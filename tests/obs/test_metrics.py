@@ -1,8 +1,18 @@
 """Metrics registry: instruments, snapshots, and worker-style merging."""
 
 import json
+import threading
 
-from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry, Timing
+import pytest
+
+from repro.obs.metrics import (
+    GLOBAL_METRICS,
+    HISTOGRAM_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    Timing,
+    bucket_bounds,
+)
 
 
 class TestInstruments:
@@ -95,12 +105,127 @@ class TestSnapshots:
     def test_reset_clears_everything(self):
         registry = MetricsRegistry()
         registry.counter("a").inc()
+        registry.histogram("h").observe(0.1)
         registry.reset()
         assert registry.snapshot() == {"counters": {}, "gauges": {},
-                                       "timings": {}}
+                                       "timings": {}, "histograms": {}}
 
 
 def test_global_registry_exists_and_is_a_registry():
     assert isinstance(GLOBAL_METRICS, MetricsRegistry)
     snapshot = GLOBAL_METRICS.snapshot()
-    assert set(snapshot) == {"counters", "gauges", "timings"}
+    assert set(snapshot) == {"counters", "gauges", "timings", "histograms"}
+
+
+class TestHistogram:
+    def test_bucket_layout_is_covering_and_ordered(self):
+        previous_hi = 0.0
+        for index in range(HISTOGRAM_BUCKETS):
+            lo, hi = bucket_bounds(index)
+            assert lo == previous_hi
+            assert hi > lo
+            previous_hi = hi
+        assert bucket_bounds(HISTOGRAM_BUCKETS - 1)[1] == float("inf")
+
+    def test_observe_counts_and_summary(self):
+        histogram = Histogram()
+        for value in (0.001, 0.002, 0.004, 0.1):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.minimum == 0.001
+        assert histogram.maximum == 0.1
+        assert abs(histogram.total - 0.107) < 1e-12
+        assert sum(histogram.counts) == 4
+
+    def test_quantiles_are_bracketed_by_min_and_max(self):
+        histogram = Histogram()
+        values = [0.0005 * (i + 1) for i in range(100)]
+        for value in values:
+            histogram.observe(value)
+        p = histogram.percentiles()
+        assert min(values) <= p["p50"] <= p["p95"] <= p["p99"] <= max(values)
+        # p50 of a uniform spread lands near the middle, not an endpoint.
+        assert 0.015 <= p["p50"] <= 0.035
+
+    def test_quantile_identical_values_is_exact(self):
+        histogram = Histogram()
+        for _ in range(50):
+            histogram.observe(0.002)
+        assert histogram.quantile(0.5) == 0.002
+        assert histogram.quantile(0.99) == 0.002
+
+    def test_underflow_and_overflow_buckets(self):
+        histogram = Histogram()
+        histogram.observe(1e-9)   # below HISTOGRAM_MIN
+        histogram.observe(1e6)    # above the top decade
+        assert histogram.counts[0] == 1
+        assert histogram.counts[HISTOGRAM_BUCKETS - 1] == 1
+        # Quantiles stay finite and clamped to observations.
+        assert histogram.quantile(1.0) == 1e6
+
+    def test_snapshot_roundtrip(self):
+        histogram = Histogram()
+        for value in (0.0001, 0.003, 0.2, 5.0):
+            histogram.observe(value)
+        clone = Histogram.from_dict(histogram.to_dict())
+        assert clone.to_dict() == histogram.to_dict()
+        assert clone.percentiles() == histogram.percentiles()
+
+    def test_merge_equals_union_of_observations(self):
+        values_a = [0.001, 0.002, 0.5]
+        values_b = [0.0004, 0.09, 2.0]
+        a, b, union = Histogram(), Histogram(), Histogram()
+        for value in values_a:
+            a.observe(value)
+            union.observe(value)
+        for value in values_b:
+            b.observe(value)
+            union.observe(value)
+        a.merge_dict(b.to_dict())
+        assert a.to_dict() == union.to_dict()
+
+    def test_registry_time_histogram_and_merge(self):
+        registry = MetricsRegistry()
+        with registry.time_histogram("block"):
+            pass
+        other = MetricsRegistry()
+        other.histogram("block").observe(0.5)
+        registry.merge(other.snapshot())
+        assert registry.histogram("block").count == 2
+        assert "block" in registry.snapshot()["histograms"]
+
+    def test_merge_rejects_out_of_range_bucket(self):
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            histogram.merge_dict(
+                {"count": 1, "total": 0.1, "min": 0.1, "max": 0.1,
+                 "buckets": {str(HISTOGRAM_BUCKETS): 1}}
+            )
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.25)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_do_not_lose_counts(self):
+        registry = MetricsRegistry()
+        workers = 8
+        per_worker = 2_000
+
+        def hammer():
+            for _ in range(per_worker):
+                registry.counter("n").inc()
+                registry.histogram("h").observe(0.001)
+                registry.timing("t").observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n").value == workers * per_worker
+        assert registry.histogram("h").count == workers * per_worker
+        assert registry.timing("t").count == workers * per_worker

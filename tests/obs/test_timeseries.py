@@ -1,0 +1,153 @@
+"""FlightRecorder: ring sampling, counter deltas, and the JSONL spool."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    FLIGHT_RECORD_VERSION,
+    FlightRecordError,
+    FlightRecorder,
+    read_flight_record,
+)
+
+
+class TestSampling:
+    def test_first_sample_deltas_count_from_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(7)
+        recorder = FlightRecorder(registry, interval=0.1)
+        sample = recorder.sample()
+        assert sample["seq"] == 1
+        assert sample["deltas"] == {"events": 7}
+
+    def test_deltas_are_per_interval_not_cumulative(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(registry, interval=0.1)
+        registry.counter("events").inc(10)
+        recorder.sample()
+        registry.counter("events").inc(3)
+        sample = recorder.sample()
+        assert sample["deltas"] == {"events": 3}
+        assert sample["snapshot"]["counters"]["events"] == 13
+
+    def test_unchanged_counters_are_omitted_from_deltas(self):
+        registry = MetricsRegistry()
+        registry.counter("static").inc()
+        recorder = FlightRecorder(registry, interval=0.1)
+        recorder.sample()
+        sample = recorder.sample()
+        assert "static" not in sample["deltas"]
+
+    def test_summed_deltas_equal_final_counters(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(registry, interval=0.1)
+        for increment in (5, 0, 12, 3):
+            registry.counter("events").inc(increment)
+            recorder.sample()
+        total = sum(
+            s["deltas"].get("events", 0) for s in recorder.samples
+        )
+        assert total == registry.counter("events").value == 20
+
+    def test_ring_is_bounded_and_tail_is_newest(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(registry, interval=0.1, capacity=3)
+        for _ in range(10):
+            recorder.sample()
+        assert len(recorder.samples) == 3
+        tail = recorder.tail(2)
+        assert [s["seq"] for s in tail] == [9, 10]
+        assert recorder.tail(0) == []
+
+    def test_rates_divide_deltas_by_elapsed(self):
+        sample = {"elapsed": 2.0, "deltas": {"events": 10}}
+        assert FlightRecorder.rates(sample) == {"events": 5.0}
+        assert FlightRecorder.rates({"elapsed": 0.0, "deltas": {"x": 1}}) == {}
+
+    def test_rejects_bad_interval_and_capacity(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            FlightRecorder(registry, interval=0.0)
+        with pytest.raises(ValueError):
+            FlightRecorder(registry, interval=1.0, capacity=0)
+
+
+class TestSpool:
+    def test_spool_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(registry, interval=0.5, spool_path=path)
+        registry.counter("events").inc(4)
+        recorder.sample()
+        registry.counter("events").inc(2)
+        recorder.close(final_sample=True)
+        header, samples = read_flight_record(path)
+        assert header["flight_record"] == FLIGHT_RECORD_VERSION
+        assert header["interval"] == 0.5
+        assert [s["seq"] for s in samples] == [1, 2]
+        assert sum(s["deltas"].get("events", 0) for s in samples) == 6
+
+    def test_close_without_final_sample(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "flight.jsonl"
+        with FlightRecorder(registry, interval=1.0, spool_path=path) as recorder:
+            recorder.sample()
+        _, samples = read_flight_record(path)
+        assert len(samples) == 1
+
+    def test_spooled_lines_reload_bit_exact(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3)
+        registry.histogram("h").observe(0.002)
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(registry, interval=1.0, spool_path=path)
+        in_memory = [recorder.sample(), recorder.sample()]
+        recorder.close(final_sample=False)
+        _, reloaded = read_flight_record(path)
+        assert reloaded == json.loads(json.dumps(in_memory))
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(registry, interval=1.0, spool_path=path)
+        recorder.sample()
+        recorder.sample()
+        recorder.close(final_sample=False)
+        content = path.read_text(encoding="utf-8")
+        path.write_text(content + '{"seq": 3, "tor', encoding="utf-8")
+        _, samples = read_flight_record(path)
+        assert [s["seq"] for s in samples] == [1, 2]
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        path.write_text(
+            '{"flight_record": 1, "interval": 1.0}\n'
+            '{"seq": 1, "tor\n'
+            '{"seq": 2, "t": 0, "uptime": 1, "elapsed": 1, "deltas": {}}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(FlightRecordError):
+            read_flight_record(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        path.write_text('{"seq": 1}\n', encoding="utf-8")
+        with pytest.raises(FlightRecordError):
+            read_flight_record(path)
+
+    def test_newer_version_raises(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        path.write_text(
+            json.dumps({"flight_record": FLIGHT_RECORD_VERSION + 1}) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(FlightRecordError):
+            read_flight_record(path)
+
+    def test_empty_record_raises(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(FlightRecordError):
+            read_flight_record(path)

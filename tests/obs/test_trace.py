@@ -1,0 +1,150 @@
+"""Span tracing: explicit context, persistence, and the Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    SPAN_TRACE_VERSION,
+    SpanTraceError,
+    Tracer,
+    chrome_trace,
+    read_spans,
+)
+
+
+class TestTracer:
+    def test_spans_nest_by_explicit_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child", parent=root) as child:
+                with tracer.span("grandchild", parent=child):
+                    pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["root"].parent_id is None
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["grandchild"].parent_id == by_name["child"].span_id
+
+    def test_spans_record_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", parent=outer):
+                pass
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_span_times_are_ordered(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            pass
+        assert span.end is not None
+        assert span.end >= span.start >= 0.0
+        assert span.duration >= 0.0
+
+    def test_attrs_are_kept(self):
+        tracer = Tracer()
+        with tracer.span("job", benchmark="javac", specs=4):
+            pass
+        record = tracer.spans[0].to_dict()
+        assert record["attrs"] == {"benchmark": "javac", "specs": 4}
+
+    def test_max_spans_cap_counts_drops(self):
+        tracer = Tracer(max_spans=2)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+        assert tracer.header()["dropped"] == 3
+
+    def test_exception_inside_span_still_records_it(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].end is not None
+
+    def test_trace_ids_are_unique(self):
+        assert Tracer().trace_id != Tracer().trace_id
+
+
+class TestPersistence:
+    def test_save_and_read_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", profile="quick") as root:
+            with tracer.span("leaf", parent=root):
+                pass
+        path = tracer.save(tmp_path / "run.spans.jsonl")
+        header, spans = read_spans(path)
+        assert header["span_trace"] == SPAN_TRACE_VERSION
+        assert header["trace_id"] == tracer.trace_id
+        assert [span["name"] for span in spans] == ["leaf", "root"]
+        assert spans == [span.to_dict() for span in tracer.spans]
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        path = tracer.save(tmp_path / "run.spans.jsonl")
+        path.write_text(
+            path.read_text(encoding="utf-8") + '{"name": "tor',
+            encoding="utf-8",
+        )
+        _, spans = read_spans(path)
+        assert [span["name"] for span in spans] == ["only"]
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "x"}\n', encoding="utf-8")
+        with pytest.raises(SpanTraceError):
+            read_spans(path)
+
+    def test_newer_version_raises(self, tmp_path):
+        path = tmp_path / "new.jsonl"
+        path.write_text(
+            json.dumps({"span_trace": SPAN_TRACE_VERSION + 1}) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(SpanTraceError):
+            read_spans(path)
+
+    def test_empty_trace_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(SpanTraceError):
+            read_spans(path)
+
+
+class TestChromeExport:
+    def test_event_schema(self):
+        tracer = Tracer()
+        with tracer.span("root", kind="demo") as root:
+            with tracer.span("leaf", parent=root):
+                pass
+        document = chrome_trace([span.to_dict() for span in tracer.spans])
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            assert "span" in event["args"] and "parent" in event["args"]
+        # Sorted by start time; the root starts first and carries attrs.
+        assert events[0]["name"] == "root"
+        assert events[0]["args"]["kind"] == "demo"
+
+    def test_export_is_json_serializable(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        document = chrome_trace([span.to_dict() for span in tracer.spans])
+        assert json.loads(json.dumps(document)) == document
+
+    def test_zero_cost_when_off_pattern(self):
+        """The duck-typed instrumentation contract: tracer=None must
+        short-circuit before any tracer attribute access."""
+        from repro.core.bank import _maybe_span
+
+        with _maybe_span(None, "anything", None) as span:
+            assert span is None

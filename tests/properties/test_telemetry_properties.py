@@ -1,0 +1,137 @@
+"""Property-based tests of the telemetry layer's invariants.
+
+Three load-bearing properties:
+
+- Histogram merging is associative and commutative — the guarantee that
+  lets per-worker snapshots fold in any order or grouping.  Durations
+  are drawn as dyadic rationals (``k * 2**-10``) so the ``total`` field
+  sums bit-exactly regardless of addition order; bucket counts and
+  min/max are exact for any values.
+- A flight-record spool reloads bit-exactly: what :meth:`sample`
+  returned in memory is what :func:`read_flight_record` hands back.
+- A torn *final* flight-record line — any prefix of the last line, the
+  crash-mid-write case — is tolerated and drops only that sample.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.timeseries import FlightRecorder, read_flight_record
+
+# Dyadic rational durations: k * 2**-10 for small k.  Dyadic sums are
+# exact in binary floating point, so `total` is identical however the
+# merge tree associates — which lets the tests compare snapshots with
+# `==` instead of a tolerance.
+dyadic_durations = st.integers(min_value=0, max_value=4096).map(
+    lambda k: k * 2.0 ** -10
+)
+duration_lists = st.lists(dyadic_durations, min_size=0, max_size=40)
+
+
+def histogram_of(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def merged(*snapshots):
+    result = Histogram()
+    for snapshot in snapshots:
+        result.merge_dict(snapshot)
+    return result.to_dict()
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=duration_lists, b=duration_lists, c=duration_lists)
+def test_histogram_merge_is_associative(a, b, c):
+    sa = histogram_of(a).to_dict()
+    sb = histogram_of(b).to_dict()
+    sc = histogram_of(c).to_dict()
+    left = merged(merged(sa, sb), sc)
+    right = merged(sa, merged(sb, sc))
+    assert left == right
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=duration_lists, b=duration_lists)
+def test_histogram_merge_is_commutative(a, b):
+    sa = histogram_of(a).to_dict()
+    sb = histogram_of(b).to_dict()
+    assert merged(sa, sb) == merged(sb, sa)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=duration_lists)
+def test_histogram_merge_equals_single_pass(values):
+    """Splitting observations across registries then merging loses
+    nothing vs observing them all in one histogram."""
+    one_pass = histogram_of(values).to_dict()
+    split = merged(
+        histogram_of(values[::2]).to_dict(),
+        histogram_of(values[1::2]).to_dict(),
+    )
+    assert split == one_pass
+
+
+counter_steps = st.lists(
+    st.dictionaries(
+        st.sampled_from(["events_in", "chunks", "parks"]),
+        st.integers(min_value=0, max_value=1000),
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(steps=counter_steps)
+def test_flight_record_spool_reloads_bit_exact(steps, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("flight")
+    registry = MetricsRegistry()
+    path = tmp_path / "flight.jsonl"
+    recorder = FlightRecorder(registry, interval=1.0, spool_path=path)
+    in_memory = []
+    for step in steps:
+        for name, amount in step.items():
+            registry.counter(name).inc(amount)
+        in_memory.append(recorder.sample())
+    recorder.close(final_sample=False)
+    header, reloaded = read_flight_record(path)
+    assert header["flight_record"] == 1
+    assert reloaded == json.loads(json.dumps(in_memory))
+    # Summed deltas reproduce the final counters exactly.
+    for name in ("events_in", "chunks", "parks"):
+        expected = sum(step.get(name, 0) for step in steps)
+        assert sum(s["deltas"].get(name, 0) for s in reloaded) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    steps=counter_steps,
+    torn_fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+)
+def test_torn_final_line_is_tolerated(steps, torn_fraction, tmp_path_factory):
+    """Truncating the final line at ANY byte offset drops only that
+    sample (or nothing, if the cut lands on the newline boundary)."""
+    tmp_path = tmp_path_factory.mktemp("torn")
+    registry = MetricsRegistry()
+    path = tmp_path / "flight.jsonl"
+    recorder = FlightRecorder(registry, interval=1.0, spool_path=path)
+    for step in steps:
+        for name, amount in step.items():
+            registry.counter(name).inc(amount)
+        recorder.sample()
+    recorder.close(final_sample=False)
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    final = lines[-1]
+    torn = final[: int(len(final) * torn_fraction)]
+    path.write_text("".join(lines[:-1]) + torn, encoding="utf-8")
+    _, samples = read_flight_record(path)
+    # Everything before the torn line survives; a cleanly-parsing torn
+    # line (empty cut) just disappears.
+    assert len(samples) in (len(steps) - 1, len(steps))
+    assert [s["seq"] for s in samples] == list(range(1, len(samples) + 1))

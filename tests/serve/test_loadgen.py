@@ -117,6 +117,30 @@ class TestServeBench:
         assert row["parked"]["parks"] > 0
         assert row["manifest_sessions"] == 8
 
+    def test_bench_flight_record_deltas_sum_to_events_in(self, tmp_path):
+        from repro.obs.timeseries import read_flight_record
+
+        spool = tmp_path / "flight.jsonl"
+        row = serve_bench(
+            sessions=6,
+            elements_per_session=500,
+            chunk=125,
+            source="synthetic",
+            verify=False,
+            park_sessions=0,
+            flight_record=spool,
+            flight_interval=0.05,
+        )
+        assert row["flight_record"] == str(spool)
+        header, samples = read_flight_record(spool)
+        assert header["interval"] == 0.05
+        delta_sum = sum(
+            s["deltas"].get("serve.events_in", 0) for s in samples
+        )
+        # drain() appends a final sample, so the record accounts for
+        # every element the load generator fed.
+        assert delta_sum == 6 * 500
+
     def test_bench_tcp_transport(self):
         row = serve_bench(
             sessions=6,

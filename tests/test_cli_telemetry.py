@@ -1,0 +1,285 @@
+"""CLI tests for the live-telemetry surface: ``serve-stats``,
+``obs top``, ``obs trace export``, ``obs summary`` on serve manifests,
+and ``sweep --trace``."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import DetectorConfig
+from repro.obs.trace import Tracer, read_spans
+from repro.serve.client import ServeClient
+from repro.serve.server import PhaseServer
+
+CONFIG = DetectorConfig(cw_size=100, threshold=0.6)
+
+
+@contextlib.contextmanager
+def live_server(**kwargs):
+    """A PhaseServer on 127.0.0.1 in a background thread, so the CLI
+    commands under test can dial it from this thread's event loop."""
+    ready = threading.Event()
+    box = {"clients": []}
+
+    def runner():
+        async def serve():
+            server = PhaseServer(**kwargs)
+            await server.start(host="127.0.0.1", port=0)
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            box["stop"] = asyncio.Event()
+            ready.set()
+            await box["stop"].wait()
+            for client in box["clients"]:
+                await client.aclose()
+            await server.drain()
+            server.close()
+
+        asyncio.run(serve())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10), "server thread failed to start"
+    try:
+        yield box
+    finally:
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        thread.join(timeout=10)
+
+
+def feed(box, sid="cli", chunks=4, chunk_len=150):
+    """Open a session and feed it, keeping the connection alive (the
+    server closes a connection's sessions when it drops) until the
+    ``live_server`` context tears down."""
+
+    async def run():
+        client = await ServeClient.connect("127.0.0.1", box["server"].port)
+        await client.open(sid, CONFIG)
+        for _ in range(chunks):
+            await client.send(sid, list(range(chunk_len)))
+        box["clients"].append(client)
+
+    asyncio.run_coroutine_threadsafe(run(), box["loop"]).result(timeout=10)
+
+
+def unused_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestServeStats:
+    def test_renders_health_and_stats(self, capsys):
+        with live_server() as box:
+            feed(box)
+            capsys.readouterr()
+            code = main(["serve-stats", "--port", str(box["server"].port)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health: ok" in out
+        assert "serve stats (protocol 2," in out
+        assert "sessions: 1 open, 1 resident, 0 parked" in out
+        assert "serve.events_in = 600" in out
+        assert "serve.feed_seconds: n=4 p50=" in out
+
+    def test_json_dump_is_parseable(self, capsys):
+        with live_server() as box:
+            feed(box)
+            capsys.readouterr()
+            code = main(["serve-stats", "--port",
+                         str(box["server"].port), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["protocol"] == 2
+        assert payload["healthz"]["status"] == "ok"
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        capsys.readouterr()
+        assert main(["serve-stats", "--port", str(unused_port())]) == 1
+        assert "cannot reach server" in capsys.readouterr().err
+
+
+class TestObsTop:
+    def test_once_prints_one_frame(self, capsys):
+        with live_server(flight_interval=0.05) as box:
+            feed(box)
+            import time
+
+            time.sleep(0.12)  # let the flight loop take a sample
+            capsys.readouterr()
+            code = main(
+                ["obs", "top", "--port", str(box["server"].port), "--once"]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("uptime") == 1
+        assert "sessions 1 (1 resident, 0 parked)" in out
+        assert "feed p99" in out
+        assert "evictions 0" in out
+
+    def test_frames_limit_polls_n_times(self, capsys):
+        with live_server() as box:
+            capsys.readouterr()
+            code = main(
+                ["obs", "top", "--port", str(box["server"].port),
+                 "--frames", "2", "--interval", "0.01"]
+            )
+        assert code == 0
+        assert capsys.readouterr().out.count("uptime") == 2
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        capsys.readouterr()
+        assert main(["obs", "top", "--port", str(unused_port()),
+                     "--once"]) == 1
+        assert "cannot reach server" in capsys.readouterr().err
+
+
+class TestObsTraceExport:
+    @pytest.fixture
+    def spans_path(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("sweep", profile="demo") as root:
+            with tracer.span("sweep.job", parent=root, benchmark="db"):
+                pass
+        return tracer.save(tmp_path / "run.spans.jsonl")
+
+    def test_chrome_export_to_file(self, spans_path, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        capsys.readouterr()
+        code = main(["obs", "trace", "export", str(spans_path),
+                     "--chrome", "--out", str(out_path)])
+        assert code == 0
+        assert "2 spans ->" in capsys.readouterr().out
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        events = document["traceEvents"]
+        assert [e["name"] for e in events] == ["sweep", "sweep.job"]
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_chrome_export_to_stdout(self, spans_path, capsys):
+        capsys.readouterr()
+        assert main(["obs", "trace", "export", str(spans_path),
+                     "--chrome"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["traceEvents"]) == 2
+
+    def test_plain_listing(self, spans_path, capsys):
+        capsys.readouterr()
+        assert main(["obs", "trace", "export", str(spans_path)]) == 0
+        out = capsys.readouterr().out
+        assert "span trace" in out and "2 spans" in out
+        assert "sweep.job:" in out
+
+    def test_unreadable_trace_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"nope": true}\n', encoding="utf-8")
+        capsys.readouterr()
+        assert main(["obs", "trace", "export", str(bad)]) == 1
+        assert "cannot read span trace" in capsys.readouterr().err
+
+
+class TestObsSummaryServeRun:
+    def test_summary_renders_serve_manifest(self, tmp_path, capsys):
+        manifest_path = tmp_path / "serve.manifest.json"
+
+        async def run():
+            server = PhaseServer(name="cli-telemetry")
+            await server.start(port=0)
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            await client.open("a", CONFIG)
+            await client.send("a", list(range(400)))
+            await client.close_session("a")
+            await client.aclose()
+            await server.drain(manifest_path)
+            server.close()
+
+        asyncio.run(run())
+        capsys.readouterr()
+        assert main(["obs", "summary", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve manifest: 'cli-telemetry'" in out
+        assert "1 sessions" in out and "400 events in" in out
+        assert "sid" in out and "events_in" in out  # per-session table
+        assert "serve.feed_seconds: n=1 p50=" in out
+
+
+class TestSweepTrace:
+    def _tiny_profile(self, monkeypatch):
+        from repro.experiments import config_space
+
+        tiny = config_space.SuiteProfile(
+            name="tinytrace",
+            workload_scale=0.08,
+            thresholds=(0.6,),
+            deltas=(0.05,),
+            cw_nominals=(500,),
+        )
+        monkeypatch.setitem(config_space.PROFILES, "tinytrace", tiny)
+
+    def test_sweep_trace_nests_sweep_bank_kernel(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """The acceptance-criteria span tree: a traced sweep exports
+        sweep -> sweep.job -> bank.run -> bank.kernel, and the Chrome
+        document for it is schema-valid."""
+        self._tiny_profile(monkeypatch)
+        spans_path = tmp_path / "sweep.spans.jsonl"
+        capsys.readouterr()
+        code = main(
+            ["sweep", "--profile", "tinytrace", "--benchmarks", "db",
+             "--cache-dir", str(tmp_path), "--quiet",
+             "--trace", str(spans_path)]
+        )
+        assert code == 0
+        assert "spans:" in capsys.readouterr().out
+
+        _, spans = read_spans(spans_path)
+        by_id = {span["span"]: span for span in spans}
+        names = [span["name"] for span in spans]
+        assert names.count("sweep") == 1
+        for child, parent in (
+            ("sweep.job", "sweep"),
+            ("bank.run", "sweep.job"),
+            ("bank.kernel", "bank.run"),
+        ):
+            children = [s for s in spans if s["name"] == child]
+            assert children, f"no {child} spans recorded"
+            for span in children:
+                assert by_id[span["parent"]]["name"] == parent
+        sweep_span = next(s for s in spans if s["name"] == "sweep")
+        assert sweep_span["parent"] is None
+        assert sweep_span["attrs"]["profile"] == "tinytrace"
+
+        # Chrome export of the same trace round-trips through the CLI.
+        out_path = tmp_path / "sweep.chrome.json"
+        assert main(["obs", "trace", "export", str(spans_path),
+                     "--chrome", "--out", str(out_path)]) == 0
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        events = document["traceEvents"]
+        assert len(events) == len(spans)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+
+    def test_trace_forces_serial_evaluation(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._tiny_profile(monkeypatch)
+        spans_path = tmp_path / "sweep.spans.jsonl"
+        capsys.readouterr()
+        code = main(
+            ["sweep", "--profile", "tinytrace", "--benchmarks", "db",
+             "--cache-dir", str(tmp_path), "--quiet", "--jobs", "2",
+             "--trace", str(spans_path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "forcing --jobs 1" in captured.err
+        assert "jobs=1" in captured.out
+        assert spans_path.exists()
