@@ -107,6 +107,12 @@ CONFIGS = {
 #: Members of the multi-config bank measurement (one sweep-like batch).
 BANK_SIZE = 16
 
+#: The lockstep bank must beat the same configs run sequentially by at
+#: least this factor (same-run ratio).  Set from the flat skip-1 lane
+#: path (measured ~1.31x on the reference host); the previous effective
+#: floor was the ~1.07x a plain ratio > 1.0 check tolerated.
+BANK_MIN_SPEEDUP = 1.12
+
 #: The vectorized fast path must beat the legacy fused loop by at least
 #: this factor on the ``unweighted-constant`` row (same-run ratio).
 KERNEL_MIN_SPEEDUP = 3.0
@@ -409,6 +415,7 @@ def measure(repeats):
             "bank_seconds": round(bank_seconds, 6),
             "bank_normalized": round(bank_seconds / calibration, 4),
             "speedup": round(seq_seconds / bank_seconds, 4),
+            "min_speedup": BANK_MIN_SPEEDUP,
         },
         "kernels": {
             "gate_config": KERNEL_GATE_CONFIG,
@@ -548,11 +555,12 @@ def main(argv=None):
         # host-speed drift that the calibration cannot fully cancel.
         speedup = float(result["bank"]["speedup"])
         print(f"bank speedup: {speedup:.2f}x "
-              f"(baseline {float(bank_ref['speedup']):.2f}x)")
-        if speedup < 1.0:
-            print(f"FAIL: {BANK_SIZE}-config bank was not faster than "
+              f"(baseline {float(bank_ref['speedup']):.2f}x, "
+              f"gate >= {BANK_MIN_SPEEDUP:.2f}x)")
+        if speedup < BANK_MIN_SPEEDUP:
+            print(f"FAIL: {BANK_SIZE}-config bank was only {speedup:.2f}x "
                   f"{BANK_SIZE} sequential run_detector calls "
-                  f"({speedup:.2f}x)", file=sys.stderr)
+                  f"(gate {BANK_MIN_SPEEDUP:.2f}x)", file=sys.stderr)
             return 1
     # Kernel gate: same-run kernel/legacy ratio, so it needs no baseline
     # and no calibration — both sides ran on this host seconds apart.

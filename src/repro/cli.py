@@ -79,12 +79,37 @@ def _add_detector_arguments(
     parser.add_argument("--threshold", type=float, default=0.5)
     parser.add_argument("--delta", type=float, default=0.05)
     parser.add_argument(
+        "--family", default="windowed", metavar="NAME",
+        help="detector family from the repro.comparators registry "
+             "(windowed, focus, newma, das_pearson, lu_dynamo, "
+             "dhodapkar_smith; default windowed)",
+    )
+    parser.add_argument(
+        "--stat-threshold", type=float, default=None, metavar="BAR",
+        help="changepoint families' decision bar "
+             "(default: the family's documented default)",
+    )
+    parser.add_argument("--newma-fast", type=float, default=0.2,
+                        help="NEWMA fast forgetting factor (default 0.2)")
+    parser.add_argument("--newma-slow", type=float, default=0.05,
+                        help="NEWMA slow forgetting factor (default 0.05)")
+    parser.add_argument("--sketch-dim", type=int, default=64,
+                        help="NEWMA sketch dimensionality (default 64)")
+    parser.add_argument(
         "--events", default=None, metavar="FILE",
         help="record the detector's event stream to FILE as JSONL",
     )
 
 
 def _config_from_args(args: argparse.Namespace) -> DetectorConfig:
+    if args.family != "windowed":
+        from repro.comparators import engine_family
+
+        try:
+            engine_family(args.family)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            raise SystemExit(2)
     return DetectorConfig(
         cw_size=args.cw,
         tw_size=args.tw,
@@ -96,6 +121,11 @@ def _config_from_args(args: argparse.Namespace) -> DetectorConfig:
         analyzer=AnalyzerKind(args.analyzer),
         threshold=args.threshold,
         delta=args.delta,
+        family=args.family,
+        stat_threshold=args.stat_threshold,
+        newma_fast=args.newma_fast,
+        newma_slow=args.newma_slow,
+        sketch_dim=args.sketch_dim,
     )
 
 
@@ -264,10 +294,25 @@ def _bank_variants(base: DetectorConfig, count: int) -> List[DetectorConfig]:
     """A deterministic spread of ``count`` configs around ``base``.
 
     Cycles model x trailing x threshold so the bank exercises mixed
-    members the way a sweep grid does.
+    members the way a sweep grid does.  Non-windowed families have no
+    model/trailing axes, so their spread cycles the decision bar
+    instead.
     """
     from dataclasses import replace
     from itertools import cycle, islice
+
+    if not base.is_windowed:
+        from repro.comparators import engine_family
+
+        spec = engine_family(base.family)
+        bar = base.stat_threshold
+        if bar is None:
+            bar = getattr(spec.build(base), "stat_threshold", 1.0)
+        multipliers = (0.75, 0.9, 1.0, 1.1, 1.25, 1.5)
+        return [
+            replace(base, stat_threshold=bar * multiplier)
+            for multiplier in islice(cycle(multipliers), count)
+        ]
 
     variants = [
         (model, trailing, threshold)
@@ -332,7 +377,7 @@ def cmd_characteristics(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.config_space import PROFILES, paper_grid
+    from repro.experiments.config_space import PROFILES, family_grid, paper_grid
     from repro.experiments.parallel import resolve_jobs
     from repro.experiments.sweep import Sweep
 
@@ -356,8 +401,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         mmap=False if args.no_mmap else None,
         tracer=tracer,
     )
+    grid = paper_grid(profile)
+    if args.families:
+        try:
+            grid = grid + family_grid(profile, tuple(args.families))
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
     records = sweep.ensure(
-        paper_grid(profile), progress=not args.quiet, jobs=jobs,
+        grid, progress=not args.quiet, jobs=jobs,
         profiling=args.profiling,
     )
     print(
@@ -556,6 +608,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve.loadgen import serve_bench
 
+    if args.family != "windowed":
+        from repro.comparators import engine_family
+
+        try:
+            engine_family(args.family)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
     row = serve_bench(
         sessions=args.sessions,
         elements_per_session=args.elements,
@@ -573,13 +633,14 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         park_max_resident=args.park_max_resident,
         flight_record=Path(args.flight_record) if args.flight_record else None,
         flight_interval=args.flight_interval,
+        family=args.family,
     )
     if args.json:
         Path(args.json).write_text(json.dumps(row, indent=2) + "\n")
     main_row = row["main"]
     print(f"serve-bench: {main_row['sessions']} sessions x "
           f"{args.elements} elements over {args.transport} "
-          f"({row['source']} replay)")
+          f"({row['source']} replay, {row['family']} family)")
     print(f"  throughput: {main_row['events_per_sec']:,.0f} elements/sec "
           f"({main_row['elapsed_seconds']:.3f}s)")
     if main_row["latency_p50_ms"] is not None:
@@ -607,6 +668,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
         forwarded += ["--out", str(args.out)]
     if args.jobs is not None:
         forwarded += ["--jobs", str(args.jobs)]
+    if args.families:
+        forwarded += ["--families", *args.families]
     return generate_main(forwarded)
 
 
@@ -742,6 +805,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record sweep/bank/kernel spans to FILE as JSONL "
              "(serial evaluation; export with `repro obs trace export`)",
     )
+    sweep_parser.add_argument(
+        "--families", nargs="+", default=None, metavar="NAME",
+        help="also sweep these detector families (focus, newma, ...) — "
+             "appends their grid points to the paper grid",
+    )
     sweep_parser.set_defaults(handler=cmd_sweep)
 
     obs_parser = subparsers.add_parser(
@@ -862,6 +930,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench_parser.add_argument("--max-resident", type=int, default=None)
     serve_bench_parser.add_argument("--queue-size", type=int, default=8)
     serve_bench_parser.add_argument("--seed", type=int, default=17)
+    serve_bench_parser.add_argument(
+        "--family", default="windowed", metavar="NAME",
+        help="detector family the generated sessions run "
+             "(default windowed; e.g. focus, newma)",
+    )
     serve_bench_parser.add_argument("--no-verify", action="store_true",
                                     help="skip the offline byte comparison")
     serve_bench_parser.add_argument("--park-sessions", type=int, default=64,
@@ -900,6 +973,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="sweep worker processes (default: REPRO_JOBS, else all cores)",
+    )
+    generate_parser.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="detector families to add (cross-family table/figure)",
     )
     generate_parser.set_defaults(handler=cmd_generate)
 

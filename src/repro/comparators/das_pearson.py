@@ -18,6 +18,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.decision import DecisionEngine, PhaseDecision
+from repro.core.state import PhaseState
 from repro.profiles.trace import BranchTrace
 
 #: Default sample-window size and similarity threshold.
@@ -170,3 +172,104 @@ def run_das_local(
 ) -> DasPearsonResult:
     """Convenience one-shot run of the Das et al. local-region variant."""
     return DasLocalDetector(window_size, threshold).run(trace)
+
+
+class DasPearsonEngine(DecisionEngine):
+    """The global Das et al. detector as a :class:`DecisionEngine`.
+
+    An *online projection* of :class:`DasPearsonDetector`:
+    ``config.cw_size`` is the sample window, elements buffer until a
+    window fills, and each full window's Pearson correlation against
+    the phase target updates the in-phase flag.  Because the decision
+    protocol colors elements going forward, the per-element states lag
+    the batch formulation (:func:`run_das_pearson`, which colors each
+    window retroactively) by one window — the batch functions remain
+    the faithful reference implementation.
+
+    Statistic semantics are the correlation's: **high** means stable
+    (phase at ``statistic >= bar``), the reverse of the changepoint
+    families.  ``stat_threshold`` overrides :data:`DAS_THRESHOLD`.
+    """
+
+    family = "das_pearson"
+
+    def __init__(self, config, observer=None, metrics=None) -> None:
+        super().__init__(config, observer=observer, metrics=metrics)
+        bar = config.stat_threshold
+        self.stat_threshold = DAS_THRESHOLD if bar is None else bar
+        self._window = config.cw_size
+        self._detector = DasPearsonDetector(self._window, min(1.0, self.stat_threshold))
+        self._buffer: List[int] = []
+        self._in_phase = False
+
+    def step(self, elements) -> "PhaseDecision":
+        group_len = len(elements)
+        self._consumed += group_len
+        self._buffer.extend(elements)
+        statistic: Optional[float] = None
+        window = self._window
+        while len(self._buffer) >= window:
+            chunk = self._buffer[:window]
+            del self._buffer[:window]
+            correlation = self._detector.process_window(Counter(chunk))
+            statistic = correlation
+            self._in_phase = correlation >= self.stat_threshold
+            observer = self._observer
+            if observer is not None:
+                step = self._consumed
+                observer.emit(
+                    {
+                        "ev": "similarity",
+                        "step": step,
+                        "value": correlation,
+                        "cw": 0,
+                        "tw": 0,
+                    }
+                )
+                observer.emit(
+                    {
+                        "ev": "decision",
+                        "step": step,
+                        "state": "P" if self._in_phase else "T",
+                        "value": correlation,
+                        "bar": self.stat_threshold,
+                    }
+                )
+        entered = False
+        closed = None
+        if self._in_phase:
+            if not self.state.is_phase():
+                start = self._consumed - group_len
+                self.tracker.enter(self._consumed, start, start)
+                # The flag only flips at a window boundary, so a fresh
+                # correlation is always in hand on enter.
+                self._phase_stats_reset(statistic if statistic is not None else 0.0)
+                entered = True
+            elif statistic is not None:
+                self._phase_stats_update(statistic)
+            self.state = PhaseState.PHASE
+        else:
+            if self.state.is_phase():
+                closed = self._close(self._consumed - group_len)
+                self._phase_stats_clear()
+            self.state = PhaseState.TRANSITION
+        return PhaseDecision(self.state, statistic, entered, closed)
+
+    def _engine_state(self) -> Dict[str, object]:
+        target = self._detector._target
+        return {
+            "buffer": list(self._buffer),
+            "in_phase": self._in_phase,
+            # Pair list keeps the dict's insertion order, which the
+            # sparse Pearson's key-set iteration depends on for
+            # bit-identical restores.
+            "target": None if target is None else [[k, v] for k, v in target.items()],
+        }
+
+    def _restore_engine_state(self, payload: Dict[str, object]) -> None:
+        self._buffer = [int(element) for element in payload["buffer"]]
+        self._in_phase = bool(payload["in_phase"])
+        target = payload["target"]
+        self._detector._target = (
+            None if target is None else {int(k): int(v) for k, v in target}
+        )

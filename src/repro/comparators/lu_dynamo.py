@@ -19,10 +19,12 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.decision import DecisionEngine, PhaseDecision
+from repro.core.state import PhaseState
 from repro.profiles.trace import BranchTrace
 
 #: Their sample-window size (4K samples).
@@ -108,3 +110,131 @@ class LuDynamoDetector:
 def run_lu_dynamo(trace: BranchTrace, window_size: int = LU_WINDOW, **kwargs) -> LuDynamoResult:
     """Convenience one-shot run of the Lu et al. detector."""
     return LuDynamoDetector(window_size=window_size, **kwargs).run(trace)
+
+
+class LuDynamoEngine(DecisionEngine):
+    """The Lu et al. interval test as a :class:`DecisionEngine`.
+
+    An *online projection* of :class:`LuDynamoDetector`:
+    ``config.cw_size`` is the sample window, each full window's average
+    site address is tested against the mean ± sigma·stddev interval of
+    the previous ``LU_HISTORY`` windows, and the resulting in-phase
+    flag colors elements going forward (one-window lag versus the batch
+    :func:`run_lu_dynamo`, which colors each window retroactively).
+
+    The decision statistic is the deviation in stddev units, so **low**
+    means stable; ``stat_threshold`` overrides the :data:`LU_SIGMA`
+    interval half-width.
+    """
+
+    family = "lu_dynamo"
+
+    def __init__(self, config, observer=None, metrics=None) -> None:
+        super().__init__(config, observer=observer, metrics=metrics)
+        bar = config.stat_threshold
+        self.stat_threshold = LU_SIGMA if bar is None else bar
+        self._window = config.cw_size
+        self._buffer: List[int] = []
+        self._averages: Deque[float] = deque(maxlen=LU_HISTORY)
+        self._outside_streak = 0
+        self._in_phase = False
+
+    def _process_average(self, average: float) -> Optional[float]:
+        """The interval test of :meth:`LuDynamoDetector.process_window`,
+        returning the deviation statistic (None while history fills)."""
+        averages = self._averages
+        if len(averages) < LU_HISTORY:
+            averages.append(average)
+            self._in_phase = False
+            return None
+        mean = sum(averages) / len(averages)
+        variance = sum((a - mean) ** 2 for a in averages) / len(averages)
+        stddev = math.sqrt(variance)
+        if stddev:
+            deviation = abs(average - mean) / stddev
+            outside = deviation > self.stat_threshold
+        else:
+            outside = average != mean
+            deviation = 0.0 if not outside else self.stat_threshold + 1.0
+        if outside:
+            self._outside_streak += 1
+        else:
+            self._outside_streak = 0
+        if self._outside_streak >= LU_CONSECUTIVE:
+            averages.clear()
+            averages.append(average)
+            self._outside_streak = 0
+            self._in_phase = False
+        else:
+            averages.append(average)
+            self._in_phase = True
+        return deviation
+
+    def step(self, elements) -> "PhaseDecision":
+        group_len = len(elements)
+        self._consumed += group_len
+        self._buffer.extend(elements)
+        statistic: Optional[float] = None
+        window = self._window
+        while len(self._buffer) >= window:
+            chunk = self._buffer[:window]
+            del self._buffer[:window]
+            sites = np.asarray(chunk, dtype=np.int64) >> np.int64(1)
+            average = float(sites.astype(np.float64).mean())
+            deviation = self._process_average(average)
+            if deviation is not None:
+                statistic = deviation
+                observer = self._observer
+                if observer is not None:
+                    step = self._consumed
+                    observer.emit(
+                        {
+                            "ev": "similarity",
+                            "step": step,
+                            "value": deviation,
+                            "cw": 0,
+                            "tw": 0,
+                        }
+                    )
+                    observer.emit(
+                        {
+                            "ev": "decision",
+                            "step": step,
+                            "state": "P" if self._in_phase else "T",
+                            "value": deviation,
+                            "bar": self.stat_threshold,
+                        }
+                    )
+        entered = False
+        closed = None
+        if self._in_phase:
+            if not self.state.is_phase():
+                start = self._consumed - group_len
+                self.tracker.enter(self._consumed, start, start)
+                self._phase_stats_reset(statistic if statistic is not None else 0.0)
+                entered = True
+            elif statistic is not None:
+                self._phase_stats_update(statistic)
+            self.state = PhaseState.PHASE
+        else:
+            if self.state.is_phase():
+                closed = self._close(self._consumed - group_len)
+                self._phase_stats_clear()
+            self.state = PhaseState.TRANSITION
+        return PhaseDecision(self.state, statistic, entered, closed)
+
+    def _engine_state(self) -> Dict[str, object]:
+        return {
+            "buffer": list(self._buffer),
+            "averages": list(self._averages),
+            "streak": self._outside_streak,
+            "in_phase": self._in_phase,
+        }
+
+    def _restore_engine_state(self, payload: Dict[str, object]) -> None:
+        self._buffer = [int(element) for element in payload["buffer"]]
+        self._averages = deque(
+            (float(a) for a in payload["averages"]), maxlen=LU_HISTORY
+        )
+        self._outside_streak = int(payload["streak"])
+        self._in_phase = bool(payload["in_phase"])

@@ -35,11 +35,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import DetectorConfig
-from repro.core.runtime import (
-    SEGMENT_ELEMENTS,
-    DetectionResult,
-    DetectorRuntime,
-)
+from repro.core.decision import DetectionResult, build_engine
+from repro.core.runtime import SEGMENT_ELEMENTS
 from repro.profiles.trace import BranchTrace
 
 __all__ = ["DetectorBank"]
@@ -80,7 +77,7 @@ class DetectorBank:
                 f"got {len(observers)} observers for {len(configs)} configs"
             )
         self.runtimes = [
-            DetectorRuntime(config, observer=observer)
+            build_engine(config, observer=observer)
             for config, observer in zip(configs, observers)
         ]
 
@@ -219,15 +216,27 @@ class DetectorBank:
                     base = 0
                     while base < total:
                         stop = min(base + segment, total)
-                        groups = [
-                            elements[start : start + skip]
-                            for start in range(base, stop, skip)
-                        ]
-                        started = (
-                            time.perf_counter() if histogram is not None else 0.0
-                        )
-                        for index in members:
-                            runtimes[index].advance(groups, buffers[index], base)
+                        if skip == 1:
+                            # Skip-1 lanes share the flat element slice
+                            # directly — no per-element group lists.
+                            chunk = elements[base:stop]
+                            started = (
+                                time.perf_counter() if histogram is not None else 0.0
+                            )
+                            for index in members:
+                                runtimes[index].advance_flat(
+                                    chunk, buffers[index], base
+                                )
+                        else:
+                            groups = [
+                                elements[start : start + skip]
+                                for start in range(base, stop, skip)
+                            ]
+                            started = (
+                                time.perf_counter() if histogram is not None else 0.0
+                            )
+                            for index in members:
+                                runtimes[index].advance(groups, buffers[index], base)
                         if histogram is not None:
                             histogram.observe(time.perf_counter() - started)
                         base = stop

@@ -68,6 +68,20 @@ class DetectorConfig:
         enter_threshold: similarity needed to *enter* a phase under the
             Average analyzer (the paper specifies only the in-phase
             behavior; see DESIGN.md for this interpretation).
+        family: which detector family interprets this configuration —
+            ``"windowed"`` (the paper's grid, the default) or a name
+            from the :mod:`repro.comparators` registry (``"focus"``,
+            ``"newma"``, ...).  Non-windowed families read ``cw_size``
+            as their warm-up/window scale and ``skip_factor`` as the
+            elements-per-step group size; the window-policy fields are
+            ignored.
+        stat_threshold: the changepoint families' decision bar (FOCuS
+            statistic / NEWMA distance).  ``None`` picks the family's
+            documented default.
+        newma_fast: NEWMA's fast forgetting factor (lambda).
+        newma_slow: NEWMA's slow forgetting factor (Lambda); must be
+            below ``newma_fast``.
+        sketch_dim: NEWMA's hashed feature-sketch dimensionality.
     """
 
     cw_size: int
@@ -81,6 +95,11 @@ class DetectorConfig:
     threshold: float = 0.5
     delta: float = 0.05
     enter_threshold: float = 0.5
+    family: str = "windowed"
+    stat_threshold: Optional[float] = None
+    newma_fast: float = 0.2
+    newma_slow: float = 0.05
+    sketch_dim: int = 64
 
     def __post_init__(self) -> None:
         if self.cw_size <= 0:
@@ -97,6 +116,24 @@ class DetectorConfig:
             raise ValueError(
                 f"enter_threshold must be in [0, 1], got {self.enter_threshold}"
             )
+        if not self.family or not isinstance(self.family, str):
+            raise ValueError(f"family must be a non-empty string, got {self.family!r}")
+        if self.stat_threshold is not None and self.stat_threshold <= 0.0:
+            raise ValueError(
+                f"stat_threshold must be positive, got {self.stat_threshold}"
+            )
+        if not 0.0 < self.newma_slow < self.newma_fast < 1.0:
+            raise ValueError(
+                "need 0 < newma_slow < newma_fast < 1, got "
+                f"slow={self.newma_slow}, fast={self.newma_fast}"
+            )
+        if self.sketch_dim <= 0:
+            raise ValueError(f"sketch_dim must be positive, got {self.sketch_dim}")
+
+    @property
+    def is_windowed(self) -> bool:
+        """True for the paper's windowed grid (the default family)."""
+        return self.family == "windowed"
 
     @property
     def effective_tw_size(self) -> int:
@@ -137,7 +174,7 @@ class DetectorConfig:
 
     def key(self) -> Tuple:
         """A compact, hashable cache key for this configuration."""
-        return (
+        base = (
             self.cw_size,
             self.effective_tw_size,
             self.skip_factor,
@@ -150,10 +187,24 @@ class DetectorConfig:
             round(self.delta, 6),
             round(self.enter_threshold, 6),
         )
+        if self.is_windowed:
+            return base
+        return base + (
+            self.family,
+            None if self.stat_threshold is None else round(self.stat_threshold, 6),
+            round(self.newma_fast, 6),
+            round(self.newma_slow, 6),
+            self.sketch_dim,
+        )
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-safe dict representation (used by detector checkpoints)."""
-        return {
+        """A JSON-safe dict representation (used by detector checkpoints).
+
+        The windowed family serializes exactly its original 11 keys —
+        family fields appear only for non-windowed configurations — so
+        v1 windowed checkpoints stay byte-identical.
+        """
+        data: Dict[str, object] = {
             "cw_size": self.cw_size,
             "tw_size": self.tw_size,
             "skip_factor": self.skip_factor,
@@ -166,10 +217,18 @@ class DetectorConfig:
             "delta": self.delta,
             "enter_threshold": self.enter_threshold,
         }
+        if not self.is_windowed:
+            data["family"] = self.family
+            data["stat_threshold"] = self.stat_threshold
+            data["newma_fast"] = self.newma_fast
+            data["newma_slow"] = self.newma_slow
+            data["sketch_dim"] = self.sketch_dim
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "DetectorConfig":
         """Inverse of :meth:`to_dict`; validates via ``__post_init__``."""
+        stat_threshold = data.get("stat_threshold")
         return cls(
             cw_size=int(data["cw_size"]),
             tw_size=None if data.get("tw_size") is None else int(data["tw_size"]),
@@ -182,10 +241,45 @@ class DetectorConfig:
             threshold=float(data["threshold"]),
             delta=float(data["delta"]),
             enter_threshold=float(data["enter_threshold"]),
+            family=str(data.get("family", "windowed")),
+            stat_threshold=None if stat_threshold is None else float(stat_threshold),
+            newma_fast=float(data.get("newma_fast", 0.2)),
+            newma_slow=float(data.get("newma_slow", 0.05)),
+            sketch_dim=int(data.get("sketch_dim", 64)),
         )
+
+    @classmethod
+    def wire_defaults(cls) -> Dict[str, object]:
+        """Default values for every wire-settable field, family included.
+
+        What the serve layer's ``open`` message merges client overrides
+        into — unlike :meth:`to_dict` (whose windowed form is pinned to
+        the v1 checkpoint bytes), this always lists the family fields so
+        clients can select any registered family.
+        """
+        probe = cls(cw_size=1)
+        data = probe.to_dict()
+        data["family"] = probe.family
+        data["stat_threshold"] = probe.stat_threshold
+        data["newma_fast"] = probe.newma_fast
+        data["newma_slow"] = probe.newma_slow
+        data["sketch_dim"] = probe.sketch_dim
+        return data
 
     def describe(self) -> str:
         """A short human-readable label for reports."""
+        if not self.is_windowed:
+            bar = "auto" if self.stat_threshold is None else f"{self.stat_threshold}"
+            label = (
+                f"{self.family} cw={self.cw_size},skip={self.skip_factor} "
+                f"stat_thr={bar}"
+            )
+            if self.family == "newma":
+                label += (
+                    f" fast={self.newma_fast},slow={self.newma_slow}"
+                    f",dim={self.sketch_dim}"
+                )
+            return label
         window = f"cw={self.cw_size},tw={self.effective_tw_size},skip={self.skip_factor}"
         policy = self.trailing.value
         if self.trailing is TrailingPolicy.ADAPTIVE:

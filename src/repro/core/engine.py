@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import DetectorConfig
-from repro.core.runtime import DetectionResult, DetectorRuntime
+from repro.core.decision import DetectionResult, build_engine
 from repro.profiles.trace import BranchTrace
 
 __all__ = ["run_detector"]
@@ -30,6 +30,10 @@ def run_detector(
 ) -> DetectionResult:
     """Run ``config`` over ``trace`` with the optimized runtime path.
 
+    The engine is whatever ``config.family`` names (the windowed
+    :class:`~repro.core.runtime.DetectorRuntime` by default — see
+    :func:`repro.core.decision.build_engine`).
+
     ``observer`` is an optional observability sink (see
     :mod:`repro.obs`); it receives the identical event stream the
     reference :class:`~repro.core.detector.PhaseDetector` emits.  The
@@ -38,7 +42,7 @@ def run_detector(
 
     ``kernels`` controls the array-native kernels of
     :mod:`repro.core.kernels` (``None`` consults ``REPRO_KERNELS``;
-    they apply only to unobserved runs and produce bit-identical
-    results).
+    they apply only to unobserved windowed runs and produce
+    bit-identical results; other families ignore the flag).
     """
-    return DetectorRuntime(config, observer=observer).run(trace, kernels=kernels)
+    return build_engine(config, observer=observer).run(trace, kernels=kernels)

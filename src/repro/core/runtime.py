@@ -1,7 +1,7 @@
-"""The unified incremental detector runtime.
+"""The unified incremental windowed-detector runtime.
 
-Every way this codebase runs a detector — the readable reference
-:class:`~repro.core.detector.PhaseDetector`, the optimized
+Every way this codebase runs a windowed detector — the readable
+reference :class:`~repro.core.detector.PhaseDetector`, the optimized
 :func:`~repro.core.engine.run_detector`, the chunk-buffering
 :class:`~repro.core.stream.StreamingDetector`, and the multi-config
 :class:`~repro.core.bank.DetectorBank` — is a thin front over one
@@ -11,7 +11,12 @@ advances it ``skipFactor`` elements at a time, which is exactly the
 online contract of the paper's Figure 3 loop: the VM hands the detector
 one profile group per step.
 
-Two equivalent execution paths share that state:
+:class:`DetectorRuntime` is the windowed-grid implementation of the
+generic :class:`~repro.core.decision.DecisionEngine` — phase
+bookkeeping, decision records, and the chunked drivers live in
+:mod:`repro.core.decision` and are shared with the non-windowed
+families in :mod:`repro.comparators`.  Two equivalent execution paths
+share the runtime's state:
 
 - :meth:`DetectorRuntime.step` — the reference path, structured like
   the paper's pseudo-code on top of the pluggable
@@ -28,7 +33,10 @@ Two equivalent execution paths share that state:
   taken after either is identical.  Rare events (phase entry anchoring,
   window flushes) are delegated to the same
   :class:`~repro.core.windows.WindowPair` methods the reference path
-  uses.
+  uses.  :meth:`DetectorRuntime.advance_flat` is the same loop
+  specialized for ``skipFactor == 1`` lanes (each element its own
+  group), which lets the bank's lockstep lanes skip per-element group
+  lists entirely.
 
 Whole-trace runs additionally route through the array-native kernels of
 :mod:`repro.core.kernels` when the configuration qualifies — dense
@@ -36,21 +44,15 @@ element codes over flat count buffers, or a fully vectorized pass for
 non-adaptive windows — producing bit-identical results (same states,
 phases, similarity values, and checkpoints) at a fraction of the cost.
 
-Phase bookkeeping — opening, anchor-corrected starts, closing, and the
-``phase_enter``/``phase_exit`` observability events — lives in
-:class:`PhaseTracker` and nowhere else.
-
 The runtime's state is serializable: :meth:`DetectorRuntime.checkpoint`
-returns a JSON-safe dict (versioned schema, see ``docs/formats.md``)
-from which :meth:`DetectorRuntime.restore` resumes with bit-identical
-continuation — same states, same phases, same event stream as an
-uninterrupted run.
+returns a JSON-safe dict (the versioned **v1** windowed schema, see
+``docs/formats.md``) from which :meth:`DetectorRuntime.restore` resumes
+with bit-identical continuation — same states, same phases, same event
+stream as an uninterrupted run.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -62,6 +64,20 @@ from repro.core.analyzers import (
     build_analyzer,
 )
 from repro.core.config import DetectorConfig, TrailingPolicy
+from repro.core.decision import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CHECKPOINT_VERSION_FAMILY,
+    WINDOWED_FAMILY,
+    CheckpointError,
+    DecisionEngine,
+    DetectedPhase,
+    DetectionResult,
+    PhaseDecision,
+    PhaseTracker,
+    StepOutcome,
+    validate_checkpoint,
+)
 from repro.core.models import (
     SimilarityModel,
     UnweightedSetModel,
@@ -70,152 +86,31 @@ from repro.core.models import (
 )
 from repro.core.state import PhaseState
 from repro.profiles.trace import BranchTrace
-from repro.scoring.states import Interval, states_from_phases
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CHECKPOINT_VERSION_FAMILY",
+    "SEGMENT_ELEMENTS",
+    "CheckpointError",
+    "DecisionEngine",
+    "DetectedPhase",
+    "DetectionResult",
+    "DetectorRuntime",
+    "PhaseDecision",
+    "PhaseTracker",
+    "StepOutcome",
+    "validate_checkpoint",
+]
 
 #: Elements per fused :meth:`DetectorRuntime.run` segment — bounds the
 #: transient group-list memory without measurable sync overhead.
 SEGMENT_ELEMENTS = 1 << 16
 
-#: ``format`` field of a serialized checkpoint.
-CHECKPOINT_FORMAT = "repro-detector-checkpoint"
-#: Current checkpoint schema version (see ``docs/formats.md``).
-CHECKPOINT_VERSION = 1
 
-
-@dataclass(frozen=True)
-class DetectedPhase:
-    """One detected phase with both raw and anchor-corrected starts.
-
-    ``mean_similarity`` is the running average of the phase's similarity
-    values — the optional confidence signal Section 2 mentions a client
-    may want.
-    """
-
-    detected_start: int
-    corrected_start: int
-    end: int
-    mean_similarity: float = 0.0
-
-    @property
-    def length(self) -> int:
-        return self.end - self.detected_start
-
-    @property
-    def confidence(self) -> float:
-        """Alias: how stable the phase's similarity was, in [0, 1]."""
-        return self.mean_similarity
-
-
-@dataclass
-class DetectionResult:
-    """The full output of a detector run over one trace."""
-
-    states: np.ndarray               # bool, True = P, one per element
-    detected_phases: List[DetectedPhase]
-    config: DetectorConfig
-    similarity_values: Optional[np.ndarray] = None
-
-    @property
-    def num_elements(self) -> int:
-        return int(self.states.size)
-
-    def phases(self) -> List[Interval]:
-        """Detected phase intervals as reported online (detection-time starts)."""
-        return [(p.detected_start, p.end) for p in self.detected_phases]
-
-    def corrected_phases(self) -> List[Interval]:
-        """Phase intervals with anchor-corrected starts (Figure 8)."""
-        return [(p.corrected_start, p.end) for p in self.detected_phases]
-
-    def corrected_states(self) -> np.ndarray:
-        """State array rebuilt from the anchor-corrected intervals."""
-        return states_from_phases(self.corrected_phases(), self.num_elements)
-
-
-@dataclass(frozen=True)
-class StepOutcome:
-    """What one :meth:`DetectorRuntime.step` call did.
-
-    ``similarity`` is the value the analyzer's decision actually used —
-    ``None`` while the windows are still filling.  Callers that record
-    similarities must use this instead of re-querying the model: after
-    a phase-entry step the Adaptive TW has already been resized, and
-    after a phase-exit step the windows are flushed, so a recomputed
-    value would differ from the one the decision saw.
-    """
-
-    state: PhaseState
-    similarity: Optional[float]
-    entered: bool = False
-    closed: Optional[DetectedPhase] = None
-
-
-class CheckpointError(ValueError):
-    """Raised for malformed, unsupported, or impossible checkpoints."""
-
-
-class PhaseTracker:
-    """The single home of per-phase bookkeeping and boundary events.
-
-    Tracks the open phase (detection-time and anchor-corrected starts),
-    accumulates closed :class:`DetectedPhase` records, and emits the
-    ``phase_enter``/``phase_exit`` observability events.  Both runtime
-    paths — and nothing outside this module — drive it.
-    """
-
-    __slots__ = ("observer", "phases", "open_detected", "open_corrected")
-
-    def __init__(self, observer=None) -> None:
-        self.observer = observer
-        self.phases: List[DetectedPhase] = []
-        self.open_detected = -1
-        self.open_corrected = -1
-
-    @property
-    def open(self) -> bool:
-        """True while a phase is open (entered but not yet closed)."""
-        return self.open_detected >= 0
-
-    def enter(self, step: int, detected_start: int, anchor_abs: int) -> None:
-        """Open a phase detected at ``detected_start`` (anchor at ``anchor_abs``)."""
-        corrected = anchor_abs if anchor_abs < detected_start else detected_start
-        self.open_detected = detected_start
-        self.open_corrected = corrected
-        if self.observer is not None:
-            self.observer.emit(
-                {
-                    "ev": "phase_enter",
-                    "step": step,
-                    "detected_start": detected_start,
-                    "corrected_start": corrected,
-                    "anchor": anchor_abs,
-                }
-            )
-
-    def exit(self, step: int, end: int, mean_similarity: float) -> DetectedPhase:
-        """Close the open phase at ``end``; record and return it."""
-        phase = DetectedPhase(
-            self.open_detected, self.open_corrected, end, mean_similarity
-        )
-        self.phases.append(phase)
-        self.open_detected = -1
-        self.open_corrected = -1
-        if self.observer is not None:
-            self.observer.emit(
-                {
-                    "ev": "phase_exit",
-                    "step": step,
-                    "detected_start": phase.detected_start,
-                    "corrected_start": phase.corrected_start,
-                    "end": end,
-                    "mean_similarity": mean_similarity,
-                }
-            )
-        return phase
-
-
-class DetectorRuntime:
-    """One detector's full incremental state plus the two ways to advance it.
+class DetectorRuntime(DecisionEngine):
+    """One windowed detector's full incremental state plus the two ways
+    to advance it.
 
     Args:
         config: the detector configuration.
@@ -235,6 +130,8 @@ class DetectorRuntime:
             ``None`` costs one branch per chunk, never per element.
     """
 
+    family = WINDOWED_FAMILY
+
     def __init__(
         self,
         config: DetectorConfig,
@@ -243,14 +140,10 @@ class DetectorRuntime:
         analyzer: Optional[Analyzer] = None,
         metrics=None,
     ) -> None:
-        self.config = config
+        super().__init__(config, observer=observer, metrics=metrics)
         self.model: SimilarityModel = model if model is not None else build_model(config)
         self.analyzer: Analyzer = analyzer if analyzer is not None else build_analyzer(config)
-        self.state = PhaseState.TRANSITION
-        self.tracker = PhaseTracker(observer)
         self._adaptive = config.trailing is TrailingPolicy.ADAPTIVE
-        self._observer = observer
-        self.metrics = metrics
         self.model.observer = observer  # windows emit tw_resize/window_flush
 
     # -- observer plumbing -----------------------------------------------------
@@ -271,11 +164,6 @@ class DetectorRuntime:
     def consumed(self) -> int:
         """Total profile elements consumed since the start of the stream."""
         return self.model.consumed
-
-    @property
-    def phases(self) -> List[DetectedPhase]:
-        """Phases closed so far (the open phase, if any, is not included)."""
-        return self.tracker.phases
 
     def fused_capable(self) -> bool:
         """True when :meth:`advance` may use the optimized inline path.
@@ -363,45 +251,25 @@ class DetectorRuntime:
         mean = stats.total / stats.count if stats.count else 0.0
         return self.tracker.exit(self.model.consumed, end, mean)
 
-    def finish(self, total_elements: int) -> List[DetectedPhase]:
-        """Close any phase still open at end of stream; return all phases."""
-        if self.state.is_phase():
-            self._close(total_elements)
-            self.state = PhaseState.TRANSITION
-        return list(self.tracker.phases)
-
     # -- the optimized path ----------------------------------------------------
 
-    def advance(
+    def _advance_groups(
         self, groups: Sequence[Sequence[int]], states: bytearray, base: int
     ) -> None:
-        """Advance over pre-chunked ``skipFactor`` groups.
-
-        ``states`` must already hold zero bytes for every element in
-        ``groups`` starting at offset ``base``; in-phase groups are
-        marked with ``\\x01``.  With the standard components this runs
-        the optimized inline loop; otherwise it loops :meth:`step`.
-
-        When a ``metrics`` registry is attached the chunk's wall time
-        lands in the ``runtime.advance_seconds`` histogram — one
-        observation per chunk, nothing per element.
-        """
-        metrics = self.metrics
-        started = time.perf_counter() if metrics is not None else 0.0
+        """With the standard components this runs the optimized inline
+        loop; otherwise it loops :meth:`step`."""
         if self.fused_capable():
             self._advance_fused(groups, states, base)
         else:
-            offset = base
-            for group in groups:
-                outcome = self.step(group)
-                group_len = len(group)
-                if outcome.state.is_phase():
-                    states[offset : offset + group_len] = b"\x01" * group_len
-                offset += group_len
-        if metrics is not None:
-            metrics.histogram("runtime.advance_seconds").observe(
-                time.perf_counter() - started
-            )
+            super()._advance_groups(groups, states, base)
+
+    def _advance_elements(
+        self, elements: Sequence[int], states: bytearray, base: int
+    ) -> None:
+        if self.fused_capable():
+            self._advance_fused_single(elements, states, base)
+        else:
+            super()._advance_elements(elements, states, base)
 
     def _advance_fused(
         self, groups: Sequence[Sequence[int]], states: bytearray, base: int
@@ -674,6 +542,258 @@ class DetectorRuntime:
         stats.maximum = stat_max
         self.state = PhaseState.PHASE if in_phase else PhaseState.TRANSITION
 
+    def _advance_fused_single(
+        self, elements: Sequence[int], states: bytearray, base: int
+    ) -> None:
+        """:meth:`_advance_fused` specialized for ``skipFactor == 1``.
+
+        Bit-identical to the group loop with every element wrapped in
+        its own singleton group (the single-element equivalence test
+        pins this), but iterates the flat element list the bank's
+        skip-1 lanes share — no group lists, no inner loop, and
+        single-byte state stores.  Same arithmetic in the same order,
+        so states, similarity floats, events, and checkpoints are
+        unchanged.
+        """
+        config = self.config
+        model = self.model
+        analyzer = self.analyzer
+        tracker = self.tracker
+        observer = self._observer
+        emit = observer.emit if observer is not None else None
+
+        cw_cap = model.cw_capacity
+        tw_cap = model.tw_capacity
+        adaptive = self._adaptive
+        weighted = type(model) is WeightedSetModel
+        threshold_analyzer = type(analyzer) is ThresholdAnalyzer
+        threshold = analyzer.threshold if threshold_analyzer else 0.0
+        delta = 0.0 if threshold_analyzer else analyzer.delta
+        enter_threshold = 0.0 if threshold_analyzer else analyzer.enter_threshold
+        anchor_policy = config.anchor
+        resize_policy = config.resize
+
+        cw = model._cw
+        tw = model._tw
+        cw_counts = model.cw_counts
+        tw_counts = model.tw_counts
+        consumed = model.consumed
+        filled = model.filled
+        growing = model.growing
+        in_phase = self.state is PhaseState.PHASE
+
+        stats = analyzer.stats
+        stat_total = stats.total
+        stat_count = stats.count
+        stat_min = stats.minimum
+        stat_max = stats.maximum
+
+        distinct_cw = len(cw_counts)
+        shared = 0
+        for element in cw_counts:
+            if element in tw_counts:
+                shared += 1
+        s_num = 0
+        s_dirty = True
+
+        cw_append = cw.append
+        cw_popleft = cw.popleft
+        tw_append = tw.append
+        tw_popleft = tw.popleft
+        cw_counts_get = cw_counts.get
+        tw_counts_get = tw_counts.get
+
+        offset = base
+        for element in elements:
+            steady_w = (
+                weighted
+                and not s_dirty
+                and filled
+                and not growing
+                and len(cw) == cw_cap
+                and len(tw) == tw_cap
+            )
+            if weighted and not steady_w:
+                s_dirty = True
+
+            # ---- push the element through the windows ------------------------
+            consumed += 1
+            cw_append(element)
+            count = cw_counts_get(element, 0) + 1
+            cw_counts[element] = count
+            if count == 1:
+                distinct_cw += 1
+                if element in tw_counts:
+                    shared += 1
+            if steady_w:
+                tw_count = tw_counts_get(element, 0)
+                if tw_count:
+                    s_num += min(count * tw_cap, tw_count * cw_cap) - min(
+                        (count - 1) * tw_cap, tw_count * cw_cap
+                    )
+            if len(cw) > cw_cap:
+                old = cw_popleft()
+                old_count = cw_counts[old] - 1
+                if old_count:
+                    cw_counts[old] = old_count
+                else:
+                    del cw_counts[old]
+                    distinct_cw -= 1
+                    if old in tw_counts:
+                        shared -= 1
+                old_tw = tw_counts_get(old, 0)
+                if steady_w and old_tw:
+                    s_num += min(old_count * tw_cap, old_tw * cw_cap) - min(
+                        (old_count + 1) * tw_cap, old_tw * cw_cap
+                    )
+                tw_append(old)
+                tw_counts[old] = old_tw + 1
+                if old_tw == 0 and old_count:
+                    shared += 1
+                if steady_w and old_count:
+                    s_num += min(old_count * tw_cap, (old_tw + 1) * cw_cap) - min(
+                        old_count * tw_cap, old_tw * cw_cap
+                    )
+                if not growing and len(tw) > tw_cap:
+                    dead = tw_popleft()
+                    dead_count = tw_counts[dead] - 1
+                    if dead_count:
+                        tw_counts[dead] = dead_count
+                    else:
+                        del tw_counts[dead]
+                        if dead in cw_counts:
+                            shared -= 1
+                    if steady_w:
+                        dead_cw = cw_counts_get(dead, 0)
+                        if dead_cw:
+                            s_num += min(
+                                dead_cw * tw_cap, dead_count * cw_cap
+                            ) - min(dead_cw * tw_cap, (dead_count + 1) * cw_cap)
+
+            if not filled and len(tw) >= tw_cap and len(cw) >= cw_cap:
+                filled = True
+
+            # ---- similarity + analyzer ---------------------------------------
+            if not filled:
+                new_in_phase = False
+                similarity = 0.0
+            else:
+                if weighted:
+                    cw_len = len(cw)
+                    tw_len = len(tw)
+                    if s_dirty:
+                        s_num = 0
+                        for cw_element, count in cw_counts.items():
+                            tw_count = tw_counts_get(cw_element)
+                            if tw_count is not None:
+                                s_num += min(count * tw_len, tw_count * cw_len)
+                        if cw_len == cw_cap and tw_len == tw_cap:
+                            s_dirty = False
+                    similarity = s_num / (cw_len * tw_len) if cw_len and tw_len else 0.0
+                else:
+                    similarity = shared / distinct_cw if distinct_cw else 0.0
+                if threshold_analyzer:
+                    new_in_phase = similarity >= threshold
+                elif in_phase and stat_count:
+                    new_in_phase = similarity >= (stat_total / stat_count) - delta
+                else:
+                    new_in_phase = similarity >= enter_threshold
+                if emit is not None:
+                    emit(
+                        {
+                            "ev": "similarity",
+                            "step": consumed,
+                            "value": similarity,
+                            "cw": len(cw),
+                            "tw": len(tw),
+                        }
+                    )
+                    if threshold_analyzer:
+                        bar = threshold
+                    elif in_phase and stat_count:
+                        bar = (stat_total / stat_count) - delta
+                    else:
+                        bar = enter_threshold
+                    emit(
+                        {
+                            "ev": "decision",
+                            "step": consumed,
+                            "state": "P" if new_in_phase else "T",
+                            "value": similarity,
+                            "bar": bar,
+                        }
+                    )
+
+            # ---- state transitions (Figure 3) --------------------------------
+            if not in_phase and new_in_phase:
+                model.consumed = consumed
+                model.filled = filled
+                model.growing = growing
+                if not weighted:
+                    model._distinct_cw = distinct_cw
+                    model._shared = shared
+                anchor_abs = model.anchor_and_resize(
+                    anchor_policy, resize_policy, adaptive
+                )
+                growing = model.growing
+                distinct_cw = len(cw_counts)
+                shared = 0
+                for cw_element in cw_counts:
+                    if cw_element in tw_counts:
+                        shared += 1
+                s_dirty = True
+                analyzer.reset_stats(similarity)
+                stat_total = stats.total
+                stat_count = stats.count
+                stat_min = stats.minimum
+                stat_max = stats.maximum
+                tracker.enter(consumed, consumed - 1, anchor_abs)
+            elif in_phase and not new_in_phase:
+                phase_mean = stat_total / stat_count if stat_count else 0.0
+                tracker.exit(consumed, consumed - 1, phase_mean)
+                model.consumed = consumed
+                if not weighted:
+                    model._distinct_cw = distinct_cw
+                    model._shared = shared
+                model.clear_and_seed([element])
+                analyzer.clear()
+                filled = False
+                growing = False
+                distinct_cw = len(cw_counts)
+                shared = 0
+                s_num = 0
+                s_dirty = True
+                stat_total = stats.total
+                stat_count = stats.count
+                stat_min = stats.minimum
+                stat_max = stats.maximum
+            elif in_phase:
+                stat_total += similarity
+                stat_count += 1
+                if similarity < stat_min:
+                    stat_min = similarity
+                if similarity > stat_max:
+                    stat_max = similarity
+
+            if new_in_phase:
+                states[offset] = 1
+
+            in_phase = new_in_phase
+            offset += 1
+
+        # ---- sync everything back so the paths interleave freely -------------
+        model.consumed = consumed
+        model.filled = filled
+        model.growing = growing
+        if not weighted:
+            model._distinct_cw = distinct_cw
+            model._shared = shared
+        stats.total = stat_total
+        stats.count = stat_count
+        stats.minimum = stat_min
+        stats.maximum = stat_max
+        self.state = PhaseState.PHASE if in_phase else PhaseState.TRANSITION
+
     # -- whole-trace driving ---------------------------------------------------
 
     def run(
@@ -798,11 +918,13 @@ class DetectorRuntime:
     def checkpoint(self) -> Dict[str, object]:
         """Serialize the full detector state as a JSON-safe dict.
 
-        The schema is versioned (``version`` = :data:`CHECKPOINT_VERSION`,
-        documented in ``docs/formats.md``); :meth:`restore` resumes with
-        bit-identical continuation.  Only the standard model/analyzer
-        components are serializable — custom components raise
-        :class:`CheckpointError`.
+        The windowed grid keeps its original **v1** schema (``version``
+        = :data:`CHECKPOINT_VERSION`, documented in ``docs/formats.md``)
+        — byte-for-byte what it wrote before the decision-layer split —
+        so existing checkpoints and their consumers are untouched.
+        :meth:`restore` resumes with bit-identical continuation.  Only
+        the standard model/analyzer components are serializable —
+        custom components raise :class:`CheckpointError`.
         """
         if not self.fused_capable():
             raise CheckpointError(
@@ -843,8 +965,19 @@ class DetectorRuntime:
     def restore(
         cls, data: Dict[str, object], observer=None, metrics=None
     ) -> "DetectorRuntime":
-        """Rebuild a runtime from a :meth:`checkpoint` dict."""
+        """Rebuild a runtime from a :meth:`checkpoint` dict (schema v1).
+
+        Family (v2) checkpoints belong to their engines — route them
+        through :func:`repro.core.decision.restore_engine` instead.
+        """
         validate_checkpoint(data)
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{cls.__name__} reads windowed checkpoints "
+                f"(version {CHECKPOINT_VERSION}), got version "
+                f"{data.get('version')!r} — use "
+                "repro.core.decision.restore_engine for family checkpoints"
+            )
         config = DetectorConfig.from_dict(data["config"])  # type: ignore[arg-type]
         runtime = cls(config, observer=observer, metrics=metrics)
         model = runtime.model
@@ -875,28 +1008,3 @@ class DetectorRuntime:
             for p in data["phases"]  # type: ignore[union-attr]
         ]
         return runtime
-
-
-def validate_checkpoint(data: Dict[str, object]) -> None:
-    """Check a checkpoint dict's envelope; raise :class:`CheckpointError`.
-
-    Unknown versions are rejected outright — a newer schema may encode
-    state this code cannot faithfully resume.
-    """
-    if not isinstance(data, dict):
-        raise CheckpointError(f"checkpoint must be a dict, got {type(data).__name__}")
-    if data.get("format") != CHECKPOINT_FORMAT:
-        raise CheckpointError(
-            f"not a detector checkpoint (format={data.get('format')!r})"
-        )
-    version = data.get("version")
-    if version != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"unsupported checkpoint version {version!r} "
-            f"(this build reads version {CHECKPOINT_VERSION})"
-        )
-    required = ("config", "consumed", "state", "filled", "growing",
-                "cw", "tw", "stats", "phases")
-    missing = [field for field in required if field not in data]
-    if missing:
-        raise CheckpointError(f"checkpoint missing fields {missing}")

@@ -6,7 +6,9 @@ VM hands the detector ``skipFactor`` elements at a time.  This module
 provides the two glue layers a deployment needs:
 
 - :class:`StreamingDetector` — buffers an arbitrary-chunk element feed
-  and drives a :class:`~repro.core.runtime.DetectorRuntime` exactly
+  and drives a :class:`~repro.core.decision.DecisionEngine` (whatever
+  family the config names; the windowed
+  :class:`~repro.core.runtime.DetectorRuntime` by default) exactly
   ``skipFactor`` elements per step (notifying an optional callback at
   every phase boundary);
 - :func:`detect_stream` — detection over a binary trace file via
@@ -35,11 +37,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.config import DetectorConfig
-from repro.core.runtime import (
+from repro.core.decision import (
     CheckpointError,
+    DecisionEngine,
     DetectedPhase,
     DetectionResult,
-    DetectorRuntime,
+    build_engine,
+    restore_engine,
 )
 
 #: Callback signature: (event, position) with event "start" or "end".
@@ -60,7 +64,7 @@ class StreamingDetector:
         self,
         config: DetectorConfig,
         on_boundary: Optional[BoundaryCallback] = None,
-        runtime: Optional[DetectorRuntime] = None,
+        runtime: Optional[DecisionEngine] = None,
         observer=None,
         metrics=None,
     ) -> None:
@@ -68,7 +72,7 @@ class StreamingDetector:
         self.runtime = (
             runtime
             if runtime is not None
-            else DetectorRuntime(config, observer=observer, metrics=metrics)
+            else build_engine(config, observer=observer, metrics=metrics)
         )
         self._buffer: List[int] = []
         self._states = bytearray()
@@ -162,8 +166,13 @@ class StreamingDetector:
         observer=None,
         metrics=None,
     ) -> "StreamingDetector":
-        """Rebuild a streaming detector from a :meth:`checkpoint` dict."""
-        runtime = DetectorRuntime.restore(data, observer=observer, metrics=metrics)
+        """Rebuild a streaming detector from a :meth:`checkpoint` dict.
+
+        Accepts both checkpoint schemas: v1 rebuilds the windowed
+        runtime, v2 dispatches on the ``family`` tag (see
+        :func:`repro.core.decision.restore_engine`).
+        """
+        runtime = restore_engine(data, observer=observer, metrics=metrics)
         stream_data = data.get("stream")
         if not isinstance(stream_data, dict):
             raise CheckpointError("checkpoint has no stream section")

@@ -86,31 +86,54 @@ PAPER = SuiteProfile(name="paper", workload_scale=20.0)
 PROFILES = {p.name: p for p in (QUICK, DEFAULT, PAPER)}
 
 
+#: ConfigSpec families that are *window policies* of the paper's grid
+#: (everything else names a detector family from the
+#: :mod:`repro.comparators` registry).
+WINDOW_FAMILIES: Tuple[str, ...] = ("fixed", "constant", "adaptive")
+
+
 @dataclass(frozen=True)
 class ConfigSpec:
     """One grid point, in nominal units.
 
     ``family`` is one of ``fixed`` (skipFactor = CW = TW, the extant
     approach), ``constant`` (Constant TW, skipFactor 1), or ``adaptive``
-    (Adaptive TW, skipFactor 1).
+    (Adaptive TW, skipFactor 1) for the paper's windowed grid — or a
+    detector-family name from the :mod:`repro.comparators` registry
+    (``focus``, ``newma``, ...), in which case ``value`` is the
+    family's decision bar (``stat_threshold``) and the model/analyzer
+    fields are carried but unused.
     """
 
     family: str
     cw_nominal: int
     model: ModelKind
     analyzer: AnalyzerKind
-    value: float  # threshold or delta
+    value: float  # threshold or delta (windowed) / stat bar (families)
     anchor: AnchorPolicy = AnchorPolicy.RN
     resize: ResizePolicy = ResizePolicy.SLIDE
 
     def analyzer_label(self) -> str:
-        """'thr=0.6' or 'avg=0.05' — the figures' x-axis labels."""
+        """'thr=0.6' or 'avg=0.05' — the figures' x-axis labels.
+
+        Detector-family grid points label their decision bar
+        ('stat=16.0') instead.
+        """
+        if self.family not in WINDOW_FAMILIES:
+            return f"stat={self.value}"
         kind = "thr" if self.analyzer is AnalyzerKind.THRESHOLD else "avg"
         return f"{kind}={self.value}"
 
     def to_config(self, profile: SuiteProfile) -> DetectorConfig:
         """Materialize the actual DetectorConfig for ``profile``."""
         cw = profile.actual(self.cw_nominal)
+        if self.family not in WINDOW_FAMILIES:
+            return DetectorConfig(
+                cw_size=cw,
+                skip_factor=1,
+                family=self.family,
+                stat_threshold=self.value,
+            )
         threshold = self.value if self.analyzer is AnalyzerKind.THRESHOLD else 0.5
         delta = self.value if self.analyzer is AnalyzerKind.AVERAGE else 0.05
         if self.family == "fixed":
@@ -179,6 +202,46 @@ def paper_grid(profile: SuiteProfile) -> List[ConfigSpec]:
                         value,
                         anchor=anchor,
                         resize=resize,
+                    )
+                )
+    return specs
+
+
+#: The decision-bar values each detector family sweeps (its analyzer
+#: axis).  Chosen around each family's documented default bar.
+FAMILY_BAR_VALUES = {
+    "focus": (8.0, 16.0, 32.0),
+    "newma": (3.0, 4.0, 5.0),
+    "das_pearson": (0.6, 0.8),
+    "lu_dynamo": (1.5, 2.0, 3.0),
+    "dhodapkar_smith": (0.5,),
+}
+
+
+def family_grid(profile: SuiteProfile, families: Tuple[str, ...]) -> List[ConfigSpec]:
+    """Grid points for non-windowed detector families.
+
+    Each family sweeps the profile's CW nominals (its warm-up/window
+    scale) against :data:`FAMILY_BAR_VALUES`.  Appended to
+    :func:`paper_grid` by ``repro sweep --families`` — strictly
+    additive, so the windowed grid's records and cache keys are
+    untouched.
+    """
+    from repro.comparators import engine_family
+
+    specs: List[ConfigSpec] = []
+    for family in families:
+        engine_family(family)  # validate the name early, with the registry's error
+        bars = FAMILY_BAR_VALUES.get(family, (1.0,))
+        for cw in profile.cw_nominals:
+            for value in bars:
+                specs.append(
+                    ConfigSpec(
+                        family,
+                        cw,
+                        ModelKind.UNWEIGHTED,
+                        AnalyzerKind.THRESHOLD,
+                        value,
                     )
                 )
     return specs

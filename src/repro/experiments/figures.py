@@ -17,6 +17,7 @@ from repro.experiments.aggregate import (
     best_by,
     cw_at_most_half,
     family_default,
+    family_is,
     mean,
     percent_improvement,
 )
@@ -24,6 +25,7 @@ from repro.experiments.config_space import (
     MPL_NOMINALS,
     MPL_NOMINALS_EXTENDED,
     MPL_NOMINALS_FIGURES,
+    WINDOW_FAMILIES,
     SuiteProfile,
 )
 from repro.experiments.report import nominal_label, render_table
@@ -281,4 +283,135 @@ def figure_8(
         title="Figure 8: average best score with anchor-corrected boundaries",
         mpl_nominals=list(mpl_nominals),
         series=series,
+    )
+
+
+# -- Cross-family comparison (beyond the paper's figures) ----------------------
+
+#: Display order and labels for the detector-family comparison: the
+#: paper's windowed grid (best over its default variants) against each
+#: registered changepoint/related-work family (``docs/detectors.md``).
+DETECTOR_FAMILY_SERIES: Tuple[Tuple[str, str], ...] = (
+    ("windowed", "Windowed grid"),
+    ("focus", "FOCuS"),
+    ("newma", "NEWMA"),
+    ("das_pearson", "Das Pearson"),
+    ("lu_dynamo", "Lu DYNAMO"),
+    ("dhodapkar_smith", "Dhodapkar-Smith"),
+)
+
+
+def _family_predicate(name: str):
+    """Records belonging to one comparison series.
+
+    The ``windowed`` series is the best over the paper grid's default
+    anchor/resize variants (all three TW policies, both models, every
+    analyzer); other names match the detector family directly.
+    """
+    if name == "windowed":
+        def check(record: SweepRecord) -> bool:
+            return record.family in WINDOW_FAMILIES and family_default(
+                record.family
+            )(record)
+
+        return check
+    return family_is(name)
+
+
+def figure_families(
+    records: Sequence[SweepRecord],
+    mpl_nominals: Sequence[int] = MPL_NOMINALS_FIGURES,
+) -> FigureSeries:
+    """Cross-family figure: average best score vs MPL, one series per
+    detector family.
+
+    Same aggregation discipline as Figure 4 — best score per benchmark
+    over each family's own parameter axes (CW at most 1/2 the MPL,
+    decision bar free), averaged across benchmarks, cells with too few
+    baseline phases excluded.  Families absent from ``records`` render
+    as ``-``.
+    """
+    present = {record.family for record in records}
+    series: Dict[str, List[float]] = {}
+    for name, label in DETECTOR_FAMILY_SERIES:
+        if name != "windowed" and name not in present:
+            continue
+        series[label] = [
+            average_best_score(
+                records,
+                where=and_(
+                    _family_predicate(name),
+                    cw_at_most_half,
+                    _at_mpl(nominal),
+                    enough_phases,
+                ),
+            )
+            for nominal in mpl_nominals
+        ]
+    return FigureSeries(
+        title="Cross-family: average best score vs MPL (detector families)",
+        mpl_nominals=list(mpl_nominals),
+        series=series,
+    )
+
+
+@dataclass
+class FamilyTable:
+    """Per-benchmark best scores, one column per detector family."""
+
+    title: str
+    benchmarks: List[str]
+    #: family label -> {benchmark -> best score or None}
+    columns: Dict[str, Dict[str, Optional[float]]]
+
+    def render(self) -> str:
+        headers = ["Benchmark"] + list(self.columns)
+        rows: List[List[object]] = []
+        for benchmark in self.benchmarks:
+            row: List[object] = [benchmark]
+            for label in self.columns:
+                value = self.columns[label].get(benchmark)
+                row.append("-" if value is None else round(value, 3))
+            rows.append(row)
+        average_row: List[object] = ["average"]
+        for label in self.columns:
+            values = [v for v in self.columns[label].values() if v is not None]
+            average_row.append("-" if not values else round(mean(values), 3))
+        rows.append(average_row)
+        return render_table(headers, rows, title=self.title)
+
+
+def table_families(
+    records: Sequence[SweepRecord],
+    benchmarks: Sequence[str],
+    mpl_nominal: int = 10_000,
+) -> FamilyTable:
+    """Cross-family table: best score per benchmark at one MPL.
+
+    Each cell is the family's best score over its whole parameter axis
+    (CW sizes and decision bars) for that benchmark, so the comparison
+    is each family at its best, not at one hand-picked setting.
+    """
+    present = {record.family for record in records}
+    columns: Dict[str, Dict[str, Optional[float]]] = {}
+    for name, label in DETECTOR_FAMILY_SERIES:
+        if name != "windowed" and name not in present:
+            continue
+        best = best_by(
+            records,
+            key=lambda r: (r.benchmark,),
+            where=and_(
+                _family_predicate(name),
+                cw_at_most_half,
+                _at_mpl(mpl_nominal),
+            ),
+        )
+        columns[label] = {b: best.get((b,)) for b in benchmarks}
+    return FamilyTable(
+        title=(
+            "Cross-family: best score per benchmark "
+            f"(MPL {nominal_label(mpl_nominal)})"
+        ),
+        benchmarks=list(benchmarks),
+        columns=columns,
     )

@@ -13,10 +13,15 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.experiments import figures, tables
-from repro.experiments.config_space import PROFILES, SuiteProfile, paper_grid
+from repro.experiments.config_space import (
+    PROFILES,
+    SuiteProfile,
+    family_grid,
+    paper_grid,
+)
 from repro.experiments.sweep import Sweep
 
 
@@ -26,6 +31,7 @@ def generate_all(
     progress: bool = False,
     sweep: Optional[Sweep] = None,
     jobs: Optional[int] = None,
+    families: Optional[Sequence[str]] = None,
 ) -> Dict[str, str]:
     """Render every table/figure for ``profile``.
 
@@ -33,10 +39,15 @@ def generate_all(
     text.  With ``out_dir`` set, each artifact is also written to
     ``<out_dir>/<name>.txt``.  ``jobs`` selects the sweep worker count
     (``None`` keeps the sweep's own default; >1 runs multiprocess).
+    ``families`` adds the named detector families' grid points
+    (``docs/detectors.md``) and the cross-family table/figure.
     """
     if sweep is None:
         sweep = Sweep(profile)
-    records = sweep.ensure(paper_grid(profile), progress=progress, jobs=jobs)
+    specs = paper_grid(profile)
+    if families:
+        specs = specs + family_grid(profile, tuple(families))
+    records = sweep.ensure(specs, progress=progress, jobs=jobs)
 
     artifacts: Dict[str, str] = {}
     artifacts["table_1a"] = tables.table_1a(sweep).render()
@@ -50,6 +61,11 @@ def generate_all(
     artifacts["figure_7a"] = figures.figure_7a(records, sweep.benchmarks).render()
     artifacts["figure_7b"] = figures.figure_7b(records, sweep.benchmarks).render()
     artifacts["figure_8"] = figures.figure_8(records).render()
+    if families:
+        artifacts["table_families"] = figures.table_families(
+            records, sweep.benchmarks
+        ).render()
+        artifacts["figure_families"] = figures.figure_families(records).render()
 
     from repro.experiments.detail import per_benchmark_best, per_benchmark_winner
 
@@ -94,6 +110,13 @@ def main(argv=None) -> int:
         default=None,
         help="sweep worker processes (default: REPRO_JOBS, else all cores)",
     )
+    parser.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="detector families to add (cross-family table/figure)",
+    )
     args = parser.parse_args(argv)
     from repro.experiments.parallel import resolve_jobs
     from repro.obs.logsetup import setup_logging
@@ -101,7 +124,7 @@ def main(argv=None) -> int:
     setup_logging(verbosity=-1 if args.quiet else 0)
     artifacts = generate_all(
         PROFILES[args.profile], out_dir=args.out, progress=not args.quiet,
-        jobs=resolve_jobs(args.jobs),
+        jobs=resolve_jobs(args.jobs), families=args.families,
     )
     for name in sorted(artifacts):
         print(artifacts[name])
