@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -394,10 +395,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print("--trace records serial evaluation only; forcing --jobs 1",
                   file=sys.stderr)
             jobs = 1
+    if args.numba:
+        # The env variable is the single switch the kernel layer
+        # consults, so setting it here covers parallel workers too
+        # (fork/spawn both inherit the environment).  Soft-failing: a
+        # numba-less host silently keeps the NumPy path.
+        os.environ["REPRO_NUMBA"] = "1"
     sweep = Sweep(
         profile, cache_dir=cache_dir, benchmarks=benchmarks,
         bank=not args.no_bank,
         kernels=False if args.no_kernels else None,
+        batched=False if args.no_batched else None,
         mmap=False if args.no_mmap else None,
         tracer=tracer,
     )
@@ -794,6 +802,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-kernels", action="store_true",
         help="disable the array-native detector kernels and use the "
              "incremental fused loop everywhere (same records, slower)",
+    )
+    sweep_parser.add_argument(
+        "--no-batched", action="store_true",
+        help="run vectorized bank members through independent per-lane "
+             "calls instead of the shared batched advancer (same "
+             "records, slower)",
+    )
+    sweep_parser.add_argument(
+        "--numba", action="store_true",
+        help="compile the weighted similarity kernel with numba when "
+             "available (sets REPRO_NUMBA=1; soft-fails to the NumPy "
+             "path when numba is not installed — same records either way)",
     )
     sweep_parser.add_argument(
         "--no-mmap", action="store_true",

@@ -1,0 +1,138 @@
+"""Optional numba backend for the weighted symmetric min-sum kernel.
+
+The blockwise NumPy path in :mod:`repro.core.kernels` computes the
+weighted similarity numerators with per-block occurrence matrices; on
+hosts that have `numba <https://numba.pydata.org>`_ installed the same
+numerators can come from one compiled incremental sweep instead —
+flat per-code count buffers advanced element by element, exactly the
+integer min-delta updates of the fused loop, with none of the per-block
+matrix allocation.
+
+The backend is strictly opt-in and soft-failing:
+
+- it is consulted only when the ``REPRO_NUMBA`` environment variable
+  (or the ``--numba`` CLI flag, which sets it) is truthy;
+- when numba is missing or fails to import/compile, :func:`load_kernel`
+  returns ``None`` and the caller silently keeps the NumPy path —
+  nothing is ever required to install numba (the test suite and CI run
+  without it and exercise exactly this degradation).
+
+Bit-identity is preserved by construction: the kernel produces the same
+int64 numerators (integer arithmetic only — order-independent), and the
+single float division stays in the caller, shared with the NumPy path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["numba_requested", "load_kernel"]
+
+_CACHE: dict = {"tried": False, "kernel": None}
+
+
+def numba_requested() -> bool:
+    """True when ``REPRO_NUMBA`` asks for the compiled backend
+    (``1``/``true``/``on``/``yes``)."""
+    return os.environ.get("REPRO_NUMBA", "").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
+def load_kernel() -> Optional[object]:
+    """The compiled weighted-numerator kernel, or ``None``.
+
+    ``None`` whenever ``REPRO_NUMBA`` is unset/falsy *or* numba is
+    unavailable — the soft-fail contract.  The import/compile attempt
+    runs at most once per process.
+    """
+    if not numba_requested():
+        return None
+    if _CACHE["tried"]:
+        return _CACHE["kernel"]
+    _CACHE["tried"] = True
+    try:
+        import numba
+    except Exception:
+        return None
+    try:
+        _CACHE["kernel"] = numba.njit(cache=False, nogil=True)(_snum_constant_py)
+    except Exception:
+        return None
+    return _CACHE["kernel"]
+
+
+def _reset_for_tests() -> None:
+    """Drop the compile cache so tests can re-probe the environment."""
+    _CACHE["tried"] = False
+    _CACHE["kernel"] = None
+
+
+def _snum_constant_py(codes, n_codes, cwc, twc, ends, out):
+    """Weighted numerators at Constant-TW filled steps, incrementally.
+
+    For each step end ``c`` in ``ends`` (every entry must satisfy
+    ``c >= cwc + twc``), the windows are CW = ``codes[c-cwc:c]`` and
+    TW = ``codes[c-cwc-twc:c-cwc]`` and the numerator is
+    ``sum_e min(cw_e * twc, tw_e * cwc)``.  Three boundaries (TW left,
+    CW left, CW right) sweep forward monotonically; every boundary move
+    applies the fused loop's exact integer min-delta update, so the
+    numerator is maintained — never recomputed — across steps.
+
+    Written as a plain-Python function so it doubles as the compile
+    target for :func:`load_kernel` (njit) and as a directly runnable
+    reference in the numba-less test environment.
+    """
+    cw_count = np.zeros(n_codes, dtype=np.int64)
+    tw_count = np.zeros(n_codes, dtype=np.int64)
+    s_num = 0
+    tw_lo = int(ends[0]) - cwc - twc
+    cw_lo = tw_lo
+    cw_hi = tw_lo
+    for step in range(ends.shape[0]):
+        c = int(ends[step])
+        target_cw_hi = c
+        target_cw_lo = c - cwc
+        target_tw_lo = c - cwc - twc
+        while cw_hi < target_cw_hi:
+            code = codes[cw_hi]
+            count = cw_count[code] + 1
+            cw_count[code] = count
+            tw_c = tw_count[code]
+            if tw_c:
+                s_num += min(count * twc, tw_c * cwc) - min(
+                    (count - 1) * twc, tw_c * cwc
+                )
+            cw_hi += 1
+        while cw_lo < target_cw_lo:
+            code = codes[cw_lo]
+            count = cw_count[code] - 1
+            cw_count[code] = count
+            tw_c = tw_count[code]
+            if tw_c:
+                s_num += min(count * twc, tw_c * cwc) - min(
+                    (count + 1) * twc, tw_c * cwc
+                )
+            tw_count[code] = tw_c + 1
+            if count:
+                s_num += min(count * twc, (tw_c + 1) * cwc) - min(
+                    count * twc, tw_c * cwc
+                )
+            cw_lo += 1
+        while tw_lo < target_tw_lo:
+            code = codes[tw_lo]
+            tw_c = tw_count[code] - 1
+            tw_count[code] = tw_c
+            cw_c = cw_count[code]
+            if cw_c:
+                s_num += min(cw_c * twc, tw_c * cwc) - min(
+                    cw_c * twc, (tw_c + 1) * cwc
+                )
+            tw_lo += 1
+        out[step] = s_num

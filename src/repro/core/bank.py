@@ -92,6 +92,7 @@ class DetectorBank:
         self,
         trace: BranchTrace,
         kernels: Optional[bool] = None,
+        batched: Optional[bool] = None,
         tracer=None,
         trace_parent=None,
         metrics=None,
@@ -102,18 +103,27 @@ class DetectorBank:
         :mod:`repro.core.kernels`) run on the shared per-trace dense
         remap — the cached ``trace.dense_codes()`` pass plus one
         materialized code list shared by every dense member, the same
-        way the legacy lanes share the trace decode.  Observed or
-        custom-component members keep the legacy lockstep lanes.
-        ``kernels=None`` consults the ``REPRO_KERNELS`` environment
-        variable; ``kernels=False`` forces the lanes for all members.
+        way the legacy lanes share the trace decode.  Vectorized members
+        additionally run through the **batched advancer**
+        (:func:`repro.core.kernels.run_bank_batched`): one
+        :class:`~repro.core.kernels.SharedTraceKernels` cache funnels
+        every lane, so lanes sharing a window signature share the full
+        similarity-series computation instead of recomputing it per
+        lane.  Observed or custom-component members keep the legacy
+        lockstep lanes.  ``kernels=None`` consults the ``REPRO_KERNELS``
+        environment variable; ``kernels=False`` forces the lanes for all
+        members.  ``batched=None`` consults ``REPRO_BANK_BATCHED``
+        (default on); ``batched=False`` runs vectorized members through
+        independent per-lane calls instead — output is identical either
+        way (the sharing is a pure cache).
 
         Telemetry (both optional, zero-cost when ``None``):
 
         - ``tracer``/``trace_parent`` — a duck-typed span tracer (see
           :mod:`repro.obs.trace`); the run becomes a ``bank.run`` span
           under ``trace_parent`` with one ``bank.kernel`` child per
-          kernel path actually taken (``vectorized`` / ``dense`` /
-          ``lanes``).
+          kernel path actually taken (``batched`` / ``vectorized`` /
+          ``dense`` / ``lanes``).
         - ``metrics`` — a registry whose ``bank.advance_seconds``
           histogram receives one observation per kernel member run and
           per legacy lane segment.
@@ -132,11 +142,13 @@ class DetectorBank:
             elements=total,
         ) as bank_span:
             return self._run(
-                trace, kernels, total, tracer, bank_span, metrics, kernel_mod
+                trace, kernels, batched, total, tracer, bank_span, metrics,
+                kernel_mod,
             )
 
     def _run(
-        self, trace, kernels, total, tracer, bank_span, metrics, kernel_mod
+        self, trace, kernels, batched, total, tracer, bank_span, metrics,
+        kernel_mod,
     ):
         data = trace.array
         runtimes = self.runtimes
@@ -157,32 +169,45 @@ class DetectorBank:
                     }
                 )
 
-        if kernels is None:
-            kernels = kernel_mod.kernels_enabled()
+        if batched is None:
+            batched = kernel_mod.bank_batching_enabled()
         states_by_member: List[Optional[np.ndarray]] = [None] * len(runtimes)
         vector_members: List[int] = []
         dense_members: List[int] = []
         legacy_members: List[int] = []
         for index, runtime in enumerate(runtimes):
-            if kernels and kernel_mod.vectorized_eligible(runtime):
+            path = kernel_mod.kernel_path(runtime, kernels)
+            if path == "vectorized":
                 vector_members.append(index)
-            elif kernels and kernel_mod.dense_eligible(runtime):
+            elif path == "dense":
                 dense_members.append(index)
             else:
                 legacy_members.append(index)
 
         if vector_members:
+            path_label = "batched" if batched else "vectorized"
             with _maybe_span(
                 tracer, "bank.kernel", bank_span,
-                path="vectorized", members=len(vector_members),
+                path=path_label, members=len(vector_members),
             ):
-                for index in vector_members:
-                    started = time.perf_counter() if histogram is not None else 0.0
-                    states_by_member[index] = kernel_mod.run_vectorized(
-                        runtimes[index], trace
+                if batched:
+                    member_states = kernel_mod.run_bank_batched(
+                        [runtimes[index] for index in vector_members],
+                        trace,
+                        histogram=histogram,
                     )
-                    if histogram is not None:
-                        histogram.observe(time.perf_counter() - started)
+                    for index, states in zip(vector_members, member_states):
+                        states_by_member[index] = states
+                else:
+                    for index in vector_members:
+                        started = (
+                            time.perf_counter() if histogram is not None else 0.0
+                        )
+                        states_by_member[index] = kernel_mod.run_vectorized(
+                            runtimes[index], trace
+                        )
+                        if histogram is not None:
+                            histogram.observe(time.perf_counter() - started)
         if dense_members:
             with _maybe_span(
                 tracer, "bank.kernel", bank_span,

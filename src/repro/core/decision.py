@@ -290,6 +290,20 @@ class DecisionEngine:
         """
         return False
 
+    def kernel_path(self, kernels: Optional[bool] = None) -> str:
+        """Which whole-trace kernel path drives this engine.
+
+        ``"vectorized"``, ``"dense"``, or ``"legacy"`` — the single
+        dispatch rule (:func:`repro.core.kernels.kernel_path`) shared by
+        the runtime's solo :meth:`run` and the bank's member partition,
+        so the two fronts can never disagree on routing.  Non-window
+        families (``fused_capable()`` is False) always report
+        ``"legacy"``; ``kernels=None`` consults ``REPRO_KERNELS``.
+        """
+        from repro.core import kernels as kernel_mod
+
+        return kernel_mod.kernel_path(self, kernels)
+
     # -- the per-step contract -------------------------------------------------
 
     def step(self, elements: Sequence[int]) -> PhaseDecision:

@@ -32,18 +32,18 @@ with the exact integer updates of the reference path, so every
 similarity value is bit-identical.
 
 **Vectorized whole-trace fast path** — :func:`run_vectorized` computes
-the full similarity series with sliding-window array operations and
-derives states and phases in one pass.  It is only selected for
-configurations with no analyzer→window feedback: the Constant trailing
-window (which includes the Fixed-Interval geometry) with the Threshold
-analyzer.  The key observations:
+similarity series with sliding-window array operations and derives
+states and phases in one pass.  It covers every standard-component
+configuration with the Threshold analyzer: Constant *and* Adaptive
+trailing windows, unweighted *and* weighted models, any window
+geometry.  The key observations:
 
-- At any *filled* step the windows are pure functions of stream
-  position (CW = the last ``cwSize`` elements, TW = the ``twSize``
-  before them), regardless of earlier phase entries/exits.  Entries do
-  not move Constant windows, and the post-exit flush only shifts the
-  *refill origin* — which affects when steps are filled, never the
-  similarity value of a filled step.
+- With a Constant TW, at any *filled* step the windows are pure
+  functions of stream position (CW = the last ``cwSize`` elements,
+  TW = the ``twSize`` before them), regardless of earlier phase
+  entries/exits.  Entries do not move Constant windows, and the
+  post-exit flush only shifts the *refill origin* — which affects when
+  steps are filled, never the similarity value of a filled step.
 - The unweighted similarity series reduces to two interval-stabbing
   counts over per-element previous-occurrence links: an element
   occurrence ``i`` is a distinct CW member for window starts
@@ -51,10 +51,31 @@ analyzer.  The key observations:
   ``(prev[i], i)`` puts its element in both windows for
   ``l ∈ (max(prev[i], i-cwSize), min(i, prev[i]+twSize)]``.  Both are
   O(n) with difference arrays.
-- The weighted model vectorizes for the Fixed-Interval geometry
-  (skip = CW = TW), where windows are whole consecutive blocks and the
-  post-exit flush is exactly a no-op; per-block multiset minima come
-  from one sorted ``(block, code)`` count pass.
+- The weighted similarity is a pure integer sum
+  ``Σ_e min(cw_e·|TW|, tw_e·|CW|)`` — order-independent, so it
+  vectorizes for *any* geometry via blockwise occurrence matrices
+  (one ``np.add.at`` scatter per block of steps, cell-budgeted).  The
+  Fixed-Interval geometry (skip = CW = TW) keeps a leaner whole-block
+  path, optionally compiled with numba (:mod:`repro.core._weighted_numba`,
+  opt-in via ``REPRO_NUMBA=1``, soft-falls back to NumPy).
+- The Adaptive TW *does* have analyzer→window feedback (the entry
+  resize pins the TW to the anchor; in-phase the TW grows), but the
+  feedback is episode-local: between phases the windows follow Constant
+  geometry from the last flush origin, and within a phase the pinned
+  TW boundary and refill/slide regimes are pure functions of the entry
+  step.  :func:`run_vectorized` therefore walks phase *episodes* —
+  constant-series scans to find each entry, then a segment-local
+  vectorized in-phase scan (``_scan_phase_unweighted`` /
+  ``_scan_phase_weighted``) to find the exit.
+
+**Batched bank advancement** — :class:`SharedTraceKernels` caches
+prev-occurrence links, skip-group boundaries, and whole similarity
+series per window *signature* ``(weighted, cw, tw, skip)``, so a
+:class:`~repro.core.bank.DetectorBank` whose members differ only by
+threshold or anchor/resize policy computes each series once.
+:func:`run_bank_batched` drives every vectorized member through one
+shared cache (:func:`bank_batching_enabled` / ``REPRO_BANK_BATCHED=0``
+to disable).
 
 The detector's decision sequence is then replayed over the precomputed
 series in *episodes*: scan for the next phase entry/exit with array
@@ -79,6 +100,7 @@ measured speedups.
 from __future__ import annotations
 
 import os
+import time
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -90,11 +112,15 @@ from repro.core.state import PhaseState
 
 __all__ = [
     "kernels_enabled",
+    "bank_batching_enabled",
+    "kernel_path",
     "dense_eligible",
     "vectorized_eligible",
     "DenseAdvancer",
     "run_dense",
     "run_vectorized",
+    "SharedTraceKernels",
+    "run_bank_batched",
 ]
 
 
@@ -138,27 +164,49 @@ def dense_eligible(runtime) -> bool:
 def vectorized_eligible(runtime) -> bool:
     """True when :func:`run_vectorized` may run ``runtime`` over a trace.
 
-    The vectorized path requires configurations with no analyzer→window
-    feedback: the Constant trailing window with the Threshold analyzer.
-    The unweighted model qualifies for any window geometry; the weighted
-    model only for the Fixed-Interval geometry (skip = CW = TW), where
-    windows are whole blocks.  Adaptive TW (windows resize at entry) and
-    the Average analyzer (threshold tracks in-phase statistics) keep the
-    incremental paths.
+    The vectorized path covers every standard-component configuration
+    with the Threshold analyzer: Constant *and* Adaptive trailing
+    windows, unweighted *and* weighted models, any window geometry.
+    The Constant TW has no analyzer→window feedback at all; the
+    Adaptive TW's only feedback (the entry resize, the in-phase growth)
+    is replayed per phase episode with segment-local array work.  Only
+    the Average analyzer — whose decision bar tracks in-phase
+    statistics step by step — keeps the incremental dense path.
     """
     if not dense_eligible(runtime):
         return False
-    config = runtime.config
-    if config.trailing is not TrailingPolicy.CONSTANT:
-        return False
-    if type(runtime.analyzer) is not ThresholdAnalyzer:
-        return False
-    if type(runtime.model) is WeightedSetModel:
-        return (
-            config.skip_factor == config.cw_size
-            and config.effective_tw_size == config.cw_size
-        )
-    return True
+    return type(runtime.analyzer) is ThresholdAnalyzer
+
+
+def bank_batching_enabled() -> bool:
+    """True unless ``REPRO_BANK_BATCHED`` disables the batched bank
+    advancer (``0``/``false``/``off``/``no``)."""
+    return os.environ.get("REPRO_BANK_BATCHED", "").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+def kernel_path(engine, kernels: Optional[bool] = None) -> str:
+    """Which kernel path drives ``engine`` over a whole trace.
+
+    Returns ``"vectorized"``, ``"dense"``, or ``"legacy"`` — the single
+    dispatch rule shared by :meth:`DetectorRuntime._run_kernel
+    <repro.core.runtime.DetectorRuntime>` and the bank's member
+    partition.  ``kernels=None`` consults ``REPRO_KERNELS``; non-window
+    engines (``fused_capable()`` is False) always report ``"legacy"``.
+    """
+    if kernels is None:
+        kernels = kernels_enabled()
+    if not kernels:
+        return "legacy"
+    if vectorized_eligible(engine):
+        return "vectorized"
+    if dense_eligible(engine):
+        return "dense"
+    return "legacy"
 
 
 # ---------------------------------------------------------------------------
@@ -785,10 +833,10 @@ def _prev_occurrence(codes: np.ndarray) -> np.ndarray:
     return prev
 
 
-def _unweighted_sims(
-    codes: np.ndarray, cwc: int, twc: int, step_ends: np.ndarray, total: int
-) -> np.ndarray:
-    """Per-step unweighted similarity values via interval stabbing.
+def _unweighted_window_counts(
+    prev: np.ndarray, cwc: int, twc: int, total: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(distinct, shared)`` per window start via interval stabbing.
 
     For a window start ``l`` (CW = ``codes[l : l+cwc]``, TW =
     ``codes[l-twc : l]``), an occurrence ``i`` is a *distinct CW member*
@@ -796,16 +844,11 @@ def _unweighted_sims(
     CW and no earlier occurrence does.  It is additionally *shared with
     the TW* when its predecessor lies in the TW: ``l <= prev[i]+twc``.
     Both per-``l`` counts accumulate in O(n) with difference arrays.
-    Entries for geometrically unfilled steps are left at 0.0 (callers
-    never consult them — the episode walk gates on the filled mask).
+    Valid ``l`` range: ``0 .. total-cwc`` (``distinct`` is exact over
+    the whole range; ``shared`` assumes the Constant twc-deep TW).
     """
-    n_steps = step_ends.size
-    sims = np.zeros(n_steps, dtype=np.float64)
-    if total < cwc + twc:
-        return sims
     window_starts = total - cwc + 1  # valid l: 0 .. total-cwc
     idx = np.arange(total, dtype=np.int64)
-    prev = _prev_occurrence(codes)
     lo = np.maximum(prev, idx - cwc) + 1
     hi = np.minimum(idx, total - cwc)
     ok = lo <= hi
@@ -819,6 +862,34 @@ def _unweighted_sims(
     add2 = np.bincount(lo2[ok2], minlength=window_starts + 1)
     rem2 = np.bincount(hi2[ok2] + 1, minlength=window_starts + 1)
     shared = np.cumsum(add2[:window_starts] - rem2[:window_starts])
+    return distinct, shared
+
+
+def _unweighted_sims(
+    codes: np.ndarray,
+    cwc: int,
+    twc: int,
+    step_ends: np.ndarray,
+    total: int,
+    prev: Optional[np.ndarray] = None,
+    counts: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> np.ndarray:
+    """Per-step unweighted similarity values via interval stabbing.
+
+    Entries for geometrically unfilled steps are left at 0.0 (callers
+    never consult them — the episode walk gates on the filled mask).
+    ``prev``/``counts`` let callers share the previous-occurrence links
+    and the per-window-start count arrays across uses.
+    """
+    n_steps = step_ends.size
+    sims = np.zeros(n_steps, dtype=np.float64)
+    if total < cwc + twc:
+        return sims
+    if counts is None:
+        if prev is None:
+            prev = _prev_occurrence(codes)
+        counts = _unweighted_window_counts(prev, cwc, twc, total)
+    distinct, shared = counts
     starts = step_ends - cwc
     valid = starts >= twc
     lv = starts[valid]
@@ -865,41 +936,231 @@ def _fixed_interval_sims(
     return sims
 
 
-def run_vectorized(runtime, trace) -> np.ndarray:
+#: Cell budget for the per-block occurrence matrices of the weighted
+#: blockwise kernels ((span+1) x distinct int64 cells, ~16 MiB).
+_OCC_CELL_LIMIT = 1 << 21
+
+#: Step granularity of the blockwise scans (both the weighted numerator
+#: blocks and the adaptive in-phase exit scan).
+_BLOCK_STEPS = 256
+
+
+def _occurrence_matrix(
+    codes: np.ndarray, lo: int, hi: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(occ, uniq)`` for the span ``codes[lo:hi]``.
+
+    ``occ[p - lo, j]`` counts occurrences of ``uniq[j]`` in
+    ``codes[lo:p]`` — cumulative per-code occurrence counts, so any
+    window count over the span is one row difference.
+    """
+    seg = codes[lo:hi]
+    uniq, local = np.unique(seg, return_inverse=True)
+    occ = np.zeros((seg.size + 1, uniq.size), dtype=np.int64)
+    occ[np.arange(seg.size) + 1, local] = 1
+    np.cumsum(occ, axis=0, out=occ)
+    return occ, uniq
+
+
+def _weighted_constant_snums(
+    codes: np.ndarray, n_codes: int, cwc: int, twc: int, ends: np.ndarray
+) -> np.ndarray:
+    """Weighted similarity numerators at Constant-TW filled steps.
+
+    For each step end ``c`` in ``ends`` (every entry must satisfy
+    ``c >= cwc + twc``) the numerator is ``sum_e min(cw_e*twc,
+    tw_e*cwc)`` over the step's CW/TW slices — a pure *integer* sum, so
+    any evaluation order reproduces the fused loop's value exactly.
+    Default path: per-block occurrence matrices and one ``np.minimum``
+    reduction over the block's sparse code set.  With ``REPRO_NUMBA``
+    set and numba importable, one compiled incremental sweep replaces
+    the blocks (soft-failing back to NumPy otherwise — see
+    :mod:`repro.core._weighted_numba`).
+    """
+    from repro.core._weighted_numba import load_kernel
+
+    out = np.empty(ends.size, dtype=np.int64)
+    if ends.size == 0:
+        return out
+    compiled = load_kernel()
+    if compiled is not None:
+        compiled(codes, n_codes, cwc, twc, ends, out)
+        return out
+    n = int(ends.size)
+    b0 = 0
+    while b0 < n:
+        take = min(_BLOCK_STEPS, n - b0)
+        while True:
+            b1 = b0 + take
+            lo = int(ends[b0]) - cwc - twc
+            hi = int(ends[b1 - 1])
+            occ, _ = _occurrence_matrix(codes, lo, hi)
+            if take == 1 or occ.size <= _OCC_CELL_LIMIT:
+                break
+            take = max(1, take // 2)
+        c_rel = ends[b0:b1] - lo
+        mid = occ[c_rel - cwc]
+        cw = occ[c_rel] - mid
+        tw = mid - occ[c_rel - cwc - twc]
+        out[b0:b1] = np.minimum(cw * twc, tw * cwc).sum(axis=1)
+        b0 = b1
+    return out
+
+
+def _weighted_general_sims(
+    codes: np.ndarray,
+    n_codes: int,
+    cwc: int,
+    twc: int,
+    step_ends: np.ndarray,
+    total: int,
+) -> np.ndarray:
+    """Per-step weighted similarity for any Constant-TW geometry.
+
+    Same contract as :func:`_unweighted_sims`: values at geometrically
+    filled steps (``c >= cwc + twc``), zeros elsewhere.
+    """
+    n_steps = step_ends.size
+    sims = np.zeros(n_steps, dtype=np.float64)
+    if total < cwc + twc:
+        return sims
+    valid = step_ends >= cwc + twc
+    ends = step_ends[valid]
+    snums = _weighted_constant_snums(codes, n_codes, cwc, twc, ends)
+    # one exact int64/int division, bit-identical to the fused loop's
+    sims[valid] = snums / (cwc * twc)
+    return sims
+
+
+class SharedTraceKernels:
+    """Per-trace cache of the arrays the vectorized walks consume.
+
+    One instance per ``(trace, bank pass)``: dense codes, previous-
+    occurrence links, per-skip step boundaries and — keyed by
+    ``(weighted, cw, tw, skip)`` — the full constant-geometry similarity
+    series plus its per-window-start count arrays.  The batched bank
+    advancer (:func:`run_bank_batched`) funnels every lane through one
+    instance, so lanes that share a window signature share the expensive
+    series computation and differ only in their cheap episode walks.
+    """
+
+    def __init__(self, trace) -> None:
+        self.trace = trace
+        self.data = trace.array
+        self.total = int(self.data.size)
+        self._codes: Optional[Tuple[np.ndarray, int]] = None
+        self._step_ends: dict = {}
+        self._series: dict = {}
+
+    def codes(self) -> Tuple[np.ndarray, int]:
+        """``(codes, n_codes)`` from the trace's cached dense remap."""
+        if self._codes is None:
+            codes, values = self.trace.dense_codes()
+            self._codes = (codes, int(values.size))
+        return self._codes
+
+    def prev(self) -> np.ndarray:
+        """Previous-occurrence links (cached on the trace itself)."""
+        return self.trace.prev_links()
+
+    def step_ends(self, skip: int) -> np.ndarray:
+        """Element offsets at which each skip-group step ends."""
+        cached = self._step_ends.get(skip)
+        if cached is None:
+            n_steps = (self.total + skip - 1) // skip
+            cached = np.minimum(
+                np.arange(1, n_steps + 1, dtype=np.int64) * skip, self.total
+            )
+            self._step_ends[skip] = cached
+        return cached
+
+    def series(
+        self, weighted: bool, cwc: int, twc: int, skip: int
+    ) -> Tuple[np.ndarray, Optional[Tuple[np.ndarray, np.ndarray]]]:
+        """``(sims, counts)`` for a constant-geometry window signature.
+
+        ``sims`` is the per-step similarity series at geometrically
+        filled steps (zeros elsewhere); ``counts`` is the unweighted
+        paths' ``(distinct, shared)`` per-window-start pair (``None``
+        for weighted signatures or traces too short to fill).  Cached —
+        every lane with the same signature, including adaptive lanes
+        (whose transition regimes are constant-geometry), reuses it.
+        """
+        key = (weighted, cwc, twc, skip)
+        cached = self._series.get(key)
+        if cached is None:
+            codes, n_codes = self.codes()
+            ends = self.step_ends(skip)
+            if weighted:
+                if skip == cwc and twc == cwc:
+                    sims = _fixed_interval_sims(codes, n_codes, cwc, ends, self.total)
+                else:
+                    sims = _weighted_general_sims(
+                        codes, n_codes, cwc, twc, ends, self.total
+                    )
+                counts = None
+            else:
+                counts = (
+                    _unweighted_window_counts(self.prev(), cwc, twc, self.total)
+                    if self.total >= cwc + twc
+                    else None
+                )
+                sims = _unweighted_sims(
+                    codes, cwc, twc, ends, self.total, counts=counts
+                )
+            cached = (sims, counts)
+            self._series[key] = cached
+        return cached
+
+
+def run_vectorized(
+    runtime, trace, shared: Optional[SharedTraceKernels] = None
+) -> np.ndarray:
     """Run ``runtime`` over ``trace`` with the vectorized fast path.
 
-    Computes the whole similarity series up front, then replays the
-    detector's decision sequence in episodes: find the next phase entry
-    among filled steps, find its exit, restart the filled-mask origin
-    at the flush point.  Phases (with anchor-corrected starts and exact
-    mean similarities) land in ``runtime.tracker`` and the final model/
-    analyzer state is reconstructed bit-identically; the caller still
-    runs ``runtime.finish``.  Returns the bool state array.
-    """
-    from repro.core.runtime import DetectedPhase
+    Computes similarity series up front, then replays the detector's
+    decision sequence in episodes: find the next phase entry among
+    filled steps, find its exit, restart the filled-mask origin at the
+    flush point.  Constant-TW configs walk one precomputed series
+    (:func:`_walk_constant`); Adaptive-TW configs additionally scan each
+    phase's resized-window regime blockwise (:func:`_walk_adaptive`).
+    Phases (with anchor-corrected starts and exact mean similarities)
+    land in ``runtime.tracker`` and the final model/analyzer state is
+    reconstructed bit-identically; the caller still runs
+    ``runtime.finish``.  Returns the bool state array.
 
+    ``shared`` optionally supplies a :class:`SharedTraceKernels` cache
+    so bank lanes reuse per-trace/per-signature arrays.
+    """
     if not vectorized_eligible(runtime):
         raise ValueError("runtime is not eligible for the vectorized kernel")
+    if shared is None:
+        shared = SharedTraceKernels(trace)
+    if runtime.config.trailing is TrailingPolicy.ADAPTIVE:
+        return _walk_adaptive(runtime, shared)
+    return _walk_constant(runtime, shared)
+
+
+def _walk_constant(runtime, shared: SharedTraceKernels) -> np.ndarray:
+    """Episode walk for Constant-TW configs (all geometries/models)."""
+    from repro.core.runtime import DetectedPhase
+
     config = runtime.config
     skip = config.skip_factor
     cwc = config.cw_size
     twc = config.effective_tw_size
     fill_span = cwc + twc
     threshold = runtime.analyzer.threshold
-    data = trace.array
-    total = int(data.size)
+    data = shared.data
+    total = shared.total
     states = np.zeros(total, dtype=bool)
     if total == 0:
         return states
-    codes, values = trace.dense_codes()
-    n_steps = (total + skip - 1) // skip
-    step_ends = np.minimum(
-        np.arange(1, n_steps + 1, dtype=np.int64) * skip, total
+    codes, _ = shared.codes()
+    step_ends = shared.step_ends(skip)
+    sims, _ = shared.series(
+        type(runtime.model) is WeightedSetModel, cwc, twc, skip
     )
-    if type(runtime.model) is WeightedSetModel:
-        sims = _fixed_interval_sims(codes, int(values.size), cwc, step_ends, total)
-    else:
-        sims = _unweighted_sims(codes, cwc, twc, step_ends, total)
     decisions = sims >= threshold
     phase_steps = np.flatnonzero(decisions)
     gap_steps = np.flatnonzero(~decisions)
@@ -984,4 +1245,334 @@ def run_vectorized(runtime, trace) -> np.ndarray:
         runtime.state = PhaseState.PHASE
     else:
         runtime.state = PhaseState.TRANSITION
+    return states
+
+
+def _walk_adaptive(runtime, shared: SharedTraceKernels) -> np.ndarray:
+    """Episode walk for Adaptive-TW configs.
+
+    Outside phases the Adaptive detector is indistinguishable from the
+    Constant one (the TW only grows while in phase), so transition
+    regimes reuse the cached constant-geometry series for entry search
+    and entry similarity.  Each phase entry then fixes the episode's
+    resized-window geometry exactly: with anchor offset ``anchor``
+    (computed over the pre-resize windows, as the reference path does),
+    the TW's left edge pins at ``A = anchor_abs`` for the whole phase
+    and the CW's left edge starts at ``L = c_entry - cwc + moved``
+    (``moved = min(anchor, cwc-1)`` for SLIDE, 0 for MOVE).  At any
+    later step end ``c`` the windows are pure slice functions of
+    ``(A, L, c)``: ``cw_start = max(L, c - cwc)``, CW =
+    ``[cw_start, c)``, TW = ``[A, cw_start)``.  The per-episode scans
+    (:func:`_scan_phase_unweighted` / :func:`_scan_phase_weighted`)
+    vectorize those similarities blockwise with early exit at the first
+    below-threshold step, after which the flush restores constant
+    geometry and the next episode begins.
+    """
+    from repro.core.runtime import DetectedPhase
+
+    config = runtime.config
+    skip = config.skip_factor
+    cwc = config.cw_size
+    twc = config.effective_tw_size
+    fill_span = cwc + twc
+    threshold = runtime.analyzer.threshold
+    data = shared.data
+    total = shared.total
+    states = np.zeros(total, dtype=bool)
+    if total == 0:
+        return states
+    codes, n_codes = shared.codes()
+    step_ends = shared.step_ends(skip)
+    n_steps = int(step_ends.size)
+    weighted = type(runtime.model) is WeightedSetModel
+    sims, counts = shared.series(weighted, cwc, twc, skip)
+    phase_steps = np.flatnonzero(sims >= threshold)
+    prev = None if weighted else shared.prev()
+    distinct_all = counts[0] if counts is not None else None
+    base_counts = np.zeros(n_codes, dtype=np.int64) if weighted else None
+
+    tracker = runtime.tracker
+    rn_anchor = config.anchor is AnchorPolicy.RN
+    slide = config.resize is ResizePolicy.SLIDE
+    origin = 0
+    cursor = 0
+    open_phase = None
+    while True:
+        first_filled = int(np.searchsorted(step_ends, origin + fill_span))
+        if first_filled < cursor:
+            first_filled = cursor
+        hit = int(np.searchsorted(phase_steps, first_filled))
+        if hit >= phase_steps.size:
+            break
+        entry = int(phase_steps[hit])
+        c_entry = int(step_ends[entry])
+        entry_len = c_entry - (int(step_ends[entry - 1]) if entry else 0)
+        detected_start = c_entry - entry_len
+        # Anchor over the entry step's pre-resize windows (the reference
+        # path anchors before anchor_and_resize mutates them).
+        cw_slice = codes[c_entry - cwc : c_entry]
+        tw_slice = codes[c_entry - fill_span : c_entry - cwc]
+        in_cw = np.isin(tw_slice, cw_slice)
+        if rn_anchor:
+            noisy = np.flatnonzero(~in_cw)
+            anchor = int(noisy[-1]) + 1 if noisy.size else 0
+        else:
+            hits = np.flatnonzero(in_cw)
+            anchor = int(hits[0]) if hits.size else twc
+        anchor_abs = (c_entry - fill_span) + anchor
+        corrected = anchor_abs if anchor_abs < detected_start else detected_start
+        moved = min(anchor, cwc - 1) if slide else 0
+        tw_left = anchor_abs
+        cw_left = c_entry - cwc + moved
+        entry_sim = float(sims[entry])
+        if weighted:
+            exit_step, episode_sims = _scan_phase_weighted(
+                codes, n_codes, base_counts, step_ends, entry, entry_sim,
+                tw_left, cw_left, cwc, threshold, n_steps,
+            )
+        else:
+            exit_step, episode_sims = _scan_phase_unweighted(
+                codes, prev, distinct_all, step_ends, entry, entry_sim,
+                tw_left, cw_left, cwc, threshold, total, n_steps,
+            )
+        if exit_step < 0:
+            open_phase = (tw_left, cw_left, episode_sims)
+            tracker.open_detected = detected_start
+            tracker.open_corrected = corrected
+            states[detected_start:total] = True
+            break
+        c_exit = int(step_ends[exit_step])
+        exit_len = c_exit - int(step_ends[exit_step - 1])
+        end = c_exit - exit_len
+        # cumsum is a sequential left-to-right accumulation — the same
+        # addition order as the incremental paths' running total.
+        phase_total = float(np.cumsum(episode_sims)[-1])
+        mean = phase_total / int(episode_sims.size)
+        tracker.phases.append(DetectedPhase(detected_start, corrected, end, mean))
+        states[detected_start:end] = True
+        origin = c_exit - min(exit_len, cwc)
+        cursor = exit_step + 1
+
+    # ---- reconstruct the final incremental state -------------------------
+    model = runtime.model
+    if open_phase is not None:
+        tw_left, cw_left, episode_sims = open_phase
+        cw_start = max(cw_left, total - cwc)
+        for element in data[tw_left:cw_start].tolist():
+            model._tw_add(element)
+        for element in data[cw_start:total].tolist():
+            model._cw_add(element)
+        model.consumed = total
+        model.filled = True
+        model.growing = True
+        stats = runtime.analyzer.stats
+        stats.count = int(episode_sims.size)
+        stats.total = float(np.cumsum(episode_sims)[-1])
+        low = float(np.min(episode_sims))
+        high = float(np.max(episode_sims))
+        stats.minimum = low if low < 1.0 else 1.0
+        stats.maximum = high if high > 0.0 else 0.0
+        runtime.state = PhaseState.PHASE
+    else:
+        since_origin = total - origin
+        cw_len = since_origin if since_origin < cwc else cwc
+        tw_len = since_origin - cwc
+        if tw_len < 0:
+            tw_len = 0
+        elif tw_len > twc:
+            tw_len = twc
+        cw_start = total - cw_len
+        tw_start = cw_start - tw_len
+        for element in data[tw_start:cw_start].tolist():
+            model._tw_add(element)
+        for element in data[cw_start:total].tolist():
+            model._cw_add(element)
+        model.consumed = total
+        model.filled = since_origin >= fill_span
+        model.growing = False
+        runtime.state = PhaseState.TRANSITION
+    return states
+
+
+def _scan_phase_unweighted(
+    codes: np.ndarray,
+    prev: np.ndarray,
+    distinct_all: np.ndarray,
+    step_ends: np.ndarray,
+    entry: int,
+    entry_sim: float,
+    tw_left: int,
+    cw_left: int,
+    cwc: int,
+    threshold: float,
+    total: int,
+    n_steps: int,
+) -> Tuple[int, np.ndarray]:
+    """Blockwise in-phase unweighted similarities for one episode.
+
+    Geometry per step end ``c``: CW = ``[max(L, c-cwc), c)``, TW =
+    ``[A, max(L, c-cwc))`` with ``A = tw_left``, ``L = cw_left``.  Two
+    regimes:
+
+    - *refill* (``c <= L + cwc``): the CW is still refilling from
+      ``L``.  An occurrence ``i`` in ``[L, c)`` is a distinct CW member
+      iff ``prev[i] < L`` (its element's first CW occurrence), and
+      shared with the TW iff additionally ``prev[i] >= A`` — its latest
+      earlier occurrence is the TW's membership witness.  Both counts
+      are prefix sums over ``prev[L : L+cwc]``, computed once per
+      episode.
+    - *slide* (``c > L + cwc``): the CW is the plain trailing window at
+      start ``l = c - cwc``, so ``distinct(l)`` is the globally shared
+      per-window-start array, and ``shared(l)`` is the same interval-
+      stabbing count as the constant path but with the unbounded-TW
+      membership filter ``prev[i] >= A`` — accumulated per block with
+      difference arrays.
+
+    Returns ``(exit_step, episode_sims)`` where ``exit_step`` is the
+    first step with similarity below ``threshold`` (or -1 if the phase
+    stays open to the trace end) and ``episode_sims`` the in-phase
+    similarities from ``entry`` up to (excluding) the exit.
+    """
+    parts = [np.array([entry_sim])]
+    seg_prev = prev[cw_left : min(cw_left + cwc, total)]
+    rep = seg_prev < cw_left
+    d_cum = np.concatenate(([0], np.cumsum(rep)))
+    s_cum = np.concatenate(([0], np.cumsum(rep & (seg_prev >= tw_left))))
+    s = entry + 1
+    while s < n_steps:
+        b1 = min(s + _BLOCK_STEPS, n_steps)
+        ends_blk = step_ends[s:b1]
+        blk = np.empty(ends_blk.size, dtype=np.float64)
+        refill = ends_blk <= cw_left + cwc
+        if refill.any():
+            r = ends_blk[refill] - cw_left
+            # d_cum[r] >= 1 always: the CW's first element (offset
+            # cw_left) trivially has prev < cw_left.
+            blk[refill] = s_cum[r] / d_cum[r]
+        if not refill.all():
+            sl = ~refill
+            ls = ends_blk[sl] - cwc
+            l_min = int(ls[0])
+            l_max = int(ls[-1])
+            idx = np.arange(l_min, l_max + cwc, dtype=np.int64)
+            p = prev[l_min : l_max + cwc]
+            lo = np.maximum(p, idx - cwc) + 1
+            np.maximum(lo, l_min, out=lo)
+            hi = np.minimum(idx, l_max)
+            ok = (p >= tw_left) & (lo <= hi)
+            width = l_max - l_min + 1
+            add = np.bincount(lo[ok] - l_min, minlength=width + 1)
+            rem = np.bincount(hi[ok] + 1 - l_min, minlength=width + 1)
+            shared_l = np.cumsum(add[:width] - rem[:width])
+            blk[sl] = shared_l[ls - l_min] / distinct_all[ls]
+        bad = np.flatnonzero(blk < threshold)
+        if bad.size:
+            cut = int(bad[0])
+            if cut:
+                parts.append(blk[:cut])
+            return s + cut, np.concatenate(parts)
+        parts.append(blk)
+        s = b1
+    return -1, np.concatenate(parts)
+
+
+def _scan_phase_weighted(
+    codes: np.ndarray,
+    n_codes: int,
+    base_counts: np.ndarray,
+    step_ends: np.ndarray,
+    entry: int,
+    entry_sim: float,
+    tw_left: int,
+    cw_left: int,
+    cwc: int,
+    threshold: float,
+    n_steps: int,
+) -> Tuple[int, np.ndarray]:
+    """Blockwise in-phase weighted similarities for one episode.
+
+    Same geometry as :func:`_scan_phase_unweighted`.  The growing TW's
+    per-code counts split as ``tw_e = base_counts[e] + occ[cw_start]``:
+    ``base_counts`` (a reusable per-code vector, advanced as the CW's
+    left edge passes elements into the TW for good) covers
+    ``[A, block_lo)`` and the block's cumulative occurrence matrix
+    covers the rest, so each block is one ``np.minimum`` reduction over
+    its local code set — a code absent from the block has ``cw_e = 0``
+    and contributes nothing, which keeps the restriction exact.  The
+    numerator ``sum_e min(cw_e * tw_len, tw_e * cw_len)`` is a pure
+    integer sum, so any evaluation order is bit-exact; the single
+    float division matches the fused loop's.  ``base_counts`` must
+    arrive all-zero and is re-zeroed (sparsely) before returning.
+    """
+    parts = [np.array([entry_sim])]
+    covered = tw_left
+    exit_step = -1
+    s = entry + 1
+    while s < n_steps:
+        take = min(_BLOCK_STEPS, n_steps - s)
+        while True:
+            b1 = s + take
+            ends_blk = step_ends[s:b1]
+            cw_start = np.maximum(cw_left, ends_blk - cwc)
+            p_lo = int(cw_start[0])
+            p_cov = int(ends_blk[-1])
+            occ, uniq = _occurrence_matrix(codes, p_lo, p_cov)
+            if take == 1 or occ.size <= _OCC_CELL_LIMIT:
+                break
+            take = max(1, take // 2)
+        if covered < p_lo:
+            base_counts += np.bincount(
+                codes[covered:p_lo], minlength=n_codes
+            )
+            covered = p_lo
+        cw_len = ends_blk - cw_start
+        tw_len = cw_start - tw_left
+        start_rows = occ[cw_start - p_lo]
+        cw_e = occ[ends_blk - p_lo] - start_rows
+        tw_e = base_counts[uniq][None, :] + start_rows
+        snum = np.minimum(
+            cw_e * tw_len[:, None], tw_e * cw_len[:, None]
+        ).sum(axis=1)
+        denom = cw_len * tw_len
+        blk = np.divide(
+            snum, denom, out=np.zeros(snum.size, dtype=np.float64),
+            where=denom > 0,
+        )
+        bad = np.flatnonzero(blk < threshold)
+        if bad.size:
+            cut = int(bad[0])
+            if cut:
+                parts.append(blk[:cut])
+            exit_step = s + cut
+            break
+        parts.append(blk)
+        s = b1
+    if covered > tw_left:
+        base_counts[np.unique(codes[tw_left:covered])] = 0
+    return exit_step, np.concatenate(parts)
+
+
+def run_bank_batched(
+    runtimes, trace, histogram=None
+) -> List[np.ndarray]:
+    """Advance all vectorized-eligible bank ``runtimes`` over ``trace``.
+
+    One :class:`SharedTraceKernels` instance funnels every lane's series
+    computation: the dense-code decode, previous-occurrence links, step
+    boundaries and each distinct ``(weighted, cw, tw, skip)`` similarity
+    series are computed once and shared, so N lanes cost one series pass
+    per window signature plus N cheap episode walks — instead of N full
+    passes.  Lane order, per-lane results and checkpoints are exactly
+    those of per-lane :func:`run_vectorized` calls (the sharing is a
+    pure cache).  ``histogram`` optionally receives one per-lane
+    duration observation, matching the bank's per-member timing.
+    """
+    shared = SharedTraceKernels(trace)
+    states: List[np.ndarray] = []
+    for runtime in runtimes:
+        started = time.perf_counter() if histogram is not None else 0.0
+        result = run_vectorized(runtime, trace, shared=shared)
+        if histogram is not None:
+            histogram.observe(time.perf_counter() - started)
+        states.append(result)
     return states

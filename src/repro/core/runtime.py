@@ -891,13 +891,10 @@ class DetectorRuntime(DecisionEngine):
         # DetectedPhase, so a top-level import would be circular.
         from repro.core import kernels as kernel_mod
 
-        if kernels is None:
-            kernels = kernel_mod.kernels_enabled()
-        if not kernels:
-            return None
-        if kernel_mod.vectorized_eligible(self):
+        path = kernel_mod.kernel_path(self, kernels)
+        if path == "vectorized":
             return kernel_mod.run_vectorized(self, trace)
-        if kernel_mod.dense_eligible(self):
+        if path == "dense":
             return kernel_mod.run_dense(self, trace)
         return None
 

@@ -106,6 +106,7 @@ def _init_worker(
     profiling: bool = False,
     bank: bool = True,
     kernels: Optional[bool] = None,
+    batched: Optional[bool] = None,
     mmap: Optional[bool] = None,
 ) -> None:
     _WORKER_STATE["profile"] = profile
@@ -115,6 +116,7 @@ def _init_worker(
     _WORKER_STATE["profiling"] = profiling
     _WORKER_STATE["bank"] = bank
     _WORKER_STATE["kernels"] = kernels
+    _WORKER_STATE["batched"] = batched
     _WORKER_STATE["mmap"] = mmap
     # A forked worker inherits the parent's accumulated counts; reset so
     # the snapshots shipped back are purely this worker's own activity.
@@ -161,6 +163,7 @@ def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
     profile: SuiteProfile = _WORKER_STATE["profile"]  # type: ignore[assignment]
     bank = bool(_WORKER_STATE.get("bank", True))
     kernels = _WORKER_STATE.get("kernels")  # Optional[bool]; None = env default
+    batched = _WORKER_STATE.get("batched")  # Optional[bool]; None = env default
     profiler = (
         ChunkProfiler(f"{benchmark}[{len(specs)} specs]")
         if _WORKER_STATE.get("profiling")
@@ -170,11 +173,13 @@ def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
     if profiler is not None:
         with profiler:
             records = evaluate_bank(
-                branch_trace, baselines, specs, profile, bank=bank, kernels=kernels
+                branch_trace, baselines, specs, profile, bank=bank,
+                kernels=kernels, batched=batched,
             )
     else:
         records = evaluate_bank(
-            branch_trace, baselines, specs, profile, bank=bank, kernels=kernels
+            branch_trace, baselines, specs, profile, bank=bank,
+            kernels=kernels, batched=batched,
         )
     rows: List[Dict] = [record.to_row() for record in records]
     wall = time.perf_counter() - started
@@ -276,6 +281,7 @@ class ParallelSweepExecutor:
         profiling: bool = False,
         bank: bool = True,
         kernels: Optional[bool] = None,
+        batched: Optional[bool] = None,
         mmap: Optional[bool] = None,
     ) -> None:
         self.profile = profile
@@ -286,6 +292,7 @@ class ParallelSweepExecutor:
         self.profiling = profiling
         self.bank = bank
         self.kernels = kernels
+        self.batched = batched
         self.mmap = mmap
         self.worker_stats: List[Dict] = []
         self.worker_metrics: Dict[int, Dict] = {}
@@ -338,6 +345,7 @@ class ParallelSweepExecutor:
                 self.profiling,
                 self.bank,
                 self.kernels,
+                self.batched,
                 self.mmap,
             ),
         ) as pool:

@@ -273,6 +273,7 @@ def evaluate_bank(
     bank: bool = True,
     bank_size: int = DEFAULT_BANK_SIZE,
     kernels: Optional[bool] = None,
+    batched: Optional[bool] = None,
     batch: bool = True,
     tracer=None,
     trace_parent=None,
@@ -289,8 +290,10 @@ def evaluate_bank(
 
     ``kernels`` selects the array-native detector kernels for eligible
     configurations (see :mod:`repro.core.kernels`); ``None`` consults
-    the ``REPRO_KERNELS`` environment variable.  Records are
-    byte-identical either way (the kernel-equivalence CI job pins this).
+    the ``REPRO_KERNELS`` environment variable.  ``batched`` selects the
+    bank's batched advancer for vectorized members (``None`` consults
+    ``REPRO_BANK_BATCHED``).  Records are byte-identical either way (the
+    kernel-equivalence CI job pins this).
 
     ``batch`` selects the vectorized batch scorer
     (:func:`~repro.scoring.score_states_batch`) for each bank batch;
@@ -316,6 +319,7 @@ def evaluate_bank(
         results = DetectorBank([spec.to_config(profile) for spec in batch_specs]).run(
             trace,
             kernels=kernels,
+            batched=batched,
             tracer=tracer,
             trace_parent=trace_parent,
             metrics=metrics,

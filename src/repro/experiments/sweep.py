@@ -106,6 +106,7 @@ class Sweep:
         jobs: int = 1,
         bank: bool = True,
         kernels: Optional[bool] = None,
+        batched: Optional[bool] = None,
         mmap: Optional[bool] = None,
         tracer=None,
     ) -> None:
@@ -122,6 +123,10 @@ class Sweep:
         #: (None: the REPRO_KERNELS env default; False: the
         #: kernel-equivalence escape hatch — identical records).
         self.kernels = kernels
+        #: Batched bank advancer for vectorized members (None: on unless
+        #: REPRO_BANK_BATCHED=0; False: independent per-lane vectorized
+        #: calls — identical records; the batch-equivalence escape hatch).
+        self.batched = batched
         #: Map cached traces and dense-code sidecars read-only instead of
         #: heap-copying them (None: on unless REPRO_MMAP=0; False: the
         #: mmap-equivalence escape hatch — identical records).
@@ -245,6 +250,7 @@ class Sweep:
                 fresh: List[SweepRecord] = evaluate_bank(
                     branch_trace, baselines, missing, self.profile,
                     bank=self.bank, kernels=self.kernels,
+                    batched=self.batched,
                     tracer=self.tracer, trace_parent=job_span,
                     metrics=self.metrics,
                 )
@@ -279,7 +285,7 @@ class Sweep:
         executor = ParallelSweepExecutor(
             self.profile, self.cache_dir, self.mpl_nominals, jobs=jobs,
             profiling=profiling, bank=self.bank, kernels=self.kernels,
-            mmap=self.mmap,
+            batched=self.batched, mmap=self.mmap,
         )
         evaluated = 0
 

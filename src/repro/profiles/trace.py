@@ -46,7 +46,7 @@ class BranchTrace:
         meta: optional free-form metadata dictionary.
     """
 
-    __slots__ = ("_data", "name", "meta", "_unique", "_codes", "_code_list")
+    __slots__ = ("_data", "name", "meta", "_unique", "_codes", "_code_list", "_prev")
 
     def __init__(
         self,
@@ -68,6 +68,7 @@ class BranchTrace:
         self._unique: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._codes: Optional[np.ndarray] = None
         self._code_list: Optional[list] = None
+        self._prev: Optional[np.ndarray] = None
 
     # -- sequence protocol -------------------------------------------------
 
@@ -165,6 +166,25 @@ class BranchTrace:
             self._code_list = codes.tolist()
             return self._code_list, int(values.size)
         return self._code_list, int(self.unique()[0].size)
+
+    def prev_links(self) -> np.ndarray:
+        """Previous-occurrence links: ``prev[i]`` is the index of the
+        previous occurrence of ``array[i]`` (or -1 for first occurrences).
+
+        The interval-stabbing similarity kernels of
+        :mod:`repro.core.kernels` derive every unweighted window count
+        from these links; like :meth:`dense_codes` the array is computed
+        once per trace and shared by every detector lane of a batched
+        bank pass.
+        """
+        if self._prev is None:
+            from repro.core.kernels import _prev_occurrence
+
+            codes, _ = self.dense_codes()
+            prev = _prev_occurrence(codes)
+            prev.setflags(write=False)
+            self._prev = prev
+        return self._prev
 
     def adopt_dense_codes(
         self, codes: np.ndarray, values: np.ndarray, counts: np.ndarray

@@ -145,14 +145,14 @@ class TestEligibility:
         assert not vectorized_eligible(runtime)
         assert dense_eligible(runtime)
 
-    def test_adaptive_trailing_falls_back_to_dense(self):
+    def test_adaptive_trailing_is_vectorized(self):
         runtime = DetectorRuntime(
             DetectorConfig(cw_size=20, skip_factor=5, trailing=TrailingPolicy.ADAPTIVE)
         )
-        assert not vectorized_eligible(runtime)
+        assert vectorized_eligible(runtime)
         assert dense_eligible(runtime)
 
-    def test_weighted_vectorized_only_for_fixed_interval(self):
+    def test_weighted_vectorized_for_any_geometry(self):
         fixed = DetectorRuntime(
             DetectorConfig(cw_size=30, skip_factor=30, model=ModelKind.WEIGHTED)
         )
@@ -160,7 +160,7 @@ class TestEligibility:
         offset = DetectorRuntime(
             DetectorConfig(cw_size=30, skip_factor=7, model=ModelKind.WEIGHTED)
         )
-        assert not vectorized_eligible(offset)
+        assert vectorized_eligible(offset)
         assert dense_eligible(offset)
 
     def test_observed_runtime_ineligible(self):

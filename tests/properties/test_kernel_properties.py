@@ -2,9 +2,12 @@
 
 The fused loop is itself pinned to the reference ``PhaseDetector`` by
 ``test_engine_properties``; these properties close the chain by pinning
-the kernels (dense advancer and vectorized fast path) to the fused loop
-across the full configuration space — states, phases, checkpoints, and
-checkpoint-restore-then-continue interleavings.
+the kernels (dense advancer and the vectorized fast paths — constant,
+adaptive, and weighted walks, solo and through the batched bank
+advancer) to the fused loop across the full configuration space —
+states, phases, checkpoints, and checkpoint-restore-then-continue
+interleavings, including checkpoints taken mid-episode (inside an open
+phase, Adaptive TW still growing).
 """
 
 import json
@@ -20,6 +23,7 @@ from repro.core import (
     ResizePolicy,
     TrailingPolicy,
 )
+from repro.core.bank import DetectorBank
 from repro.core.runtime import DetectorRuntime
 from repro.profiles.trace import BranchTrace
 
@@ -102,3 +106,65 @@ def test_kernel_checkpoints_restore_and_continue(trace, extra, config):
     assert json.dumps(restored_kernel.checkpoint(), sort_keys=True) == (
         json.dumps(restored_legacy.checkpoint(), sort_keys=True)
     )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    body=st.integers(min_value=1, max_value=5),
+    lead=st.lists(elements, min_size=0, max_size=80),
+    tail_repeats=st.integers(min_value=20, max_value=80),
+    extra=st.lists(elements, min_size=1, max_size=120),
+    config=configs,
+)
+def test_restore_and_continue_mid_episode(body, lead, tail_repeats, extra, config):
+    """Checkpoints taken *inside* a phase episode restore exactly.
+
+    The trace ends mid-phase (a long pure repetition tail), so for
+    configurations that detect it the checkpoint captures an open
+    episode — for Adaptive trailing, a TW still in growth mode.  The
+    restored runtime must continue in lockstep with its legacy twin
+    through the phase's eventual exit (the random ``extra`` stream).
+    """
+    phase_tail = list(range(body)) * tail_repeats
+    kernel, kernel_rt, legacy, legacy_rt = run_both(
+        BranchTrace(lead + phase_tail), config
+    )
+    assert_identical(kernel, kernel_rt, legacy, legacy_rt)
+    restored_kernel = DetectorRuntime.restore(kernel_rt.checkpoint())
+    restored_legacy = DetectorRuntime.restore(legacy_rt.checkpoint())
+    skip = config.skip_factor
+    groups = [extra[i : i + skip] for i in range(0, len(extra), skip)]
+    kernel_states = bytearray(len(extra))
+    legacy_states = bytearray(len(extra))
+    restored_kernel.advance(groups, kernel_states, 0)
+    restored_legacy.advance(groups, legacy_states, 0)
+    assert bytes(kernel_states) == bytes(legacy_states)
+    assert json.dumps(restored_kernel.checkpoint(), sort_keys=True) == (
+        json.dumps(restored_legacy.checkpoint(), sort_keys=True)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(elements, min_size=0, max_size=300),
+    bank_configs=st.lists(configs, min_size=1, max_size=6),
+)
+def test_batched_bank_matches_sequential_legacy(trace, bank_configs):
+    """The batched bank advancer (shared per-signature series) is a pure
+    cache: states, phases, and checkpoints of every lane are identical
+    to per-lane legacy runs — for any mix of constant/adaptive,
+    unweighted/weighted, threshold/average lanes and any geometry
+    overlap between lanes (shared signatures exercise the cache)."""
+    branch_trace = BranchTrace(trace)
+    bank = DetectorBank(bank_configs)
+    batched = bank.run(branch_trace, kernels=True, batched=True)
+    solo_runtimes = [DetectorRuntime(config) for config in bank_configs]
+    for runtime, bank_runtime, result in zip(
+        solo_runtimes, bank.runtimes, batched
+    ):
+        solo = runtime.run(branch_trace, kernels=False)
+        assert np.array_equal(result.states, solo.states)
+        assert result.detected_phases == solo.detected_phases
+        assert json.dumps(bank_runtime.checkpoint(), sort_keys=True) == (
+            json.dumps(runtime.checkpoint(), sort_keys=True)
+        )
