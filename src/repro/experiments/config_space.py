@@ -124,6 +124,18 @@ class ConfigSpec:
         kind = "thr" if self.analyzer is AnalyzerKind.THRESHOLD else "avg"
         return f"{kind}={self.value}"
 
+    def key(self) -> Tuple:
+        """The spec's identity tuple — the axes every persistence layer
+        keys on (sweep record cache, chunk store, result database)."""
+        return (
+            self.family,
+            self.cw_nominal,
+            self.model.value,
+            self.analyzer_label(),
+            self.anchor.value,
+            self.resize.value,
+        )
+
     def to_config(self, profile: SuiteProfile) -> DetectorConfig:
         """Materialize the actual DetectorConfig for ``profile``."""
         cw = profile.actual(self.cw_nominal)

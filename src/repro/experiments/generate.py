@@ -52,32 +52,60 @@ def generate_all(
     artifacts: Dict[str, str] = {}
     artifacts["table_1a"] = tables.table_1a(sweep).render()
     artifacts["table_1b"] = tables.table_1b(sweep).render()
-    artifacts["table_2a"] = tables.table_2a(records, sweep.benchmarks).render()
-    artifacts["table_2b"] = tables.table_2b(records, sweep.benchmarks).render()
-    artifacts["figure_4"] = figures.figure_4(records).render()
-    artifacts["figure_5"] = figures.figure_5(records, sweep.benchmarks).render()
-    for family, series in figures.figure_6(records, profile).items():
-        artifacts[f"figure_6_{family}"] = series.render()
-    artifacts["figure_7a"] = figures.figure_7a(records, sweep.benchmarks).render()
-    artifacts["figure_7b"] = figures.figure_7b(records, sweep.benchmarks).render()
-    artifacts["figure_8"] = figures.figure_8(records).render()
+    # Every artifact derivable from records alone goes through the same
+    # renderer the SQLite-backed `repro results render` uses, so the two
+    # paths cannot drift.
+    artifacts.update(render_from_records(records, sweep.benchmarks, profile))
     if families:
         artifacts["table_families"] = figures.table_families(
             records, sweep.benchmarks
         ).render()
         artifacts["figure_families"] = figures.figure_families(records).render()
 
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, text in artifacts.items():
+            (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    return artifacts
+
+
+def render_from_records(
+    records,
+    benchmarks,
+    profile: SuiteProfile,
+    out_dir: Optional[Path] = None,
+) -> Dict[str, str]:
+    """Render every record-derived artifact from an in-memory record list.
+
+    The subset of :func:`generate_all` that needs no traces or sweep
+    object — Tables 2(a)/2(b), Figures 4-8 and the per-benchmark detail
+    tables — so ``repro results render`` can regenerate them straight
+    from the SQLite result database (``docs/api.md``).  Identical text
+    to :func:`generate_all`'s for the same records.
+    """
+    artifacts: Dict[str, str] = {}
+    artifacts["table_2a"] = tables.table_2a(records, benchmarks).render()
+    artifacts["table_2b"] = tables.table_2b(records, benchmarks).render()
+    artifacts["figure_4"] = figures.figure_4(records).render()
+    artifacts["figure_5"] = figures.figure_5(records, benchmarks).render()
+    for family, series in figures.figure_6(records, profile).items():
+        artifacts[f"figure_6_{family}"] = series.render()
+    artifacts["figure_7a"] = figures.figure_7a(records, benchmarks).render()
+    artifacts["figure_7b"] = figures.figure_7b(records, benchmarks).render()
+    artifacts["figure_8"] = figures.figure_8(records).render()
+
     from repro.experiments.detail import per_benchmark_best, per_benchmark_winner
 
     for family in ("constant", "adaptive"):
         artifacts[f"detail_best_{family}"] = per_benchmark_best(
-            records, sweep.benchmarks, family
+            records, benchmarks, family
         ).render()
     artifacts["detail_winner_policy"] = per_benchmark_winner(
-        records, sweep.benchmarks, "family", "constant", "adaptive"
+        records, benchmarks, "family", "constant", "adaptive"
     ).render()
     artifacts["detail_winner_model"] = per_benchmark_winner(
-        records, sweep.benchmarks, "model", "unweighted", "weighted"
+        records, benchmarks, "model", "unweighted", "weighted"
     ).render()
 
     if out_dir is not None:

@@ -21,16 +21,27 @@ preserving the serial sweep's observable behavior exactly:
   :class:`~repro.core.bank.DetectorBank` pass over the trace (see
   :func:`repro.experiments.runner.evaluate_bank`), decoding and
   chunking the trace once per batch instead of once per grid point.
-* **Ordered delivery.**  Chunks are submitted in deterministic
-  (benchmark-major, spec-order) sequence and results are re-ordered on
-  receipt, so cache appends happen in exactly the order the serial
-  sweep would produce — a parallel run's JSONL cache is byte-identical
-  to a serial run's, and an interrupted run leaves a valid prefix that
-  the next run treats as warm.
+* **Two delivery modes.**  The default (:meth:`ParallelSweepExecutor.
+  run_store`) is barrier-free: workers write each completed chunk as an
+  atomic content-addressed file in the chunk store
+  (:mod:`repro.experiments.store`) the moment it finishes — record rows
+  never cross the pipe, completion order does not matter, and a
+  deterministic compaction step folds the chunks into the JSONL cache
+  in plan order afterwards (byte-identical to a serial run).  Chunks
+  already in the store are *reused* (that is the resume path: an
+  interrupted run costs only its missing chunk set), and chunks leased
+  by another executor sharing the results directory are skipped and
+  awaited.  The legacy mode (:meth:`ParallelSweepExecutor.run`) keeps
+  the ordered-delivery barrier: results are re-ordered on receipt and
+  appended by the parent in submission order — the ``store=False``
+  escape hatch and the bench baseline.
 * **Progress/ETA.**  With ``progress=True`` a per-benchmark line
   (configs evaluated, wall time, configs/s) plus a running ETA for the
   whole sweep is logged at INFO on the ``repro.sweep`` logger (the CLI
-  routes it to stderr; see :mod:`repro.obs.logsetup`).
+  routes it to stderr; see :mod:`repro.obs.logsetup`).  The ETA weights
+  remaining configs by their benchmark's trace length, so skewed grids
+  (one 10x-longer trace still pending) do not produce the wild
+  misestimates a flat configs/s extrapolation gives.
 * **Per-worker accounting.**  Every chunk result carries its worker's
   pid, wall time and record count, plus a cumulative snapshot of the
   worker's process-local metrics registry (trace reads, cache hits).
@@ -66,9 +77,15 @@ from repro.obs.profiling import ChunkProfiler
 
 logger = logging.getLogger("repro.sweep")
 
-#: Grid points per work item.  Large enough to amortize pipe and
-#: memoization overhead, small enough to load-balance a skewed grid.
+#: The *floor* on grid points per work item.  Large enough to amortize
+#: pipe and memoization overhead; the auto size grows past it on huge
+#: grids (see :meth:`ParallelSweepExecutor._chunk_specs`).
 DEFAULT_CHUNK_SIZE = 8
+
+#: Auto chunk sizing targets about this many work items per worker per
+#: benchmark: enough slack for load balancing, few enough chunks that
+#: per-item overhead stays amortized on paper-scale grids.
+TARGET_CHUNKS_PER_WORKER = 4
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -199,6 +216,69 @@ def _evaluate_chunk(benchmark: str, specs: Sequence[ConfigSpec]) -> Dict:
     return {"rows": rows, "stats": stats}
 
 
+def _evaluate_store_chunk(
+    benchmark: str,
+    specs: Sequence[ConfigSpec],
+    key: str,
+    fingerprint: str,
+    cache_dir: str,
+    profile_name: str,
+) -> Dict:
+    """Evaluate one work item and persist it as a chunk file, in-worker.
+
+    The barrier-free counterpart of :func:`_evaluate_chunk`: the worker
+    serializes its own records to canonical cache lines and writes the
+    content-addressed chunk atomically, so nothing but small accounting
+    crosses the pipe and the parent never re-orders anything.  Returns
+    ``{"key": ..., "stats": ...}`` with the same stats shape as the
+    legacy path.
+    """
+    from repro.experiments.store import ChunkStore, cache_line
+
+    branch_trace, baselines = _benchmark_context(benchmark)
+    profile: SuiteProfile = _WORKER_STATE["profile"]  # type: ignore[assignment]
+    bank = bool(_WORKER_STATE.get("bank", True))
+    kernels = _WORKER_STATE.get("kernels")
+    batched = _WORKER_STATE.get("batched")
+    profiler = (
+        ChunkProfiler(f"{benchmark}[{len(specs)} specs]")
+        if _WORKER_STATE.get("profiling")
+        else None
+    )
+    started = time.perf_counter()
+    if profiler is not None:
+        with profiler:
+            records = evaluate_bank(
+                branch_trace, baselines, specs, profile, bank=bank,
+                kernels=kernels, batched=batched,
+            )
+    else:
+        records = evaluate_bank(
+            branch_trace, baselines, specs, profile, bank=bank,
+            kernels=kernels, batched=batched,
+        )
+    lines = [cache_line(record, fingerprint) for record in records]
+    store = ChunkStore(cache_dir, profile_name)
+    store.write(
+        key, benchmark=benchmark, fingerprint=fingerprint,
+        configs=len(specs), lines=lines,
+        worker={"pid": os.getpid()},
+    )
+    wall = time.perf_counter() - started
+    GLOBAL_METRICS.histogram("sweep.job_seconds").observe(wall)
+    GLOBAL_METRICS.histogram("sweep.chunk_seconds").observe(wall)
+    GLOBAL_METRICS.counter("sweep.chunk_rows_written").inc(len(lines))
+    stats: Dict = {
+        "pid": os.getpid(),
+        "wall_seconds": wall,
+        "configs": len(specs),
+        "records": len(lines),
+        "peak_bytes": profiler.profile.peak_bytes if profiler is not None else None,
+        "metrics": GLOBAL_METRICS.snapshot(),
+    }
+    return {"key": key, "stats": stats}
+
+
 # -- parent side --------------------------------------------------------------
 
 
@@ -217,19 +297,42 @@ class _Progress:
 
     All interval math uses the monotonic ``time.perf_counter`` clock;
     the report goes to the ``repro.sweep`` logger at INFO.
+
+    The configs/s line stays in config units, but the ETA extrapolates
+    in *weight* units — each completed config contributes its
+    benchmark's trace length (``weight``) — because a config on a long
+    trace costs proportionally more wall time than one on a short
+    trace.  With ``total_weight`` 0 (no weights supplied) the ETA falls
+    back to the flat configs/s extrapolation.
     """
 
     total_configs: int
+    total_weight: float = 0.0
     started: float = field(default_factory=time.perf_counter)
     done_configs: int = 0
+    done_weight: float = 0.0
     benchmark_configs: Dict[str, int] = field(default_factory=dict)
     benchmark_started: Dict[str, float] = field(default_factory=dict)
 
+    def eta_seconds(self, now: Optional[float] = None) -> float:
+        """Remaining wall time, extrapolated in weight units."""
+        now = time.perf_counter() if now is None else now
+        elapsed = now - self.started
+        if self.total_weight > 0:
+            done, total = self.done_weight, self.total_weight
+        else:
+            done, total = float(self.done_configs), float(self.total_configs)
+        if elapsed <= 0 or done <= 0:
+            return 0.0
+        rate = done / elapsed
+        return max(total - done, 0.0) / rate
+
     def note(self, profile_name: str, benchmark: str, configs: int,
-             benchmark_finished: bool) -> None:
+             benchmark_finished: bool, weight: Optional[float] = None) -> None:
         now = time.perf_counter()
         self.benchmark_started.setdefault(benchmark, now)
         self.done_configs += configs
+        self.done_weight += float(configs) if weight is None else weight
         self.benchmark_configs[benchmark] = (
             self.benchmark_configs.get(benchmark, 0) + configs
         )
@@ -237,8 +340,7 @@ class _Progress:
             return
         elapsed = now - self.started
         rate = self.done_configs / elapsed if elapsed > 0 else float("inf")
-        remaining = self.total_configs - self.done_configs
-        eta = remaining / rate if rate > 0 else 0.0
+        eta = self.eta_seconds(now)
         bench_configs = self.benchmark_configs[benchmark]
         bench_elapsed = now - self.benchmark_started[benchmark]
         logger.info(
@@ -259,9 +361,11 @@ class ParallelSweepExecutor:
             ``load_suite`` guarantees this).
         mpl_nominals: nominal MPLs each grid point is scored at.
         jobs: worker count (``None`` → :func:`resolve_jobs`).
-        chunk_size: grid points per work item (``None`` → a size that
-            gives each worker several items per benchmark, capped at
-            :data:`DEFAULT_CHUNK_SIZE`).
+        chunk_size: grid points per work item (``None`` → adaptive:
+            ``grid / (jobs × TARGET_CHUNKS_PER_WORKER)``, with
+            :data:`DEFAULT_CHUNK_SIZE` as the floor — small grids keep
+            the amortization floor, paper-scale grids grow the chunk so
+            per-item overhead stays negligible).
         profiling: wrap each chunk in a :class:`ChunkProfiler`
             (wall time + tracemalloc peak); see :attr:`chunk_profiles`.
 
@@ -297,13 +401,23 @@ class ParallelSweepExecutor:
         self.worker_stats: List[Dict] = []
         self.worker_metrics: Dict[int, Dict] = {}
         self.chunk_profiles: List[Dict] = []
+        #: The content-addressed plan of the last :meth:`run_store` call
+        #: (``PlannedChunk`` values, in fold order); the caller hands it
+        #: to :func:`repro.experiments.store.compact_chunks`.
+        self.planned = []
 
     def _chunk_specs(self, specs: Sequence[ConfigSpec]) -> List[List[ConfigSpec]]:
         if self.chunk_size is not None:
             size = self.chunk_size
         else:
-            # ~4 items per worker per benchmark for load balance.
-            size = max(1, min(DEFAULT_CHUNK_SIZE, -(-len(specs) // (self.jobs * 4))))
+            # Adaptive: aim for TARGET_CHUNKS_PER_WORKER items per worker
+            # per benchmark, but never shrink below the amortization
+            # floor.  A 10,000-point grid on 8 workers gets ~313-spec
+            # chunks; a quick 135-point grid keeps the floor of 8.
+            size = max(
+                DEFAULT_CHUNK_SIZE,
+                -(-len(specs) // (self.jobs * TARGET_CHUNKS_PER_WORKER)),
+            )
         return [list(specs[i : i + size]) for i in range(0, len(specs), size)]
 
     def run(
@@ -311,6 +425,7 @@ class ParallelSweepExecutor:
         work: Sequence[Tuple[str, Sequence[ConfigSpec]]],
         on_chunk: Callable[[str, List[SweepRecord], bool], None],
         progress: bool = False,
+        benchmark_weights: Optional[Dict[str, float]] = None,
     ) -> int:
         """Evaluate every (benchmark, missing-spec) batch in ``work``.
 
@@ -320,6 +435,9 @@ class ParallelSweepExecutor:
         records to the JSONL cache as they arrive and still end up with
         a byte-identical file to a serial run.  Returns the number of
         grid points evaluated.
+
+        ``benchmark_weights`` (trace length per benchmark) steers the
+        progress ETA; see :class:`_Progress`.
         """
         chunks: List[_Chunk] = []
         for benchmark, specs in work:
@@ -330,8 +448,12 @@ class ParallelSweepExecutor:
         self.chunk_profiles = []
         if not chunks:
             return 0
+        weights = benchmark_weights or {}
         total_configs = sum(len(c.specs) for c in chunks)
-        tracker = _Progress(total_configs)
+        total_weight = sum(
+            len(c.specs) * weights.get(c.benchmark, 1.0) for c in chunks
+        ) if weights else 0.0
+        tracker = _Progress(total_configs, total_weight)
         last_chunk_of_benchmark = {c.benchmark: c.index for c in chunks}
         per_worker: Dict[int, Dict] = {}
 
@@ -377,10 +499,237 @@ class ParallelSweepExecutor:
                             chunk.benchmark,
                             len(chunk.specs),
                             benchmark_finished,
+                            weight=(
+                                len(chunk.specs) * weights.get(chunk.benchmark, 1.0)
+                                if weights else None
+                            ),
                         )
                     next_index += 1
         self.worker_stats = [per_worker[pid] for pid in sorted(per_worker)]
         return total_configs
+
+    def run_store(
+        self,
+        work: Sequence[Tuple[str, Sequence[ConfigSpec]]],
+        store,
+        fingerprints: Dict[str, str],
+        progress: bool = False,
+        benchmark_weights: Optional[Dict[str, float]] = None,
+        on_chunk_done: Optional[Callable[[object, str], None]] = None,
+        lease_ttl: Optional[float] = None,
+        poll_seconds: float = 0.2,
+    ) -> Dict[str, int]:
+        """Evaluate ``work`` barrier-free through the chunk store.
+
+        The work is planned into content-addressed chunks
+        (:func:`repro.experiments.store.plan_chunks`; the plan lands in
+        :attr:`planned`).  For each planned chunk, in order:
+
+        * a valid chunk file already in the store is **reused** — that
+          is the resume path, and costs nothing but a read;
+        * otherwise this executor tries to **claim** the chunk's lease;
+          on success the chunk is submitted to the pool, whose worker
+          evaluates it and writes the chunk file itself
+          (:func:`_evaluate_store_chunk`) — completion order is
+          irrelevant, so there is no head-of-line blocking;
+        * a chunk leased by another executor sharing the directory is
+          left to that executor and **awaited** at the end (with
+          TTL-based steal if the other executor died).
+
+        Returns ``{"planned", "reused", "evaluated", "external",
+        "evaluated_configs", "evaluated_records"}``.  The caller runs
+        :func:`~repro.experiments.store.compact_chunks` afterwards to
+        fold the now-complete chunk set into the JSONL cache.
+        """
+        from repro.experiments.store import (
+            DEFAULT_LEASE_TTL,
+            chunk_folded,
+            plan_chunks,
+        )
+
+        ttl = DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl
+        planned = plan_chunks(
+            work, fingerprints, self.profile.name, self.mpl_nominals,
+            self._chunk_specs,
+        )
+        self.planned = planned
+        self.worker_stats = []
+        self.worker_metrics = {}
+        self.chunk_profiles = []
+        stats_out = {
+            "planned": len(planned),
+            "reused": 0,
+            "evaluated": 0,
+            "external": 0,
+            "evaluated_configs": 0,
+            "evaluated_records": 0,
+        }
+        if not planned:
+            return stats_out
+        weights = benchmark_weights or {}
+        mine = []  # chunks this executor claimed
+        external = []  # chunks another executor holds; awaited below
+        for chunk in planned:
+            if store.has(chunk.key):
+                stats_out["reused"] += 1
+                if on_chunk_done is not None:
+                    on_chunk_done(chunk, "reused")
+            elif store.claim(chunk.key, ttl=ttl):
+                mine.append(chunk)
+            else:
+                external.append(chunk)
+        total_configs = sum(len(c.specs) for c in mine)
+        total_weight = sum(
+            len(c.specs) * weights.get(c.benchmark, 1.0) for c in mine
+        ) if weights else 0.0
+        tracker = _Progress(total_configs, total_weight)
+        per_worker: Dict[int, Dict] = {}
+        remaining_chunks: Dict[str, int] = {}
+        for chunk in mine:
+            remaining_chunks[chunk.benchmark] = (
+                remaining_chunks.get(chunk.benchmark, 0) + 1
+            )
+        if mine:
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(
+                    self.profile,
+                    str(self.cache_dir) if self.cache_dir is not None else None,
+                    self.mpl_nominals,
+                    self.profiling,
+                    self.bank,
+                    self.kernels,
+                    self.batched,
+                    self.mmap,
+                ),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _evaluate_store_chunk,
+                        chunk.benchmark,
+                        list(chunk.specs),
+                        chunk.key,
+                        chunk.fingerprint,
+                        str(store.cache_dir),
+                        self.profile.name,
+                    ): chunk
+                    for chunk in mine
+                }
+                pending = set(futures)
+                try:
+                    while pending:
+                        finished, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            chunk = futures[future]
+                            result = future.result()
+                            store.release(chunk.key)
+                            stats = result["stats"]
+                            self._account(
+                                per_worker,
+                                _Chunk(chunk.index, chunk.benchmark,
+                                       list(chunk.specs)),
+                                stats,
+                            )
+                            stats_out["evaluated"] += 1
+                            stats_out["evaluated_configs"] += stats["configs"]
+                            stats_out["evaluated_records"] += stats["records"]
+                            if on_chunk_done is not None:
+                                on_chunk_done(chunk, "evaluated")
+                            if progress:
+                                remaining_chunks[chunk.benchmark] -= 1
+                                tracker.note(
+                                    self.profile.name,
+                                    chunk.benchmark,
+                                    len(chunk.specs),
+                                    remaining_chunks[chunk.benchmark] == 0,
+                                    weight=(
+                                        len(chunk.specs)
+                                        * weights.get(chunk.benchmark, 1.0)
+                                        if weights else None
+                                    ),
+                                )
+                except BaseException:
+                    # Leave claimed-but-unevaluated leases in place: the
+                    # TTL lets a successor steal them, and any chunk
+                    # files already written survive for the resume path.
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
+        # Await chunks another executor holds the lease on.  Normally
+        # the other executor's chunk file just appears; if its lease
+        # expires first (it died), steal the lease and redo the chunk
+        # in a one-off worker.  A stolen chunk still counts as
+        # "external" — the stats describe the plan's division of labor,
+        # and the redo is accounted under evaluated_* like any other.
+        stats_out["external"] = len(external)
+        cache_path = store.cache_dir / f"sweep-{store.profile_name}.jsonl"
+        for chunk in external:
+            while not store.has(chunk.key):
+                if store.claim(chunk.key, ttl=ttl):
+                    if store.has(chunk.key):  # appeared during the steal
+                        store.release(chunk.key)
+                        break
+                    if chunk_folded(chunk, cache_path):
+                        # The other executor finished, compacted, and
+                        # gc'd the file while we waited; its rows are
+                        # already in the cache, so there is nothing to
+                        # redo.
+                        store.release(chunk.key)
+                        break
+                    logger.info(
+                        "[%s] stealing expired lease on chunk %s (%s)",
+                        self.profile.name, chunk.key, chunk.benchmark,
+                    )
+                    result = self._redo_chunk(chunk, store)
+                    store.release(chunk.key)
+                    stats = result["stats"]
+                    self._account(
+                        per_worker,
+                        _Chunk(chunk.index, chunk.benchmark, list(chunk.specs)),
+                        stats,
+                    )
+                    stats_out["evaluated"] += 1
+                    stats_out["evaluated_configs"] += stats["configs"]
+                    stats_out["evaluated_records"] += stats["records"]
+                    break
+                time.sleep(poll_seconds)
+            if on_chunk_done is not None:
+                on_chunk_done(chunk, "external")
+        self.worker_stats = [per_worker[pid] for pid in sorted(per_worker)]
+        return stats_out
+
+    def _redo_chunk(self, chunk, store) -> Dict:
+        """Re-evaluate one stolen chunk in a one-off worker process.
+
+        A separate process (not inline) so the worker-side globals —
+        ``_WORKER_STATE`` and the process-local metrics reset in
+        ``_init_worker`` — never touch the parent's.
+        """
+        with ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_init_worker,
+            initargs=(
+                self.profile,
+                str(self.cache_dir) if self.cache_dir is not None else None,
+                self.mpl_nominals,
+                self.profiling,
+                self.bank,
+                self.kernels,
+                self.batched,
+                self.mmap,
+            ),
+        ) as pool:
+            return pool.submit(
+                _evaluate_store_chunk,
+                chunk.benchmark,
+                list(chunk.specs),
+                chunk.key,
+                chunk.fingerprint,
+                str(store.cache_dir),
+                self.profile.name,
+            ).result()
 
     def _account(self, per_worker: Dict[int, Dict], chunk: _Chunk, stats: Dict) -> None:
         """Fold one chunk's worker stats into the per-pid aggregation."""

@@ -52,14 +52,7 @@ _CacheKey = Tuple[str, str, Tuple, int]
 
 
 def _spec_key(spec: ConfigSpec) -> Tuple:
-    return (
-        spec.family,
-        spec.cw_nominal,
-        spec.model.value,
-        spec.analyzer_label(),
-        spec.anchor.value,
-        spec.resize.value,
-    )
+    return spec.key()
 
 
 def grid_fingerprint(specs: Sequence[ConfigSpec], mpl_nominals: Sequence[int]) -> str:
@@ -108,6 +101,7 @@ class Sweep:
         kernels: Optional[bool] = None,
         batched: Optional[bool] = None,
         mmap: Optional[bool] = None,
+        store: bool = True,
         tracer=None,
     ) -> None:
         self.profile = profile
@@ -115,6 +109,12 @@ class Sweep:
         self.benchmarks = list(benchmarks) if benchmarks is not None else workload_names()
         self.mpl_nominals = list(mpl_nominals)
         self.jobs = jobs
+        #: Persist results through the content-addressed chunk store and
+        #: mirror the cache into the SQLite result database (see
+        #: :mod:`repro.experiments.store`).  False restores the legacy
+        #: ordered-delivery parallel path and skips SQLite entirely —
+        #: the store-equivalence escape hatch (identical cache bytes).
+        self.store = store
         #: Evaluate grid points in single-pass DetectorBank batches per
         #: trace (False: one run_detector pass per grid point — slower,
         #: identical records; kept as the bank-equivalence escape hatch).
@@ -142,13 +142,20 @@ class Sweep:
                                       mmap=self.mmap)
         self._baselines: Dict[str, BaselineSet] = {}
         self._records: Dict[_CacheKey, SweepRecord] = {}
+        self._fingerprints: Dict[str, str] = {}
+        self._db = None
+        self._last_chunk_stats: Optional[Dict[str, int]] = None
         self._cache_path = self.cache_dir / f"sweep-{profile.name}.jsonl"
         self._load_cache()
 
     # -- cache ------------------------------------------------------------------
 
     def _fingerprint(self, benchmark: str) -> str:
-        return workload(benchmark).fingerprint(self.profile.workload_scale)
+        cached = self._fingerprints.get(benchmark)
+        if cached is None:
+            cached = workload(benchmark).fingerprint(self.profile.workload_scale)
+            self._fingerprints[benchmark] = cached
+        return cached
 
     def _load_cache(self) -> None:
         if not self._cache_path.exists():
@@ -188,12 +195,12 @@ class Sweep:
         return (record.benchmark, self.profile.name, spec_key, record.mpl_nominal)
 
     def _append_cache(self, records: Iterable[SweepRecord]) -> None:
+        from repro.experiments.store import cache_line
+
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         with self._cache_path.open("a", encoding="utf-8") as handle:
             for record in records:
-                row = record.to_row()
-                row["fingerprint"] = self._fingerprint(record.benchmark)
-                handle.write(json.dumps(row) + "\n")
+                handle.write(cache_line(record, self._fingerprint(record.benchmark)))
 
     # -- evaluation ----------------------------------------------------------------
 
@@ -201,6 +208,32 @@ class Sweep:
     def cache_path(self) -> Path:
         """The JSONL record cache file backing this sweep."""
         return self._cache_path
+
+    @property
+    def db_path(self) -> Path:
+        """The SQLite result database next to the cache (store mode)."""
+        return self.cache_dir / f"sweep-{self.profile.name}.sqlite"
+
+    def result_db(self):
+        """The sweep's :class:`~repro.experiments.store.ResultDB` (lazy)."""
+        if self._db is None:
+            from repro.experiments.store import ResultDB
+
+            self._db = ResultDB(self.db_path)
+        return self._db
+
+    def _benchmark_weights(self) -> Dict[str, float]:
+        """Trace length per benchmark — the progress/ETA weighting.
+
+        Benchmarks differ in trace length by large factors, so an ETA
+        extrapolated from configs/s alone misestimates badly on skewed
+        grids; weighting remaining configs by their benchmark's trace
+        length fixes that (the lengths are already in memory from the
+        suite cache).
+        """
+        return {
+            name: float(len(traces[0])) for name, traces in self._traces.items()
+        }
 
     @property
     def traces(self) -> Dict[str, Tuple]:
@@ -276,7 +309,13 @@ class Sweep:
         progress: bool,
         profiling: bool = False,
     ) -> Tuple[int, List[Dict], Dict[int, Dict], List[Dict]]:
-        """Fan ``work`` out; returns (evaluated, worker stats, metrics, profiles)."""
+        """Fan ``work`` out; returns (evaluated, worker stats, metrics, profiles).
+
+        The legacy ordered-delivery path: workers ship record rows back
+        over the pipe and the parent appends them in submission order.
+        Kept as the ``store=False`` escape hatch and the bench baseline;
+        the default parallel path is :meth:`_evaluate_store`.
+        """
         from repro.experiments.parallel import ParallelSweepExecutor, resolve_jobs
 
         jobs = resolve_jobs(jobs)
@@ -300,8 +339,69 @@ class Sweep:
             if benchmark_finished:
                 self.metrics.counter("sweep.benchmarks_finished").inc()
 
-        executor.run(work, on_chunk, progress=progress)
+        executor.run(
+            work, on_chunk, progress=progress,
+            benchmark_weights=self._benchmark_weights(),
+        )
         self.metrics.counter("sweep.records_evaluated").inc(evaluated)
+        return (
+            evaluated,
+            executor.worker_stats,
+            executor.worker_metrics,
+            executor.chunk_profiles,
+        )
+
+    def _evaluate_store(
+        self,
+        work: Sequence[Tuple[str, List[ConfigSpec]]],
+        jobs: int,
+        progress: bool,
+        profiling: bool = False,
+    ) -> Tuple[int, List[Dict], Dict[int, Dict], List[Dict]]:
+        """Barrier-free parallel evaluation through the chunk store.
+
+        Workers write content-addressed chunk files themselves as they
+        finish — in whatever order — and the parent only collects
+        accounting.  Chunks already present (a resumed run) are reused
+        without evaluation; chunks leased by another live executor are
+        skipped and awaited.  Once every planned chunk exists, a
+        deterministic compaction folds them into the JSONL cache in
+        plan order (byte-identical to a serial sweep) and syncs the
+        SQLite result database.  See :mod:`repro.experiments.store`.
+        """
+        from repro.experiments.parallel import ParallelSweepExecutor, resolve_jobs
+        from repro.experiments.store import ChunkStore, compact_chunks
+
+        jobs = resolve_jobs(jobs)
+        if jobs <= 1:
+            return self._evaluate_serial(work, progress), [], {}, []
+        executor = ParallelSweepExecutor(
+            self.profile, self.cache_dir, self.mpl_nominals, jobs=jobs,
+            profiling=profiling, bank=self.bank, kernels=self.kernels,
+            batched=self.batched, mmap=self.mmap,
+        )
+        store = ChunkStore(self.cache_dir, self.profile.name)
+        fingerprints = {benchmark: self._fingerprint(benchmark) for benchmark, _ in work}
+        chunk_stats = executor.run_store(
+            work, store, fingerprints, progress=progress,
+            benchmark_weights=self._benchmark_weights(),
+        )
+        summary = compact_chunks(
+            store, executor.planned, self._cache_path,
+            db=self.result_db(), metrics=self.metrics,
+        )
+        chunk_stats["folded"] = summary["folded"]
+        chunk_stats["already_compacted"] = summary["skipped"]
+        self._last_chunk_stats = chunk_stats
+        # The cache now holds every planned row (including chunks other
+        # executors evaluated or folded); re-reading it is the one
+        # code path that is correct no matter who appended what.
+        self._load_cache()
+        evaluated = chunk_stats["evaluated_records"]
+        self.metrics.counter("sweep.records_evaluated").inc(evaluated)
+        self.metrics.counter("sweep.chunks_planned").inc(chunk_stats["planned"])
+        self.metrics.counter("sweep.chunks_reused").inc(chunk_stats["reused"])
+        self.metrics.counter("sweep.chunks_evaluated").inc(chunk_stats["evaluated"])
         return (
             evaluated,
             executor.worker_stats,
@@ -347,6 +447,7 @@ class Sweep:
         workers: List[Dict] = []
         worker_metrics: Dict[int, Dict] = {}
         chunk_profiles: List[Dict] = []
+        self._last_chunk_stats = None
         if work:
             with self._span(
                 "sweep", profile=self.profile.name, benchmarks=len(work),
@@ -356,10 +457,30 @@ class Sweep:
                         work, progress, trace_parent=sweep_span
                     )
                 else:
-                    evaluated, workers, worker_metrics, chunk_profiles = (
-                        self._evaluate_parallel(work, jobs, progress, profiling)
+                    evaluate = (
+                        self._evaluate_store if self.store
+                        else self._evaluate_parallel
                     )
+                    evaluated, workers, worker_metrics, chunk_profiles = (
+                        evaluate(work, jobs, progress, profiling)
+                    )
+        if self.store:
+            # Keep the SQLite mirror current no matter which path ran
+            # (incremental: a warm-cache call parses nothing).
+            with self.metrics.time("store.db_sync_seconds"):
+                self.result_db().sync_from_cache(
+                    self._cache_path, self.profile.name
+                )
         elapsed = time.perf_counter() - started
+        if self.store and evaluated:
+            self.result_db().record_run(
+                profile=self.profile.name,
+                grid_fingerprint=grid_fingerprint(specs, self.mpl_nominals),
+                jobs=jobs if jobs is not None else 1,
+                elapsed_seconds=elapsed,
+                records_evaluated=evaluated,
+                records_total=len(self._records),
+            )
         wanted: List[SweepRecord] = []
         for benchmark in self.benchmarks:
             for spec in specs:
@@ -406,6 +527,7 @@ class Sweep:
             workers=workers,
             metrics=merged.snapshot(),
             chunk_profiles=chunk_profiles,
+            chunks=self._last_chunk_stats,
         )
         return write_manifest(document, self.manifest_path)
 

@@ -76,9 +76,15 @@ def build_manifest(
     workers: List[Dict[str, object]],
     metrics: Dict[str, Dict[str, object]],
     chunk_profiles: Optional[List[Dict[str, object]]] = None,
+    chunks: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """Assemble one run's manifest dict (see module docstring)."""
-    return {
+    """Assemble one run's manifest dict (see module docstring).
+
+    ``chunks`` is the chunk-store accounting of a store-mode run
+    (planned/reused/evaluated/external counts plus fold counters);
+    omitted for legacy ordered-delivery runs.
+    """
+    manifest: Dict[str, object] = {
         "version": MANIFEST_VERSION,
         "kind": "sweep-run",
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -98,6 +104,9 @@ def build_manifest(
         "chunk_profiles": list(chunk_profiles or []),
         "environment": environment_info(),
     }
+    if chunks is not None:
+        manifest["chunks"] = dict(chunks)
+    return manifest
 
 
 def write_manifest(manifest: Dict[str, object], path: PathLike) -> Path:
@@ -255,6 +264,16 @@ def summarize_manifest(manifest: Dict[str, object]) -> str:
         f"  run:     jobs={manifest.get('jobs')}, {elapsed:.1f}s, "
         f"{evaluated} records evaluated ({rate:.1f} rec/s), {total} total in cache"
     )
+    chunks = manifest.get("chunks")
+    if chunks:
+        lines.append(
+            f"  chunks:  {chunks.get('planned', 0)} planned = "         # type: ignore[union-attr]
+            f"{chunks.get('evaluated', 0)} evaluated + "                 # type: ignore[union-attr]
+            f"{chunks.get('reused', 0)} reused + "                       # type: ignore[union-attr]
+            f"{chunks.get('external', 0)} external; "                    # type: ignore[union-attr]
+            f"{chunks.get('folded', 0)} folded "                         # type: ignore[union-attr]
+            f"({chunks.get('already_compacted', 0)} already compacted)"  # type: ignore[union-attr]
+        )
     lines.append(
         f"  host:    {env.get('implementation')} {env.get('python')} on "  # type: ignore[union-attr]
         f"{env.get('platform')} ({env.get('cpu_count')} cpus)"              # type: ignore[union-attr]

@@ -8,7 +8,9 @@ from repro.core.config import AnalyzerKind, ModelKind
 from repro.experiments.config_space import ConfigSpec, SuiteProfile
 from repro.experiments.parallel import (
     DEFAULT_CHUNK_SIZE,
+    TARGET_CHUNKS_PER_WORKER,
     ParallelSweepExecutor,
+    _Progress,
     resolve_jobs,
 )
 from repro.experiments.sweep import Sweep
@@ -69,11 +71,32 @@ class TestChunking:
         assert [len(c) for c in chunks] == [3, 1]
         assert [spec for chunk in chunks for spec in chunk] == SPECS
 
-    def test_auto_chunk_size_capped(self, tmp_path):
+    def test_auto_chunk_size_adapts_to_grid(self, tmp_path):
+        # 120 specs / (1 job * 4 target chunks per worker) = 30-spec chunks.
         executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=1)
         many = SPECS * 30
         chunks = executor._chunk_specs(many)
+        expected = -(-len(many) // (1 * TARGET_CHUNKS_PER_WORKER))
+        assert [len(c) for c in chunks[:-1]] == [expected] * (len(chunks) - 1)
+        assert sum(len(c) for c in chunks) == len(many)
+        assert [spec for chunk in chunks for spec in chunk] == many
+
+    def test_auto_chunk_size_floor(self, tmp_path):
+        # Small grids never shrink below DEFAULT_CHUNK_SIZE: with many
+        # jobs the adaptive divisor would give 1-spec chunks, whose
+        # per-chunk overhead swamps the work.
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=8)
+        chunks = executor._chunk_specs(SPECS * 4)
         assert all(len(c) <= DEFAULT_CHUNK_SIZE for c in chunks)
+        assert len(chunks[0]) == DEFAULT_CHUNK_SIZE
+
+    def test_auto_chunk_size_spreads_across_workers(self, tmp_path):
+        # A big grid must yield at least jobs * TARGET_CHUNKS_PER_WORKER
+        # chunks so no worker idles while another drains a giant chunk.
+        executor = ParallelSweepExecutor(TINY, tmp_path, MPLS, jobs=4)
+        many = SPECS * 250  # 1000 specs
+        chunks = executor._chunk_specs(many)
+        assert len(chunks) >= 4 * TARGET_CHUNKS_PER_WORKER
         assert sum(len(c) for c in chunks) == len(many)
 
 
@@ -127,6 +150,26 @@ class TestSerialParallelEquivalence:
         rows = [json.loads(line) for line in cache_bytes.decode().splitlines()]
         assert all("fingerprint" in row for row in rows)
         assert len(rows) == len(SPECS) * len(MPLS) * len(BENCHMARKS)
+
+
+class TestProgressEta:
+    def test_weighted_eta_tracks_remaining_trace_length(self):
+        # 20 configs split over a short and a long trace.  After the 10
+        # short-trace configs finish (10% of the weight in 1s), a flat
+        # configs/s ETA would claim 1s remaining; the weighted ETA must
+        # report the 90% of weight still outstanding: 9s.
+        tracker = _Progress(total_configs=20, total_weight=1_000.0, started=0.0)
+        tracker.note("tiny", "short", 10, False, weight=100.0)
+        assert tracker.eta_seconds(now=1.0) == pytest.approx(9.0)
+
+    def test_eta_falls_back_to_configs_without_weights(self):
+        tracker = _Progress(total_configs=20, started=0.0)
+        tracker.note("tiny", "short", 10, False)
+        assert tracker.eta_seconds(now=1.0) == pytest.approx(1.0)
+
+    def test_eta_zero_before_any_completion(self):
+        tracker = _Progress(total_configs=20, total_weight=1_000.0, started=0.0)
+        assert tracker.eta_seconds(now=1.0) == 0.0
 
 
 class TestExecutorOrdering:

@@ -291,3 +291,108 @@ class TestEvents:
                      "--events", str(events)])
         assert code == 0
         assert events.exists()
+
+
+class TestResults:
+    def _warm_store_sweep(self, tmp_path, monkeypatch):
+        TestSweep()._tiny_profile(monkeypatch)
+        main(["sweep", "--profile", "tinycli", "--jobs", "2",
+              "--benchmarks", "db", "--cache-dir", str(tmp_path), "--quiet"])
+        return tmp_path / "sweep-tinycli.sqlite"
+
+    def test_sweep_announces_result_db(self, capsys, tmp_path, monkeypatch):
+        db_path = self._warm_store_sweep(tmp_path, monkeypatch)
+        assert db_path.exists()
+        assert "results db:" in capsys.readouterr().out
+
+    def test_no_store_skips_database(self, capsys, tmp_path, monkeypatch):
+        TestSweep()._tiny_profile(monkeypatch)
+        capsys.readouterr()
+        assert main(["sweep", "--profile", "tinycli", "--jobs", "2",
+                     "--no-store", "--benchmarks", "db",
+                     "--cache-dir", str(tmp_path), "--quiet"]) == 0
+        assert "results db:" not in capsys.readouterr().out
+        assert not (tmp_path / "sweep-tinycli.sqlite").exists()
+
+    def test_query_best_scores(self, capsys, tmp_path, monkeypatch):
+        self._warm_store_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        code = main(["results", "query", "--profile", "tinycli",
+                     "--cache-dir", str(tmp_path),
+                     "--by", "family", "benchmark", "--mpl", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best_score" in out
+        assert "db" in out
+
+    def test_query_json_rows(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        self._warm_store_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["results", "query", "--profile", "tinycli",
+                     "--cache-dir", str(tmp_path), "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert rows and all("best_score" in row for row in rows)
+
+    def test_query_unknown_dimension_is_usage_error(self, capsys, tmp_path,
+                                                    monkeypatch):
+        self._warm_store_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        code = main(["results", "query", "--profile", "tinycli",
+                     "--cache-dir", str(tmp_path), "--by", "nonsense"])
+        assert code == 2
+        assert "unknown dimension" in capsys.readouterr().err
+
+    def test_query_missing_db_fails_cleanly(self, capsys, tmp_path):
+        capsys.readouterr()
+        code = main(["results", "query", "--profile", "quick",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 1
+        assert "no result database" in capsys.readouterr().err
+
+    def test_ingest_rebuild_round_trip(self, capsys, tmp_path, monkeypatch):
+        self._warm_store_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["results", "ingest", "--profile", "tinycli",
+                     "--cache-dir", str(tmp_path), "--rebuild"]) == 0
+        assert "ingested" in capsys.readouterr().out
+
+    def test_render_matches_generate(self, capsys, tmp_path, monkeypatch):
+        self._warm_store_sweep(tmp_path, monkeypatch)
+        out_dir = tmp_path / "rendered"
+        capsys.readouterr()
+        assert main(["results", "render", "--profile", "tinycli",
+                     "--cache-dir", str(tmp_path), "--out", str(out_dir)]) == 0
+        assert (out_dir / "table_2a.txt").exists()
+        assert (out_dir / "figure_4.txt").exists()
+
+    def test_runs_lists_recorded_sweeps(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        self._warm_store_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["results", "runs", "--profile", "tinycli",
+                     "--cache-dir", str(tmp_path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        run = json.loads(lines[0])
+        assert run["profile"] == "tinycli"
+        assert run["jobs"] == 2
+
+    def test_sql_read_only(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        self._warm_store_sweep(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["results", "sql", "--profile", "tinycli",
+                     "--cache-dir", str(tmp_path),
+                     "SELECT COUNT(*) AS n FROM record_view"]) == 0
+        row = json.loads(capsys.readouterr().out.strip())
+        assert row["n"] > 0
+        capsys.readouterr()
+        code = main(["results", "sql", "--profile", "tinycli",
+                     "--cache-dir", str(tmp_path),
+                     "DELETE FROM records"])
+        assert code != 0
